@@ -1,0 +1,99 @@
+//! End-to-end benchmark of the real threaded runtime: a full collective
+//! write + read over the in-process fabric and MemFs. Measures the
+//! implementation's own overhead (protocol, copies, channels), not a
+//! 1995 disk.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+fn natural(dim: usize) -> ArrayMeta {
+    let shape = Shape::new(&[dim, dim]).unwrap();
+    let mem = DataSchema::block_all(shape, ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+        .unwrap();
+    ArrayMeta::natural("bench", mem).unwrap()
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_roundtrip");
+    group.sample_size(20);
+    for dim in [64usize, 256, 512] {
+        let meta = natural(dim);
+        let bytes = meta.total_bytes() as u64;
+        group.throughput(Throughput::Bytes(2 * bytes)); // write + read
+        group.bench_function(BenchmarkId::from_parameter(format!("{dim}x{dim}_f64")), |b| {
+            let config = PandaConfig::new(4, 2).with_subchunk_bytes(1 << 18);
+            let (system, mut clients) =
+                PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+            let datas: Vec<Vec<u8>> = (0..4)
+                .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
+                .collect();
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for (client, data) in clients.iter_mut().zip(&datas) {
+                        let meta = &meta;
+                        s.spawn(move || {
+                            client.write(&[(meta, "bench", data.as_slice())]).unwrap();
+                            let mut buf = vec![0u8; data.len()];
+                            client
+                                .read(&mut [(meta, "bench", buf.as_mut_slice())])
+                                .unwrap();
+                        });
+                    }
+                });
+            });
+            system.shutdown(clients).unwrap();
+        });
+    }
+    group.finish();
+}
+
+fn bench_section_read(c: &mut Criterion) {
+    use panda_schema::Region;
+    let mut group = c.benchmark_group("section_read");
+    group.sample_size(20);
+    let meta = natural(512);
+    let config = PandaConfig::new(4, 2).with_subchunk_bytes(1 << 18);
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    // Stage the array once.
+    let datas: Vec<Vec<u8>> = (0..4)
+        .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
+        .collect();
+    std::thread::scope(|s| {
+        for (client, data) in clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || client.write(&[(meta, "bench", data.as_slice())]).unwrap());
+        }
+    });
+    // Thin slab (1/32 of the array) vs the full array.
+    for (label, section) in [
+        ("slab_16_of_512_rows", Region::new(&[256, 0], &[272, 512]).unwrap()),
+        ("full_array", Region::new(&[0, 0], &[512, 512]).unwrap()),
+    ] {
+        group.throughput(Throughput::Bytes(section.num_bytes(8) as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for client in clients.iter_mut() {
+                        let (meta, section) = (&meta, &section);
+                        s.spawn(move || {
+                            let mut buf = vec![0u8; client.section_bytes(meta, section)];
+                            client
+                                .read_section(meta, "bench", section, &mut buf)
+                                .unwrap();
+                        });
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+    system.shutdown(clients).unwrap();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_section_read);
+criterion_main!(benches);

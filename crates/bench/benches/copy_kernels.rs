@@ -1,0 +1,51 @@
+//! Microbenchmarks of the strided copy kernels — the per-byte cost of
+//! Panda's reorganization machinery (gather on clients, scatter on
+//! servers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use panda_schema::{copy, Region};
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack_region");
+    // A 128x128x64 f64 chunk (8 MB).
+    let chunk = Region::new(&[0, 0, 0], &[128, 128, 64]).unwrap();
+    let src = vec![0xabu8; chunk.num_bytes(8)];
+
+    // Contiguous: a slab of full planes (single memcpy).
+    let slab = Region::new(&[32, 0, 0], &[96, 128, 64]).unwrap();
+    group.throughput(Throughput::Bytes(slab.num_bytes(8) as u64));
+    group.bench_function(BenchmarkId::new("contiguous", "4MB"), |b| {
+        b.iter(|| copy::pack_region(&src, &chunk, &slab, 8).unwrap())
+    });
+
+    // Strided: a sub-box that is narrow in the innermost dimension.
+    let strided = Region::new(&[0, 0, 0], &[128, 128, 32]).unwrap();
+    group.throughput(Throughput::Bytes(strided.num_bytes(8) as u64));
+    group.bench_function(BenchmarkId::new("strided_rows", "4MB"), |b| {
+        b.iter(|| copy::pack_region(&src, &chunk, &strided, 8).unwrap())
+    });
+
+    // Worst case: single-element rows.
+    let worst = Region::new(&[0, 0, 0], &[128, 128, 1]).unwrap();
+    group.throughput(Throughput::Bytes(worst.num_bytes(8) as u64));
+    group.bench_function(BenchmarkId::new("strided_elems", "128KB"), |b| {
+        b.iter(|| copy::pack_region(&src, &chunk, &worst, 8).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unpack_region");
+    let chunk = Region::new(&[0, 0, 0], &[128, 128, 64]).unwrap();
+    let sub = Region::new(&[16, 16, 16], &[112, 112, 48]).unwrap();
+    let data = vec![0x5au8; sub.num_bytes(8)];
+    let mut dst = vec![0u8; chunk.num_bytes(8)];
+    group.throughput(Throughput::Bytes(sub.num_bytes(8) as u64));
+    group.bench_function("interior_box_5MB", |b| {
+        b.iter(|| copy::unpack_region(&mut dst, &chunk, &sub, &data, 8).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack, bench_unpack);
+criterion_main!(benches);

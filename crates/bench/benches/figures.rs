@@ -1,0 +1,30 @@
+//! Benchmark of the DES performance model itself: one figure point
+//! (the largest — 512 MB over 32 compute / 8 I/O nodes) per iteration.
+//! Keeps regenerating all seven figures interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use panda_core::OpKind;
+use panda_model::experiment::{paper_array, DiskKind};
+use panda_model::{simulate, CollectiveSpec, Sp2Machine};
+
+fn bench_simulate(c: &mut Criterion) {
+    let machine = Sp2Machine::nas_sp2();
+    let mut group = c.benchmark_group("simulate_figure_point");
+    group.sample_size(20);
+    for (label, disk) in [("natural", DiskKind::Natural), ("traditional", DiskKind::Traditional)]
+    {
+        let spec = CollectiveSpec {
+            arrays: vec![paper_array(512, 32, 8, disk)],
+            op: OpKind::Write,
+            num_servers: 8,
+            subchunk_bytes: 1 << 20,
+            fast_disk: false,
+            section: None,
+        };
+        group.bench_function(label, |b| b.iter(|| simulate(&machine, &spec)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of the server-directed planner at paper scale: plan
+//! formation is on every collective's critical path (part of the 13 ms
+//! startup the paper measures), so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_core::{build_server_plan, client_manifest};
+use panda_model::experiment::{paper_array, DiskKind};
+
+fn bench_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_server_plan");
+    for (label, disk) in [("natural", DiskKind::Natural), ("traditional", DiskKind::Traditional)]
+    {
+        // The paper's largest run: 512 MB over 32 compute / 8 I/O nodes.
+        let array = paper_array(512, 32, 8, disk);
+        group.bench_function(BenchmarkId::new(label, "512MB_32c_8s"), |b| {
+            b.iter(|| build_server_plan(&array, 3, 8, 1 << 20))
+        });
+    }
+    group.finish();
+}
+
+fn bench_manifest(c: &mut Criterion) {
+    let array = paper_array(512, 32, 8, DiskKind::Traditional);
+    c.bench_function("client_manifest/512MB_32c_8s", |b| {
+        b.iter(|| client_manifest(&array, 17, 8, 1 << 20))
+    });
+}
+
+criterion_group!(benches, bench_plans, bench_manifest);
+criterion_main!(benches);

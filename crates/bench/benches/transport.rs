@@ -1,0 +1,65 @@
+//! Microbenchmarks of the in-process message fabric: per-message
+//! overhead and bulk throughput, the costs the real runtime pays where
+//! the SP2 paid MPI-F.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use panda_msg::{InProcFabric, MatchSpec, NodeId, Transport};
+
+const STOP: u32 = 99;
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_ping_pong");
+    for size in [0usize, 1 << 10, 1 << 20] {
+        group.throughput(Throughput::Bytes(2 * size as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("{size}B")), |b| {
+            let (mut eps, _) = InProcFabric::new(2);
+            let mut echo = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            let t = std::thread::spawn(move || loop {
+                let env = echo.recv().expect("echo recv");
+                if env.tag == STOP {
+                    break;
+                }
+                echo.send(NodeId(0), 2, env.payload).expect("echo send");
+            });
+            let payload = vec![7u8; size];
+            b.iter(|| {
+                a.send(NodeId(1), 1, payload.clone()).unwrap();
+                a.recv_matching(MatchSpec::tag(2)).unwrap()
+            });
+            a.send(NodeId(1), STOP, Vec::new()).unwrap();
+            t.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+fn bench_selective_receive(c: &mut Criterion) {
+    // Cost of matching through a deep pending queue — the MPI-style
+    // unexpected-message queue in action.
+    c.bench_function("fabric_selective_recv_depth_256", |b| {
+        b.iter_with_setup(
+            || {
+                let (mut eps, _) = InProcFabric::new(2);
+                let rx = eps.pop().unwrap();
+                let mut tx = eps.pop().unwrap();
+                for i in 0..256u32 {
+                    tx.send(NodeId(1), i % 8, vec![i as u8]).unwrap();
+                }
+                (tx, rx)
+            },
+            |(_tx, mut rx)| {
+                // Drain tag 7 first (worst-case buffering), then the rest.
+                for _ in 0..32 {
+                    rx.recv_matching(MatchSpec::tag(7)).unwrap();
+                }
+                for _ in 0..224 {
+                    rx.recv().unwrap();
+                }
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_ping_pong, bench_selective_receive);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Ablation study (not a paper figure; supported by the paper's §4
+//! related-work comparison and its stated future work):
+//!
+//! 1. strategy: server-directed vs two-phase \[Bordawekar93\] vs naive
+//!    client-directed I/O (the traditional-caching access pattern) —
+//!    modeled elapsed time and seek counts on identical workloads;
+//! 2. pipelining: subchunk pipeline depth 1 (blocking, the calibrated
+//!    default) vs depth 2 (double buffering / the paper's "non-blocking
+//!    communication" future work).
+
+use panda_core::OpKind;
+use panda_model::baseline_model::{model_naive, model_two_phase};
+use panda_model::experiment::{paper_array, DiskKind};
+use panda_model::{simulate, CollectiveSpec, Sp2Machine};
+
+fn main() {
+    let machine = Sp2Machine::nas_sp2();
+    let machine_depth2 = Sp2Machine::nas_sp2().with_pipeline_depth(2);
+
+    println!("Ablation 1: I/O strategy (write, 8 compute nodes, 4 i/o nodes,");
+    println!("traditional order on disk, real AIX-model disks)");
+    println!();
+    println!(
+        "{:>10} {:>18} {:>14} {:>12} {:>10}",
+        "array MB", "strategy", "elapsed (s)", "agg MB/s", "seeks"
+    );
+    for mb in [16usize, 64, 256] {
+        let array = paper_array(mb, 8, 4, DiskKind::Traditional);
+        let sd = simulate(
+            &machine,
+            &CollectiveSpec {
+                arrays: vec![array.clone()],
+                op: OpKind::Write,
+                num_servers: 4,
+                subchunk_bytes: 1 << 20,
+                fast_disk: false,
+                section: None,
+            },
+        );
+        let tp = model_two_phase(&machine, &array, 4, OpKind::Write, 1 << 20);
+        let nv = model_naive(&machine, &array, 4, OpKind::Write);
+        println!(
+            "{:>10} {:>18} {:>14.2} {:>12.2} {:>10}",
+            mb, "server-directed", sd.elapsed, sd.aggregate_mbs, 0
+        );
+        println!(
+            "{:>10} {:>18} {:>14.2} {:>12.2} {:>10}",
+            mb, "two-phase", tp.elapsed, tp.aggregate_mbs, tp.seeks
+        );
+        println!(
+            "{:>10} {:>18} {:>14.2} {:>12.2} {:>10}",
+            mb, "naive", nv.elapsed, nv.aggregate_mbs, nv.seeks
+        );
+    }
+    println!();
+    println!("expected shape: naive loses badly (seek-bound small strided writes);");
+    println!("two-phase and server-directed are comparable in time, but server-");
+    println!("directed needs no chunk staging memory on compute nodes and zero seeks.");
+    println!();
+
+    println!("Ablation 2: subchunk pipeline depth (write, natural chunking,");
+    println!("8 compute nodes, 4 i/o nodes)");
+    println!();
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "array MB", "depth 1 (s)", "depth 2 (s)", "speedup"
+    );
+    for mb in [16usize, 64, 256] {
+        let spec = CollectiveSpec {
+            arrays: vec![paper_array(mb, 8, 4, DiskKind::Natural)],
+            op: OpKind::Write,
+            num_servers: 4,
+            subchunk_bytes: 1 << 20,
+            fast_disk: false,
+            section: None,
+        };
+        let d1 = simulate(&machine, &spec);
+        let d2 = simulate(&machine_depth2, &spec);
+        println!(
+            "{:>10} {:>14.2} {:>14.2} {:>10.3}",
+            mb,
+            d1.elapsed,
+            d2.elapsed,
+            d1.elapsed / d2.elapsed
+        );
+    }
+    println!();
+    println!("expected shape: depth 2 hides the network phase behind the disk,");
+    println!("approaching the pure AIX-peak bound (the paper's non-blocking-");
+    println!("communication future work).");
+
+    println!();
+    println!("Ablation 3: subchunk size (write, natural chunking, 8/4 nodes, 64 MB)");
+    println!();
+    println!("{:>14} {:>14} {:>12}", "subchunk", "elapsed (s)", "agg MB/s");
+    for cap_kb in [64usize, 256, 1024, 4096] {
+        let spec = CollectiveSpec {
+            arrays: vec![paper_array(64, 8, 4, DiskKind::Natural)],
+            op: OpKind::Write,
+            num_servers: 4,
+            subchunk_bytes: cap_kb << 10,
+            fast_disk: false,
+            section: None,
+        };
+        let r = simulate(&machine, &spec);
+        println!(
+            "{:>14} {:>14.2} {:>12.2}",
+            format!("{cap_kb} KB"),
+            r.elapsed,
+            r.aggregate_mbs
+        );
+    }
+    println!();
+    println!("expected shape: small subchunks lose to per-operation overheads (AIX");
+    println!("small-write penalty); beyond ~1 MB returns diminish while buffer memory");
+    println!("grows — the paper chose 1 MB after the same experiment.");
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 3 of the paper.
+
+fn main() {
+    panda_bench::figure_main(3, "85-98% of peak AIX read throughput per i/o node");
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 4 of the paper.
+
+fn main() {
+    panda_bench::figure_main(4, "85-98% of peak AIX write throughput per i/o node");
+}

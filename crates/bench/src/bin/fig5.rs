@@ -1,0 +1,5 @@
+//! Regenerate Figure 5 of the paper.
+
+fn main() {
+    panda_bench::figure_main(5, "~90% of peak MPI bandwidth, declining at small sizes (startup)");
+}

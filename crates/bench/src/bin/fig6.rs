@@ -1,0 +1,5 @@
+//! Regenerate Figure 6 of the paper.
+
+fn main() {
+    panda_bench::figure_main(6, "~90% of peak MPI bandwidth, declining at small sizes (startup)");
+}

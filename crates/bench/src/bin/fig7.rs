@@ -1,0 +1,5 @@
+//! Regenerate Figure 7 of the paper.
+
+fn main() {
+    panda_bench::figure_main(7, "68-95% of peak AIX read throughput per i/o node");
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 8 of the paper.
+
+fn main() {
+    panda_bench::figure_main(8, "68-95% of peak AIX write throughput per i/o node");
+}

@@ -1,0 +1,122 @@
+//! Comparison I/O strategies from the paper's related-work discussion.
+//!
+//! The paper (§4) contrasts server-directed I/O with two families of
+//! prior approaches, both of which leave the compute nodes in charge of
+//! deciding *where in each file* data lands:
+//!
+//! * **naive client-directed I/O** ([`naive`]) — each compute node
+//!   independently issues positioned reads/writes for the strided
+//!   pieces of its own memory chunk, in its own order. This is the
+//!   access pattern a traditional caching file system (e.g. Intel CFS)
+//!   sees: "i/o requests are served as they arrive", sequential overall
+//!   but seek-ridden at each I/O node;
+//! * **two-phase I/O** ([`two_phase`], after \[Bordawekar93\]) — compute
+//!   nodes first permute data among themselves so that the in-memory
+//!   distribution *conforms* to the on-disk layout, then ship each disk
+//!   chunk to its I/O node in large contiguous pieces.
+//!
+//! Both baselines produce byte-identical files to the server-directed
+//! path (verified by integration tests), so the differences measured by
+//! the ablation bench — seek counts, request sizes, message counts —
+//! are purely strategic.
+
+pub mod naive;
+pub mod two_phase;
+
+use panda_schema::Region;
+
+use crate::array::ArrayMeta;
+use crate::plan::assigned_chunks;
+
+/// Where one disk chunk lives: which server's file, at which offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlacement {
+    /// Linear disk-chunk index.
+    pub chunk_idx: usize,
+    /// Owning server (0-based I/O-node index).
+    pub server: usize,
+    /// Byte offset of the chunk inside that server's per-array file.
+    pub file_offset: u64,
+    /// The chunk's global-array region.
+    pub region: Region,
+}
+
+/// Compute the placement of every nonempty disk chunk of `array` under
+/// the round-robin assignment — the same layout the server-directed
+/// planner produces, so baseline-written files are byte-identical to
+/// Panda-written ones.
+pub fn chunk_placements(array: &ArrayMeta, num_servers: usize) -> Vec<ChunkPlacement> {
+    let grid = array.disk_grid();
+    let elem = array.elem_size();
+    let mut out = Vec::new();
+    for server in 0..num_servers {
+        let mut offset = 0u64;
+        for chunk_idx in assigned_chunks(grid.num_chunks(), server, num_servers) {
+            let region = grid.chunk_region(chunk_idx);
+            if region.is_empty() {
+                continue;
+            }
+            let bytes = region.num_bytes(elem) as u64;
+            out.push(ChunkPlacement {
+                chunk_idx,
+                server,
+                file_offset: offset,
+                region,
+            });
+            offset += bytes;
+        }
+    }
+    out.sort_by_key(|p| p.chunk_idx);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_server_plan;
+    use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+    fn array() -> ArrayMeta {
+        let shape = Shape::new(&[12, 8]).unwrap();
+        let mem = DataSchema::block_all(
+            shape.clone(),
+            ElementType::F64,
+            Mesh::new(&[2, 2]).unwrap(),
+        )
+        .unwrap();
+        let disk = DataSchema::new(
+            shape,
+            ElementType::F64,
+            &[panda_schema::Dist::Block, panda_schema::Dist::Block],
+            Mesh::new(&[3, 2]).unwrap(),
+        )
+        .unwrap();
+        ArrayMeta::new("a", mem, disk).unwrap()
+    }
+
+    #[test]
+    fn placements_match_server_plans() {
+        let a = array();
+        for servers in [1usize, 2, 3, 4] {
+            let placements = chunk_placements(&a, servers);
+            for s in 0..servers {
+                let plan = build_server_plan(&a, s, servers, 1 << 20);
+                for chunk in &plan.chunks {
+                    let p = placements
+                        .iter()
+                        .find(|p| p.chunk_idx == chunk.chunk_idx)
+                        .expect("placement for every planned chunk");
+                    assert_eq!(p.server, s);
+                    assert_eq!(p.file_offset, chunk.file_offset);
+                    assert_eq!(p.region, chunk.region);
+                }
+            }
+            // Every nonempty chunk is placed exactly once.
+            let grid = a.disk_grid();
+            let nonempty = (0..grid.num_chunks())
+                .filter(|&i| !grid.chunk_region(i).is_empty())
+                .count();
+            assert_eq!(placements.len(), nonempty);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The Panda client: the compute-node side of a collective operation.
+//!
+//! Under server-directed I/O the client is almost passive (paper §2):
+//! the master client sends one short high-level request describing the
+//! schemas, then every client simply *serves* the servers — packing
+//! requested regions on writes, scattering delivered regions on reads —
+//! until released. "Note the clients and servers play a different role
+//! than in traditional client/server architectures where the clients
+//! make requests of the server."
+
+use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_schema::{copy, Region};
+
+use crate::array::ArrayMeta;
+use crate::error::PandaError;
+
+use crate::protocol::{recv_msg, send_msg, ArrayOp, CollectiveRequest, Msg, OpKind};
+
+/// A compute node's handle to Panda. One per client thread.
+pub struct PandaClient {
+    transport: Box<dyn Transport>,
+    rank: usize,
+    num_clients: usize,
+    num_servers: usize,
+    subchunk_bytes: usize,
+}
+
+impl PandaClient {
+    pub(crate) fn new(
+        transport: Box<dyn Transport>,
+        rank: usize,
+        num_clients: usize,
+        num_servers: usize,
+        subchunk_bytes: usize,
+    ) -> Self {
+        PandaClient {
+            transport,
+            rank,
+            num_clients,
+            num_servers,
+            subchunk_bytes,
+        }
+    }
+
+    /// This client's rank (0-based compute-node index).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of compute nodes.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Number of I/O nodes.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// The subchunk subdivision cap for this session.
+    pub fn subchunk_bytes(&self) -> usize {
+        self.subchunk_bytes
+    }
+
+    /// True iff this is the master client (rank 0), which exchanges the
+    /// control messages with the master server.
+    pub fn is_master(&self) -> bool {
+        self.rank == 0
+    }
+
+    fn master_server(&self) -> NodeId {
+        NodeId(self.num_clients)
+    }
+
+    pub(crate) fn transport_mut(&mut self) -> &mut dyn Transport {
+        &mut *self.transport
+    }
+
+    /// Raw access to the underlying transport. Exposed for failure-
+    /// injection tests and protocol tooling; applications should use the
+    /// collective operations instead.
+    #[doc(hidden)]
+    pub fn transport_mut_for_tests(&mut self) -> &mut dyn Transport {
+        &mut *self.transport
+    }
+
+    fn check_buffers(
+        &self,
+        arrays: &[(&ArrayMeta, &str)],
+        lens: &[usize],
+    ) -> Result<(), PandaError> {
+        for ((meta, _), &len) in arrays.iter().zip(lens) {
+            let expected = meta.client_bytes(self.rank);
+            if len != expected {
+                return Err(PandaError::BadClientBuffer {
+                    array: meta.name().to_string(),
+                    expected,
+                    actual: len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Collective write: every client calls this with its chunk of each
+    /// array. `arrays` items are `(metadata, file_tag, chunk_data)`;
+    /// the file tag names the operation's files
+    /// (`"<file_tag>.s<server>"` on each I/O node).
+    ///
+    /// Blocks until the whole collective completes on every node.
+    pub fn write(&mut self, arrays: &[(&ArrayMeta, &str, &[u8])]) -> Result<(), PandaError> {
+        let heads: Vec<(&ArrayMeta, &str)> = arrays.iter().map(|&(m, t, _)| (m, t)).collect();
+        let lens: Vec<usize> = arrays.iter().map(|&(_, _, d)| d.len()).collect();
+        self.check_buffers(&heads, &lens)?;
+        self.start_collective(OpKind::Write, &heads, None)?;
+
+        // My memory regions, one per array.
+        let regions: Vec<Region> = arrays
+            .iter()
+            .map(|(m, _, _)| m.client_region(self.rank))
+            .collect();
+
+        let mut released = false;
+        let mut complete = false;
+        while !(released || complete) {
+            let (src, msg) = recv_msg(self.transport_mut(), MatchSpec::any())?;
+            match msg {
+                Msg::Fetch { array, seq, region } => {
+                    let idx = array as usize;
+                    let (meta, _, data) =
+                        arrays.get(idx).ok_or_else(|| PandaError::Protocol {
+                            detail: format!("fetch for unknown array index {idx}"),
+                        })?;
+                    let payload =
+                        copy::pack_region(data, &regions[idx], &region, meta.elem_size())?;
+                    send_msg(
+                        self.transport_mut(),
+                        src,
+                        &Msg::Data {
+                            array,
+                            seq,
+                            region,
+                            payload,
+                        },
+                    )?;
+                }
+                Msg::Complete => complete = true,
+                Msg::Release => released = true,
+                other => {
+                    return Err(PandaError::Protocol {
+                        detail: format!("unexpected {:?} during write", other.tag()),
+                    })
+                }
+            }
+        }
+        self.finish_collective(complete)
+    }
+
+    /// Collective read: the mirror of [`PandaClient::write`]; each
+    /// client's buffer is filled with its memory chunk.
+    pub fn read(
+        &mut self,
+        arrays: &mut [(&ArrayMeta, &str, &mut [u8])],
+    ) -> Result<(), PandaError> {
+        let n = arrays.len();
+        self.read_impl(arrays, &vec![None; n])
+    }
+
+    /// Collective **section** read: fill each client's buffer with its
+    /// part of an arbitrary rectangular section of the array — the
+    /// strided-subarray access pattern the paper's workload studies
+    /// observe ("physical periodicity in strided access to
+    /// multidimensional arrays", §4). Each buffer must be sized for
+    /// `client_region ∩ section` (see
+    /// [`PandaClient::section_bytes`]); clients whose chunk misses the
+    /// section still participate with an empty buffer. The servers read
+    /// only the subchunks overlapping the section, in file order.
+    pub fn read_section(
+        &mut self,
+        meta: &ArrayMeta,
+        file_tag: &str,
+        section: &Region,
+        data: &mut [u8],
+    ) -> Result<(), PandaError> {
+        let mut arrays = [(meta, file_tag, data)];
+        self.read_impl(&mut arrays, &[Some(section.clone())])
+    }
+
+    /// Buffer size this client must supply for a section read: the
+    /// bytes of `client_region ∩ section` (zero when disjoint).
+    pub fn section_bytes(&self, meta: &ArrayMeta, section: &Region) -> usize {
+        meta.client_region(self.rank)
+            .intersect(section)
+            .map(|r| r.num_bytes(meta.elem_size()))
+            .unwrap_or(0)
+    }
+
+    fn read_impl(
+        &mut self,
+        arrays: &mut [(&ArrayMeta, &str, &mut [u8])],
+        sections: &[Option<Region>],
+    ) -> Result<(), PandaError> {
+        let heads: Vec<(&ArrayMeta, &str)> = arrays.iter().map(|a| (a.0, a.1)).collect();
+
+        // Receive targets: my chunk, or its intersection with the
+        // section. Disjoint sections leave an empty target.
+        let regions: Vec<Region> = arrays
+            .iter()
+            .zip(sections)
+            .map(|(a, sec)| {
+                let mine = a.0.client_region(self.rank);
+                match sec {
+                    None => mine,
+                    Some(s) => mine
+                        .intersect(s)
+                        .unwrap_or_else(|| Region::empty(mine.rank())),
+                }
+            })
+            .collect();
+        for ((a, region), sec) in arrays.iter().zip(&regions).zip(sections) {
+            let expected = region.num_bytes(a.0.elem_size());
+            if a.2.len() != expected {
+                return Err(PandaError::BadClientBuffer {
+                    array: a.0.name().to_string(),
+                    expected,
+                    actual: a.2.len(),
+                });
+            }
+            let _ = sec;
+        }
+
+        // How many pieces will land here, per the shared planner.
+        let expected: usize = heads
+            .iter()
+            .zip(sections)
+            .map(|((m, _), sec)| {
+                crate::plan::client_manifest_section(
+                    m,
+                    self.rank,
+                    self.num_servers,
+                    self.subchunk_bytes,
+                    sec.as_ref(),
+                )
+                .pieces
+            })
+            .sum();
+
+        self.start_collective(OpKind::Read, &heads, Some(sections))?;
+
+        let mut received = 0usize;
+        let mut released = false;
+        let mut complete = false;
+        while received < expected || !(released || complete) {
+            let (_src, msg) = recv_msg(self.transport_mut(), MatchSpec::any())?;
+            match msg {
+                Msg::Data {
+                    array,
+                    seq: _,
+                    region,
+                    payload,
+                } => {
+                    let idx = array as usize;
+                    let (meta, _, data) =
+                        arrays.get_mut(idx).ok_or_else(|| PandaError::Protocol {
+                            detail: format!("data for unknown array index {idx}"),
+                        })?;
+                    let elem = meta.elem_size();
+                    copy::unpack_region(data, &regions[idx], &region, &payload, elem)?;
+                    received += 1;
+                    if received > expected {
+                        return Err(PandaError::Protocol {
+                            detail: "more pieces than the plan predicts".to_string(),
+                        });
+                    }
+                }
+                Msg::Complete => complete = true,
+                Msg::Release => released = true,
+                other => {
+                    return Err(PandaError::Protocol {
+                        detail: format!("unexpected {:?} during read", other.tag()),
+                    })
+                }
+            }
+        }
+        self.finish_collective(complete)
+    }
+
+    /// Send the high-level collective request (master client only).
+    fn start_collective(
+        &mut self,
+        op: OpKind,
+        arrays: &[(&ArrayMeta, &str)],
+        sections: Option<&[Option<Region>]>,
+    ) -> Result<(), PandaError> {
+        if !self.is_master() {
+            return Ok(());
+        }
+        let req = CollectiveRequest {
+            op,
+            arrays: arrays
+                .iter()
+                .enumerate()
+                .map(|(i, &(meta, tag))| ArrayOp {
+                    meta: meta.clone(),
+                    file_tag: tag.to_string(),
+                    section: sections.and_then(|s| s[i].clone()),
+                })
+                .collect(),
+            subchunk_bytes: self.subchunk_bytes,
+        };
+        let dst = self.master_server();
+        send_msg(self.transport_mut(), dst, &Msg::Collective(req))
+    }
+
+    /// On completion the master client (which saw `Complete`) releases
+    /// the other clients (which then see `Release`).
+    fn finish_collective(&mut self, saw_complete: bool) -> Result<(), PandaError> {
+        if self.is_master() {
+            if !saw_complete {
+                return Err(PandaError::Protocol {
+                    detail: "master client released without Complete".to_string(),
+                });
+            }
+            for c in 1..self.num_clients {
+                send_msg(self.transport_mut(), NodeId(c), &Msg::Release)?;
+            }
+        } else if saw_complete {
+            return Err(PandaError::Protocol {
+                detail: "non-master client received Complete".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ask all servers to shut down (used by
+    /// [`crate::runtime::PandaSystem::shutdown`]; master client only).
+    pub(crate) fn send_shutdown(&mut self) -> Result<(), PandaError> {
+        for s in 0..self.num_servers {
+            let dst = NodeId(self.num_clients + s);
+            send_msg(self.transport_mut(), dst, &Msg::Shutdown)?;
+        }
+        Ok(())
+    }
+}

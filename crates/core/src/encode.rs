@@ -1,0 +1,351 @@
+//! Wire encoding for the Panda protocol.
+//!
+//! Messages cross the `panda-msg` transport as bytes (as they would with
+//! real MPI), so the protocol types need a serialization. The format is
+//! a simple little-endian TLV-free layout: fixed-width integers,
+//! length-prefixed byte strings, and composite types written field by
+//! field. It is not a public interchange format — both ends are always
+//! the same library version.
+
+use panda_schema::{DataSchema, Dist, ElementType, Mesh, Region, Shape};
+
+use crate::array::ArrayMeta;
+use crate::error::PandaError;
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a usize as u64.
+    pub fn size(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.size(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Write a slice of usizes (length-prefixed).
+    pub fn sizes(&mut self, v: &[usize]) {
+        self.size(v.len());
+        for &x in v {
+            self.size(x);
+        }
+    }
+
+    /// Write a region (lo then hi corners).
+    pub fn region(&mut self, r: &Region) {
+        self.sizes(r.lo());
+        self.sizes(r.hi());
+    }
+
+    /// Write an element type.
+    pub fn elem(&mut self, e: ElementType) {
+        match e {
+            ElementType::U8 => self.u8(0),
+            ElementType::I32 => self.u8(1),
+            ElementType::I64 => self.u8(2),
+            ElementType::F32 => self.u8(3),
+            ElementType::F64 => self.u8(4),
+            ElementType::Opaque(n) => {
+                self.u8(5);
+                self.u32(n);
+            }
+        }
+    }
+
+    /// Write a distribution directive.
+    pub fn dist(&mut self, d: Dist) {
+        match d {
+            Dist::Block => self.u8(0),
+            Dist::Star => self.u8(1),
+            Dist::Cyclic(b) => {
+                self.u8(2);
+                self.size(b);
+            }
+        }
+    }
+
+    /// Write a complete data schema.
+    pub fn schema(&mut self, s: &DataSchema) {
+        self.sizes(s.shape().dims());
+        self.elem(s.elem());
+        self.size(s.dists().len());
+        for &d in s.dists() {
+            self.dist(d);
+        }
+        self.sizes(s.mesh().dims());
+    }
+
+    /// Write array metadata (name + both schemas + subchunk override).
+    pub fn array_meta(&mut self, a: &ArrayMeta) {
+        self.str(a.name());
+        self.schema(a.memory());
+        self.schema(a.disk());
+        self.u64(a.subchunk_override().map(|b| b as u64).unwrap_or(0));
+    }
+}
+
+/// Sequential byte reader over an encoded message.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PandaError> {
+        if self.remaining() < n {
+            return Err(PandaError::Decode { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, PandaError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, PandaError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, PandaError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Read a usize (encoded as u64).
+    pub fn size(&mut self) -> Result<usize, PandaError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, PandaError> {
+        let n = self.size()?;
+        Ok(self.take(n, "bytes")?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, PandaError> {
+        String::from_utf8(self.bytes()?).map_err(|_| PandaError::Decode { context: "utf8" })
+    }
+
+    /// Read a slice of usizes.
+    pub fn sizes(&mut self) -> Result<Vec<usize>, PandaError> {
+        let n = self.size()?;
+        // Sanity-bound: each element takes 8 bytes.
+        if n > self.remaining() / 8 {
+            return Err(PandaError::Decode { context: "sizes length" });
+        }
+        (0..n).map(|_| self.size()).collect()
+    }
+
+    /// Read a region.
+    pub fn region(&mut self) -> Result<Region, PandaError> {
+        let lo = self.sizes()?;
+        let hi = self.sizes()?;
+        Region::new(&lo, &hi).map_err(|_| PandaError::Decode { context: "region" })
+    }
+
+    /// Read an element type.
+    pub fn elem(&mut self) -> Result<ElementType, PandaError> {
+        Ok(match self.u8()? {
+            0 => ElementType::U8,
+            1 => ElementType::I32,
+            2 => ElementType::I64,
+            3 => ElementType::F32,
+            4 => ElementType::F64,
+            5 => ElementType::Opaque(self.u32()?),
+            _ => return Err(PandaError::Decode { context: "elem tag" }),
+        })
+    }
+
+    /// Read a distribution directive.
+    pub fn dist(&mut self) -> Result<Dist, PandaError> {
+        Ok(match self.u8()? {
+            0 => Dist::Block,
+            1 => Dist::Star,
+            2 => Dist::Cyclic(self.size()?),
+            _ => return Err(PandaError::Decode { context: "dist tag" }),
+        })
+    }
+
+    /// Read a complete data schema.
+    pub fn schema(&mut self) -> Result<DataSchema, PandaError> {
+        let dims = self.sizes()?;
+        let elem = self.elem()?;
+        let ndists = self.size()?;
+        if ndists > 64 {
+            return Err(PandaError::Decode { context: "dists length" });
+        }
+        let dists: Vec<Dist> = (0..ndists)
+            .map(|_| self.dist())
+            .collect::<Result<_, _>>()?;
+        let mesh_dims = self.sizes()?;
+        let shape = Shape::new(&dims).map_err(|_| PandaError::Decode { context: "shape" })?;
+        let mesh = Mesh::new(&mesh_dims).map_err(|_| PandaError::Decode { context: "mesh" })?;
+        DataSchema::new(shape, elem, &dists, mesh)
+            .map_err(|_| PandaError::Decode { context: "schema" })
+    }
+
+    /// Read array metadata.
+    pub fn array_meta(&mut self) -> Result<ArrayMeta, PandaError> {
+        let name = self.str()?;
+        let memory = self.schema()?;
+        let disk = self.schema()?;
+        let override_bytes = self.u64()?;
+        let mut meta = ArrayMeta::new(name, memory, disk)
+            .map_err(|_| PandaError::Decode { context: "array meta" })?;
+        if override_bytes > 0 {
+            meta = meta.with_subchunk_bytes(override_bytes as usize);
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.size(12345);
+        w.str("panda");
+        w.bytes(&[1, 2, 3]);
+        w.sizes(&[9, 8, 7]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.size().unwrap(), 12345);
+        assert_eq!(r.str().unwrap(), "panda");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.sizes().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn region_roundtrip() {
+        let reg = Region::new(&[1, 2, 3], &[4, 5, 6]).unwrap();
+        let mut w = Writer::new();
+        w.region(&reg);
+        let buf = w.finish();
+        assert_eq!(Reader::new(&buf).region().unwrap(), reg);
+    }
+
+    #[test]
+    fn schema_and_meta_roundtrip() {
+        let shape = Shape::new(&[16, 8, 4]).unwrap();
+        let mem = DataSchema::new(
+            shape.clone(),
+            ElementType::F64,
+            &[Dist::Block, Dist::Block, Dist::Star],
+            Mesh::new(&[2, 2]).unwrap(),
+        )
+        .unwrap();
+        let disk = DataSchema::traditional_order(shape, ElementType::F64, 3).unwrap();
+        let meta = ArrayMeta::new("density", mem, disk).unwrap();
+        let mut w = Writer::new();
+        w.array_meta(&meta);
+        let buf = w.finish();
+        let got = Reader::new(&buf).array_meta().unwrap();
+        assert_eq!(got, meta);
+    }
+
+    #[test]
+    fn elem_variants_roundtrip() {
+        for e in [
+            ElementType::U8,
+            ElementType::I32,
+            ElementType::I64,
+            ElementType::F32,
+            ElementType::F64,
+            ElementType::Opaque(24),
+        ] {
+            let mut w = Writer::new();
+            w.elem(e);
+            let buf = w.finish();
+            assert_eq!(Reader::new(&buf).elem().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.u64(), Err(PandaError::Decode { .. })));
+    }
+
+    #[test]
+    fn bogus_tags_error() {
+        let buf = [9u8];
+        assert!(Reader::new(&buf).elem().is_err());
+        assert!(Reader::new(&buf).dist().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // A length prefix far larger than the buffer must not allocate.
+        let mut w = Writer::new();
+        w.size(usize::MAX / 2);
+        let buf = w.finish();
+        assert!(Reader::new(&buf).sizes().is_err());
+        assert!(Reader::new(&buf).bytes().is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The library error type.
+
+use std::fmt;
+
+use panda_fs::FsError;
+use panda_msg::MsgError;
+use panda_schema::SchemaError;
+
+/// Errors surfaced by Panda collective operations.
+#[derive(Debug)]
+pub enum PandaError {
+    /// Geometry/schema validation failed.
+    Schema(SchemaError),
+    /// The message layer failed (timeout, disconnect).
+    Msg(MsgError),
+    /// A file-system backend failed.
+    Fs(FsError),
+    /// The memory and disk schemas of an array disagree on shape or
+    /// element type.
+    SchemaMismatch {
+        /// The array name.
+        array: String,
+    },
+    /// The caller's buffer does not match its memory-chunk size.
+    BadClientBuffer {
+        /// The array name.
+        array: String,
+        /// Expected size in bytes for this client's chunk.
+        expected: usize,
+        /// Size actually provided.
+        actual: usize,
+    },
+    /// A protocol message could not be decoded (corrupt or mismatched
+    /// versions).
+    Decode {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The protocol saw a message it did not expect in this state.
+    Protocol {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A configuration value is invalid (zero nodes, mesh/client count
+    /// mismatch, ...).
+    Config {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PandaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PandaError::Schema(e) => write!(f, "schema error: {e}"),
+            PandaError::Msg(e) => write!(f, "message layer error: {e}"),
+            PandaError::Fs(e) => write!(f, "file system error: {e}"),
+            PandaError::SchemaMismatch { array } => {
+                write!(f, "memory/disk schema mismatch for array '{array}'")
+            }
+            PandaError::BadClientBuffer {
+                array,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "client buffer for array '{array}' has {actual} bytes, expected {expected}"
+            ),
+            PandaError::Decode { context } => write!(f, "failed to decode {context}"),
+            PandaError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            PandaError::Config { detail } => write!(f, "configuration error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PandaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PandaError::Schema(e) => Some(e),
+            PandaError::Msg(e) => Some(e),
+            PandaError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for PandaError {
+    fn from(e: SchemaError) -> Self {
+        PandaError::Schema(e)
+    }
+}
+
+impl From<MsgError> for PandaError {
+    fn from(e: MsgError) -> Self {
+        PandaError::Msg(e)
+    }
+}
+
+impl From<FsError> for PandaError {
+    fn from(e: FsError) -> Self {
+        PandaError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: PandaError = SchemaError::ZeroExtent { dim: 0 }.into();
+        assert!(e.to_string().contains("schema"));
+        let e: PandaError = MsgError::Disconnected.into();
+        assert!(e.to_string().contains("message layer"));
+        let e = PandaError::BadClientBuffer {
+            array: "t".into(),
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('8'));
+    }
+}

@@ -1,0 +1,428 @@
+//! Array groups and the paper's application-facing operations.
+//!
+//! Figure 2 of the paper shows the intended programming model: the
+//! application declares `Array` objects, collects them into an
+//! `ArrayGroup`, and then issues whole-group collective operations —
+//! `timestep()` inside the simulation loop, `checkpoint()` periodically,
+//! and `restart()` to resume from the last checkpoint. This module
+//! reproduces that API on top of [`PandaClient`].
+
+use panda_msg::{MatchSpec, NodeId};
+
+use crate::array::ArrayMeta;
+use crate::client::PandaClient;
+use crate::encode::{Reader, Writer};
+use crate::error::PandaError;
+use crate::protocol::{recv_msg, send_msg, tags, Msg};
+
+/// A named group of arrays written and read together.
+///
+/// All compute nodes must hold identical group definitions (same name,
+/// same arrays, same order) and call the collective methods together —
+/// Panda "assumes all clients will participate in the collective i/o at
+/// approximately the same time" (paper §2). The timestep counter
+/// advances identically on every node because every node calls
+/// [`ArrayGroup::timestep`].
+#[derive(Debug, Clone)]
+pub struct ArrayGroup {
+    name: String,
+    arrays: Vec<ArrayMeta>,
+    timesteps_taken: usize,
+    /// Number of checkpoints taken. Checkpoints alternate between two
+    /// file generations (`ckpt-a`/`ckpt-b`) so that a crash *during* a
+    /// checkpoint can never destroy the previous good one; `restart`
+    /// reads the generation of the last completed checkpoint.
+    checkpoints_taken: usize,
+}
+
+impl ArrayGroup {
+    /// Create an empty group.
+    pub fn new(name: impl Into<String>) -> Self {
+        ArrayGroup {
+            name: name.into(),
+            arrays: Vec::new(),
+            timesteps_taken: 0,
+            checkpoints_taken: 0,
+        }
+    }
+
+    /// Add an array to the group (paper: `simulation->include(...)`).
+    pub fn include(&mut self, meta: ArrayMeta) -> &mut Self {
+        self.arrays.push(meta);
+        self
+    }
+
+    /// The group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arrays in inclusion order.
+    pub fn arrays(&self) -> &[ArrayMeta] {
+        &self.arrays
+    }
+
+    /// How many timesteps have been written so far.
+    pub fn timesteps_taken(&self) -> usize {
+        self.timesteps_taken
+    }
+
+    /// File tag for array `idx` at timestep `t`.
+    pub fn timestep_tag(&self, idx: usize, t: usize) -> String {
+        format!("{}/{}.ts{}", self.name, self.arrays[idx].name(), t)
+    }
+
+    /// How many checkpoints have been written so far.
+    pub fn checkpoints_taken(&self) -> usize {
+        self.checkpoints_taken
+    }
+
+    /// File tag for array `idx` in checkpoint generation `generation`
+    /// (generations alternate between `a` and `b`).
+    pub fn checkpoint_tag(&self, idx: usize, generation: usize) -> String {
+        let g = if generation.is_multiple_of(2) { 'a' } else { 'b' };
+        format!("{}/{}.ckpt-{}", self.name, self.arrays[idx].name(), g)
+    }
+
+    fn op_slices<'a>(
+        &'a self,
+        tags: &'a [String],
+        datas: &'a [&'a [u8]],
+    ) -> Vec<(&'a ArrayMeta, &'a str, &'a [u8])> {
+        self.arrays
+            .iter()
+            .zip(tags.iter())
+            .zip(datas.iter())
+            .map(|((meta, tag), &data)| (meta, tag.as_str(), data))
+            .collect()
+    }
+
+    /// Collective: output all arrays for the current timestep and
+    /// advance the timestep counter. `datas[i]` is this node's chunk of
+    /// `arrays()[i]`.
+    pub fn timestep(
+        &mut self,
+        client: &mut PandaClient,
+        datas: &[&[u8]],
+    ) -> Result<(), PandaError> {
+        self.check_arity(datas.len())?;
+        let t = self.timesteps_taken;
+        let tags: Vec<String> = (0..self.arrays.len())
+            .map(|i| self.timestep_tag(i, t))
+            .collect();
+        client.write(&self.op_slices(&tags, datas))?;
+        self.timesteps_taken += 1;
+        Ok(())
+    }
+
+    /// Collective: write a checkpoint of all arrays.
+    ///
+    /// Generations alternate between two file sets, so the previous
+    /// checkpoint stays intact until this one has completed on every
+    /// I/O node; only then does the generation counter advance. A crash
+    /// mid-checkpoint therefore loses nothing.
+    pub fn checkpoint(
+        &mut self,
+        client: &mut PandaClient,
+        datas: &[&[u8]],
+    ) -> Result<(), PandaError> {
+        self.check_arity(datas.len())?;
+        let gen = self.checkpoints_taken;
+        let tags: Vec<String> = (0..self.arrays.len())
+            .map(|i| self.checkpoint_tag(i, gen))
+            .collect();
+        client.write(&self.op_slices(&tags, datas))?;
+        // The collective has completed (files written and synced) —
+        // commit the generation.
+        self.checkpoints_taken += 1;
+        Ok(())
+    }
+
+    /// Collective: restore all arrays from the last completed
+    /// checkpoint.
+    pub fn restart(
+        &self,
+        client: &mut PandaClient,
+        datas: &mut [&mut [u8]],
+    ) -> Result<(), PandaError> {
+        self.check_arity(datas.len())?;
+        if self.checkpoints_taken == 0 {
+            return Err(PandaError::Config {
+                detail: format!("group '{}' has no completed checkpoint", self.name),
+            });
+        }
+        let gen = self.checkpoints_taken - 1;
+        let tags: Vec<String> = (0..self.arrays.len())
+            .map(|i| self.checkpoint_tag(i, gen))
+            .collect();
+        let mut slices: Vec<(&ArrayMeta, &str, &mut [u8])> = self
+            .arrays
+            .iter()
+            .zip(tags.iter())
+            .zip(datas.iter_mut())
+            .map(|((meta, tag), data)| (meta, tag.as_str(), &mut **data))
+            .collect();
+        client.read(&mut slices)
+    }
+
+    /// Collective: read back the arrays written at timestep `t` (e.g.
+    /// for post-processing or visualization).
+    pub fn read_timestep(
+        &self,
+        client: &mut PandaClient,
+        t: usize,
+        datas: &mut [&mut [u8]],
+    ) -> Result<(), PandaError> {
+        self.check_arity(datas.len())?;
+        let tags: Vec<String> = (0..self.arrays.len())
+            .map(|i| self.timestep_tag(i, t))
+            .collect();
+        let mut slices: Vec<(&ArrayMeta, &str, &mut [u8])> = self
+            .arrays
+            .iter()
+            .zip(tags.iter())
+            .zip(datas.iter_mut())
+            .map(|((meta, tag), data)| (meta, tag.as_str(), &mut **data))
+            .collect();
+        client.read(&mut slices)
+    }
+
+    /// Collective: read a rectangular section of one array of timestep
+    /// `t` — the visualization/post-processing access pattern ("give me
+    /// plane 40 of the temperature field at step 7"). The buffer must
+    /// be sized per [`PandaClient::section_bytes`].
+    pub fn read_timestep_section(
+        &self,
+        client: &mut PandaClient,
+        t: usize,
+        array_idx: usize,
+        section: &panda_schema::Region,
+        data: &mut [u8],
+    ) -> Result<(), PandaError> {
+        let tag = self.timestep_tag(array_idx, t);
+        client.read_section(&self.arrays[array_idx], &tag, section, data)
+    }
+
+    /// Name of the group's schema manifest file on the first I/O node
+    /// (the paper's `ArrayGroup("Sim2", "simulation2.schema")`).
+    pub fn manifest_file(&self) -> String {
+        format!("{}/{}.schema", self.name, self.name)
+    }
+
+    /// Persist the group definition — name, arrays, both schemas, and
+    /// the timestep counter — to the manifest file on I/O node 0, so a
+    /// fresh process can [`ArrayGroup::load`] it and restart without
+    /// re-declaring anything. Any single client may call this; it is
+    /// idempotent.
+    pub fn save_schema(&self, client: &mut PandaClient) -> Result<(), PandaError> {
+        let server0 = NodeId(client.num_clients());
+        let file = self.manifest_file();
+        send_msg(
+            client.transport_mut(),
+            server0,
+            &Msg::RawWrite {
+                file: file.clone(),
+                offset: 0,
+                payload: self.encode_manifest(),
+            },
+        )?;
+        // The follow-up stat doubles as an acknowledgement: the server
+        // processes our messages in order, so a reply means the write
+        // has been applied.
+        let len = stat_file(client, &file)?;
+        if len == u64::MAX {
+            return Err(PandaError::Protocol {
+                detail: "manifest write was not applied".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reconstruct a group from its manifest on I/O node 0.
+    pub fn load(client: &mut PandaClient, group_name: &str) -> Result<ArrayGroup, PandaError> {
+        let file = format!("{group_name}/{group_name}.schema");
+        let len = stat_file(client, &file)?;
+        if len == u64::MAX {
+            return Err(PandaError::Fs(panda_fs::FsError::NotFound { path: file }));
+        }
+        let server0 = NodeId(client.num_clients());
+        send_msg(
+            client.transport_mut(),
+            server0,
+            &Msg::RawRead {
+                file,
+                offset: 0,
+                len,
+                seq: 0,
+            },
+        )?;
+        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
+        let Msg::RawData { payload, .. } = msg else {
+            unreachable!("matched RAW_DATA tag");
+        };
+        Self::decode_manifest(&payload)
+    }
+
+    /// Serialize the group definition to manifest bytes (name, both
+    /// counters, every array's schemas). Offline tools use this pair to
+    /// read/write `.schema` files without a running deployment.
+    pub fn encode_manifest(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.name);
+        w.size(self.timesteps_taken);
+        w.size(self.checkpoints_taken);
+        w.size(self.arrays.len());
+        for meta in &self.arrays {
+            w.array_meta(meta);
+        }
+        w.finish()
+    }
+
+    /// Inverse of [`ArrayGroup::encode_manifest`].
+    pub fn decode_manifest(payload: &[u8]) -> Result<ArrayGroup, PandaError> {
+        let mut r = Reader::new(payload);
+        let name = r.str()?;
+        let timesteps_taken = r.size()?;
+        let checkpoints_taken = r.size()?;
+        let count = r.size()?;
+        if count > 4096 {
+            return Err(PandaError::Decode {
+                context: "manifest array count",
+            });
+        }
+        let arrays: Vec<ArrayMeta> = (0..count)
+            .map(|_| r.array_meta())
+            .collect::<Result<_, _>>()?;
+        Ok(ArrayGroup {
+            name,
+            arrays,
+            timesteps_taken,
+            checkpoints_taken,
+        })
+    }
+
+    fn check_arity(&self, n: usize) -> Result<(), PandaError> {
+        if n != self.arrays.len() {
+            return Err(PandaError::Config {
+                detail: format!(
+                    "group '{}' has {} arrays but {} buffers were supplied",
+                    self.name,
+                    self.arrays.len(),
+                    n
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Query a file's length on I/O node 0; `u64::MAX` means "not found".
+fn stat_file(client: &mut PandaClient, file: &str) -> Result<u64, PandaError> {
+    let server0 = NodeId(client.num_clients());
+    send_msg(
+        client.transport_mut(),
+        server0,
+        &Msg::RawStat {
+            file: file.to_string(),
+            seq: 0,
+        },
+    )?;
+    let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_STAT_REPLY))?;
+    let Msg::RawStatReply { len, .. } = msg else {
+        unreachable!("matched RAW_STAT_REPLY tag");
+    };
+    Ok(len)
+}
+
+/// Per-client storage for a group: one correctly-sized buffer per array.
+///
+/// Convenience for applications and examples; `GroupData::slices` /
+/// `GroupData::slices_mut` adapt to the collective-call signatures.
+#[derive(Debug, Clone)]
+pub struct GroupData {
+    buffers: Vec<Vec<u8>>,
+}
+
+impl GroupData {
+    /// Allocate zeroed chunk buffers for compute node `rank`.
+    pub fn zeroed(group: &ArrayGroup, rank: usize) -> Self {
+        GroupData {
+            buffers: group
+                .arrays()
+                .iter()
+                .map(|meta| vec![0u8; meta.client_bytes(rank)])
+                .collect(),
+        }
+    }
+
+    /// Immutable views, in group order.
+    pub fn slices(&self) -> Vec<&[u8]> {
+        self.buffers.iter().map(|b| b.as_slice()).collect()
+    }
+
+    /// Mutable views, in group order.
+    pub fn slices_mut(&mut self) -> Vec<&mut [u8]> {
+        self.buffers.iter_mut().map(|b| b.as_mut_slice()).collect()
+    }
+
+    /// The buffer for array `idx`.
+    pub fn buffer(&self, idx: usize) -> &[u8] {
+        &self.buffers[idx]
+    }
+
+    /// Mutable buffer for array `idx`.
+    pub fn buffer_mut(&mut self, idx: usize) -> &mut Vec<u8> {
+        &mut self.buffers[idx]
+    }
+
+    /// Number of arrays.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// True iff the group holds no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+    fn meta(name: &str) -> ArrayMeta {
+        let mem = DataSchema::block_all(
+            Shape::new(&[8, 8]).unwrap(),
+            ElementType::F64,
+            Mesh::new(&[2, 2]).unwrap(),
+        )
+        .unwrap();
+        ArrayMeta::natural(name, mem).unwrap()
+    }
+
+    #[test]
+    fn group_bookkeeping() {
+        let mut g = ArrayGroup::new("sim2");
+        g.include(meta("temperature")).include(meta("pressure"));
+        assert_eq!(g.name(), "sim2");
+        assert_eq!(g.arrays().len(), 2);
+        assert_eq!(g.timestep_tag(0, 3), "sim2/temperature.ts3");
+        assert_eq!(g.checkpoint_tag(1, 0), "sim2/pressure.ckpt-a");
+        assert_eq!(g.checkpoint_tag(1, 1), "sim2/pressure.ckpt-b");
+        assert_eq!(g.checkpoints_taken(), 0);
+        assert_eq!(g.timesteps_taken(), 0);
+    }
+
+    #[test]
+    fn group_data_allocates_chunk_sizes() {
+        let mut g = ArrayGroup::new("g");
+        g.include(meta("a"));
+        let d = GroupData::zeroed(&g, 0);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+        // 8x8 f64 over 4 clients → 16 elements × 8 bytes each.
+        assert_eq!(d.buffer(0).len(), 16 * 8);
+        assert_eq!(d.slices()[0].len(), 128);
+    }
+}

@@ -1,0 +1,88 @@
+//! # panda-core — Panda 2.0: server-directed collective I/O
+//!
+//! A Rust reproduction of the Panda 2.0 array-I/O library described in
+//! K. E. Seamons, Y. Chen, P. Jones, J. Jozwiak, M. Winslett,
+//! *"Server-Directed Collective I/O in Panda"*, Supercomputing 1995.
+//!
+//! Panda performs collective input and output of multidimensional arrays
+//! for SPMD applications. Arrays are distributed across *compute nodes*
+//! (Panda clients) with HPF-style `BLOCK`/`*` memory schemas and stored
+//! across *I/O nodes* (Panda servers) with independent disk schemas.
+//! The key idea — **server-directed I/O** — is disk-directed I/O applied
+//! at the logical level: after a single high-level request describing
+//! the collective operation, the I/O nodes plan and *drive* the data
+//! flow, pulling (writes) or pushing (reads) array regions from/to the
+//! compute nodes in exactly the order that produces sequential file
+//! access on every disk.
+//!
+//! ## Crate layout
+//!
+//! * [`mod@array`] — array metadata: shape, element type, memory & disk
+//!   schemas ([`ArrayMeta`]);
+//! * [`group_ops`] — the paper's application-facing API (Figure 2):
+//!   [`ArrayGroup`] with `timestep` / `checkpoint` / `restart`;
+//! * [`plan`] — the server-directed planner: round-robin chunk
+//!   assignment, 1 MB subchunk schedules, client intersection lists.
+//!   Shared verbatim with the performance model in `panda-model`;
+//! * [`protocol`] + [`encode`] — the typed client/server message set and
+//!   its wire encoding;
+//! * [`client`], [`server`], [`runtime`] — the threaded runtime over
+//!   `panda-msg` transports and `panda-fs` file systems;
+//! * [`baseline`] — comparison strategies from the paper's related-work
+//!   discussion: naive client-directed I/O (traditional caching) and
+//!   two-phase I/O \[Bordawekar93\].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+//! use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+//! use panda_fs::MemFs;
+//!
+//! // A 16x16 f64 array, BLOCK,BLOCK over 4 clients, stored in
+//! // traditional order across 2 I/O nodes.
+//! let shape = Shape::new(&[16, 16]).unwrap();
+//! let memory = DataSchema::block_all(shape.clone(), ElementType::F64,
+//!     Mesh::new(&[2, 2]).unwrap()).unwrap();
+//! let disk = DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap();
+//! let meta = ArrayMeta::new("temperature", memory, disk).unwrap();
+//!
+//! let config = PandaConfig::new(4, 2);
+//! let (system, clients) = PandaSystem::launch(&config, |_| Arc::new(MemFs::new()));
+//!
+//! // Each client runs in its own thread in a real application; here we
+//! // drive them from one thread via the collective helper.
+//! let datas: Vec<Vec<u8>> = (0..4)
+//!     .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
+//!     .collect();
+//! let mut handles: Vec<_> = clients.into_iter().collect();
+//! std::thread::scope(|s| {
+//!     for (client, data) in handles.iter_mut().zip(&datas) {
+//!         let meta = &meta;
+//!         s.spawn(move || client.write(&[(meta, "temperature", data)]).unwrap());
+//!     }
+//! });
+//! system.shutdown(handles).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod baseline;
+pub mod client;
+pub mod encode;
+pub mod error;
+pub mod group_ops;
+pub mod plan;
+pub mod protocol;
+pub mod runtime;
+pub mod server;
+
+pub use array::ArrayMeta;
+pub use client::PandaClient;
+pub use error::PandaError;
+pub use group_ops::{ArrayGroup, GroupData};
+pub use plan::{build_server_plan, client_manifest, ServerPlan};
+pub use protocol::OpKind;
+pub use runtime::{PandaConfig, PandaSystem};

@@ -1,0 +1,472 @@
+//! The server-directed planner.
+//!
+//! When a collective request arrives, each Panda server independently
+//! computes its *plan* from the array's two schemas (paper §2):
+//!
+//! 1. disk chunks are implicitly assigned round-robin across the servers
+//!    — chunk `i` belongs to server `i mod S` (striping at the *chunk*
+//!    level, in contrast to the disk-block striping of other systems);
+//! 2. each assigned chunk occupies the next contiguous byte range of the
+//!    server's file for that array, in assignment order, so processing
+//!    chunks in order yields strictly sequential file access;
+//! 3. chunks larger than the subchunk cap (1 MB in all the paper's
+//!    experiments) are subdivided on the fly into file-contiguous
+//!    subchunks;
+//! 4. for each subchunk, the server computes which clients' memory
+//!    chunks intersect it; those intersections are the logical
+//!    sub-chunk requests exchanged with clients.
+//!
+//! The same functions serve both the real runtime (`server`/`client`)
+//! and the performance model (`panda-model`), which is what makes the
+//! simulated experiments faithful to the implementation.
+
+use panda_schema::{split_into_subchunks, Region};
+
+use crate::array::ArrayMeta;
+
+/// One client's share of a subchunk: the intersection of the subchunk
+/// with that client's memory chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanPiece {
+    /// Client rank (0-based compute-node index).
+    pub client: usize,
+    /// Global-array region of the piece (nonempty).
+    pub region: Region,
+    /// True iff the piece occupies a contiguous byte range of the
+    /// client's memory-chunk buffer (the natural-chunking fast path; a
+    /// strided gather/scatter otherwise).
+    pub contiguous_in_client: bool,
+    /// True iff the piece occupies a contiguous byte range of the
+    /// server's subchunk buffer. Under natural chunking both flags are
+    /// true and the piece *is* the subchunk; under reorganization the
+    /// server-side scatter is usually strided.
+    pub contiguous_in_subchunk: bool,
+}
+
+/// One ≤ cap piece of a disk chunk, with its placement in the server's
+/// file and the client pieces that compose it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSubchunk {
+    /// Global-array region of the subchunk.
+    pub region: Region,
+    /// Absolute byte offset in the server's per-array file.
+    pub file_offset: u64,
+    /// Subchunk size in bytes.
+    pub bytes: usize,
+    /// Client intersections, ordered by client rank. Their regions tile
+    /// the subchunk exactly.
+    pub pieces: Vec<PlanPiece>,
+}
+
+/// One disk chunk assigned to a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChunk {
+    /// Linear index of the chunk in the disk chunk grid.
+    pub chunk_idx: usize,
+    /// Global-array region of the chunk.
+    pub region: Region,
+    /// Absolute byte offset of the chunk in the server's file.
+    pub file_offset: u64,
+    /// The chunk's subchunks, in file order.
+    pub subchunks: Vec<PlanSubchunk>,
+}
+
+/// A server's complete schedule for one array in one collective op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerPlan {
+    /// This server's index (0-based among the I/O nodes).
+    pub server: usize,
+    /// Total number of I/O nodes.
+    pub num_servers: usize,
+    /// Assigned chunks in file order.
+    pub chunks: Vec<PlanChunk>,
+    /// Total bytes this server reads/writes for the array.
+    pub total_bytes: u64,
+}
+
+impl ServerPlan {
+    /// Iterate all subchunks in file order.
+    pub fn subchunks(&self) -> impl Iterator<Item = &PlanSubchunk> {
+        self.chunks.iter().flat_map(|c| c.subchunks.iter())
+    }
+
+    /// Total number of client pieces (== messages each direction).
+    pub fn num_pieces(&self) -> usize {
+        self.subchunks().map(|s| s.pieces.len()).sum()
+    }
+}
+
+/// The disk-chunk indices assigned to `server` out of `num_servers`, in
+/// assignment (round-robin) order.
+pub fn assigned_chunks(
+    num_chunks: usize,
+    server: usize,
+    num_servers: usize,
+) -> impl Iterator<Item = usize> {
+    assert!(server < num_servers, "server index out of range");
+    (server..num_chunks).step_by(num_servers)
+}
+
+/// Build `server`'s plan for `array`.
+///
+/// `subchunk_bytes` is the on-the-fly subdivision cap
+/// ([`panda_schema::DEFAULT_SUBCHUNK_BYTES`] reproduces the paper).
+///
+/// ```
+/// use panda_core::{build_server_plan, ArrayMeta};
+/// use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+/// let shape = Shape::new(&[16, 16]).unwrap();
+/// let memory = DataSchema::block_all(shape.clone(), ElementType::F64,
+///     Mesh::new(&[2, 2]).unwrap()).unwrap();
+/// let disk = DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap();
+/// let meta = ArrayMeta::new("t", memory, disk).unwrap();
+/// let plan = build_server_plan(&meta, 0, 2, 1 << 20);
+/// // Server 0 owns the first row-slab: one chunk, one subchunk,
+/// // assembled from the two clients owning its columns.
+/// assert_eq!(plan.chunks.len(), 1);
+/// assert_eq!(plan.total_bytes, 8 * 16 * 8);
+/// assert_eq!(plan.subchunks().next().unwrap().pieces.len(), 2);
+/// ```
+pub fn build_server_plan(
+    array: &ArrayMeta,
+    server: usize,
+    num_servers: usize,
+    subchunk_bytes: usize,
+) -> ServerPlan {
+    let subchunk_bytes = array.effective_subchunk(subchunk_bytes);
+    let disk_grid = array.disk_grid();
+    let mem_grid = array.memory_grid();
+    let elem = array.elem_size();
+
+    let mut chunks = Vec::new();
+    let mut file_offset = 0u64;
+    for chunk_idx in assigned_chunks(disk_grid.num_chunks(), server, num_servers) {
+        let region = disk_grid.chunk_region(chunk_idx);
+        if region.is_empty() {
+            continue;
+        }
+        let pieces = split_into_subchunks(&region, elem, subchunk_bytes)
+            .expect("nonzero subchunk cap");
+        let mut subchunks = Vec::with_capacity(pieces.len());
+        for sub in pieces {
+            let mut plan_pieces = Vec::new();
+            for client in mem_grid.chunks_intersecting(&sub.region) {
+                let client_region = mem_grid.chunk_region(client);
+                let isect = client_region
+                    .intersect(&sub.region)
+                    .expect("intersecting chunk must intersect");
+                let contiguous_in_client =
+                    panda_schema::copy::is_contiguous_in(&client_region, &isect);
+                let contiguous_in_subchunk =
+                    panda_schema::copy::is_contiguous_in(&sub.region, &isect);
+                plan_pieces.push(PlanPiece {
+                    client,
+                    region: isect,
+                    contiguous_in_client,
+                    contiguous_in_subchunk,
+                });
+            }
+            subchunks.push(PlanSubchunk {
+                file_offset: file_offset + sub.offset_in_chunk as u64,
+                bytes: sub.bytes,
+                region: sub.region,
+                pieces: plan_pieces,
+            });
+        }
+        let chunk_bytes = region.num_bytes(elem) as u64;
+        chunks.push(PlanChunk {
+            chunk_idx,
+            region,
+            file_offset,
+            subchunks,
+        });
+        file_offset += chunk_bytes;
+    }
+    ServerPlan {
+        server,
+        num_servers,
+        chunks,
+        total_bytes: file_offset,
+    }
+}
+
+/// What one client will exchange during a collective on `array`: piece
+/// count and byte total. Clients use this on the read path to know when
+/// they have received everything; it is derived from the same planning
+/// functions the servers run, so the two sides always agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientManifest {
+    /// Number of pieces this client sends (write) or receives (read).
+    pub pieces: usize,
+    /// Total payload bytes across those pieces.
+    pub bytes: u64,
+}
+
+/// Compute the manifest of `client` for one collective on `array`.
+pub fn client_manifest(
+    array: &ArrayMeta,
+    client: usize,
+    num_servers: usize,
+    subchunk_bytes: usize,
+) -> ClientManifest {
+    client_manifest_section(array, client, num_servers, subchunk_bytes, None)
+}
+
+/// As [`client_manifest`], restricted to an array section: only pieces
+/// overlapping `section` are counted (the section-read collective).
+pub fn client_manifest_section(
+    array: &ArrayMeta,
+    client: usize,
+    num_servers: usize,
+    subchunk_bytes: usize,
+    section: Option<&Region>,
+) -> ClientManifest {
+    let subchunk_bytes = array.effective_subchunk(subchunk_bytes);
+    let disk_grid = array.disk_grid();
+    let elem = array.elem_size();
+    let my_region = array.client_region(client);
+    // The region this client actually receives into.
+    let target = match section {
+        None => my_region.clone(),
+        Some(sec) => match my_region.intersect(sec) {
+            Some(t) => t,
+            None => return ClientManifest::default(),
+        },
+    };
+    if target.is_empty() {
+        return ClientManifest::default();
+    }
+    let mut manifest = ClientManifest::default();
+    // Walk only the disk chunks that overlap the target; the
+    // round-robin owner is irrelevant to the count.
+    let _ = num_servers; // ownership does not affect the piece set
+    for chunk_idx in disk_grid.chunks_intersecting(&target) {
+        let region = disk_grid.chunk_region(chunk_idx);
+        for sub in split_into_subchunks(&region, elem, subchunk_bytes)
+            .expect("nonzero subchunk cap")
+        {
+            if let Some(isect) = sub.region.intersect(&target) {
+                manifest.pieces += 1;
+                manifest.bytes += isect.num_bytes(elem) as u64;
+            }
+        }
+    }
+    manifest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+    fn natural_array(dims: &[usize], mesh: &[usize]) -> ArrayMeta {
+        let mem = DataSchema::block_all(
+            Shape::new(dims).unwrap(),
+            ElementType::F64,
+            Mesh::new(mesh).unwrap(),
+        )
+        .unwrap();
+        ArrayMeta::natural("a", mem).unwrap()
+    }
+
+    fn traditional_array(dims: &[usize], mesh: &[usize], servers: usize) -> ArrayMeta {
+        let shape = Shape::new(dims).unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(mesh).unwrap())
+                .unwrap();
+        let disk = DataSchema::traditional_order(shape, ElementType::F64, servers).unwrap();
+        ArrayMeta::new("a", mem, disk).unwrap()
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        assert_eq!(
+            assigned_chunks(8, 0, 3).collect::<Vec<_>>(),
+            vec![0, 3, 6]
+        );
+        assert_eq!(
+            assigned_chunks(8, 2, 3).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert_eq!(assigned_chunks(2, 1, 4).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(assigned_chunks(2, 3, 4).count(), 0);
+    }
+
+    #[test]
+    fn plans_cover_array_exactly_once() {
+        for (array, servers) in [
+            (natural_array(&[16, 16], &[2, 2]), 2usize),
+            (natural_array(&[16, 16], &[2, 2]), 3),
+            (traditional_array(&[16, 12, 8], &[2, 2, 2], 3), 3),
+            (traditional_array(&[17, 13], &[3, 2], 4), 4),
+        ] {
+            let elem = array.elem_size();
+            let total: u64 = (0..servers)
+                .map(|s| build_server_plan(&array, s, servers, 128).total_bytes)
+                .sum();
+            assert_eq!(total, array.total_bytes() as u64);
+
+            // Every array index must be covered exactly once by pieces.
+            let mut counts = vec![0u32; array.shape().num_elements()];
+            for s in 0..servers {
+                let plan = build_server_plan(&array, s, servers, 128);
+                for sub in plan.subchunks() {
+                    // Pieces tile the subchunk.
+                    let piece_elems: usize =
+                        sub.pieces.iter().map(|p| p.region.num_elements()).sum();
+                    assert_eq!(piece_elems * elem, sub.bytes);
+                    for p in &sub.pieces {
+                        let shape = p.region.shape().unwrap();
+                        for local in shape.iter_indices() {
+                            let global: Vec<usize> = local
+                                .iter()
+                                .zip(p.region.lo())
+                                .map(|(&l, &o)| l + o)
+                                .collect();
+                            counts[array.shape().linearize(&global)] += 1;
+                        }
+                    }
+                }
+            }
+            assert!(counts.iter().all(|&c| c == 1), "each index exactly once");
+        }
+    }
+
+    #[test]
+    fn file_offsets_are_sequential() {
+        let array = traditional_array(&[32, 8], &[2, 2], 3);
+        for s in 0..3 {
+            let plan = build_server_plan(&array, s, 3, 64);
+            let mut expected = 0u64;
+            for sub in plan.subchunks() {
+                assert_eq!(sub.file_offset, expected, "strictly sequential file layout");
+                expected += sub.bytes as u64;
+            }
+            assert_eq!(expected, plan.total_bytes);
+        }
+    }
+
+    #[test]
+    fn natural_chunking_has_single_contiguous_pieces() {
+        // Memory schema == disk schema: every subchunk lies inside
+        // exactly one client chunk and is contiguous there.
+        let array = natural_array(&[16, 16], &[2, 2]);
+        for s in 0..2 {
+            let plan = build_server_plan(&array, s, 2, 256);
+            assert!(!plan.chunks.is_empty());
+            for sub in plan.subchunks() {
+                assert_eq!(sub.pieces.len(), 1, "one client per subchunk");
+                assert!(sub.pieces[0].contiguous_in_client);
+                // And under natural chunking chunk_idx == client rank.
+            }
+            for chunk in &plan.chunks {
+                for sub in &chunk.subchunks {
+                    assert_eq!(sub.pieces[0].client, chunk.chunk_idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reorganization_has_multiple_strided_pieces() {
+        // 8x8 BLOCK,BLOCK memory over 2x2, disk BLOCK,* over 2 servers:
+        // a disk slab spans both columns of clients.
+        let array = traditional_array(&[8, 8], &[2, 2], 2);
+        let plan = build_server_plan(&array, 0, 2, 1 << 20);
+        let sub = plan.subchunks().next().unwrap();
+        assert_eq!(sub.pieces.len(), 2, "slab crosses two memory chunks");
+        // With a row-slab disk schema the pieces are contiguous on the
+        // client side but strided inside the server's subchunk buffer.
+        assert!(sub.pieces.iter().all(|p| p.contiguous_in_client));
+        assert!(sub.pieces.iter().any(|p| !p.contiguous_in_subchunk));
+
+        // A column-slab (`*,BLOCK`) disk schema strides the CLIENT side:
+        // each piece is a half-width sub-box of the client's chunk.
+        let shape = Shape::new(&[8, 8]).unwrap();
+        let mem = DataSchema::block_all(
+            shape.clone(),
+            ElementType::F64,
+            Mesh::new(&[2, 2]).unwrap(),
+        )
+        .unwrap();
+        let disk = DataSchema::new(
+            shape,
+            ElementType::F64,
+            &[panda_schema::Dist::Star, panda_schema::Dist::Block],
+            Mesh::line(4).unwrap(),
+        )
+        .unwrap();
+        let array = ArrayMeta::new("a", mem, disk).unwrap();
+        // Disk chunk 0 = all rows x cols [0,2): a half-width stripe of
+        // the clients' 4x4 chunks.
+        let plan = build_server_plan(&array, 0, 4, 1 << 20);
+        let sub = plan.subchunks().next().unwrap();
+        assert_eq!(sub.pieces.len(), 2);
+        assert!(sub.pieces.iter().all(|p| !p.contiguous_in_client));
+    }
+
+    #[test]
+    fn empty_trailing_chunks_are_skipped() {
+        // 3 rows over 5 mesh cells: chunks 3,4 empty.
+        let mem = DataSchema::new(
+            Shape::new(&[3, 4]).unwrap(),
+            ElementType::U8,
+            &[panda_schema::Dist::Block, panda_schema::Dist::Star],
+            Mesh::line(5).unwrap(),
+        )
+        .unwrap();
+        let array = ArrayMeta::natural("e", mem).unwrap();
+        let mut seen = 0usize;
+        for s in 0..2 {
+            let plan = build_server_plan(&array, s, 2, 1024);
+            for c in &plan.chunks {
+                assert!(!c.region.is_empty());
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn client_manifest_matches_server_plans() {
+        for (array, servers, cap) in [
+            (natural_array(&[16, 16], &[2, 2]), 2usize, 128usize),
+            (traditional_array(&[16, 12, 8], &[2, 2, 2], 3), 3, 256),
+            (traditional_array(&[9, 7], &[4, 2], 3), 3, 64),
+        ] {
+            let num_clients = array.num_clients();
+            let mut pieces = vec![0usize; num_clients];
+            let mut bytes = vec![0u64; num_clients];
+            for s in 0..servers {
+                let plan = build_server_plan(&array, s, servers, cap);
+                for sub in plan.subchunks() {
+                    for p in &sub.pieces {
+                        pieces[p.client] += 1;
+                        bytes[p.client] += p.region.num_bytes(array.elem_size()) as u64;
+                    }
+                }
+            }
+            for c in 0..num_clients {
+                let m = client_manifest(&array, c, servers, cap);
+                assert_eq!(m.pieces, pieces[c], "client {c}");
+                assert_eq!(m.bytes, bytes[c], "client {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_traditional_order_concat() {
+        // Paper §3: 512 MB array 512^3 f64... scaled down: BLOCK,*,*
+        // over n servers means server i holds plane-slab i, so
+        // concatenating files 0..n yields traditional order. Verify the
+        // plan's chunk regions are exactly the ordered slabs.
+        let array = traditional_array(&[16, 8, 8], &[2, 2, 2], 4);
+        for s in 0..4 {
+            let plan = build_server_plan(&array, s, 4, 1 << 20);
+            assert_eq!(plan.chunks.len(), 1);
+            let r = &plan.chunks[0].region;
+            assert_eq!(r.lo(), &[4 * s, 0, 0]);
+            assert_eq!(r.hi(), &[4 * (s + 1), 8, 8]);
+        }
+    }
+}

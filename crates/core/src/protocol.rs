@@ -1,0 +1,513 @@
+//! The typed Panda message set and its tags.
+//!
+//! One collective operation exchanges these messages (paper §2):
+//!
+//! ```text
+//! master client ── Collective ──► master server
+//! master server ── Collective ──► every other server      (broadcast)
+//! server        ── Fetch ───────► client                  (write path)
+//! client        ── Data ────────► server                  (write path)
+//! server        ── Data ────────► client                  (read path)
+//! server        ── ServerDone ──► master server
+//! master server ── Complete ────► master client
+//! master client ── Release ─────► every other client
+//! ```
+//!
+//! The `Raw*` messages implement the comparison baselines (naive
+//! client-directed I/O and two-phase I/O), where compute nodes — not
+//! servers — decide where in each file data lands.
+
+use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_schema::Region;
+
+use crate::array::ArrayMeta;
+use crate::encode::{Reader, Writer};
+use crate::error::PandaError;
+
+/// Message tags, one per message kind (used for selective receive).
+pub mod tags {
+    /// Collective request broadcast.
+    pub const COLLECTIVE: u32 = 1;
+    /// Server asks a client for a region (write path).
+    pub const FETCH: u32 = 2;
+    /// Region payload (either direction).
+    pub const DATA: u32 = 3;
+    /// Server reports completion to the master server.
+    pub const SERVER_DONE: u32 = 4;
+    /// Master server reports completion to the master client.
+    pub const COMPLETE: u32 = 5;
+    /// Master client releases the other clients.
+    pub const RELEASE: u32 = 6;
+    /// Orderly server shutdown.
+    pub const SHUTDOWN: u32 = 7;
+    /// Baselines: positioned write request.
+    pub const RAW_WRITE: u32 = 8;
+    /// Baselines: positioned read request.
+    pub const RAW_READ: u32 = 9;
+    /// Baselines: read reply payload.
+    pub const RAW_DATA: u32 = 10;
+    /// Baselines: client finished issuing raw operations.
+    pub const RAW_DONE: u32 = 11;
+    /// Baselines: acknowledgement / barrier reply.
+    pub const RAW_ACK: u32 = 12;
+    /// File length query (schema manifests, tools).
+    pub const RAW_STAT: u32 = 13;
+    /// Reply to [`RAW_STAT`].
+    pub const RAW_STAT_REPLY: u32 = 14;
+}
+
+/// Direction of a collective operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Write arrays from compute-node memory to disk.
+    Write,
+    /// Read arrays from disk into compute-node memory.
+    Read,
+}
+
+/// One array inside a collective request, with the file tag its per-
+/// server files are derived from (`"<tag>.s<server>"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayOp {
+    /// Array metadata (both schemas).
+    pub meta: ArrayMeta,
+    /// Base file name for this operation.
+    pub file_tag: String,
+    /// For section reads: restrict the collective to this global-array
+    /// region. `None` moves the whole array. Only valid for reads.
+    pub section: Option<Region>,
+}
+
+/// The single high-level request that starts a collective operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveRequest {
+    /// Write or read.
+    pub op: OpKind,
+    /// The arrays, in execution order.
+    pub arrays: Vec<ArrayOp>,
+    /// Subchunk subdivision cap in bytes.
+    pub subchunk_bytes: usize,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Start a collective operation.
+    Collective(CollectiveRequest),
+    /// Server → client: send me this region of array `array`.
+    Fetch {
+        /// Index of the array within the collective request.
+        array: u32,
+        /// Request id, echoed back in the matching [`Msg::Data`].
+        seq: u64,
+        /// Requested global-array region.
+        region: Region,
+    },
+    /// Region payload, client → server (write) or server → client
+    /// (read). The payload is the region packed in row-major order.
+    Data {
+        /// Index of the array within the collective request.
+        array: u32,
+        /// Request id (write path) or chunk id (two-phase exchange).
+        seq: u64,
+        /// The region carried.
+        region: Region,
+        /// Packed row-major bytes of the region.
+        payload: Vec<u8>,
+    },
+    /// Server → master server: my plan is complete.
+    ServerDone,
+    /// Master server → master client: the collective is complete.
+    Complete,
+    /// Master client → other clients: resume computation.
+    Release,
+    /// Terminate a server thread.
+    Shutdown,
+    /// Baselines: write `payload` at `offset` of `file`.
+    RawWrite {
+        /// Server-local file name.
+        file: String,
+        /// Byte offset.
+        offset: u64,
+        /// Data to write.
+        payload: Vec<u8>,
+    },
+    /// Baselines: read `len` bytes at `offset` of `file`.
+    RawRead {
+        /// Server-local file name.
+        file: String,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+        /// Request id echoed in the [`Msg::RawData`] reply.
+        seq: u64,
+    },
+    /// Baselines: reply to [`Msg::RawRead`].
+    RawData {
+        /// Echoed request id.
+        seq: u64,
+        /// The bytes read.
+        payload: Vec<u8>,
+    },
+    /// Baselines: this client has issued all its raw operations for the
+    /// current logical op; the server replies [`Msg::RawAck`] once all
+    /// clients have done so and files are synced.
+    RawDone,
+    /// Baselines: completion barrier reply.
+    RawAck,
+    /// Query a file's length (used for schema manifests whose size the
+    /// reader does not know in advance).
+    RawStat {
+        /// Server-local file name.
+        file: String,
+        /// Request id echoed in the reply.
+        seq: u64,
+    },
+    /// Reply to [`Msg::RawStat`].
+    RawStatReply {
+        /// Echoed request id.
+        seq: u64,
+        /// File length in bytes, or `u64::MAX` if the file does not
+        /// exist.
+        len: u64,
+    },
+}
+
+impl Msg {
+    /// The transport tag for this message kind.
+    pub fn tag(&self) -> u32 {
+        match self {
+            Msg::Collective(_) => tags::COLLECTIVE,
+            Msg::Fetch { .. } => tags::FETCH,
+            Msg::Data { .. } => tags::DATA,
+            Msg::ServerDone => tags::SERVER_DONE,
+            Msg::Complete => tags::COMPLETE,
+            Msg::Release => tags::RELEASE,
+            Msg::Shutdown => tags::SHUTDOWN,
+            Msg::RawWrite { .. } => tags::RAW_WRITE,
+            Msg::RawRead { .. } => tags::RAW_READ,
+            Msg::RawData { .. } => tags::RAW_DATA,
+            Msg::RawDone => tags::RAW_DONE,
+            Msg::RawAck => tags::RAW_ACK,
+            Msg::RawStat { .. } => tags::RAW_STAT,
+            Msg::RawStatReply { .. } => tags::RAW_STAT_REPLY,
+        }
+    }
+
+    /// Encode the message body (the tag travels separately).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Msg::Collective(req) => {
+                w.u8(match req.op {
+                    OpKind::Write => 0,
+                    OpKind::Read => 1,
+                });
+                w.size(req.subchunk_bytes);
+                w.size(req.arrays.len());
+                for a in &req.arrays {
+                    w.array_meta(&a.meta);
+                    w.str(&a.file_tag);
+                    match &a.section {
+                        None => w.u8(0),
+                        Some(sec) => {
+                            w.u8(1);
+                            w.region(sec);
+                        }
+                    }
+                }
+            }
+            Msg::Fetch { array, seq, region } => {
+                w.u32(*array);
+                w.u64(*seq);
+                w.region(region);
+            }
+            Msg::Data {
+                array,
+                seq,
+                region,
+                payload,
+            } => {
+                w.u32(*array);
+                w.u64(*seq);
+                w.region(region);
+                w.bytes(payload);
+            }
+            Msg::ServerDone | Msg::Complete | Msg::Release | Msg::Shutdown | Msg::RawDone
+            | Msg::RawAck => {}
+            Msg::RawWrite {
+                file,
+                offset,
+                payload,
+            } => {
+                w.str(file);
+                w.u64(*offset);
+                w.bytes(payload);
+            }
+            Msg::RawRead {
+                file,
+                offset,
+                len,
+                seq,
+            } => {
+                w.str(file);
+                w.u64(*offset);
+                w.u64(*len);
+                w.u64(*seq);
+            }
+            Msg::RawData { seq, payload } => {
+                w.u64(*seq);
+                w.bytes(payload);
+            }
+            Msg::RawStat { file, seq } => {
+                w.str(file);
+                w.u64(*seq);
+            }
+            Msg::RawStatReply { seq, len } => {
+                w.u64(*seq);
+                w.u64(*len);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a message from its tag and body.
+    pub fn decode(tag: u32, payload: &[u8]) -> Result<Msg, PandaError> {
+        let mut r = Reader::new(payload);
+        let msg = match tag {
+            tags::COLLECTIVE => {
+                let op = match r.u8()? {
+                    0 => OpKind::Write,
+                    1 => OpKind::Read,
+                    _ => return Err(PandaError::Decode { context: "op kind" }),
+                };
+                let subchunk_bytes = r.size()?;
+                let n = r.size()?;
+                if n > 4096 {
+                    return Err(PandaError::Decode {
+                        context: "array count",
+                    });
+                }
+                let mut arrays = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let meta = r.array_meta()?;
+                    let file_tag = r.str()?;
+                    let section = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.region()?),
+                        _ => return Err(PandaError::Decode { context: "section flag" }),
+                    };
+                    arrays.push(ArrayOp {
+                        meta,
+                        file_tag,
+                        section,
+                    });
+                }
+                Msg::Collective(CollectiveRequest {
+                    op,
+                    arrays,
+                    subchunk_bytes,
+                })
+            }
+            tags::FETCH => Msg::Fetch {
+                array: r.u32()?,
+                seq: r.u64()?,
+                region: r.region()?,
+            },
+            tags::DATA => Msg::Data {
+                array: r.u32()?,
+                seq: r.u64()?,
+                region: r.region()?,
+                payload: r.bytes()?,
+            },
+            tags::SERVER_DONE => Msg::ServerDone,
+            tags::COMPLETE => Msg::Complete,
+            tags::RELEASE => Msg::Release,
+            tags::SHUTDOWN => Msg::Shutdown,
+            tags::RAW_WRITE => Msg::RawWrite {
+                file: r.str()?,
+                offset: r.u64()?,
+                payload: r.bytes()?,
+            },
+            tags::RAW_READ => Msg::RawRead {
+                file: r.str()?,
+                offset: r.u64()?,
+                len: r.u64()?,
+                seq: r.u64()?,
+            },
+            tags::RAW_DATA => Msg::RawData {
+                seq: r.u64()?,
+                payload: r.bytes()?,
+            },
+            tags::RAW_DONE => Msg::RawDone,
+            tags::RAW_ACK => Msg::RawAck,
+            tags::RAW_STAT => Msg::RawStat {
+                file: r.str()?,
+                seq: r.u64()?,
+            },
+            tags::RAW_STAT_REPLY => Msg::RawStatReply {
+                seq: r.u64()?,
+                len: r.u64()?,
+            },
+            _ => {
+                return Err(PandaError::Decode {
+                    context: "unknown tag",
+                })
+            }
+        };
+        Ok(msg)
+    }
+}
+
+/// Send a typed message.
+pub fn send_msg<T: Transport + ?Sized>(
+    t: &mut T,
+    dst: NodeId,
+    msg: &Msg,
+) -> Result<(), PandaError> {
+    t.send(dst, msg.tag(), msg.encode())?;
+    Ok(())
+}
+
+/// Receive and decode the next message matching `spec`.
+pub fn recv_msg<T: Transport + ?Sized>(
+    t: &mut T,
+    spec: MatchSpec,
+) -> Result<(NodeId, Msg), PandaError> {
+    let env = t.recv_matching(spec)?;
+    let msg = Msg::decode(env.tag, &env.payload)?;
+    Ok((env.src, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+    fn sample_meta() -> ArrayMeta {
+        let shape = Shape::new(&[8, 8]).unwrap();
+        let mem = DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+            .unwrap();
+        let disk = DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap();
+        ArrayMeta::new("t", mem, disk).unwrap()
+    }
+
+    fn roundtrip(msg: Msg) {
+        let tag = msg.tag();
+        let bytes = msg.encode();
+        let back = Msg::decode(tag, &bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Msg::Collective(CollectiveRequest {
+            op: OpKind::Write,
+            arrays: vec![
+                ArrayOp {
+                    meta: sample_meta(),
+                    file_tag: "t.ts0".into(),
+                    section: None,
+                },
+                ArrayOp {
+                    meta: sample_meta(),
+                    file_tag: "t.ckpt".into(),
+                    section: Some(Region::new(&[0, 2], &[4, 6]).unwrap()),
+                },
+            ],
+            subchunk_bytes: 1 << 20,
+        }));
+        roundtrip(Msg::Collective(CollectiveRequest {
+            op: OpKind::Read,
+            arrays: vec![],
+            subchunk_bytes: 4096,
+        }));
+        roundtrip(Msg::Fetch {
+            array: 3,
+            seq: 99,
+            region: Region::new(&[0, 1], &[4, 5]).unwrap(),
+        });
+        roundtrip(Msg::Data {
+            array: 0,
+            seq: 7,
+            region: Region::new(&[2], &[6]).unwrap(),
+            payload: vec![1, 2, 3, 4],
+        });
+        roundtrip(Msg::ServerDone);
+        roundtrip(Msg::Complete);
+        roundtrip(Msg::Release);
+        roundtrip(Msg::Shutdown);
+        roundtrip(Msg::RawWrite {
+            file: "a.s0".into(),
+            offset: 512,
+            payload: vec![9; 16],
+        });
+        roundtrip(Msg::RawRead {
+            file: "a.s0".into(),
+            offset: 0,
+            len: 64,
+            seq: 5,
+        });
+        roundtrip(Msg::RawData {
+            seq: 5,
+            payload: vec![0; 64],
+        });
+        roundtrip(Msg::RawDone);
+        roundtrip(Msg::RawAck);
+        roundtrip(Msg::RawStat {
+            file: "g/g.schema".into(),
+            seq: 11,
+        });
+        roundtrip(Msg::RawStatReply { seq: 11, len: 42 });
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let msgs = [
+            tags::COLLECTIVE,
+            tags::FETCH,
+            tags::DATA,
+            tags::SERVER_DONE,
+            tags::COMPLETE,
+            tags::RELEASE,
+            tags::SHUTDOWN,
+            tags::RAW_WRITE,
+            tags::RAW_READ,
+            tags::RAW_DATA,
+            tags::RAW_DONE,
+            tags::RAW_ACK,
+            tags::RAW_STAT,
+            tags::RAW_STAT_REPLY,
+        ];
+        let mut sorted = msgs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), msgs.len());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert!(matches!(
+            Msg::decode(999, &[]),
+            Err(PandaError::Decode { .. })
+        ));
+    }
+
+    #[test]
+    fn send_recv_over_fabric() {
+        use panda_msg::InProcFabric;
+        let (mut eps, _) = InProcFabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let msg = Msg::Fetch {
+            array: 1,
+            seq: 2,
+            region: Region::new(&[0], &[3]).unwrap(),
+        };
+        send_msg(&mut a, NodeId(1), &msg).unwrap();
+        let (src, got) = recv_msg(&mut b, MatchSpec::tag(tags::FETCH)).unwrap();
+        assert_eq!(src, NodeId(0));
+        assert_eq!(got, msg);
+    }
+}

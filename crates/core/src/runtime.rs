@@ -1,0 +1,274 @@
+//! Launching and tearing down a Panda deployment.
+//!
+//! A [`PandaSystem`] owns the I/O-node threads; [`PandaClient`]s are
+//! handed to the application, one per compute node. Ranks follow the
+//! paper's architecture diagram (Figure 1): clients occupy ranks
+//! `0..num_clients` on the fabric, servers `num_clients..num_clients+S`.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use panda_fs::FileSystem;
+use panda_msg::{FabricStats, InProcFabric};
+
+use crate::client::PandaClient;
+use crate::error::PandaError;
+use crate::server::ServerNode;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct PandaConfig {
+    /// Number of compute nodes (Panda clients).
+    pub num_clients: usize,
+    /// Number of I/O nodes (Panda servers).
+    pub num_servers: usize,
+    /// Subchunk subdivision cap in bytes (1 MB in all the paper's
+    /// experiments).
+    pub subchunk_bytes: usize,
+    /// Blocking-receive timeout; a deadlocked protocol fails loudly
+    /// instead of hanging.
+    pub recv_timeout: Duration,
+}
+
+impl PandaConfig {
+    /// A configuration with the paper's defaults (1 MB subchunks).
+    pub fn new(num_clients: usize, num_servers: usize) -> Self {
+        PandaConfig {
+            num_clients,
+            num_servers,
+            subchunk_bytes: panda_schema::DEFAULT_SUBCHUNK_BYTES,
+            recv_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Override the subchunk cap.
+    pub fn with_subchunk_bytes(mut self, bytes: usize) -> Self {
+        self.subchunk_bytes = bytes;
+        self
+    }
+
+    /// Override the receive timeout.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    fn validate(&self) -> Result<(), PandaError> {
+        if self.num_clients == 0 || self.num_servers == 0 {
+            return Err(PandaError::Config {
+                detail: "need at least one client and one server".to_string(),
+            });
+        }
+        if self.subchunk_bytes == 0 {
+            return Err(PandaError::Config {
+                detail: "subchunk cap must be nonzero".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A running Panda deployment: the server threads plus handles for
+/// inspection.
+pub struct PandaSystem {
+    handles: Vec<JoinHandle<Result<(), PandaError>>>,
+    /// Each I/O node's file system, for inspection by tests and tools.
+    pub filesystems: Vec<Arc<dyn FileSystem>>,
+    /// Fabric-wide message statistics.
+    pub fabric_stats: Arc<FabricStats>,
+    num_clients: usize,
+    num_servers: usize,
+}
+
+impl PandaSystem {
+    /// Launch the deployment: spawns one thread per I/O node and returns
+    /// one [`PandaClient`] per compute node (index == client rank).
+    ///
+    /// `fs_factory` supplies each server's file system (the paper's
+    /// "each processor has its own AIX file system"); it is called with
+    /// the server index.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid; use
+    /// [`PandaSystem::try_launch`] for a fallible variant.
+    pub fn launch(
+        config: &PandaConfig,
+        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    ) -> (Self, Vec<PandaClient>) {
+        Self::try_launch(config, fs_factory).expect("invalid Panda configuration")
+    }
+
+    /// Fallible [`PandaSystem::launch`].
+    pub fn try_launch(
+        config: &PandaConfig,
+        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
+        config.validate()?;
+        let total = config.num_clients + config.num_servers;
+        let (endpoints, fabric_stats) =
+            InProcFabric::with_timeout(total, config.recv_timeout);
+        let transports: Vec<Box<dyn panda_msg::Transport>> = endpoints
+            .into_iter()
+            .map(|ep| Box::new(ep) as Box<dyn panda_msg::Transport>)
+            .collect();
+        Self::launch_over(config, transports, fs_factory, fabric_stats)
+    }
+
+    /// Launch over caller-supplied transports — one per node, ordered
+    /// clients first (`0..num_clients`) then servers. This is how Panda
+    /// runs on "a network of ordinary workstations without changing any
+    /// code" (paper §5): hand in `panda_msg::TcpFabric` endpoints (or
+    /// any other [`panda_msg::Transport`]) instead of the in-process
+    /// fabric. `fabric_stats` is the shared counter handle when the
+    /// transport family has one; pass a fresh handle otherwise.
+    pub fn launch_over(
+        config: &PandaConfig,
+        mut endpoints: Vec<Box<dyn panda_msg::Transport>>,
+        mut fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+        fabric_stats: Arc<FabricStats>,
+    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
+        config.validate()?;
+        let total = config.num_clients + config.num_servers;
+        if endpoints.len() != total {
+            return Err(PandaError::Config {
+                detail: format!(
+                    "need {total} transports (clients then servers), got {}",
+                    endpoints.len()
+                ),
+            });
+        }
+
+        // Servers take the high ranks.
+        let mut filesystems = Vec::with_capacity(config.num_servers);
+        let mut handles = Vec::with_capacity(config.num_servers);
+        for s in (0..config.num_servers).rev() {
+            let endpoint = endpoints
+                .pop()
+                .expect("fabric created with num_clients+num_servers endpoints");
+            let fs = fs_factory(s);
+            filesystems.push(Arc::clone(&fs));
+            let node = ServerNode::new(
+                endpoint,
+                fs,
+                s,
+                config.num_clients,
+                config.num_servers,
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("panda-server-{s}"))
+                    .spawn(move || node.run())
+                    .expect("spawn server thread"),
+            );
+        }
+        // Popping from the back handed us servers in reverse order; the
+        // bookkeeping vectors must be indexed by server index.
+        filesystems.reverse();
+        handles.reverse();
+
+        let clients: Vec<PandaClient> = endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ep)| {
+                PandaClient::new(
+                    ep,
+                    rank,
+                    config.num_clients,
+                    config.num_servers,
+                    config.subchunk_bytes,
+                )
+            })
+            .collect();
+
+        Ok((
+            PandaSystem {
+                handles,
+                filesystems,
+                fabric_stats,
+                num_clients: config.num_clients,
+                num_servers: config.num_servers,
+            },
+            clients,
+        ))
+    }
+
+    /// Number of compute nodes.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Number of I/O nodes.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Shut the deployment down: the master client tells every server to
+    /// exit, then the server threads are joined. Any error raised by a
+    /// server thread during its lifetime is surfaced here.
+    pub fn shutdown(self, mut clients: Vec<PandaClient>) -> Result<(), PandaError> {
+        let master = clients.first_mut().ok_or_else(|| PandaError::Config {
+            detail: "shutdown requires the client handles".to_string(),
+        })?;
+        master.send_shutdown()?;
+        for handle in self.handles {
+            handle.join().map_err(|_| PandaError::Protocol {
+                detail: "server thread panicked".to_string(),
+            })??;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_fs::MemFs;
+
+    #[test]
+    fn launch_and_shutdown() {
+        let config = PandaConfig::new(2, 2);
+        let (system, clients) = PandaSystem::launch(&config, |_| Arc::new(MemFs::new()));
+        assert_eq!(clients.len(), 2);
+        assert_eq!(system.num_clients(), 2);
+        assert_eq!(system.num_servers(), 2);
+        assert_eq!(system.filesystems.len(), 2);
+        system.shutdown(clients).unwrap();
+    }
+
+    #[test]
+    fn launch_over_checks_endpoint_count() {
+        use panda_msg::{InProcFabric, Transport};
+        let (eps, stats) = InProcFabric::new(2); // need 3 for 2 clients + 1 server
+        let transports: Vec<Box<dyn Transport>> = eps
+            .into_iter()
+            .map(|e| Box::new(e) as Box<dyn Transport>)
+            .collect();
+        let err = PandaSystem::launch_over(
+            &PandaConfig::new(2, 1),
+            transports,
+            |_| Arc::new(MemFs::new()) as Arc<dyn panda_fs::FileSystem>,
+            stats,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, crate::PandaError::Config { .. }));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(PandaSystem::try_launch(&PandaConfig::new(0, 1), |_| {
+            Arc::new(MemFs::new()) as Arc<dyn FileSystem>
+        })
+        .is_err());
+        assert!(PandaSystem::try_launch(&PandaConfig::new(1, 0), |_| {
+            Arc::new(MemFs::new()) as Arc<dyn FileSystem>
+        })
+        .is_err());
+        assert!(PandaSystem::try_launch(
+            &PandaConfig::new(1, 1).with_subchunk_bytes(0),
+            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! The Panda server: the I/O-node side of a collective operation.
+//!
+//! Each server runs [`ServerNode::run`] in its own thread. On receiving
+//! a collective request it builds its plan (round-robin chunks →
+//! subchunks → client pieces) and *drives* the transfer so that its own
+//! file access is strictly sequential: for writes it pulls pieces from
+//! clients, assembles each subchunk in traditional order, and appends it
+//! to the file; for reads it streams the file forward and scatters each
+//! subchunk to the owning clients. The master server (index 0)
+//! additionally relays the request to its peers and reports completion
+//! to the master client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use panda_fs::{FileHandle, FileSystem};
+use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_schema::copy;
+
+use crate::error::PandaError;
+use crate::plan::build_server_plan;
+use crate::protocol::{recv_msg, send_msg, tags, ArrayOp, CollectiveRequest, Msg, OpKind};
+
+/// One I/O node.
+pub struct ServerNode {
+    transport: Box<dyn Transport>,
+    fs: Arc<dyn FileSystem>,
+    /// 0-based index among the servers.
+    server_idx: usize,
+    num_clients: usize,
+    num_servers: usize,
+    /// Open handles for baseline raw operations, keyed by file name.
+    raw_handles: HashMap<String, Box<dyn FileHandle>>,
+    /// Clients that have sent `RawDone` for the current baseline op.
+    raw_done: Vec<NodeId>,
+}
+
+impl ServerNode {
+    pub(crate) fn new(
+        transport: Box<dyn Transport>,
+        fs: Arc<dyn FileSystem>,
+        server_idx: usize,
+        num_clients: usize,
+        num_servers: usize,
+    ) -> Self {
+        ServerNode {
+            transport,
+            fs,
+            server_idx,
+            num_clients,
+            num_servers,
+            raw_handles: HashMap::new(),
+            raw_done: Vec::new(),
+        }
+    }
+
+    fn is_master(&self) -> bool {
+        self.server_idx == 0
+    }
+
+    fn master_server(&self) -> NodeId {
+        NodeId(self.num_clients)
+    }
+
+    fn master_client(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The server's per-array file name for an operation.
+    pub fn file_name(file_tag: &str, server_idx: usize) -> String {
+        format!("{file_tag}.s{server_idx}")
+    }
+
+    /// Main loop: serve collective requests and baseline raw operations
+    /// until shutdown.
+    pub fn run(mut self) -> Result<(), PandaError> {
+        loop {
+            let (src, msg) = recv_msg(&mut *self.transport, MatchSpec::any())?;
+            match msg {
+                Msg::Shutdown => return Ok(()),
+                Msg::Collective(req) => self.handle_collective(req)?,
+                Msg::RawWrite {
+                    file,
+                    offset,
+                    payload,
+                } => self.raw_write(&file, offset, &payload)?,
+                Msg::RawRead {
+                    file,
+                    offset,
+                    len,
+                    seq,
+                } => self.raw_read(src, &file, offset, len as usize, seq)?,
+                Msg::RawDone => self.raw_done(src)?,
+                Msg::RawStat { file, seq } => {
+                    let len = if self.fs.exists(&file) {
+                        self.fs.open(&file)?.len()
+                    } else {
+                        u64::MAX
+                    };
+                    send_msg(&mut *self.transport, src, &Msg::RawStatReply { seq, len })?;
+                }
+                other => {
+                    return Err(PandaError::Protocol {
+                        detail: format!("server got unexpected tag {}", other.tag()),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Execute one collective operation end to end.
+    fn handle_collective(&mut self, req: CollectiveRequest) -> Result<(), PandaError> {
+        // The master server relays the schemas to the other servers; the
+        // servers never talk to each other during the transfer itself.
+        if self.is_master() {
+            for s in 1..self.num_servers {
+                let dst = NodeId(self.num_clients + s);
+                send_msg(&mut *self.transport, dst, &Msg::Collective(req.clone()))?;
+            }
+        }
+
+        for (idx, array_op) in req.arrays.iter().enumerate() {
+            match req.op {
+                OpKind::Write => {
+                    if array_op.section.is_some() {
+                        return Err(PandaError::Protocol {
+                            detail: "section writes are not supported".to_string(),
+                        });
+                    }
+                    self.write_array(idx as u32, array_op, req.subchunk_bytes)?;
+                }
+                OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes)?,
+            }
+        }
+
+        // Completion: workers report to the master server; the master
+        // server tells the master client once everyone (incl. itself)
+        // is done.
+        if self.is_master() {
+            for _ in 1..self.num_servers {
+                let (_, msg) =
+                    recv_msg(&mut *self.transport, MatchSpec::tag(tags::SERVER_DONE))?;
+                debug_assert_eq!(msg, Msg::ServerDone);
+            }
+            let dst = self.master_client();
+            send_msg(&mut *self.transport, dst, &Msg::Complete)?;
+        } else {
+            let dst = self.master_server();
+            send_msg(&mut *self.transport, dst, &Msg::ServerDone)?;
+        }
+        Ok(())
+    }
+
+    /// Write path: pull pieces from clients subchunk by subchunk,
+    /// assemble in traditional order, append sequentially.
+    fn write_array(
+        &mut self,
+        array_idx: u32,
+        op: &ArrayOp,
+        subchunk_bytes: usize,
+    ) -> Result<(), PandaError> {
+        let meta = &op.meta;
+        let elem = meta.elem_size();
+        let plan = build_server_plan(meta, self.server_idx, self.num_servers, subchunk_bytes);
+        let mut file = self
+            .fs
+            .create(&Self::file_name(&op.file_tag, self.server_idx))?;
+        let mut seq = 0u64;
+        for chunk in &plan.chunks {
+            for sub in &chunk.subchunks {
+                let mut buf = vec![0u8; sub.bytes];
+                // Ask every owning client for its piece...
+                let mut outstanding: HashMap<u64, usize> = HashMap::new();
+                for (pi, piece) in sub.pieces.iter().enumerate() {
+                    send_msg(
+                        &mut *self.transport,
+                        NodeId(piece.client),
+                        &Msg::Fetch {
+                            array: array_idx,
+                            seq,
+                            region: piece.region.clone(),
+                        },
+                    )?;
+                    outstanding.insert(seq, pi);
+                    seq += 1;
+                }
+                // ... and scatter the replies into the subchunk buffer.
+                while !outstanding.is_empty() {
+                    let (_src, msg) =
+                        recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
+                    let Msg::Data {
+                        seq: rseq,
+                        region,
+                        payload,
+                        ..
+                    } = msg
+                    else {
+                        unreachable!("matched DATA tag");
+                    };
+                    let pi = outstanding
+                        .remove(&rseq)
+                        .ok_or_else(|| PandaError::Protocol {
+                            detail: format!("unexpected data seq {rseq}"),
+                        })?;
+                    debug_assert_eq!(region, sub.pieces[pi].region);
+                    copy::copy_region(&payload, &region, &mut buf, &sub.region, &region, elem)?;
+                }
+                file.write_at(sub.file_offset, &buf)?;
+            }
+        }
+        // The paper flushes to disk with fsync after each write op.
+        file.sync()?;
+        Ok(())
+    }
+
+    /// Read path: stream the file forward, scattering each subchunk's
+    /// pieces to the owning clients.
+    fn read_array(
+        &mut self,
+        array_idx: u32,
+        op: &ArrayOp,
+        subchunk_bytes: usize,
+    ) -> Result<(), PandaError> {
+        let meta = &op.meta;
+        let elem = meta.elem_size();
+        let plan = build_server_plan(meta, self.server_idx, self.num_servers, subchunk_bytes);
+        if plan.total_bytes == 0 {
+            return Ok(());
+        }
+        let mut file = self
+            .fs
+            .open(&Self::file_name(&op.file_tag, self.server_idx))?;
+        let mut seq = 0u64;
+        for chunk in &plan.chunks {
+            for sub in &chunk.subchunks {
+                // Section reads skip non-overlapping subchunks entirely;
+                // the remaining reads still proceed in file order.
+                if let Some(section) = &op.section {
+                    if !sub.region.overlaps(section) {
+                        continue;
+                    }
+                }
+                let mut buf = vec![0u8; sub.bytes];
+                file.read_at(sub.file_offset, &mut buf)?;
+                for piece in &sub.pieces {
+                    // Trim each piece to the requested section.
+                    let target = match &op.section {
+                        None => Some(piece.region.clone()),
+                        Some(section) => piece.region.intersect(section),
+                    };
+                    let Some(target) = target else { continue };
+                    let payload = copy::pack_region(&buf, &sub.region, &target, elem)?;
+                    send_msg(
+                        &mut *self.transport,
+                        NodeId(piece.client),
+                        &Msg::Data {
+                            array: array_idx,
+                            seq,
+                            region: target,
+                            payload,
+                        },
+                    )?;
+                    seq += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Baseline support: apply a positioned write in arrival order.
+    fn raw_write(&mut self, file: &str, offset: u64, payload: &[u8]) -> Result<(), PandaError> {
+        let handle = self.raw_handle(file)?;
+        handle.write_at(offset, payload)?;
+        Ok(())
+    }
+
+    /// Baseline support: serve a positioned read.
+    fn raw_read(
+        &mut self,
+        src: NodeId,
+        file: &str,
+        offset: u64,
+        len: usize,
+        seq: u64,
+    ) -> Result<(), PandaError> {
+        let mut payload = vec![0u8; len];
+        let handle = self.raw_handle(file)?;
+        handle.read_at(offset, &mut payload)?;
+        send_msg(&mut *self.transport, src, &Msg::RawData { seq, payload })?;
+        Ok(())
+    }
+
+    fn raw_handle(&mut self, file: &str) -> Result<&mut Box<dyn FileHandle>, PandaError> {
+        if !self.raw_handles.contains_key(file) {
+            let handle = if self.fs.exists(file) {
+                self.fs.open(file)?
+            } else {
+                self.fs.create(file)?
+            };
+            self.raw_handles.insert(file.to_string(), handle);
+        }
+        Ok(self.raw_handles.get_mut(file).expect("just inserted"))
+    }
+
+    /// Baseline support: completion barrier. Once every client has sent
+    /// `RawDone`, sync all touched files and acknowledge everyone.
+    fn raw_done(&mut self, src: NodeId) -> Result<(), PandaError> {
+        if self.raw_done.contains(&src) {
+            return Err(PandaError::Protocol {
+                detail: format!("duplicate RawDone from {src}"),
+            });
+        }
+        self.raw_done.push(src);
+        if self.raw_done.len() == self.num_clients {
+            for handle in self.raw_handles.values_mut() {
+                handle.sync()?;
+            }
+            // Drop the handle cache: the logical op is over, and fresh
+            // handles restart sequentiality tracking for the next op.
+            self.raw_handles.clear();
+            let done = std::mem::take(&mut self.raw_done);
+            for client in done {
+                send_msg(&mut *self.transport, client, &Msg::RawAck)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,266 @@
+//! End-to-end collective I/O tests over the threaded runtime.
+
+use panda_fs::FileSystem as _;
+
+mod common;
+
+use common::*;
+use panda_schema::{Dist, ElementType};
+
+#[test]
+fn natural_chunking_roundtrip() {
+    // Paper-style: memory schema == disk schema, 4 clients, 2 servers.
+    let meta = make_array("t", &[16, 16], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let (system, mut clients, _mems) = launch_mem(4, 2, 1 << 20);
+    collective_write(&mut clients, &meta, "t");
+    let bufs = collective_read(&mut clients, &meta, "t");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn traditional_order_concatenates_to_row_major() {
+    // BLOCK,*,* disk schema: "the data can be migrated to a sequential
+    // machine with the array in a single file in traditional order by
+    // simply concatenating all the files on the i/o nodes together."
+    let meta = make_array(
+        "t",
+        &[8, 6, 4],
+        ElementType::F64,
+        &[2, 2, 2],
+        DiskSchema::Traditional(3),
+    );
+    let (system, mut clients, mems) = launch_mem(8, 3, 256);
+    collective_write(&mut clients, &meta, "t");
+    assert_eq!(concat_server_files(&mems, "t"), pattern_full(&meta));
+    // And it reads back.
+    let bufs = collective_read(&mut clients, &meta, "t");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn reorganization_between_arbitrary_schemas() {
+    // Memory 2x2 blocks; disk column-slabs over a 3-node mesh that does
+    // not divide anything evenly.
+    let meta = make_array(
+        "p",
+        &[10, 9],
+        ElementType::I32,
+        &[2, 2],
+        DiskSchema::Custom(vec![Dist::Star, Dist::Block], vec![3]),
+    );
+    let (system, mut clients, _mems) = launch_mem(4, 2, 64);
+    collective_write(&mut clients, &meta, "p");
+    let bufs = collective_read(&mut clients, &meta, "p");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn more_servers_than_chunks() {
+    // 2 disk chunks, 4 servers: servers 2 and 3 have empty plans.
+    let meta = make_array(
+        "t",
+        &[8, 8],
+        ElementType::F64,
+        &[2, 1],
+        DiskSchema::Traditional(2),
+    );
+    let (system, mut clients, _mems) = launch_mem(2, 4, 1 << 20);
+    collective_write(&mut clients, &meta, "t");
+    let bufs = collective_read(&mut clients, &meta, "t");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn uneven_block_distribution() {
+    // 7x5 over a 3x2 mesh: short trailing blocks everywhere; 3 servers.
+    let meta = make_array("u", &[7, 5], ElementType::U8, &[3, 2], DiskSchema::Natural);
+    let (system, mut clients, _mems) = launch_mem(6, 3, 8);
+    collective_write(&mut clients, &meta, "u");
+    let bufs = collective_read(&mut clients, &meta, "u");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn single_element_array() {
+    let meta = make_array("s", &[1], ElementType::F64, &[1], DiskSchema::Natural);
+    let (system, mut clients, _mems) = launch_mem(1, 1, 1 << 20);
+    collective_write(&mut clients, &meta, "s");
+    let bufs = collective_read(&mut clients, &meta, "s");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn one_dimensional_array_many_nodes() {
+    let meta = make_array(
+        "v",
+        &[1000],
+        ElementType::F32,
+        &[5],
+        DiskSchema::Traditional(3),
+    );
+    let (system, mut clients, mems) = launch_mem(5, 3, 128);
+    collective_write(&mut clients, &meta, "v");
+    assert_eq!(concat_server_files(&mems, "v"), pattern_full(&meta));
+    let bufs = collective_read(&mut clients, &meta, "v");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn subchunking_matches_unsubchunked_result() {
+    // Same array written with a tiny cap and a huge cap must produce
+    // identical files — subchunking "does not change the memory schema,
+    // disk schema, or round-robin assignment of chunks in any way".
+    let meta = make_array(
+        "w",
+        &[12, 10],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let (sys_small, mut small, mems_small) = launch_mem(4, 2, 32);
+    collective_write(&mut small, &meta, "w");
+    let (sys_big, mut big, mems_big) = launch_mem(4, 2, 1 << 20);
+    collective_write(&mut big, &meta, "w");
+    for i in 0..2 {
+        assert_eq!(
+            mems_small[i].contents(&format!("w.s{i}")).unwrap(),
+            mems_big[i].contents(&format!("w.s{i}")).unwrap(),
+            "server {i} file differs"
+        );
+    }
+    sys_small.shutdown(small).unwrap();
+    sys_big.shutdown(big).unwrap();
+}
+
+#[test]
+fn multiple_arrays_in_one_collective() {
+    let a = make_array("a", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let b = make_array(
+        "b",
+        &[6, 6],
+        ElementType::I32,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let (system, mut clients, mems) = launch_mem(4, 2, 64);
+    let a_datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&a, r)).collect();
+    let b_datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&b, r)).collect();
+    std::thread::scope(|s| {
+        for (client, (da, db)) in clients.iter_mut().zip(a_datas.iter().zip(&b_datas)) {
+            let (a, b) = (&a, &b);
+            s.spawn(move || {
+                client
+                    .write(&[(a, "a", da.as_slice()), (b, "b", db.as_slice())])
+                    .unwrap();
+            });
+        }
+    });
+    assert_eq!(concat_server_files(&mems, "b"), pattern_full(&b));
+    // Read both back in one collective.
+    let mut a_bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0; a.client_bytes(r)]).collect();
+    let mut b_bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0; b.client_bytes(r)]).collect();
+    std::thread::scope(|s| {
+        for ((client, ba), bb) in clients.iter_mut().zip(a_bufs.iter_mut()).zip(b_bufs.iter_mut())
+        {
+            let (a, b) = (&a, &b);
+            s.spawn(move || {
+                client
+                    .read(&mut [(a, "a", ba.as_mut_slice()), (b, "b", bb.as_mut_slice())])
+                    .unwrap();
+            });
+        }
+    });
+    assert_pattern(&a, &a_bufs);
+    assert_pattern(&b, &b_bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn server_directed_io_is_fully_sequential() {
+    // The core claim: collective writes and reads produce zero seeks on
+    // every I/O node.
+    let meta = make_array(
+        "t",
+        &[16, 12],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(3),
+    );
+    let (system, mut clients, mems) = launch_mem(4, 3, 128);
+    collective_write(&mut clients, &meta, "t");
+    for fs in &mems {
+        assert_eq!(fs.stats().seeks(), 0, "write path must not seek");
+        assert!(fs.stats().writes() > 0);
+    }
+    let _ = collective_read(&mut clients, &meta, "t");
+    for fs in &mems {
+        assert_eq!(fs.stats().seeks(), 0, "read path must not seek");
+    }
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn back_to_back_collectives_reuse_the_system() {
+    let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let (system, mut clients, _mems) = launch_mem(4, 2, 1 << 20);
+    for i in 0..5 {
+        let tag = format!("t{i}");
+        collective_write(&mut clients, &meta, &tag);
+        let bufs = collective_read(&mut clients, &meta, &tag);
+        assert_pattern(&meta, &bufs);
+    }
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn wrong_buffer_size_is_rejected() {
+    let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let (system, mut clients, _mems) = launch_mem(4, 1, 1 << 20);
+    let bad = vec![0u8; 3];
+    let err = clients[1].write(&[(&meta, "t", bad.as_slice())]).unwrap_err();
+    assert!(matches!(
+        err,
+        panda_core::PandaError::BadClientBuffer { .. }
+    ));
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn local_fs_end_to_end() {
+    use panda_core::{PandaConfig, PandaSystem};
+    use panda_fs::{FileSystem, LocalFs};
+    use std::sync::Arc;
+
+    let root = std::env::temp_dir().join(format!("panda-core-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let meta = make_array(
+        "t",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let roots: Vec<_> = (0..2).map(|s| root.join(format!("ionode{s}"))).collect();
+    let config = PandaConfig::new(4, 2).with_subchunk_bytes(256);
+    let (system, mut clients) = PandaSystem::launch(&config, |s| {
+        Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
+    });
+    collective_write(&mut clients, &meta, "t");
+    // Concatenate the real files on disk: must be the row-major array.
+    let mut cat = Vec::new();
+    for (s, r) in roots.iter().enumerate() {
+        cat.extend(std::fs::read(r.join(format!("t.s{s}"))).unwrap());
+    }
+    assert_eq!(cat, pattern_full(&meta));
+    let bufs = collective_read(&mut clients, &meta, "t");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,153 @@
+//! Shared helpers for the panda-core integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use std::sync::Arc;
+
+use panda_core::{ArrayMeta, PandaClient, PandaConfig, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_schema::copy::offset_in_region;
+use panda_schema::{DataSchema, Dist, ElementType, Mesh, Shape};
+
+/// Deterministic byte for element `lin` (row-major linear index), byte
+/// `b` within the element. Never zero, so zero reads as "untouched".
+pub fn element_byte(lin: usize, b: usize) -> u8 {
+    ((lin.wrapping_mul(31).wrapping_add(b.wrapping_mul(7))) % 251) as u8 + 1
+}
+
+/// The full array in traditional (row-major) order under the pattern.
+pub fn pattern_full(meta: &ArrayMeta) -> Vec<u8> {
+    let elem = meta.elem_size();
+    let n = meta.shape().num_elements();
+    let mut out = vec![0u8; n * elem];
+    for lin in 0..n {
+        for b in 0..elem {
+            out[lin * elem + b] = element_byte(lin, b);
+        }
+    }
+    out
+}
+
+/// Client `rank`'s chunk buffer under the pattern.
+pub fn pattern_chunk(meta: &ArrayMeta, rank: usize) -> Vec<u8> {
+    let elem = meta.elem_size();
+    let region = meta.client_region(rank);
+    let mut out = vec![0u8; meta.client_bytes(rank)];
+    if region.is_empty() {
+        return out;
+    }
+    let shape = region.shape().expect("nonempty");
+    for local in shape.iter_indices() {
+        let global: Vec<usize> = local.iter().zip(region.lo()).map(|(&l, &o)| l + o).collect();
+        let lin = meta.shape().linearize(&global);
+        let off = offset_in_region(&region, &global, elem);
+        for b in 0..elem {
+            out[off + b] = element_byte(lin, b);
+        }
+    }
+    out
+}
+
+/// Build an array with a `BLOCK`-everywhere memory schema and the given
+/// disk schema choice.
+pub fn make_array(
+    name: &str,
+    dims: &[usize],
+    elem: ElementType,
+    mem_mesh: &[usize],
+    disk: DiskSchema,
+) -> ArrayMeta {
+    let shape = Shape::new(dims).unwrap();
+    let mem = DataSchema::block_all(shape.clone(), elem, Mesh::new(mem_mesh).unwrap()).unwrap();
+    match disk {
+        DiskSchema::Natural => ArrayMeta::natural(name, mem).unwrap(),
+        DiskSchema::Traditional(n) => {
+            let d = DataSchema::traditional_order(shape, elem, n).unwrap();
+            ArrayMeta::new(name, mem, d).unwrap()
+        }
+        DiskSchema::Custom(dists, mesh) => {
+            let d = DataSchema::new(shape, elem, &dists, Mesh::new(&mesh).unwrap()).unwrap();
+            ArrayMeta::new(name, mem, d).unwrap()
+        }
+    }
+}
+
+/// Disk-schema selector for [`make_array`].
+pub enum DiskSchema {
+    /// Disk schema == memory schema.
+    Natural,
+    /// `BLOCK,*,...` over n I/O nodes.
+    Traditional(usize),
+    /// Arbitrary dists over an arbitrary mesh.
+    Custom(Vec<Dist>, Vec<usize>),
+}
+
+/// Launch a MemFs-backed system.
+pub fn launch_mem(
+    num_clients: usize,
+    num_servers: usize,
+    subchunk: usize,
+) -> (PandaSystem, Vec<PandaClient>, Vec<Arc<MemFs>>) {
+    let mems: Vec<Arc<MemFs>> = (0..num_servers).map(|_| Arc::new(MemFs::new())).collect();
+    let handles = mems.clone();
+    let config = PandaConfig::new(num_clients, num_servers)
+        .with_subchunk_bytes(subchunk)
+        .with_recv_timeout(std::time::Duration::from_secs(20));
+    let (system, clients) = PandaSystem::launch(&config, move |s| {
+        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
+    });
+    (system, clients, mems)
+}
+
+/// Concatenate each server's file `"<tag>.s<i>"` across servers in
+/// order.
+pub fn concat_server_files(mems: &[Arc<MemFs>], tag: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, fs) in mems.iter().enumerate() {
+        let name = format!("{tag}.s{i}");
+        if let Ok(bytes) = fs.contents(&name) {
+            out.extend_from_slice(&bytes);
+        }
+    }
+    out
+}
+
+/// Collective write of one array from every client, using the pattern.
+pub fn collective_write(clients: &mut [PandaClient], meta: &ArrayMeta, tag: &str) {
+    let datas: Vec<Vec<u8>> = (0..clients.len())
+        .map(|r| pattern_chunk(meta, r))
+        .collect();
+    std::thread::scope(|s| {
+        for (client, data) in clients.iter_mut().zip(&datas) {
+            s.spawn(move || {
+                client.write(&[(meta, tag, data.as_slice())]).unwrap();
+            });
+        }
+    });
+}
+
+/// Collective read of one array into fresh buffers; returns them by
+/// client rank.
+pub fn collective_read(
+    clients: &mut [PandaClient],
+    meta: &ArrayMeta,
+    tag: &str,
+) -> Vec<Vec<u8>> {
+    let mut bufs: Vec<Vec<u8>> = (0..clients.len())
+        .map(|r| vec![0u8; meta.client_bytes(r)])
+        .collect();
+    std::thread::scope(|s| {
+        for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
+            s.spawn(move || {
+                client.read(&mut [(meta, tag, buf.as_mut_slice())]).unwrap();
+            });
+        }
+    });
+    bufs
+}
+
+/// Assert that every client's buffer equals the pattern for its chunk.
+pub fn assert_pattern(meta: &ArrayMeta, bufs: &[Vec<u8>]) {
+    for (r, buf) in bufs.iter().enumerate() {
+        assert_eq!(buf, &pattern_chunk(meta, r), "client {r} chunk mismatch");
+    }
+}

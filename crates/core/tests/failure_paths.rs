@@ -1,0 +1,117 @@
+//! Failure injection: the protocol must fail loudly and diagnosably
+//! rather than hang when a participant misbehaves.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::*;
+use panda_core::{PandaConfig, PandaError, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_schema::ElementType;
+
+#[test]
+fn missing_client_times_out_instead_of_hanging() {
+    // Only 3 of 4 clients join the collective write. The servers wait
+    // for the fourth client's pieces; the configured receive timeout
+    // turns that into an error instead of a deadlock.
+    let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let config = PandaConfig::new(4, 2)
+        .with_recv_timeout(Duration::from_millis(300))
+        .with_subchunk_bytes(1 << 20);
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
+
+    let mut results: Vec<Result<(), PandaError>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(&datas)
+            .enumerate()
+            .filter(|(rank, _)| *rank != 3) // client 3 "crashed"
+            .map(|(_, (client, data))| {
+                let meta = &meta;
+                s.spawn(move || client.write(&[(meta, "t", data.as_slice())]))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    });
+    // Every participating client surfaces an error (timeout waiting
+    // for release/complete).
+    assert!(results.iter().all(|r| r.is_err()));
+    // The server threads errored too; shutdown reports it.
+    let err = system.shutdown(clients).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, PandaError::Msg(_) | PandaError::Protocol { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn garbage_message_to_server_is_a_decode_error() {
+    let config = PandaConfig::new(1, 1).with_recv_timeout(Duration::from_millis(300));
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    // Hand-craft a corrupt COLLECTIVE message.
+    clients[0]
+        .transport_mut_for_tests()
+        .send(
+            panda_msg::NodeId(1),
+            panda_core::protocol::tags::COLLECTIVE,
+            vec![0xff; 3],
+        )
+        .unwrap();
+    let err = system.shutdown(clients).map(|_| ()).unwrap_err();
+    assert!(matches!(err, PandaError::Decode { .. }), "got {err}");
+}
+
+#[test]
+fn unexpected_tag_is_a_protocol_error() {
+    let config = PandaConfig::new(1, 1).with_recv_timeout(Duration::from_millis(300));
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    // Servers never expect a RELEASE message.
+    clients[0]
+        .transport_mut_for_tests()
+        .send(
+            panda_msg::NodeId(1),
+            panda_core::protocol::tags::RELEASE,
+            panda_core::protocol::Msg::Release.encode(),
+        )
+        .unwrap();
+    let err = system.shutdown(clients).map(|_| ()).unwrap_err();
+    assert!(matches!(err, PandaError::Protocol { .. }), "got {err}");
+}
+
+#[test]
+fn read_of_missing_files_surfaces_fs_error() {
+    let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let config = PandaConfig::new(4, 2).with_recv_timeout(Duration::from_millis(500));
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    // Read something that was never written: the servers hit NotFound
+    // and abort; clients time out waiting for data.
+    let mut results: Vec<Result<(), PandaError>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .map(|client| {
+                let meta = &meta;
+                s.spawn(move || {
+                    let mut buf = vec![0u8; meta.client_bytes(client.rank())];
+                    client.read(&mut [(meta, "never_written", buf.as_mut_slice())])
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    });
+    assert!(results.iter().all(|r| r.is_err()));
+    let err = system.shutdown(clients).map(|_| ()).unwrap_err();
+    assert!(matches!(err, PandaError::Fs(_) | PandaError::Msg(_)), "got {err}");
+}

@@ -1,0 +1,266 @@
+//! Integration tests for array groups (timestep/checkpoint/restart) and
+//! the baseline I/O strategies.
+
+mod common;
+
+use common::*;
+use panda_core::baseline::naive::{naive_read, naive_write};
+use panda_core::baseline::two_phase::{two_phase_read, two_phase_write};
+use panda_core::{ArrayGroup, GroupData};
+use panda_fs::FileSystem as _;
+use panda_schema::ElementType;
+
+/// The paper's Figure 2 scenario, miniaturized: three arrays (two f64,
+/// one i32), timestep output in a loop, a checkpoint midway, restart.
+#[test]
+fn figure2_timestep_checkpoint_restart() {
+    let temperature = make_array(
+        "temperature",
+        &[16, 16],
+        ElementType::I32,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let pressure = make_array(
+        "pressure",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let density = make_array(
+        "density",
+        &[8, 8],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+
+    let (system, mut clients, mems) = launch_mem(4, 2, 128);
+
+    let build_group = || {
+        let mut g = ArrayGroup::new("Sim2");
+        g.include(temperature.clone())
+            .include(pressure.clone())
+            .include(density.clone());
+        g
+    };
+
+    // Run 3 timesteps with a checkpoint after the second; then restart.
+    let metas = [&temperature, &pressure, &density];
+    std::thread::scope(|s| {
+        for client in clients.iter_mut() {
+            let build_group = &build_group;
+            let metas = &metas;
+            s.spawn(move || {
+                let mut group = build_group();
+                let rank = client.rank();
+                let mut data = GroupData::zeroed(&group, rank);
+                // Fill with the pattern (stands in for computation).
+                for (i, meta) in metas.iter().enumerate() {
+                    data.buffer_mut(i).copy_from_slice(&pattern_chunk(meta, rank));
+                }
+                for step in 0..3 {
+                    group.timestep(client, &data.slices()).unwrap();
+                    if step == 1 {
+                        group.checkpoint(client, &data.slices()).unwrap();
+                    }
+                }
+                assert_eq!(group.timesteps_taken(), 3);
+
+                // Crash! ... restart from checkpoint into fresh buffers.
+                let mut restored = GroupData::zeroed(&group, rank);
+                group.restart(client, &mut restored.slices_mut()).unwrap();
+                for i in 0..3 {
+                    assert_eq!(restored.buffer(i), data.buffer(i), "array {i}");
+                }
+
+                // And timestep 0 can be read back for post-processing.
+                let mut ts0 = GroupData::zeroed(&group, rank);
+                group.read_timestep(client, 0, &mut ts0.slices_mut()).unwrap();
+                assert_eq!(ts0.buffer(2), data.buffer(2));
+            });
+        }
+    });
+
+    // Each timestep produced its own files on each I/O node; the
+    // checkpoint its own; 3 arrays x (3 timesteps + 1 checkpoint).
+    for fs in &mems {
+        assert_eq!(fs.list().len(), 3 * 4);
+    }
+    // Traditional order holds per timestep file set.
+    assert_eq!(
+        concat_server_files(&mems, "Sim2/pressure.ts2"),
+        pattern_full(&pressure)
+    );
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn naive_baseline_writes_identical_files_with_seeks() {
+    // Column-strip memory schema: each client's chunk maps to strided
+    // runs (one per row) in the disk layout, with gaps between them.
+    let meta = make_array(
+        "t",
+        &[16, 16],
+        ElementType::F64,
+        &[1, 4],
+        DiskSchema::Traditional(2),
+    );
+    // Server-directed reference.
+    let (sys_a, mut panda_clients, mems_panda) = launch_mem(4, 2, 128);
+    collective_write(&mut panda_clients, &meta, "t");
+    let panda_seeks: u64 = mems_panda.iter().map(|m| m.stats().seeks()).sum();
+    assert_eq!(panda_seeks, 0);
+
+    // Naive baseline on a fresh system.
+    let (sys_b, mut naive_clients, mems_naive) = launch_mem(4, 2, 128);
+    let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
+    std::thread::scope(|s| {
+        for (client, data) in naive_clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || naive_write(client, meta, "t", data).unwrap());
+        }
+    });
+
+    // Byte-identical files...
+    for i in 0..2 {
+        assert_eq!(
+            mems_panda[i].contents(&format!("t.s{i}")).unwrap(),
+            mems_naive[i].contents(&format!("t.s{i}")).unwrap()
+        );
+    }
+    // ...but the naive access pattern seeks heavily.
+    let naive_seeks: u64 = mems_naive.iter().map(|m| m.stats().seeks()).sum();
+    assert!(
+        naive_seeks > 0,
+        "client-directed strided writes must produce seeks"
+    );
+    // And its requests are much smaller on average.
+    let naive_writes: u64 = mems_naive.iter().map(|m| m.stats().writes()).sum();
+    let panda_writes: u64 = mems_panda.iter().map(|m| m.stats().writes()).sum();
+    assert!(naive_writes > panda_writes);
+
+    sys_a.shutdown(panda_clients).unwrap();
+    sys_b.shutdown(naive_clients).unwrap();
+}
+
+#[test]
+fn naive_roundtrip_and_cross_compat_with_panda() {
+    let meta = make_array(
+        "t",
+        &[12, 10],
+        ElementType::I32,
+        &[2, 2],
+        DiskSchema::Traditional(3),
+    );
+    let (system, mut clients, _mems) = launch_mem(4, 3, 64);
+    // Panda writes; naive reads the same files.
+    collective_write(&mut clients, &meta, "t");
+    let mut bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0; meta.client_bytes(r)]).collect();
+    std::thread::scope(|s| {
+        for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
+            let meta = &meta;
+            s.spawn(move || naive_read(client, meta, "t", buf).unwrap());
+        }
+    });
+    assert_pattern(&meta, &bufs);
+
+    // Naive writes under a different tag; Panda reads it back.
+    let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
+    std::thread::scope(|s| {
+        for (client, data) in clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || naive_write(client, meta, "t2", data).unwrap());
+        }
+    });
+    let bufs = collective_read(&mut clients, &meta, "t2");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+}
+
+#[test]
+fn two_phase_baseline_roundtrip_and_equivalence() {
+    let meta = make_array(
+        "t",
+        &[16, 12],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(3),
+    );
+    let (sys_a, mut panda_clients, mems_panda) = launch_mem(4, 3, 128);
+    collective_write(&mut panda_clients, &meta, "t");
+
+    let (sys_b, mut tp_clients, mems_tp) = launch_mem(4, 3, 128);
+    let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
+    std::thread::scope(|s| {
+        for (client, data) in tp_clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || two_phase_write(client, meta, "t", data, 128).unwrap());
+        }
+    });
+    for i in 0..3 {
+        assert_eq!(
+            mems_panda[i].contents(&format!("t.s{i}")).unwrap(),
+            mems_tp[i].contents(&format!("t.s{i}")).unwrap(),
+            "server {i}"
+        );
+    }
+
+    // Two-phase read back.
+    let mut bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0; meta.client_bytes(r)]).collect();
+    std::thread::scope(|s| {
+        for (client, buf) in tp_clients.iter_mut().zip(bufs.iter_mut()) {
+            let meta = &meta;
+            s.spawn(move || two_phase_read(client, meta, "t", buf, 128).unwrap());
+        }
+    });
+    assert_pattern(&meta, &bufs);
+
+    sys_a.shutdown(panda_clients).unwrap();
+    sys_b.shutdown(tp_clients).unwrap();
+}
+
+#[test]
+fn two_phase_seeks_less_than_naive() {
+    // Disk layout deliberately hostile to the clients' traversal order:
+    // column slabs while memory is row-dominant.
+    let meta = make_array(
+        "t",
+        &[24, 24],
+        ElementType::F64,
+        &[4, 1],
+        DiskSchema::Custom(vec![panda_schema::Dist::Star, panda_schema::Dist::Block], vec![4]),
+    );
+    let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
+
+    let (sys_n, mut naive_clients, mems_naive) = launch_mem(4, 2, 256);
+    std::thread::scope(|s| {
+        for (client, data) in naive_clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || naive_write(client, meta, "t", data).unwrap());
+        }
+    });
+    let (sys_t, mut tp_clients, mems_tp) = launch_mem(4, 2, 256);
+    std::thread::scope(|s| {
+        for (client, data) in tp_clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || two_phase_write(client, meta, "t", data, 256).unwrap());
+        }
+    });
+    let naive_seeks: u64 = mems_naive.iter().map(|m| m.stats().seeks()).sum();
+    let tp_seeks: u64 = mems_tp.iter().map(|m| m.stats().seeks()).sum();
+    assert!(
+        tp_seeks < naive_seeks,
+        "two-phase ({tp_seeks} seeks) must beat naive ({naive_seeks} seeks)"
+    );
+    // Same bytes hit the disks either way.
+    for i in 0..2 {
+        assert_eq!(
+            mems_naive[i].contents(&format!("t.s{i}")).unwrap(),
+            mems_tp[i].contents(&format!("t.s{i}")).unwrap()
+        );
+    }
+    sys_n.shutdown(naive_clients).unwrap();
+    sys_t.shutdown(tp_clients).unwrap();
+}

@@ -1,0 +1,113 @@
+//! Property tests: write-then-read through the full threaded runtime is
+//! the identity for arbitrary valid schema pairs, and traditional-order
+//! files always concatenate to the row-major array.
+
+mod common;
+
+use common::*;
+use panda_fs::FileSystem as _;
+use panda_schema::{Dist, ElementType};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    dims: Vec<usize>,
+    mem_mesh: Vec<usize>,
+    disk: Vec<(Dist, usize)>, // per-dim directive and (if Block) parts
+    servers: usize,
+    subchunk: usize,
+    elem: ElementType,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let rank = 1usize..=3;
+    rank.prop_flat_map(|r| {
+        let dims = prop::collection::vec(2usize..=8, r..=r);
+        let mem_parts = prop::collection::vec(1usize..=3, r..=r);
+        let disk = prop::collection::vec(
+            prop_oneof![
+                (1usize..=3).prop_map(|p| (Dist::Block, p)),
+                Just((Dist::Star, 1usize)),
+            ],
+            r..=r,
+        );
+        (
+            dims,
+            mem_parts,
+            disk,
+            1usize..=3,
+            prop_oneof![Just(16usize), Just(64), Just(1 << 20)],
+            prop_oneof![Just(ElementType::U8), Just(ElementType::F64)],
+        )
+            .prop_map(|(dims, mem_mesh, disk, servers, subchunk, elem)| Scenario {
+                dims,
+                mem_mesh,
+                disk,
+                servers,
+                subchunk,
+                elem,
+            })
+    })
+}
+
+fn build(scenario: &Scenario) -> panda_core::ArrayMeta {
+    // Disk mesh axes: one per Block dim.
+    let disk_dists: Vec<Dist> = scenario.disk.iter().map(|&(d, _)| d).collect();
+    let disk_mesh: Vec<usize> = scenario
+        .disk
+        .iter()
+        .filter(|&&(d, _)| d.is_distributed())
+        .map(|&(_, p)| p)
+        .collect();
+    // At least one distributed dim is needed only if the mesh is
+    // nonempty; an all-Star disk schema gets a rank-0 mesh.
+    make_array(
+        "prop",
+        &scenario.dims,
+        scenario.elem,
+        &scenario.mem_mesh,
+        DiskSchema::Custom(disk_dists, disk_mesh),
+    )
+}
+
+proptest! {
+    // Each case launches threads; keep the count moderate.
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn write_read_roundtrip_is_identity(scenario in scenario()) {
+        let meta = build(&scenario);
+        let num_clients = meta.num_clients();
+        let (system, mut clients, _mems) =
+            launch_mem(num_clients, scenario.servers, scenario.subchunk);
+        collective_write(&mut clients, &meta, "prop");
+        let bufs = collective_read(&mut clients, &meta, "prop");
+        for (r, buf) in bufs.iter().enumerate() {
+            prop_assert_eq!(buf, &pattern_chunk(&meta, r), "client {}", r);
+        }
+        system.shutdown(clients).unwrap();
+    }
+
+    #[test]
+    fn files_always_hold_each_byte_exactly_once(scenario in scenario()) {
+        let meta = build(&scenario);
+        let num_clients = meta.num_clients();
+        let (system, mut clients, mems) =
+            launch_mem(num_clients, scenario.servers, scenario.subchunk);
+        collective_write(&mut clients, &meta, "prop");
+        let total: usize = mems
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.contents(&format!("prop.s{i}")).map(|v| v.len()).unwrap_or(0))
+            .sum();
+        prop_assert_eq!(total, meta.total_bytes());
+        // Zero seeks, always.
+        for m in &mems {
+            prop_assert_eq!(m.stats().seeks(), 0);
+        }
+        system.shutdown(clients).unwrap();
+    }
+}

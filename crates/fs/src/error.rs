@@ -1,0 +1,83 @@
+//! File-system errors.
+
+use std::fmt;
+
+/// Errors raised by a [`crate::FileSystem`] backend.
+#[derive(Debug)]
+pub enum FsError {
+    /// The named file does not exist.
+    NotFound {
+        /// The missing path.
+        path: String,
+    },
+    /// A read extended past the end of the file.
+    ReadPastEnd {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: usize,
+        /// Actual file length.
+        file_len: u64,
+    },
+    /// A path escaped the backend's root or contained forbidden
+    /// components.
+    InvalidPath {
+        /// The offending path.
+        path: String,
+    },
+    /// An underlying OS error (LocalFs only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound { path } => write!(f, "file not found: {path}"),
+            FsError::ReadPastEnd {
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "read of {len} bytes at offset {offset} past end of {file_len}-byte file"
+            ),
+            FsError::InvalidPath { path } => write!(f, "invalid path: {path}"),
+            FsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> Self {
+        FsError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FsError::NotFound {
+            path: "a/b".into()
+        }
+        .to_string()
+        .contains("a/b"));
+        let e = FsError::ReadPastEnd {
+            offset: 10,
+            len: 5,
+            file_len: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

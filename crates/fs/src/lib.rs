@@ -1,0 +1,44 @@
+//! # panda-fs — file-system substrate for Panda
+//!
+//! Panda "runs on top of ordinary Unix file systems" (paper §1); each I/O
+//! node stores its array chunks in its own AIX file system on the SP2.
+//! This crate provides the corresponding abstraction plus the cost model
+//! used by the performance harness:
+//!
+//! * [`FileSystem`] / [`FileHandle`] — positioned read/write/sync over
+//!   named files, one instance per I/O node;
+//! * [`MemFs`] — in-memory backend for deterministic tests;
+//! * [`LocalFs`] — real files under a root directory (the examples use
+//!   it; integration tests verify on-disk traditional order);
+//! * [`NullFs`] — the paper's "infinitely fast disk": the same trick the
+//!   authors used of commenting out the file-system calls, packaged as a
+//!   backend that discards writes and fabricates reads;
+//! * [`IoStats`] — per-backend operation counters with *sequentiality
+//!   accounting*: every positioned access is classified as sequential
+//!   (continues the previous access on that handle) or as a seek. The
+//!   whole point of server-directed I/O is to turn collective requests
+//!   into sequential file access, and this is how the test suite proves
+//!   it does;
+//! * [`AixModel`] — the calibrated AIX file-system cost curve from the
+//!   paper's Table 1, used by `panda-model` to convert the byte stream of
+//!   a simulated run into elapsed time.
+
+#![warn(missing_docs)]
+
+pub mod aix;
+pub mod error;
+pub mod local;
+pub mod mem;
+pub mod null;
+pub mod stats;
+pub mod trace;
+pub mod traits;
+
+pub use aix::AixModel;
+pub use error::FsError;
+pub use local::LocalFs;
+pub use mem::MemFs;
+pub use null::NullFs;
+pub use stats::IoStats;
+pub use trace::{TraceEntry, TraceKind, TraceLog};
+pub use traits::{FileHandle, FileSystem};

@@ -1,0 +1,231 @@
+//! Real-file backend rooted at a directory.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Component, Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::FsError;
+use crate::stats::{IoStats, SeqTracker};
+use crate::traits::{FileHandle, FileSystem};
+
+/// A file system backed by real files under a root directory. Used by the
+/// examples and by integration tests that verify on-disk layout (e.g.
+/// that concatenating the per-server files of a `BLOCK,*,*` schema yields
+/// the array in traditional order).
+#[derive(Debug)]
+pub struct LocalFs {
+    root: PathBuf,
+    stats: Arc<IoStats>,
+}
+
+impl LocalFs {
+    /// Create a backend rooted at `root`, creating the directory if
+    /// needed.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, FsError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalFs {
+            root,
+            stats: Arc::new(IoStats::new()),
+        })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> Result<PathBuf, FsError> {
+        let rel = Path::new(path);
+        if rel.is_absolute()
+            || rel
+                .components()
+                .any(|c| matches!(c, Component::ParentDir | Component::RootDir))
+        {
+            return Err(FsError::InvalidPath {
+                path: path.to_string(),
+            });
+        }
+        Ok(self.root.join(rel))
+    }
+}
+
+impl FileSystem for LocalFs {
+    fn create(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        let full = self.resolve(path)?;
+        if let Some(parent) = full.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(full)?;
+        Ok(Box::new(LocalHandle {
+            file,
+            stats: Arc::clone(&self.stats),
+            tracker: SeqTracker::default(),
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        let full = self.resolve(path)?;
+        if !full.is_file() {
+            return Err(FsError::NotFound {
+                path: path.to_string(),
+            });
+        }
+        let file = fs::OpenOptions::new().read(true).write(true).open(full)?;
+        Ok(Box::new(LocalHandle {
+            file,
+            stats: Arc::clone(&self.stats),
+            tracker: SeqTracker::default(),
+        }))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.resolve(path).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        let full = self.resolve(path)?;
+        if !full.is_file() {
+            return Err(FsError::NotFound {
+                path: path.to_string(),
+            });
+        }
+        fs::remove_file(full)?;
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<String> {
+        fn walk(dir: &Path, prefix: &str, out: &mut Vec<String>) {
+            let Ok(entries) = fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let rel = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                let p = entry.path();
+                if p.is_dir() {
+                    walk(&p, &rel, out);
+                } else {
+                    out.push(rel);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, "", &mut out);
+        out.sort();
+        out
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+struct LocalHandle {
+    file: fs::File,
+    stats: Arc<IoStats>,
+    tracker: SeqTracker,
+}
+
+impl FileHandle for LocalHandle {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let sequential = self.tracker.classify(offset, data.len());
+        // Zero-fill any gap so sparse semantics match MemFs everywhere.
+        let len = self.file.metadata()?.len();
+        if offset > len {
+            self.file.set_len(offset)?;
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)?;
+        self.stats.record_write(data.len(), sequential);
+        Ok(())
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        let sequential = self.tracker.classify(offset, buf.len());
+        let file_len = self.file.metadata()?.len();
+        if offset + buf.len() as u64 > file_len {
+            return Err(FsError::ReadPastEnd {
+                offset,
+                len: buf.len(),
+                file_len,
+            });
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)?;
+        self.stats.record_read(buf.len(), sequential);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn sync(&mut self) -> Result<(), FsError> {
+        self.file.sync_data()?;
+        self.stats.record_sync();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::conformance;
+
+    fn tmp_fs(tag: &str) -> LocalFs {
+        let dir = std::env::temp_dir().join(format!(
+            "panda-fs-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        LocalFs::new(dir).unwrap()
+    }
+
+    #[test]
+    fn conformance_suite() {
+        let fs = tmp_fs("conf");
+        conformance::basic_roundtrip(&fs);
+        conformance::read_past_end_errors(&fs);
+        conformance::open_missing_errors(&fs);
+        conformance::create_truncates(&fs);
+        conformance::sparse_write_zero_fills(&fs);
+        conformance::remove_and_list(&fs);
+        conformance::stats_track_sequentiality(&fs);
+        let _ = fs::remove_dir_all(fs.root());
+    }
+
+    #[test]
+    fn rejects_escaping_paths() {
+        let fs = tmp_fs("escape");
+        assert!(matches!(
+            fs.create("../evil").map(|_| ()).unwrap_err(),
+            FsError::InvalidPath { .. }
+        ));
+        assert!(matches!(
+            fs.create("/abs").map(|_| ()).unwrap_err(),
+            FsError::InvalidPath { .. }
+        ));
+        let _ = fs::remove_dir_all(fs.root());
+    }
+
+    #[test]
+    fn nested_paths_create_directories() {
+        let fs = tmp_fs("nested");
+        let mut h = fs.create("group/array.0").unwrap();
+        h.write_at(0, b"x").unwrap();
+        assert!(fs.exists("group/array.0"));
+        assert_eq!(fs.list(), vec!["group/array.0".to_string()]);
+        let _ = fs::remove_dir_all(fs.root());
+    }
+}

@@ -1,0 +1,227 @@
+//! In-memory file system for deterministic tests.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::FsError;
+use crate::stats::{IoStats, SeqTracker};
+use crate::trace::{TraceEntry, TraceKind, TraceLog};
+use crate::traits::{FileHandle, FileSystem};
+
+type FileData = Arc<Mutex<Vec<u8>>>;
+
+/// A file system held entirely in memory. Cheap, deterministic, and
+/// shared-reference friendly; the default backend of the test suite.
+#[derive(Debug, Default)]
+pub struct MemFs {
+    files: Mutex<BTreeMap<String, FileData>>,
+    stats: Arc<IoStats>,
+    trace: Option<Arc<TraceLog>>,
+}
+
+impl MemFs {
+    /// Create an empty in-memory file system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// As [`MemFs::new`], additionally recording the first
+    /// `trace_capacity` accesses for inspection via [`MemFs::trace`].
+    pub fn with_trace(trace_capacity: usize) -> Self {
+        MemFs {
+            trace: Some(Arc::new(TraceLog::new(trace_capacity))),
+            ..Self::default()
+        }
+    }
+
+    /// The access trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Arc<TraceLog>> {
+        self.trace.as_ref()
+    }
+
+    /// Read a whole file's contents (test convenience).
+    pub fn contents(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let files = self.files.lock();
+        let data = files.get(path).ok_or_else(|| FsError::NotFound {
+            path: path.to_string(),
+        })?;
+        let contents = data.lock().clone();
+        Ok(contents)
+    }
+}
+
+impl FileSystem for MemFs {
+    fn create(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        let data: FileData = Arc::new(Mutex::new(Vec::new()));
+        self.files
+            .lock()
+            .insert(path.to_string(), Arc::clone(&data));
+        Ok(Box::new(MemHandle {
+            path: path.to_string(),
+            data,
+            stats: Arc::clone(&self.stats),
+            tracker: SeqTracker::default(),
+            trace: self.trace.clone(),
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        let files = self.files.lock();
+        let data = files.get(path).ok_or_else(|| FsError::NotFound {
+            path: path.to_string(),
+        })?;
+        Ok(Box::new(MemHandle {
+            path: path.to_string(),
+            data: Arc::clone(data),
+            stats: Arc::clone(&self.stats),
+            tracker: SeqTracker::default(),
+            trace: self.trace.clone(),
+        }))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        self.files
+            .lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FsError::NotFound {
+                path: path.to_string(),
+            })
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.files.lock().keys().cloned().collect()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+struct MemHandle {
+    path: String,
+    data: FileData,
+    stats: Arc<IoStats>,
+    tracker: SeqTracker,
+    trace: Option<Arc<TraceLog>>,
+}
+
+impl MemHandle {
+    fn record(&self, kind: TraceKind, offset: u64, len: usize, sequential: bool) {
+        if let Some(trace) = &self.trace {
+            trace.record(TraceEntry {
+                kind,
+                file: self.path.clone(),
+                offset,
+                len,
+                sequential,
+            });
+        }
+    }
+}
+
+impl FileHandle for MemHandle {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let sequential = self.tracker.classify(offset, data.len());
+        let mut file = self.data.lock();
+        let end = offset as usize + data.len();
+        if file.len() < end {
+            file.resize(end, 0);
+        }
+        file[offset as usize..end].copy_from_slice(data);
+        self.stats.record_write(data.len(), sequential);
+        self.record(TraceKind::Write, offset, data.len(), sequential);
+        Ok(())
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        let sequential = self.tracker.classify(offset, buf.len());
+        let file = self.data.lock();
+        let end = offset as usize + buf.len();
+        if end > file.len() {
+            return Err(FsError::ReadPastEnd {
+                offset,
+                len: buf.len(),
+                file_len: file.len() as u64,
+            });
+        }
+        buf.copy_from_slice(&file[offset as usize..end]);
+        self.stats.record_read(buf.len(), sequential);
+        self.record(TraceKind::Read, offset, buf.len(), sequential);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.lock().len() as u64
+    }
+
+    fn sync(&mut self) -> Result<(), FsError> {
+        self.stats.record_sync();
+        self.record(TraceKind::Sync, 0, 0, true);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::conformance;
+
+    #[test]
+    fn conformance_suite() {
+        let fs = MemFs::new();
+        conformance::basic_roundtrip(&fs);
+        conformance::read_past_end_errors(&fs);
+        conformance::open_missing_errors(&fs);
+        conformance::create_truncates(&fs);
+        conformance::sparse_write_zero_fills(&fs);
+        conformance::remove_and_list(&fs);
+        conformance::stats_track_sequentiality(&fs);
+    }
+
+    #[test]
+    fn contents_reads_whole_file() {
+        let fs = MemFs::new();
+        let mut h = fs.create("x").unwrap();
+        h.write_at(0, b"panda").unwrap();
+        assert_eq!(fs.contents("x").unwrap(), b"panda");
+        assert!(fs.contents("y").is_err());
+    }
+
+    #[test]
+    fn trace_records_accesses() {
+        let fs = MemFs::with_trace(8);
+        let mut h = fs.create("t").unwrap();
+        h.write_at(0, &[0; 4]).unwrap();
+        h.write_at(8, &[0; 4]).unwrap(); // seek
+        h.sync().unwrap();
+        let trace = fs.trace().unwrap().entries();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].kind, TraceKind::Write);
+        assert!(trace[0].sequential);
+        assert!(!trace[1].sequential);
+        assert_eq!(trace[2].kind, TraceKind::Sync);
+        assert!(MemFs::new().trace().is_none());
+    }
+
+    #[test]
+    fn two_handles_share_the_file() {
+        let fs = MemFs::new();
+        let mut w = fs.create("x").unwrap();
+        w.write_at(0, b"abcd").unwrap();
+        let mut r = fs.open("x").unwrap();
+        let mut buf = [0u8; 4];
+        r.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        // Writes through one handle are visible through the other.
+        w.write_at(0, b"ZZ").unwrap();
+        r.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ZZcd");
+    }
+}

@@ -1,0 +1,153 @@
+//! The "infinitely fast disk".
+//!
+//! Paper §3: "we simulated an infinitely fast disk by commenting out the
+//! actual file system open/close/write/read commands in the Panda server
+//! code." `NullFs` is that experiment as a backend: writes are counted
+//! and discarded, reads are counted and zero-filled, and file lengths are
+//! tracked so the protocol logic upstream is untouched.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::FsError;
+use crate::stats::{IoStats, SeqTracker};
+use crate::traits::{FileHandle, FileSystem};
+
+/// A backend that stores no data. Lengths are tracked per file so that
+/// subsequent reads of previously "written" ranges succeed (returning
+/// zeros), exactly as the paper's commented-out-I/O servers behaved.
+#[derive(Debug, Default)]
+pub struct NullFs {
+    lengths: Arc<Mutex<BTreeMap<String, u64>>>,
+    stats: Arc<IoStats>,
+}
+
+impl NullFs {
+    /// Create an empty null backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl FileSystem for NullFs {
+    fn create(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        self.lengths.lock().insert(path.to_string(), 0);
+        Ok(Box::new(NullHandle {
+            path: path.to_string(),
+            lengths: Arc::clone(&self.lengths),
+            stats: Arc::clone(&self.stats),
+            tracker: SeqTracker::default(),
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        if !self.lengths.lock().contains_key(path) {
+            return Err(FsError::NotFound {
+                path: path.to_string(),
+            });
+        }
+        Ok(Box::new(NullHandle {
+            path: path.to_string(),
+            lengths: Arc::clone(&self.lengths),
+            stats: Arc::clone(&self.stats),
+            tracker: SeqTracker::default(),
+        }))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.lengths.lock().contains_key(path)
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        self.lengths
+            .lock()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FsError::NotFound {
+                path: path.to_string(),
+            })
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.lengths.lock().keys().cloned().collect()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+struct NullHandle {
+    path: String,
+    lengths: Arc<Mutex<BTreeMap<String, u64>>>,
+    stats: Arc<IoStats>,
+    tracker: SeqTracker,
+}
+
+impl FileHandle for NullHandle {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let sequential = self.tracker.classify(offset, data.len());
+        let mut lengths = self.lengths.lock();
+        let len = lengths.entry(self.path.clone()).or_insert(0);
+        *len = (*len).max(offset + data.len() as u64);
+        self.stats.record_write(data.len(), sequential);
+        Ok(())
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        let sequential = self.tracker.classify(offset, buf.len());
+        let file_len = *self.lengths.lock().get(&self.path).unwrap_or(&0);
+        if offset + buf.len() as u64 > file_len {
+            return Err(FsError::ReadPastEnd {
+                offset,
+                len: buf.len(),
+                file_len,
+            });
+        }
+        buf.fill(0);
+        self.stats.record_read(buf.len(), sequential);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        *self.lengths.lock().get(&self.path).unwrap_or(&0)
+    }
+
+    fn sync(&mut self) -> Result<(), FsError> {
+        self.stats.record_sync();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::conformance;
+
+    #[test]
+    fn partial_conformance() {
+        // NullFs satisfies every conformance property that does not
+        // depend on stored data surviving.
+        let fs = NullFs::new();
+        conformance::read_past_end_errors(&fs);
+        conformance::open_missing_errors(&fs);
+        conformance::create_truncates(&fs);
+        conformance::remove_and_list(&fs);
+        conformance::stats_track_sequentiality(&fs);
+    }
+
+    #[test]
+    fn reads_return_zeros_but_lengths_are_real() {
+        let fs = NullFs::new();
+        let mut h = fs.create("x").unwrap();
+        h.write_at(0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(h.len(), 4);
+        let mut buf = [9u8; 4];
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0, 0]);
+        assert_eq!(fs.stats().bytes_written(), 4);
+        assert_eq!(fs.stats().bytes_read(), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Bounded access traces.
+//!
+//! Beyond aggregate counters, it is often useful to *see* the access
+//! pattern an I/O strategy produced — the paper's whole argument is
+//! about the difference between "1 MB sequential writes" and "small
+//! strided writes arriving in random order". A [`TraceLog`] records the
+//! first `capacity` positioned accesses on a backend (offset, length,
+//! direction, sequential-or-seek) for inspection by tests, examples,
+//! and tools.
+
+use parking_lot::Mutex;
+
+/// Direction of a traced access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A positioned read.
+    Read,
+    /// A positioned write.
+    Write,
+    /// A sync/flush.
+    Sync,
+}
+
+/// One traced access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Read, write, or sync.
+    pub kind: TraceKind,
+    /// File the access targeted.
+    pub file: String,
+    /// Byte offset (0 for sync).
+    pub offset: u64,
+    /// Length in bytes (0 for sync).
+    pub len: usize,
+    /// Whether the access continued the previous one on its handle.
+    pub sequential: bool,
+}
+
+impl TraceEntry {
+    /// Render like `W field.s0 @4096+1024 seq` for logs.
+    pub fn display(&self) -> String {
+        let k = match self.kind {
+            TraceKind::Read => "R",
+            TraceKind::Write => "W",
+            TraceKind::Sync => "S",
+        };
+        format!(
+            "{k} {} @{}+{} {}",
+            self.file,
+            self.offset,
+            self.len,
+            if self.sequential { "seq" } else { "SEEK" }
+        )
+    }
+}
+
+/// A bounded, shared access log. Recording stops (but counting in
+/// [`crate::IoStats`] continues) once `capacity` entries are held, so
+/// tracing a large run is safe.
+#[derive(Debug)]
+pub struct TraceLog {
+    entries: Mutex<Vec<TraceEntry>>,
+    capacity: usize,
+}
+
+impl TraceLog {
+    /// A log that keeps at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            entries: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    /// Record an entry if capacity remains.
+    pub fn record(&self, entry: TraceEntry) {
+        let mut entries = self.entries.lock();
+        if entries.len() < self.capacity {
+            entries.push(entry);
+        }
+    }
+
+    /// Snapshot the recorded entries.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all recorded entries (capacity is retained).
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(offset: u64, sequential: bool) -> TraceEntry {
+        TraceEntry {
+            kind: TraceKind::Write,
+            file: "f".to_string(),
+            offset,
+            len: 8,
+            sequential,
+        }
+    }
+
+    #[test]
+    fn records_up_to_capacity() {
+        let log = TraceLog::new(2);
+        assert!(log.is_empty());
+        log.record(entry(0, true));
+        log.record(entry(8, true));
+        log.record(entry(16, true)); // dropped
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[1].offset, 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let log = TraceLog::new(4);
+        log.record(entry(0, true));
+        log.clear();
+        assert!(log.is_empty());
+        log.record(entry(4, false));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = entry(4096, false);
+        assert_eq!(e.display(), "W f @4096+8 SEEK");
+        let s = TraceEntry {
+            kind: TraceKind::Sync,
+            file: "x".into(),
+            offset: 0,
+            len: 0,
+            sequential: true,
+        };
+        assert!(s.display().starts_with("S x"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The file-system abstraction.
+
+use std::sync::Arc;
+
+use crate::error::FsError;
+use crate::stats::IoStats;
+
+/// One I/O node's file system.
+///
+/// Panda stores each server's share of an array as one file per array
+/// (per server). Backends are shared-reference friendly (`&self`
+/// methods, `Send + Sync`) so a server thread can own a handle while
+/// tests inspect the same backend.
+pub trait FileSystem: Send + Sync {
+    /// Create (or truncate) a file and return a handle positioned for
+    /// sequential writing from offset 0.
+    fn create(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError>;
+
+    /// Open an existing file for reading/writing.
+    fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError>;
+
+    /// True iff the file exists.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Remove a file.
+    fn remove(&self, path: &str) -> Result<(), FsError>;
+
+    /// All file names in the backend, sorted.
+    fn list(&self) -> Vec<String>;
+
+    /// Shared operation statistics for this backend.
+    fn stats(&self) -> Arc<IoStats>;
+}
+
+/// An open file.
+///
+/// All accesses are positioned (`pread`/`pwrite` style); the backend
+/// classifies each as sequential or seeking for [`IoStats`].
+pub trait FileHandle: Send {
+    /// Write `data` at `offset`, extending the file if needed.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError>;
+
+    /// Fill `buf` from `offset`; errors if the range is past EOF.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError>;
+
+    /// Current file length in bytes.
+    fn len(&self) -> u64;
+
+    /// True iff the file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush data to stable storage (the paper fsyncs after each write
+    /// collective).
+    fn sync(&mut self) -> Result<(), FsError>;
+}
+
+/// Exhaustive conformance checks shared by the backend test suites.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    pub(crate) fn basic_roundtrip(fs: &dyn FileSystem) {
+        let mut h = fs.create("a.dat").unwrap();
+        h.write_at(0, b"hello ").unwrap();
+        h.write_at(6, b"world").unwrap();
+        h.sync().unwrap();
+        assert_eq!(h.len(), 11);
+        drop(h);
+
+        assert!(fs.exists("a.dat"));
+        let mut h = fs.open("a.dat").unwrap();
+        let mut buf = vec![0u8; 5];
+        h.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        let mut all = vec![0u8; 11];
+        h.read_at(0, &mut all).unwrap();
+        assert_eq!(&all, b"hello world");
+    }
+
+    pub(crate) fn read_past_end_errors(fs: &dyn FileSystem) {
+        let mut h = fs.create("b.dat").unwrap();
+        h.write_at(0, b"abc").unwrap();
+        let mut buf = vec![0u8; 4];
+        assert!(matches!(
+            h.read_at(1, &mut buf).unwrap_err(),
+            FsError::ReadPastEnd { .. }
+        ));
+    }
+
+    pub(crate) fn open_missing_errors(fs: &dyn FileSystem) {
+        assert!(matches!(
+            fs.open("missing.dat").map(|_| ()).unwrap_err(),
+            FsError::NotFound { .. }
+        ));
+        assert!(!fs.exists("missing.dat"));
+    }
+
+    pub(crate) fn create_truncates(fs: &dyn FileSystem) {
+        let mut h = fs.create("c.dat").unwrap();
+        h.write_at(0, b"0123456789").unwrap();
+        drop(h);
+        let h = fs.create("c.dat").unwrap();
+        assert_eq!(h.len(), 0);
+    }
+
+    pub(crate) fn sparse_write_zero_fills(fs: &dyn FileSystem) {
+        let mut h = fs.create("d.dat").unwrap();
+        h.write_at(4, b"xy").unwrap();
+        assert_eq!(h.len(), 6);
+        let mut buf = vec![9u8; 6];
+        h.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, &[0, 0, 0, 0, b'x', b'y']);
+    }
+
+    pub(crate) fn remove_and_list(fs: &dyn FileSystem) {
+        fs.create("z1.dat").unwrap();
+        fs.create("z2.dat").unwrap();
+        let listed = fs.list();
+        assert!(listed.contains(&"z1.dat".to_string()));
+        assert!(listed.contains(&"z2.dat".to_string()));
+        fs.remove("z1.dat").unwrap();
+        assert!(!fs.exists("z1.dat"));
+        assert!(fs.exists("z2.dat"));
+        assert!(matches!(
+            fs.remove("z1.dat").unwrap_err(),
+            FsError::NotFound { .. }
+        ));
+    }
+
+    pub(crate) fn stats_track_sequentiality(fs: &dyn FileSystem) {
+        let base_seq = fs.stats().sequential_ops();
+        let base_seek = fs.stats().seeks();
+        let mut h = fs.create("s.dat").unwrap();
+        h.write_at(0, &[0; 8]).unwrap(); // sequential
+        h.write_at(8, &[0; 8]).unwrap(); // sequential
+        h.write_at(0, &[0; 4]).unwrap(); // seek
+        h.sync().unwrap();
+        assert_eq!(fs.stats().sequential_ops() - base_seq, 2);
+        assert_eq!(fs.stats().seeks() - base_seek, 1);
+        assert!(fs.stats().syncs() >= 1);
+        assert!(fs.stats().bytes_written() >= 20);
+    }
+}

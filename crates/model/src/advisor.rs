@@ -1,0 +1,325 @@
+//! Schema advisor — the paper's stated near-future work (§5): "we ...
+//! are developing a cost model to predict Panda's performance given an
+//! in-memory and on-disk schema."
+//!
+//! Given the application's memory schema and a workload description
+//! (how many collective writes and reads per run, and how many times a
+//! *sequential* consumer — a visualizer on a workstation — will scan
+//! the dataset afterwards), the advisor enumerates candidate disk
+//! schemas, predicts the cost of each using the same DES that
+//! regenerates the paper's figures, and ranks them.
+//!
+//! This formalizes the trade-off the paper discusses qualitatively:
+//! natural chunking is fastest for Panda itself, but a traditional-
+//! order schema pays a modest reorganization cost during the collective
+//! in exchange for files a sequential machine can consume by plain
+//! concatenation — "this is useful when users know how the data will be
+//! accessed in the future and wish to optimize for the future" (§2).
+
+use panda_core::{ArrayMeta, OpKind};
+use panda_fs::aix::IoDirection;
+use panda_schema::{DataSchema, Dist, Mesh};
+
+use crate::actors::{simulate, CollectiveSpec};
+use crate::machine::Sp2Machine;
+
+/// How the dataset will be used, per run of the application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Collective writes (timesteps, checkpoints).
+    pub writes: f64,
+    /// Collective reads back into the parallel application (restarts).
+    pub reads: f64,
+    /// Sequential whole-dataset scans by a downstream consumer.
+    pub consumer_scans: f64,
+}
+
+impl Workload {
+    /// A write-dominated production run: many dumps, rare restarts, no
+    /// post-processing on a sequential machine.
+    pub fn write_heavy() -> Self {
+        Workload {
+            writes: 100.0,
+            reads: 1.0,
+            consumer_scans: 0.0,
+        }
+    }
+
+    /// A visualization pipeline: every dump is later scanned by a
+    /// sequential tool.
+    pub fn consumer_heavy() -> Self {
+        Workload {
+            writes: 10.0,
+            reads: 0.0,
+            consumer_scans: 10.0,
+        }
+    }
+}
+
+/// One candidate disk schema with its predicted costs (seconds per
+/// operation).
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Human-readable candidate label (paper-style schema notation).
+    pub label: String,
+    /// The candidate metadata (memory schema + this disk schema).
+    pub meta: ArrayMeta,
+    /// Predicted elapsed seconds for one collective write.
+    pub write_s: f64,
+    /// Predicted elapsed seconds for one collective read.
+    pub read_s: f64,
+    /// Predicted elapsed seconds for one sequential consumer scan.
+    pub consumer_s: f64,
+    /// Workload-weighted total seconds.
+    pub total_s: f64,
+}
+
+/// Enumerate the candidate disk schemas for `memory` over `num_servers`
+/// I/O nodes: natural chunking plus every single-axis `BLOCK` slab
+/// orientation (`BLOCK,*,*`, `*,BLOCK,*`, ...).
+pub fn candidate_disk_schemas(
+    memory: &DataSchema,
+    num_servers: usize,
+) -> Vec<(String, DataSchema)> {
+    let mut out = Vec::new();
+    out.push(("natural chunking".to_string(), memory.clone()));
+    let rank = memory.shape().rank();
+    for axis in 0..rank {
+        if memory.shape().dim(axis) < num_servers {
+            continue; // cannot spread this axis over all servers
+        }
+        let mut dists = vec![Dist::Star; rank];
+        dists[axis] = Dist::Block;
+        let mesh = Mesh::line(num_servers).expect("nonzero server count");
+        if let Ok(schema) = DataSchema::new(memory.shape().clone(), memory.elem(), &dists, mesh)
+        {
+            let label = if axis == 0 {
+                "traditional order (BLOCK on axis 0)".to_string()
+            } else {
+                format!("slabs on axis {axis}")
+            };
+            out.push((label, schema));
+        }
+    }
+    out
+}
+
+/// Cost of one sequential consumer scan of the dataset.
+///
+/// Scenario (paper §2–3): the per-server files are migrated to a
+/// sequential workstation (concatenated in server order onto one
+/// disk), and a consumer reads the array in traditional row-major
+/// order. For a `BLOCK,*,...,*` disk schema the concatenation *is* the
+/// row-major array, so the scan is purely sequential. For any chunked
+/// schema, the row-major walk jumps between chunk files: each global
+/// row is cut into segments at chunk boundaries along the innermost
+/// axis, and each discontinuity costs a seek. Large sequential
+/// stretches are coalesced into ≤ 1 MB requests, matching how a real
+/// consumer would buffer.
+fn consumer_scan_cost(machine: &Sp2Machine, meta: &ArrayMeta, num_servers: usize) -> f64 {
+    use panda_core::baseline::chunk_placements;
+    use panda_schema::copy::offset_in_region;
+
+    let elem = meta.elem_size();
+    let shape = meta.shape();
+    let rank = shape.rank();
+    let placements = chunk_placements(meta, num_servers);
+    // Concatenate server files: global offset = server base + in-file
+    // offset.
+    let mut server_base = vec![0u64; num_servers + 1];
+    for p in &placements {
+        let end = p.file_offset + p.region.num_bytes(elem) as u64;
+        server_base[p.server + 1] = server_base[p.server + 1].max(end);
+    }
+    for s in 0..num_servers {
+        server_base[s + 1] += server_base[s];
+    }
+    let grid = meta.disk_grid();
+    let by_chunk: std::collections::HashMap<usize, &_> =
+        placements.iter().map(|p| (p.chunk_idx, p)).collect();
+
+    // Walk the array row by row, emitting (offset, len) segments, and
+    // fold contiguous segments into ≤ 1 MB requests. Seeks are charged
+    // at every discontinuity.
+    let mut time = 0.0f64;
+    let mut expected: Option<u64> = None;
+    let mut pending: usize = 0; // contiguous bytes accumulated
+    fn flush(machine: &Sp2Machine, time: &mut f64, pending: &mut usize) {
+        let mut left = *pending;
+        while left > 0 {
+            let req = left.min(1 << 20);
+            *time += machine.disk.access_time(req, IoDirection::Read);
+            left -= req;
+        }
+        *pending = 0;
+    }
+
+    // Iterate rows via the outer dims; rank-0/1 arrays are one "row".
+    let outer_shape = if rank <= 1 {
+        panda_schema::Shape::new(&[]).expect("rank-0 shape")
+    } else {
+        panda_schema::Shape::new(&shape.dims()[..rank - 1]).expect("nonzero dims")
+    };
+    for outer in outer_shape.iter_indices() {
+        // Cut this row at chunk boundaries along the last axis.
+        let mut z = 0usize;
+        let zmax = if rank == 0 { 1 } else { shape.dim(rank - 1) };
+        while z < zmax {
+            let idx: Vec<usize> = if rank == 0 {
+                vec![]
+            } else {
+                let mut v = outer.clone();
+                v.push(z);
+                v
+            };
+            let chunk_idx = grid.chunk_of_index(&idx);
+            let p = by_chunk[&chunk_idx];
+            let seg_end = if rank == 0 {
+                1
+            } else {
+                p.region.hi()[rank - 1].min(zmax)
+            };
+            let seg_elems = seg_end - z;
+            let off = server_base[p.server]
+                + p.file_offset
+                + offset_in_region(&p.region, &idx, elem) as u64;
+            let seg_bytes = seg_elems * elem;
+            match expected {
+                Some(e) if e == off => pending += seg_bytes,
+                Some(_) => {
+                    flush(machine, &mut time, &mut pending);
+                    time += machine.disk.seek_penalty;
+                    pending = seg_bytes;
+                }
+                None => pending = seg_bytes,
+            }
+            expected = Some(off + seg_bytes as u64);
+            z = seg_end.max(z + 1);
+        }
+    }
+    flush(machine, &mut time, &mut pending);
+    time
+}
+
+/// Predict and rank all candidate disk schemas for `memory` under the
+/// given workload; best (lowest weighted total) first.
+pub fn advise(
+    machine: &Sp2Machine,
+    name: &str,
+    memory: &DataSchema,
+    num_servers: usize,
+    workload: &Workload,
+) -> Vec<Prediction> {
+    let mut predictions = Vec::new();
+    for (label, disk) in candidate_disk_schemas(memory, num_servers) {
+        let Ok(meta) = ArrayMeta::new(name, memory.clone(), disk) else {
+            continue;
+        };
+        let write_s = simulate(
+            machine,
+            &CollectiveSpec {
+                arrays: vec![meta.clone()],
+                op: OpKind::Write,
+                num_servers,
+                subchunk_bytes: 1 << 20,
+                fast_disk: false,
+                section: None,
+            },
+        )
+        .elapsed;
+        let read_s = simulate(
+            machine,
+            &CollectiveSpec {
+                arrays: vec![meta.clone()],
+                op: OpKind::Read,
+                num_servers,
+                subchunk_bytes: 1 << 20,
+                fast_disk: false,
+                section: None,
+            },
+        )
+        .elapsed;
+        let consumer_s = if workload.consumer_scans > 0.0 {
+            consumer_scan_cost(machine, &meta, num_servers)
+        } else {
+            0.0
+        };
+        let total_s = workload.writes * write_s
+            + workload.reads * read_s
+            + workload.consumer_scans * consumer_s;
+        predictions.push(Prediction {
+            label,
+            meta,
+            write_s,
+            read_s,
+            consumer_s,
+            total_s,
+        });
+    }
+    predictions.sort_by(|a, b| a.total_s.total_cmp(&b.total_s));
+    predictions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_schema::{ElementType, Shape};
+
+    fn memory() -> DataSchema {
+        DataSchema::block_all(
+            Shape::new(&[64, 512, 512]).unwrap(),
+            ElementType::F32,
+            Mesh::new(&[2, 2, 2]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidates_include_natural_and_all_slabs() {
+        let c = candidate_disk_schemas(&memory(), 4);
+        assert_eq!(c.len(), 4); // natural + 3 axes
+        assert!(c[0].0.contains("natural"));
+    }
+
+    #[test]
+    fn write_heavy_workload_prefers_natural_chunking() {
+        let m = Sp2Machine::nas_sp2();
+        let ranked = advise(&m, "t", &memory(), 4, &Workload::write_heavy());
+        assert!(
+            ranked[0].label.contains("natural"),
+            "got {}",
+            ranked[0].label
+        );
+        // And natural's write is at least as fast as every slab layout.
+        for p in &ranked[1..] {
+            assert!(ranked[0].write_s <= p.write_s + 1e-9);
+        }
+    }
+
+    #[test]
+    fn consumer_heavy_workload_prefers_traditional_order() {
+        let m = Sp2Machine::nas_sp2();
+        let ranked = advise(&m, "t", &memory(), 4, &Workload::consumer_heavy());
+        assert!(
+            ranked[0].label.contains("traditional"),
+            "got {}",
+            ranked[0].label
+        );
+        // The sequential scan of traditional-order files is much
+        // cheaper than pulling a chunked layout through Panda.
+        let natural = ranked.iter().find(|p| p.label.contains("natural")).unwrap();
+        assert!(ranked[0].consumer_s < natural.consumer_s * 0.9);
+    }
+
+    #[test]
+    fn predictions_are_positive_and_ordered() {
+        let m = Sp2Machine::nas_sp2();
+        let ranked = advise(&m, "t", &memory(), 2, &Workload::write_heavy());
+        for w in ranked.windows(2) {
+            assert!(w[0].total_s <= w[1].total_s);
+        }
+        for p in &ranked {
+            assert!(p.write_s > 0.0 && p.read_s > 0.0);
+        }
+    }
+}

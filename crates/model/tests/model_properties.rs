@@ -1,0 +1,197 @@
+//! Property tests on the performance model: physical sanity bounds
+//! that must hold for *any* configuration, not just the paper's grid.
+
+use panda_core::OpKind;
+use panda_fs::aix::{IoDirection, MB};
+use panda_model::experiment::{paper_array, DiskKind};
+use panda_model::{simulate, CollectiveSpec, Sp2Machine};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = CollectiveSpec> {
+    (
+        prop_oneof![Just(2usize), Just(4), Just(8), Just(16), Just(32)],
+        prop_oneof![Just(8usize), Just(16), Just(24), Just(32)],
+        1usize..=8,
+        prop_oneof![Just(DiskKind::Natural), Just(DiskKind::Traditional)],
+        prop_oneof![Just(OpKind::Write), Just(OpKind::Read)],
+        any::<bool>(),
+        prop_oneof![Just(1usize << 18), Just(1 << 20), Just(1 << 22)],
+    )
+        .prop_map(|(mb, compute, servers, disk, op, fast, subchunk)| CollectiveSpec {
+            arrays: vec![paper_array(mb, compute, servers, disk)],
+            op,
+            num_servers: servers,
+            subchunk_bytes: subchunk,
+            fast_disk: fast,
+            section: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Throughput can never exceed the machine's hard capacities, and
+    /// elapsed time includes at least the startup overhead plus the
+    /// serial transfer lower bound.
+    #[test]
+    fn physical_bounds_hold(spec in spec_strategy()) {
+        let m = Sp2Machine::nas_sp2();
+        let r = simulate(&m, &spec);
+        prop_assert!(r.elapsed > m.startup);
+        // Per-I/O-node throughput is bounded by the network; with real
+        // disks also by the raw disk rate.
+        prop_assert!(r.per_io_node_mbs <= m.net.bandwidth / MB + 1e-9);
+        if !spec.fast_disk {
+            prop_assert!(r.per_io_node_mbs <= m.disk.raw_bandwidth / MB + 1e-9);
+        }
+        // Normalization divides by the throughput of 1 MB requests
+        // (the paper's baseline); runs configured with larger subchunks
+        // can exceed it, but never the raw-hardware ratio.
+        let max_norm = if spec.fast_disk {
+            1.0
+        } else {
+            m.disk.raw_bandwidth / (m.disk.peak_mbs(IoDirection::Write).min(
+                m.disk.peak_mbs(IoDirection::Read)) * MB)
+        };
+        prop_assert!(r.normalized > 0.0 && r.normalized <= max_norm + 1e-9,
+            "normalized {} > {max_norm}", r.normalized);
+        // The DES moved exactly the array bytes.
+        prop_assert_eq!(r.total_bytes, spec.arrays[0].total_bytes() as u64);
+        // Message accounting: one data message per piece ≥ one per
+        // subchunk; bytes/messages consistent.
+        prop_assert!(r.data_msgs > 0);
+        if matches!(spec.op, OpKind::Write) {
+            prop_assert_eq!(r.ctrl_msgs, r.data_msgs);
+        } else {
+            prop_assert_eq!(r.ctrl_msgs, 0);
+        }
+    }
+
+    /// Elapsed time is monotone (never decreases) in array size, all
+    /// else equal.
+    #[test]
+    fn elapsed_monotone_in_size(
+        servers in 1usize..=8,
+        fast in any::<bool>(),
+        op in prop_oneof![Just(OpKind::Write), Just(OpKind::Read)],
+    ) {
+        let m = Sp2Machine::nas_sp2();
+        let mut prev = 0.0f64;
+        for mb in [16usize, 32, 64, 128] {
+            let r = simulate(&m, &CollectiveSpec {
+                arrays: vec![paper_array(mb, 8, servers, DiskKind::Natural)],
+                op,
+                num_servers: servers,
+                subchunk_bytes: 1 << 20,
+                fast_disk: fast,
+                section: None,
+            });
+            prop_assert!(r.elapsed >= prev, "mb={mb}: {} < {prev}", r.elapsed);
+            prev = r.elapsed;
+        }
+    }
+
+    /// Adding I/O nodes never hurts (elapsed is non-increasing in the
+    /// number of servers for a fixed workload).
+    #[test]
+    fn more_io_nodes_never_slower(
+        mb in prop_oneof![Just(32usize), Just(64), Just(128)],
+        fast in any::<bool>(),
+    ) {
+        let m = Sp2Machine::nas_sp2();
+        let mut prev = f64::INFINITY;
+        for servers in [1usize, 2, 4, 8] {
+            let r = simulate(&m, &CollectiveSpec {
+                arrays: vec![paper_array(mb, 8, servers, DiskKind::Natural)],
+                op: OpKind::Write,
+                num_servers: servers,
+                subchunk_bytes: 1 << 20,
+                fast_disk: fast,
+                section: None,
+            });
+            prop_assert!(
+                r.elapsed <= prev * 1.001,
+                "servers={servers}: {} > {prev}",
+                r.elapsed
+            );
+            prev = r.elapsed;
+        }
+    }
+
+    /// Natural chunking is never slower than a reorganizing schema on
+    /// the same workload (the paper's headline comparison) — PROVIDED
+    /// natural chunks are at least subchunk-sized. (A real model
+    /// finding: when memory chunks shrink below 1 MB, natural chunking
+    /// inherits sub-1 MB disk writes and the AIX small-write penalty,
+    /// while a traditional-order slab keeps writing full 1 MB
+    /// subchunks and wins. The paper's configurations keep chunks
+    /// ≥ 0.5 MB and its 85-98 % floor at the small end is consistent
+    /// with exactly this effect.)
+    #[test]
+    fn natural_no_slower_than_traditional_when_chunks_are_large(
+        mb in prop_oneof![Just(64usize), Just(128), Just(256)],
+        servers in prop_oneof![Just(2usize), Just(4), Just(8)],
+        fast in any::<bool>(),
+        op in prop_oneof![Just(OpKind::Write), Just(OpKind::Read)],
+    ) {
+        // 32 compute nodes → chunk = mb/32 MB; keep chunks ≥ 2 MB and
+        // the server count dividing the 32 chunks (balanced round
+        // robin; see `round_robin_imbalance_is_real` for the other
+        // case, which the paper discusses in §3).
+        let m = Sp2Machine::nas_sp2();
+        let run = |disk| simulate(&m, &CollectiveSpec {
+            arrays: vec![paper_array(mb, 32, servers, disk)],
+            op,
+            num_servers: servers,
+            subchunk_bytes: 1 << 20,
+            fast_disk: fast,
+            section: None,
+        }).elapsed;
+        let natural = run(DiskKind::Natural);
+        let traditional = run(DiskKind::Traditional);
+        prop_assert!(
+            natural <= traditional * 1.001,
+            "natural {natural} vs traditional {traditional}"
+        );
+    }
+
+    /// Paper §3: "array chunks may be unevenly distributed across i/o
+    /// nodes when the number of i/o nodes does not evenly divide the
+    /// number of compute nodes ... a schema such as the traditional
+    /// order schemas ... can be chosen which distributes the data
+    /// evenly." The model reproduces this: with 5 servers over 32
+    /// chunks, natural chunking loses to the perfectly balanced
+    /// traditional slabs.
+    #[test]
+    fn round_robin_imbalance_is_real(
+        mb in prop_oneof![Just(64usize), Just(128)],
+    ) {
+        let m = Sp2Machine::nas_sp2();
+        let run = |disk| simulate(&m, &CollectiveSpec {
+            arrays: vec![paper_array(mb, 32, 5, disk)],
+            op: OpKind::Write,
+            num_servers: 5,
+            subchunk_bytes: 1 << 20,
+            fast_disk: false,
+            section: None,
+        }).elapsed;
+        let natural = run(DiskKind::Natural);
+        let traditional = run(DiskKind::Traditional);
+        prop_assert!(natural > traditional, "{natural} vs {traditional}");
+        // ... and the imbalance is bounded by ceil(32/5)/(32/5) = 1.09.
+        prop_assert!(natural < traditional * 1.15);
+    }
+
+    /// The AIX model's request-size curve is monotone: larger requests
+    /// never have lower throughput.
+    #[test]
+    fn aix_throughput_monotone(dir in prop_oneof![Just(IoDirection::Read), Just(IoDirection::Write)]) {
+        let m = Sp2Machine::nas_sp2();
+        let mut prev = 0.0;
+        for kb in [4usize, 16, 64, 256, 1024, 4096] {
+            let t = m.disk.throughput_mbs(kb << 10, dir);
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

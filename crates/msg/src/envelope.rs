@@ -1,0 +1,76 @@
+//! Node identifiers and message envelopes.
+
+use std::fmt;
+
+/// A global node rank. Panda numbers compute nodes (clients) first and
+/// I/O nodes (servers) after them, but this layer is agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The rank as a plain index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A delivered message: source rank, user tag, and the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Rank of the sender.
+    pub src: NodeId,
+    /// Application-chosen tag (the Panda protocol uses one tag per
+    /// message kind).
+    pub tag: u32,
+    /// Message body.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Payload size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True iff the payload is empty (pure-control message).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(7).to_string(), "node7");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+
+    #[test]
+    fn envelope_len() {
+        let e = Envelope {
+            src: NodeId(0),
+            tag: 3,
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+        let c = Envelope {
+            src: NodeId(1),
+            tag: 0,
+            payload: vec![],
+        };
+        assert!(c.is_empty());
+    }
+}

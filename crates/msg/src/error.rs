@@ -1,0 +1,57 @@
+//! Transport errors.
+
+use crate::envelope::NodeId;
+use std::fmt;
+
+/// Errors raised by a [`crate::Transport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgError {
+    /// The destination rank does not exist in the fabric.
+    InvalidNode {
+        /// The offending rank.
+        node: NodeId,
+        /// Number of nodes in the fabric.
+        num_nodes: usize,
+    },
+    /// A blocking receive exceeded the endpoint's timeout. Panda's
+    /// protocol is deadlock-free by construction; a timeout therefore
+    /// indicates a protocol bug and is surfaced loudly instead of
+    /// hanging the test suite.
+    Timeout {
+        /// The timeout that elapsed, in milliseconds.
+        after_ms: u64,
+    },
+    /// All peer endpoints have been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for MsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgError::InvalidNode { node, num_nodes } => {
+                write!(f, "{node} is not a member of this {num_nodes}-node fabric")
+            }
+            MsgError::Timeout { after_ms } => {
+                write!(f, "receive timed out after {after_ms} ms")
+            }
+            MsgError::Disconnected => write!(f, "all peers disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MsgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MsgError::InvalidNode {
+            node: NodeId(9),
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("node9"));
+        assert!(MsgError::Timeout { after_ms: 100 }.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Collective helpers over point-to-point messaging.
+//!
+//! MPI applications lean on a handful of collectives; Panda itself only
+//! needs broadcast-like control flows (the master server relaying a
+//! request, the master client releasing its peers), but applications
+//! built on the same fabric — like the Jacobi example — want barriers
+//! and broadcasts too. These helpers implement them with a centralized
+//! root, which is exactly how Panda's own completion protocol works
+//! (workers → master → everyone).
+
+use crate::envelope::NodeId;
+use crate::error::MsgError;
+use crate::transport::{MatchSpec, Transport};
+
+/// A fixed set of nodes participating in collectives together. The
+/// first member acts as the root.
+///
+/// ```
+/// use panda_msg::{Group, InProcFabric};
+/// let (eps, _) = InProcFabric::new(3);
+/// let group = Group::range(0, 3);
+/// std::thread::scope(|s| {
+///     for (i, mut ep) in eps.into_iter().enumerate() {
+///         let group = &group;
+///         s.spawn(move || {
+///             let v = if i == 0 {
+///                 group.broadcast(&mut ep, 9, Some(vec![7])).unwrap()
+///             } else {
+///                 group.broadcast(&mut ep, 9, None).unwrap()
+///             };
+///             assert_eq!(v, vec![7]);
+///         });
+///     }
+/// });
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<NodeId>,
+}
+
+impl Group {
+    /// A group over the given members (at least one; the first is the
+    /// root). Members must be distinct.
+    pub fn new(members: Vec<NodeId>) -> Self {
+        assert!(!members.is_empty(), "a group needs at least one member");
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), members.len(), "duplicate group members");
+        Group { members }
+    }
+
+    /// The contiguous group `lo..hi` (convenience for "all clients" /
+    /// "all servers" rank ranges).
+    pub fn range(lo: usize, hi: usize) -> Self {
+        assert!(lo < hi, "empty range");
+        Group::new((lo..hi).map(NodeId).collect())
+    }
+
+    /// The root (first member).
+    pub fn root(&self) -> NodeId {
+        self.members[0]
+    }
+
+    /// All members, root first.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Groups are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True iff `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Synchronize all members: everyone sends to the root, the root
+    /// replies to everyone. Each member calls this exactly once per
+    /// barrier with its own transport; `tag` must be unused by other
+    /// concurrent traffic.
+    pub fn barrier<T: Transport + ?Sized>(&self, t: &mut T, tag: u32) -> Result<(), MsgError> {
+        let me = t.node();
+        debug_assert!(self.contains(me), "barrier caller must be a member");
+        if me == self.root() {
+            for _ in 1..self.members.len() {
+                t.recv_matching(MatchSpec::tag(tag))?;
+            }
+            for &m in &self.members[1..] {
+                t.send(m, tag, Vec::new())?;
+            }
+        } else {
+            t.send(self.root(), tag, Vec::new())?;
+            t.recv_matching(MatchSpec::from(self.root(), tag))?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `payload` from the root to every member. The root
+    /// passes `Some(payload)`; the others pass `None` and receive the
+    /// root's bytes as the return value (the root gets its own copy
+    /// back).
+    pub fn broadcast<T: Transport + ?Sized>(
+        &self,
+        t: &mut T,
+        tag: u32,
+        payload: Option<Vec<u8>>,
+    ) -> Result<Vec<u8>, MsgError> {
+        let root = self.root();
+        self.broadcast_from(t, root, tag, payload)
+    }
+
+    /// Broadcast from an arbitrary member (rotating-root algorithms
+    /// like blocked LU broadcast from a different node each step). The
+    /// sender passes `Some(payload)`; everyone else passes `None`.
+    pub fn broadcast_from<T: Transport + ?Sized>(
+        &self,
+        t: &mut T,
+        root: NodeId,
+        tag: u32,
+        payload: Option<Vec<u8>>,
+    ) -> Result<Vec<u8>, MsgError> {
+        let me = t.node();
+        debug_assert!(self.contains(me), "broadcast caller must be a member");
+        debug_assert!(self.contains(root), "broadcast root must be a member");
+        if me == root {
+            let payload = payload.expect("root must supply the broadcast payload");
+            for &m in &self.members {
+                if m != root {
+                    t.send(m, tag, payload.clone())?;
+                }
+            }
+            Ok(payload)
+        } else {
+            debug_assert!(payload.is_none(), "non-root must not supply a payload");
+            let env = t.recv_matching(MatchSpec::from(root, tag))?;
+            Ok(env.payload)
+        }
+    }
+
+    /// Gather one message from every member at the root. Members pass
+    /// their payload; the root receives all payloads ordered by member
+    /// rank (including its own) and non-roots get an empty vec.
+    pub fn gather<T: Transport + ?Sized>(
+        &self,
+        t: &mut T,
+        tag: u32,
+        payload: Vec<u8>,
+    ) -> Result<Vec<Vec<u8>>, MsgError> {
+        let me = t.node();
+        debug_assert!(self.contains(me), "gather caller must be a member");
+        if me == self.root() {
+            let mut out: Vec<Option<Vec<u8>>> = vec![None; self.members.len()];
+            out[0] = Some(payload);
+            for _ in 1..self.members.len() {
+                let env = t.recv_matching(MatchSpec::tag(tag))?;
+                let idx = self
+                    .members
+                    .iter()
+                    .position(|&m| m == env.src)
+                    .expect("gather from non-member");
+                out[idx] = Some(env.payload);
+            }
+            Ok(out.into_iter().map(|p| p.expect("all gathered")).collect())
+        } else {
+            t.send(self.root(), tag, payload)?;
+            Ok(Vec::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inproc::InProcFabric;
+    use std::thread;
+
+    const TAG: u32 = 77;
+
+    fn with_group(n: usize, f: impl Fn(usize, &mut dyn Transport, &Group) + Sync) {
+        let (eps, _) = InProcFabric::new(n);
+        let group = Group::range(0, n);
+        thread::scope(|s| {
+            for (i, mut ep) in eps.into_iter().enumerate() {
+                let group = &group;
+                let f = &f;
+                s.spawn(move || f(i, &mut ep, group));
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_releases_everyone() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrived = AtomicUsize::new(0);
+        with_group(5, |_, t, g| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            g.barrier(t, TAG).unwrap();
+            // After the barrier, everyone must have arrived.
+            assert_eq!(arrived.load(Ordering::SeqCst), 5);
+        });
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        with_group(4, |i, t, g| {
+            let got = if i == 0 {
+                g.broadcast(t, TAG, Some(b"hello".to_vec())).unwrap()
+            } else {
+                g.broadcast(t, TAG, None).unwrap()
+            };
+            assert_eq!(got, b"hello");
+        });
+    }
+
+    #[test]
+    fn broadcast_from_rotating_roots() {
+        with_group(3, |i, t, g| {
+            for root in 0..3usize {
+                let got = if i == root {
+                    g.broadcast_from(t, NodeId(root), TAG + root as u32, Some(vec![root as u8]))
+                        .unwrap()
+                } else {
+                    g.broadcast_from(t, NodeId(root), TAG + root as u32, None)
+                        .unwrap()
+                };
+                assert_eq!(got, vec![root as u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        with_group(4, |i, t, g| {
+            let got = g.gather(t, TAG, vec![i as u8]).unwrap();
+            if i == 0 {
+                assert_eq!(got, vec![vec![0], vec![1], vec![2], vec![3]]);
+            } else {
+                assert!(got.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn range_and_membership() {
+        let g = Group::range(4, 7);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.root(), NodeId(4));
+        assert!(g.contains(NodeId(6)));
+        assert!(!g.contains(NodeId(7)));
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_members_rejected() {
+        let _ = Group::new(vec![NodeId(1), NodeId(1)]);
+    }
+}

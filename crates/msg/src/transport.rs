@@ -1,0 +1,98 @@
+//! The transport trait: MPI-shaped tagged point-to-point messaging.
+
+use crate::envelope::{Envelope, NodeId};
+use crate::error::MsgError;
+
+/// A receive-side match specification, mirroring MPI's
+/// `(source, tag)` pair with `MPI_ANY_SOURCE` / `MPI_ANY_TAG` wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchSpec {
+    /// Required source rank, or `None` for any source.
+    pub src: Option<NodeId>,
+    /// Required tag, or `None` for any tag.
+    pub tag: Option<u32>,
+}
+
+impl MatchSpec {
+    /// Match anything.
+    pub fn any() -> Self {
+        MatchSpec::default()
+    }
+
+    /// Match a specific tag from any source.
+    pub fn tag(tag: u32) -> Self {
+        MatchSpec {
+            src: None,
+            tag: Some(tag),
+        }
+    }
+
+    /// Match a specific source and tag.
+    pub fn from(src: NodeId, tag: u32) -> Self {
+        MatchSpec {
+            src: Some(src),
+            tag: Some(tag),
+        }
+    }
+
+    /// True iff the envelope satisfies this spec.
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.src.is_none_or(|s| s == env.src) && self.tag.is_none_or(|t| t == env.tag)
+    }
+}
+
+/// One node's view of the message fabric.
+///
+/// Semantics (matching MPI's two-sided model):
+/// * `send` is asynchronous and never blocks (buffered, unbounded);
+/// * `recv_matching` blocks until a message satisfying the spec arrives;
+///   non-matching messages that arrive in the meantime are buffered and
+///   delivered to later receives in arrival order (the MPI "unexpected
+///   message queue");
+/// * message order between a fixed (sender, receiver) pair is preserved.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn node(&self) -> NodeId;
+
+    /// Number of nodes in the fabric.
+    fn num_nodes(&self) -> usize;
+
+    /// Send `payload` to `dst` with the given tag.
+    fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), MsgError>;
+
+    /// Block until a message matching `spec` arrives and return it.
+    fn recv_matching(&mut self, spec: MatchSpec) -> Result<Envelope, MsgError>;
+
+    /// Receive the next message of any source/tag.
+    fn recv(&mut self) -> Result<Envelope, MsgError> {
+        self.recv_matching(MatchSpec::any())
+    }
+
+    /// Non-blocking probe: return a matching message if one is already
+    /// available (delivered or buffered), else `None`.
+    fn try_recv_matching(&mut self, spec: MatchSpec) -> Result<Option<Envelope>, MsgError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_spec_wildcards() {
+        let env = Envelope {
+            src: NodeId(3),
+            tag: 7,
+            payload: vec![],
+        };
+        assert!(MatchSpec::any().matches(&env));
+        assert!(MatchSpec::tag(7).matches(&env));
+        assert!(!MatchSpec::tag(8).matches(&env));
+        assert!(MatchSpec::from(NodeId(3), 7).matches(&env));
+        assert!(!MatchSpec::from(NodeId(2), 7).matches(&env));
+        let src_only = MatchSpec {
+            src: Some(NodeId(3)),
+            tag: None,
+        };
+        assert!(src_only.matches(&env));
+    }
+}

@@ -1,0 +1,502 @@
+//! Data schemas and chunk grids.
+//!
+//! A [`DataSchema`] is the paper's *schema*: an array shape plus an HPF
+//! distribution over a node mesh. It induces a [`ChunkGrid`] — a tiling of
+//! the array into rectangular chunks, one per mesh cell. Panda uses two
+//! schemas per array: the *memory schema* (how compute nodes hold the
+//! array) and the *disk schema* (how chunks are laid out in files). With
+//! *natural chunking* the two are identical; when they differ, Panda
+//! reorganizes data in flight (paper §2, §3).
+
+use crate::dist::Dist;
+use crate::element::ElementType;
+use crate::error::SchemaError;
+use crate::mesh::Mesh;
+use crate::region::Region;
+use crate::shape::Shape;
+
+/// A complete array layout: shape × element type × distribution × mesh.
+///
+/// ```
+/// use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+/// // The paper's example: 512^3 distributed BLOCK,BLOCK,BLOCK over 4x4x2.
+/// let schema = DataSchema::block_all(
+///     Shape::new(&[512, 512, 512]).unwrap(),
+///     ElementType::F32,
+///     Mesh::new(&[4, 4, 2]).unwrap(),
+/// ).unwrap();
+/// let grid = schema.chunk_grid();
+/// assert_eq!(grid.num_chunks(), 32);
+/// assert_eq!(grid.chunk_region(0).extents(), vec![128, 128, 256]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSchema {
+    shape: Shape,
+    elem: ElementType,
+    dists: Vec<Dist>,
+    mesh: Mesh,
+}
+
+impl DataSchema {
+    /// Build and validate a schema.
+    ///
+    /// Requirements:
+    /// * `dists.len() == shape.rank()`;
+    /// * the mesh rank equals the number of distributed (non-`*`)
+    ///   dimensions, matching HPF's mapping of distributed dimensions onto
+    ///   mesh axes in order;
+    /// * `CYCLIC` directives are rejected here — the Panda chunk model
+    ///   requires each node's share to be one rectangular chunk.
+    pub fn new(
+        shape: Shape,
+        elem: ElementType,
+        dists: &[Dist],
+        mesh: Mesh,
+    ) -> Result<Self, SchemaError> {
+        if dists.len() != shape.rank() {
+            return Err(SchemaError::RankMismatch {
+                shape_rank: shape.rank(),
+                dist_rank: dists.len(),
+            });
+        }
+        for (dim, d) in dists.iter().enumerate() {
+            d.validate()?;
+            if matches!(d, Dist::Cyclic(_)) {
+                return Err(SchemaError::UnsupportedDistribution { dim });
+            }
+        }
+        let distributed = dists.iter().filter(|d| d.is_distributed()).count();
+        if mesh.rank() != distributed {
+            return Err(SchemaError::MeshRankMismatch {
+                distributed_dims: distributed,
+                mesh_rank: mesh.rank(),
+            });
+        }
+        Ok(DataSchema {
+            shape,
+            elem,
+            dists: dists.to_vec(),
+            mesh,
+        })
+    }
+
+    /// Convenience constructor: `BLOCK` in every dimension over the given
+    /// mesh (the paper's `BLOCK,BLOCK,BLOCK` memory schemas).
+    pub fn block_all(shape: Shape, elem: ElementType, mesh: Mesh) -> Result<Self, SchemaError> {
+        let dists = vec![Dist::Block; shape.rank()];
+        DataSchema::new(shape, elem, &dists, mesh)
+    }
+
+    /// Convenience constructor: `BLOCK` on dimension 0, `*` elsewhere,
+    /// over a 1-D mesh of `n` nodes — the paper's *traditional order*
+    /// `BLOCK,*,*` disk schema whose per-node files concatenate to a
+    /// row-major array file.
+    pub fn traditional_order(
+        shape: Shape,
+        elem: ElementType,
+        n: usize,
+    ) -> Result<Self, SchemaError> {
+        let mut dists = vec![Dist::Star; shape.rank()];
+        if shape.rank() > 0 {
+            dists[0] = Dist::Block;
+        }
+        let mesh = if shape.rank() > 0 {
+            Mesh::line(n)?
+        } else {
+            Mesh::new(&[])?
+        };
+        DataSchema::new(shape, elem, &dists, mesh)
+    }
+
+    /// Array shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Element type.
+    #[inline]
+    pub fn elem(&self) -> ElementType {
+        self.elem
+    }
+
+    /// Element size in bytes.
+    #[inline]
+    pub fn elem_size(&self) -> usize {
+        self.elem.size_bytes()
+    }
+
+    /// Per-dimension distribution directives.
+    #[inline]
+    pub fn dists(&self) -> &[Dist] {
+        &self.dists
+    }
+
+    /// The node mesh.
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Total array size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.shape.num_elements() * self.elem_size()
+    }
+
+    /// The chunk grid induced by this schema.
+    pub fn chunk_grid(&self) -> ChunkGrid {
+        // Map mesh axes onto distributed dimensions in order.
+        let mut grid_dims = vec![1usize; self.shape.rank()];
+        let mut axis = 0usize;
+        for (d, dist) in self.dists.iter().enumerate() {
+            if dist.is_distributed() {
+                grid_dims[d] = self.mesh.dim(axis);
+                axis += 1;
+            }
+        }
+        ChunkGrid {
+            array_shape: self.shape.clone(),
+            dists: self.dists.clone(),
+            grid_shape: Shape::new(&grid_dims).expect("mesh axes are nonzero"),
+        }
+    }
+
+    /// Human-readable schema description, paper style:
+    /// `512x512x512 f64 BLOCK,BLOCK,BLOCK over 4x4x2`.
+    pub fn describe(&self) -> String {
+        let dims: Vec<String> = self.shape.dims().iter().map(|d| d.to_string()).collect();
+        format!(
+            "{} {} {} over {}",
+            dims.join("x"),
+            self.elem,
+            crate::dist::dist_vector_name(&self.dists),
+            self.mesh
+        )
+    }
+}
+
+/// The tiling of an array into rectangular chunks induced by a schema.
+///
+/// Chunk coordinates live on a grid with one axis per array dimension
+/// (`*` dimensions have grid extent 1). Chunks are numbered by the
+/// row-major linearization of their grid coordinates; for a memory schema
+/// chunk number == client rank, and for a disk schema chunk numbers are
+/// dealt round-robin to servers (paper §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkGrid {
+    array_shape: Shape,
+    dists: Vec<Dist>,
+    grid_shape: Shape,
+}
+
+impl ChunkGrid {
+    /// Shape of the chunk grid (one axis per array dimension).
+    #[inline]
+    pub fn grid_shape(&self) -> &Shape {
+        &self.grid_shape
+    }
+
+    /// Shape of the underlying array.
+    #[inline]
+    pub fn array_shape(&self) -> &Shape {
+        &self.array_shape
+    }
+
+    /// Total number of chunks (== number of mesh cells).
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.grid_shape.num_elements()
+    }
+
+    /// Grid coordinates of chunk `idx`.
+    pub fn chunk_coords(&self, idx: usize) -> Vec<usize> {
+        self.grid_shape.delinearize(idx)
+    }
+
+    /// Linear chunk number of the given grid coordinates.
+    pub fn chunk_index(&self, coords: &[usize]) -> usize {
+        self.grid_shape.linearize(coords)
+    }
+
+    /// The array region owned by chunk `idx`. May be empty when a `BLOCK`
+    /// split does not divide the extent and this grid cell falls off the
+    /// end of the array.
+    pub fn chunk_region(&self, idx: usize) -> Region {
+        let coords = self.chunk_coords(idx);
+        self.chunk_region_at(&coords)
+    }
+
+    /// The array region owned by the chunk at `coords`.
+    pub fn chunk_region_at(&self, coords: &[usize]) -> Region {
+        debug_assert_eq!(coords.len(), self.grid_shape.rank());
+        let rank = self.array_shape.rank();
+        let mut lo = vec![0usize; rank];
+        let mut hi = vec![0usize; rank];
+        for d in 0..rank {
+            let n = self.array_shape.dim(d);
+            let parts = self.grid_shape.dim(d);
+            let (l, h) = self.dists[d]
+                .block_interval(n, coords[d], parts)
+                .expect("cyclic rejected at schema construction");
+            lo[d] = l;
+            hi[d] = h;
+        }
+        Region::new(&lo, &hi).expect("block intervals are well-formed")
+    }
+
+    /// The chunk numbers whose regions intersect `region`, in increasing
+    /// (row-major grid) order. Empty chunks never intersect anything.
+    pub fn chunks_intersecting(&self, region: &Region) -> Vec<usize> {
+        if region.rank() != self.array_shape.rank() || region.is_empty() {
+            return Vec::new();
+        }
+        // Per-dimension range of grid coordinates that can overlap.
+        let rank = self.array_shape.rank();
+        let mut clo = vec![0usize; rank];
+        let mut chi = vec![0usize; rank];
+        for d in 0..rank {
+            let n = self.array_shape.dim(d);
+            let parts = self.grid_shape.dim(d);
+            match self.dists[d] {
+                Dist::Star => {
+                    clo[d] = 0;
+                    chi[d] = 1;
+                }
+                Dist::Block => {
+                    let b = n.div_ceil(parts);
+                    let lo = region.lo()[d].min(n.saturating_sub(1));
+                    let hi = region.hi()[d].min(n);
+                    if hi == 0 {
+                        return Vec::new();
+                    }
+                    clo[d] = lo / b;
+                    chi[d] = ((hi - 1) / b + 1).min(parts);
+                }
+                Dist::Cyclic(_) => unreachable!("cyclic rejected at schema construction"),
+            }
+            if clo[d] >= chi[d] {
+                return Vec::new();
+            }
+        }
+        // Enumerate the sub-grid in row-major order.
+        let sub = Region::new(&clo, &chi).expect("well-formed coordinate box");
+        let mut out = Vec::new();
+        let mut coords = clo.clone();
+        loop {
+            // Confirm the candidate actually overlaps (guards the edge
+            // case of short trailing blocks).
+            let idx = self.chunk_index(&coords);
+            if self.chunk_region_at(&coords).overlaps(region) {
+                out.push(idx);
+            }
+            // Advance row-major within [clo, chi).
+            let mut d = rank;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] < sub.hi()[d] {
+                    break;
+                }
+                coords[d] = sub.lo()[d];
+            }
+        }
+    }
+
+    /// The chunk that owns a global index.
+    pub fn chunk_of_index(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.array_shape.rank());
+        let rank = self.array_shape.rank();
+        let mut coords = vec![0usize; rank];
+        for d in 0..rank {
+            let n = self.array_shape.dim(d);
+            let parts = self.grid_shape.dim(d);
+            coords[d] = match self.dists[d] {
+                Dist::Star => 0,
+                Dist::Block => {
+                    let b = n.div_ceil(parts);
+                    idx[d] / b
+                }
+                Dist::Cyclic(_) => unreachable!("cyclic rejected at schema construction"),
+            };
+        }
+        self.chunk_index(&coords)
+    }
+
+    /// Iterate `(chunk_index, region)` for all chunks in row-major order,
+    /// including empty regions.
+    pub fn iter_chunks(&self) -> impl Iterator<Item = (usize, Region)> + '_ {
+        (0..self.num_chunks()).map(move |i| (i, self.chunk_region(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(shape: &[usize], dists: &[Dist], mesh: &[usize]) -> DataSchema {
+        DataSchema::new(
+            Shape::new(shape).unwrap(),
+            ElementType::F64,
+            dists,
+            Mesh::new(mesh).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let err = DataSchema::new(
+            Shape::new(&[4, 4]).unwrap(),
+            ElementType::F64,
+            &[Dist::Block],
+            Mesh::line(2).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_mesh_rank_mismatch() {
+        let err = DataSchema::new(
+            Shape::new(&[4, 4]).unwrap(),
+            ElementType::F64,
+            &[Dist::Block, Dist::Star],
+            Mesh::new(&[2, 2]).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::MeshRankMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_cyclic() {
+        let err = DataSchema::new(
+            Shape::new(&[4]).unwrap(),
+            ElementType::F64,
+            &[Dist::Cyclic(1)],
+            Mesh::line(2).unwrap(),
+        )
+        .unwrap_err();
+        assert_eq!(err, SchemaError::UnsupportedDistribution { dim: 0 });
+    }
+
+    #[test]
+    fn block_block_block_grid_matches_mesh() {
+        // Paper: 512^3 over a 4x4x2 mesh → 32 chunks of 128x128x256.
+        let s = schema(
+            &[512, 512, 512],
+            &[Dist::Block, Dist::Block, Dist::Block],
+            &[4, 4, 2],
+        );
+        let g = s.chunk_grid();
+        assert_eq!(g.num_chunks(), 32);
+        let r0 = g.chunk_region(0);
+        assert_eq!(r0.extents(), vec![128, 128, 256]);
+        // Every chunk has equal volume here.
+        for (_, r) in g.iter_chunks() {
+            assert_eq!(r.num_elements(), 128 * 128 * 256);
+        }
+    }
+
+    #[test]
+    fn traditional_order_grid() {
+        // BLOCK,*,* over 8 i/o nodes: 8 slabs of 64 planes each.
+        let s = DataSchema::traditional_order(
+            Shape::new(&[512, 512, 512]).unwrap(),
+            ElementType::F64,
+            8,
+        )
+        .unwrap();
+        let g = s.chunk_grid();
+        assert_eq!(g.num_chunks(), 8);
+        assert_eq!(g.chunk_region(3).lo(), &[192, 0, 0]);
+        assert_eq!(g.chunk_region(3).hi(), &[256, 512, 512]);
+    }
+
+    #[test]
+    fn chunks_tile_array_disjointly() {
+        for (shape, dists, mesh) in [
+            (
+                vec![10usize, 7],
+                vec![Dist::Block, Dist::Block],
+                vec![3usize, 2],
+            ),
+            (vec![5, 9, 4], vec![Dist::Block, Dist::Star, Dist::Block], vec![2, 3]),
+            (vec![16], vec![Dist::Block], vec![5]),
+            (vec![3], vec![Dist::Block], vec![7]), // more parts than elements
+        ] {
+            let s = schema(&shape, &dists, &mesh);
+            let g = s.chunk_grid();
+            let total: usize = g.iter_chunks().map(|(_, r)| r.num_elements()).sum();
+            assert_eq!(total, s.shape().num_elements(), "tiles cover exactly once");
+            // Disjointness: every index maps to exactly one owning chunk.
+            for idx in s.shape().iter_indices() {
+                let owner = g.chunk_of_index(&idx);
+                assert!(g.chunk_region(owner).contains_index(&idx));
+                let owners = g
+                    .iter_chunks()
+                    .filter(|(_, r)| r.contains_index(&idx))
+                    .count();
+                assert_eq!(owners, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_intersecting_matches_bruteforce() {
+        let s = schema(
+            &[12, 10],
+            &[Dist::Block, Dist::Block],
+            &[4, 3],
+        );
+        let g = s.chunk_grid();
+        let probes = [
+            Region::new(&[0, 0], &[12, 10]).unwrap(),
+            Region::new(&[2, 3], &[7, 8]).unwrap(),
+            Region::new(&[11, 9], &[12, 10]).unwrap(),
+            Region::new(&[3, 0], &[3, 10]).unwrap(), // empty
+        ];
+        for probe in &probes {
+            let fast = g.chunks_intersecting(probe);
+            let slow: Vec<usize> = g
+                .iter_chunks()
+                .filter(|(_, r)| r.overlaps(probe))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fast, slow, "probe {}", probe.display());
+        }
+    }
+
+    #[test]
+    fn chunks_intersecting_skips_empty_trailing_chunks() {
+        // n=3 over 7 parts: only 3 nonempty chunks exist.
+        let s = schema(&[3], &[Dist::Block], &[7]);
+        let g = s.chunk_grid();
+        let all = Region::new(&[0], &[3]).unwrap();
+        assert_eq!(g.chunks_intersecting(&all), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn describe_is_paper_style() {
+        let s = schema(
+            &[512, 512, 512],
+            &[Dist::Block, Dist::Star, Dist::Star],
+            &[8],
+        );
+        assert_eq!(s.describe(), "512x512x512 f64 BLOCK,*,* over 8");
+    }
+
+    #[test]
+    fn block_all_and_total_bytes() {
+        let s = DataSchema::block_all(
+            Shape::new(&[256, 256, 256]).unwrap(),
+            ElementType::F64,
+            Mesh::new(&[2, 2, 2]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(s.total_bytes(), 256 * 256 * 256 * 8);
+        assert_eq!(s.chunk_grid().num_chunks(), 8);
+    }
+}

@@ -1,0 +1,333 @@
+//! Geometry for `CYCLIC(b)` distributions — substrate for future
+//! schema work.
+//!
+//! Panda 2.0 ships `BLOCK`/`*` schemas only, and the rectangular
+//! [`crate::ChunkGrid`] model depends on each mesh cell owning one box.
+//! Under HPF `CYCLIC(b)` a cell owns *many* boxes: the cross product of
+//! its per-dimension interval sets. This module provides that
+//! generalized ownership — interval enumeration, block enumeration in a
+//! canonical order, and membership/intersection queries — with the
+//! tiling invariants tested, so a future block-cyclic Panda has a
+//! verified geometric foundation. Nothing in the runtime or the
+//! performance model depends on it yet.
+
+use crate::dist::Dist;
+use crate::error::SchemaError;
+use crate::mesh::Mesh;
+use crate::region::Region;
+use crate::shape::Shape;
+
+/// The half-open intervals of a dimension of extent `n` owned by mesh
+/// coordinate `part` out of `parts` under `dist`, in ascending order.
+/// Empty intervals are omitted.
+pub fn owned_intervals(dist: Dist, n: usize, part: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0 && part < parts);
+    match dist {
+        Dist::Star => vec![(0, n)],
+        Dist::Block => {
+            let (lo, hi) = dist
+                .block_interval(n, part, parts)
+                .expect("block has an interval");
+            if lo < hi {
+                vec![(lo, hi)]
+            } else {
+                Vec::new()
+            }
+        }
+        Dist::Cyclic(b) => {
+            assert!(b > 0, "validated by Dist::validate");
+            let mut out = Vec::new();
+            let mut start = part * b;
+            while start < n {
+                out.push((start, (start + b).min(n)));
+                start += parts * b;
+            }
+            out
+        }
+    }
+}
+
+/// All rectangular blocks owned by one mesh cell under a (possibly
+/// cyclic) distribution, in lexicographic order of per-dimension
+/// interval indices. Together with
+/// [`Region::num_elements`] this fully describes the cell's packed
+/// local buffer layout (blocks concatenated, each row-major).
+pub fn owned_blocks(
+    shape: &Shape,
+    dists: &[Dist],
+    mesh: &Mesh,
+    cell: usize,
+) -> Result<Vec<Region>, SchemaError> {
+    if dists.len() != shape.rank() {
+        return Err(SchemaError::RankMismatch {
+            shape_rank: shape.rank(),
+            dist_rank: dists.len(),
+        });
+    }
+    for d in dists {
+        d.validate()?;
+    }
+    let distributed = dists.iter().filter(|d| d.is_distributed()).count();
+    if mesh.rank() != distributed {
+        return Err(SchemaError::MeshRankMismatch {
+            distributed_dims: distributed,
+            mesh_rank: mesh.rank(),
+        });
+    }
+    let coords = mesh.coords_of(cell);
+
+    // Per-dimension interval lists.
+    let mut per_dim: Vec<Vec<(usize, usize)>> = Vec::with_capacity(shape.rank());
+    let mut axis = 0usize;
+    for (d, dist) in dists.iter().enumerate() {
+        let (part, parts) = if dist.is_distributed() {
+            let p = (coords[axis], mesh.dim(axis));
+            axis += 1;
+            p
+        } else {
+            (0, 1)
+        };
+        let intervals = owned_intervals(*dist, shape.dim(d), part, parts);
+        if intervals.is_empty() {
+            return Ok(Vec::new()); // cell owns nothing
+        }
+        per_dim.push(intervals);
+    }
+
+    // Cross product in lexicographic order.
+    let mut blocks = Vec::new();
+    let mut idx = vec![0usize; shape.rank()];
+    loop {
+        let lo: Vec<usize> = idx.iter().enumerate().map(|(d, &i)| per_dim[d][i].0).collect();
+        let hi: Vec<usize> = idx.iter().enumerate().map(|(d, &i)| per_dim[d][i].1).collect();
+        blocks.push(Region::new(&lo, &hi).expect("intervals are well-formed"));
+        // Odometer.
+        let mut d = shape.rank();
+        loop {
+            if d == 0 {
+                return Ok(blocks);
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < per_dim[d].len() {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Total elements owned by a cell (sum over its blocks).
+pub fn owned_elements(
+    shape: &Shape,
+    dists: &[Dist],
+    mesh: &Mesh,
+    cell: usize,
+) -> Result<usize, SchemaError> {
+    Ok(owned_blocks(shape, dists, mesh, cell)?
+        .iter()
+        .map(|b| b.num_elements())
+        .sum())
+}
+
+/// The mesh cell that owns global index `idx` under a (possibly
+/// cyclic) distribution.
+pub fn owner_of_index(
+    shape: &Shape,
+    dists: &[Dist],
+    mesh: &Mesh,
+    idx: &[usize],
+) -> Result<usize, SchemaError> {
+    if dists.len() != shape.rank() || idx.len() != shape.rank() {
+        return Err(SchemaError::RankMismatch {
+            shape_rank: shape.rank(),
+            dist_rank: dists.len(),
+        });
+    }
+    let mut coords = Vec::with_capacity(mesh.rank());
+    for (d, dist) in dists.iter().enumerate() {
+        if !dist.is_distributed() {
+            continue;
+        }
+        let parts = mesh.dim(coords.len());
+        let n = shape.dim(d);
+        let part = match *dist {
+            Dist::Star => unreachable!("filtered above"),
+            Dist::Block => {
+                let b = n.div_ceil(parts);
+                idx[d] / b
+            }
+            Dist::Cyclic(b) => (idx[d] / b) % parts,
+        };
+        coords.push(part);
+    }
+    Ok(mesh.rank_of(&coords))
+}
+
+/// The portions of `probe` owned by `cell`: intersections of the probe
+/// with each of the cell's blocks, in block order.
+pub fn cell_intersections(
+    shape: &Shape,
+    dists: &[Dist],
+    mesh: &Mesh,
+    cell: usize,
+    probe: &Region,
+) -> Result<Vec<Region>, SchemaError> {
+    Ok(owned_blocks(shape, dists, mesh, cell)?
+        .iter()
+        .filter_map(|b| b.intersect(probe))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(dims: &[usize], dists: &[Dist], mesh: &[usize]) -> (Shape, Vec<Dist>, Mesh) {
+        (
+            Shape::new(dims).unwrap(),
+            dists.to_vec(),
+            Mesh::new(mesh).unwrap(),
+        )
+    }
+
+    #[test]
+    fn cyclic_intervals_wrap_round_robin() {
+        // n=10, b=2, parts=3: part 0 owns [0,2) [6,8); part 1 [2,4)
+        // [8,10); part 2 [4,6).
+        assert_eq!(
+            owned_intervals(Dist::Cyclic(2), 10, 0, 3),
+            vec![(0, 2), (6, 8)]
+        );
+        assert_eq!(
+            owned_intervals(Dist::Cyclic(2), 10, 1, 3),
+            vec![(2, 4), (8, 10)]
+        );
+        assert_eq!(owned_intervals(Dist::Cyclic(2), 10, 2, 3), vec![(4, 6)]);
+    }
+
+    #[test]
+    fn cyclic_intervals_tile_every_dimension() {
+        for n in [1usize, 7, 16, 100] {
+            for b in [1usize, 2, 3, 5] {
+                for parts in [1usize, 2, 3, 4] {
+                    let mut covered = vec![false; n];
+                    for part in 0..parts {
+                        for (lo, hi) in owned_intervals(Dist::Cyclic(b), n, part, parts) {
+                            for flag in &mut covered[lo..hi] {
+                                assert!(!*flag, "n={n} b={b} parts={parts}");
+                                *flag = true;
+                            }
+                        }
+                    }
+                    assert!(covered.iter().all(|&c| c), "n={n} b={b} parts={parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_and_star_reduce_to_single_intervals() {
+        assert_eq!(owned_intervals(Dist::Block, 10, 1, 3), vec![(4, 8)]);
+        assert_eq!(owned_intervals(Dist::Star, 10, 0, 1), vec![(0, 10)]);
+        // Empty trailing block is omitted entirely.
+        assert_eq!(owned_intervals(Dist::Block, 2, 3, 4), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn owned_blocks_tile_the_array() {
+        for (dims, dists, mesh_dims) in [
+            (
+                vec![8usize, 9],
+                vec![Dist::Cyclic(2), Dist::Block],
+                vec![2usize, 3],
+            ),
+            (
+                vec![10, 6],
+                vec![Dist::Cyclic(3), Dist::Cyclic(1)],
+                vec![2, 2],
+            ),
+            (vec![5, 4, 3], vec![Dist::Cyclic(1), Dist::Star, Dist::Block], vec![3, 2]),
+        ] {
+            let (shape, dists, mesh) = setup(&dims, &dists, &mesh_dims);
+            let mut covered = vec![0u32; shape.num_elements()];
+            let mut total = 0usize;
+            for cell in 0..mesh.num_nodes() {
+                let blocks = owned_blocks(&shape, &dists, &mesh, cell).unwrap();
+                assert_eq!(
+                    owned_elements(&shape, &dists, &mesh, cell).unwrap(),
+                    blocks.iter().map(|b| b.num_elements()).sum::<usize>()
+                );
+                for block in &blocks {
+                    total += block.num_elements();
+                    let bshape = block.shape().unwrap();
+                    for local in bshape.iter_indices() {
+                        let global: Vec<usize> = local
+                            .iter()
+                            .zip(block.lo())
+                            .map(|(&l, &o)| l + o)
+                            .collect();
+                        covered[shape.linearize(&global)] += 1;
+                        // Ownership query agrees.
+                        assert_eq!(
+                            owner_of_index(&shape, &dists, &mesh, &global).unwrap(),
+                            cell
+                        );
+                    }
+                }
+            }
+            assert_eq!(total, shape.num_elements());
+            assert!(covered.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn blocks_are_lexicographically_ordered() {
+        let (shape, dists, mesh) = setup(
+            &[8, 8],
+            &[Dist::Cyclic(2), Dist::Cyclic(2)],
+            &[2, 2],
+        );
+        let blocks = owned_blocks(&shape, &dists, &mesh, 0).unwrap();
+        assert_eq!(blocks.len(), 4); // 2 row-bands x 2 col-bands
+        let lows: Vec<Vec<usize>> = blocks.iter().map(|b| b.lo().to_vec()).collect();
+        let mut sorted = lows.clone();
+        sorted.sort();
+        assert_eq!(lows, sorted);
+    }
+
+    #[test]
+    fn cell_intersections_match_bruteforce() {
+        let (shape, dists, mesh) = setup(&[9, 7], &[Dist::Cyclic(2), Dist::Block], &[3, 2]);
+        let probe = Region::new(&[1, 1], &[8, 6]).unwrap();
+        for cell in 0..mesh.num_nodes() {
+            let parts = cell_intersections(&shape, &dists, &mesh, cell, &probe).unwrap();
+            let expect: usize = shape
+                .iter_indices()
+                .filter(|idx| {
+                    probe.contains_index(idx)
+                        && owner_of_index(&shape, &dists, &mesh, idx).unwrap() == cell
+                })
+                .count();
+            let got: usize = parts.iter().map(|r| r.num_elements()).sum();
+            assert_eq!(got, expect, "cell {cell}");
+        }
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let shape = Shape::new(&[4, 4]).unwrap();
+        let mesh = Mesh::line(2).unwrap();
+        assert!(owned_blocks(&shape, &[Dist::Block], &mesh, 0).is_err());
+        let mesh2 = Mesh::new(&[2, 2]).unwrap();
+        assert!(owned_blocks(&shape, &[Dist::Block, Dist::Star], &mesh2, 0).is_err());
+    }
+
+    #[test]
+    fn cells_can_own_nothing() {
+        // n=2 cyclic(1) over 4 parts: cells 2 and 3 own nothing.
+        let (shape, dists, mesh) = setup(&[2], &[Dist::Cyclic(1)], &[4]);
+        assert!(owned_blocks(&shape, &dists, &mesh, 2).unwrap().is_empty());
+        assert_eq!(owned_elements(&shape, &dists, &mesh, 0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Element types of array cells.
+//!
+//! Panda moves raw bytes; the element type only determines the size of a
+//! cell and, for the examples and tests, how values are encoded. The
+//! paper's sample application (Figure 2) uses `int` and `double` arrays.
+
+use std::fmt;
+
+/// The scalar type stored in each array cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementType {
+    /// 8-bit unsigned integer (1 byte).
+    U8,
+    /// 32-bit signed integer (4 bytes) — `int` in the paper's example.
+    I32,
+    /// 64-bit signed integer (8 bytes).
+    I64,
+    /// 32-bit IEEE float (4 bytes).
+    F32,
+    /// 64-bit IEEE float (8 bytes) — `double` in the paper's example.
+    F64,
+    /// An opaque element of the given byte width, for applications whose
+    /// cells are structs; Panda never interprets cell contents.
+    Opaque(u32),
+}
+
+impl ElementType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ElementType::U8 => 1,
+            ElementType::I32 | ElementType::F32 => 4,
+            ElementType::I64 | ElementType::F64 => 8,
+            ElementType::Opaque(n) => n as usize,
+        }
+    }
+
+    /// A short stable name, used in schema files and reports.
+    pub fn name(self) -> String {
+        match self {
+            ElementType::U8 => "u8".to_string(),
+            ElementType::I32 => "i32".to_string(),
+            ElementType::I64 => "i64".to_string(),
+            ElementType::F32 => "f32".to_string(),
+            ElementType::F64 => "f64".to_string(),
+            ElementType::Opaque(n) => format!("opaque{n}"),
+        }
+    }
+}
+
+impl fmt::Display for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_c_types() {
+        assert_eq!(ElementType::U8.size_bytes(), 1);
+        assert_eq!(ElementType::I32.size_bytes(), 4);
+        assert_eq!(ElementType::F32.size_bytes(), 4);
+        assert_eq!(ElementType::I64.size_bytes(), 8);
+        assert_eq!(ElementType::F64.size_bytes(), 8);
+        assert_eq!(ElementType::Opaque(24).size_bytes(), 24);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ElementType::F64.to_string(), "f64");
+        assert_eq!(ElementType::Opaque(16).to_string(), "opaque16");
+    }
+}

@@ -1,0 +1,143 @@
+//! Error type shared by the geometry substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating array schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The array rank and the distribution vector rank disagree.
+    RankMismatch {
+        /// Rank implied by the array shape.
+        shape_rank: usize,
+        /// Rank implied by the distribution vector.
+        dist_rank: usize,
+    },
+    /// The processor mesh rank does not equal the number of distributed
+    /// (non-`*`) dimensions.
+    MeshRankMismatch {
+        /// Number of `BLOCK`/`CYCLIC` dimensions in the distribution.
+        distributed_dims: usize,
+        /// Rank of the supplied mesh.
+        mesh_rank: usize,
+    },
+    /// A shape or mesh dimension was zero.
+    ZeroExtent {
+        /// Which dimension was zero.
+        dim: usize,
+    },
+    /// A region had `lo > hi` in some dimension.
+    InvalidRegion {
+        /// Which dimension was inverted.
+        dim: usize,
+    },
+    /// Two regions expected to have equal rank did not.
+    RegionRankMismatch {
+        /// Rank of the left-hand region.
+        left: usize,
+        /// Rank of the right-hand region.
+        right: usize,
+    },
+    /// A buffer passed to a copy kernel was smaller than its region
+    /// requires.
+    BufferTooSmall {
+        /// Bytes required by the region.
+        required: usize,
+        /// Bytes actually supplied.
+        actual: usize,
+    },
+    /// A sub-region was not contained in its enclosing region.
+    RegionNotContained,
+    /// A block-cyclic distribution had a zero block size.
+    ZeroCyclicBlock,
+    /// A subchunk byte limit of zero was requested.
+    ZeroSubchunkLimit,
+    /// The distribution directive is valid but not supported by this
+    /// component (e.g. `CYCLIC` in the rectangular chunk-grid builder).
+    UnsupportedDistribution {
+        /// Which array dimension carried the unsupported directive.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::RankMismatch {
+                shape_rank,
+                dist_rank,
+            } => write!(
+                f,
+                "distribution rank {dist_rank} does not match array rank {shape_rank}"
+            ),
+            SchemaError::MeshRankMismatch {
+                distributed_dims,
+                mesh_rank,
+            } => write!(
+                f,
+                "mesh rank {mesh_rank} does not match the {distributed_dims} distributed dimensions"
+            ),
+            SchemaError::ZeroExtent { dim } => {
+                write!(f, "dimension {dim} has zero extent")
+            }
+            SchemaError::InvalidRegion { dim } => {
+                write!(f, "region has lo > hi in dimension {dim}")
+            }
+            SchemaError::RegionRankMismatch { left, right } => {
+                write!(f, "region ranks differ: {left} vs {right}")
+            }
+            SchemaError::BufferTooSmall { required, actual } => {
+                write!(f, "buffer too small: need {required} bytes, got {actual}")
+            }
+            SchemaError::RegionNotContained => {
+                write!(f, "sub-region is not contained in its enclosing region")
+            }
+            SchemaError::ZeroCyclicBlock => {
+                write!(f, "block-cyclic distribution requires a nonzero block size")
+            }
+            SchemaError::ZeroSubchunkLimit => {
+                write!(f, "subchunk byte limit must be nonzero")
+            }
+            SchemaError::UnsupportedDistribution { dim } => {
+                write!(
+                    f,
+                    "distribution directive on dimension {dim} is not supported here"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SchemaError::RankMismatch {
+            shape_rank: 3,
+            dist_rank: 2,
+        };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("rank 3"));
+        let e = SchemaError::BufferTooSmall {
+            required: 10,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SchemaError::ZeroExtent { dim: 1 },
+            SchemaError::ZeroExtent { dim: 1 }
+        );
+        assert_ne!(
+            SchemaError::ZeroExtent { dim: 1 },
+            SchemaError::ZeroExtent { dim: 2 }
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Logical processor / I/O-node meshes.
+//!
+//! The paper distributes arrays over meshes such as a 4×4×2 grid of 32
+//! compute nodes, and thinks of the I/O nodes for a `BLOCK,*,*` disk
+//! schema as an `n×1×1` mesh. A [`Mesh`] is just a shape over node ranks
+//! with row-major rank↔coordinate conversion.
+
+use crate::error::SchemaError;
+use crate::shape::Shape;
+
+/// A logical grid of nodes. Node ranks are assigned in row-major order
+/// over the grid, rank 0 at the all-zeros coordinate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mesh {
+    shape: Shape,
+}
+
+impl Mesh {
+    /// Create a mesh with the given per-axis extents (all nonzero).
+    pub fn new(dims: &[usize]) -> Result<Self, SchemaError> {
+        Ok(Mesh {
+            shape: Shape::new(dims)?,
+        })
+    }
+
+    /// A 1-D mesh of `n` nodes.
+    pub fn line(n: usize) -> Result<Self, SchemaError> {
+        Mesh::new(&[n])
+    }
+
+    /// Number of mesh axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Per-axis extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Extent of axis `d`.
+    #[inline]
+    pub fn dim(&self, d: usize) -> usize {
+        self.shape.dim(d)
+    }
+
+    /// Total number of nodes in the mesh.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.shape.num_elements()
+    }
+
+    /// Convert a node rank into mesh coordinates.
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.num_nodes(), "rank out of range");
+        self.shape.delinearize(rank)
+    }
+
+    /// Convert mesh coordinates into a node rank.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        self.shape.linearize(coords)
+    }
+
+    /// The underlying shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+}
+
+impl std::fmt::Display for Mesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dims: Vec<String> = self.dims().iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", dims.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_meshes() {
+        // The paper's compute meshes: 2x2x2, 4x2x2, 6x2x2, 4x4x2.
+        for (dims, n) in [
+            (vec![2, 2, 2], 8),
+            (vec![4, 2, 2], 16),
+            (vec![6, 2, 2], 24),
+            (vec![4, 4, 2], 32),
+        ] {
+            let m = Mesh::new(&dims).unwrap();
+            assert_eq!(m.num_nodes(), n);
+        }
+    }
+
+    #[test]
+    fn rank_coordinate_roundtrip() {
+        let m = Mesh::new(&[4, 4, 2]).unwrap();
+        for r in 0..m.num_nodes() {
+            assert_eq!(m.rank_of(&m.coords_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn row_major_rank_order() {
+        let m = Mesh::new(&[2, 3]).unwrap();
+        assert_eq!(m.coords_of(0), vec![0, 0]);
+        assert_eq!(m.coords_of(1), vec![0, 1]);
+        assert_eq!(m.coords_of(3), vec![1, 0]);
+    }
+
+    #[test]
+    fn line_mesh() {
+        let m = Mesh::line(8).unwrap();
+        assert_eq!(m.rank(), 1);
+        assert_eq!(m.num_nodes(), 8);
+        assert_eq!(m.to_string(), "8");
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Mesh::new(&[4, 4, 2]).unwrap().to_string(), "4x4x2");
+    }
+
+    #[test]
+    fn zero_axis_rejected() {
+        assert!(Mesh::new(&[2, 0]).is_err());
+    }
+}

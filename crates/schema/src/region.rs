@@ -1,0 +1,376 @@
+//! Half-open rectangular index regions.
+//!
+//! Regions are the currency of Panda's internal protocol: a chunk of an
+//! array is a region, the ≤ 1 MB subchunks a server streams to disk are
+//! regions, and the logical requests clients and servers exchange ("send
+//! me `A[20,30,40]..A[50,60,70]`", paper §2) are regions.
+
+use crate::error::SchemaError;
+use crate::shape::Shape;
+
+/// An n-dimensional half-open box `[lo, hi)`.
+///
+/// A region may be *empty* (zero extent in some dimension); empty regions
+/// arise naturally when a `BLOCK` distribution over `p` parts does not
+/// divide the array extent and trailing mesh cells receive nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+}
+
+impl Region {
+    /// Create a region from inclusive lower and exclusive upper corners.
+    pub fn new(lo: &[usize], hi: &[usize]) -> Result<Self, SchemaError> {
+        if lo.len() != hi.len() {
+            return Err(SchemaError::RegionRankMismatch {
+                left: lo.len(),
+                right: hi.len(),
+            });
+        }
+        for d in 0..lo.len() {
+            if lo[d] > hi[d] {
+                return Err(SchemaError::InvalidRegion { dim: d });
+            }
+        }
+        Ok(Region {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        })
+    }
+
+    /// The region covering an entire array of the given shape.
+    pub fn of_shape(shape: &Shape) -> Self {
+        Region {
+            lo: vec![0; shape.rank()],
+            hi: shape.dims().to_vec(),
+        }
+    }
+
+    /// A canonical empty region of the given rank.
+    pub fn empty(rank: usize) -> Self {
+        Region {
+            lo: vec![0; rank],
+            hi: vec![0; rank],
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Inclusive lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[usize] {
+        &self.lo
+    }
+
+    /// Exclusive upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[usize] {
+        &self.hi
+    }
+
+    /// Extent along dimension `d`.
+    #[inline]
+    pub fn extent(&self, d: usize) -> usize {
+        self.hi[d] - self.lo[d]
+    }
+
+    /// The extents of the region as a vector.
+    pub fn extents(&self) -> Vec<usize> {
+        (0..self.rank()).map(|d| self.extent(d)).collect()
+    }
+
+    /// The region's extents as a [`Shape`], or `None` if the region is
+    /// empty in some dimension.
+    pub fn shape(&self) -> Option<Shape> {
+        if self.is_empty() && self.rank() > 0 {
+            return None;
+        }
+        Shape::new(&self.extents()).ok()
+    }
+
+    /// True iff the region contains no indices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..self.rank()).any(|d| self.lo[d] >= self.hi[d])
+    }
+
+    /// Number of indices contained.
+    pub fn num_elements(&self) -> usize {
+        if self.is_empty() && self.rank() > 0 {
+            return 0;
+        }
+        (0..self.rank()).map(|d| self.extent(d)).product()
+    }
+
+    /// Number of bytes the region occupies at the given element size.
+    #[inline]
+    pub fn num_bytes(&self, elem_size: usize) -> usize {
+        self.num_elements() * elem_size
+    }
+
+    /// True iff `idx` lies inside the region.
+    pub fn contains_index(&self, idx: &[usize]) -> bool {
+        idx.len() == self.rank()
+            && (0..self.rank()).all(|d| self.lo[d] <= idx[d] && idx[d] < self.hi[d])
+    }
+
+    /// True iff `other` is entirely inside `self`. Empty regions are
+    /// contained in everything of equal rank.
+    pub fn contains_region(&self, other: &Region) -> bool {
+        if other.rank() != self.rank() {
+            return false;
+        }
+        if other.is_empty() {
+            return true;
+        }
+        (0..self.rank()).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// The intersection of two regions, or `None` if they are disjoint or
+    /// the result is empty.
+    ///
+    /// ```
+    /// use panda_schema::Region;
+    /// let a = Region::new(&[0, 0], &[4, 4]).unwrap();
+    /// let b = Region::new(&[2, 1], &[6, 3]).unwrap();
+    /// let i = a.intersect(&b).unwrap();
+    /// assert_eq!(i.lo(), &[2, 1]);
+    /// assert_eq!(i.hi(), &[4, 3]);
+    /// assert!(a.intersect(&Region::new(&[4, 0], &[5, 4]).unwrap()).is_none());
+    /// ```
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        let mut lo = vec![0usize; self.rank()];
+        let mut hi = vec![0usize; self.rank()];
+        for d in 0..self.rank() {
+            lo[d] = self.lo[d].max(other.lo[d]);
+            hi[d] = self.hi[d].min(other.hi[d]);
+            if lo[d] >= hi[d] {
+                return None;
+            }
+        }
+        Some(Region { lo, hi })
+    }
+
+    /// True iff the two regions share at least one index.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Translate the region by subtracting `origin` from both corners,
+    /// producing coordinates relative to an enclosing region's lower
+    /// corner (used to address a global region inside a chunk buffer).
+    ///
+    /// # Panics
+    /// Panics in debug builds if any corner would go negative.
+    pub fn relative_to(&self, origin: &[usize]) -> Region {
+        debug_assert_eq!(origin.len(), self.rank());
+        let lo: Vec<usize> = self
+            .lo
+            .iter()
+            .zip(origin)
+            .map(|(&a, &o)| {
+                debug_assert!(a >= o, "region corner underflows origin");
+                a - o
+            })
+            .collect();
+        let hi: Vec<usize> = self.hi.iter().zip(origin).map(|(&a, &o)| a - o).collect();
+        Region { lo, hi }
+    }
+
+    /// Translate the region by adding `origin` to both corners (inverse of
+    /// [`Region::relative_to`]).
+    pub fn offset_by(&self, origin: &[usize]) -> Region {
+        debug_assert_eq!(origin.len(), self.rank());
+        Region {
+            lo: self.lo.iter().zip(origin).map(|(&a, &o)| a + o).collect(),
+            hi: self.hi.iter().zip(origin).map(|(&a, &o)| a + o).collect(),
+        }
+    }
+
+    /// Iterate the *rows* of the region: maximal runs that are contiguous
+    /// along the innermost dimension. Each item is the multi-index of the
+    /// row's first element; the row has length `extent(rank-1)`.
+    ///
+    /// For rank-0 regions a single empty index is yielded (one element).
+    pub fn iter_rows(&self) -> RowIter {
+        let empty = self.is_empty() && self.rank() > 0;
+        RowIter {
+            region: self.clone(),
+            next: if empty { None } else { Some(self.lo.clone()) },
+        }
+    }
+
+    /// A human-readable `lo..hi` rendering, e.g. `[0,0)..[4,4)`.
+    pub fn display(&self) -> String {
+        format!("{:?}..{:?}", self.lo, self.hi)
+    }
+}
+
+/// Iterator over the start indices of the contiguous innermost rows of a
+/// [`Region`]. See [`Region::iter_rows`].
+#[derive(Debug)]
+pub struct RowIter {
+    region: Region,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for RowIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.clone()?;
+        let rank = self.region.rank();
+        if rank <= 1 {
+            // A rank-0 or rank-1 region is a single row.
+            self.next = None;
+            return Some(cur);
+        }
+        // Advance dimensions rank-2 .. 0 (the innermost dim indexes within
+        // a row and is not advanced).
+        let mut succ = cur.clone();
+        let mut d = rank - 1;
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            succ[d] += 1;
+            if succ[d] < self.region.hi[d] {
+                self.next = Some(succ);
+                break;
+            }
+            succ[d] = self.region.lo[d];
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[usize], hi: &[usize]) -> Region {
+        Region::new(lo, hi).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_inverted_bounds() {
+        assert_eq!(
+            Region::new(&[2, 0], &[1, 5]).unwrap_err(),
+            SchemaError::InvalidRegion { dim: 0 }
+        );
+    }
+
+    #[test]
+    fn new_rejects_rank_mismatch() {
+        assert!(matches!(
+            Region::new(&[0], &[1, 2]).unwrap_err(),
+            SchemaError::RegionRankMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn emptiness_and_cardinality() {
+        assert!(Region::empty(3).is_empty());
+        assert_eq!(Region::empty(3).num_elements(), 0);
+        let a = r(&[1, 1], &[3, 4]);
+        assert!(!a.is_empty());
+        assert_eq!(a.num_elements(), 6);
+        assert_eq!(a.num_bytes(8), 48);
+        // Zero-extent in one dim makes the whole region empty.
+        let z = r(&[1, 2], &[3, 2]);
+        assert!(z.is_empty());
+        assert_eq!(z.num_elements(), 0);
+    }
+
+    #[test]
+    fn rank0_region_is_scalar() {
+        let s = Region::new(&[], &[]).unwrap();
+        assert!(!s.is_empty());
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.iter_rows().count(), 1);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = r(&[0, 0], &[4, 4]);
+        let b = r(&[2, 3], &[6, 8]);
+        assert_eq!(a.intersect(&b), Some(r(&[2, 3], &[4, 4])));
+        assert_eq!(b.intersect(&a), a.intersect(&b));
+    }
+
+    #[test]
+    fn intersection_disjoint_and_touching() {
+        let a = r(&[0, 0], &[2, 2]);
+        let b = r(&[2, 0], &[4, 2]); // shares only a face
+        assert_eq!(a.intersect(&b), None);
+        assert!(!a.overlaps(&b));
+        let c = r(&[5, 5], &[7, 7]);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn intersection_with_self_is_identity() {
+        let a = r(&[1, 2, 3], &[4, 5, 6]);
+        assert_eq!(a.intersect(&a), Some(a.clone()));
+    }
+
+    #[test]
+    fn containment() {
+        let big = r(&[0, 0], &[10, 10]);
+        let small = r(&[3, 4], &[5, 9]);
+        assert!(big.contains_region(&small));
+        assert!(!small.contains_region(&big));
+        assert!(big.contains_region(&Region::empty(2)));
+        assert!(big.contains_index(&[9, 9]));
+        assert!(!big.contains_index(&[10, 0]));
+    }
+
+    #[test]
+    fn relative_and_offset_roundtrip() {
+        let a = r(&[5, 7], &[9, 11]);
+        let rel = a.relative_to(&[5, 6]);
+        assert_eq!(rel, r(&[0, 1], &[4, 5]));
+        assert_eq!(rel.offset_by(&[5, 6]), a);
+    }
+
+    #[test]
+    fn iter_rows_covers_region_in_row_major_order() {
+        let a = r(&[1, 2, 3], &[3, 4, 6]);
+        let rows: Vec<Vec<usize>> = a.iter_rows().collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![1, 2, 3],
+                vec![1, 3, 3],
+                vec![2, 2, 3],
+                vec![2, 3, 3],
+            ]
+        );
+        // rows × row-length == total elements
+        assert_eq!(rows.len() * a.extent(2), a.num_elements());
+    }
+
+    #[test]
+    fn iter_rows_empty_region_yields_nothing() {
+        let z = r(&[1, 2], &[1, 5]);
+        assert_eq!(z.iter_rows().count(), 0);
+    }
+
+    #[test]
+    fn of_shape_covers_everything() {
+        let s = Shape::new(&[3, 4]).unwrap();
+        let a = Region::of_shape(&s);
+        assert_eq!(a.num_elements(), 12);
+        assert_eq!(a.shape().unwrap(), s);
+    }
+}

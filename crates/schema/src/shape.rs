@@ -1,0 +1,207 @@
+//! Array shapes and row-major index arithmetic.
+
+use crate::error::SchemaError;
+
+/// The extents of an n-dimensional array.
+///
+/// Dimension 0 is the slowest-varying ("outermost") dimension, matching the
+/// traditional row-major ("C") order the paper calls *traditional array
+/// order*. A `Shape` is also used for chunk grids and processor meshes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from per-dimension extents.
+    ///
+    /// All extents must be nonzero; rank-0 (scalar) shapes are permitted
+    /// and have one element.
+    pub fn new(dims: &[usize]) -> Result<Self, SchemaError> {
+        for (d, &n) in dims.iter().enumerate() {
+            if n == 0 {
+                return Err(SchemaError::ZeroExtent { dim: d });
+            }
+        }
+        Ok(Shape {
+            dims: dims.to_vec(),
+        })
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent of dimension `d`.
+    #[inline]
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Total number of elements (product of extents).
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements: `strides[d]` is the distance between
+    /// consecutive indices along dimension `d`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.rank()];
+        for d in (0..self.rank().saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * self.dims[d + 1];
+        }
+        s
+    }
+
+    /// Linearize a multi-index into a row-major offset.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `idx` is out of bounds or has wrong rank.
+    #[inline]
+    pub fn linearize(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank());
+        let mut off = 0usize;
+        for (d, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.dims[d], "index {i} out of bounds in dim {d}");
+            off = off * self.dims[d] + i;
+        }
+        off
+    }
+
+    /// Invert [`Shape::linearize`]: convert a row-major offset back into a
+    /// multi-index.
+    pub fn delinearize(&self, mut off: usize) -> Vec<usize> {
+        debug_assert!(off < self.num_elements().max(1));
+        let mut idx = vec![0usize; self.rank()];
+        for d in (0..self.rank()).rev() {
+            idx[d] = off % self.dims[d];
+            off /= self.dims[d];
+        }
+        idx
+    }
+
+    /// Iterate all multi-indices in row-major order.
+    pub fn iter_indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.dims.clone(),
+            next: if self.num_elements() == 0 {
+                None
+            } else {
+                Some(vec![0; self.rank()])
+            },
+        }
+    }
+}
+
+/// Iterator over all multi-indices of a [`Shape`] in row-major order.
+#[derive(Debug)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.clone()?;
+        // Advance to the successor in row-major order.
+        let mut succ = cur.clone();
+        let mut d = self.shape.len();
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            succ[d] += 1;
+            if succ[d] < self.shape[d] {
+                self.next = Some(succ);
+                break;
+            }
+            succ[d] = 0;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_extent() {
+        assert_eq!(
+            Shape::new(&[4, 0, 2]).unwrap_err(),
+            SchemaError::ZeroExtent { dim: 1 }
+        );
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]).unwrap();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.linearize(&[]), 0);
+        assert_eq!(s.delinearize(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.num_elements(), 24);
+    }
+
+    #[test]
+    fn linearize_roundtrips_with_delinearize() {
+        let s = Shape::new(&[3, 5, 7]).unwrap();
+        for off in 0..s.num_elements() {
+            let idx = s.delinearize(off);
+            assert_eq!(s.linearize(&idx), off);
+        }
+    }
+
+    #[test]
+    fn linearize_matches_stride_dot_product() {
+        let s = Shape::new(&[4, 6, 5]).unwrap();
+        let strides = s.strides();
+        for idx in s.iter_indices() {
+            let dot: usize = idx.iter().zip(&strides).map(|(i, st)| i * st).sum();
+            assert_eq!(s.linearize(&idx), dot);
+        }
+    }
+
+    #[test]
+    fn iter_indices_is_row_major_and_complete() {
+        let s = Shape::new(&[2, 3]).unwrap();
+        let all: Vec<Vec<usize>> = s.iter_indices().collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn iter_indices_scalar() {
+        let s = Shape::new(&[]).unwrap();
+        let all: Vec<Vec<usize>> = s.iter_indices().collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+}

@@ -1,0 +1,248 @@
+//! On-the-fly subdivision of disk chunks into ≤ 1 MB subchunks.
+//!
+//! Paper §2: "To limit buffer space requirements and also maximize i/o
+//! performance, Panda uses a form of sub-chunking on disk (i.e., the
+//! internal subdivision of chunks into smaller chunks) to break large
+//! disk chunks into more manageable units on-the-fly when performing a
+//! collective i/o. (After experimentation, we chose a subchunk size of
+//! 1 MB ...) This happens transparently to the user and the Panda client,
+//! and does not change the memory schema, disk schema, or round-robin
+//! assignment of chunks in any way."
+//!
+//! The subdivision implemented here has the property the server relies
+//! on: each subchunk is a *contiguous byte range* of the chunk's
+//! row-major file layout, and successive subchunks are adjacent, so
+//! writing them in order produces strictly sequential file I/O.
+
+use crate::copy::offset_in_region;
+use crate::error::SchemaError;
+use crate::region::Region;
+
+/// One piece of a subdivided chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subchunk {
+    /// The global-array region this piece covers.
+    pub region: Region,
+    /// Byte offset of the piece inside the chunk's row-major file layout.
+    pub offset_in_chunk: usize,
+    /// Size of the piece in bytes.
+    pub bytes: usize,
+}
+
+/// Split `chunk` into file-contiguous pieces of at most `max_bytes` each
+/// (a single element may exceed the cap; it is never split).
+///
+/// Pieces are returned in file order: `offset_in_chunk` starts at 0 and
+/// each piece begins where the previous one ended. An empty chunk yields
+/// no pieces.
+///
+/// ```
+/// use panda_schema::{split_into_subchunks, Region};
+/// // A 64 MB chunk under the paper's 1 MB cap → 64 x 1 MB pieces.
+/// let chunk = Region::new(&[0, 0, 0], &[256, 256, 128]).unwrap();
+/// let pieces = split_into_subchunks(&chunk, 8, 1 << 20).unwrap();
+/// assert_eq!(pieces.len(), 64);
+/// assert!(pieces.iter().all(|p| p.bytes == 1 << 20));
+/// assert_eq!(pieces[1].offset_in_chunk, 1 << 20);
+/// ```
+pub fn split_into_subchunks(
+    chunk: &Region,
+    elem_size: usize,
+    max_bytes: usize,
+) -> Result<Vec<Subchunk>, SchemaError> {
+    if max_bytes == 0 {
+        return Err(SchemaError::ZeroSubchunkLimit);
+    }
+    let rank = chunk.rank();
+    if chunk.is_empty() && rank > 0 {
+        return Ok(Vec::new());
+    }
+    let total = chunk.num_bytes(elem_size);
+    if total <= max_bytes || rank == 0 {
+        return Ok(vec![Subchunk {
+            region: chunk.clone(),
+            offset_in_chunk: 0,
+            bytes: total,
+        }]);
+    }
+
+    // bytes_per_index(d): bytes covered by advancing dim d by one while
+    // spanning all later dims fully.
+    let mut bpi = vec![elem_size; rank];
+    for d in (0..rank - 1).rev() {
+        bpi[d] = bpi[d + 1] * chunk.extent(d + 1);
+    }
+    // The cut dimension: outermost dim whose unit slab fits in the cap.
+    let cut = (0..rank)
+        .find(|&d| bpi[d] <= max_bytes)
+        .unwrap_or(rank - 1);
+    // Group size along the cut dimension (>= 1 even if a single element
+    // overflows the cap).
+    let group = (max_bytes / bpi[cut]).max(1);
+
+    let mut out = Vec::new();
+    // Odometer over dims 0..cut (single indices), grouping along `cut`.
+    let mut prefix = chunk.lo().to_vec();
+    loop {
+        let mut a = chunk.lo()[cut];
+        while a < chunk.hi()[cut] {
+            let b = (a + group).min(chunk.hi()[cut]);
+            let mut lo = prefix.clone();
+            let mut hi: Vec<usize> = prefix.iter().map(|&x| x + 1).collect();
+            lo[cut] = a;
+            hi[cut] = b;
+            lo[cut + 1..rank].copy_from_slice(&chunk.lo()[cut + 1..rank]);
+            hi[cut + 1..rank].copy_from_slice(&chunk.hi()[cut + 1..rank]);
+            let region = Region::new(&lo, &hi).expect("well-formed subchunk");
+            let bytes = region.num_bytes(elem_size);
+            let offset_in_chunk = offset_in_region(chunk, &lo, elem_size);
+            out.push(Subchunk {
+                region,
+                offset_in_chunk,
+                bytes,
+            });
+            a = b;
+        }
+        // Advance the prefix odometer over dims 0..cut.
+        let mut d = cut;
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            prefix[d] += 1;
+            if prefix[d] < chunk.hi()[d] {
+                break;
+            }
+            prefix[d] = chunk.lo()[d];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy::is_contiguous_in;
+
+    fn r(lo: &[usize], hi: &[usize]) -> Region {
+        Region::new(lo, hi).unwrap()
+    }
+
+    fn check_invariants(chunk: &Region, elem: usize, max: usize, pieces: &[Subchunk]) {
+        // Pieces tile the chunk in file order.
+        let mut expected_offset = 0usize;
+        let mut covered = 0usize;
+        for p in pieces {
+            assert_eq!(p.offset_in_chunk, expected_offset, "pieces are adjacent");
+            assert_eq!(p.bytes, p.region.num_bytes(elem));
+            assert!(chunk.contains_region(&p.region));
+            assert!(
+                is_contiguous_in(chunk, &p.region),
+                "piece {} not contiguous in chunk {}",
+                p.region.display(),
+                chunk.display()
+            );
+            assert!(
+                p.bytes <= max || p.region.num_elements() == 1,
+                "piece exceeds cap"
+            );
+            expected_offset += p.bytes;
+            covered += p.region.num_elements();
+        }
+        assert_eq!(covered, chunk.num_elements(), "pieces tile the chunk");
+        assert_eq!(expected_offset, chunk.num_bytes(elem));
+    }
+
+    #[test]
+    fn small_chunk_is_one_piece() {
+        let c = r(&[0, 0], &[4, 4]);
+        let pieces = split_into_subchunks(&c, 8, 1 << 20).unwrap();
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].region, c);
+        assert_eq!(pieces[0].offset_in_chunk, 0);
+        assert_eq!(pieces[0].bytes, 128);
+    }
+
+    #[test]
+    fn empty_chunk_yields_nothing() {
+        let c = r(&[2, 0], &[2, 4]);
+        assert!(split_into_subchunks(&c, 8, 1024).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_cap_rejected() {
+        let c = r(&[0], &[4]);
+        assert_eq!(
+            split_into_subchunks(&c, 8, 0).unwrap_err(),
+            SchemaError::ZeroSubchunkLimit
+        );
+    }
+
+    #[test]
+    fn split_along_outermost_dim() {
+        // 8x4x4 of 8-byte elems = 1024 B; cap 256 B → groups of 2 planes
+        // (each plane is 4*4*8 = 128 B; 256/128 = 2).
+        let c = r(&[0, 0, 0], &[8, 4, 4]);
+        let pieces = split_into_subchunks(&c, 8, 256).unwrap();
+        assert_eq!(pieces.len(), 4);
+        assert_eq!(pieces[0].region, r(&[0, 0, 0], &[2, 4, 4]));
+        assert_eq!(pieces[3].region, r(&[6, 0, 0], &[8, 4, 4]));
+        check_invariants(&c, 8, 256, &pieces);
+    }
+
+    #[test]
+    fn split_recurses_into_inner_dims_when_slabs_too_big() {
+        // One plane is 128 B > cap 64 B → cut moves to dim 1: groups of 2
+        // rows (row = 4*8 = 32 B) per piece, one dim-0 index at a time.
+        let c = r(&[0, 0, 0], &[8, 4, 4]);
+        let pieces = split_into_subchunks(&c, 8, 64).unwrap();
+        assert_eq!(pieces.len(), 16);
+        assert_eq!(pieces[0].region, r(&[0, 0, 0], &[1, 2, 4]));
+        assert_eq!(pieces[1].region, r(&[0, 2, 0], &[1, 4, 4]));
+        check_invariants(&c, 8, 64, &pieces);
+    }
+
+    #[test]
+    fn single_element_may_exceed_cap() {
+        let c = r(&[0], &[3]);
+        let pieces = split_into_subchunks(&c, 100, 64).unwrap();
+        assert_eq!(pieces.len(), 3);
+        for p in &pieces {
+            assert_eq!(p.region.num_elements(), 1);
+            assert_eq!(p.bytes, 100);
+        }
+        check_invariants(&c, 100, 64, &pieces);
+    }
+
+    #[test]
+    fn rank0_chunk() {
+        let c = Region::new(&[], &[]).unwrap();
+        let pieces = split_into_subchunks(&c, 8, 4).unwrap();
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].bytes, 8);
+    }
+
+    #[test]
+    fn paper_scale_one_mb_cap() {
+        // A 64 MB chunk (256x256x128 f64) with the paper's 1 MB cap →
+        // 64 pieces of exactly 1 MB.
+        let c = r(&[0, 0, 0], &[256, 256, 128]);
+        let pieces = split_into_subchunks(&c, 8, 1 << 20).unwrap();
+        assert_eq!(pieces.len(), 64);
+        assert!(pieces.iter().all(|p| p.bytes == 1 << 20));
+        check_invariants(&c, 8, 1 << 20, &pieces);
+    }
+
+    #[test]
+    fn offsets_match_region_lo() {
+        let c = r(&[4, 8], &[12, 24]); // 8x16, offset chunk
+        let pieces = split_into_subchunks(&c, 4, 96).unwrap();
+        for p in &pieces {
+            assert_eq!(
+                p.offset_in_chunk,
+                offset_in_region(&c, p.region.lo(), 4)
+            );
+        }
+        check_invariants(&c, 4, 96, &pieces);
+    }
+}

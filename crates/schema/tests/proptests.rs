@@ -1,0 +1,212 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! These verify the invariants the Panda protocol relies on:
+//! chunk grids tile arrays exactly; subchunk splits tile chunks and
+//! respect the byte cap; region intersection agrees with a brute-force
+//! oracle; gather/scatter copies are lossless.
+
+use proptest::prelude::*;
+
+use panda_schema::{
+    copy, pack_region, split_into_subchunks, unpack_region, DataSchema, Dist, ElementType, Mesh,
+    Region, Shape,
+};
+
+/// Strategy: a shape of rank 1..=4 with small extents.
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=9, 1..=4)
+}
+
+/// Strategy: a (shape, dists, mesh) triple that forms a valid schema.
+fn schema_strategy() -> impl Strategy<Value = DataSchema> {
+    small_shape()
+        .prop_flat_map(|shape| {
+            let rank = shape.len();
+            let dists = prop::collection::vec(
+                prop_oneof![Just(Dist::Block), Just(Dist::Star)],
+                rank..=rank,
+            );
+            (Just(shape), dists)
+        })
+        .prop_flat_map(|(shape, dists)| {
+            let distributed = dists.iter().filter(|d| d.is_distributed()).count();
+            let mesh_dims = prop::collection::vec(1usize..=4, distributed..=distributed);
+            (Just(shape), Just(dists), mesh_dims)
+        })
+        .prop_map(|(shape, dists, mesh_dims)| {
+            DataSchema::new(
+                Shape::new(&shape).unwrap(),
+                ElementType::U8,
+                &dists,
+                Mesh::new(&mesh_dims).unwrap(),
+            )
+            .unwrap()
+        })
+}
+
+/// Strategy: a region inside the given shape (possibly empty).
+#[allow(dead_code)] // kept as a reusable strategy for future properties
+fn region_in(dims: Vec<usize>) -> impl Strategy<Value = Region> {
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&n| (0..=n).prop_flat_map(move |lo| (Just(lo), lo..=n)))
+        .collect();
+    per_dim.prop_map(|bounds| {
+        let lo: Vec<usize> = bounds.iter().map(|&(l, _)| l).collect();
+        let hi: Vec<usize> = bounds.iter().map(|&(_, h)| h).collect();
+        Region::new(&lo, &hi).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Chunk grids tile the array: total elements match and every index
+    /// is owned by exactly the chunk `chunk_of_index` reports.
+    #[test]
+    fn chunk_grid_tiles_array(schema in schema_strategy()) {
+        let grid = schema.chunk_grid();
+        let total: usize = grid.iter_chunks().map(|(_, r)| r.num_elements()).sum();
+        prop_assert_eq!(total, schema.shape().num_elements());
+        for idx in schema.shape().iter_indices() {
+            let owner = grid.chunk_of_index(&idx);
+            prop_assert!(grid.chunk_region(owner).contains_index(&idx));
+        }
+    }
+
+    /// `chunks_intersecting` agrees with a brute-force scan.
+    #[test]
+    fn chunks_intersecting_matches_oracle(schema in schema_strategy(), seed in 0usize..1000) {
+        let grid = schema.chunk_grid();
+        // Derive a probe region deterministically from the seed.
+        let dims = schema.shape().dims().to_vec();
+        let lo: Vec<usize> = dims.iter().enumerate()
+            .map(|(d, &n)| (seed + d * 7) % n)
+            .collect();
+        let hi: Vec<usize> = dims.iter().zip(&lo)
+            .map(|(&n, &l)| (l + 1 + seed % n.max(1)).min(n))
+            .collect();
+        let probe = Region::new(&lo, &hi).unwrap();
+        let fast = grid.chunks_intersecting(&probe);
+        let slow: Vec<usize> = grid
+            .iter_chunks()
+            .filter(|(_, r)| r.overlaps(&probe))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Region intersection is sound (subset of both) and complete (every
+    /// shared index is inside it) against per-index brute force.
+    #[test]
+    fn intersection_oracle(dims in small_shape(), seed in 0u64..10_000) {
+        // Two regions derived from the seed.
+        let mk = |salt: u64| -> Region {
+            let lo: Vec<usize> = dims.iter().enumerate()
+                .map(|(d, &n)| ((seed.wrapping_mul(salt + 1) as usize) + d * 3) % n)
+                .collect();
+            let hi: Vec<usize> = dims.iter().zip(&lo)
+                .map(|(&n, &l)| (l + 1 + (seed as usize + salt as usize) % n).min(n))
+                .collect();
+            Region::new(&lo, &hi).unwrap()
+        };
+        let a = mk(1);
+        let b = mk(5);
+        let isect = a.intersect(&b);
+        let shape = Shape::new(&dims).unwrap();
+        for idx in shape.iter_indices() {
+            let inside = a.contains_index(&idx) && b.contains_index(&idx);
+            match &isect {
+                Some(r) => prop_assert_eq!(inside, r.contains_index(&idx)),
+                None => prop_assert!(!inside),
+            }
+        }
+    }
+
+    /// Subchunk splitting tiles the chunk, respects the cap, keeps file
+    /// contiguity, and produces adjacent offsets.
+    #[test]
+    fn subchunks_tile_chunk(
+        dims in small_shape(),
+        elem in prop_oneof![Just(1usize), Just(4), Just(8)],
+        cap in 1usize..=256,
+    ) {
+        let shape = Shape::new(&dims).unwrap();
+        let chunk = Region::of_shape(&shape);
+        let pieces = split_into_subchunks(&chunk, elem, cap).unwrap();
+        let mut offset = 0usize;
+        let mut elems = 0usize;
+        for p in &pieces {
+            prop_assert_eq!(p.offset_in_chunk, offset);
+            prop_assert!(chunk.contains_region(&p.region));
+            prop_assert!(copy::is_contiguous_in(&chunk, &p.region));
+            prop_assert!(p.bytes <= cap || p.region.num_elements() == 1);
+            offset += p.bytes;
+            elems += p.region.num_elements();
+        }
+        prop_assert_eq!(elems, chunk.num_elements());
+        prop_assert_eq!(offset, chunk.num_bytes(elem));
+    }
+
+    /// pack → unpack is the identity on the packed region and leaves the
+    /// rest of the destination untouched.
+    #[test]
+    fn pack_unpack_roundtrip(dims in small_shape(), seed in 0u64..10_000) {
+        let shape = Shape::new(&dims).unwrap();
+        let chunk = Region::of_shape(&shape);
+        // Sub-region derived from seed.
+        let lo: Vec<usize> = dims.iter().enumerate()
+            .map(|(d, &n)| ((seed as usize) + d) % n)
+            .collect();
+        let hi: Vec<usize> = dims.iter().zip(&lo)
+            .map(|(&n, &l)| (l + 1 + (seed as usize / 7) % n).min(n))
+            .collect();
+        let sub = Region::new(&lo, &hi).unwrap();
+
+        let src: Vec<u8> = (0..chunk.num_elements())
+            .map(|i| (i % 251) as u8 + 1)
+            .collect();
+        let packed = pack_region(&src, &chunk, &sub, 1).unwrap();
+        prop_assert_eq!(packed.len(), sub.num_elements());
+
+        let mut dst = vec![0u8; chunk.num_elements()];
+        unpack_region(&mut dst, &chunk, &sub, &packed, 1).unwrap();
+        for idx in shape.iter_indices() {
+            let off = copy::offset_in_region(&chunk, &idx, 1);
+            if sub.contains_index(&idx) {
+                prop_assert_eq!(dst[off], src[off]);
+            } else {
+                prop_assert_eq!(dst[off], 0);
+            }
+        }
+    }
+
+    /// Copying a portion between two differently-shaped enclosing regions
+    /// preserves values at every global index of the portion.
+    #[test]
+    fn copy_region_between_different_layouts(seed in 0u64..10_000) {
+        // Two overlapping 3-D chunk regions in a 12^3 array.
+        let s = seed as usize;
+        let a = Region::new(
+            &[s % 4, (s / 3) % 4, (s / 5) % 4],
+            &[s % 4 + 4 + s % 3, (s / 3) % 4 + 5, (s / 5) % 4 + 4],
+        ).unwrap();
+        let b = Region::new(
+            &[(s / 7) % 4, (s / 11) % 4, (s / 13) % 4],
+            &[(s / 7) % 4 + 5, (s / 11) % 4 + 4 + s % 2, (s / 13) % 4 + 6],
+        ).unwrap();
+        if let Some(isect) = a.intersect(&b) {
+            let src: Vec<u8> = (0..a.num_elements()).map(|i| (i % 250) as u8 + 1).collect();
+            let mut dst = vec![0u8; b.num_elements()];
+            copy::copy_region(&src, &a, &mut dst, &b, &isect, 1).unwrap();
+            // Check each global index of the intersection.
+            let ishape = isect.shape().unwrap();
+            for local in ishape.iter_indices() {
+                let global: Vec<usize> = local.iter().zip(isect.lo()).map(|(&l, &o)| l + o).collect();
+                let so = copy::offset_in_region(&a, &global, 1);
+                let doff = copy::offset_in_region(&b, &global, 1);
+                prop_assert_eq!(src[so], dst[doff]);
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The event loop: actors, events, and the virtual clock.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// Identifies an actor registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActorId(pub usize);
+
+/// A simulation participant.
+///
+/// `M` is the event/message type, `S` the world state shared by all
+/// actors (machine resources, collected metrics, ...). Actors receive
+/// events strictly in time order; ties are broken by scheduling order,
+/// which makes whole simulations deterministic.
+pub trait Actor<M, S> {
+    /// Handle one event delivered at `ctx.now()`.
+    fn handle(&mut self, event: M, ctx: &mut Context<'_, M, S>);
+}
+
+/// The actor's view of the engine during an event callback.
+pub struct Context<'a, M, S> {
+    now: SimTime,
+    self_id: ActorId,
+    /// Shared world state (resources, metrics).
+    pub state: &'a mut S,
+    outbox: Vec<(SimTime, ActorId, M)>,
+}
+
+impl<'a, M, S> Context<'a, M, S> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor handling this event.
+    #[inline]
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Deliver `msg` to `dst` after `delay` nanoseconds.
+    pub fn send_after(&mut self, delay: SimTime, dst: ActorId, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Deliver `msg` to `dst` at absolute virtual time `at` (must not be
+    /// in the past).
+    pub fn send_at(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.outbox.push((at.max(self.now), dst, msg));
+    }
+
+    /// Deliver `msg` to this actor itself after `delay`.
+    pub fn send_self(&mut self, delay: SimTime, msg: M) {
+        let dst = self.self_id;
+        self.send_after(delay, dst, msg);
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    dst: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event engine.
+pub struct Engine<M, S> {
+    actors: Vec<Option<Box<dyn Actor<M, S>>>>,
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    /// Shared world state handed to every actor callback.
+    pub state: S,
+}
+
+impl<M, S> Engine<M, S> {
+    /// Create an engine around the given world state.
+    pub fn new(state: S) -> Self {
+        Engine {
+            actors: Vec::new(),
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            events_processed: 0,
+            state,
+        }
+    }
+
+    /// Register an actor; its id is its registration order.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M, S>>) -> ActorId {
+        self.actors.push(Some(actor));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Number of registered actors.
+    pub fn num_actors(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedule an event from outside any actor (simulation setup).
+    pub fn schedule(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        debug_assert!(at >= self.now);
+        self.push(at.max(self.now), dst, msg);
+    }
+
+    fn push(&mut self, time: SimTime, dst: ActorId, msg: M) {
+        assert!(dst.0 < self.actors.len(), "event for unknown actor");
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            dst,
+            msg,
+        }));
+        self.seq += 1;
+    }
+
+    /// Deliver one event if any is pending; returns false when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event heap went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        let mut actor = self.actors[ev.dst.0]
+            .take()
+            .expect("actor is not re-entrant");
+        let mut ctx = Context {
+            now: self.now,
+            self_id: ev.dst,
+            state: &mut self.state,
+            outbox: Vec::new(),
+        };
+        actor.handle(ev.msg, &mut ctx);
+        let outbox = ctx.outbox;
+        self.actors[ev.dst.0] = Some(actor);
+        for (time, dst, msg) in outbox {
+            self.push(time, dst, msg);
+        }
+        true
+    }
+
+    /// Run until no events remain; returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the clock would pass `deadline` or no events remain.
+    /// Events at exactly `deadline` are delivered.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records (time, payload) pairs into the shared state.
+    struct Recorder;
+    type Log = Vec<(SimTime, u32)>;
+
+    impl Actor<u32, Log> for Recorder {
+        fn handle(&mut self, event: u32, ctx: &mut Context<'_, u32, Log>) {
+            ctx.state.push((ctx.now(), event));
+        }
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+        let a = eng.add_actor(Box::new(Recorder));
+        eng.schedule(30, a, 3);
+        eng.schedule(10, a, 1);
+        eng.schedule(20, a, 2);
+        let end = eng.run();
+        assert_eq!(end, 30);
+        assert_eq!(eng.state, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(eng.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+        let a = eng.add_actor(Box::new(Recorder));
+        for i in 0..10 {
+            eng.schedule(5, a, i);
+        }
+        eng.run();
+        let payloads: Vec<u32> = eng.state.iter().map(|&(_, p)| p).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Relay: forwards each event to the next actor with +7 delay until
+    /// the hop counter is exhausted.
+    struct Relay {
+        next: Option<ActorId>,
+    }
+    impl Actor<u32, Log> for Relay {
+        fn handle(&mut self, hops: u32, ctx: &mut Context<'_, u32, Log>) {
+            ctx.state.push((ctx.now(), hops));
+            if hops > 0 {
+                if let Some(next) = self.next {
+                    ctx.send_after(7, next, hops - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn actors_schedule_followups() {
+        let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+        // Two relays pointing at each other.
+        let a = eng.add_actor(Box::new(Relay { next: None }));
+        let b = eng.add_actor(Box::new(Relay { next: Some(a) }));
+        // Close the loop: replace a's target.
+        eng.actors[a.0] = Some(Box::new(Relay { next: Some(b) }));
+        eng.schedule(0, a, 4);
+        let end = eng.run();
+        assert_eq!(end, 4 * 7);
+        assert_eq!(eng.state.len(), 5);
+        assert_eq!(eng.state.last(), Some(&(28, 0)));
+    }
+
+    #[test]
+    fn send_self_loops_until_done() {
+        struct Countdown;
+        impl Actor<u32, Log> for Countdown {
+            fn handle(&mut self, n: u32, ctx: &mut Context<'_, u32, Log>) {
+                ctx.state.push((ctx.now(), n));
+                if n > 0 {
+                    ctx.send_self(100, n - 1);
+                }
+            }
+        }
+        let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+        let a = eng.add_actor(Box::new(Countdown));
+        eng.schedule(0, a, 3);
+        assert_eq!(eng.run(), 300);
+        assert_eq!(eng.state, vec![(0, 3), (100, 2), (200, 1), (300, 0)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+        let a = eng.add_actor(Box::new(Recorder));
+        eng.schedule(10, a, 1);
+        eng.schedule(20, a, 2);
+        eng.schedule(30, a, 3);
+        eng.run_until(20);
+        assert_eq!(eng.state, vec![(10, 1), (20, 2)]);
+        eng.run();
+        assert_eq!(eng.state.len(), 3);
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+        let _ = eng.add_actor(Box::new(Recorder));
+        assert!(!eng.step());
+        assert_eq!(eng.now(), 0);
+    }
+
+    #[test]
+    fn identical_runs_are_bitwise_identical() {
+        let build = || {
+            let mut eng: Engine<u32, Log> = Engine::new(Vec::new());
+            let a = eng.add_actor(Box::new(Relay { next: None }));
+            let b = eng.add_actor(Box::new(Relay { next: Some(a) }));
+            eng.actors[a.0] = Some(Box::new(Relay { next: Some(b) }));
+            eng.schedule(3, a, 10);
+            eng.schedule(3, b, 5);
+            eng.run();
+            eng.state
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,51 @@
+//! # panda-sim — deterministic discrete-event simulation engine
+//!
+//! The Panda paper evaluates elapsed wall-clock time on a 160-node IBM
+//! SP2. The reproduction cannot time-travel to 1995 hardware, so the
+//! performance harness replays the *real* Panda planner's schedule of
+//! messages, memory copies, and disk accesses through a calibrated cost
+//! model. This crate is the engine underneath: a small, fully
+//! deterministic discrete-event simulator with
+//!
+//! * a virtual clock in nanoseconds ([`SimTime`]),
+//! * an event heap with strict FIFO tie-breaking ([`Engine`]) so runs are
+//!   bit-for-bit reproducible,
+//! * typed actors with shared mutable world state ([`Actor`],
+//!   [`Context`]), and
+//! * FIFO [`Resource`]s (NIC ports, disks, CPUs) with utilization
+//!   accounting.
+//!
+//! The engine is generic and contains no Panda specifics; `panda-model`
+//! builds the SP2 machine model on top of it.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod resource;
+
+pub use engine::{Actor, ActorId, Context, Engine, SimTime};
+pub use resource::Resource;
+
+/// Convert seconds (f64) to [`SimTime`] nanoseconds, rounding.
+#[inline]
+pub fn secs_to_ns(s: f64) -> SimTime {
+    (s * 1e9).round() as SimTime
+}
+
+/// Convert [`SimTime`] nanoseconds to seconds.
+#[inline]
+pub fn ns_to_secs(t: SimTime) -> f64 {
+    t as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(secs_to_ns(1.5), 1_500_000_000);
+        assert!((ns_to_secs(2_000_000_000) - 2.0).abs() < 1e-12);
+        assert_eq!(secs_to_ns(ns_to_secs(123_456_789)), 123_456_789);
+    }
+}

@@ -1,0 +1,118 @@
+//! FIFO resources with utilization accounting.
+//!
+//! A [`Resource`] models an exclusive serial device — a NIC port, a disk,
+//! a CPU — as a timeline: requests reserve the earliest interval starting
+//! no earlier than their ready time and no earlier than the end of the
+//! previously granted interval. When requests are issued in nondecreasing
+//! ready order (which a time-ordered event loop guarantees), this is
+//! exactly FIFO queueing.
+
+use crate::engine::SimTime;
+
+/// An exclusive serial device.
+#[derive(Debug, Clone, Default)]
+pub struct Resource {
+    free_at: SimTime,
+    busy_time: SimTime,
+    grants: u64,
+    label: String,
+}
+
+impl Resource {
+    /// A fresh idle resource with a diagnostic label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Resource {
+            free_at: 0,
+            busy_time: 0,
+            grants: 0,
+            label: label.into(),
+        }
+    }
+
+    /// Reserve the device for `duration` starting no earlier than
+    /// `ready`. Returns the granted `(start, end)` interval.
+    pub fn acquire(&mut self, ready: SimTime, duration: SimTime) -> (SimTime, SimTime) {
+        let start = ready.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy_time += duration;
+        self.grants += 1;
+        (start, end)
+    }
+
+    /// Earliest time a new request could start service.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy time granted.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Number of grants made.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Busy fraction over `[0, horizon]`; 0 for a zero horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / horizon as f64
+        }
+    }
+
+    /// The diagnostic label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_fifo_and_work_conserving() {
+        let mut r = Resource::new("disk0");
+        // Immediate grant when idle.
+        assert_eq!(r.acquire(0, 10), (0, 10));
+        // Back-to-back requests queue.
+        assert_eq!(r.acquire(0, 5), (10, 15));
+        // A request arriving after the queue drains starts on arrival.
+        assert_eq!(r.acquire(100, 1), (100, 101));
+        assert_eq!(r.free_at(), 101);
+        assert_eq!(r.grants(), 3);
+        assert_eq!(r.busy_time(), 16);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut r = Resource::new("nic");
+        r.acquire(0, 25);
+        r.acquire(50, 25);
+        assert!((r.utilization(100) - 0.5).abs() < 1e-12);
+        assert_eq!(r.utilization(0), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_grants_are_instant() {
+        let mut r = Resource::new("cpu");
+        assert_eq!(r.acquire(5, 0), (5, 5));
+        assert_eq!(r.busy_time(), 0);
+        assert_eq!(r.grants(), 1);
+    }
+
+    #[test]
+    fn serial_saturation_matches_sum_of_durations() {
+        let mut r = Resource::new("disk");
+        let mut expected_end = 0;
+        for d in [3u64, 7, 11, 2, 9] {
+            let (_, end) = r.acquire(0, d);
+            expected_end += d;
+            assert_eq!(end, expected_end);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! # panda-tools — offline dataset tooling (`pandactl`)
+//!
+//! A Panda dataset is a set of per-I/O-node directories containing the
+//! per-server files of each collective operation plus, per array group,
+//! a `.schema` manifest (Figure 2's `simulation2.schema`). This crate
+//! works on those directories *without* a running deployment:
+//!
+//! * [`discover`] — find the group manifests under a set of I/O-node
+//!   roots;
+//! * [`describe`] — render a group's schemas paper-style;
+//! * [`verify`] — cross-check every present file's size against the
+//!   server-directed planner's prediction for its server;
+//! * [`export`] — reassemble one operation's files into a single
+//!   row-major array file (cheap concatenation for traditional-order
+//!   schemas, a full gather for chunked ones).
+//!
+//! The `pandactl` binary wraps these as subcommands.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use panda_core::{build_server_plan, ArrayGroup, ArrayMeta};
+use panda_schema::copy::offset_in_region;
+use panda_schema::DEFAULT_SUBCHUNK_BYTES;
+
+/// A discovered group: its manifest plus where it came from.
+#[derive(Debug)]
+pub struct DiscoveredGroup {
+    /// The decoded group definition.
+    pub group: ArrayGroup,
+    /// Path of the manifest file it was read from.
+    pub manifest_path: PathBuf,
+}
+
+/// Find all group manifests (`*.schema`) under I/O-node root 0.
+/// (Manifests live only on the first I/O node.)
+pub fn discover(root0: &Path) -> std::io::Result<Vec<DiscoveredGroup>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root0.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "schema") {
+                let bytes = fs::read(&path)?;
+                match ArrayGroup::decode_manifest(&bytes) {
+                    Ok(group) => out.push(DiscoveredGroup {
+                        group,
+                        manifest_path: path,
+                    }),
+                    Err(e) => eprintln!("warning: undecodable manifest {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.group.name().cmp(b.group.name()));
+    Ok(out)
+}
+
+/// Render a group definition the way the paper writes schemas.
+pub fn describe(group: &ArrayGroup) -> String {
+    let mut s = format!(
+        "group '{}': {} arrays, {} timesteps, {} checkpoints\n",
+        group.name(),
+        group.arrays().len(),
+        group.timesteps_taken(),
+        group.checkpoints_taken(),
+    );
+    for meta in group.arrays() {
+        s.push_str(&format!(
+            "  {}:\n    memory: {}\n    disk:   {}{}\n",
+            meta.name(),
+            meta.memory().describe(),
+            meta.disk().describe(),
+            if meta.is_natural() {
+                "  (natural chunking)"
+            } else {
+                ""
+            }
+        ));
+    }
+    s
+}
+
+/// One verification finding.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Finding {
+    /// File present with exactly the planned size.
+    Ok {
+        /// The file checked.
+        path: PathBuf,
+        /// Its (correct) size.
+        bytes: u64,
+    },
+    /// File present but the wrong size.
+    WrongSize {
+        /// The file checked.
+        path: PathBuf,
+        /// Size found.
+        actual: u64,
+        /// Size the planner predicts.
+        expected: u64,
+    },
+}
+
+/// Verify every file of `group` present under the per-server roots:
+/// each `<tag>.s<i>` file must be exactly the planner's total for
+/// server `i`. Files for operations never performed are simply absent
+/// and not reported.
+pub fn verify(group: &ArrayGroup, roots: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let num_servers = roots.len();
+    let mut findings = Vec::new();
+    // Candidate tags: all timesteps and both checkpoint generations.
+    for (idx, meta) in group.arrays().iter().enumerate() {
+        let mut tags: Vec<String> = (0..group.timesteps_taken())
+            .map(|t| group.timestep_tag(idx, t))
+            .collect();
+        tags.push(group.checkpoint_tag(idx, 0));
+        tags.push(group.checkpoint_tag(idx, 1));
+        for tag in tags {
+            for (s, root) in roots.iter().enumerate() {
+                let path = root.join(format!("{tag}.s{s}"));
+                let Ok(md) = fs::metadata(&path) else {
+                    continue; // op not performed / generation unused
+                };
+                let plan = build_server_plan(meta, s, num_servers, DEFAULT_SUBCHUNK_BYTES);
+                if md.len() == plan.total_bytes {
+                    findings.push(Finding::Ok {
+                        path,
+                        bytes: md.len(),
+                    });
+                } else {
+                    findings.push(Finding::WrongSize {
+                        path,
+                        actual: md.len(),
+                        expected: plan.total_bytes,
+                    });
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Reassemble the files of one operation (`<tag>.s<i>` across servers)
+/// into a single row-major array image.
+///
+/// For a traditional-order (`BLOCK,*,...`) disk schema this is plain
+/// concatenation — the migration path the paper §3 highlights. For any
+/// other schema the chunks are gathered into place through the same
+/// placement computation the servers used.
+pub fn export(meta: &ArrayMeta, tag: &str, roots: &[PathBuf]) -> std::io::Result<Vec<u8>> {
+    let num_servers = roots.len();
+    let elem = meta.elem_size();
+    let mut out = vec![0u8; meta.total_bytes()];
+    let full = panda_schema::Region::of_shape(meta.shape());
+    for (s, root) in roots.iter().enumerate() {
+        let path = root.join(format!("{tag}.s{s}"));
+        let bytes = fs::read(&path)?;
+        let plan = build_server_plan(meta, s, num_servers, DEFAULT_SUBCHUNK_BYTES);
+        if bytes.len() as u64 != plan.total_bytes {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: {} bytes, planner expects {}",
+                    path.display(),
+                    bytes.len(),
+                    plan.total_bytes
+                ),
+            ));
+        }
+        for chunk in &plan.chunks {
+            // Scatter the chunk (row-major in the file) into the image.
+            let src_off = chunk.file_offset as usize;
+            let chunk_bytes = chunk.region.num_bytes(elem);
+            panda_schema::copy::copy_region(
+                &bytes[src_off..src_off + chunk_bytes],
+                &chunk.region,
+                &mut out,
+                &full,
+                &chunk.region,
+                elem,
+            )
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Read one element of an exported image (tool convenience).
+pub fn element_at(meta: &ArrayMeta, image: &[u8], idx: &[usize]) -> Vec<u8> {
+    let elem = meta.elem_size();
+    let full = panda_schema::Region::of_shape(meta.shape());
+    let off = offset_in_region(&full, idx, elem);
+    image[off..off + elem].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+    fn group() -> ArrayGroup {
+        let shape = Shape::new(&[8, 8]).unwrap();
+        let mem = DataSchema::block_all(
+            shape.clone(),
+            ElementType::F64,
+            Mesh::new(&[2, 2]).unwrap(),
+        )
+        .unwrap();
+        let t = ArrayMeta::new(
+            "temperature",
+            mem.clone(),
+            DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap(),
+        )
+        .unwrap();
+        let mut g = ArrayGroup::new("sim");
+        g.include(t);
+        g
+    }
+
+    #[test]
+    fn describe_mentions_schemas() {
+        let d = describe(&group());
+        assert!(d.contains("group 'sim'"));
+        assert!(d.contains("BLOCK,BLOCK over 2x2"));
+        assert!(d.contains("BLOCK,* over 2"));
+    }
+
+    #[test]
+    fn manifest_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join(format!("pandactl-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("sim")).unwrap();
+        let g = group();
+        fs::write(dir.join("sim/sim.schema"), g.encode_manifest()).unwrap();
+        let found = discover(&dir).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].group.name(), "sim");
+        assert_eq!(found[0].group.arrays().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,153 @@
+//! `pandactl` — inspect, verify, and export Panda datasets offline.
+//!
+//! ```text
+//! pandactl list   <ionode0-root>
+//! pandactl show   <ionode0-root> <group>
+//! pandactl verify <group> <root0> <root1> ...
+//! pandactl export <group> <array> <tag> <out-file> <root0> <root1> ...
+//! ```
+//!
+//! Roots are the per-I/O-node storage directories (server `i`'s files
+//! live under root `i`). Group manifests (`<group>/<group>.schema`)
+//! live under root 0.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use panda_tools::{describe, discover, export, verify, Finding};
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  pandactl list   <ionode0-root>");
+    eprintln!("  pandactl show   <ionode0-root> <group>");
+    eprintln!("  pandactl verify <group> <root0> <root1> ...");
+    eprintln!("  pandactl export <group> <array> <tag> <out-file> <root0> <root1> ...");
+    ExitCode::from(2)
+}
+
+fn load_group(root0: &Path, name: &str) -> Option<panda_core::ArrayGroup> {
+    match discover(root0) {
+        Ok(found) => found
+            .into_iter()
+            .find(|d| d.group.name() == name)
+            .map(|d| d.group),
+        Err(e) => {
+            eprintln!("error reading {}: {e}", root0.display());
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") if args.len() == 2 => {
+            let root = PathBuf::from(&args[1]);
+            match discover(&root) {
+                Ok(found) if found.is_empty() => println!("no group manifests found"),
+                Ok(found) => {
+                    for d in found {
+                        println!(
+                            "{:<20} {} arrays  {} timesteps  {} checkpoints   ({})",
+                            d.group.name(),
+                            d.group.arrays().len(),
+                            d.group.timesteps_taken(),
+                            d.group.checkpoints_taken(),
+                            d.manifest_path.display()
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("show") if args.len() == 3 => {
+            let root = PathBuf::from(&args[1]);
+            match load_group(&root, &args[2]) {
+                Some(group) => {
+                    print!("{}", describe(&group));
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("group '{}' not found under {}", args[2], root.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("verify") if args.len() >= 3 => {
+            let roots: Vec<PathBuf> = args[2..].iter().map(PathBuf::from).collect();
+            let Some(group) = load_group(&roots[0], &args[1]) else {
+                eprintln!("group '{}' not found", args[1]);
+                return ExitCode::FAILURE;
+            };
+            match verify(&group, &roots) {
+                Ok(findings) => {
+                    let mut bad = 0;
+                    for f in &findings {
+                        match f {
+                            Finding::Ok { path, bytes } => {
+                                println!("ok   {:<50} {bytes} bytes", path.display())
+                            }
+                            Finding::WrongSize {
+                                path,
+                                actual,
+                                expected,
+                            } => {
+                                bad += 1;
+                                println!(
+                                    "BAD  {:<50} {actual} bytes (planner expects {expected})",
+                                    path.display()
+                                );
+                            }
+                        }
+                    }
+                    println!("{} files checked, {bad} bad", findings.len());
+                    if bad == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("export") if args.len() >= 6 => {
+            let (group_name, array_name, tag, out) = (&args[1], &args[2], &args[3], &args[4]);
+            let roots: Vec<PathBuf> = args[5..].iter().map(PathBuf::from).collect();
+            let Some(group) = load_group(&roots[0], group_name) else {
+                eprintln!("group '{group_name}' not found");
+                return ExitCode::FAILURE;
+            };
+            let Some(meta) = group.arrays().iter().find(|m| m.name() == array_name) else {
+                eprintln!("array '{array_name}' not in group '{group_name}'");
+                return ExitCode::FAILURE;
+            };
+            match export(meta, tag, &roots) {
+                Ok(image) => {
+                    if let Err(e) = std::fs::write(out, &image) {
+                        eprintln!("error writing {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "exported {} ({} bytes, row-major {}) to {out}",
+                        array_name,
+                        image.len(),
+                        meta.memory().describe()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

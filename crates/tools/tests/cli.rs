@@ -1,0 +1,105 @@
+//! Drive the `pandactl` binary itself (via `CARGO_BIN_EXE_pandactl`)
+//! against a real dataset.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+
+use panda_core::{ArrayGroup, ArrayMeta, PandaConfig, PandaSystem};
+use panda_fs::{FileSystem, LocalFs};
+use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+fn pandactl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pandactl"))
+}
+
+fn produce_dataset(root: &Path, servers: usize) -> Vec<PathBuf> {
+    let roots: Vec<PathBuf> = (0..servers).map(|s| root.join(format!("ionode{s}"))).collect();
+    let shape = Shape::new(&[8, 8]).unwrap();
+    let mem =
+        DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+            .unwrap();
+    let meta = ArrayMeta::new(
+        "field",
+        mem,
+        DataSchema::traditional_order(shape, ElementType::F64, servers).unwrap(),
+    )
+    .unwrap();
+    let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(4, servers), |s| {
+        Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
+    });
+    std::thread::scope(|s| {
+        for client in clients.iter_mut() {
+            let meta = &meta;
+            s.spawn(move || {
+                let mut g = ArrayGroup::new("demo");
+                g.include(meta.clone());
+                let data = vec![7u8; meta.client_bytes(client.rank())];
+                g.timestep(client, &[&data]).unwrap();
+                if client.rank() == 0 {
+                    g.save_schema(client).unwrap();
+                }
+            });
+        }
+    });
+    system.shutdown(clients).unwrap();
+    roots
+}
+
+#[test]
+fn cli_list_show_verify_export() {
+    let root = std::env::temp_dir().join(format!("pandactl-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let roots = produce_dataset(&root, 2);
+    let root0 = roots[0].to_str().unwrap().to_string();
+    let root1 = roots[1].to_str().unwrap().to_string();
+
+    // list
+    let out = pandactl().args(["list", &root0]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("demo"), "{stdout}");
+
+    // show
+    let out = pandactl().args(["show", &root0, "demo"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("BLOCK,* over 2"), "{stdout}");
+
+    // verify (2 files: 1 array x 1 timestep x 2 servers)
+    let out = pandactl()
+        .args(["verify", "demo", &root0, &root1])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 files checked, 0 bad"), "{stdout}");
+
+    // export
+    let out_file = root.join("field.bin");
+    let out = pandactl()
+        .args([
+            "export",
+            "demo",
+            "field",
+            "demo/field.ts0",
+            out_file.to_str().unwrap(),
+            &root0,
+            &root1,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let image = std::fs::read(&out_file).unwrap();
+    assert_eq!(image, vec![7u8; 8 * 8 * 8]);
+
+    // unknown group fails politely
+    let out = pandactl().args(["show", &root0, "nope"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // no args prints usage with exit 2
+    let out = pandactl().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,131 @@
+//! Compare the three collective-I/O strategies on identical workloads:
+//! server-directed (Panda), two-phase [Bordawekar93], and naive
+//! client-directed I/O — the live counterpart of the `ablation` bench.
+//!
+//! All three write byte-identical files; what differs is the access
+//! pattern each I/O node's file system observes. The run prints, per
+//! strategy: disk operations, seeks, mean request size, and the elapsed
+//! time the calibrated SP2 model assigns to that access pattern.
+//!
+//! Run with: `cargo run --example io_strategies`
+
+use std::sync::Arc;
+
+use panda_core::baseline::naive::naive_write;
+use panda_core::baseline::two_phase::two_phase_write;
+use panda_core::{ArrayMeta, OpKind, PandaConfig, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_model::baseline_model::{model_naive, model_two_phase};
+use panda_model::{simulate, CollectiveSpec, Sp2Machine};
+use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+const SERVERS: usize = 2;
+
+fn meta() -> ArrayMeta {
+    // Memory: column strips over 4 clients; disk: row slabs — a layout
+    // pair that punishes uncoordinated clients.
+    let shape = Shape::new(&[64, 64]).unwrap();
+    let memory = DataSchema::block_all(
+        shape.clone(),
+        ElementType::F64,
+        Mesh::new(&[1, 4]).unwrap(),
+    )
+    .unwrap();
+    let disk = DataSchema::traditional_order(shape, ElementType::F64, SERVERS).unwrap();
+    ArrayMeta::new("field", memory, disk).unwrap()
+}
+
+fn launch(meta: &ArrayMeta) -> (PandaSystem, Vec<panda_core::PandaClient>, Vec<Arc<MemFs>>) {
+    let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+    let handles = mems.clone();
+    let (system, clients) =
+        PandaSystem::launch(&PandaConfig::new(meta.num_clients(), SERVERS), move |s| {
+            Arc::clone(&handles[s]) as Arc<dyn FileSystem>
+        });
+    (system, clients, mems)
+}
+
+fn report(label: &str, mems: &[Arc<MemFs>], modeled_elapsed: f64) {
+    let writes: u64 = mems.iter().map(|m| m.stats().writes()).sum();
+    let seeks: u64 = mems.iter().map(|m| m.stats().seeks()).sum();
+    let bytes: u64 = mems.iter().map(|m| m.stats().bytes_written()).sum();
+    println!(
+        "{label:<16} {writes:>9} {seeks:>7} {:>12.0} {modeled_elapsed:>13.3}",
+        bytes as f64 / writes.max(1) as f64
+    );
+}
+
+fn main() {
+    let meta = meta();
+    let machine = Sp2Machine::nas_sp2();
+    let datas: Vec<Vec<u8>> = (0..meta.num_clients())
+        .map(|r| vec![(r + 1) as u8; meta.client_bytes(r)])
+        .collect();
+    println!("workload: {} written to {}", meta.memory().describe(), meta.disk().describe());
+    println!();
+    println!(
+        "{:<16} {:>9} {:>7} {:>12} {:>13}",
+        "strategy", "disk ops", "seeks", "avg req (B)", "SP2 model (s)"
+    );
+
+    // Server-directed.
+    let (system, mut clients, mems) = launch(&meta);
+    std::thread::scope(|s| {
+        for (client, data) in clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || client.write(&[(meta, "field", data.as_slice())]).unwrap());
+        }
+    });
+    let sd = simulate(
+        &machine,
+        &CollectiveSpec {
+            arrays: vec![meta.clone()],
+            op: OpKind::Write,
+            num_servers: SERVERS,
+            subchunk_bytes: 1 << 20,
+            fast_disk: false,
+            section: None,
+        },
+    );
+    report("server-directed", &mems, sd.elapsed);
+    let reference = mems
+        .iter()
+        .enumerate()
+        .map(|(s, m)| m.contents(&format!("field.s{s}")).unwrap())
+        .collect::<Vec<_>>();
+    system.shutdown(clients).unwrap();
+
+    // Two-phase.
+    let (system, mut clients, mems) = launch(&meta);
+    std::thread::scope(|s| {
+        for (client, data) in clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || two_phase_write(client, meta, "field", data, 1 << 20).unwrap());
+        }
+    });
+    let tp = model_two_phase(&machine, &meta, SERVERS, OpKind::Write, 1 << 20);
+    report("two-phase", &mems, tp.elapsed);
+    for (s, m) in mems.iter().enumerate() {
+        assert_eq!(m.contents(&format!("field.s{s}")).unwrap(), reference[s]);
+    }
+    system.shutdown(clients).unwrap();
+
+    // Naive client-directed.
+    let (system, mut clients, mems) = launch(&meta);
+    std::thread::scope(|s| {
+        for (client, data) in clients.iter_mut().zip(&datas) {
+            let meta = &meta;
+            s.spawn(move || naive_write(client, meta, "field", data).unwrap());
+        }
+    });
+    let nv = model_naive(&machine, &meta, SERVERS, OpKind::Write);
+    report("naive", &mems, nv.elapsed);
+    for (s, m) in mems.iter().enumerate() {
+        assert_eq!(m.contents(&format!("field.s{s}")).unwrap(), reference[s]);
+    }
+    system.shutdown(clients).unwrap();
+
+    println!();
+    println!("all three strategies produced byte-identical files; only the access");
+    println!("pattern differs — and on 1995 disks, the access pattern is everything.");
+}

@@ -1,0 +1,1 @@
+//! Host package for the runnable examples; see `examples/`.
