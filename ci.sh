@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo gate: build, tests, lints, formatting. Run before every commit.
+#
+# Note: the workspace root is itself a package (panda-examples), so a
+# bare `cargo test` would only run the root package's tests — every
+# cargo invocation here must say --workspace to cover the crates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+
+echo "ci: all green"

@@ -12,8 +12,7 @@ use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
 fn natural(dim: usize) -> ArrayMeta {
     let shape = Shape::new(&[dim, dim]).unwrap();
-    let mem = DataSchema::block_all(shape, ElementType::F64, Mesh::new(&[2, 2]).unwrap())
-        .unwrap();
+    let mem = DataSchema::block_all(shape, ElementType::F64, Mesh::new(&[2, 2]).unwrap()).unwrap();
     ArrayMeta::natural("bench", mem).unwrap()
 }
 
@@ -24,29 +23,32 @@ fn bench_roundtrip(c: &mut Criterion) {
         let meta = natural(dim);
         let bytes = meta.total_bytes() as u64;
         group.throughput(Throughput::Bytes(2 * bytes)); // write + read
-        group.bench_function(BenchmarkId::from_parameter(format!("{dim}x{dim}_f64")), |b| {
-            let config = PandaConfig::new(4, 2).with_subchunk_bytes(1 << 18);
-            let (system, mut clients) =
-                PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
-            let datas: Vec<Vec<u8>> = (0..4)
-                .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
-                .collect();
-            b.iter(|| {
-                std::thread::scope(|s| {
-                    for (client, data) in clients.iter_mut().zip(&datas) {
-                        let meta = &meta;
-                        s.spawn(move || {
-                            client.write(&[(meta, "bench", data.as_slice())]).unwrap();
-                            let mut buf = vec![0u8; data.len()];
-                            client
-                                .read(&mut [(meta, "bench", buf.as_mut_slice())])
-                                .unwrap();
-                        });
-                    }
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{dim}x{dim}_f64")),
+            |b| {
+                let config = PandaConfig::new(4, 2).with_subchunk_bytes(1 << 18);
+                let (system, mut clients) =
+                    PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+                let datas: Vec<Vec<u8>> = (0..4)
+                    .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
+                    .collect();
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for (client, data) in clients.iter_mut().zip(&datas) {
+                            let meta = &meta;
+                            s.spawn(move || {
+                                client.write(&[(meta, "bench", data.as_slice())]).unwrap();
+                                let mut buf = vec![0u8; data.len()];
+                                client
+                                    .read(&mut [(meta, "bench", buf.as_mut_slice())])
+                                    .unwrap();
+                            });
+                        }
+                    });
                 });
-            });
-            system.shutdown(clients).unwrap();
-        });
+                system.shutdown(clients).unwrap();
+            },
+        );
     }
     group.finish();
 }
@@ -71,7 +73,10 @@ fn bench_section_read(c: &mut Criterion) {
     });
     // Thin slab (1/32 of the array) vs the full array.
     for (label, section) in [
-        ("slab_16_of_512_rows", Region::new(&[256, 0], &[272, 512]).unwrap()),
+        (
+            "slab_16_of_512_rows",
+            Region::new(&[256, 0], &[272, 512]).unwrap(),
+        ),
         ("full_array", Region::new(&[0, 0], &[512, 512]).unwrap()),
     ] {
         group.throughput(Throughput::Bytes(section.num_bytes(8) as u64));

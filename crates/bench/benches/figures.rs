@@ -11,8 +11,10 @@ fn bench_simulate(c: &mut Criterion) {
     let machine = Sp2Machine::nas_sp2();
     let mut group = c.benchmark_group("simulate_figure_point");
     group.sample_size(20);
-    for (label, disk) in [("natural", DiskKind::Natural), ("traditional", DiskKind::Traditional)]
-    {
+    for (label, disk) in [
+        ("natural", DiskKind::Natural),
+        ("traditional", DiskKind::Traditional),
+    ] {
         let spec = CollectiveSpec {
             arrays: vec![paper_array(512, 32, 8, disk)],
             op: OpKind::Write,

@@ -8,8 +8,10 @@ use panda_model::experiment::{paper_array, DiskKind};
 
 fn bench_plans(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_server_plan");
-    for (label, disk) in [("natural", DiskKind::Natural), ("traditional", DiskKind::Traditional)]
-    {
+    for (label, disk) in [
+        ("natural", DiskKind::Natural),
+        ("traditional", DiskKind::Traditional),
+    ] {
         // The paper's largest run: 512 MB over 32 compute / 8 I/O nodes.
         let array = paper_array(512, 32, 8, disk);
         group.bench_function(BenchmarkId::new(label, "512MB_32c_8s"), |b| {

@@ -92,7 +92,10 @@ fn main() {
     println!();
     println!("Ablation 3: subchunk size (write, natural chunking, 8/4 nodes, 64 MB)");
     println!();
-    println!("{:>14} {:>14} {:>12}", "subchunk", "elapsed (s)", "agg MB/s");
+    println!(
+        "{:>14} {:>14} {:>12}",
+        "subchunk", "elapsed (s)", "agg MB/s"
+    );
     for cap_kb in [64usize, 256, 1024, 4096] {
         let spec = CollectiveSpec {
             arrays: vec![paper_array(64, 8, 4, DiskKind::Natural)],

@@ -32,16 +32,17 @@ fn show(title: &str, workload: &Workload, memory: &DataSchema, servers: usize) {
 
 fn main() {
     let shape = Shape::new(&[512, 512, 512]).unwrap();
-    let memory = DataSchema::block_all(
-        shape,
-        ElementType::F32,
-        Mesh::new(&[4, 4, 2]).unwrap(),
-    )
-    .unwrap();
+    let memory =
+        DataSchema::block_all(shape, ElementType::F32, Mesh::new(&[4, 4, 2]).unwrap()).unwrap();
     println!("memory schema: {}", memory.describe());
     println!("i/o nodes:     8");
     println!();
-    show("write-heavy production run", &Workload::write_heavy(), &memory, 8);
+    show(
+        "write-heavy production run",
+        &Workload::write_heavy(),
+        &memory,
+        8,
+    );
     show(
         "visualization pipeline",
         &Workload::consumer_heavy(),

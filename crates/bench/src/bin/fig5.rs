@@ -1,5 +1,8 @@
 //! Regenerate Figure 5 of the paper.
 
 fn main() {
-    panda_bench::figure_main(5, "~90% of peak MPI bandwidth, declining at small sizes (startup)");
+    panda_bench::figure_main(
+        5,
+        "~90% of peak MPI bandwidth, declining at small sizes (startup)",
+    );
 }

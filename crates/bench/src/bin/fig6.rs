@@ -1,5 +1,8 @@
 //! Regenerate Figure 6 of the paper.
 
 fn main() {
-    panda_bench::figure_main(6, "~90% of peak MPI bandwidth, declining at small sizes (startup)");
+    panda_bench::figure_main(
+        6,
+        "~90% of peak MPI bandwidth, declining at small sizes (startup)",
+    );
 }

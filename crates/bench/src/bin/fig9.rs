@@ -1,5 +1,8 @@
 //! Regenerate Figure 9 of the paper.
 
 fn main() {
-    panda_bench::figure_main(9, "38-86% of peak MPI bandwidth (reorganization cost visible)");
+    panda_bench::figure_main(
+        9,
+        "38-86% of peak MPI bandwidth (reorganization cost visible)",
+    );
 }

@@ -32,7 +32,10 @@ fn main() {
         "configuration", "app A (s)", "app B (s)", "slowdown"
     );
 
-    for (label, fast) in [("real AIX-model disks", false), ("infinitely fast disks", true)] {
+    for (label, fast) in [
+        ("real AIX-model disks", false),
+        ("infinitely fast disks", true),
+    ] {
         // Dedicated: each app owns 2 I/O nodes.
         let dedicated = simulate_concurrent(
             &machine,

@@ -105,7 +105,10 @@ pub fn print_figure(spec: &FigureSpec, points: &[FigPoint], expected_band: &str,
         println!("{title}:");
         print!("{:>10}", "array");
         for io in &io_counts {
-            print!("{:>12}", format!("{io} i/o node") + if *io == 1 { "" } else { "s" });
+            print!(
+                "{:>12}",
+                format!("{io} i/o node") + if *io == 1 { "" } else { "s" }
+            );
         }
         println!();
         for mb in &sizes {
@@ -124,8 +127,7 @@ pub fn figure_main(figure: u32, expected_band: &str) {
     let opts = HarnessOpts::from_args();
     let machine = Sp2Machine::nas_sp2();
     let spec = panda_model::experiment::figure_spec(figure);
-    let points =
-        panda_model::experiment::run_figure_sized(&machine, &spec, &opts.sizes());
+    let points = panda_model::experiment::run_figure_sized(&machine, &spec, &opts.sizes());
     print_figure(&spec, &points, expected_band, opts.csv);
 }
 

@@ -150,8 +150,8 @@ mod tests {
 
     #[test]
     fn natural_chunking_duplicates_schema() {
-        let mem = DataSchema::block_all(shape(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
-            .unwrap();
+        let mem =
+            DataSchema::block_all(shape(), ElementType::F64, Mesh::new(&[2, 2]).unwrap()).unwrap();
         let a = ArrayMeta::natural("t", mem).unwrap();
         assert!(a.is_natural());
         assert_eq!(a.memory(), a.disk());
@@ -161,27 +161,22 @@ mod tests {
 
     #[test]
     fn mismatched_schemas_rejected() {
-        let mem = DataSchema::block_all(shape(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+        let mem =
+            DataSchema::block_all(shape(), ElementType::F64, Mesh::new(&[2, 2]).unwrap()).unwrap();
+        let disk = DataSchema::traditional_order(Shape::new(&[8, 9]).unwrap(), ElementType::F64, 2)
             .unwrap();
-        let disk = DataSchema::traditional_order(
-            Shape::new(&[8, 9]).unwrap(),
-            ElementType::F64,
-            2,
-        )
-        .unwrap();
         assert!(matches!(
             ArrayMeta::new("t", mem.clone(), disk),
             Err(PandaError::SchemaMismatch { .. })
         ));
-        let disk_wrong_elem =
-            DataSchema::traditional_order(shape(), ElementType::I32, 2).unwrap();
+        let disk_wrong_elem = DataSchema::traditional_order(shape(), ElementType::I32, 2).unwrap();
         assert!(ArrayMeta::new("t", mem, disk_wrong_elem).is_err());
     }
 
     #[test]
     fn client_regions_partition_the_array() {
-        let mem = DataSchema::block_all(shape(), ElementType::I32, Mesh::new(&[2, 2]).unwrap())
-            .unwrap();
+        let mem =
+            DataSchema::block_all(shape(), ElementType::I32, Mesh::new(&[2, 2]).unwrap()).unwrap();
         let disk = DataSchema::traditional_order(shape(), ElementType::I32, 3).unwrap();
         let a = ArrayMeta::new("p", mem, disk).unwrap();
         assert!(!a.is_natural());

@@ -78,12 +78,9 @@ mod tests {
 
     fn array() -> ArrayMeta {
         let shape = Shape::new(&[12, 8]).unwrap();
-        let mem = DataSchema::block_all(
-            shape.clone(),
-            ElementType::F64,
-            Mesh::new(&[2, 2]).unwrap(),
-        )
-        .unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+                .unwrap();
         let disk = DataSchema::new(
             shape,
             ElementType::F64,

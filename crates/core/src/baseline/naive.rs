@@ -230,12 +230,9 @@ mod tests {
         // layout → iter_rows gives extent-0 rows but offsets are
         // consecutive.
         let shape = Shape::new(&[8, 8]).unwrap();
-        let mem = DataSchema::block_all(
-            shape.clone(),
-            ElementType::U8,
-            Mesh::new(&[2, 2]).unwrap(),
-        )
-        .unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::U8, Mesh::new(&[2, 2]).unwrap())
+                .unwrap();
         let a = ArrayMeta::natural("n", mem).unwrap();
         let runs = client_runs(&a, 1, 2);
         // 4x4 chunk → 4 rows of 4 bytes, consecutive in the file.

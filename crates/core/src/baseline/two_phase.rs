@@ -115,9 +115,11 @@ pub fn two_phase_write(
             unreachable!("matched DATA tag");
         };
         let chunk_idx = seq as usize;
-        let buf = buffers.get_mut(&chunk_idx).ok_or_else(|| PandaError::Protocol {
-            detail: format!("piece for chunk {chunk_idx} not proxied here"),
-        })?;
+        let buf = buffers
+            .get_mut(&chunk_idx)
+            .ok_or_else(|| PandaError::Protocol {
+                detail: format!("piece for chunk {chunk_idx} not proxied here"),
+            })?;
         copy::unpack_region(buf, &regions[&chunk_idx], &region, &payload, elem)?;
         let left = remaining.get_mut(&chunk_idx).expect("tracked chunk");
         *left -= 1;
@@ -271,21 +273,18 @@ mod tests {
 
     #[test]
     fn proxy_assignment_is_balanced() {
-        let counts: Vec<usize> = (0..8).map(|c| {
-            (0..16).filter(|&i| proxy_of(i, 8) == c).count()
-        }).collect();
+        let counts: Vec<usize> = (0..8)
+            .map(|c| (0..16).filter(|&i| proxy_of(i, 8) == c).count())
+            .collect();
         assert!(counts.iter().all(|&c| c == 2));
     }
 
     #[test]
     fn proxied_chunks_cover_all_chunks_once() {
         let shape = Shape::new(&[12, 8]).unwrap();
-        let mem = DataSchema::block_all(
-            shape.clone(),
-            ElementType::U8,
-            Mesh::new(&[2, 2]).unwrap(),
-        )
-        .unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::U8, Mesh::new(&[2, 2]).unwrap())
+                .unwrap();
         let disk = DataSchema::traditional_order(shape, ElementType::U8, 3).unwrap();
         let a = ArrayMeta::new("a", mem, disk).unwrap();
         let placements = chunk_placements(&a, 3);

@@ -14,7 +14,7 @@ use panda_schema::{copy, Region};
 use crate::array::ArrayMeta;
 use crate::error::PandaError;
 
-use crate::protocol::{recv_msg, send_msg, ArrayOp, CollectiveRequest, Msg, OpKind};
+use crate::protocol::{recv_msg, send_data, send_msg, ArrayOp, CollectiveRequest, Msg, OpKind};
 
 /// A compute node's handle to Panda. One per client thread.
 pub struct PandaClient {
@@ -23,6 +23,7 @@ pub struct PandaClient {
     num_clients: usize,
     num_servers: usize,
     subchunk_bytes: usize,
+    pipeline_depth: usize,
 }
 
 impl PandaClient {
@@ -32,6 +33,7 @@ impl PandaClient {
         num_clients: usize,
         num_servers: usize,
         subchunk_bytes: usize,
+        pipeline_depth: usize,
     ) -> Self {
         PandaClient {
             transport,
@@ -39,6 +41,7 @@ impl PandaClient {
             num_clients,
             num_servers,
             subchunk_bytes,
+            pipeline_depth,
         }
     }
 
@@ -60,6 +63,12 @@ impl PandaClient {
     /// The subchunk subdivision cap for this session.
     pub fn subchunk_bytes(&self) -> usize {
         self.subchunk_bytes
+    }
+
+    /// The server pipeline depth requested for this session's
+    /// collectives (1 = unpipelined).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
     }
 
     /// True iff this is the master client (rank 0), which exchanges the
@@ -120,6 +129,10 @@ impl PandaClient {
             .map(|(m, _, _)| m.client_region(self.rank))
             .collect();
 
+        // One scratch buffer serves every Fetch: with pipelining the
+        // servers keep several requests outstanding per client, so this
+        // loop is the client's hot path.
+        let mut scratch = Vec::new();
         let mut released = false;
         let mut complete = false;
         while !(released || complete) {
@@ -127,22 +140,17 @@ impl PandaClient {
             match msg {
                 Msg::Fetch { array, seq, region } => {
                     let idx = array as usize;
-                    let (meta, _, data) =
-                        arrays.get(idx).ok_or_else(|| PandaError::Protocol {
-                            detail: format!("fetch for unknown array index {idx}"),
-                        })?;
-                    let payload =
-                        copy::pack_region(data, &regions[idx], &region, meta.elem_size())?;
-                    send_msg(
-                        self.transport_mut(),
-                        src,
-                        &Msg::Data {
-                            array,
-                            seq,
-                            region,
-                            payload,
-                        },
+                    let (meta, _, data) = arrays.get(idx).ok_or_else(|| PandaError::Protocol {
+                        detail: format!("fetch for unknown array index {idx}"),
+                    })?;
+                    copy::pack_region_into(
+                        &mut scratch,
+                        data,
+                        &regions[idx],
+                        &region,
+                        meta.elem_size(),
                     )?;
+                    send_data(self.transport_mut(), src, array, seq, &region, &scratch)?;
                 }
                 Msg::Complete => complete = true,
                 Msg::Release => released = true,
@@ -158,10 +166,7 @@ impl PandaClient {
 
     /// Collective read: the mirror of [`PandaClient::write`]; each
     /// client's buffer is filled with its memory chunk.
-    pub fn read(
-        &mut self,
-        arrays: &mut [(&ArrayMeta, &str, &mut [u8])],
-    ) -> Result<(), PandaError> {
+    pub fn read(&mut self, arrays: &mut [(&ArrayMeta, &str, &mut [u8])]) -> Result<(), PandaError> {
         let n = arrays.len();
         self.read_impl(arrays, &vec![None; n])
     }
@@ -307,6 +312,7 @@ impl PandaClient {
                 })
                 .collect(),
             subchunk_bytes: self.subchunk_bytes,
+            pipeline_depth: self.pipeline_depth,
         };
         let dst = self.master_server();
         send_msg(self.transport_mut(), dst, &Msg::Collective(req))

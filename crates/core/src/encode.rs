@@ -184,7 +184,9 @@ impl<'a> Reader<'a> {
         let n = self.size()?;
         // Sanity-bound: each element takes 8 bytes.
         if n > self.remaining() / 8 {
-            return Err(PandaError::Decode { context: "sizes length" });
+            return Err(PandaError::Decode {
+                context: "sizes length",
+            });
         }
         (0..n).map(|_| self.size()).collect()
     }
@@ -205,7 +207,11 @@ impl<'a> Reader<'a> {
             3 => ElementType::F32,
             4 => ElementType::F64,
             5 => ElementType::Opaque(self.u32()?),
-            _ => return Err(PandaError::Decode { context: "elem tag" }),
+            _ => {
+                return Err(PandaError::Decode {
+                    context: "elem tag",
+                })
+            }
         })
     }
 
@@ -215,7 +221,11 @@ impl<'a> Reader<'a> {
             0 => Dist::Block,
             1 => Dist::Star,
             2 => Dist::Cyclic(self.size()?),
-            _ => return Err(PandaError::Decode { context: "dist tag" }),
+            _ => {
+                return Err(PandaError::Decode {
+                    context: "dist tag",
+                })
+            }
         })
     }
 
@@ -225,11 +235,11 @@ impl<'a> Reader<'a> {
         let elem = self.elem()?;
         let ndists = self.size()?;
         if ndists > 64 {
-            return Err(PandaError::Decode { context: "dists length" });
+            return Err(PandaError::Decode {
+                context: "dists length",
+            });
         }
-        let dists: Vec<Dist> = (0..ndists)
-            .map(|_| self.dist())
-            .collect::<Result<_, _>>()?;
+        let dists: Vec<Dist> = (0..ndists).map(|_| self.dist()).collect::<Result<_, _>>()?;
         let mesh_dims = self.sizes()?;
         let shape = Shape::new(&dims).map_err(|_| PandaError::Decode { context: "shape" })?;
         let mesh = Mesh::new(&mesh_dims).map_err(|_| PandaError::Decode { context: "mesh" })?;
@@ -243,8 +253,9 @@ impl<'a> Reader<'a> {
         let memory = self.schema()?;
         let disk = self.schema()?;
         let override_bytes = self.u64()?;
-        let mut meta = ArrayMeta::new(name, memory, disk)
-            .map_err(|_| PandaError::Decode { context: "array meta" })?;
+        let mut meta = ArrayMeta::new(name, memory, disk).map_err(|_| PandaError::Decode {
+            context: "array meta",
+        })?;
         if override_bytes > 0 {
             meta = meta.with_subchunk_bytes(override_bytes as usize);
         }

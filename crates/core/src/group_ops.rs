@@ -80,7 +80,11 @@ impl ArrayGroup {
     /// File tag for array `idx` in checkpoint generation `generation`
     /// (generations alternate between `a` and `b`).
     pub fn checkpoint_tag(&self, idx: usize, generation: usize) -> String {
-        let g = if generation.is_multiple_of(2) { 'a' } else { 'b' };
+        let g = if generation.is_multiple_of(2) {
+            'a'
+        } else {
+            'b'
+        };
         format!("{}/{}.ckpt-{}", self.name, self.arrays[idx].name(), g)
     }
 

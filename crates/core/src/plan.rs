@@ -145,8 +145,8 @@ pub fn build_server_plan(
         if region.is_empty() {
             continue;
         }
-        let pieces = split_into_subchunks(&region, elem, subchunk_bytes)
-            .expect("nonzero subchunk cap");
+        let pieces =
+            split_into_subchunks(&region, elem, subchunk_bytes).expect("nonzero subchunk cap");
         let mut subchunks = Vec::with_capacity(pieces.len());
         for sub in pieces {
             let mut plan_pieces = Vec::new();
@@ -242,8 +242,8 @@ pub fn client_manifest_section(
     let _ = num_servers; // ownership does not affect the piece set
     for chunk_idx in disk_grid.chunks_intersecting(&target) {
         let region = disk_grid.chunk_region(chunk_idx);
-        for sub in split_into_subchunks(&region, elem, subchunk_bytes)
-            .expect("nonzero subchunk cap")
+        for sub in
+            split_into_subchunks(&region, elem, subchunk_bytes).expect("nonzero subchunk cap")
         {
             if let Some(isect) = sub.region.intersect(&target) {
                 manifest.pieces += 1;
@@ -271,23 +271,16 @@ mod tests {
 
     fn traditional_array(dims: &[usize], mesh: &[usize], servers: usize) -> ArrayMeta {
         let shape = Shape::new(dims).unwrap();
-        let mem =
-            DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(mesh).unwrap())
-                .unwrap();
+        let mem = DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(mesh).unwrap())
+            .unwrap();
         let disk = DataSchema::traditional_order(shape, ElementType::F64, servers).unwrap();
         ArrayMeta::new("a", mem, disk).unwrap()
     }
 
     #[test]
     fn round_robin_assignment() {
-        assert_eq!(
-            assigned_chunks(8, 0, 3).collect::<Vec<_>>(),
-            vec![0, 3, 6]
-        );
-        assert_eq!(
-            assigned_chunks(8, 2, 3).collect::<Vec<_>>(),
-            vec![2, 5]
-        );
+        assert_eq!(assigned_chunks(8, 0, 3).collect::<Vec<_>>(), vec![0, 3, 6]);
+        assert_eq!(assigned_chunks(8, 2, 3).collect::<Vec<_>>(), vec![2, 5]);
         assert_eq!(assigned_chunks(2, 1, 4).collect::<Vec<_>>(), vec![1]);
         assert_eq!(assigned_chunks(2, 3, 4).count(), 0);
     }
@@ -383,12 +376,9 @@ mod tests {
         // A column-slab (`*,BLOCK`) disk schema strides the CLIENT side:
         // each piece is a half-width sub-box of the client's chunk.
         let shape = Shape::new(&[8, 8]).unwrap();
-        let mem = DataSchema::block_all(
-            shape.clone(),
-            ElementType::F64,
-            Mesh::new(&[2, 2]).unwrap(),
-        )
-        .unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+                .unwrap();
         let disk = DataSchema::new(
             shape,
             ElementType::F64,

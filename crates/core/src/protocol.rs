@@ -87,6 +87,10 @@ pub struct CollectiveRequest {
     pub arrays: Vec<ArrayOp>,
     /// Subchunk subdivision cap in bytes.
     pub subchunk_bytes: usize,
+    /// Number of subchunks each server keeps in flight (1 = the
+    /// unpipelined transfer order; ≥ 2 overlaps client exchange with
+    /// disk I/O).
+    pub pipeline_depth: usize,
 }
 
 /// A protocol message.
@@ -205,6 +209,7 @@ impl Msg {
                     OpKind::Read => 1,
                 });
                 w.size(req.subchunk_bytes);
+                w.size(req.pipeline_depth);
                 w.size(req.arrays.len());
                 for a in &req.arrays {
                     w.array_meta(&a.meta);
@@ -234,7 +239,11 @@ impl Msg {
                 w.region(region);
                 w.bytes(payload);
             }
-            Msg::ServerDone | Msg::Complete | Msg::Release | Msg::Shutdown | Msg::RawDone
+            Msg::ServerDone
+            | Msg::Complete
+            | Msg::Release
+            | Msg::Shutdown
+            | Msg::RawDone
             | Msg::RawAck => {}
             Msg::RawWrite {
                 file,
@@ -283,6 +292,7 @@ impl Msg {
                     _ => return Err(PandaError::Decode { context: "op kind" }),
                 };
                 let subchunk_bytes = r.size()?;
+                let pipeline_depth = r.size()?;
                 let n = r.size()?;
                 if n > 4096 {
                     return Err(PandaError::Decode {
@@ -296,7 +306,11 @@ impl Msg {
                     let section = match r.u8()? {
                         0 => None,
                         1 => Some(r.region()?),
-                        _ => return Err(PandaError::Decode { context: "section flag" }),
+                        _ => {
+                            return Err(PandaError::Decode {
+                                context: "section flag",
+                            })
+                        }
                     };
                     arrays.push(ArrayOp {
                         meta,
@@ -308,6 +322,7 @@ impl Msg {
                     op,
                     arrays,
                     subchunk_bytes,
+                    pipeline_depth,
                 })
             }
             tags::FETCH => Msg::Fetch {
@@ -370,6 +385,27 @@ pub fn send_msg<T: Transport + ?Sized>(
     Ok(())
 }
 
+/// Send a [`Msg::Data`] without building the owned message: the payload
+/// is encoded straight from the borrowed slice. This is the hot path of
+/// both transfer directions — a reusable scratch buffer can be packed
+/// and shipped without an extra per-piece allocation.
+pub fn send_data<T: Transport + ?Sized>(
+    t: &mut T,
+    dst: NodeId,
+    array: u32,
+    seq: u64,
+    region: &Region,
+    payload: &[u8],
+) -> Result<(), PandaError> {
+    let mut w = Writer::new();
+    w.u32(array);
+    w.u64(seq);
+    w.region(region);
+    w.bytes(payload);
+    t.send(dst, tags::DATA, w.finish())?;
+    Ok(())
+}
+
 /// Receive and decode the next message matching `spec`.
 pub fn recv_msg<T: Transport + ?Sized>(
     t: &mut T,
@@ -387,8 +423,9 @@ mod tests {
 
     fn sample_meta() -> ArrayMeta {
         let shape = Shape::new(&[8, 8]).unwrap();
-        let mem = DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
-            .unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+                .unwrap();
         let disk = DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap();
         ArrayMeta::new("t", mem, disk).unwrap()
     }
@@ -417,11 +454,13 @@ mod tests {
                 },
             ],
             subchunk_bytes: 1 << 20,
+            pipeline_depth: 1,
         }));
         roundtrip(Msg::Collective(CollectiveRequest {
             op: OpKind::Read,
             arrays: vec![],
             subchunk_bytes: 4096,
+            pipeline_depth: 4,
         }));
         roundtrip(Msg::Fetch {
             array: 3,
@@ -509,5 +548,25 @@ mod tests {
         let (src, got) = recv_msg(&mut b, MatchSpec::tag(tags::FETCH)).unwrap();
         assert_eq!(src, NodeId(0));
         assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn send_data_is_wire_identical_to_owned_data() {
+        use panda_msg::InProcFabric;
+        let (mut eps, _) = InProcFabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let region = Region::new(&[1, 0], &[3, 4]).unwrap();
+        send_data(&mut a, NodeId(1), 2, 9, &region, &[5u8; 16]).unwrap();
+        let (_, got) = recv_msg(&mut b, MatchSpec::tag(tags::DATA)).unwrap();
+        assert_eq!(
+            got,
+            Msg::Data {
+                array: 2,
+                seq: 9,
+                region,
+                payload: vec![5u8; 16],
+            }
+        );
     }
 }

@@ -26,6 +26,12 @@ pub struct PandaConfig {
     /// Subchunk subdivision cap in bytes (1 MB in all the paper's
     /// experiments).
     pub subchunk_bytes: usize,
+    /// Number of subchunks each server keeps in flight. `1` (the
+    /// default) reproduces the paper's strictly serialized transfer
+    /// order bit for bit; `d ≥ 2` prefetches the next `d - 1` subchunks
+    /// from the clients while the current one is on its way to or from
+    /// disk (double-buffered file I/O).
+    pub pipeline_depth: usize,
     /// Blocking-receive timeout; a deadlocked protocol fails loudly
     /// instead of hanging.
     pub recv_timeout: Duration,
@@ -38,6 +44,7 @@ impl PandaConfig {
             num_clients,
             num_servers,
             subchunk_bytes: panda_schema::DEFAULT_SUBCHUNK_BYTES,
+            pipeline_depth: 1,
             recv_timeout: Duration::from_secs(60),
         }
     }
@@ -45,6 +52,12 @@ impl PandaConfig {
     /// Override the subchunk cap.
     pub fn with_subchunk_bytes(mut self, bytes: usize) -> Self {
         self.subchunk_bytes = bytes;
+        self
+    }
+
+    /// Override the pipeline depth (`1` disables pipelining).
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
         self
     }
 
@@ -63,6 +76,11 @@ impl PandaConfig {
         if self.subchunk_bytes == 0 {
             return Err(PandaError::Config {
                 detail: "subchunk cap must be nonzero".to_string(),
+            });
+        }
+        if self.pipeline_depth == 0 {
+            return Err(PandaError::Config {
+                detail: "pipeline depth must be at least 1".to_string(),
             });
         }
         Ok(())
@@ -106,8 +124,7 @@ impl PandaSystem {
     ) -> Result<(Self, Vec<PandaClient>), PandaError> {
         config.validate()?;
         let total = config.num_clients + config.num_servers;
-        let (endpoints, fabric_stats) =
-            InProcFabric::with_timeout(total, config.recv_timeout);
+        let (endpoints, fabric_stats) = InProcFabric::with_timeout(total, config.recv_timeout);
         let transports: Vec<Box<dyn panda_msg::Transport>> = endpoints
             .into_iter()
             .map(|ep| Box::new(ep) as Box<dyn panda_msg::Transport>)
@@ -148,13 +165,7 @@ impl PandaSystem {
                 .expect("fabric created with num_clients+num_servers endpoints");
             let fs = fs_factory(s);
             filesystems.push(Arc::clone(&fs));
-            let node = ServerNode::new(
-                endpoint,
-                fs,
-                s,
-                config.num_clients,
-                config.num_servers,
-            );
+            let node = ServerNode::new(endpoint, fs, s, config.num_clients, config.num_servers);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("panda-server-{s}"))
@@ -177,6 +188,7 @@ impl PandaSystem {
                     config.num_clients,
                     config.num_servers,
                     config.subchunk_bytes,
+                    config.pipeline_depth,
                 )
             })
             .collect();
@@ -267,6 +279,11 @@ mod tests {
         .is_err());
         assert!(PandaSystem::try_launch(
             &PandaConfig::new(1, 1).with_subchunk_bytes(0),
+            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>
+        )
+        .is_err());
+        assert!(PandaSystem::try_launch(
+            &PandaConfig::new(1, 1).with_pipeline_depth(0),
             |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>
         )
         .is_err());

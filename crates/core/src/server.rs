@@ -9,17 +9,40 @@
 //! subchunk to the owning clients. The master server (index 0)
 //! additionally relays the request to its peers and reports completion
 //! to the master client.
+//!
+//! # Pipelining
+//!
+//! At `pipeline_depth == 1` each subchunk is exchanged and written (or
+//! read and scattered) strictly one at a time — the paper's baseline
+//! transfer order, preserved bit for bit. At depth `d ≥ 2` the server
+//! overlaps the two halves of the work:
+//!
+//! * **writes** keep up to `d` subchunks' `Fetch` requests in flight
+//!   (disambiguated by the per-array `seq`), assemble replies into a
+//!   recycled buffer pool, and hand each completed subchunk to a
+//!   dedicated disk-writer thread, so subchunk `k` hits the disk while
+//!   `k+1..k+d` are still being gathered from the clients;
+//! * **reads** run a disk-reader thread that prefetches the next
+//!   subchunks into the same kind of recycled pool while the server
+//!   packs and pushes the current one to the clients.
+//!
+//! Either way the file itself is still accessed strictly sequentially by
+//! exactly one thread, and the message set (tags, counts, payloads) is
+//! identical to the unpipelined schedule — only the overlap changes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
 use std::sync::Arc;
 
-use panda_fs::{FileHandle, FileSystem};
+use panda_fs::{FileHandle, FileSystem, FsError};
 use panda_msg::{MatchSpec, NodeId, Transport};
-use panda_schema::copy;
+use panda_schema::{copy, Region};
 
 use crate::error::PandaError;
-use crate::plan::build_server_plan;
-use crate::protocol::{recv_msg, send_msg, tags, ArrayOp, CollectiveRequest, Msg, OpKind};
+use crate::plan::{build_server_plan, PlanSubchunk};
+use crate::protocol::{
+    recv_msg, send_data, send_msg, tags, ArrayOp, CollectiveRequest, Msg, OpKind,
+};
 
 /// One I/O node.
 pub struct ServerNode {
@@ -31,8 +54,19 @@ pub struct ServerNode {
     num_servers: usize,
     /// Open handles for baseline raw operations, keyed by file name.
     raw_handles: HashMap<String, Box<dyn FileHandle>>,
-    /// Clients that have sent `RawDone` for the current baseline op.
-    raw_done: Vec<NodeId>,
+    /// Per-client flag: has this client sent `RawDone` for the current
+    /// baseline op? Indexed by client rank.
+    raw_done: Vec<bool>,
+    /// Number of set flags in [`ServerNode::raw_done`].
+    raw_done_count: usize,
+}
+
+/// A subchunk being assembled inside the write window.
+struct InFlight {
+    /// Assembly buffer (recycled through the writer's pool).
+    buf: Vec<u8>,
+    /// Pieces still missing.
+    remaining: usize,
 }
 
 impl ServerNode {
@@ -50,7 +84,8 @@ impl ServerNode {
             num_clients,
             num_servers,
             raw_handles: HashMap::new(),
-            raw_done: Vec::new(),
+            raw_done: vec![false; num_clients],
+            raw_done_count: 0,
         }
     }
 
@@ -119,6 +154,7 @@ impl ServerNode {
             }
         }
 
+        let depth = req.pipeline_depth.max(1);
         for (idx, array_op) in req.arrays.iter().enumerate() {
             match req.op {
                 OpKind::Write => {
@@ -127,9 +163,9 @@ impl ServerNode {
                             detail: "section writes are not supported".to_string(),
                         });
                     }
-                    self.write_array(idx as u32, array_op, req.subchunk_bytes)?;
+                    self.write_array(idx as u32, array_op, req.subchunk_bytes, depth)?;
                 }
-                OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes)?,
+                OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes, depth)?,
             }
         }
 
@@ -138,8 +174,7 @@ impl ServerNode {
         // is done.
         if self.is_master() {
             for _ in 1..self.num_servers {
-                let (_, msg) =
-                    recv_msg(&mut *self.transport, MatchSpec::tag(tags::SERVER_DONE))?;
+                let (_, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::SERVER_DONE))?;
                 debug_assert_eq!(msg, Msg::ServerDone);
             }
             let dst = self.master_client();
@@ -152,74 +187,215 @@ impl ServerNode {
     }
 
     /// Write path: pull pieces from clients subchunk by subchunk,
-    /// assemble in traditional order, append sequentially.
+    /// assemble in traditional order, append sequentially. `depth` is
+    /// the number of subchunks kept in flight (see the module docs).
     fn write_array(
         &mut self,
         array_idx: u32,
         op: &ArrayOp,
         subchunk_bytes: usize,
+        depth: usize,
     ) -> Result<(), PandaError> {
         let meta = &op.meta;
         let elem = meta.elem_size();
         let plan = build_server_plan(meta, self.server_idx, self.num_servers, subchunk_bytes);
-        let mut file = self
+        let subs: Vec<&PlanSubchunk> = plan.subchunks().collect();
+        let file = self
             .fs
             .create(&Self::file_name(&op.file_tag, self.server_idx))?;
+        if depth <= 1 {
+            self.write_subchunks_inline(array_idx, elem, &subs, file)
+        } else {
+            self.write_subchunks_pipelined(array_idx, elem, &subs, file, depth)
+        }
+    }
+
+    /// Unpipelined write schedule: one subchunk at a time, the disk
+    /// write strictly after the last piece arrives. One assembly buffer
+    /// is recycled across all subchunks.
+    fn write_subchunks_inline(
+        &mut self,
+        array_idx: u32,
+        elem: usize,
+        subs: &[&PlanSubchunk],
+        mut file: Box<dyn FileHandle>,
+    ) -> Result<(), PandaError> {
         let mut seq = 0u64;
-        for chunk in &plan.chunks {
-            for sub in &chunk.subchunks {
-                let mut buf = vec![0u8; sub.bytes];
-                // Ask every owning client for its piece...
-                let mut outstanding: HashMap<u64, usize> = HashMap::new();
-                for (pi, piece) in sub.pieces.iter().enumerate() {
-                    send_msg(
-                        &mut *self.transport,
-                        NodeId(piece.client),
-                        &Msg::Fetch {
-                            array: array_idx,
-                            seq,
-                            region: piece.region.clone(),
-                        },
-                    )?;
-                    outstanding.insert(seq, pi);
-                    seq += 1;
-                }
-                // ... and scatter the replies into the subchunk buffer.
-                while !outstanding.is_empty() {
-                    let (_src, msg) =
-                        recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
-                    let Msg::Data {
-                        seq: rseq,
-                        region,
-                        payload,
-                        ..
-                    } = msg
-                    else {
-                        unreachable!("matched DATA tag");
-                    };
-                    let pi = outstanding
-                        .remove(&rseq)
-                        .ok_or_else(|| PandaError::Protocol {
-                            detail: format!("unexpected data seq {rseq}"),
-                        })?;
-                    debug_assert_eq!(region, sub.pieces[pi].region);
-                    copy::copy_region(&payload, &region, &mut buf, &sub.region, &region, elem)?;
-                }
-                file.write_at(sub.file_offset, &buf)?;
+        let mut buf = Vec::new();
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        for sub in subs {
+            buf.clear();
+            buf.resize(sub.bytes, 0);
+            // Ask every owning client for its piece...
+            for (pi, piece) in sub.pieces.iter().enumerate() {
+                send_msg(
+                    &mut *self.transport,
+                    NodeId(piece.client),
+                    &Msg::Fetch {
+                        array: array_idx,
+                        seq,
+                        region: piece.region.clone(),
+                    },
+                )?;
+                outstanding.insert(seq, pi);
+                seq += 1;
             }
+            // ... and scatter the replies into the subchunk buffer.
+            while !outstanding.is_empty() {
+                let (_src, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
+                let Msg::Data {
+                    seq: rseq,
+                    region,
+                    payload,
+                    ..
+                } = msg
+                else {
+                    unreachable!("matched DATA tag");
+                };
+                let pi = outstanding
+                    .remove(&rseq)
+                    .ok_or_else(|| PandaError::Protocol {
+                        detail: format!("unexpected data seq {rseq}"),
+                    })?;
+                debug_assert_eq!(region, sub.pieces[pi].region);
+                copy::copy_region(&payload, &region, &mut buf, &sub.region, &region, elem)?;
+            }
+            file.write_at(sub.file_offset, &buf)?;
         }
         // The paper flushes to disk with fsync after each write op.
         file.sync()?;
         Ok(())
     }
 
+    /// Pipelined write schedule: up to `depth` subchunks' fetches are
+    /// outstanding at once, and completed subchunks are written by a
+    /// dedicated disk thread while later ones are still being gathered.
+    /// Buffers recycle through the writer's pool, so steady state runs
+    /// allocation-free. File contents are byte-identical to the inline
+    /// schedule: subchunks are still written in file order.
+    fn write_subchunks_pipelined(
+        &mut self,
+        array_idx: u32,
+        elem: usize,
+        subs: &[&PlanSubchunk],
+        file: Box<dyn FileHandle>,
+        depth: usize,
+    ) -> Result<(), PandaError> {
+        // Disk jobs flow to the writer thread; drained buffers flow back
+        // for reuse. The bounded job queue caps buffered-but-unwritten
+        // subchunks at `depth`.
+        let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Vec<u8>)>(depth);
+        let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+        let writer = std::thread::Builder::new()
+            .name(format!("panda-writer-{}", self.server_idx))
+            .spawn(move || -> Result<(), FsError> {
+                let mut file = file;
+                while let Ok((offset, buf)) = job_rx.recv() {
+                    file.write_at(offset, &buf)?;
+                    // The assembler may already be past its last send.
+                    let _ = pool_tx.send(buf);
+                }
+                // The paper flushes to disk with fsync after each write
+                // op; channel disconnect marks the last subchunk.
+                file.sync()
+            })
+            .expect("spawn disk-writer thread");
+
+        let run = (|| -> Result<(), PandaError> {
+            let mut seq = 0u64;
+            // seq → (subchunk index, piece index) for every in-flight
+            // fetch; the global seq disambiguates replies across the
+            // whole window.
+            let mut seq_map: HashMap<u64, (usize, usize)> = HashMap::new();
+            let mut window: VecDeque<InFlight> = VecDeque::with_capacity(depth);
+            let mut front = 0usize; // oldest subchunk still in the window
+            let mut next = 0usize; // next subchunk to issue fetches for
+            loop {
+                // Hand completed head subchunks to the disk thread: it
+                // writes subchunk k while replies for k+1.. scatter here.
+                while window.front().is_some_and(|s| s.remaining == 0) {
+                    let done = window.pop_front().expect("checked front");
+                    if job_tx.send((subs[front].file_offset, done.buf)).is_err() {
+                        // Writer bailed; its join below has the cause.
+                        return Err(PandaError::Protocol {
+                            detail: "disk writer stopped early".to_string(),
+                        });
+                    }
+                    front += 1;
+                }
+                if front == subs.len() {
+                    return Ok(());
+                }
+                // Keep up to `depth` subchunks' fetches outstanding.
+                while next < subs.len() && next - front < depth {
+                    let sub = subs[next];
+                    let mut buf = pool_rx.try_recv().unwrap_or_default();
+                    buf.clear();
+                    buf.resize(sub.bytes, 0);
+                    for (pi, piece) in sub.pieces.iter().enumerate() {
+                        send_msg(
+                            &mut *self.transport,
+                            NodeId(piece.client),
+                            &Msg::Fetch {
+                                array: array_idx,
+                                seq,
+                                region: piece.region.clone(),
+                            },
+                        )?;
+                        seq_map.insert(seq, (next, pi));
+                        seq += 1;
+                    }
+                    window.push_back(InFlight {
+                        buf,
+                        remaining: sub.pieces.len(),
+                    });
+                    next += 1;
+                }
+                // Scatter one reply into its window slot.
+                let (_src, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
+                let Msg::Data {
+                    seq: rseq,
+                    region,
+                    payload,
+                    ..
+                } = msg
+                else {
+                    unreachable!("matched DATA tag");
+                };
+                let (si, pi) = seq_map.remove(&rseq).ok_or_else(|| PandaError::Protocol {
+                    detail: format!("unexpected data seq {rseq}"),
+                })?;
+                let sub = subs[si];
+                debug_assert_eq!(region, sub.pieces[pi].region);
+                let slot = &mut window[si - front];
+                copy::copy_region(&payload, &region, &mut slot.buf, &sub.region, &region, elem)?;
+                slot.remaining -= 1;
+            }
+        })();
+
+        // Closing the job queue lets the writer drain, fsync, and exit.
+        drop(job_tx);
+        let disk = writer.join().map_err(|_| PandaError::Protocol {
+            detail: "disk writer thread panicked".to_string(),
+        })?;
+        match (run, disk) {
+            (Ok(()), disk) => Ok(disk?),
+            // A dead writer also breaks the assembly loop; the disk
+            // error is the root cause.
+            (Err(_), Err(disk)) => Err(disk.into()),
+            (Err(run), Ok(())) => Err(run),
+        }
+    }
+
     /// Read path: stream the file forward, scattering each subchunk's
-    /// pieces to the owning clients.
+    /// pieces to the owning clients. At `depth ≥ 2` a disk thread reads
+    /// ahead while the current subchunk is packed and pushed.
     fn read_array(
         &mut self,
         array_idx: u32,
         op: &ArrayOp,
         subchunk_bytes: usize,
+        depth: usize,
     ) -> Result<(), PandaError> {
         let meta = &op.meta;
         let elem = meta.elem_size();
@@ -227,42 +403,151 @@ impl ServerNode {
         if plan.total_bytes == 0 {
             return Ok(());
         }
-        let mut file = self
+        // Section reads skip non-overlapping subchunks entirely; the
+        // remaining reads still proceed in file order. Selecting up
+        // front keeps the prefetcher and the scatter loop in lockstep.
+        let selected: Vec<&PlanSubchunk> = plan
+            .subchunks()
+            .filter(|sub| match &op.section {
+                None => true,
+                Some(section) => sub.region.overlaps(section),
+            })
+            .collect();
+        if selected.is_empty() {
+            return Ok(());
+        }
+        let file = self
             .fs
             .open(&Self::file_name(&op.file_tag, self.server_idx))?;
+        if depth <= 1 {
+            self.read_subchunks_inline(array_idx, elem, op.section.as_ref(), &selected, file)
+        } else {
+            self.read_subchunks_pipelined(
+                array_idx,
+                elem,
+                op.section.as_ref(),
+                &selected,
+                file,
+                depth,
+            )
+        }
+    }
+
+    /// Unpipelined read schedule: read a subchunk, scatter it, repeat.
+    /// The read buffer and the pack scratch are both recycled.
+    fn read_subchunks_inline(
+        &mut self,
+        array_idx: u32,
+        elem: usize,
+        section: Option<&Region>,
+        subs: &[&PlanSubchunk],
+        mut file: Box<dyn FileHandle>,
+    ) -> Result<(), PandaError> {
         let mut seq = 0u64;
-        for chunk in &plan.chunks {
-            for sub in &chunk.subchunks {
-                // Section reads skip non-overlapping subchunks entirely;
-                // the remaining reads still proceed in file order.
-                if let Some(section) = &op.section {
-                    if !sub.region.overlaps(section) {
-                        continue;
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        for sub in subs {
+            buf.clear();
+            buf.resize(sub.bytes, 0);
+            file.read_at(sub.file_offset, &mut buf)?;
+            self.scatter_subchunk(array_idx, sub, section, &buf, &mut scratch, &mut seq, elem)?;
+        }
+        Ok(())
+    }
+
+    /// Pipelined read schedule: a disk thread prefetches up to `depth`
+    /// subchunks ahead through a bounded queue while this thread packs
+    /// and pushes the current one. Buffers recycle through the pool;
+    /// the message stream is identical to the inline schedule.
+    fn read_subchunks_pipelined(
+        &mut self,
+        array_idx: u32,
+        elem: usize,
+        section: Option<&Region>,
+        subs: &[&PlanSubchunk],
+        file: Box<dyn FileHandle>,
+        depth: usize,
+    ) -> Result<(), PandaError> {
+        let jobs: Vec<(u64, usize)> = subs.iter().map(|s| (s.file_offset, s.bytes)).collect();
+        // Queue capacity depth-1 plus the buffer being scattered keeps
+        // `depth` subchunks in memory (depth 2 = classic double buffer).
+        let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth - 1);
+        let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+        let reader = std::thread::Builder::new()
+            .name(format!("panda-reader-{}", self.server_idx))
+            .spawn(move || -> Result<(), FsError> {
+                let mut file = file;
+                for (offset, bytes) in jobs {
+                    let mut buf = pool_rx.try_recv().unwrap_or_default();
+                    buf.clear();
+                    buf.resize(bytes, 0);
+                    file.read_at(offset, &mut buf)?;
+                    if full_tx.send(buf).is_err() {
+                        // Consumer bailed; nothing left to prefetch for.
+                        return Ok(());
                     }
                 }
-                let mut buf = vec![0u8; sub.bytes];
-                file.read_at(sub.file_offset, &mut buf)?;
-                for piece in &sub.pieces {
-                    // Trim each piece to the requested section.
-                    let target = match &op.section {
-                        None => Some(piece.region.clone()),
-                        Some(section) => piece.region.intersect(section),
-                    };
-                    let Some(target) = target else { continue };
-                    let payload = copy::pack_region(&buf, &sub.region, &target, elem)?;
-                    send_msg(
-                        &mut *self.transport,
-                        NodeId(piece.client),
-                        &Msg::Data {
-                            array: array_idx,
-                            seq,
-                            region: target,
-                            payload,
-                        },
-                    )?;
-                    seq += 1;
-                }
+                Ok(())
+            })
+            .expect("spawn disk-reader thread");
+
+        let run = (|| -> Result<(), PandaError> {
+            let mut seq = 0u64;
+            let mut scratch = Vec::new();
+            for sub in subs {
+                let buf = full_rx.recv().map_err(|_| PandaError::Protocol {
+                    detail: "disk reader stopped early".to_string(),
+                })?;
+                self.scatter_subchunk(array_idx, sub, section, &buf, &mut scratch, &mut seq, elem)?;
+                // Hand the drained buffer back for the next prefetch.
+                let _ = pool_tx.send(buf);
             }
+            Ok(())
+        })();
+
+        // Unblock a prefetcher still parked on a full queue, then join.
+        drop(full_rx);
+        let disk = reader.join().map_err(|_| PandaError::Protocol {
+            detail: "disk reader thread panicked".to_string(),
+        })?;
+        match (run, disk) {
+            (Ok(()), disk) => Ok(disk?),
+            // A dead reader also breaks the scatter loop; the disk error
+            // is the root cause.
+            (Err(_), Err(disk)) => Err(disk.into()),
+            (Err(run), Ok(())) => Err(run),
+        }
+    }
+
+    /// Pack and push one subchunk's pieces to their owning clients,
+    /// trimming each piece to the requested section.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_subchunk(
+        &mut self,
+        array_idx: u32,
+        sub: &PlanSubchunk,
+        section: Option<&Region>,
+        buf: &[u8],
+        scratch: &mut Vec<u8>,
+        seq: &mut u64,
+        elem: usize,
+    ) -> Result<(), PandaError> {
+        for piece in &sub.pieces {
+            let target = match section {
+                None => Some(piece.region.clone()),
+                Some(section) => piece.region.intersect(section),
+            };
+            let Some(target) = target else { continue };
+            copy::pack_region_into(scratch, buf, &sub.region, &target, elem)?;
+            send_data(
+                &mut *self.transport,
+                NodeId(piece.client),
+                array_idx,
+                *seq,
+                &target,
+                scratch,
+            )?;
+            *seq += 1;
         }
         Ok(())
     }
@@ -291,36 +576,45 @@ impl ServerNode {
     }
 
     fn raw_handle(&mut self, file: &str) -> Result<&mut Box<dyn FileHandle>, PandaError> {
-        if !self.raw_handles.contains_key(file) {
-            let handle = if self.fs.exists(file) {
-                self.fs.open(file)?
-            } else {
-                self.fs.create(file)?
-            };
-            self.raw_handles.insert(file.to_string(), handle);
+        match self.raw_handles.entry(file.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let handle = if self.fs.exists(file) {
+                    self.fs.open(file)?
+                } else {
+                    self.fs.create(file)?
+                };
+                Ok(e.insert(handle))
+            }
         }
-        Ok(self.raw_handles.get_mut(file).expect("just inserted"))
     }
 
     /// Baseline support: completion barrier. Once every client has sent
-    /// `RawDone`, sync all touched files and acknowledge everyone.
+    /// `RawDone`, sync all touched files and acknowledge everyone. The
+    /// seen set is a fixed bitmap over client ranks, so the duplicate
+    /// check is O(1) regardless of client count.
     fn raw_done(&mut self, src: NodeId) -> Result<(), PandaError> {
-        if self.raw_done.contains(&src) {
-            return Err(PandaError::Protocol {
-                detail: format!("duplicate RawDone from {src}"),
-            });
+        match self.raw_done.get_mut(src.0) {
+            Some(seen) if !*seen => *seen = true,
+            _ => {
+                return Err(PandaError::Protocol {
+                    detail: format!("duplicate or non-client RawDone from {src}"),
+                })
+            }
         }
-        self.raw_done.push(src);
-        if self.raw_done.len() == self.num_clients {
+        self.raw_done_count += 1;
+        if self.raw_done_count == self.num_clients {
             for handle in self.raw_handles.values_mut() {
                 handle.sync()?;
             }
             // Drop the handle cache: the logical op is over, and fresh
             // handles restart sequentiality tracking for the next op.
             self.raw_handles.clear();
-            let done = std::mem::take(&mut self.raw_done);
-            for client in done {
-                send_msg(&mut *self.transport, client, &Msg::RawAck)?;
+            self.raw_done_count = 0;
+            for client in 0..self.num_clients {
+                debug_assert!(self.raw_done[client], "barrier complete");
+                self.raw_done[client] = false;
+                send_msg(&mut *self.transport, NodeId(client), &Msg::RawAck)?;
             }
         }
         Ok(())

@@ -10,7 +10,13 @@ use panda_schema::{Dist, ElementType};
 #[test]
 fn natural_chunking_roundtrip() {
     // Paper-style: memory schema == disk schema, 4 clients, 2 servers.
-    let meta = make_array("t", &[16, 16], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let meta = make_array(
+        "t",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Natural,
+    );
     let (system, mut clients, _mems) = launch_mem(4, 2, 1 << 20);
     collective_write(&mut clients, &meta, "t");
     let bufs = collective_read(&mut clients, &meta, "t");
@@ -167,7 +173,10 @@ fn multiple_arrays_in_one_collective() {
     let mut a_bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0; a.client_bytes(r)]).collect();
     let mut b_bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0; b.client_bytes(r)]).collect();
     std::thread::scope(|s| {
-        for ((client, ba), bb) in clients.iter_mut().zip(a_bufs.iter_mut()).zip(b_bufs.iter_mut())
+        for ((client, ba), bb) in clients
+            .iter_mut()
+            .zip(a_bufs.iter_mut())
+            .zip(b_bufs.iter_mut())
         {
             let (a, b) = (&a, &b);
             s.spawn(move || {
@@ -224,7 +233,9 @@ fn wrong_buffer_size_is_rejected() {
     let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
     let (system, mut clients, _mems) = launch_mem(4, 1, 1 << 20);
     let bad = vec![0u8; 3];
-    let err = clients[1].write(&[(&meta, "t", bad.as_slice())]).unwrap_err();
+    let err = clients[1]
+        .write(&[(&meta, "t", bad.as_slice())])
+        .unwrap_err();
     assert!(matches!(
         err,
         panda_core::PandaError::BadClientBuffer { .. }

@@ -37,7 +37,11 @@ pub fn pattern_chunk(meta: &ArrayMeta, rank: usize) -> Vec<u8> {
     }
     let shape = region.shape().expect("nonempty");
     for local in shape.iter_indices() {
-        let global: Vec<usize> = local.iter().zip(region.lo()).map(|(&l, &o)| l + o).collect();
+        let global: Vec<usize> = local
+            .iter()
+            .zip(region.lo())
+            .map(|(&l, &o)| l + o)
+            .collect();
         let lin = meta.shape().linearize(&global);
         let off = offset_in_region(&region, &global, elem);
         for b in 0..elem {
@@ -98,6 +102,24 @@ pub fn launch_mem(
     (system, clients, mems)
 }
 
+/// Launch a system over existing MemFs backends with an explicit
+/// pipeline depth (for comparing depths over the same or equal files).
+pub fn launch_mem_over(
+    mems: &[Arc<MemFs>],
+    num_clients: usize,
+    subchunk: usize,
+    depth: usize,
+) -> (PandaSystem, Vec<PandaClient>) {
+    let handles: Vec<Arc<MemFs>> = mems.to_vec();
+    let config = PandaConfig::new(num_clients, mems.len())
+        .with_subchunk_bytes(subchunk)
+        .with_pipeline_depth(depth)
+        .with_recv_timeout(std::time::Duration::from_secs(20));
+    PandaSystem::launch(&config, move |s| {
+        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
+    })
+}
+
 /// Concatenate each server's file `"<tag>.s<i>"` across servers in
 /// order.
 pub fn concat_server_files(mems: &[Arc<MemFs>], tag: &str) -> Vec<u8> {
@@ -113,9 +135,7 @@ pub fn concat_server_files(mems: &[Arc<MemFs>], tag: &str) -> Vec<u8> {
 
 /// Collective write of one array from every client, using the pattern.
 pub fn collective_write(clients: &mut [PandaClient], meta: &ArrayMeta, tag: &str) {
-    let datas: Vec<Vec<u8>> = (0..clients.len())
-        .map(|r| pattern_chunk(meta, r))
-        .collect();
+    let datas: Vec<Vec<u8>> = (0..clients.len()).map(|r| pattern_chunk(meta, r)).collect();
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(&datas) {
             s.spawn(move || {
@@ -127,11 +147,7 @@ pub fn collective_write(clients: &mut [PandaClient], meta: &ArrayMeta, tag: &str
 
 /// Collective read of one array into fresh buffers; returns them by
 /// client rank.
-pub fn collective_read(
-    clients: &mut [PandaClient],
-    meta: &ArrayMeta,
-    tag: &str,
-) -> Vec<Vec<u8>> {
+pub fn collective_read(clients: &mut [PandaClient], meta: &ArrayMeta, tag: &str) -> Vec<Vec<u8>> {
     let mut bufs: Vec<Vec<u8>> = (0..clients.len())
         .map(|r| vec![0u8; meta.client_bytes(r)])
         .collect();

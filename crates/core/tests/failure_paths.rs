@@ -113,5 +113,8 @@ fn read_of_missing_files_surfaces_fs_error() {
     });
     assert!(results.iter().all(|r| r.is_err()));
     let err = system.shutdown(clients).map(|_| ()).unwrap_err();
-    assert!(matches!(err, PandaError::Fs(_) | PandaError::Msg(_)), "got {err}");
+    assert!(
+        matches!(err, PandaError::Fs(_) | PandaError::Msg(_)),
+        "got {err}"
+    );
 }

@@ -58,7 +58,8 @@ fn figure2_timestep_checkpoint_restart() {
                 let mut data = GroupData::zeroed(&group, rank);
                 // Fill with the pattern (stands in for computation).
                 for (i, meta) in metas.iter().enumerate() {
-                    data.buffer_mut(i).copy_from_slice(&pattern_chunk(meta, rank));
+                    data.buffer_mut(i)
+                        .copy_from_slice(&pattern_chunk(meta, rank));
                 }
                 for step in 0..3 {
                     group.timestep(client, &data.slices()).unwrap();
@@ -77,7 +78,9 @@ fn figure2_timestep_checkpoint_restart() {
 
                 // And timestep 0 can be read back for post-processing.
                 let mut ts0 = GroupData::zeroed(&group, rank);
-                group.read_timestep(client, 0, &mut ts0.slices_mut()).unwrap();
+                group
+                    .read_timestep(client, 0, &mut ts0.slices_mut())
+                    .unwrap();
                 assert_eq!(ts0.buffer(2), data.buffer(2));
             });
         }
@@ -230,7 +233,10 @@ fn two_phase_seeks_less_than_naive() {
         &[24, 24],
         ElementType::F64,
         &[4, 1],
-        DiskSchema::Custom(vec![panda_schema::Dist::Star, panda_schema::Dist::Block], vec![4]),
+        DiskSchema::Custom(
+            vec![panda_schema::Dist::Star, panda_schema::Dist::Block],
+            vec![4],
+        ),
     );
     let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
 

@@ -10,7 +10,13 @@ use panda_schema::ElementType;
 
 #[test]
 fn save_and_load_roundtrip() {
-    let a = make_array("alpha", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let a = make_array(
+        "alpha",
+        &[8, 8],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Natural,
+    );
     let b = make_array(
         "beta",
         &[6, 4],

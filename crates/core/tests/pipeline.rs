@@ -1,0 +1,288 @@
+//! The pipelined transfer engine: any depth must produce exactly the
+//! files and buffers of the unpipelined schedule — pipelining changes
+//! *when* work overlaps, never *what* is written — and failures must
+//! stay typed errors, not hangs.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::*;
+use panda_core::{ArrayMeta, PandaConfig, PandaError, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_schema::{Dist, ElementType, Region};
+
+/// Write the pattern at `depth`, returning each server's file plus the
+/// buffers of a same-depth read-back.
+fn roundtrip_at_depth(
+    meta: &ArrayMeta,
+    num_clients: usize,
+    num_servers: usize,
+    subchunk: usize,
+    depth: usize,
+) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mems: Vec<Arc<MemFs>> = (0..num_servers).map(|_| Arc::new(MemFs::new())).collect();
+    let (system, mut clients) = launch_mem_over(&mems, num_clients, subchunk, depth);
+    collective_write(&mut clients, meta, "t");
+    let files: Vec<Vec<u8>> = (0..num_servers)
+        .map(|s| mems[s].contents(&format!("t.s{s}")).unwrap_or_default())
+        .collect();
+    let bufs = collective_read(&mut clients, meta, "t");
+    system.shutdown(clients).unwrap();
+    (files, bufs)
+}
+
+#[test]
+fn all_depths_write_byte_identical_files_memfs() {
+    // Geometries covering natural chunking, reorganization, and uneven
+    // division; small subchunk caps force many subchunks per chunk so
+    // the window actually pipelines.
+    let cases: Vec<(ArrayMeta, usize, usize, usize)> = vec![
+        (
+            make_array(
+                "t",
+                &[16, 16],
+                ElementType::F64,
+                &[2, 2],
+                DiskSchema::Natural,
+            ),
+            4,
+            2,
+            256,
+        ),
+        (
+            make_array(
+                "t",
+                &[16, 16],
+                ElementType::F64,
+                &[2, 2],
+                DiskSchema::Traditional(2),
+            ),
+            4,
+            2,
+            256,
+        ),
+        (
+            make_array(
+                "t",
+                &[12, 10],
+                ElementType::F32,
+                &[2, 2],
+                DiskSchema::Traditional(3),
+            ),
+            4,
+            3,
+            128,
+        ),
+        (
+            make_array(
+                "t",
+                &[8, 8],
+                ElementType::F64,
+                &[2, 2],
+                DiskSchema::Custom(vec![Dist::Star, Dist::Block], vec![4]),
+            ),
+            4,
+            2,
+            64,
+        ),
+    ];
+    for (meta, num_clients, num_servers, subchunk) in &cases {
+        let (base_files, base_bufs) =
+            roundtrip_at_depth(meta, *num_clients, *num_servers, *subchunk, 1);
+        assert_pattern(meta, &base_bufs);
+        for depth in [2usize, 3, 5] {
+            let (files, bufs) =
+                roundtrip_at_depth(meta, *num_clients, *num_servers, *subchunk, depth);
+            assert_eq!(files, base_files, "depth {depth} files differ from depth 1");
+            assert_pattern(meta, &bufs);
+        }
+    }
+}
+
+#[test]
+fn depths_interoperate_on_the_same_files_localfs() {
+    // Write with a pipelined system onto real files, read the same
+    // files back with an unpipelined one (and vice versa): the on-disk
+    // format is depth-independent.
+    let root = std::env::temp_dir().join(format!("panda-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let meta = make_array(
+        "t",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let roots: Vec<_> = (0..2).map(|s| root.join(format!("ionode{s}"))).collect();
+    let launch = |depth: usize| {
+        let config = PandaConfig::new(4, 2)
+            .with_subchunk_bytes(256)
+            .with_pipeline_depth(depth);
+        PandaSystem::launch(&config, |s| {
+            Arc::new(panda_fs::LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
+        })
+    };
+
+    let (system, mut clients) = launch(3);
+    collective_write(&mut clients, &meta, "t");
+    system.shutdown(clients).unwrap();
+    let pipelined_files: Vec<Vec<u8>> = (0..2)
+        .map(|s| std::fs::read(roots[s].join(format!("t.s{s}"))).unwrap())
+        .collect();
+
+    let (system, mut clients) = launch(1);
+    let bufs = collective_read(&mut clients, &meta, "t");
+    assert_pattern(&meta, &bufs);
+    collective_write(&mut clients, &meta, "t");
+    system.shutdown(clients).unwrap();
+    let plain_files: Vec<Vec<u8>> = (0..2)
+        .map(|s| std::fs::read(roots[s].join(format!("t.s{s}"))).unwrap())
+        .collect();
+    assert_eq!(pipelined_files, plain_files);
+
+    let (system, mut clients) = launch(2);
+    let bufs = collective_read(&mut clients, &meta, "t");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn pipelined_section_read_matches_unpipelined() {
+    let meta = make_array(
+        "t",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let section = Region::new(&[2, 3], &[13, 11]).unwrap();
+    let mems: Vec<Arc<MemFs>> = (0..2).map(|_| Arc::new(MemFs::new())).collect();
+
+    let (system, mut clients) = launch_mem_over(&mems, 4, 128, 1);
+    collective_write(&mut clients, &meta, "t");
+    let base = run_section_read(&mut clients, &meta, "t", &section);
+    system.shutdown(clients).unwrap();
+
+    let (system, mut clients) = launch_mem_over(&mems, 4, 128, 4);
+    let piped = run_section_read(&mut clients, &meta, "t", &section);
+    system.shutdown(clients).unwrap();
+    assert_eq!(base, piped);
+}
+
+fn run_section_read(
+    clients: &mut [panda_core::PandaClient],
+    meta: &ArrayMeta,
+    tag: &str,
+    section: &Region,
+) -> Vec<Vec<u8>> {
+    let mut bufs: Vec<Vec<u8>> = clients
+        .iter()
+        .map(|c| vec![0u8; c.section_bytes(meta, section)])
+        .collect();
+    std::thread::scope(|s| {
+        for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
+            s.spawn(move || {
+                client
+                    .read_section(meta, tag, section, buf.as_mut_slice())
+                    .unwrap();
+            });
+        }
+    });
+    bufs
+}
+
+#[test]
+fn pipelined_write_with_dead_client_is_a_typed_error_not_a_hang() {
+    // Same failure injection as the unpipelined variant in
+    // failure_paths.rs, but with a deep window: the servers have
+    // several subchunks' fetches outstanding when the timeout fires,
+    // and the disk-writer threads must be reaped, not abandoned.
+    let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    let config = PandaConfig::new(4, 2)
+        .with_recv_timeout(Duration::from_millis(300))
+        .with_subchunk_bytes(64)
+        .with_pipeline_depth(3);
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
+
+    let mut results: Vec<Result<(), PandaError>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(&datas)
+            .enumerate()
+            .filter(|(rank, _)| *rank != 3) // client 3 "crashed"
+            .map(|(_, (client, data))| {
+                let meta = &meta;
+                s.spawn(move || client.write(&[(meta, "t", data.as_slice())]))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().unwrap());
+        }
+    });
+    assert!(results.iter().all(|r| r.is_err()));
+    let err = system.shutdown(clients).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, PandaError::Msg(_) | PandaError::Protocol { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn multi_array_pipelined_roundtrip() {
+    // Arrays are processed strictly in order even when each one is
+    // internally pipelined; the per-array seq spaces must not bleed
+    // into each other.
+    let a = make_array(
+        "a",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Natural,
+    );
+    let b = make_array(
+        "b",
+        &[12, 8],
+        ElementType::F32,
+        &[2, 2],
+        DiskSchema::Traditional(2),
+    );
+    let mems: Vec<Arc<MemFs>> = (0..2).map(|_| Arc::new(MemFs::new())).collect();
+    let (system, mut clients) = launch_mem_over(&mems, 4, 128, 3);
+    let a_data: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&a, r)).collect();
+    let b_data: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&b, r)).collect();
+    std::thread::scope(|s| {
+        for ((client, ad), bd) in clients.iter_mut().zip(&a_data).zip(&b_data) {
+            let (a, b) = (&a, &b);
+            s.spawn(move || {
+                client
+                    .write(&[(a, "a", ad.as_slice()), (b, "b", bd.as_slice())])
+                    .unwrap();
+            });
+        }
+    });
+    let mut a_bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0u8; a.client_bytes(r)]).collect();
+    let mut b_bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![0u8; b.client_bytes(r)]).collect();
+    std::thread::scope(|s| {
+        for ((client, ab), bb) in clients
+            .iter_mut()
+            .zip(a_bufs.iter_mut())
+            .zip(b_bufs.iter_mut())
+        {
+            let (a, b) = (&a, &b);
+            s.spawn(move || {
+                client
+                    .read(&mut [(a, "a", ab.as_mut_slice()), (b, "b", bb.as_mut_slice())])
+                    .unwrap();
+            });
+        }
+    });
+    assert_pattern(&a, &a_bufs);
+    assert_pattern(&b, &b_bufs);
+    system.shutdown(clients).unwrap();
+}

@@ -20,7 +20,11 @@ fn pattern_section(meta: &panda_core::ArrayMeta, rank: usize, section: &Region) 
     let mut out = vec![0u8; target.num_bytes(elem)];
     let shape = target.shape().expect("nonempty");
     for local in shape.iter_indices() {
-        let global: Vec<usize> = local.iter().zip(target.lo()).map(|(&l, &o)| l + o).collect();
+        let global: Vec<usize> = local
+            .iter()
+            .zip(target.lo())
+            .map(|(&l, &o)| l + o)
+            .collect();
         let lin = meta.shape().linearize(&global);
         let off = offset_in_region(&target, &global, elem);
         for b in 0..elem {
@@ -73,7 +77,13 @@ fn interior_box_section() {
 
 #[test]
 fn section_covering_whole_array_equals_full_read() {
-    let meta = make_array("t", &[8, 12], ElementType::I32, &[2, 2], DiskSchema::Natural);
+    let meta = make_array(
+        "t",
+        &[8, 12],
+        ElementType::I32,
+        &[2, 2],
+        DiskSchema::Natural,
+    );
     let (system, mut clients, _mems) = launch_mem(4, 2, 64);
     collective_write(&mut clients, &meta, "t");
     let all = Region::new(&[0, 0], &[8, 12]).unwrap();
@@ -139,7 +149,10 @@ fn wrong_section_buffer_size_rejected() {
     let err = clients[1]
         .read_section(&meta, "t", &section, &mut bad)
         .unwrap_err();
-    assert!(matches!(err, panda_core::PandaError::BadClientBuffer { .. }));
+    assert!(matches!(
+        err,
+        panda_core::PandaError::BadClientBuffer { .. }
+    ));
     system.shutdown(clients).unwrap();
 }
 

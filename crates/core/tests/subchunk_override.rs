@@ -28,8 +28,7 @@ fn override_changes_the_plan_but_not_the_files() {
     assert!(fine_plan.subchunks().count() > coarse_plan.subchunks().count());
     // Manifests follow suit.
     assert!(
-        client_manifest(&fine, 0, 2, 1 << 20).pieces
-            > client_manifest(&base, 0, 2, 1 << 20).pieces
+        client_manifest(&fine, 0, 2, 1 << 20).pieces > client_manifest(&base, 0, 2, 1 << 20).pieces
     );
 
     // But the files written are identical: the override is a transport

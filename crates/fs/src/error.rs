@@ -68,11 +68,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(FsError::NotFound {
-            path: "a/b".into()
-        }
-        .to_string()
-        .contains("a/b"));
+        assert!(FsError::NotFound { path: "a/b".into() }
+            .to_string()
+            .contains("a/b"));
         let e = FsError::ReadPastEnd {
             offset: 10,
             len: 5,

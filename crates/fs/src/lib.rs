@@ -13,6 +13,10 @@
 //! * [`NullFs`] — the paper's "infinitely fast disk": the same trick the
 //!   authors used of commenting out the file-system calls, packaged as a
 //!   backend that discards writes and fabricates reads;
+//! * [`ThrottledFs`] — the opposite: a decorator that makes any backend
+//!   take realistic device time per access (including the Table 1 AIX
+//!   disk as wall-clock time), so disk/exchange overlap is measurable
+//!   on fast modern storage;
 //! * [`IoStats`] — per-backend operation counters with *sequentiality
 //!   accounting*: every positioned access is classified as sequential
 //!   (continues the previous access on that handle) or as a seek. The
@@ -31,6 +35,7 @@ pub mod local;
 pub mod mem;
 pub mod null;
 pub mod stats;
+pub mod throttle;
 pub mod trace;
 pub mod traits;
 
@@ -40,5 +45,6 @@ pub use local::LocalFs;
 pub use mem::MemFs;
 pub use null::NullFs;
 pub use stats::IoStats;
+pub use throttle::ThrottledFs;
 pub use trace::{TraceEntry, TraceKind, TraceLog};
 pub use traits::{FileHandle, FileSystem};

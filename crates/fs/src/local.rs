@@ -184,10 +184,7 @@ mod tests {
     use crate::traits::conformance;
 
     fn tmp_fs(tag: &str) -> LocalFs {
-        let dir = std::env::temp_dir().join(format!(
-            "panda-fs-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("panda-fs-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         LocalFs::new(dir).unwrap()
     }

@@ -231,10 +231,12 @@ impl Actor<Ev, World> for ServerActor {
                         let end = if self.fast_disk {
                             ctx.now()
                         } else {
-                            let dur = secs_to_ns(ctx.state.machine.disk.access_time(
-                                self.subs[k].bytes,
-                                IoDirection::Read,
-                            ));
+                            let dur = secs_to_ns(
+                                ctx.state
+                                    .machine
+                                    .disk
+                                    .access_time(self.subs[k].bytes, IoDirection::Read),
+                            );
                             let now = ctx.now();
                             ctx.state.server_disk[self.index].acquire(now, dur).1
                         };
@@ -258,8 +260,8 @@ impl Actor<Ev, World> for ServerActor {
                 self.assembly_ready = self.assembly_ready.max(end);
                 self.outstanding -= 1;
                 if self.outstanding == 0 {
-                    let assembled = self.assembly_ready
-                        + secs_to_ns(ctx.state.machine.per_subchunk_overhead);
+                    let assembled =
+                        self.assembly_ready + secs_to_ns(ctx.state.machine.per_subchunk_overhead);
                     let disk_end = if self.fast_disk {
                         assembled
                     } else {
@@ -296,8 +298,7 @@ impl Actor<Ev, World> for ServerActor {
                         )
                     };
                     // Pack out of the subchunk buffer, then transfer.
-                    let (_, pack_end) =
-                        ctx.state.server_nic[self.index].acquire(now, pack_ns);
+                    let (_, pack_end) = ctx.state.server_nic[self.index].acquire(now, pack_ns);
                     let start = pack_end.max(ctx.state.clients[piece.client].free_at());
                     let (_, end) = ctx.state.server_nic[self.index].acquire(start, dur_ns);
                     ctx.state.clients[piece.client].acquire(start, dur_ns);
@@ -390,7 +391,10 @@ fn server_schedule(spec: &CollectiveSpec, server: usize) -> Vec<SimSub> {
 /// assert!(report.normalized > 0.85 && report.normalized < 1.0);
 /// ```
 pub fn simulate(machine: &Sp2Machine, spec: &CollectiveSpec) -> SimReport {
-    assert!(!spec.arrays.is_empty(), "collective needs at least one array");
+    assert!(
+        !spec.arrays.is_empty(),
+        "collective needs at least one array"
+    );
     let num_clients = spec.arrays[0].num_clients();
     assert!(
         spec.arrays.iter().all(|a| a.num_clients() == num_clients),
@@ -609,8 +613,7 @@ mod tests {
     fn natural_3d(mb: usize, mesh: &[usize]) -> ArrayMeta {
         // mb x 512 x 512 f32 = mb megabytes.
         let shape = Shape::new(&[mb, 512, 512]).unwrap();
-        let mem = DataSchema::block_all(shape, ElementType::F32, Mesh::new(mesh).unwrap())
-            .unwrap();
+        let mem = DataSchema::block_all(shape, ElementType::F32, Mesh::new(mesh).unwrap()).unwrap();
         ArrayMeta::natural("t", mem).unwrap()
     }
 
@@ -745,10 +748,7 @@ mod tests {
         let shared = simulate_concurrent(&m, &[s1.clone(), s1.clone()], true);
         for o in &shared {
             let slowdown = o.elapsed / solo.elapsed;
-            assert!(
-                slowdown > 1.6 && slowdown < 2.4,
-                "slowdown {slowdown}"
-            );
+            assert!(slowdown > 1.6 && slowdown < 2.4, "slowdown {slowdown}");
         }
     }
 

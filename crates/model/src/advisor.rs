@@ -91,8 +91,7 @@ pub fn candidate_disk_schemas(
         let mut dists = vec![Dist::Star; rank];
         dists[axis] = Dist::Block;
         let mesh = Mesh::line(num_servers).expect("nonzero server count");
-        if let Ok(schema) = DataSchema::new(memory.shape().clone(), memory.elem(), &dists, mesh)
-        {
+        if let Ok(schema) = DataSchema::new(memory.shape().clone(), memory.elem(), &dists, mesh) {
             let label = if axis == 0 {
                 "traditional order (BLOCK on axis 0)".to_string()
             } else {

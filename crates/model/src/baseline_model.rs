@@ -7,8 +7,8 @@
 //! bound by seeks, so a per-I/O-node disk timeline with a network lower
 //! bound captures the behaviour that matters.
 
-use panda_core::baseline::naive::client_runs;
 use panda_core::baseline::chunk_placements;
+use panda_core::baseline::naive::client_runs;
 use panda_core::{ArrayMeta, OpKind};
 use panda_fs::aix::{IoDirection, MB};
 
@@ -242,7 +242,12 @@ mod tests {
             },
         );
         assert!(tp.seeks < naive.seeks);
-        assert!(tp.elapsed < naive.elapsed, "{} vs {}", tp.elapsed, naive.elapsed);
+        assert!(
+            tp.elapsed < naive.elapsed,
+            "{} vs {}",
+            tp.elapsed,
+            naive.elapsed
+        );
         // Server-directed and two-phase are comparable in modeled time
         // (the paper claims ease-of-use/memory advantages, not a time
         // win over two-phase); both must decisively beat naive.

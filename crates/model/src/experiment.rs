@@ -38,20 +38,14 @@ pub enum DiskKind {
 /// Build the experiment array: `mb x 512 x 512` f32 distributed
 /// `BLOCK,BLOCK,BLOCK` over `compute_nodes`, with the chosen disk
 /// schema over `io_nodes`.
-pub fn paper_array(
-    mb: usize,
-    compute_nodes: usize,
-    io_nodes: usize,
-    disk: DiskKind,
-) -> ArrayMeta {
+pub fn paper_array(mb: usize, compute_nodes: usize, io_nodes: usize, disk: DiskKind) -> ArrayMeta {
     let shape = Shape::new(&[mb, 512, 512]).unwrap();
     let mesh = Mesh::new(&compute_mesh(compute_nodes)).unwrap();
     let memory = DataSchema::block_all(shape.clone(), ElementType::F32, mesh).unwrap();
     match disk {
         DiskKind::Natural => ArrayMeta::natural("array", memory).unwrap(),
         DiskKind::Traditional => {
-            let disk =
-                DataSchema::traditional_order(shape, ElementType::F32, io_nodes).unwrap();
+            let disk = DataSchema::traditional_order(shape, ElementType::F32, io_nodes).unwrap();
             ArrayMeta::new("array", memory, disk).unwrap()
         }
     }
@@ -272,12 +266,13 @@ mod tests {
         }
         // And it is visibly below the natural-chunking fast-disk band.
         let nat = run_figure_sized(&m, &figure_spec(6), &[512]);
-        assert!(pts.iter().all(|p| p.report.normalized
-            < nat[0].report.normalized));
+        assert!(pts
+            .iter()
+            .all(|p| p.report.normalized < nat[0].report.normalized));
     }
 
     #[test]
-    fn multi_array_throughput_similar_to_single(){
+    fn multi_array_throughput_similar_to_single() {
         let m = Sp2Machine::nas_sp2();
         let multi = simulate(&m, &multi_array_spec(64, 8, 4));
         let single = simulate(

@@ -73,16 +73,7 @@ mod tests {
         let m = Sp2Machine::nas_sp2();
         // 2 servers moving 64 MB in 16 s → 4 MB/s aggregate, 2 MB/s per
         // node.
-        let real = SimReport::new(
-            &m,
-            OpKind::Write,
-            false,
-            2,
-            64 << 20,
-            16.0,
-            0,
-            0,
-        );
+        let real = SimReport::new(&m, OpKind::Write, false, 2, 64 << 20, 16.0, 0, 0);
         assert!((real.aggregate_mbs - 4.0).abs() < 1e-9);
         assert!((real.per_io_node_mbs - 2.0).abs() < 1e-9);
         assert!((real.normalized - 2.0 / 2.23).abs() < 1e-9);

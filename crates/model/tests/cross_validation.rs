@@ -80,8 +80,11 @@ fn run_real(
     servers: usize,
     subchunk: usize,
     op: OpKind,
+    depth: usize,
 ) -> (u64, u64, u64) {
-    let config = PandaConfig::new(meta.num_clients(), servers).with_subchunk_bytes(subchunk);
+    let config = PandaConfig::new(meta.num_clients(), servers)
+        .with_subchunk_bytes(subchunk)
+        .with_pipeline_depth(depth);
     let (system, mut clients) =
         PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
     let datas: Vec<Vec<u8>> = (0..meta.num_clients())
@@ -137,7 +140,7 @@ fn run_model(meta: &ArrayMeta, servers: usize, subchunk: usize, op: OpKind) -> (
 fn write_path_message_counts_match_exactly() {
     for case in cases() {
         let (real_fetch, real_data, real_data_bytes) =
-            run_real(&case.meta, case.servers, case.subchunk, OpKind::Write);
+            run_real(&case.meta, case.servers, case.subchunk, OpKind::Write, 1);
         let (model_ctrl, model_data, model_bytes) =
             run_model(&case.meta, case.servers, case.subchunk, OpKind::Write);
         assert_eq!(
@@ -167,8 +170,8 @@ fn section_read_message_counts_match_exactly() {
     for case in cases() {
         let section = Region::new(&[2, 3, 1], &[11, 14, 7]).unwrap();
         // Real runtime.
-        let config =
-            PandaConfig::new(case.meta.num_clients(), case.servers).with_subchunk_bytes(case.subchunk);
+        let config = PandaConfig::new(case.meta.num_clients(), case.servers)
+            .with_subchunk_bytes(case.subchunk);
         let (system, mut clients) =
             PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
         let datas: Vec<Vec<u8>> = (0..case.meta.num_clients())
@@ -208,14 +211,50 @@ fn section_read_message_counts_match_exactly() {
         );
         assert_eq!(real_data, r.data_msgs, "{}: section DATA count", case.name);
         // A proper section moves fewer bytes than the whole array.
-        assert!(r.total_bytes < case.meta.total_bytes() as u64, "{}", case.name);
+        assert!(
+            r.total_bytes < case.meta.total_bytes() as u64,
+            "{}",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn pipelined_runtime_sends_the_same_message_set() {
+    // Pipelining reorders work in time but must not change *what*
+    // crosses the fabric: at depth 3 the FETCH/DATA counts still match
+    // the model exactly, so the model's replay stays valid for
+    // pipelined deployments.
+    for case in cases() {
+        let (real_fetch, real_data, _) =
+            run_real(&case.meta, case.servers, case.subchunk, OpKind::Write, 3);
+        let (model_ctrl, model_data, _) =
+            run_model(&case.meta, case.servers, case.subchunk, OpKind::Write);
+        assert_eq!(
+            real_fetch, model_ctrl,
+            "{}: depth-3 FETCH count vs model control msgs",
+            case.name
+        );
+        assert_eq!(
+            real_data, model_data,
+            "{}: depth-3 write DATA count vs model",
+            case.name
+        );
+
+        let (_, real_data, _) = run_real(&case.meta, case.servers, case.subchunk, OpKind::Read, 3);
+        let (_, model_data, _) = run_model(&case.meta, case.servers, case.subchunk, OpKind::Read);
+        assert_eq!(
+            real_data, model_data,
+            "{}: depth-3 read DATA count vs model",
+            case.name
+        );
     }
 }
 
 #[test]
 fn read_path_message_counts_match_exactly() {
     for case in cases() {
-        let (_, real_data, _) = run_real(&case.meta, case.servers, case.subchunk, OpKind::Read);
+        let (_, real_data, _) = run_real(&case.meta, case.servers, case.subchunk, OpKind::Read, 1);
         let (model_ctrl, model_data, _) =
             run_model(&case.meta, case.servers, case.subchunk, OpKind::Read);
         assert_eq!(

@@ -17,14 +17,16 @@ fn spec_strategy() -> impl Strategy<Value = CollectiveSpec> {
         any::<bool>(),
         prop_oneof![Just(1usize << 18), Just(1 << 20), Just(1 << 22)],
     )
-        .prop_map(|(mb, compute, servers, disk, op, fast, subchunk)| CollectiveSpec {
-            arrays: vec![paper_array(mb, compute, servers, disk)],
-            op,
-            num_servers: servers,
-            subchunk_bytes: subchunk,
-            fast_disk: fast,
-            section: None,
-        })
+        .prop_map(
+            |(mb, compute, servers, disk, op, fast, subchunk)| CollectiveSpec {
+                arrays: vec![paper_array(mb, compute, servers, disk)],
+                op,
+                num_servers: servers,
+                subchunk_bytes: subchunk,
+                fast_disk: fast,
+                section: None,
+            },
+        )
 }
 
 proptest! {

@@ -52,6 +52,8 @@ mod tests {
             num_nodes: 4,
         };
         assert!(e.to_string().contains("node9"));
-        assert!(MsgError::Timeout { after_ms: 100 }.to_string().contains("100"));
+        assert!(MsgError::Timeout { after_ms: 100 }
+            .to_string()
+            .contains("100"));
     }
 }

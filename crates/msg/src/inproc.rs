@@ -99,13 +99,10 @@ impl Transport for InProcEndpoint {
     }
 
     fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), MsgError> {
-        let tx = self
-            .peers
-            .get(dst.index())
-            .ok_or(MsgError::InvalidNode {
-                node: dst,
-                num_nodes: self.peers.len(),
-            })?;
+        let tx = self.peers.get(dst.index()).ok_or(MsgError::InvalidNode {
+            node: dst,
+            num_nodes: self.peers.len(),
+        })?;
         let bytes = payload.len();
         tx.send(Envelope {
             src: self.node,
@@ -282,7 +279,8 @@ mod tests {
             .map(|mut ep| {
                 thread::spawn(move || {
                     for i in 0..50u8 {
-                        ep.send(NodeId(4), ep.node().index() as u32, vec![i]).unwrap();
+                        ep.send(NodeId(4), ep.node().index() as u32, vec![i])
+                            .unwrap();
                     }
                 })
             })

@@ -111,7 +111,13 @@ mod tests {
         s.record_send(3, 100);
         s.record_send(3, 50);
         s.record_send(7, 1);
-        assert_eq!(s.tag_counts(3), TagCounts { msgs: 2, bytes: 150 });
+        assert_eq!(
+            s.tag_counts(3),
+            TagCounts {
+                msgs: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(s.tag_counts(7), TagCounts { msgs: 1, bytes: 1 });
         assert_eq!(s.tag_counts(99), TagCounts::default());
         let all = s.all_tag_counts();

@@ -423,7 +423,11 @@ mod tests {
                 vec![Dist::Block, Dist::Block],
                 vec![3usize, 2],
             ),
-            (vec![5, 9, 4], vec![Dist::Block, Dist::Star, Dist::Block], vec![2, 3]),
+            (
+                vec![5, 9, 4],
+                vec![Dist::Block, Dist::Star, Dist::Block],
+                vec![2, 3],
+            ),
             (vec![16], vec![Dist::Block], vec![5]),
             (vec![3], vec![Dist::Block], vec![7]), // more parts than elements
         ] {
@@ -446,11 +450,7 @@ mod tests {
 
     #[test]
     fn chunks_intersecting_matches_bruteforce() {
-        let s = schema(
-            &[12, 10],
-            &[Dist::Block, Dist::Block],
-            &[4, 3],
-        );
+        let s = schema(&[12, 10], &[Dist::Block, Dist::Block], &[4, 3]);
         let g = s.chunk_grid();
         let probes = [
             Region::new(&[0, 0], &[12, 10]).unwrap(),

@@ -37,13 +37,32 @@ fn check_buffer(buf_len: usize, region: &Region, elem_size: usize) -> Result<(),
     Ok(())
 }
 
-/// Plan of a strided copy: the outer iteration space and the byte length
-/// of each contiguous run.
+/// Plan of a strided copy: the outer iteration space, the byte length of
+/// each contiguous run, and the per-dimension byte strides of both
+/// layouts (so the odometer can advance offsets incrementally instead of
+/// re-deriving them from the multi-index on every run).
 struct RunPlan {
     /// Dimensions 0..cut are iterated run-by-run.
     cut: usize,
     /// Bytes moved per run.
     run_bytes: usize,
+    /// Byte distance between consecutive indices of each dimension in
+    /// the source layout.
+    src_strides: Vec<usize>,
+    /// Same for the destination layout.
+    dst_strides: Vec<usize>,
+}
+
+/// Row-major byte strides of a buffer laid out for `region`.
+fn byte_strides(region: &Region, elem_size: usize) -> Vec<usize> {
+    let rank = region.rank();
+    let mut strides = vec![0usize; rank];
+    let mut acc = elem_size;
+    for d in (0..rank).rev() {
+        strides[d] = acc;
+        acc *= region.extent(d);
+    }
+    strides
 }
 
 /// Find the maximal contiguous run structure for copying `portion`
@@ -72,6 +91,8 @@ fn plan_runs(src: &Region, dst: &Region, portion: &Region, elem_size: usize) -> 
     RunPlan {
         cut: outer,
         run_bytes: seg * tail * elem_size,
+        src_strides: byte_strides(src, elem_size),
+        dst_strides: byte_strides(dst, elem_size),
     }
 }
 
@@ -111,11 +132,14 @@ pub fn copy_region(
 
     let plan = plan_runs(src_region, dst_region, portion, elem_size);
     let mut moved = 0usize;
-    // Odometer over dims 0..plan.cut of the portion.
+    // Odometer over dims 0..plan.cut of the portion. The byte offsets
+    // mirror every index mutation (add one stride on increment, rewind a
+    // whole extent on reset) so each run costs O(1) offset work instead
+    // of an O(rank) re-linearization.
     let mut idx = portion.lo().to_vec();
+    let mut so = offset_in_region(src_region, &idx, elem_size);
+    let mut doff = offset_in_region(dst_region, &idx, elem_size);
     loop {
-        let so = offset_in_region(src_region, &idx, elem_size);
-        let doff = offset_in_region(dst_region, &idx, elem_size);
         dst[doff..doff + plan.run_bytes].copy_from_slice(&src[so..so + plan.run_bytes]);
         moved += plan.run_bytes;
         // Advance the odometer.
@@ -127,10 +151,14 @@ pub fn copy_region(
             }
             d -= 1;
             idx[d] += 1;
+            so += plan.src_strides[d];
+            doff += plan.dst_strides[d];
             if idx[d] < portion.hi()[d] {
                 break;
             }
             idx[d] = portion.lo()[d];
+            so -= plan.src_strides[d] * portion.extent(d);
+            doff -= plan.dst_strides[d] * portion.extent(d);
         }
     }
 }
@@ -148,9 +176,26 @@ pub fn pack_region(
     sub: &Region,
     elem_size: usize,
 ) -> Result<Vec<u8>, SchemaError> {
-    let mut out = vec![0u8; sub.num_bytes(elem_size)];
-    copy_region(src, src_region, &mut out, sub, sub, elem_size)?;
+    let mut out = Vec::new();
+    pack_region_into(&mut out, src, src_region, sub, elem_size)?;
     Ok(out)
+}
+
+/// [`pack_region`] into a caller-owned buffer, resized to exactly the
+/// packed length. Reusing one scratch buffer across many packs turns the
+/// per-piece allocation of the transfer hot paths into a no-op after the
+/// first call.
+pub fn pack_region_into(
+    out: &mut Vec<u8>,
+    src: &[u8],
+    src_region: &Region,
+    sub: &Region,
+    elem_size: usize,
+) -> Result<(), SchemaError> {
+    out.clear();
+    out.resize(sub.num_bytes(elem_size), 0);
+    copy_region(src, src_region, out, sub, sub, elem_size)?;
+    Ok(())
 }
 
 /// Scatter a contiguous buffer laid out for `sub` into a buffer holding
@@ -259,10 +304,7 @@ mod tests {
         }
         // ... and everything outside is untouched (still zero).
         let untouched = dst.iter().filter(|&&b| b == 0).count();
-        assert_eq!(
-            untouched,
-            dst_reg.num_elements() - portion.num_elements()
-        );
+        assert_eq!(untouched, dst_reg.num_elements() - portion.num_elements());
     }
 
     #[test]
@@ -358,6 +400,24 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pack_region_into_reused_scratch_matches_fresh_pack() {
+        let chunk = r(&[0, 0], &[6, 8]);
+        let src = fill_tagged(&chunk);
+        let mut scratch = Vec::new();
+        // Shrinking, growing, and same-size repacks over one scratch
+        // buffer must all equal a fresh pack (stale bytes overwritten).
+        for sub in [
+            r(&[1, 2], &[4, 5]),
+            r(&[0, 0], &[6, 8]),
+            r(&[5, 7], &[6, 8]),
+            r(&[0, 0], &[6, 8]),
+        ] {
+            pack_region_into(&mut scratch, &src, &chunk, &sub, 1).unwrap();
+            assert_eq!(scratch, pack_region(&src, &chunk, &sub, 1).unwrap());
         }
     }
 

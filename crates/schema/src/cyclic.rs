@@ -98,8 +98,16 @@ pub fn owned_blocks(
     let mut blocks = Vec::new();
     let mut idx = vec![0usize; shape.rank()];
     loop {
-        let lo: Vec<usize> = idx.iter().enumerate().map(|(d, &i)| per_dim[d][i].0).collect();
-        let hi: Vec<usize> = idx.iter().enumerate().map(|(d, &i)| per_dim[d][i].1).collect();
+        let lo: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| per_dim[d][i].0)
+            .collect();
+        let hi: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| per_dim[d][i].1)
+            .collect();
         blocks.push(Region::new(&lo, &hi).expect("intervals are well-formed"));
         // Odometer.
         let mut d = shape.rank();
@@ -231,7 +239,10 @@ mod tests {
         assert_eq!(owned_intervals(Dist::Block, 10, 1, 3), vec![(4, 8)]);
         assert_eq!(owned_intervals(Dist::Star, 10, 0, 1), vec![(0, 10)]);
         // Empty trailing block is omitted entirely.
-        assert_eq!(owned_intervals(Dist::Block, 2, 3, 4), Vec::<(usize, usize)>::new());
+        assert_eq!(
+            owned_intervals(Dist::Block, 2, 3, 4),
+            Vec::<(usize, usize)>::new()
+        );
     }
 
     #[test]
@@ -247,7 +258,11 @@ mod tests {
                 vec![Dist::Cyclic(3), Dist::Cyclic(1)],
                 vec![2, 2],
             ),
-            (vec![5, 4, 3], vec![Dist::Cyclic(1), Dist::Star, Dist::Block], vec![3, 2]),
+            (
+                vec![5, 4, 3],
+                vec![Dist::Cyclic(1), Dist::Star, Dist::Block],
+                vec![3, 2],
+            ),
         ] {
             let (shape, dists, mesh) = setup(&dims, &dists, &mesh_dims);
             let mut covered = vec![0u32; shape.num_elements()];
@@ -262,11 +277,8 @@ mod tests {
                     total += block.num_elements();
                     let bshape = block.shape().unwrap();
                     for local in bshape.iter_indices() {
-                        let global: Vec<usize> = local
-                            .iter()
-                            .zip(block.lo())
-                            .map(|(&l, &o)| l + o)
-                            .collect();
+                        let global: Vec<usize> =
+                            local.iter().zip(block.lo()).map(|(&l, &o)| l + o).collect();
                         covered[shape.linearize(&global)] += 1;
                         // Ownership query agrees.
                         assert_eq!(
@@ -283,11 +295,7 @@ mod tests {
 
     #[test]
     fn blocks_are_lexicographically_ordered() {
-        let (shape, dists, mesh) = setup(
-            &[8, 8],
-            &[Dist::Cyclic(2), Dist::Cyclic(2)],
-            &[2, 2],
-        );
+        let (shape, dists, mesh) = setup(&[8, 8], &[Dist::Cyclic(2), Dist::Cyclic(2)], &[2, 2]);
         let blocks = owned_blocks(&shape, &dists, &mesh, 0).unwrap();
         assert_eq!(blocks.len(), 4); // 2 row-bands x 2 col-bands
         let lows: Vec<Vec<usize>> = blocks.iter().map(|b| b.lo().to_vec()).collect();

@@ -83,11 +83,7 @@ impl std::fmt::Display for Dist {
 /// Render a distribution vector the way the paper writes schemas,
 /// e.g. `BLOCK,BLOCK,*`.
 pub fn dist_vector_name(dists: &[Dist]) -> String {
-    dists
-        .iter()
-        .map(|d| d.name())
-        .collect::<Vec<_>>()
-        .join(",")
+    dists.iter().map(|d| d.name()).collect::<Vec<_>>().join(",")
 }
 
 #[cfg(test)]

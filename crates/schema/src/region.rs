@@ -349,12 +349,7 @@ mod tests {
         let rows: Vec<Vec<usize>> = a.iter_rows().collect();
         assert_eq!(
             rows,
-            vec![
-                vec![1, 2, 3],
-                vec![1, 3, 3],
-                vec![2, 2, 3],
-                vec![2, 3, 3],
-            ]
+            vec![vec![1, 2, 3], vec![1, 3, 3], vec![2, 2, 3], vec![2, 3, 3],]
         );
         // rows × row-length == total elements
         assert_eq!(rows.len() * a.extent(2), a.num_elements());

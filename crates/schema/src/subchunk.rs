@@ -73,9 +73,7 @@ pub fn split_into_subchunks(
         bpi[d] = bpi[d + 1] * chunk.extent(d + 1);
     }
     // The cut dimension: outermost dim whose unit slab fits in the cap.
-    let cut = (0..rank)
-        .find(|&d| bpi[d] <= max_bytes)
-        .unwrap_or(rank - 1);
+    let cut = (0..rank).find(|&d| bpi[d] <= max_bytes).unwrap_or(rank - 1);
     // Group size along the cut dimension (>= 1 even if a single element
     // overflows the cap).
     let group = (max_bytes / bpi[cut]).max(1);
@@ -238,10 +236,7 @@ mod tests {
         let c = r(&[4, 8], &[12, 24]); // 8x16, offset chunk
         let pieces = split_into_subchunks(&c, 4, 96).unwrap();
         for p in &pieces {
-            assert_eq!(
-                p.offset_in_chunk,
-                offset_in_region(&c, p.region.lo(), 4)
-            );
+            assert_eq!(p.offset_in_chunk, offset_in_region(&c, p.region.lo(), 4));
         }
         check_invariants(&c, 4, 96, &pieces);
     }

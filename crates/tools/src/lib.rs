@@ -208,12 +208,9 @@ mod tests {
 
     fn group() -> ArrayGroup {
         let shape = Shape::new(&[8, 8]).unwrap();
-        let mem = DataSchema::block_all(
-            shape.clone(),
-            ElementType::F64,
-            Mesh::new(&[2, 2]).unwrap(),
-        )
-        .unwrap();
+        let mem =
+            DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+                .unwrap();
         let t = ArrayMeta::new(
             "temperature",
             mem.clone(),

@@ -14,11 +14,12 @@ fn pandactl() -> Command {
 }
 
 fn produce_dataset(root: &Path, servers: usize) -> Vec<PathBuf> {
-    let roots: Vec<PathBuf> = (0..servers).map(|s| root.join(format!("ionode{s}"))).collect();
+    let roots: Vec<PathBuf> = (0..servers)
+        .map(|s| root.join(format!("ionode{s}")))
+        .collect();
     let shape = Shape::new(&[8, 8]).unwrap();
-    let mem =
-        DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
-            .unwrap();
+    let mem = DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+        .unwrap();
     let meta = ArrayMeta::new(
         "field",
         mem,

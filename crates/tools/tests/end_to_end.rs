@@ -14,9 +14,8 @@ const SERVERS: usize = 2;
 
 fn arrays() -> (ArrayMeta, ArrayMeta) {
     let shape = Shape::new(&[16, 12]).unwrap();
-    let mem =
-        DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
-            .unwrap();
+    let mem = DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+        .unwrap();
     let traditional = ArrayMeta::new(
         "temperature",
         mem.clone(),
@@ -44,7 +43,9 @@ fn chunk_data(meta: &ArrayMeta, rank: usize) -> Vec<u8> {
 fn write_then_inspect_offline() {
     let root = std::env::temp_dir().join(format!("pandactl-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    let roots: Vec<PathBuf> = (0..SERVERS).map(|s| root.join(format!("ionode{s}"))).collect();
+    let roots: Vec<PathBuf> = (0..SERVERS)
+        .map(|s| root.join(format!("ionode{s}")))
+        .collect();
 
     let (temperature, pressure) = arrays();
     // Produce the dataset.

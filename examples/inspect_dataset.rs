@@ -37,7 +37,9 @@ fn group_arrays() -> ArrayGroup {
 fn main() {
     let root = std::env::temp_dir().join(format!("panda-inspect-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
-    let roots: Vec<_> = (0..SERVERS).map(|s| root.join(format!("ionode{s}"))).collect();
+    let roots: Vec<_> = (0..SERVERS)
+        .map(|s| root.join(format!("ionode{s}")))
+        .collect();
 
     // --- produce a dataset -------------------------------------------------
     let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(4, SERVERS), |s| {
@@ -72,7 +74,11 @@ fn main() {
     for meta in loaded.arrays() {
         println!("  array '{}':", meta.name());
         println!("    memory: {}", meta.memory().describe());
-        println!("    disk:   {} (natural: {})", meta.disk().describe(), meta.is_natural());
+        println!(
+            "    disk:   {} (natural: {})",
+            meta.disk().describe(),
+            meta.is_natural()
+        );
     }
     println!();
 
@@ -82,7 +88,9 @@ fn main() {
         for meta in loaded.arrays() {
             let plan = build_server_plan(meta, s, SERVERS, 1 << 20);
             for tag_kind in ["ts0", "ckpt-a"] {
-                let path = r.join("run42").join(format!("{}.{tag_kind}.s{s}", meta.name()));
+                let path = r
+                    .join("run42")
+                    .join(format!("{}.{tag_kind}.s{s}", meta.name()));
                 let size = std::fs::metadata(&path).unwrap().len();
                 assert_eq!(size, plan.total_bytes, "{}", path.display());
                 checked += 1;
@@ -98,7 +106,9 @@ fn main() {
     system.shutdown(clients).unwrap();
 
     // --- show the access pattern via a traced in-memory run ----------------
-    let traced: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::with_trace(16))).collect();
+    let traced: Vec<Arc<MemFs>> = (0..SERVERS)
+        .map(|_| Arc::new(MemFs::with_trace(16)))
+        .collect();
     let handles = traced.clone();
     let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(4, SERVERS), move |s| {
         Arc::clone(&handles[s]) as Arc<dyn FileSystem>

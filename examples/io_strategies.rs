@@ -25,12 +25,9 @@ fn meta() -> ArrayMeta {
     // Memory: column strips over 4 clients; disk: row slabs — a layout
     // pair that punishes uncoordinated clients.
     let shape = Shape::new(&[64, 64]).unwrap();
-    let memory = DataSchema::block_all(
-        shape.clone(),
-        ElementType::F64,
-        Mesh::new(&[1, 4]).unwrap(),
-    )
-    .unwrap();
+    let memory =
+        DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[1, 4]).unwrap())
+            .unwrap();
     let disk = DataSchema::traditional_order(shape, ElementType::F64, SERVERS).unwrap();
     ArrayMeta::new("field", memory, disk).unwrap()
 }
@@ -61,7 +58,11 @@ fn main() {
     let datas: Vec<Vec<u8>> = (0..meta.num_clients())
         .map(|r| vec![(r + 1) as u8; meta.client_bytes(r)])
         .collect();
-    println!("workload: {} written to {}", meta.memory().describe(), meta.disk().describe());
+    println!(
+        "workload: {} written to {}",
+        meta.memory().describe(),
+        meta.disk().describe()
+    );
     println!();
     println!(
         "{:<16} {:>9} {:>7} {:>12} {:>13}",

@@ -128,11 +128,7 @@ impl LocalGrid {
 }
 
 /// Exchange halos between neighbouring ranks over a dedicated fabric.
-fn exchange_halos(
-    grid: &mut LocalGrid,
-    rank: usize,
-    fabric: &mut panda_msg::InProcEndpoint,
-) {
+fn exchange_halos(grid: &mut LocalGrid, rank: usize, fabric: &mut panda_msg::InProcEndpoint) {
     use panda_msg::{MatchSpec, NodeId, Transport};
     let (pr, pc) = (rank / MESH[1], rank % MESH[1]);
     // (neighbour rank, tag, is_row_edge, our edge index, their halo index)
@@ -191,10 +187,9 @@ fn main() {
     let (temperature, residual) = arrays();
     let num_clients = temperature.num_clients();
 
-    let (system, mut clients) = PandaSystem::launch(
-        &PandaConfig::new(num_clients, 3),
-        |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>,
-    );
+    let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(num_clients, 3), |_| {
+        Arc::new(MemFs::new()) as Arc<dyn FileSystem>
+    });
     // A second fabric for the application's own halo exchange.
     let (halo_eps, _) = panda_msg::InProcFabric::new(num_clients);
 
@@ -217,7 +212,11 @@ fn main() {
                         let temp = grid.interior_bytes();
                         group.timestep(client, &[&temp, &res]).unwrap();
                         if rank == 0 {
-                            println!("step {:>2}: dumped timestep {}", step + 1, group.timesteps_taken() - 1);
+                            println!(
+                                "step {:>2}: dumped timestep {}",
+                                step + 1,
+                                group.timesteps_taken() - 1
+                            );
                         }
                     }
                     if step + 1 == CHECKPOINT_AT {
@@ -258,5 +257,8 @@ fn main() {
     });
 
     system.shutdown(clients).unwrap();
-    println!("done: {STEPS} steps, {} timestep dumps, 1 checkpoint+restart", STEPS / DUMP_EVERY);
+    println!(
+        "done: {STEPS} steps, {} timestep dumps, 1 checkpoint+restart",
+        STEPS / DUMP_EVERY
+    );
 }

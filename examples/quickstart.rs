@@ -21,12 +21,9 @@ fn main() {
     // 1. Declare the array: its shape, how compute nodes hold it, and
     //    how the I/O nodes should store it.
     let shape = Shape::new(&[256, 256]).unwrap();
-    let memory = DataSchema::block_all(
-        shape.clone(),
-        ElementType::F64,
-        Mesh::new(&[2, 2]).unwrap(),
-    )
-    .unwrap();
+    let memory =
+        DataSchema::block_all(shape.clone(), ElementType::F64, Mesh::new(&[2, 2]).unwrap())
+            .unwrap();
     let disk = DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap();
     let meta = ArrayMeta::new("temperature", memory, disk).unwrap();
     println!("array:  {}", meta.memory().describe());
@@ -61,10 +58,7 @@ fn main() {
                     .read(&mut [(meta, "temperature", &mut back[..])])
                     .unwrap();
                 assert_eq!(back, data, "roundtrip must be exact");
-                println!(
-                    "client {rank}: wrote and re-read {} bytes OK",
-                    data.len()
-                );
+                println!("client {rank}: wrote and re-read {} bytes OK", data.len());
             });
         }
     });

@@ -34,7 +34,11 @@ fn fill_chunk(meta: &ArrayMeta, rank: usize) -> Vec<u8> {
     let global_shape = meta.shape();
     let mut out = vec![0u8; meta.client_bytes(rank)];
     for local in shape.iter_indices() {
-        let global: Vec<usize> = local.iter().zip(region.lo()).map(|(&l, &o)| l + o).collect();
+        let global: Vec<usize> = local
+            .iter()
+            .zip(region.lo())
+            .map(|(&l, &o)| l + o)
+            .collect();
         let lin = global_shape.linearize(&global) as f32;
         let off = offset_in_region(&region, &global, 4);
         out[off..off + 4].copy_from_slice(&lin.to_le_bytes());

@@ -1,0 +1,365 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace uses: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `finish`), [`Bencher`] (`iter`, `iter_with_setup`), [`BenchmarkId`],
+//! [`Throughput`], and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a simple adaptive wall-clock loop: warm up,
+//! pick an iteration count that fills the measurement window, report
+//! mean ns/iter (and MB/s when a throughput is set).
+//!
+//! Output: one human-readable line per benchmark on stdout. When the
+//! `CRITERION_STUB_JSON` environment variable names a file, one JSON
+//! object per benchmark is appended to it — the repo's bench-recording
+//! scripts use this to capture machine-readable results.
+//!
+//! Environment knobs: `CRITERION_STUB_MEAS_MS` (measurement window per
+//! benchmark, default 300 ms), `CRITERION_STUB_WARMUP_MS` (default
+//! 100 ms). Passing `--test` (as `cargo test --benches` does) switches
+//! to a single-iteration smoke run.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measured cost of one benchmark.
+#[derive(Debug, Clone)]
+struct Sample {
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Per-iteration data volume, for MB/s reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes moved per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter under the group's name.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    smoke: bool,
+    meas: Duration,
+    warmup: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            *self.result = Some(Sample {
+                mean_ns: 0.0,
+                iters: 1,
+                throughput: None,
+            });
+            return;
+        }
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let target = (self.meas.as_nanos() as f64 / est_ns).ceil().max(1.0) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        *self.result = Some(Sample {
+            mean_ns: total.as_nanos() as f64 / target as f64,
+            iters: target,
+            throughput: None,
+        });
+    }
+
+    /// Measure `routine` with an untimed per-iteration `setup`.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        if self.smoke {
+            std::hint::black_box(routine(setup()));
+            *self.result = Some(Sample {
+                mean_ns: 0.0,
+                iters: 1,
+                throughput: None,
+            });
+            return;
+        }
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut timed_ns = 0u128;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            timed_ns += t.elapsed().as_nanos();
+            warm_iters += 1;
+        }
+        let est_ns = (timed_ns as f64 / warm_iters as f64).max(1.0);
+        let target = (self.meas.as_nanos() as f64 / est_ns).ceil().max(1.0) as u64;
+        let mut total_ns = 0u128;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total_ns += t.elapsed().as_nanos();
+        }
+        *self.result = Some(Sample {
+            mean_ns: total_ns as f64 / target as f64,
+            iters: target,
+            throughput: None,
+        });
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    smoke: bool,
+    meas: Duration,
+    warmup: Duration,
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::args().any(|a| a == "--test"),
+            meas: env_ms("CRITERION_STUB_MEAS_MS", 300),
+            warmup: env_ms("CRITERION_STUB_WARMUP_MS", 100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let sample = self.run(f);
+        report(&id.label, &sample, None);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&self, mut f: F) -> Sample {
+        let mut result = None;
+        let mut b = Bencher {
+            smoke: self.smoke,
+            meas: self.meas,
+            warmup: self.warmup,
+            result: &mut result,
+        };
+        f(&mut b);
+        result.expect("benchmark closure must call Bencher::iter*")
+    }
+}
+
+/// A group of benchmarks sharing a name and (optionally) a throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in sizes its own loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility (upstream: target measurement time).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.meas = time;
+        self
+    }
+
+    /// Set the per-iteration data volume for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut sample = self.criterion.run(f);
+        sample.throughput = self.throughput;
+        report(
+            &format!("{}/{}", self.name, id.label),
+            &sample,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, sample: &Sample, throughput: Option<Throughput>) {
+    if sample.iters == 1 && sample.mean_ns == 0.0 {
+        println!("bench {label:<56} smoke-tested (1 iter)");
+        return;
+    }
+    let mut line = format!(
+        "bench {label:<56} {:>12.0} ns/iter ({} iters)",
+        sample.mean_ns, sample.iters
+    );
+    let mut mbs = None;
+    if let Some(Throughput::Bytes(bytes)) = throughput {
+        let v = bytes as f64 / (sample.mean_ns / 1e9) / (1024.0 * 1024.0);
+        mbs = Some(v);
+        let _ = write!(line, "  {v:>10.1} MB/s");
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_STUB_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let mut obj = format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iters\":{}",
+                label.replace('"', "'"),
+                sample.mean_ns,
+                sample.iters
+            );
+            if let Some(Throughput::Bytes(bytes)) = throughput {
+                let _ = write!(
+                    obj,
+                    ",\"bytes_per_iter\":{},\"mb_per_s\":{:.2}",
+                    bytes,
+                    mbs.unwrap_or(0.0)
+                );
+            }
+            obj.push('}');
+            let _ = writeln!(f, "{obj}");
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let c = Criterion {
+            smoke: false,
+            meas: Duration::from_millis(5),
+            warmup: Duration::from_millis(2),
+        };
+        let sample = c.run(|b| b.iter(|| std::hint::black_box(3u64).pow(7)));
+        assert!(sample.iters >= 1);
+        assert!(sample.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let c = Criterion {
+            smoke: false,
+            meas: Duration::from_millis(5),
+            warmup: Duration::from_millis(2),
+        };
+        let sample =
+            c.run(|b| b.iter_with_setup(|| vec![1u8; 64], |v| std::hint::black_box(v.len())));
+        assert!(sample.iters >= 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "4MB").label, "f/4MB");
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+}

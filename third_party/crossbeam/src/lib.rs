@@ -1,0 +1,19 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset this workspace uses — `channel::{unbounded,
+//! Sender, Receiver, RecvTimeoutError, TryRecvError}` — by re-exporting
+//! `std::sync::mpsc`, whose API for these items is identical. `Sender`
+//! has been `Sync` since Rust 1.72, so the fabric's `Vec<Sender<_>>`
+//! sharing pattern works unchanged.
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded MPSC channel (upstream crossbeam is MPMC; this
+    /// workspace only ever uses one consumer per channel).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

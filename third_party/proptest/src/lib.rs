@@ -1,0 +1,151 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, integer-range / tuple / `Vec` /
+//! [`Just`] strategies, `prop::collection::vec`, `any::<T>()`, the
+//! `proptest!`, `prop_oneof!`, and `prop_assert*!` macros, and
+//! [`ProptestConfig`]. Cases are generated from a fixed deterministic
+//! seed (SplitMix64), so failures reproduce across runs; there is no
+//! shrinking — `prop_assert*` panics like `assert*` with the failing
+//! values in the message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`: module-path access to the
+    /// strategy constructors.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Values are drawn from a deterministic per-test stream,
+                // so failures reproduce across runs.
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $arg = {
+                        let __s = $strat;
+                        $crate::strategy::Strategy::generate(&__s, &mut rng)
+                    };)*
+                    // The body sees owned values, as with real proptest.
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted-less `oneof`: pick one of the listed strategies uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Assert inside a property body (panics — no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 5u64..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert_eq!(y, 5);
+        }
+
+        #[test]
+        fn map_and_flat_map(e in evens(), v in prop::collection::vec(any::<u8>(), 2..=4)) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+        }
+
+        #[test]
+        fn oneof_picks_listed(x in prop_oneof![Just(1usize), Just(7), 100usize..=200]) {
+            prop_assert!(x == 1 || x == 7 || (100..=200).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_nested(t in ((0u32..4, any::<u8>()), 1usize..=3)) {
+            let ((tag, _byte), n) = t;
+            prop_assert!(tag < 4 && (1..=3).contains(&n));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = || {
+            let mut rng = crate::test_runner::TestRng::for_test("fixed");
+            let s = crate::collection::vec(0u64..1000, 3..=5);
+            Strategy::generate(&s, &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}
