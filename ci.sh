@@ -12,4 +12,16 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
+# Observability smoke: a real (quick) run under a TimelineRecorder must
+# produce a parseable per-phase JSON report. The binary itself
+# validates every line it writes (panda_obs::json::validate) and exits
+# nonzero otherwise; python double-checks with an independent parser
+# when available.
+obs_out=$(mktemp /tmp/panda_phases_ci.XXXXXX.json)
+cargo run --release -q -p panda-bench --bin phases -- --quick --out "$obs_out"
+if command -v python3 >/dev/null; then
+  python3 -c "import json,sys; [json.loads(l) for l in open(sys.argv[1]) if l.strip()]" "$obs_out"
+fi
+rm -f "$obs_out"
+
 echo "ci: all green"

@@ -8,7 +8,11 @@
 //! than in traditional client/server architectures where the clients
 //! make requests of the server."
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_obs::{Event, OpDir, Recorder};
 use panda_schema::{copy, Region};
 
 use crate::array::ArrayMeta;
@@ -24,6 +28,8 @@ pub struct PandaClient {
     num_servers: usize,
     subchunk_bytes: usize,
     pipeline_depth: usize,
+    /// Session recorder; events are tagged with this client's rank.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl PandaClient {
@@ -34,6 +40,7 @@ impl PandaClient {
         num_servers: usize,
         subchunk_bytes: usize,
         pipeline_depth: usize,
+        recorder: Arc<dyn Recorder>,
     ) -> Self {
         PandaClient {
             transport,
@@ -42,6 +49,19 @@ impl PandaClient {
             num_servers,
             subchunk_bytes,
             pipeline_depth,
+            recorder,
+        }
+    }
+
+    /// Whether instrumentation (and therefore clock reads) is on.
+    fn obs_on(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Record one event under this client's rank, if recording is on.
+    fn emit(&self, event: &Event<'_>) {
+        if self.recorder.enabled() {
+            self.recorder.record(self.rank as u32, event);
         }
     }
 
@@ -121,6 +141,7 @@ impl PandaClient {
         let heads: Vec<(&ArrayMeta, &str)> = arrays.iter().map(|&(m, t, _)| (m, t)).collect();
         let lens: Vec<usize> = arrays.iter().map(|&(_, _, d)| d.len()).collect();
         self.check_buffers(&heads, &lens)?;
+        let t_op = self.obs_on().then(Instant::now);
         self.start_collective(OpKind::Write, &heads, None)?;
 
         // My memory regions, one per array.
@@ -143,6 +164,7 @@ impl PandaClient {
                     let (meta, _, data) = arrays.get(idx).ok_or_else(|| PandaError::Protocol {
                         detail: format!("fetch for unknown array index {idx}"),
                     })?;
+                    let t_pack = self.obs_on().then(Instant::now);
                     copy::pack_region_into(
                         &mut scratch,
                         data,
@@ -150,6 +172,14 @@ impl PandaClient {
                         &region,
                         meta.elem_size(),
                     )?;
+                    if let Some(t) = t_pack {
+                        self.emit(&Event::ClientPacked {
+                            array,
+                            seq,
+                            bytes: scratch.len() as u64,
+                            dur: t.elapsed(),
+                        });
+                    }
                     send_data(self.transport_mut(), src, array, seq, &region, &scratch)?;
                 }
                 Msg::Complete => complete = true,
@@ -160,6 +190,12 @@ impl PandaClient {
                     })
                 }
             }
+        }
+        if let Some(t) = t_op {
+            self.emit(&Event::CollectiveDone {
+                op: OpDir::Write,
+                dur: t.elapsed(),
+            });
         }
         self.finish_collective(complete)
     }
@@ -250,6 +286,7 @@ impl PandaClient {
             })
             .sum();
 
+        let t_op = self.obs_on().then(Instant::now);
         self.start_collective(OpKind::Read, &heads, Some(sections))?;
 
         let mut received = 0usize;
@@ -260,7 +297,7 @@ impl PandaClient {
             match msg {
                 Msg::Data {
                     array,
-                    seq: _,
+                    seq,
                     region,
                     payload,
                 } => {
@@ -270,7 +307,16 @@ impl PandaClient {
                             detail: format!("data for unknown array index {idx}"),
                         })?;
                     let elem = meta.elem_size();
+                    let t_unpack = self.obs_on().then(Instant::now);
                     copy::unpack_region(data, &regions[idx], &region, &payload, elem)?;
+                    if let Some(t) = t_unpack {
+                        self.emit(&Event::ClientUnpacked {
+                            array,
+                            seq,
+                            bytes: payload.len() as u64,
+                            dur: t.elapsed(),
+                        });
+                    }
                     received += 1;
                     if received > expected {
                         return Err(PandaError::Protocol {
@@ -286,6 +332,12 @@ impl PandaClient {
                     })
                 }
             }
+        }
+        if let Some(t) = t_op {
+            self.emit(&Event::CollectiveDone {
+                op: OpDir::Read,
+                dur: t.elapsed(),
+            });
         }
         self.finish_collective(complete)
     }

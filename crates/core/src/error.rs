@@ -41,12 +41,86 @@ pub enum PandaError {
         /// Human-readable description.
         detail: String,
     },
-    /// A configuration value is invalid (zero nodes, mesh/client count
-    /// mismatch, ...).
+    /// A configuration value or usage precondition is invalid. The
+    /// typed [`ConfigIssue`] carries the offending values so callers
+    /// can branch on the exact problem instead of parsing a message.
     Config {
-        /// Human-readable description.
-        detail: String,
+        /// What exactly was wrong.
+        issue: ConfigIssue,
     },
+}
+
+/// The precise reason a [`PandaError::Config`] was raised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigIssue {
+    /// `num_clients` or `num_servers` is zero; Panda needs at least one
+    /// of each.
+    NoNodes {
+        /// Configured compute-node count.
+        num_clients: usize,
+        /// Configured I/O-node count.
+        num_servers: usize,
+    },
+    /// The subchunk subdivision cap is zero.
+    ZeroSubchunkBytes,
+    /// The pipeline depth is zero (depth 1 means "unpipelined").
+    ZeroPipelineDepth,
+    /// `launch_over` was handed the wrong number of transports.
+    TransportCount {
+        /// Required count (`num_clients + num_servers`).
+        expected: usize,
+        /// Count actually supplied.
+        actual: usize,
+    },
+    /// `shutdown` was called with an empty client list.
+    NoClientHandles,
+    /// `restart` was called on a group with no completed checkpoint.
+    NoCheckpoint {
+        /// The group's name.
+        group: String,
+    },
+    /// A group operation was given the wrong number of buffers.
+    GroupArity {
+        /// The group's name.
+        group: String,
+        /// Arrays in the group.
+        arrays: usize,
+        /// Buffers supplied by the caller.
+        buffers: usize,
+    },
+}
+
+impl fmt::Display for ConfigIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigIssue::NoNodes {
+                num_clients,
+                num_servers,
+            } => write!(
+                f,
+                "need at least one client and one server (got {num_clients} clients, \
+                 {num_servers} servers)"
+            ),
+            ConfigIssue::ZeroSubchunkBytes => write!(f, "subchunk cap must be nonzero"),
+            ConfigIssue::ZeroPipelineDepth => write!(f, "pipeline depth must be at least 1"),
+            ConfigIssue::TransportCount { expected, actual } => write!(
+                f,
+                "need {expected} transports (clients then servers), got {actual}"
+            ),
+            ConfigIssue::NoClientHandles => write!(f, "shutdown requires the client handles"),
+            ConfigIssue::NoCheckpoint { group } => {
+                write!(f, "group '{group}' has no completed checkpoint")
+            }
+            ConfigIssue::GroupArity {
+                group,
+                arrays,
+                buffers,
+            } => write!(
+                f,
+                "group '{group}' has {arrays} arrays but {buffers} buffers were supplied"
+            ),
+        }
+    }
 }
 
 impl fmt::Display for PandaError {
@@ -68,7 +142,7 @@ impl fmt::Display for PandaError {
             ),
             PandaError::Decode { context } => write!(f, "failed to decode {context}"),
             PandaError::Protocol { detail } => write!(f, "protocol error: {detail}"),
-            PandaError::Config { detail } => write!(f, "configuration error: {detail}"),
+            PandaError::Config { issue } => write!(f, "configuration error: {issue}"),
         }
     }
 }
@@ -118,5 +192,31 @@ mod tests {
             actual: 4,
         };
         assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn config_issue_is_typed_and_displayed() {
+        let e = PandaError::Config {
+            issue: ConfigIssue::TransportCount {
+                expected: 3,
+                actual: 2,
+            },
+        };
+        assert!(e.to_string().contains("configuration error"));
+        assert!(e.to_string().contains("3 transports"));
+        match e {
+            PandaError::Config {
+                issue: ConfigIssue::TransportCount { expected, actual },
+            } => assert_eq!((expected, actual), (3, 2)),
+            other => panic!("wrong issue: {other}"),
+        }
+        let e = PandaError::Config {
+            issue: ConfigIssue::GroupArity {
+                group: "g".into(),
+                arrays: 2,
+                buffers: 1,
+            },
+        };
+        assert!(e.to_string().contains("2 arrays"));
     }
 }

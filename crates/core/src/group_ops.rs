@@ -152,7 +152,9 @@ impl ArrayGroup {
         self.check_arity(datas.len())?;
         if self.checkpoints_taken == 0 {
             return Err(PandaError::Config {
-                detail: format!("group '{}' has no completed checkpoint", self.name),
+                issue: crate::error::ConfigIssue::NoCheckpoint {
+                    group: self.name.clone(),
+                },
             });
         }
         let gen = self.checkpoints_taken - 1;
@@ -308,12 +310,11 @@ impl ArrayGroup {
     fn check_arity(&self, n: usize) -> Result<(), PandaError> {
         if n != self.arrays.len() {
             return Err(PandaError::Config {
-                detail: format!(
-                    "group '{}' has {} arrays but {} buffers were supplied",
-                    self.name,
-                    self.arrays.len(),
-                    n
-                ),
+                issue: crate::error::ConfigIssue::GroupArity {
+                    group: self.name.clone(),
+                    arrays: self.arrays.len(),
+                    buffers: n,
+                },
             });
         }
         Ok(())

@@ -32,6 +32,18 @@
 //!   discussion: naive client-directed I/O (traditional caching) and
 //!   two-phase I/O \[Bordawekar93\].
 //!
+//! ## Observability
+//!
+//! Attach a [`panda_obs::Recorder`] with [`PandaConfig::with_recorder`]
+//! and every layer reports into it: transports emit per-message events,
+//! file systems per-call disk times, and the client/server runtime the
+//! collective-path phases (fetch/exchange, disk, reorganization) keyed
+//! by `(server, array, subchunk)`. [`PandaSystem::report`] aggregates
+//! the recorder into one machine-readable [`panda_obs::RunReport`] with
+//! the paper's Figure 5/6-style time decomposition. The default
+//! [`panda_obs::NullRecorder`] keeps all of this strictly off the hot
+//! path — no clock reads, no allocation.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -81,7 +93,7 @@ pub mod server;
 
 pub use array::ArrayMeta;
 pub use client::PandaClient;
-pub use error::PandaError;
+pub use error::{ConfigIssue, PandaError};
 pub use group_ops::{ArrayGroup, GroupData};
 pub use plan::{build_server_plan, client_manifest, ServerPlan};
 pub use protocol::OpKind;

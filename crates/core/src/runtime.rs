@@ -11,12 +11,21 @@ use std::time::Duration;
 
 use panda_fs::FileSystem;
 use panda_msg::{FabricStats, InProcFabric};
+use panda_obs::{Recorder, RunReport};
 
 use crate::client::PandaClient;
-use crate::error::PandaError;
+use crate::error::{ConfigIssue, PandaError};
 use crate::server::ServerNode;
 
 /// Deployment parameters.
+///
+/// Built with [`PandaConfig::new`] plus the `with_*` methods. Invariants
+/// (checked by [`PandaSystem::try_launch`], which returns a typed
+/// [`PandaError::Config`] rather than panicking):
+///
+/// * `num_clients >= 1` and `num_servers >= 1`;
+/// * `subchunk_bytes >= 1`;
+/// * `pipeline_depth >= 1` (`1` means unpipelined).
 #[derive(Debug, Clone)]
 pub struct PandaConfig {
     /// Number of compute nodes (Panda clients).
@@ -35,10 +44,16 @@ pub struct PandaConfig {
     /// Blocking-receive timeout; a deadlocked protocol fails loudly
     /// instead of hanging.
     pub recv_timeout: Duration,
+    /// Observability recorder shared by every node, transport, and file
+    /// system in the deployment. Defaults to the no-op
+    /// [`panda_obs::NullRecorder`], which keeps the hot path free of
+    /// clock reads and event construction.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl PandaConfig {
-    /// A configuration with the paper's defaults (1 MB subchunks).
+    /// A configuration with the paper's defaults (1 MB subchunks,
+    /// unpipelined, no instrumentation).
     pub fn new(num_clients: usize, num_servers: usize) -> Self {
         PandaConfig {
             num_clients,
@@ -46,6 +61,7 @@ impl PandaConfig {
             subchunk_bytes: panda_schema::DEFAULT_SUBCHUNK_BYTES,
             pipeline_depth: 1,
             recv_timeout: Duration::from_secs(60),
+            recorder: panda_obs::null_recorder(),
         }
     }
 
@@ -67,20 +83,33 @@ impl PandaConfig {
         self
     }
 
+    /// Attach an observability recorder (e.g. a
+    /// [`panda_obs::CountingRecorder`] for aggregate phase totals, or a
+    /// [`panda_obs::TimelineRecorder`] for per-subchunk traces). The
+    /// recorder is installed on every transport and file system at
+    /// launch; [`PandaSystem::report`] aggregates it afterwards.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     fn validate(&self) -> Result<(), PandaError> {
         if self.num_clients == 0 || self.num_servers == 0 {
             return Err(PandaError::Config {
-                detail: "need at least one client and one server".to_string(),
+                issue: ConfigIssue::NoNodes {
+                    num_clients: self.num_clients,
+                    num_servers: self.num_servers,
+                },
             });
         }
         if self.subchunk_bytes == 0 {
             return Err(PandaError::Config {
-                detail: "subchunk cap must be nonzero".to_string(),
+                issue: ConfigIssue::ZeroSubchunkBytes,
             });
         }
         if self.pipeline_depth == 0 {
             return Err(PandaError::Config {
-                detail: "pipeline depth must be at least 1".to_string(),
+                issue: ConfigIssue::ZeroPipelineDepth,
             });
         }
         Ok(())
@@ -95,6 +124,7 @@ pub struct PandaSystem {
     pub filesystems: Vec<Arc<dyn FileSystem>>,
     /// Fabric-wide message statistics.
     pub fabric_stats: Arc<FabricStats>,
+    recorder: Arc<dyn Recorder>,
     num_clients: usize,
     num_servers: usize,
 }
@@ -149,11 +179,19 @@ impl PandaSystem {
         let total = config.num_clients + config.num_servers;
         if endpoints.len() != total {
             return Err(PandaError::Config {
-                detail: format!(
-                    "need {total} transports (clients then servers), got {}",
-                    endpoints.len()
-                ),
+                issue: ConfigIssue::TransportCount {
+                    expected: total,
+                    actual: endpoints.len(),
+                },
             });
+        }
+
+        // One recorder observes every layer: each transport reports its
+        // own traffic, each server file system its disk calls (tagged
+        // with the server's fabric rank), and the nodes themselves the
+        // collective-path phases.
+        for ep in endpoints.iter_mut() {
+            ep.set_recorder(Arc::clone(&config.recorder));
         }
 
         // Servers take the high ranks.
@@ -164,8 +202,19 @@ impl PandaSystem {
                 .pop()
                 .expect("fabric created with num_clients+num_servers endpoints");
             let fs = fs_factory(s);
+            fs.set_recorder(
+                Arc::clone(&config.recorder),
+                (config.num_clients + s) as u32,
+            );
             filesystems.push(Arc::clone(&fs));
-            let node = ServerNode::new(endpoint, fs, s, config.num_clients, config.num_servers);
+            let node = ServerNode::new(
+                endpoint,
+                fs,
+                s,
+                config.num_clients,
+                config.num_servers,
+                Arc::clone(&config.recorder),
+            );
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("panda-server-{s}"))
@@ -189,6 +238,7 @@ impl PandaSystem {
                     config.num_servers,
                     config.subchunk_bytes,
                     config.pipeline_depth,
+                    Arc::clone(&config.recorder),
                 )
             })
             .collect();
@@ -198,11 +248,27 @@ impl PandaSystem {
                 handles,
                 filesystems,
                 fabric_stats,
+                recorder: Arc::clone(&config.recorder),
                 num_clients: config.num_clients,
                 num_servers: config.num_servers,
             },
             clients,
         ))
+    }
+
+    /// The deployment's observability recorder (the one passed via
+    /// [`PandaConfig::with_recorder`], or the default null recorder).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    /// Aggregate the deployment's recorder into one machine-readable
+    /// [`RunReport`]: phase totals (the paper's exchange/disk/reorg
+    /// decomposition), per-node and per-subchunk breakdowns when the
+    /// recorder keeps a timeline, and aggregate counters. With the
+    /// default null recorder the report is empty.
+    pub fn report(&self) -> RunReport {
+        RunReport::from_recorder(self.recorder.as_ref())
     }
 
     /// Number of compute nodes.
@@ -219,8 +285,8 @@ impl PandaSystem {
     /// exit, then the server threads are joined. Any error raised by a
     /// server thread during its lifetime is surfaced here.
     pub fn shutdown(self, mut clients: Vec<PandaClient>) -> Result<(), PandaError> {
-        let master = clients.first_mut().ok_or_else(|| PandaError::Config {
-            detail: "shutdown requires the client handles".to_string(),
+        let master = clients.first_mut().ok_or(PandaError::Config {
+            issue: ConfigIssue::NoClientHandles,
         })?;
         master.send_shutdown()?;
         for handle in self.handles {

@@ -33,9 +33,11 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Instant;
 
 use panda_fs::{FileHandle, FileSystem, FsError};
 use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_obs::{Event, OpDir, Recorder, SubchunkKey};
 use panda_schema::{copy, Region};
 
 use crate::error::PandaError;
@@ -52,6 +54,9 @@ pub struct ServerNode {
     server_idx: usize,
     num_clients: usize,
     num_servers: usize,
+    /// Session recorder; events are tagged with this server's fabric
+    /// rank. Durations are measured only while it is enabled.
+    recorder: Arc<dyn Recorder>,
     /// Open handles for baseline raw operations, keyed by file name.
     raw_handles: HashMap<String, Box<dyn FileHandle>>,
     /// Per-client flag: has this client sent `RawDone` for the current
@@ -59,6 +64,13 @@ pub struct ServerNode {
     raw_done: Vec<bool>,
     /// Number of set flags in [`ServerNode::raw_done`].
     raw_done_count: usize,
+}
+
+fn op_dir(op: OpKind) -> OpDir {
+    match op {
+        OpKind::Write => OpDir::Write,
+        OpKind::Read => OpDir::Read,
+    }
 }
 
 /// A subchunk being assembled inside the write window.
@@ -76,6 +88,7 @@ impl ServerNode {
         server_idx: usize,
         num_clients: usize,
         num_servers: usize,
+        recorder: Arc<dyn Recorder>,
     ) -> Self {
         ServerNode {
             transport,
@@ -83,6 +96,7 @@ impl ServerNode {
             server_idx,
             num_clients,
             num_servers,
+            recorder,
             raw_handles: HashMap::new(),
             raw_done: vec![false; num_clients],
             raw_done_count: 0,
@@ -91,6 +105,23 @@ impl ServerNode {
 
     fn is_master(&self) -> bool {
         self.server_idx == 0
+    }
+
+    /// This server's fabric rank (servers follow the clients).
+    fn my_rank(&self) -> u32 {
+        (self.num_clients + self.server_idx) as u32
+    }
+
+    /// Whether instrumentation (and therefore clock reads) is on.
+    fn obs_on(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Record one event under this server's rank, if recording is on.
+    fn emit(&self, event: &Event<'_>) {
+        if self.recorder.enabled() {
+            self.recorder.record(self.my_rank(), event);
+        }
     }
 
     fn master_server(&self) -> NodeId {
@@ -155,6 +186,12 @@ impl ServerNode {
         }
 
         let depth = req.pipeline_depth.max(1);
+        let t_op = self.obs_on().then(Instant::now);
+        self.emit(&Event::RequestIssued {
+            op: op_dir(req.op),
+            arrays: req.arrays.len() as u32,
+            pipeline_depth: depth as u32,
+        });
         for (idx, array_op) in req.arrays.iter().enumerate() {
             match req.op {
                 OpKind::Write => {
@@ -167,6 +204,12 @@ impl ServerNode {
                 }
                 OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes, depth)?,
             }
+        }
+        if let Some(t) = t_op {
+            self.emit(&Event::CollectiveDone {
+                op: op_dir(req.op),
+                dur: t.elapsed(),
+            });
         }
 
         // Completion: workers report to the master server; the master
@@ -200,6 +243,14 @@ impl ServerNode {
         let elem = meta.elem_size();
         let plan = build_server_plan(meta, self.server_idx, self.num_servers, subchunk_bytes);
         let subs: Vec<&PlanSubchunk> = plan.subchunks().collect();
+        if self.obs_on() {
+            for (si, sub) in subs.iter().enumerate() {
+                self.emit(&Event::SubchunkPlanned {
+                    key: SubchunkKey::new(self.server_idx, array_idx, si),
+                    bytes: sub.bytes as u64,
+                });
+            }
+        }
         let file = self
             .fs
             .create(&Self::file_name(&op.file_tag, self.server_idx))?;
@@ -223,7 +274,8 @@ impl ServerNode {
         let mut seq = 0u64;
         let mut buf = Vec::new();
         let mut outstanding: HashMap<u64, usize> = HashMap::new();
-        for sub in subs {
+        for (si, sub) in subs.iter().enumerate() {
+            let key = SubchunkKey::new(self.server_idx, array_idx, si);
             buf.clear();
             buf.resize(sub.bytes, 0);
             // Ask every owning client for its piece...
@@ -237,11 +289,17 @@ impl ServerNode {
                         region: piece.region.clone(),
                     },
                 )?;
+                self.emit(&Event::FetchSent {
+                    key,
+                    piece: pi as u32,
+                    client: piece.client as u32,
+                });
                 outstanding.insert(seq, pi);
                 seq += 1;
             }
             // ... and scatter the replies into the subchunk buffer.
             while !outstanding.is_empty() {
+                let t_wait = self.obs_on().then(Instant::now);
                 let (_src, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
                 let Msg::Data {
                     seq: rseq,
@@ -258,9 +316,34 @@ impl ServerNode {
                         detail: format!("unexpected data seq {rseq}"),
                     })?;
                 debug_assert_eq!(region, sub.pieces[pi].region);
+                if let Some(t) = t_wait {
+                    self.emit(&Event::FetchReplied {
+                        key,
+                        bytes: payload.len() as u64,
+                        wait: t.elapsed(),
+                    });
+                }
+                let t_pack = self.obs_on().then(Instant::now);
                 copy::copy_region(&payload, &region, &mut buf, &sub.region, &region, elem)?;
+                if let Some(t) = t_pack {
+                    self.emit(&Event::Packed {
+                        key,
+                        piece: pi as u32,
+                        bytes: payload.len() as u64,
+                        dur: t.elapsed(),
+                    });
+                }
             }
+            let t_disk = self.obs_on().then(Instant::now);
             file.write_at(sub.file_offset, &buf)?;
+            if let Some(t) = t_disk {
+                self.emit(&Event::DiskWriteDone {
+                    key,
+                    offset: sub.file_offset,
+                    bytes: buf.len() as u64,
+                    dur: t.elapsed(),
+                });
+            }
         }
         // The paper flushes to disk with fsync after each write op.
         file.sync()?;
@@ -284,14 +367,28 @@ impl ServerNode {
         // Disk jobs flow to the writer thread; drained buffers flow back
         // for reuse. The bounded job queue caps buffered-but-unwritten
         // subchunks at `depth`.
-        let (job_tx, job_rx) = mpsc::sync_channel::<(u64, Vec<u8>)>(depth);
+        let (job_tx, job_rx) = mpsc::sync_channel::<(SubchunkKey, u64, Vec<u8>)>(depth);
         let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+        let recorder = Arc::clone(&self.recorder);
+        let node = self.my_rank();
         let writer = std::thread::Builder::new()
             .name(format!("panda-writer-{}", self.server_idx))
             .spawn(move || -> Result<(), FsError> {
                 let mut file = file;
-                while let Ok((offset, buf)) = job_rx.recv() {
+                while let Ok((key, offset, buf)) = job_rx.recv() {
+                    let t_disk = recorder.enabled().then(Instant::now);
                     file.write_at(offset, &buf)?;
+                    if let Some(t) = t_disk {
+                        recorder.record(
+                            node,
+                            &Event::DiskWriteDone {
+                                key,
+                                offset,
+                                bytes: buf.len() as u64,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
                     // The assembler may already be past its last send.
                     let _ = pool_tx.send(buf);
                 }
@@ -315,7 +412,15 @@ impl ServerNode {
                 // writes subchunk k while replies for k+1.. scatter here.
                 while window.front().is_some_and(|s| s.remaining == 0) {
                     let done = window.pop_front().expect("checked front");
-                    if job_tx.send((subs[front].file_offset, done.buf)).is_err() {
+                    let key = SubchunkKey::new(self.server_idx, array_idx, front);
+                    self.emit(&Event::DiskWriteQueued {
+                        key,
+                        bytes: done.buf.len() as u64,
+                    });
+                    if job_tx
+                        .send((key, subs[front].file_offset, done.buf))
+                        .is_err()
+                    {
                         // Writer bailed; its join below has the cause.
                         return Err(PandaError::Protocol {
                             detail: "disk writer stopped early".to_string(),
@@ -342,6 +447,11 @@ impl ServerNode {
                                 region: piece.region.clone(),
                             },
                         )?;
+                        self.emit(&Event::FetchSent {
+                            key: SubchunkKey::new(self.server_idx, array_idx, next),
+                            piece: pi as u32,
+                            client: piece.client as u32,
+                        });
                         seq_map.insert(seq, (next, pi));
                         seq += 1;
                     }
@@ -352,6 +462,7 @@ impl ServerNode {
                     next += 1;
                 }
                 // Scatter one reply into its window slot.
+                let t_wait = self.obs_on().then(Instant::now);
                 let (_src, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
                 let Msg::Data {
                     seq: rseq,
@@ -367,9 +478,26 @@ impl ServerNode {
                 })?;
                 let sub = subs[si];
                 debug_assert_eq!(region, sub.pieces[pi].region);
+                let key = SubchunkKey::new(self.server_idx, array_idx, si);
+                if let Some(t) = t_wait {
+                    self.emit(&Event::FetchReplied {
+                        key,
+                        bytes: payload.len() as u64,
+                        wait: t.elapsed(),
+                    });
+                }
+                let t_pack = self.obs_on().then(Instant::now);
                 let slot = &mut window[si - front];
                 copy::copy_region(&payload, &region, &mut slot.buf, &sub.region, &region, elem)?;
                 slot.remaining -= 1;
+                if let Some(t) = t_pack {
+                    self.emit(&Event::Packed {
+                        key,
+                        piece: pi as u32,
+                        bytes: payload.len() as u64,
+                        dur: t.elapsed(),
+                    });
+                }
             }
         })();
 
@@ -416,6 +544,14 @@ impl ServerNode {
         if selected.is_empty() {
             return Ok(());
         }
+        if self.obs_on() {
+            for (si, sub) in selected.iter().enumerate() {
+                self.emit(&Event::SubchunkPlanned {
+                    key: SubchunkKey::new(self.server_idx, array_idx, si),
+                    bytes: sub.bytes as u64,
+                });
+            }
+        }
         let file = self
             .fs
             .open(&Self::file_name(&op.file_tag, self.server_idx))?;
@@ -446,11 +582,21 @@ impl ServerNode {
         let mut seq = 0u64;
         let mut buf = Vec::new();
         let mut scratch = Vec::new();
-        for sub in subs {
+        for (si, sub) in subs.iter().enumerate() {
+            let key = SubchunkKey::new(self.server_idx, array_idx, si);
             buf.clear();
             buf.resize(sub.bytes, 0);
+            let t_disk = self.obs_on().then(Instant::now);
             file.read_at(sub.file_offset, &mut buf)?;
-            self.scatter_subchunk(array_idx, sub, section, &buf, &mut scratch, &mut seq, elem)?;
+            if let Some(t) = t_disk {
+                self.emit(&Event::DiskReadDone {
+                    key,
+                    offset: sub.file_offset,
+                    bytes: buf.len() as u64,
+                    dur: t.elapsed(),
+                });
+            }
+            self.scatter_subchunk(key, sub, section, &buf, &mut scratch, &mut seq, elem)?;
         }
         Ok(())
     }
@@ -468,20 +614,44 @@ impl ServerNode {
         file: Box<dyn FileHandle>,
         depth: usize,
     ) -> Result<(), PandaError> {
-        let jobs: Vec<(u64, usize)> = subs.iter().map(|s| (s.file_offset, s.bytes)).collect();
+        let jobs: Vec<(SubchunkKey, u64, usize)> = subs
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                (
+                    SubchunkKey::new(self.server_idx, array_idx, si),
+                    s.file_offset,
+                    s.bytes,
+                )
+            })
+            .collect();
         // Queue capacity depth-1 plus the buffer being scattered keeps
         // `depth` subchunks in memory (depth 2 = classic double buffer).
         let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth - 1);
         let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
+        let recorder = Arc::clone(&self.recorder);
+        let node = self.my_rank();
         let reader = std::thread::Builder::new()
             .name(format!("panda-reader-{}", self.server_idx))
             .spawn(move || -> Result<(), FsError> {
                 let mut file = file;
-                for (offset, bytes) in jobs {
+                for (key, offset, bytes) in jobs {
                     let mut buf = pool_rx.try_recv().unwrap_or_default();
                     buf.clear();
                     buf.resize(bytes, 0);
+                    let t_disk = recorder.enabled().then(Instant::now);
                     file.read_at(offset, &mut buf)?;
+                    if let Some(t) = t_disk {
+                        recorder.record(
+                            node,
+                            &Event::DiskReadDone {
+                                key,
+                                offset,
+                                bytes: buf.len() as u64,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
                     if full_tx.send(buf).is_err() {
                         // Consumer bailed; nothing left to prefetch for.
                         return Ok(());
@@ -494,11 +664,12 @@ impl ServerNode {
         let run = (|| -> Result<(), PandaError> {
             let mut seq = 0u64;
             let mut scratch = Vec::new();
-            for sub in subs {
+            for (si, sub) in subs.iter().enumerate() {
                 let buf = full_rx.recv().map_err(|_| PandaError::Protocol {
                     detail: "disk reader stopped early".to_string(),
                 })?;
-                self.scatter_subchunk(array_idx, sub, section, &buf, &mut scratch, &mut seq, elem)?;
+                let key = SubchunkKey::new(self.server_idx, array_idx, si);
+                self.scatter_subchunk(key, sub, section, &buf, &mut scratch, &mut seq, elem)?;
                 // Hand the drained buffer back for the next prefetch.
                 let _ = pool_tx.send(buf);
             }
@@ -520,11 +691,12 @@ impl ServerNode {
     }
 
     /// Pack and push one subchunk's pieces to their owning clients,
-    /// trimming each piece to the requested section.
+    /// trimming each piece to the requested section. `key.array` names
+    /// the array index on the wire.
     #[allow(clippy::too_many_arguments)]
     fn scatter_subchunk(
         &mut self,
-        array_idx: u32,
+        key: SubchunkKey,
         sub: &PlanSubchunk,
         section: Option<&Region>,
         buf: &[u8],
@@ -532,21 +704,36 @@ impl ServerNode {
         seq: &mut u64,
         elem: usize,
     ) -> Result<(), PandaError> {
-        for piece in &sub.pieces {
+        for (pi, piece) in sub.pieces.iter().enumerate() {
             let target = match section {
                 None => Some(piece.region.clone()),
                 Some(section) => piece.region.intersect(section),
             };
             let Some(target) = target else { continue };
+            let t_pack = self.obs_on().then(Instant::now);
             copy::pack_region_into(scratch, buf, &sub.region, &target, elem)?;
+            if let Some(t) = t_pack {
+                self.emit(&Event::Packed {
+                    key,
+                    piece: pi as u32,
+                    bytes: scratch.len() as u64,
+                    dur: t.elapsed(),
+                });
+            }
             send_data(
                 &mut *self.transport,
                 NodeId(piece.client),
-                array_idx,
+                key.array,
                 *seq,
                 &target,
                 scratch,
             )?;
+            self.emit(&Event::PushSent {
+                key,
+                piece: pi as u32,
+                client: piece.client as u32,
+                bytes: scratch.len() as u64,
+            });
             *seq += 1;
         }
         Ok(())

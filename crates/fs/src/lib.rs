@@ -26,6 +26,16 @@
 //! * [`AixModel`] — the calibrated AIX file-system cost curve from the
 //!   paper's Table 1, used by `panda-model` to convert the byte stream of
 //!   a simulated run into elapsed time.
+//!
+//! ## Observability
+//!
+//! Every backend reports its accesses through the unified
+//! [`panda_obs::Recorder`] API: `FsRead` / `FsWrite` / `FsSync` events
+//! carrying offset, size, sequentiality, and (when a recorder is
+//! attached) per-call device time. Attach one with the `with_recorder`
+//! constructors or [`FileSystem::set_recorder`]; [`IoStats`] is now a
+//! thin adapter over the same event stream, and the old `trace` module
+//! is a deprecated shim over it.
 
 #![warn(missing_docs)]
 
@@ -34,6 +44,7 @@ pub mod error;
 pub mod local;
 pub mod mem;
 pub mod null;
+mod obs;
 pub mod stats;
 pub mod throttle;
 pub mod trace;
@@ -46,5 +57,6 @@ pub use mem::MemFs;
 pub use null::NullFs;
 pub use stats::IoStats;
 pub use throttle::ThrottledFs;
+#[allow(deprecated)]
 pub use trace::{TraceEntry, TraceKind, TraceLog};
 pub use traits::{FileHandle, FileSystem};

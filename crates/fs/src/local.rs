@@ -4,8 +4,12 @@ use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Component, Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use panda_obs::{Event, Recorder};
 
 use crate::error::FsError;
+use crate::obs::FsObs;
 use crate::stats::{IoStats, SeqTracker};
 use crate::traits::{FileHandle, FileSystem};
 
@@ -16,7 +20,7 @@ use crate::traits::{FileHandle, FileSystem};
 #[derive(Debug)]
 pub struct LocalFs {
     root: PathBuf,
-    stats: Arc<IoStats>,
+    obs: Arc<FsObs>,
 }
 
 impl LocalFs {
@@ -27,7 +31,23 @@ impl LocalFs {
         fs::create_dir_all(&root)?;
         Ok(LocalFs {
             root,
-            stats: Arc::new(IoStats::new()),
+            obs: Arc::new(FsObs::new()),
+        })
+    }
+
+    /// As [`LocalFs::new`], reporting every access to `recorder` as node
+    /// `node` (its fabric rank; `PandaSystem` installs this
+    /// automatically via [`FileSystem::set_recorder`]).
+    pub fn with_recorder(
+        root: impl Into<PathBuf>,
+        recorder: Arc<dyn Recorder>,
+        node: u32,
+    ) -> Result<Self, FsError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalFs {
+            root,
+            obs: Arc::new(FsObs::with_recorder(recorder, node)),
         })
     }
 
@@ -64,8 +84,9 @@ impl FileSystem for LocalFs {
             .truncate(true)
             .open(full)?;
         Ok(Box::new(LocalHandle {
+            path: path.to_string(),
             file,
-            stats: Arc::clone(&self.stats),
+            obs: Arc::clone(&self.obs),
             tracker: SeqTracker::default(),
         }))
     }
@@ -79,8 +100,9 @@ impl FileSystem for LocalFs {
         }
         let file = fs::OpenOptions::new().read(true).write(true).open(full)?;
         Ok(Box::new(LocalHandle {
+            path: path.to_string(),
             file,
-            stats: Arc::clone(&self.stats),
+            obs: Arc::clone(&self.obs),
             tracker: SeqTracker::default(),
         }))
     }
@@ -127,19 +149,25 @@ impl FileSystem for LocalFs {
     }
 
     fn stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.stats)
+        self.obs.stats()
+    }
+
+    fn set_recorder(&self, recorder: Arc<dyn Recorder>, node: u32) {
+        self.obs.set_recorder(recorder, node);
     }
 }
 
 struct LocalHandle {
+    path: String,
     file: fs::File,
-    stats: Arc<IoStats>,
+    obs: Arc<FsObs>,
     tracker: SeqTracker,
 }
 
 impl FileHandle for LocalHandle {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, data.len());
+        let start = self.obs.timed().then(Instant::now);
         // Zero-fill any gap so sparse semantics match MemFs everywhere.
         let len = self.file.metadata()?.len();
         if offset > len {
@@ -147,12 +175,19 @@ impl FileHandle for LocalHandle {
         }
         self.file.seek(SeekFrom::Start(offset))?;
         self.file.write_all(data)?;
-        self.stats.record_write(data.len(), sequential);
+        self.obs.emit(&Event::FsWrite {
+            file: &self.path,
+            offset,
+            bytes: data.len() as u64,
+            sequential,
+            dur: start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        });
         Ok(())
     }
 
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, buf.len());
+        let start = self.obs.timed().then(Instant::now);
         let file_len = self.file.metadata()?.len();
         if offset + buf.len() as u64 > file_len {
             return Err(FsError::ReadPastEnd {
@@ -163,7 +198,13 @@ impl FileHandle for LocalHandle {
         }
         self.file.seek(SeekFrom::Start(offset))?;
         self.file.read_exact(buf)?;
-        self.stats.record_read(buf.len(), sequential);
+        self.obs.emit(&Event::FsRead {
+            file: &self.path,
+            offset,
+            bytes: buf.len() as u64,
+            sequential,
+            dur: start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        });
         Ok(())
     }
 
@@ -172,8 +213,12 @@ impl FileHandle for LocalHandle {
     }
 
     fn sync(&mut self) -> Result<(), FsError> {
+        let start = self.obs.timed().then(Instant::now);
         self.file.sync_data()?;
-        self.stats.record_sync();
+        self.obs.emit(&Event::FsSync {
+            file: &self.path,
+            dur: start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        });
         Ok(())
     }
 }
@@ -224,5 +269,21 @@ mod tests {
         assert!(fs.exists("group/array.0"));
         assert_eq!(fs.list(), vec!["group/array.0".to_string()]);
         let _ = fs::remove_dir_all(fs.root());
+    }
+
+    #[test]
+    fn recorder_times_real_disk_calls() {
+        let dir = std::env::temp_dir().join(format!("panda-fs-test-rec-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let rec = Arc::new(panda_obs::TimelineRecorder::new());
+        let fs = LocalFs::with_recorder(&dir, Arc::clone(&rec) as Arc<dyn Recorder>, 5).unwrap();
+        let mut h = fs.create("d.bin").unwrap();
+        h.write_at(0, &[7u8; 4096]).unwrap();
+        h.sync().unwrap();
+        let tl = rec.timeline().unwrap();
+        assert_eq!(tl.len(), 2);
+        assert!(tl.iter().all(|e| e.node == 5));
+        assert_eq!(tl[0].kind, panda_obs::EventKind::FsWrite);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -2,12 +2,17 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use panda_obs::{Event, Recorder};
+
 use crate::error::FsError;
+use crate::obs::FsObs;
 use crate::stats::{IoStats, SeqTracker};
-use crate::trace::{TraceEntry, TraceKind, TraceLog};
+#[allow(deprecated)]
+use crate::trace::TraceLog;
 use crate::traits::{FileHandle, FileSystem};
 
 type FileData = Arc<Mutex<Vec<u8>>>;
@@ -17,8 +22,7 @@ type FileData = Arc<Mutex<Vec<u8>>>;
 #[derive(Debug, Default)]
 pub struct MemFs {
     files: Mutex<BTreeMap<String, FileData>>,
-    stats: Arc<IoStats>,
-    trace: Option<Arc<TraceLog>>,
+    obs: Arc<FsObs>,
 }
 
 impl MemFs {
@@ -27,18 +31,38 @@ impl MemFs {
         Self::default()
     }
 
+    /// As [`MemFs::new`], reporting every access to `recorder` as node
+    /// `node` (its fabric rank; `PandaSystem` installs this
+    /// automatically via [`FileSystem::set_recorder`]).
+    pub fn with_recorder(recorder: Arc<dyn Recorder>, node: u32) -> Self {
+        MemFs {
+            files: Mutex::new(BTreeMap::new()),
+            obs: Arc::new(FsObs::with_recorder(recorder, node)),
+        }
+    }
+
     /// As [`MemFs::new`], additionally recording the first
     /// `trace_capacity` accesses for inspection via [`MemFs::trace`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "attach a panda_obs::TimelineRecorder via MemFs::with_recorder instead"
+    )]
+    #[allow(deprecated)]
     pub fn with_trace(trace_capacity: usize) -> Self {
         MemFs {
-            trace: Some(Arc::new(TraceLog::new(trace_capacity))),
-            ..Self::default()
+            files: Mutex::new(BTreeMap::new()),
+            obs: Arc::new(FsObs::with_trace(Arc::new(TraceLog::new(trace_capacity)))),
         }
     }
 
     /// The access trace, if tracing was enabled.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the timeline from the recorder attached via MemFs::with_recorder instead"
+    )]
+    #[allow(deprecated)]
     pub fn trace(&self) -> Option<&Arc<TraceLog>> {
-        self.trace.as_ref()
+        self.obs.trace()
     }
 
     /// Read a whole file's contents (test convenience).
@@ -50,6 +74,15 @@ impl MemFs {
         let contents = data.lock().clone();
         Ok(contents)
     }
+
+    fn handle(&self, path: &str, data: FileData) -> Box<dyn FileHandle> {
+        Box::new(MemHandle {
+            path: path.to_string(),
+            data,
+            obs: Arc::clone(&self.obs),
+            tracker: SeqTracker::default(),
+        })
+    }
 }
 
 impl FileSystem for MemFs {
@@ -58,13 +91,7 @@ impl FileSystem for MemFs {
         self.files
             .lock()
             .insert(path.to_string(), Arc::clone(&data));
-        Ok(Box::new(MemHandle {
-            path: path.to_string(),
-            data,
-            stats: Arc::clone(&self.stats),
-            tracker: SeqTracker::default(),
-            trace: self.trace.clone(),
-        }))
+        Ok(self.handle(path, data))
     }
 
     fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
@@ -72,13 +99,7 @@ impl FileSystem for MemFs {
         let data = files.get(path).ok_or_else(|| FsError::NotFound {
             path: path.to_string(),
         })?;
-        Ok(Box::new(MemHandle {
-            path: path.to_string(),
-            data: Arc::clone(data),
-            stats: Arc::clone(&self.stats),
-            tracker: SeqTracker::default(),
-            trace: self.trace.clone(),
-        }))
+        Ok(self.handle(path, Arc::clone(data)))
     }
 
     fn exists(&self, path: &str) -> bool {
@@ -100,60 +121,65 @@ impl FileSystem for MemFs {
     }
 
     fn stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.stats)
+        self.obs.stats()
+    }
+
+    fn set_recorder(&self, recorder: Arc<dyn Recorder>, node: u32) {
+        self.obs.set_recorder(recorder, node);
     }
 }
 
 struct MemHandle {
     path: String,
     data: FileData,
-    stats: Arc<IoStats>,
+    obs: Arc<FsObs>,
     tracker: SeqTracker,
-    trace: Option<Arc<TraceLog>>,
-}
-
-impl MemHandle {
-    fn record(&self, kind: TraceKind, offset: u64, len: usize, sequential: bool) {
-        if let Some(trace) = &self.trace {
-            trace.record(TraceEntry {
-                kind,
-                file: self.path.clone(),
-                offset,
-                len,
-                sequential,
-            });
-        }
-    }
 }
 
 impl FileHandle for MemHandle {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, data.len());
-        let mut file = self.data.lock();
-        let end = offset as usize + data.len();
-        if file.len() < end {
-            file.resize(end, 0);
+        let start = self.obs.timed().then(Instant::now);
+        {
+            let mut file = self.data.lock();
+            let end = offset as usize + data.len();
+            if file.len() < end {
+                file.resize(end, 0);
+            }
+            file[offset as usize..end].copy_from_slice(data);
         }
-        file[offset as usize..end].copy_from_slice(data);
-        self.stats.record_write(data.len(), sequential);
-        self.record(TraceKind::Write, offset, data.len(), sequential);
+        self.obs.emit(&Event::FsWrite {
+            file: &self.path,
+            offset,
+            bytes: data.len() as u64,
+            sequential,
+            dur: start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        });
         Ok(())
     }
 
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, buf.len());
-        let file = self.data.lock();
-        let end = offset as usize + buf.len();
-        if end > file.len() {
-            return Err(FsError::ReadPastEnd {
-                offset,
-                len: buf.len(),
-                file_len: file.len() as u64,
-            });
+        let start = self.obs.timed().then(Instant::now);
+        {
+            let file = self.data.lock();
+            let end = offset as usize + buf.len();
+            if end > file.len() {
+                return Err(FsError::ReadPastEnd {
+                    offset,
+                    len: buf.len(),
+                    file_len: file.len() as u64,
+                });
+            }
+            buf.copy_from_slice(&file[offset as usize..end]);
         }
-        buf.copy_from_slice(&file[offset as usize..end]);
-        self.stats.record_read(buf.len(), sequential);
-        self.record(TraceKind::Read, offset, buf.len(), sequential);
+        self.obs.emit(&Event::FsRead {
+            file: &self.path,
+            offset,
+            bytes: buf.len() as u64,
+            sequential,
+            dur: start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        });
         Ok(())
     }
 
@@ -162,8 +188,10 @@ impl FileHandle for MemHandle {
     }
 
     fn sync(&mut self) -> Result<(), FsError> {
-        self.stats.record_sync();
-        self.record(TraceKind::Sync, 0, 0, true);
+        self.obs.emit(&Event::FsSync {
+            file: &self.path,
+            dur: Duration::ZERO,
+        });
         Ok(())
     }
 }
@@ -195,7 +223,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn trace_records_accesses() {
+        use crate::trace::TraceKind;
         let fs = MemFs::with_trace(8);
         let mut h = fs.create("t").unwrap();
         h.write_at(0, &[0; 4]).unwrap();
@@ -208,6 +238,36 @@ mod tests {
         assert!(!trace[1].sequential);
         assert_eq!(trace[2].kind, TraceKind::Sync);
         assert!(MemFs::new().trace().is_none());
+    }
+
+    #[test]
+    fn recorder_sees_accesses_with_node_tag() {
+        let rec = Arc::new(panda_obs::TimelineRecorder::new());
+        let fs = MemFs::with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, 7);
+        let mut h = fs.create("r").unwrap();
+        h.write_at(0, &[1; 16]).unwrap();
+        h.sync().unwrap();
+        let tl = rec.timeline().unwrap();
+        assert_eq!(tl.len(), 2);
+        assert!(tl.iter().all(|e| e.node == 7));
+        assert_eq!(tl[0].kind, panda_obs::EventKind::FsWrite);
+        assert_eq!(tl[0].bytes, 16);
+        assert_eq!(tl[0].label.as_deref(), Some("r"));
+        // The stats adapter projects the same events.
+        assert_eq!(fs.stats().writes(), 1);
+        assert_eq!(fs.stats().syncs(), 1);
+    }
+
+    #[test]
+    fn set_recorder_attaches_mid_flight() {
+        let fs = MemFs::new();
+        let mut h = fs.create("x").unwrap();
+        h.write_at(0, &[0; 4]).unwrap(); // before: goes only to counters
+        let rec = Arc::new(panda_obs::TimelineRecorder::new());
+        fs.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, 3);
+        h.write_at(4, &[0; 4]).unwrap();
+        assert_eq!(rec.timeline().unwrap().len(), 1);
+        assert_eq!(fs.stats().writes(), 2);
     }
 
     #[test]

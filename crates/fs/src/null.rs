@@ -8,10 +8,14 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use panda_obs::{Event, Recorder};
+
 use crate::error::FsError;
+use crate::obs::FsObs;
 use crate::stats::{IoStats, SeqTracker};
 use crate::traits::{FileHandle, FileSystem};
 
@@ -21,7 +25,7 @@ use crate::traits::{FileHandle, FileSystem};
 #[derive(Debug, Default)]
 pub struct NullFs {
     lengths: Arc<Mutex<BTreeMap<String, u64>>>,
-    stats: Arc<IoStats>,
+    obs: Arc<FsObs>,
 }
 
 impl NullFs {
@@ -29,17 +33,31 @@ impl NullFs {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// As [`NullFs::new`], reporting every access to `recorder` as node
+    /// `node` (its fabric rank; `PandaSystem` installs this
+    /// automatically via [`FileSystem::set_recorder`]).
+    pub fn with_recorder(recorder: Arc<dyn Recorder>, node: u32) -> Self {
+        NullFs {
+            lengths: Arc::default(),
+            obs: Arc::new(FsObs::with_recorder(recorder, node)),
+        }
+    }
+
+    fn handle(&self, path: &str) -> Box<dyn FileHandle> {
+        Box::new(NullHandle {
+            path: path.to_string(),
+            lengths: Arc::clone(&self.lengths),
+            obs: Arc::clone(&self.obs),
+            tracker: SeqTracker::default(),
+        })
+    }
 }
 
 impl FileSystem for NullFs {
     fn create(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
         self.lengths.lock().insert(path.to_string(), 0);
-        Ok(Box::new(NullHandle {
-            path: path.to_string(),
-            lengths: Arc::clone(&self.lengths),
-            stats: Arc::clone(&self.stats),
-            tracker: SeqTracker::default(),
-        }))
+        Ok(self.handle(path))
     }
 
     fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
@@ -48,12 +66,7 @@ impl FileSystem for NullFs {
                 path: path.to_string(),
             });
         }
-        Ok(Box::new(NullHandle {
-            path: path.to_string(),
-            lengths: Arc::clone(&self.lengths),
-            stats: Arc::clone(&self.stats),
-            tracker: SeqTracker::default(),
-        }))
+        Ok(self.handle(path))
     }
 
     fn exists(&self, path: &str) -> bool {
@@ -75,24 +88,36 @@ impl FileSystem for NullFs {
     }
 
     fn stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.stats)
+        self.obs.stats()
+    }
+
+    fn set_recorder(&self, recorder: Arc<dyn Recorder>, node: u32) {
+        self.obs.set_recorder(recorder, node);
     }
 }
 
 struct NullHandle {
     path: String,
     lengths: Arc<Mutex<BTreeMap<String, u64>>>,
-    stats: Arc<IoStats>,
+    obs: Arc<FsObs>,
     tracker: SeqTracker,
 }
 
 impl FileHandle for NullHandle {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, data.len());
-        let mut lengths = self.lengths.lock();
-        let len = lengths.entry(self.path.clone()).or_insert(0);
-        *len = (*len).max(offset + data.len() as u64);
-        self.stats.record_write(data.len(), sequential);
+        {
+            let mut lengths = self.lengths.lock();
+            let len = lengths.entry(self.path.clone()).or_insert(0);
+            *len = (*len).max(offset + data.len() as u64);
+        }
+        self.obs.emit(&Event::FsWrite {
+            file: &self.path,
+            offset,
+            bytes: data.len() as u64,
+            sequential,
+            dur: Duration::ZERO,
+        });
         Ok(())
     }
 
@@ -107,7 +132,13 @@ impl FileHandle for NullHandle {
             });
         }
         buf.fill(0);
-        self.stats.record_read(buf.len(), sequential);
+        self.obs.emit(&Event::FsRead {
+            file: &self.path,
+            offset,
+            bytes: buf.len() as u64,
+            sequential,
+            dur: Duration::ZERO,
+        });
         Ok(())
     }
 
@@ -116,7 +147,10 @@ impl FileHandle for NullHandle {
     }
 
     fn sync(&mut self) -> Result<(), FsError> {
-        self.stats.record_sync();
+        self.obs.emit(&Event::FsSync {
+            file: &self.path,
+            dur: Duration::ZERO,
+        });
         Ok(())
     }
 }

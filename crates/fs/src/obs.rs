@@ -1,0 +1,152 @@
+//! Internal bridge from file-system backends to the unified
+//! [`panda_obs`] recorder API.
+//!
+//! Every backend owns one [`FsObs`]. It fans each access event out to:
+//!
+//! 1. a private [`CountingRecorder`] that backs the [`IoStats`]
+//!    accessors (so the long-standing counter API keeps working),
+//! 2. the externally attached [`Recorder`] (null by default; installed
+//!    via `with_recorder` builders or [`crate::FileSystem::set_recorder`]),
+//! 3. the deprecated [`TraceLog`], when one was requested, so legacy
+//!    trace consumers see identical entries for one more release.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use panda_obs::{CountingRecorder, Event, Recorder};
+
+use crate::stats::IoStats;
+#[allow(deprecated)]
+use crate::trace::{TraceEntry, TraceKind, TraceLog};
+
+/// Shared observability state of one backend instance.
+#[derive(Debug)]
+pub(crate) struct FsObs {
+    /// Fabric rank this backend reports as (settable after creation
+    /// because backends are usually built before ranks are assigned).
+    node: AtomicU32,
+    /// Always-on counters backing [`IoStats`].
+    counting: Arc<CountingRecorder>,
+    /// The adapter handed out by `FileSystem::stats()`.
+    stats: Arc<IoStats>,
+    /// Externally attached recorder (null unless installed).
+    external: RwLock<Arc<dyn Recorder>>,
+    /// Legacy bounded trace, kept during the deprecation window.
+    #[allow(deprecated)]
+    trace: Option<Arc<TraceLog>>,
+}
+
+impl FsObs {
+    /// State with no external recorder and no legacy trace.
+    pub(crate) fn new() -> Self {
+        Self::build(panda_obs::null_recorder(), 0, None)
+    }
+
+    /// State reporting to `recorder` as `node`.
+    pub(crate) fn with_recorder(recorder: Arc<dyn Recorder>, node: u32) -> Self {
+        Self::build(recorder, node, None)
+    }
+
+    /// State with a legacy trace attached (deprecation window only).
+    #[allow(deprecated)]
+    pub(crate) fn with_trace(trace: Arc<TraceLog>) -> Self {
+        Self::build(panda_obs::null_recorder(), 0, Some(trace))
+    }
+
+    #[allow(deprecated)]
+    fn build(recorder: Arc<dyn Recorder>, node: u32, trace: Option<Arc<TraceLog>>) -> Self {
+        let counting = Arc::new(CountingRecorder::new());
+        let stats = Arc::new(IoStats::over(Arc::clone(&counting)));
+        FsObs {
+            node: AtomicU32::new(node),
+            counting,
+            stats,
+            external: RwLock::new(recorder),
+            trace,
+        }
+    }
+
+    /// The [`IoStats`] adapter for `FileSystem::stats()`.
+    pub(crate) fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The legacy trace, if one was attached.
+    #[allow(deprecated)]
+    pub(crate) fn trace(&self) -> Option<&Arc<TraceLog>> {
+        self.trace.as_ref()
+    }
+
+    /// Swap in an external recorder and reporting rank.
+    pub(crate) fn set_recorder(&self, recorder: Arc<dyn Recorder>, node: u32) {
+        self.node.store(node, Ordering::Relaxed);
+        *self.external.write() = recorder;
+    }
+
+    /// Whether call sites should measure durations: only when an
+    /// enabled external recorder is attached (the counting backing
+    /// store never needs the clock).
+    pub(crate) fn timed(&self) -> bool {
+        self.external.read().enabled()
+    }
+
+    /// Fan one event out to counters, external recorder, and trace.
+    pub(crate) fn emit(&self, event: &Event<'_>) {
+        let node = self.node.load(Ordering::Relaxed);
+        self.counting.record(node, event);
+        {
+            let external = self.external.read();
+            if external.enabled() {
+                external.record(node, event);
+            }
+        }
+        #[allow(deprecated)]
+        if let Some(trace) = &self.trace {
+            let entry = match event {
+                Event::FsRead {
+                    file,
+                    offset,
+                    bytes,
+                    sequential,
+                    ..
+                } => TraceEntry {
+                    kind: TraceKind::Read,
+                    file: (*file).to_string(),
+                    offset: *offset,
+                    len: *bytes as usize,
+                    sequential: *sequential,
+                },
+                Event::FsWrite {
+                    file,
+                    offset,
+                    bytes,
+                    sequential,
+                    ..
+                } => TraceEntry {
+                    kind: TraceKind::Write,
+                    file: (*file).to_string(),
+                    offset: *offset,
+                    len: *bytes as usize,
+                    sequential: *sequential,
+                },
+                Event::FsSync { file, .. } => TraceEntry {
+                    kind: TraceKind::Sync,
+                    file: (*file).to_string(),
+                    offset: 0,
+                    len: 0,
+                    sequential: true,
+                },
+                _ => return,
+            };
+            trace.record(entry);
+        }
+    }
+}
+
+impl Default for FsObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}

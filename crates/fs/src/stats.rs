@@ -8,86 +8,82 @@
 //! *sequential*; otherwise it is a *seek*. Integration tests assert that
 //! Panda collectives produce zero seeks while the naive client-directed
 //! baseline produces many.
+//!
+//! Since the unified observability layer landed, [`IoStats`] is a thin
+//! read adapter over a [`panda_obs::CountingRecorder`]: backends report
+//! [`panda_obs::Event::FsRead`] / [`Event::FsWrite`] /
+//! [`Event::FsSync`] events and this type merely projects the familiar
+//! counter names out of them. The accessor API is unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared operation counters for one file-system backend.
-#[derive(Debug, Default)]
+use panda_obs::{CountingRecorder, EventKind};
+
+/// Shared operation counters for one file-system backend, projected
+/// from the backend's event stream.
+#[derive(Debug)]
 pub struct IoStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    bytes_read: AtomicU64,
-    bytes_written: AtomicU64,
-    seeks: AtomicU64,
-    sequential_ops: AtomicU64,
-    syncs: AtomicU64,
+    counting: Arc<CountingRecorder>,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IoStats {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters over a private recorder. Backends do not
+    /// use this (they share their recorder via [`IoStats::over`]); it
+    /// exists for tests and standalone accounting.
     pub fn new() -> Self {
-        Self::default()
+        Self::over(Arc::new(CountingRecorder::new()))
     }
 
-    pub(crate) fn record_read(&self, bytes: usize, sequential: bool) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.record_seq(sequential);
+    /// An adapter reading from `counting`.
+    pub fn over(counting: Arc<CountingRecorder>) -> Self {
+        IoStats { counting }
     }
 
-    pub(crate) fn record_write(&self, bytes: usize, sequential: bool) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        self.record_seq(sequential);
-    }
-
-    fn record_seq(&self, sequential: bool) {
-        if sequential {
-            self.sequential_ops.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.seeks.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    pub(crate) fn record_sync(&self) {
-        self.syncs.fetch_add(1, Ordering::Relaxed);
+    /// The event counters this adapter projects from.
+    pub fn recorder(&self) -> &Arc<CountingRecorder> {
+        &self.counting
     }
 
     /// Number of read operations.
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.counting.count(EventKind::FsRead)
     }
 
     /// Number of write operations.
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.counting.count(EventKind::FsWrite)
     }
 
     /// Total bytes read.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read.load(Ordering::Relaxed)
+        self.counting.bytes(EventKind::FsRead)
     }
 
     /// Total bytes written.
     pub fn bytes_written(&self) -> u64 {
-        self.bytes_written.load(Ordering::Relaxed)
+        self.counting.bytes(EventKind::FsWrite)
     }
 
     /// Accesses that required a seek (did not continue the previous
     /// access on their handle).
     pub fn seeks(&self) -> u64 {
-        self.seeks.load(Ordering::Relaxed)
+        self.counting.fs_seeks()
     }
 
     /// Accesses that continued sequentially.
     pub fn sequential_ops(&self) -> u64 {
-        self.sequential_ops.load(Ordering::Relaxed)
+        self.counting.fs_sequential()
     }
 
     /// Number of `sync` calls.
     pub fn syncs(&self) -> u64 {
-        self.syncs.load(Ordering::Relaxed)
+        self.counting.count(EventKind::FsSync)
     }
 
     /// Fraction of accesses that were sequential, in `[0, 1]`; 1.0 when
@@ -126,6 +122,8 @@ impl SeqTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panda_obs::{Event, Recorder};
+    use std::time::Duration;
 
     #[test]
     fn seq_tracker_classifies() {
@@ -139,12 +137,40 @@ mod tests {
     }
 
     #[test]
-    fn stats_aggregate() {
+    fn stats_project_recorded_events() {
         let s = IoStats::new();
-        s.record_write(100, true);
-        s.record_write(50, false);
-        s.record_read(10, true);
-        s.record_sync();
+        let rec = Arc::clone(s.recorder());
+        let write = |bytes: u64, offset: u64, sequential: bool| {
+            rec.record(
+                0,
+                &Event::FsWrite {
+                    file: "f",
+                    offset,
+                    bytes,
+                    sequential,
+                    dur: Duration::ZERO,
+                },
+            );
+        };
+        write(100, 0, true);
+        write(50, 999, false);
+        rec.record(
+            0,
+            &Event::FsRead {
+                file: "f",
+                offset: 0,
+                bytes: 10,
+                sequential: true,
+                dur: Duration::ZERO,
+            },
+        );
+        rec.record(
+            0,
+            &Event::FsSync {
+                file: "f",
+                dur: Duration::ZERO,
+            },
+        );
         assert_eq!(s.writes(), 2);
         assert_eq!(s.reads(), 1);
         assert_eq!(s.bytes_written(), 150);

@@ -11,9 +11,19 @@
 //! transfers while the CPU is free, which is what makes the overlap
 //! measurable even on one core. The wrapped backend does the actual
 //! storage, so files, stats, and sequentiality accounting are real.
+//!
+//! When a recorder is attached (via [`ThrottledFs::set_recorder`] or at
+//! construction), each sleep is surfaced as a
+//! [`panda_obs::Event::ThrottleSleep`] so throttled benchmarks can
+//! separate simulated device time from real work in the run report.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use panda_obs::{Event, Recorder};
 
 use crate::aix::{AixModel, IoDirection};
 use crate::error::FsError;
@@ -30,10 +40,36 @@ struct Cost {
 }
 
 impl Cost {
-    fn charge(&self, bytes: usize) {
+    /// Sleep for the simulated device time of a `bytes`-sized transfer
+    /// and return how long that was.
+    fn charge(&self, bytes: usize) -> Duration {
         let t = self.op_overhead + Duration::from_secs_f64(self.secs_per_byte * bytes as f64);
         if !t.is_zero() {
             std::thread::sleep(t);
+        }
+        t
+    }
+}
+
+/// Shared recorder hookup for all handles of one [`ThrottledFs`].
+#[derive(Debug)]
+struct ThrottleObs {
+    node: AtomicU32,
+    external: RwLock<Arc<dyn Recorder>>,
+}
+
+impl ThrottleObs {
+    fn emit_sleep(&self, bytes: usize, write: bool, dur: Duration) {
+        let external = self.external.read();
+        if external.enabled() {
+            external.record(
+                self.node.load(Ordering::Relaxed),
+                &Event::ThrottleSleep {
+                    bytes: bytes as u64,
+                    write,
+                    dur,
+                },
+            );
         }
     }
 }
@@ -44,6 +80,7 @@ pub struct ThrottledFs {
     inner: Arc<dyn FileSystem>,
     read: Cost,
     write: Cost,
+    obs: Arc<ThrottleObs>,
 }
 
 impl ThrottledFs {
@@ -69,6 +106,10 @@ impl ThrottledFs {
                 secs_per_byte: per_byte(write_mb_s),
                 op_overhead,
             },
+            obs: Arc::new(ThrottleObs {
+                node: AtomicU32::new(0),
+                external: RwLock::new(panda_obs::null_recorder()),
+            }),
         }
     }
 
@@ -77,17 +118,16 @@ impl ThrottledFs {
     /// write really takes ≈ 0.45 s — use small arrays.
     pub fn aix(inner: Arc<dyn FileSystem>) -> Self {
         let m = AixModel::nas_sp2();
-        ThrottledFs {
-            inner,
-            read: Cost {
-                secs_per_byte: 1.0 / m.raw_bandwidth,
-                op_overhead: Duration::from_secs_f64(m.read_op_overhead),
-            },
-            write: Cost {
-                secs_per_byte: 1.0 / m.raw_bandwidth,
-                op_overhead: Duration::from_secs_f64(m.write_op_overhead),
-            },
-        }
+        let mut fs = Self::new(inner, 1.0, 1.0, Duration::ZERO);
+        fs.read = Cost {
+            secs_per_byte: 1.0 / m.raw_bandwidth,
+            op_overhead: Duration::from_secs_f64(m.read_op_overhead),
+        };
+        fs.write = Cost {
+            secs_per_byte: 1.0 / m.raw_bandwidth,
+            op_overhead: Duration::from_secs_f64(m.write_op_overhead),
+        };
+        fs
     }
 
     fn wrap(&self, handle: Box<dyn FileHandle>) -> Box<dyn FileHandle> {
@@ -95,6 +135,7 @@ impl ThrottledFs {
             inner: handle,
             read: self.read,
             write: self.write,
+            obs: Arc::clone(&self.obs),
         })
     }
 }
@@ -123,24 +164,35 @@ impl FileSystem for ThrottledFs {
     fn stats(&self) -> Arc<IoStats> {
         self.inner.stats()
     }
+
+    fn set_recorder(&self, recorder: Arc<dyn Recorder>, node: u32) {
+        // The inner backend reports reads/writes; this decorator adds
+        // its sleep events alongside them under the same rank.
+        self.inner.set_recorder(Arc::clone(&recorder), node);
+        self.obs.node.store(node, Ordering::Relaxed);
+        *self.obs.external.write() = recorder;
+    }
 }
 
 struct ThrottledHandle {
     inner: Box<dyn FileHandle>,
     read: Cost,
     write: Cost,
+    obs: Arc<ThrottleObs>,
 }
 
 impl FileHandle for ThrottledHandle {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         self.inner.write_at(offset, data)?;
-        self.write.charge(data.len());
+        let slept = self.write.charge(data.len());
+        self.obs.emit_sleep(data.len(), true, slept);
         Ok(())
     }
 
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
         self.inner.read_at(offset, buf)?;
-        self.read.charge(buf.len());
+        let slept = self.read.charge(buf.len());
+        self.obs.emit_sleep(buf.len(), false, slept);
         Ok(())
     }
 
@@ -152,7 +204,8 @@ impl FileHandle for ThrottledHandle {
         // Data was already "on the device" when each write returned;
         // charge only the syscall-ish fixed cost.
         self.inner.sync()?;
-        self.write.charge(0);
+        let slept = self.write.charge(0);
+        self.obs.emit_sleep(0, true, slept);
         Ok(())
     }
 }
@@ -224,5 +277,37 @@ mod tests {
             elapsed >= modeled.mul_f64(0.95),
             "AIX-throttled write took {elapsed:?}, model says {modeled:?}"
         );
+    }
+
+    #[test]
+    fn sleeps_are_recorded_as_throttle_events() {
+        let rec = Arc::new(panda_obs::TimelineRecorder::new());
+        let fs = ThrottledFs::new(
+            Arc::new(MemFs::new()),
+            1000.0,
+            1000.0,
+            Duration::from_millis(1),
+        );
+        fs.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, 9);
+        let mut h = fs.create("t.dat").unwrap();
+        h.write_at(0, &[0u8; 1024]).unwrap();
+        let mut buf = [0u8; 512];
+        h.read_at(0, &mut buf).unwrap();
+        let sleeps: Vec<_> = rec
+            .timeline()
+            .unwrap()
+            .into_iter()
+            .filter(|e| e.kind == panda_obs::EventKind::ThrottleSleep)
+            .collect();
+        assert_eq!(sleeps.len(), 2);
+        assert!(sleeps.iter().all(|e| e.node == 9));
+        assert!(sleeps.iter().all(|e| e.dur_nanos >= 1_000_000));
+        assert_eq!(sleeps[0].bytes, 1024);
+        // The inner MemFs reports the real accesses under the same rank.
+        assert!(rec
+            .timeline()
+            .unwrap()
+            .iter()
+            .any(|e| e.kind == panda_obs::EventKind::FsWrite && e.node == 9));
     }
 }

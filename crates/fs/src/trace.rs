@@ -1,4 +1,4 @@
-//! Bounded access traces.
+//! Bounded access traces (deprecated).
 //!
 //! Beyond aggregate counters, it is often useful to *see* the access
 //! pattern an I/O strategy produced — the paper's whole argument is
@@ -7,10 +7,20 @@
 //! first `capacity` positioned accesses on a backend (offset, length,
 //! direction, sequential-or-seek) for inspection by tests, examples,
 //! and tools.
+//!
+//! **Deprecated:** the unified observability layer subsumes this.
+//! Attach a [`panda_obs::TimelineRecorder`] (e.g. via
+//! `MemFs::with_recorder` or `FileSystem::set_recorder`) and read
+//! `FsRead`/`FsWrite`/`FsSync` events from its timeline instead — same
+//! information, plus timing, shared with every other layer. These shims
+//! remain for one release so existing consumers migrate gradually.
+
+#![allow(deprecated)]
 
 use parking_lot::Mutex;
 
 /// Direction of a traced access.
+#[deprecated(since = "0.2.0", note = "use panda_obs::EventKind instead")]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A positioned read.
@@ -22,6 +32,7 @@ pub enum TraceKind {
 }
 
 /// One traced access.
+#[deprecated(since = "0.2.0", note = "use panda_obs::TimelineEvent instead")]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Read, write, or sync.
@@ -57,6 +68,7 @@ impl TraceEntry {
 /// A bounded, shared access log. Recording stops (but counting in
 /// [`crate::IoStats`] continues) once `capacity` entries are held, so
 /// tracing a large run is safe.
+#[deprecated(since = "0.2.0", note = "use panda_obs::TimelineRecorder instead")]
 #[derive(Debug)]
 pub struct TraceLog {
     entries: Mutex<Vec<TraceEntry>>,

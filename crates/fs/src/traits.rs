@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use panda_obs::Recorder;
+
 use crate::error::FsError;
 use crate::stats::IoStats;
 
@@ -30,6 +32,15 @@ pub trait FileSystem: Send + Sync {
 
     /// Shared operation statistics for this backend.
     fn stats(&self) -> Arc<IoStats>;
+
+    /// Attach an observability recorder; subsequent accesses are
+    /// reported to it tagged with fabric rank `node`. The default is a
+    /// no-op so minimal backends need not participate; all backends in
+    /// this crate implement it, and `panda_core::PandaSystem` calls it
+    /// on each server's file system at launch.
+    fn set_recorder(&self, recorder: Arc<dyn Recorder>, node: u32) {
+        let _ = (recorder, node);
+    }
 }
 
 /// An open file.

@@ -9,12 +9,15 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+use panda_obs::{Event, Recorder};
+
 use crate::envelope::{Envelope, NodeId};
 use crate::error::MsgError;
+use crate::obs::MsgObs;
 use crate::stats::FabricStats;
 use crate::transport::{MatchSpec, Transport};
 
@@ -56,6 +59,7 @@ impl InProcFabric {
                 peers: txs.clone(),
                 rx,
                 pending: VecDeque::new(),
+                obs: MsgObs::new(rank as u32, Arc::clone(stats.recorder())),
                 stats: Arc::clone(&stats),
                 recv_timeout,
             })
@@ -73,6 +77,7 @@ pub struct InProcEndpoint {
     /// MPI-style unexpected-message queue: arrivals that did not match
     /// the spec of the receive in progress, kept in arrival order.
     pending: VecDeque<Envelope>,
+    obs: MsgObs,
     stats: Arc<FabricStats>,
     recv_timeout: Duration,
 }
@@ -86,6 +91,18 @@ impl InProcEndpoint {
     fn take_pending(&mut self, spec: MatchSpec) -> Option<Envelope> {
         let pos = self.pending.iter().position(|e| spec.matches(e))?;
         self.pending.remove(pos)
+    }
+
+    /// Report a delivered message. `wait` is the time this endpoint
+    /// spent blocked for it (zero when it was already buffered or when
+    /// no enabled recorder asked for timing).
+    fn note_recv(&self, env: &Envelope, wait: Duration) {
+        self.obs.emit(&Event::MsgReceived {
+            from: env.src.index() as u32,
+            tag: env.tag,
+            bytes: env.len() as u64,
+            wait,
+        });
     }
 }
 
@@ -110,22 +127,29 @@ impl Transport for InProcEndpoint {
             payload,
         })
         .map_err(|_| MsgError::Disconnected)?;
-        self.stats.record_send(tag, bytes);
+        self.obs.emit(&Event::MsgSent {
+            to: dst.index() as u32,
+            tag,
+            bytes: bytes as u64,
+            dur: Duration::ZERO,
+        });
         Ok(())
     }
 
     fn recv_matching(&mut self, spec: MatchSpec) -> Result<Envelope, MsgError> {
         if let Some(env) = self.take_pending(spec) {
-            self.stats.record_recv(env.len());
+            self.note_recv(&env, Duration::ZERO);
             return Ok(env);
         }
-        let deadline = std::time::Instant::now() + self.recv_timeout;
+        let start = self.obs.timed().then(Instant::now);
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
                 Ok(env) => {
                     if spec.matches(&env) {
-                        self.stats.record_recv(env.len());
+                        let wait = start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+                        self.note_recv(&env, wait);
                         return Ok(env);
                     }
                     self.pending.push_back(env);
@@ -142,14 +166,14 @@ impl Transport for InProcEndpoint {
 
     fn try_recv_matching(&mut self, spec: MatchSpec) -> Result<Option<Envelope>, MsgError> {
         if let Some(env) = self.take_pending(spec) {
-            self.stats.record_recv(env.len());
+            self.note_recv(&env, Duration::ZERO);
             return Ok(Some(env));
         }
         loop {
             match self.rx.try_recv() {
                 Ok(env) => {
                     if spec.matches(&env) {
-                        self.stats.record_recv(env.len());
+                        self.note_recv(&env, Duration::ZERO);
                         return Ok(Some(env));
                     }
                     self.pending.push_back(env);
@@ -160,6 +184,10 @@ impl Transport for InProcEndpoint {
                 }
             }
         }
+    }
+
+    fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.obs.set_recorder(recorder);
     }
 }
 
@@ -268,6 +296,39 @@ mod tests {
         assert_eq!(stats.bytes_sent(), 150);
         assert_eq!(stats.msgs_received(), 1);
         assert_eq!(stats.bytes_received(), 100);
+    }
+
+    #[test]
+    fn external_recorder_sees_tagged_events() {
+        use panda_obs::{EventKind, TimelineRecorder};
+        let (mut eps, _) = InProcFabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let rec: Arc<TimelineRecorder> = Arc::new(TimelineRecorder::new());
+        a.set_recorder(rec.clone());
+        b.set_recorder(rec.clone());
+        a.send(NodeId(1), 4, vec![7; 32]).unwrap();
+        b.recv().unwrap();
+        let events = rec.timeline().unwrap();
+        let sent: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::MsgSent)
+            .collect();
+        let recvd: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::MsgReceived)
+            .collect();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].node, 0);
+        assert_eq!(sent[0].peer, Some(1));
+        assert_eq!(sent[0].bytes, 32);
+        assert_eq!(sent[0].tag, Some(4));
+        assert_eq!(recvd.len(), 1);
+        assert_eq!(recvd[0].node, 1);
+        assert_eq!(recvd[0].peer, Some(0));
+        // The fabric's own counters saw the same traffic.
+        let (msgs, bytes) = rec.counting().tag_counts(4);
+        assert_eq!((msgs, bytes), (1, 32));
     }
 
     #[test]

@@ -13,7 +13,14 @@
 //!   node, connected by unbounded crossbeam channels, suitable for
 //!   one-OS-thread-per-node execution;
 //! * [`FabricStats`] — message/byte counters used by tests and by the
-//!   performance model's validation suite.
+//!   performance model's validation suite; since the unified
+//!   observability layer it is a read adapter over the same
+//!   [`panda_obs`] event stream the transports report into.
+//!
+//! Attach a [`panda_obs::Recorder`] with [`Transport::set_recorder`] to
+//! get per-message `MsgSent` / `MsgReceived` events with payload sizes
+//! and receive-wait latencies; with no recorder attached the transports
+//! never read the clock.
 //!
 //! The layer is deliberately low-level (bytes, tags); the typed Panda
 //! protocol lives in `panda-core`.
@@ -24,6 +31,7 @@ pub mod envelope;
 pub mod error;
 pub mod group;
 pub mod inproc;
+mod obs;
 pub mod stats;
 pub mod tcp;
 pub mod transport;

@@ -4,25 +4,27 @@
 //! messages and message sizes" (§3); these counters let the test suite
 //! and the model-validation tests check the real runtime against the
 //! message counts the performance model assumes.
+//!
+//! Since the unified observability layer landed, [`FabricStats`] is a
+//! thin read adapter over a [`panda_obs::CountingRecorder`]: transports
+//! report [`panda_obs::Event::MsgSent`] / [`Event::MsgReceived`] events
+//! and this type merely projects the familiar counter names out of
+//! them. The accessor API is unchanged.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use panda_obs::{CountingRecorder, EventKind};
 
-/// Shared counters for one fabric. All counters are monotone and updated
-/// with relaxed ordering — they are diagnostics, not synchronization.
+/// Shared counters for one fabric, projected from the fabric's event
+/// stream. All counters are monotone — they are diagnostics, not
+/// synchronization.
 ///
 /// Per-tag send counts let higher layers cross-validate against the
 /// performance model: the model's predicted data/control message counts
 /// must equal the real fabric's per-tag counts for the same collective.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FabricStats {
-    msgs_sent: AtomicU64,
-    bytes_sent: AtomicU64,
-    msgs_received: AtomicU64,
-    bytes_received: AtomicU64,
-    by_tag: Mutex<HashMap<u32, TagCounts>>,
+    counting: Arc<CountingRecorder>,
 }
 
 /// Message/byte counts for one tag.
@@ -34,71 +36,104 @@ pub struct TagCounts {
     pub bytes: u64,
 }
 
+impl Default for FabricStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl FabricStats {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters over a private recorder.
     pub fn new() -> Self {
-        Self::default()
+        Self::over(Arc::new(CountingRecorder::new()))
     }
 
-    pub(crate) fn record_send(&self, tag: u32, bytes: usize) {
-        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
-        let mut by_tag = self.by_tag.lock();
-        let entry = by_tag.entry(tag).or_default();
-        entry.msgs += 1;
-        entry.bytes += bytes as u64;
+    /// An adapter reading from `counting`.
+    pub fn over(counting: Arc<CountingRecorder>) -> Self {
+        FabricStats { counting }
     }
 
-    pub(crate) fn record_recv(&self, bytes: usize) {
-        self.msgs_received.fetch_add(1, Ordering::Relaxed);
-        self.bytes_received
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+    /// The event counters this adapter projects from.
+    pub fn recorder(&self) -> &Arc<CountingRecorder> {
+        &self.counting
     }
 
     /// Total messages sent through the fabric.
     pub fn msgs_sent(&self) -> u64 {
-        self.msgs_sent.load(Ordering::Relaxed)
+        self.counting.count(EventKind::MsgSent)
     }
 
     /// Total payload bytes sent.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.counting.bytes(EventKind::MsgSent)
     }
 
     /// Total messages delivered to receivers.
     pub fn msgs_received(&self) -> u64 {
-        self.msgs_received.load(Ordering::Relaxed)
+        self.counting.count(EventKind::MsgReceived)
     }
 
     /// Total payload bytes delivered.
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
+        self.counting.bytes(EventKind::MsgReceived)
     }
 
     /// Send counts for one tag (zero if the tag was never used).
     pub fn tag_counts(&self, tag: u32) -> TagCounts {
-        self.by_tag.lock().get(&tag).copied().unwrap_or_default()
+        let (msgs, bytes) = self.counting.tag_counts(tag);
+        TagCounts { msgs, bytes }
     }
 
     /// All tags seen so far, with their counts, sorted by tag.
     pub fn all_tag_counts(&self) -> Vec<(u32, TagCounts)> {
-        let mut v: Vec<(u32, TagCounts)> =
-            self.by_tag.lock().iter().map(|(&t, &c)| (t, c)).collect();
-        v.sort_unstable_by_key(|&(t, _)| t);
-        v
+        self.counting
+            .all_tag_counts()
+            .into_iter()
+            .map(|t| {
+                (
+                    t.tag,
+                    TagCounts {
+                        msgs: t.msgs,
+                        bytes: t.bytes,
+                    },
+                )
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use panda_obs::{Event, Recorder};
+    use std::time::Duration;
+
+    fn send(s: &FabricStats, tag: u32, bytes: u64) {
+        s.recorder().record(
+            0,
+            &Event::MsgSent {
+                to: 1,
+                tag,
+                bytes,
+                dur: Duration::ZERO,
+            },
+        );
+    }
 
     #[test]
     fn counters_accumulate() {
         let s = FabricStats::new();
-        s.record_send(1, 10);
-        s.record_send(2, 5);
-        s.record_recv(10);
+        send(&s, 1, 10);
+        send(&s, 2, 5);
+        s.recorder().record(
+            1,
+            &Event::MsgReceived {
+                from: 0,
+                tag: 1,
+                bytes: 10,
+                wait: Duration::ZERO,
+            },
+        );
         assert_eq!(s.msgs_sent(), 2);
         assert_eq!(s.bytes_sent(), 15);
         assert_eq!(s.msgs_received(), 1);
@@ -108,9 +143,9 @@ mod tests {
     #[test]
     fn per_tag_counts() {
         let s = FabricStats::new();
-        s.record_send(3, 100);
-        s.record_send(3, 50);
-        s.record_send(7, 1);
+        send(&s, 3, 100);
+        send(&s, 3, 50);
+        send(&s, 7, 1);
         assert_eq!(
             s.tag_counts(3),
             TagCounts {

@@ -18,13 +18,16 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use panda_obs::{Event, Recorder};
+
 use crate::envelope::{Envelope, NodeId};
 use crate::error::MsgError;
+use crate::obs::MsgObs;
 use crate::stats::FabricStats;
 use crate::transport::{MatchSpec, Transport};
 
@@ -74,6 +77,7 @@ pub struct TcpEndpoint {
     /// Loopback for self-sends.
     self_tx: Sender<Envelope>,
     pending: VecDeque<Envelope>,
+    obs: MsgObs,
     stats: Arc<FabricStats>,
     recv_timeout: Duration,
 }
@@ -107,13 +111,15 @@ impl TcpEndpoint {
             spawn_reader(stream.try_clone()?, tx.clone());
             peers[peer] = Some(Arc::new(Mutex::new(stream)));
         }
+        let stats = Arc::new(FabricStats::new());
         Ok(TcpEndpoint {
             node: NodeId(rank),
             peers,
             rx,
             self_tx: tx,
             pending: VecDeque::new(),
-            stats: Arc::new(FabricStats::new()),
+            obs: MsgObs::new(rank as u32, Arc::clone(stats.recorder())),
+            stats,
             recv_timeout,
         })
     }
@@ -128,6 +134,16 @@ impl TcpEndpoint {
     fn take_pending(&mut self, spec: MatchSpec) -> Option<Envelope> {
         let pos = self.pending.iter().position(|e| spec.matches(e))?;
         self.pending.remove(pos)
+    }
+
+    /// Report a delivered message (`wait` = time spent blocked for it).
+    fn note_recv(&self, env: &Envelope, wait: Duration) {
+        self.obs.emit(&Event::MsgReceived {
+            from: env.src.index() as u32,
+            tag: env.tag,
+            bytes: env.len() as u64,
+            wait,
+        });
     }
 }
 
@@ -177,6 +193,9 @@ impl Transport for TcpEndpoint {
             });
         }
         let bytes = payload.len();
+        // Socket writes genuinely block (unlike the in-process fabric's
+        // buffered channels), so time them when a recorder asks.
+        let start = self.obs.timed().then(Instant::now);
         if dst == self.node {
             self.self_tx
                 .send(Envelope {
@@ -199,22 +218,29 @@ impl Transport for TcpEndpoint {
                 .write_all(&frame)
                 .map_err(|_| MsgError::Disconnected)?;
         }
-        self.stats.record_send(tag, bytes);
+        self.obs.emit(&Event::MsgSent {
+            to: dst.index() as u32,
+            tag,
+            bytes: bytes as u64,
+            dur: start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO),
+        });
         Ok(())
     }
 
     fn recv_matching(&mut self, spec: MatchSpec) -> Result<Envelope, MsgError> {
         if let Some(env) = self.take_pending(spec) {
-            self.stats.record_recv(env.len());
+            self.note_recv(&env, Duration::ZERO);
             return Ok(env);
         }
-        let deadline = std::time::Instant::now() + self.recv_timeout;
+        let start = self.obs.timed().then(Instant::now);
+        let deadline = Instant::now() + self.recv_timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
                 Ok(env) => {
                     if spec.matches(&env) {
-                        self.stats.record_recv(env.len());
+                        let wait = start.map(|s| s.elapsed()).unwrap_or(Duration::ZERO);
+                        self.note_recv(&env, wait);
                         return Ok(env);
                     }
                     self.pending.push_back(env);
@@ -231,14 +257,14 @@ impl Transport for TcpEndpoint {
 
     fn try_recv_matching(&mut self, spec: MatchSpec) -> Result<Option<Envelope>, MsgError> {
         if let Some(env) = self.take_pending(spec) {
-            self.stats.record_recv(env.len());
+            self.note_recv(&env, Duration::ZERO);
             return Ok(Some(env));
         }
         loop {
             match self.rx.try_recv() {
                 Ok(env) => {
                     if spec.matches(&env) {
-                        self.stats.record_recv(env.len());
+                        self.note_recv(&env, Duration::ZERO);
                         return Ok(Some(env));
                     }
                     self.pending.push_back(env);
@@ -249,6 +275,10 @@ impl Transport for TcpEndpoint {
                 }
             }
         }
+    }
+
+    fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.obs.set_recorder(recorder);
     }
 }
 

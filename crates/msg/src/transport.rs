@@ -1,5 +1,9 @@
 //! The transport trait: MPI-shaped tagged point-to-point messaging.
 
+use std::sync::Arc;
+
+use panda_obs::Recorder;
+
 use crate::envelope::{Envelope, NodeId};
 use crate::error::MsgError;
 
@@ -71,6 +75,18 @@ pub trait Transport: Send {
     /// Non-blocking probe: return a matching message if one is already
     /// available (delivered or buffered), else `None`.
     fn try_recv_matching(&mut self, spec: MatchSpec) -> Result<Option<Envelope>, MsgError>;
+
+    /// Attach an observability recorder to this endpoint.
+    ///
+    /// After this call the endpoint reports
+    /// [`panda_obs::Event::MsgSent`] / [`panda_obs::Event::MsgReceived`]
+    /// events (tagged with this endpoint's rank) to `recorder`, with
+    /// receive-wait durations measured only while the recorder is
+    /// enabled. The default implementation ignores the recorder, so
+    /// transports without instrumentation remain valid.
+    fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        let _ = recorder;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,429 @@
+//! Lock-free aggregate counters with latency histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::event::{Event, EventKind, Phase, KIND_COUNT};
+use crate::recorder::Recorder;
+use crate::timeline::TimelineEvent;
+
+/// Number of log₂ latency buckets: bucket `i` holds durations in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds 0 ns).
+pub(crate) const HIST_BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(nanos: u64) -> usize {
+        ((64 - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    fn record(&self, dur: Duration) {
+        let idx = Self::bucket_of(dur.as_nanos() as u64);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper-bound estimate of quantile `q` in seconds (0 with no data).
+    fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Upper bound of bucket i: 2^i ns (bucket 0 = 0 ns).
+                let nanos = if i == 0 { 0u64 } else { 1u64 << i.min(62) };
+                return nanos as f64 / 1e9;
+            }
+        }
+        unreachable!("cumulative count reaches total");
+    }
+}
+
+/// A [`Recorder`] that keeps per-kind atomic counters (count, bytes,
+/// summed duration), per-kind latency histograms, per-tag message
+/// counts, and the file-system sequentiality tally. This is the backing
+/// store behind the deprecated `panda_fs::IoStats` and
+/// `panda_msg::FabricStats` shims.
+#[derive(Debug)]
+pub struct CountingRecorder {
+    count: [AtomicU64; KIND_COUNT],
+    bytes: [AtomicU64; KIND_COUNT],
+    nanos: [AtomicU64; KIND_COUNT],
+    hist: [LatencyHistogram; KIND_COUNT],
+    fs_sequential: AtomicU64,
+    fs_seeks: AtomicU64,
+    /// Per-tag (messages, bytes) sent counts.
+    by_tag: Mutex<BTreeMap<u32, (u64, u64)>>,
+}
+
+impl Default for CountingRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CountingRecorder {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        CountingRecorder {
+            count: std::array::from_fn(|_| AtomicU64::new(0)),
+            bytes: std::array::from_fn(|_| AtomicU64::new(0)),
+            nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist: std::array::from_fn(|_| LatencyHistogram::new()),
+            fs_sequential: AtomicU64::new(0),
+            fs_seeks: AtomicU64::new(0),
+            by_tag: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of events of `kind` recorded so far.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.count[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes carried by events of `kind`.
+    pub fn bytes(&self, kind: EventKind) -> u64 {
+        self.bytes[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total duration carried by events of `kind`, in seconds.
+    pub fn secs(&self, kind: EventKind) -> f64 {
+        self.nanos[kind.index()].load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// File-system accesses classified as sequential.
+    pub fn fs_sequential(&self) -> u64 {
+        self.fs_sequential.load(Ordering::Relaxed)
+    }
+
+    /// File-system accesses that required a seek.
+    pub fn fs_seeks(&self) -> u64 {
+        self.fs_seeks.load(Ordering::Relaxed)
+    }
+
+    /// `(messages, bytes)` sent with `tag` (zero when never used).
+    pub fn tag_counts(&self, tag: u32) -> (u64, u64) {
+        self.by_tag.lock().get(&tag).copied().unwrap_or((0, 0))
+    }
+
+    /// All tags seen so far, with their send counts, sorted by tag.
+    pub fn all_tag_counts(&self) -> Vec<TagStats> {
+        self.by_tag
+            .lock()
+            .iter()
+            .map(|(&tag, &(msgs, bytes))| TagStats { tag, msgs, bytes })
+            .collect()
+    }
+
+    /// Summed duration of all kinds contributing to `phase`, in seconds.
+    pub fn phase_secs(&self, phase: Phase) -> f64 {
+        EventKind::ALL
+            .iter()
+            .filter(|k| k.phase() == Some(phase))
+            .map(|&k| self.secs(k))
+            .sum()
+    }
+
+    /// Snapshot every counter for reporting.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        let kinds = EventKind::ALL
+            .iter()
+            .map(|&kind| KindStats {
+                kind,
+                count: self.count(kind),
+                bytes: self.bytes(kind),
+                secs: self.secs(kind),
+                p50_secs: self.hist[kind.index()].quantile(0.50),
+                p99_secs: self.hist[kind.index()].quantile(0.99),
+            })
+            .collect();
+        CountersSnapshot {
+            kinds,
+            fs_sequential: self.fs_sequential(),
+            fs_seeks: self.fs_seeks(),
+            tags: self.all_tag_counts(),
+        }
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn record(&self, _node: u32, event: &Event<'_>) {
+        let idx = event.kind().index();
+        self.count[idx].fetch_add(1, Ordering::Relaxed);
+        let bytes = event.bytes();
+        if bytes > 0 {
+            self.bytes[idx].fetch_add(bytes, Ordering::Relaxed);
+        }
+        if let Some(dur) = event.dur() {
+            if !dur.is_zero() {
+                self.nanos[idx].fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+            }
+            self.hist[idx].record(dur);
+        }
+        if let Some(sequential) = event.sequential() {
+            if sequential {
+                self.fs_sequential.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.fs_seeks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Event::MsgSent { tag, bytes, .. } = event {
+            let mut by_tag = self.by_tag.lock();
+            let entry = by_tag.entry(*tag).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += bytes;
+        }
+    }
+
+    fn counters(&self) -> Option<CountersSnapshot> {
+        Some(self.snapshot())
+    }
+
+    fn timeline(&self) -> Option<Vec<TimelineEvent>> {
+        None
+    }
+}
+
+/// Per-kind aggregate statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindStats {
+    /// The event kind.
+    pub kind: EventKind,
+    /// Number of events.
+    pub count: u64,
+    /// Total bytes carried.
+    pub bytes: u64,
+    /// Total duration carried, in seconds.
+    pub secs: f64,
+    /// Median latency (log₂-bucket upper bound), in seconds.
+    pub p50_secs: f64,
+    /// 99th-percentile latency (log₂-bucket upper bound), in seconds.
+    pub p99_secs: f64,
+}
+
+/// Send counts for one message tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagStats {
+    /// The message tag.
+    pub tag: u32,
+    /// Messages sent with this tag.
+    pub msgs: u64,
+    /// Payload bytes sent with this tag.
+    pub bytes: u64,
+}
+
+/// A full snapshot of a [`CountingRecorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountersSnapshot {
+    /// One entry per [`EventKind`], in [`EventKind::ALL`] order.
+    pub kinds: Vec<KindStats>,
+    /// File-system accesses classified as sequential.
+    pub fs_sequential: u64,
+    /// File-system accesses that required a seek.
+    pub fs_seeks: u64,
+    /// Per-tag message send counts, sorted by tag.
+    pub tags: Vec<TagStats>,
+}
+
+impl CountersSnapshot {
+    /// Stats for one kind.
+    pub fn kind(&self, kind: EventKind) -> &KindStats {
+        &self.kinds[kind.index()]
+    }
+
+    /// Summed duration of all kinds contributing to `phase`, in seconds.
+    pub fn phase_secs(&self, phase: Phase) -> f64 {
+        self.kinds
+            .iter()
+            .filter(|k| k.kind.phase() == Some(phase))
+            .map(|k| k.secs)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SubchunkKey;
+
+    #[test]
+    fn counts_bytes_and_durations() {
+        let rec = CountingRecorder::new();
+        let key = SubchunkKey::new(0, 0, 0);
+        rec.record(
+            4,
+            &Event::FetchReplied {
+                key,
+                bytes: 100,
+                wait: Duration::from_millis(2),
+            },
+        );
+        rec.record(
+            4,
+            &Event::FetchReplied {
+                key,
+                bytes: 50,
+                wait: Duration::from_millis(1),
+            },
+        );
+        assert_eq!(rec.count(EventKind::FetchReplied), 2);
+        assert_eq!(rec.bytes(EventKind::FetchReplied), 150);
+        let secs = rec.secs(EventKind::FetchReplied);
+        assert!((secs - 0.003).abs() < 1e-9, "got {secs}");
+        assert_eq!(rec.count(EventKind::DiskWriteDone), 0);
+    }
+
+    #[test]
+    fn sequentiality_tally() {
+        let rec = CountingRecorder::new();
+        for (seq, offset) in [(true, 0), (true, 8), (false, 0)] {
+            rec.record(
+                0,
+                &Event::FsWrite {
+                    file: "f",
+                    offset,
+                    bytes: 8,
+                    sequential: seq,
+                    dur: Duration::ZERO,
+                },
+            );
+        }
+        assert_eq!(rec.fs_sequential(), 2);
+        assert_eq!(rec.fs_seeks(), 1);
+    }
+
+    #[test]
+    fn per_tag_send_counts() {
+        let rec = CountingRecorder::new();
+        for (tag, bytes) in [(3u32, 100u64), (3, 50), (7, 1)] {
+            rec.record(
+                0,
+                &Event::MsgSent {
+                    to: 1,
+                    tag,
+                    bytes,
+                    dur: Duration::ZERO,
+                },
+            );
+        }
+        assert_eq!(rec.tag_counts(3), (2, 150));
+        assert_eq!(rec.tag_counts(7), (1, 1));
+        assert_eq!(rec.tag_counts(99), (0, 0));
+        let all = rec.all_tag_counts();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].tag, 3);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_latencies() {
+        let rec = CountingRecorder::new();
+        for _ in 0..90 {
+            rec.record(
+                0,
+                &Event::DiskWriteDone {
+                    key: SubchunkKey::new(0, 0, 0),
+                    offset: 0,
+                    bytes: 1,
+                    dur: Duration::from_micros(10),
+                },
+            );
+        }
+        for _ in 0..10 {
+            rec.record(
+                0,
+                &Event::DiskWriteDone {
+                    key: SubchunkKey::new(0, 0, 0),
+                    offset: 0,
+                    bytes: 1,
+                    dur: Duration::from_millis(50),
+                },
+            );
+        }
+        let snap = rec.snapshot();
+        let disk = snap.kind(EventKind::DiskWriteDone);
+        // p50 upper bound is ≥ the true 10 µs but well under the 50 ms
+        // tail; p99 must cover the tail's bucket.
+        assert!(
+            disk.p50_secs >= 10e-6 && disk.p50_secs < 1e-3,
+            "{}",
+            disk.p50_secs
+        );
+        assert!(disk.p99_secs >= 0.05 / 2.0, "{}", disk.p99_secs);
+        assert_eq!(disk.count, 100);
+    }
+
+    #[test]
+    fn phase_sums_are_additive() {
+        let rec = CountingRecorder::new();
+        let key = SubchunkKey::new(0, 0, 0);
+        rec.record(
+            0,
+            &Event::FetchReplied {
+                key,
+                bytes: 1,
+                wait: Duration::from_millis(5),
+            },
+        );
+        rec.record(
+            0,
+            &Event::DiskWriteDone {
+                key,
+                offset: 0,
+                bytes: 1,
+                dur: Duration::from_millis(7),
+            },
+        );
+        rec.record(
+            0,
+            &Event::Packed {
+                key,
+                piece: 0,
+                bytes: 1,
+                dur: Duration::from_millis(1),
+            },
+        );
+        assert!((rec.phase_secs(Phase::Exchange) - 0.005).abs() < 1e-9);
+        assert!((rec.phase_secs(Phase::Disk) - 0.007).abs() < 1e-9);
+        assert!((rec.phase_secs(Phase::Reorg) - 0.001).abs() < 1e-9);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.phase_secs(Phase::Exchange),
+            rec.phase_secs(Phase::Exchange)
+        );
+    }
+
+    #[test]
+    fn bucket_of_is_monotone() {
+        let mut last = 0;
+        for nanos in [0u64, 1, 2, 3, 10, 1000, 1 << 20, u64::MAX] {
+            let b = LatencyHistogram::bucket_of(nanos);
+            assert!(b >= last);
+            last = b;
+        }
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+}

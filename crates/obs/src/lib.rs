@@ -1,0 +1,47 @@
+//! # panda-obs — one instrumentation API for the whole Panda stack
+//!
+//! The paper's entire evaluation (§4, Figures 3–9) rests on *decomposed*
+//! timings — client exchange time vs. disk time vs. reorganization cost.
+//! This crate is the reproduction's equivalent: a single [`Recorder`]
+//! trait that every layer reports through, so one run can answer "where
+//! did subchunk *k* spend its time" instead of offering disconnected
+//! per-crate counters.
+//!
+//! * [`Event`] — the typed event vocabulary. Collective-path events
+//!   ([`Event::FetchReplied`], [`Event::DiskWriteDone`], …) are keyed by
+//!   [`SubchunkKey`] `(server, array, subchunk)`; transport events carry
+//!   tags and byte counts; file-system events carry per-call device
+//!   time.
+//! * [`Recorder`] — the sink trait. Implementations:
+//!   * [`NullRecorder`] — does nothing; `enabled()` returns `false` so
+//!     call sites skip clock reads entirely (zero cost when disabled);
+//!   * [`CountingRecorder`] — lock-free per-kind atomic counters plus
+//!     log₂ latency histograms; the backing store for the
+//!     `panda_fs::IoStats` / `panda_msg::FabricStats` compatibility
+//!     adapters;
+//!   * [`TimelineRecorder`] — a bounded per-event ring buffer that
+//!     exports a Chrome `trace_event` JSON trace and feeds the
+//!     per-subchunk phase decomposition.
+//! * [`RunReport`] — aggregates any recorder into one machine-readable
+//!   JSON run report: phase totals (exchange / disk / reorganization /
+//!   throttle), per-node phase sums, per-kind counters, and — with a
+//!   timeline — per-subchunk phase durations.
+//!
+//! The crate has no dependency on the rest of the workspace; `panda-msg`,
+//! `panda-fs`, and `panda-core` all depend on it and report through the
+//! same trait.
+
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod event;
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod timeline;
+
+pub use counting::{CountersSnapshot, CountingRecorder, KindStats, TagStats};
+pub use event::{Event, EventKind, OpDir, Phase, SubchunkKey, KIND_COUNT};
+pub use recorder::{null_recorder, NullRecorder, Recorder};
+pub use report::{NodePhases, PhaseTotals, RunReport, SubchunkPhases, REPORT_SCHEMA};
+pub use timeline::{TimelineEvent, TimelineRecorder, DEFAULT_TIMELINE_CAPACITY};

@@ -1,0 +1,367 @@
+//! Machine-readable run reports: the paper-style phase decomposition
+//! aggregated from any [`Recorder`].
+
+use std::collections::BTreeMap;
+
+use crate::counting::CountersSnapshot;
+use crate::event::{EventKind, Phase, SubchunkKey};
+use crate::json;
+use crate::recorder::Recorder;
+use crate::timeline::TimelineEvent;
+
+/// Schema tag written into every report so consumers can sanity-check
+/// what they are reading.
+pub const REPORT_SCHEMA: &str = "panda-obs-run-report-v1";
+
+/// Summed seconds per [`Phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTotals {
+    secs: [f64; Phase::ALL.len()],
+}
+
+impl PhaseTotals {
+    /// Seconds accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.secs[phase as usize]
+    }
+
+    /// Add `secs` to `phase`.
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        self.secs[phase as usize] += secs;
+    }
+
+    fn push_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(out, phase.name());
+            out.push(':');
+            json::push_f64(out, self.get(*phase));
+        }
+        out.push('}');
+    }
+}
+
+/// Phase totals for one node (fabric rank).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePhases {
+    /// The node's fabric rank (clients `0..C`, servers `C..C+S`).
+    pub node: u32,
+    /// Its phase totals.
+    pub phases: PhaseTotals,
+}
+
+/// Phase durations attributed to one subchunk (timeline runs only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubchunkPhases {
+    /// Which subchunk.
+    pub key: SubchunkKey,
+    /// Subchunk size in bytes (best known value).
+    pub bytes: u64,
+    /// Server time blocked waiting for this subchunk's client data.
+    pub exchange_s: f64,
+    /// Disk time spent writing/reading this subchunk.
+    pub disk_s: f64,
+    /// Reorganization (pack/scatter) time for this subchunk.
+    pub reorg_s: f64,
+}
+
+/// One machine-readable run report, aggregated from a [`Recorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Wall-clock span covered by the timeline, seconds (zero when the
+    /// recorder keeps no timeline).
+    pub wall_s: f64,
+    /// Phase totals summed over all nodes.
+    pub phases: PhaseTotals,
+    /// Phase totals per node, sorted by rank (timeline runs only).
+    pub per_node: Vec<NodePhases>,
+    /// Phase durations per subchunk, sorted by key (timeline runs only).
+    pub per_subchunk: Vec<SubchunkPhases>,
+    /// Aggregate counters, if the recorder keeps them.
+    pub counters: Option<CountersSnapshot>,
+    /// Events dropped by the recorder (ring overflow).
+    pub dropped_events: u64,
+}
+
+impl RunReport {
+    /// Aggregate `recorder` into a report. Works with any recorder: a
+    /// [`crate::CountingRecorder`] yields phase totals and counters, a
+    /// [`crate::TimelineRecorder`] additionally yields wall span and
+    /// per-node / per-subchunk decompositions, a
+    /// [`crate::NullRecorder`] yields an empty report.
+    pub fn from_recorder(recorder: &dyn Recorder) -> RunReport {
+        let counters = recorder.counters();
+        let timeline = recorder.timeline();
+        let mut phases = PhaseTotals::default();
+        if let Some(snap) = &counters {
+            for phase in Phase::ALL {
+                phases.add(phase, snap.phase_secs(phase));
+            }
+        }
+        let (wall_s, per_node, per_subchunk) = match &timeline {
+            Some(events) if !events.is_empty() => {
+                if counters.is_none() {
+                    // No aggregate counters: derive totals from the
+                    // (possibly truncated) timeline instead.
+                    for e in events {
+                        if let Some(phase) = e.kind.phase() {
+                            phases.add(phase, e.dur_nanos as f64 / 1e9);
+                        }
+                    }
+                }
+                (
+                    wall_span(events),
+                    per_node_phases(events),
+                    per_subchunk_phases(events),
+                )
+            }
+            _ => (0.0, Vec::new(), Vec::new()),
+        };
+        RunReport {
+            wall_s,
+            phases,
+            per_node,
+            per_subchunk,
+            counters,
+            dropped_events: recorder.dropped(),
+        }
+    }
+
+    /// Serialize as one JSON object (schema [`REPORT_SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":");
+        json::push_str(&mut out, REPORT_SCHEMA);
+        out.push_str(",\"wall_s\":");
+        json::push_f64(&mut out, self.wall_s);
+        out.push_str(",\"dropped_events\":");
+        out.push_str(&self.dropped_events.to_string());
+        out.push_str(",\"phases\":");
+        self.phases.push_json(&mut out);
+        out.push_str(",\"per_node\":[");
+        for (i, n) in self.per_node.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"node\":");
+            out.push_str(&n.node.to_string());
+            out.push_str(",\"phases\":");
+            n.phases.push_json(&mut out);
+            out.push('}');
+        }
+        out.push_str("],\"per_subchunk\":[");
+        for (i, s) in self.per_subchunk.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"server\":");
+            out.push_str(&s.key.server.to_string());
+            out.push_str(",\"array\":");
+            out.push_str(&s.key.array.to_string());
+            out.push_str(",\"subchunk\":");
+            out.push_str(&s.key.subchunk.to_string());
+            out.push_str(",\"bytes\":");
+            out.push_str(&s.bytes.to_string());
+            out.push_str(",\"exchange_s\":");
+            json::push_f64(&mut out, s.exchange_s);
+            out.push_str(",\"disk_s\":");
+            json::push_f64(&mut out, s.disk_s);
+            out.push_str(",\"reorg_s\":");
+            json::push_f64(&mut out, s.reorg_s);
+            out.push('}');
+        }
+        out.push(']');
+        if let Some(snap) = &self.counters {
+            out.push_str(",\"counters\":{\"fs_sequential\":");
+            out.push_str(&snap.fs_sequential.to_string());
+            out.push_str(",\"fs_seeks\":");
+            out.push_str(&snap.fs_seeks.to_string());
+            out.push_str(",\"kinds\":[");
+            let mut first = true;
+            for k in snap.kinds.iter().filter(|k| k.count > 0) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("{\"kind\":");
+                json::push_str(&mut out, k.kind.name());
+                out.push_str(",\"count\":");
+                out.push_str(&k.count.to_string());
+                out.push_str(",\"bytes\":");
+                out.push_str(&k.bytes.to_string());
+                out.push_str(",\"secs\":");
+                json::push_f64(&mut out, k.secs);
+                out.push_str(",\"p50_s\":");
+                json::push_f64(&mut out, k.p50_secs);
+                out.push_str(",\"p99_s\":");
+                json::push_f64(&mut out, k.p99_secs);
+                out.push('}');
+            }
+            out.push_str("],\"tags\":[");
+            for (i, t) in snap.tags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"tag\":");
+                out.push_str(&t.tag.to_string());
+                out.push_str(",\"msgs\":");
+                out.push_str(&t.msgs.to_string());
+                out.push_str(",\"bytes\":");
+                out.push_str(&t.bytes.to_string());
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Wall span covered by `events`: latest end minus earliest start.
+fn wall_span(events: &[TimelineEvent]) -> f64 {
+    let start = events
+        .iter()
+        .map(TimelineEvent::start_nanos)
+        .min()
+        .unwrap_or(0);
+    let end = events.iter().map(|e| e.ts_nanos).max().unwrap_or(0);
+    end.saturating_sub(start) as f64 / 1e9
+}
+
+fn per_node_phases(events: &[TimelineEvent]) -> Vec<NodePhases> {
+    let mut map: BTreeMap<u32, PhaseTotals> = BTreeMap::new();
+    for e in events {
+        if let Some(phase) = e.kind.phase() {
+            map.entry(e.node)
+                .or_default()
+                .add(phase, e.dur_nanos as f64 / 1e9);
+        }
+    }
+    map.into_iter()
+        .map(|(node, phases)| NodePhases { node, phases })
+        .collect()
+}
+
+fn per_subchunk_phases(events: &[TimelineEvent]) -> Vec<SubchunkPhases> {
+    let mut map: BTreeMap<SubchunkKey, SubchunkPhases> = BTreeMap::new();
+    for e in events {
+        let Some(key) = e.key else { continue };
+        let entry = map.entry(key).or_insert(SubchunkPhases {
+            key,
+            bytes: 0,
+            exchange_s: 0.0,
+            disk_s: 0.0,
+            reorg_s: 0.0,
+        });
+        // Best size estimate: the planner's figure, or the disk call's.
+        if matches!(
+            e.kind,
+            EventKind::SubchunkPlanned | EventKind::DiskWriteDone | EventKind::DiskReadDone
+        ) {
+            entry.bytes = entry.bytes.max(e.bytes);
+        }
+        let secs = e.dur_nanos as f64 / 1e9;
+        match e.kind.phase() {
+            Some(Phase::Exchange) => entry.exchange_s += secs,
+            Some(Phase::Disk) => entry.disk_s += secs,
+            Some(Phase::Reorg) => entry.reorg_s += secs,
+            _ => {}
+        }
+    }
+    map.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::recorder::null_recorder;
+    use crate::timeline::TimelineRecorder;
+    use std::time::Duration;
+
+    fn drive(rec: &TimelineRecorder) {
+        let k0 = SubchunkKey::new(0, 0, 0);
+        let k1 = SubchunkKey::new(0, 0, 1);
+        rec.record(
+            2,
+            &Event::SubchunkPlanned {
+                key: k0,
+                bytes: 256,
+            },
+        );
+        rec.record(
+            2,
+            &Event::FetchReplied {
+                key: k0,
+                bytes: 256,
+                wait: Duration::from_millis(4),
+            },
+        );
+        rec.record(
+            2,
+            &Event::DiskWriteDone {
+                key: k0,
+                offset: 0,
+                bytes: 256,
+                dur: Duration::from_millis(6),
+            },
+        );
+        rec.record(
+            3,
+            &Event::DiskWriteDone {
+                key: k1,
+                offset: 256,
+                bytes: 512,
+                dur: Duration::from_millis(2),
+            },
+        );
+    }
+
+    #[test]
+    fn aggregates_phases_nodes_and_subchunks() {
+        let rec = TimelineRecorder::new();
+        drive(&rec);
+        let report = RunReport::from_recorder(&rec);
+        assert!((report.phases.get(Phase::Exchange) - 0.004).abs() < 1e-9);
+        assert!((report.phases.get(Phase::Disk) - 0.008).abs() < 1e-9);
+        assert!(report.wall_s > 0.0);
+        assert_eq!(report.per_node.len(), 2);
+        assert_eq!(report.per_node[0].node, 2);
+        assert!((report.per_node[1].phases.get(Phase::Disk) - 0.002).abs() < 1e-9);
+        assert_eq!(report.per_subchunk.len(), 2);
+        let s0 = &report.per_subchunk[0];
+        assert_eq!(s0.key, SubchunkKey::new(0, 0, 0));
+        assert_eq!(s0.bytes, 256);
+        assert!((s0.exchange_s - 0.004).abs() < 1e-9);
+        assert!((s0.disk_s - 0.006).abs() < 1e-9);
+        assert_eq!(report.dropped_events, 0);
+        assert!(report.counters.is_some());
+    }
+
+    #[test]
+    fn json_report_is_valid() {
+        let rec = TimelineRecorder::new();
+        drive(&rec);
+        let report = RunReport::from_recorder(&rec);
+        let doc = report.to_json();
+        json::validate(&doc).unwrap();
+        assert!(doc.contains("\"schema\":\"panda-obs-run-report-v1\""));
+        assert!(doc.contains("\"exchange_s\""));
+        assert!(doc.contains("\"per_subchunk\""));
+        assert!(doc.contains("\"kind\":\"disk_write_done\""));
+    }
+
+    #[test]
+    fn null_recorder_yields_empty_report() {
+        let rec = null_recorder();
+        let report = RunReport::from_recorder(rec.as_ref());
+        assert_eq!(report.wall_s, 0.0);
+        assert!(report.per_node.is_empty());
+        assert!(report.per_subchunk.is_empty());
+        assert!(report.counters.is_none());
+        json::validate(&report.to_json()).unwrap();
+    }
+}

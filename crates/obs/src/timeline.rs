@@ -1,0 +1,287 @@
+//! Per-event timeline recording with Chrome `trace_event` export.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::counting::{CountersSnapshot, CountingRecorder};
+use crate::event::{Event, EventKind, SubchunkKey};
+use crate::json;
+use crate::recorder::Recorder;
+
+/// Default ring-buffer capacity (events) of a [`TimelineRecorder`].
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 1 << 16;
+
+/// One recorded event, flattened for storage and export. `ts_nanos` is
+/// the event's *end* time relative to the recorder's epoch; subtract
+/// `dur_nanos` for the start time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// End timestamp, nanoseconds since the recorder was created.
+    pub ts_nanos: u64,
+    /// Reporting node's fabric rank.
+    pub node: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Subchunk key, for keyed events.
+    pub key: Option<SubchunkKey>,
+    /// Bytes the event accounts for.
+    pub bytes: u64,
+    /// Duration the event carries, in nanoseconds (zero if none).
+    pub dur_nanos: u64,
+    /// Peer rank (fetch/push client, message source/destination).
+    pub peer: Option<u32>,
+    /// Message tag, for transport events.
+    pub tag: Option<u32>,
+    /// Sequential-or-seek classification, for file-system accesses.
+    pub sequential: Option<bool>,
+    /// File name, for file-system events.
+    pub label: Option<String>,
+}
+
+impl TimelineEvent {
+    /// Start timestamp (end minus duration), nanoseconds since epoch.
+    pub fn start_nanos(&self) -> u64 {
+        self.ts_nanos.saturating_sub(self.dur_nanos)
+    }
+}
+
+/// A [`Recorder`] that keeps every event in a bounded ring buffer (oldest
+/// events are dropped on overflow and tallied in [`Recorder::dropped`])
+/// and aggregates counters through an embedded [`CountingRecorder`].
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TimelineEvent>>,
+    dropped: AtomicU64,
+    counters: CountingRecorder,
+}
+
+impl Default for TimelineRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimelineRecorder {
+    /// A recorder with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TIMELINE_CAPACITY)
+    }
+
+    /// A recorder whose ring holds at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimelineRecorder {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            dropped: AtomicU64::new(0),
+            counters: CountingRecorder::new(),
+        }
+    }
+
+    /// The instant timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// The embedded aggregate counters.
+    pub fn counting(&self) -> &CountingRecorder {
+        &self.counters
+    }
+
+    /// Serialize the retained events as a Chrome `trace_event` JSON
+    /// document (`{"traceEvents": [...]}`), loadable in `about:tracing`
+    /// or Perfetto. Duration-carrying events become complete (`"X"`)
+    /// events; the rest become instants (`"i"`). `tid` is the node rank.
+    pub fn to_chrome_trace(&self) -> String {
+        let events = self.ring.lock().clone();
+        let mut out = String::with_capacity(events.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::push_str(&mut out, e.kind.name());
+            out.push_str(",\"pid\":1,\"tid\":");
+            out.push_str(&e.node.to_string());
+            if e.dur_nanos > 0 {
+                out.push_str(",\"ph\":\"X\",\"ts\":");
+                json::push_f64(&mut out, e.start_nanos() as f64 / 1e3);
+                out.push_str(",\"dur\":");
+                json::push_f64(&mut out, e.dur_nanos as f64 / 1e3);
+            } else {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+                json::push_f64(&mut out, e.ts_nanos as f64 / 1e3);
+            }
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            let mut arg = |out: &mut String, k: &str, v: String| {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                json::push_str(out, k);
+                out.push(':');
+                out.push_str(&v);
+            };
+            if let Some(key) = e.key {
+                arg(
+                    &mut out,
+                    "key",
+                    format!("\"s{}a{}c{}\"", key.server, key.array, key.subchunk),
+                );
+            }
+            if e.bytes > 0 {
+                arg(&mut out, "bytes", e.bytes.to_string());
+            }
+            if let Some(peer) = e.peer {
+                arg(&mut out, "peer", peer.to_string());
+            }
+            if let Some(tag) = e.tag {
+                arg(&mut out, "tag", tag.to_string());
+            }
+            if let Some(seq) = e.sequential {
+                arg(&mut out, "sequential", seq.to_string());
+            }
+            if let Some(label) = &e.label {
+                let mut s = String::new();
+                json::push_str(&mut s, label);
+                arg(&mut out, "file", s);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Recorder for TimelineRecorder {
+    fn record(&self, node: u32, event: &Event<'_>) {
+        self.counters.record(node, event);
+        let ts_nanos = self.epoch.elapsed().as_nanos() as u64;
+        let flat = TimelineEvent {
+            ts_nanos,
+            node,
+            kind: event.kind(),
+            key: event.key(),
+            bytes: event.bytes(),
+            dur_nanos: event.dur().unwrap_or(Duration::ZERO).as_nanos() as u64,
+            peer: event.peer(),
+            tag: event.tag(),
+            sequential: event.sequential(),
+            label: event.label().map(str::to_owned),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(flat);
+    }
+
+    fn counters(&self) -> Option<CountersSnapshot> {
+        self.counters.counters()
+    }
+
+    fn timeline(&self) -> Option<Vec<TimelineEvent>> {
+        Some(self.ring.lock().iter().cloned().collect())
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OpDir;
+
+    fn sample_events(rec: &TimelineRecorder) {
+        let key = SubchunkKey::new(0, 0, 3);
+        rec.record(
+            4,
+            &Event::RequestIssued {
+                op: OpDir::Write,
+                arrays: 1,
+                pipeline_depth: 2,
+            },
+        );
+        rec.record(
+            4,
+            &Event::FetchReplied {
+                key,
+                bytes: 128,
+                wait: Duration::from_micros(250),
+            },
+        );
+        rec.record(
+            4,
+            &Event::FsWrite {
+                file: "a.s0",
+                offset: 0,
+                bytes: 128,
+                sequential: true,
+                dur: Duration::from_micros(40),
+            },
+        );
+    }
+
+    #[test]
+    fn records_flattened_events_in_order() {
+        let rec = TimelineRecorder::new();
+        sample_events(&rec);
+        let tl = rec.timeline().unwrap();
+        assert_eq!(tl.len(), 3);
+        assert!(tl.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+        assert_eq!(tl[1].kind, EventKind::FetchReplied);
+        assert_eq!(tl[1].key, Some(SubchunkKey::new(0, 0, 3)));
+        assert_eq!(tl[1].dur_nanos, 250_000);
+        assert!(tl[1].start_nanos() <= tl[1].ts_nanos);
+        assert_eq!(tl[2].label.as_deref(), Some("a.s0"));
+        assert_eq!(tl[2].sequential, Some(true));
+        assert_eq!(rec.dropped(), 0);
+        // Counters aggregate alongside the ring.
+        assert_eq!(rec.counting().count(EventKind::FetchReplied), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_on_overflow() {
+        let rec = TimelineRecorder::with_capacity(2);
+        sample_events(&rec);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+        let tl = rec.timeline().unwrap();
+        // The RequestIssued instant was the oldest and got evicted.
+        assert_eq!(tl[0].kind, EventKind::FetchReplied);
+        // Counters still saw all three events.
+        assert_eq!(rec.counting().count(EventKind::RequestIssued), 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_both_phases() {
+        let rec = TimelineRecorder::new();
+        sample_events(&rec);
+        let trace = rec.to_chrome_trace();
+        json::validate(&trace).expect("trace parses");
+        assert!(trace.contains("\"ph\":\"X\""), "has complete events");
+        assert!(trace.contains("\"ph\":\"i\""), "has instant events");
+        assert!(trace.contains("\"name\":\"fetch_replied\""));
+        assert!(trace.contains("\"key\":\"s0a0c3\""));
+    }
+}

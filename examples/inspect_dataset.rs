@@ -4,9 +4,10 @@
 //! real files, then plays the role of an offline tool: it reloads the
 //! group definition from the manifest alone, walks each I/O node's
 //! directory, and cross-checks every file's size against the planner's
-//! prediction. Finally it prints the first few entries of a traced
-//! in-memory run so you can *see* the strictly sequential write pattern
-//! server-directed I/O produces.
+//! prediction. Finally it replays the write in memory under a
+//! `TimelineRecorder` and prints the first few disk accesses so you
+//! can *see* the strictly sequential write pattern server-directed
+//! I/O produces.
 //!
 //! Run with: `cargo run --example inspect_dataset`
 
@@ -14,6 +15,7 @@ use std::sync::Arc;
 
 use panda_core::{build_server_plan, ArrayGroup, GroupData, PandaConfig, PandaSystem};
 use panda_fs::{FileSystem, LocalFs, MemFs};
+use panda_obs::{EventKind, Recorder, TimelineRecorder};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
 const SERVERS: usize = 2;
@@ -105,14 +107,11 @@ fn main() {
     println!("{checked} files verified against the planner\n");
     system.shutdown(clients).unwrap();
 
-    // --- show the access pattern via a traced in-memory run ----------------
-    let traced: Vec<Arc<MemFs>> = (0..SERVERS)
-        .map(|_| Arc::new(MemFs::with_trace(16)))
-        .collect();
-    let handles = traced.clone();
-    let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(4, SERVERS), move |s| {
-        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-    });
+    // --- show the access pattern via a recorded in-memory run --------------
+    let rec = Arc::new(TimelineRecorder::new());
+    let config = PandaConfig::new(4, SERVERS).with_recorder(rec.clone());
+    let (system, mut clients) =
+        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
     std::thread::scope(|s| {
         for client in clients.iter_mut() {
             s.spawn(move || {
@@ -122,12 +121,33 @@ fn main() {
             });
         }
     });
-    println!("access trace of i/o node 0 (first 8 entries):");
-    for e in traced[0].trace().unwrap().entries().into_iter().take(8) {
-        println!("  {}", e.display());
+    println!("access trace of i/o node 0 (first 8 disk writes):");
+    let node0 = 4; // fabric ranks: clients 0..4, then servers
+    for e in rec
+        .timeline()
+        .unwrap()
+        .iter()
+        .filter(|e| e.node == node0 && e.kind == EventKind::FsWrite)
+        .take(8)
+    {
+        println!(
+            "  write {:>6} B  {}  ({})",
+            e.bytes,
+            e.label.as_deref().unwrap_or("?"),
+            if e.sequential == Some(true) {
+                "sequential"
+            } else {
+                "seek"
+            }
+        );
     }
-    println!("note: every access is sequential — the defining property of");
-    println!("server-directed i/o.");
+    let snap = rec.counters().unwrap();
+    println!(
+        "note: {} of {} accesses were sequential — the defining property",
+        snap.fs_sequential,
+        snap.fs_sequential + snap.fs_seeks
+    );
+    println!("of server-directed i/o.");
     system.shutdown(clients).unwrap();
     let _ = std::fs::remove_dir_all(&root);
 }
