@@ -24,4 +24,14 @@ if command -v python3 >/dev/null; then
 fi
 rm -f "$obs_out"
 
+# Group-concurrency smoke: a quick sequential-vs-batched 4-array run
+# must complete (the binary asserts byte-identical files between the
+# two modes and validates every JSON line it writes).
+group_out=$(mktemp /tmp/panda_group_ci.XXXXXX.json)
+cargo run --release -q -p panda-bench --bin group_timestep -- --quick --out "$group_out"
+if command -v python3 >/dev/null; then
+  python3 -c "import json,sys; [json.loads(l) for l in open(sys.argv[1]) if l.strip()]" "$group_out"
+fi
+rm -f "$group_out"
+
 echo "ci: all green"

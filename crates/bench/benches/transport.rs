@@ -20,7 +20,8 @@ fn bench_ping_pong(c: &mut Criterion) {
                 if env.tag == STOP {
                     break;
                 }
-                echo.send(NodeId(0), 2, env.payload).expect("echo send");
+                echo.send(NodeId(0), 2, env.payload.into_contiguous())
+                    .expect("echo send");
             });
             let payload = vec![7u8; size];
             b.iter(|| {

@@ -83,7 +83,7 @@ pub fn two_phase_write(
                         array: 0,
                         seq: p.chunk_idx as u64,
                         region: isect,
-                        payload,
+                        payload: payload.into(),
                     },
                 )?;
             }
@@ -240,7 +240,7 @@ pub fn two_phase_read(
                     array: 0,
                     seq: p.chunk_idx as u64,
                     region: isect,
-                    payload,
+                    payload: payload.into(),
                 },
             )?;
         }

@@ -150,10 +150,12 @@ impl PandaClient {
             .map(|(m, _, _)| m.client_region(self.rank))
             .collect();
 
-        // One scratch buffer serves every Fetch: with pipelining the
-        // servers keep several requests outstanding per client, so this
-        // loop is the client's hot path.
-        let mut scratch = Vec::new();
+        // With pipelining the servers keep several requests outstanding
+        // per client, so this loop is the client's hot path. Each reply
+        // is packed into a fresh exactly-sized buffer that then *moves*
+        // into the envelope via the vectored send path: one allocation
+        // and one copy per piece, where the old scratch-buffer scheme
+        // paid a pack copy plus an envelope-assembly copy.
         let mut released = false;
         let mut complete = false;
         while !(released || complete) {
@@ -165,22 +167,16 @@ impl PandaClient {
                         detail: format!("fetch for unknown array index {idx}"),
                     })?;
                     let t_pack = self.obs_on().then(Instant::now);
-                    copy::pack_region_into(
-                        &mut scratch,
-                        data,
-                        &regions[idx],
-                        &region,
-                        meta.elem_size(),
-                    )?;
+                    let packed = copy::pack_region(data, &regions[idx], &region, meta.elem_size())?;
                     if let Some(t) = t_pack {
                         self.emit(&Event::ClientPacked {
                             array,
                             seq,
-                            bytes: scratch.len() as u64,
+                            bytes: packed.len() as u64,
                             dur: t.elapsed(),
                         });
                     }
-                    send_data(self.transport_mut(), src, array, seq, &region, &scratch)?;
+                    send_data(self.transport_mut(), src, array, seq, &region, packed)?;
                 }
                 Msg::Complete => complete = true,
                 Msg::Release => released = true,
@@ -352,6 +348,17 @@ impl PandaClient {
         if !self.is_master() {
             return Ok(());
         }
+        // The group — not the array — is the unit of scheduling: one
+        // request stream carries every array, and the servers interleave
+        // their subchunks through one pipeline window.
+        self.emit(&Event::GroupSubmit {
+            op: match op {
+                OpKind::Write => OpDir::Write,
+                OpKind::Read => OpDir::Read,
+            },
+            arrays: arrays.len() as u32,
+            pipeline_depth: self.pipeline_depth as u32,
+        });
         let req = CollectiveRequest {
             op,
             arrays: arrays

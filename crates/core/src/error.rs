@@ -74,8 +74,18 @@ pub enum ConfigIssue {
     },
     /// `shutdown` was called with an empty client list.
     NoClientHandles,
+    /// The I/O worker-pool size is zero (each server needs at least one
+    /// reorganization/disk worker).
+    ZeroIoWorkers,
     /// `restart` was called on a group with no completed checkpoint.
     NoCheckpoint {
+        /// The group's name.
+        group: String,
+    },
+    /// `restart` found checkpoint files but no generation marker that
+    /// records a *completed* checkpoint — the run crashed mid-write and
+    /// neither `ckpt-a` nor `ckpt-b` can be trusted.
+    CheckpointIncomplete {
         /// The group's name.
         group: String,
     },
@@ -108,9 +118,14 @@ impl fmt::Display for ConfigIssue {
                 "need {expected} transports (clients then servers), got {actual}"
             ),
             ConfigIssue::NoClientHandles => write!(f, "shutdown requires the client handles"),
+            ConfigIssue::ZeroIoWorkers => write!(f, "io worker count must be at least 1"),
             ConfigIssue::NoCheckpoint { group } => {
                 write!(f, "group '{group}' has no completed checkpoint")
             }
+            ConfigIssue::CheckpointIncomplete { group } => write!(
+                f,
+                "group '{group}' has checkpoint files but no completed generation marker"
+            ),
             ConfigIssue::GroupArity {
                 group,
                 arrays,

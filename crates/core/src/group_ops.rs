@@ -119,12 +119,23 @@ impl ArrayGroup {
         Ok(())
     }
 
+    /// Name of the group's checkpoint generation marker on the first
+    /// I/O node. The marker records the count of *completed*
+    /// checkpoints; it is written only after a checkpoint's data files
+    /// have been written and synced, so its presence certifies that the
+    /// generation it names is intact on disk.
+    pub fn marker_file(&self) -> String {
+        format!("{}/{}.ckpt", self.name, self.name)
+    }
+
     /// Collective: write a checkpoint of all arrays.
     ///
     /// Generations alternate between two file sets, so the previous
     /// checkpoint stays intact until this one has completed on every
-    /// I/O node; only then does the generation counter advance. A crash
-    /// mid-checkpoint therefore loses nothing.
+    /// I/O node; only then does the generation counter advance and the
+    /// clients commit the generation marker. A crash
+    /// mid-checkpoint therefore loses nothing: [`ArrayGroup::restart`]
+    /// trusts the marker, which still names the previous generation.
     pub fn checkpoint(
         &mut self,
         client: &mut PandaClient,
@@ -137,13 +148,44 @@ impl ArrayGroup {
             .collect();
         client.write(&self.op_slices(&tags, datas))?;
         // The collective has completed (files written and synced) —
-        // commit the generation.
+        // commit the generation. Every client writes the identical
+        // marker: the writes are idempotent, and going through each
+        // client's own in-order connection guarantees the marker is
+        // visible to that client's later operations (a master-only
+        // write could race with another client's restart). The write is
+        // deliberately unacknowledged — blocking here would deadlock
+        // with a peer that has already entered the next collective and
+        // is waiting on this client's pieces; per-source FIFO ordering
+        // means any later stat/read from this client observes it.
         self.checkpoints_taken += 1;
+        let mut w = Writer::new();
+        w.str(&self.name);
+        w.size(self.checkpoints_taken);
+        w.size(self.timesteps_taken);
+        w.size(self.arrays.len());
+        let server0 = NodeId(client.num_clients());
+        send_msg(
+            client.transport_mut(),
+            server0,
+            &Msg::RawWrite {
+                file: self.marker_file(),
+                offset: 0,
+                payload: w.finish(),
+            },
+        )?;
         Ok(())
     }
 
     /// Collective: restore all arrays from the last completed
-    /// checkpoint.
+    /// checkpoint, as certified by the on-disk generation marker.
+    ///
+    /// Returns [`ConfigIssue::NoCheckpoint`](crate::error::ConfigIssue)
+    /// when the group has never checkpointed, and
+    /// [`ConfigIssue::CheckpointIncomplete`](crate::error::ConfigIssue)
+    /// when checkpoint files may exist but no marker records a
+    /// *completed* generation — i.e. a previous run crashed before
+    /// finishing its first checkpoint, so neither `ckpt-a` nor `ckpt-b`
+    /// can be trusted.
     pub fn restart(
         &self,
         client: &mut PandaClient,
@@ -157,7 +199,12 @@ impl ArrayGroup {
                 },
             });
         }
-        let gen = self.checkpoints_taken - 1;
+        // The marker, not the in-memory counter, is authoritative for
+        // which generation actually completed: after a crash the counter
+        // comes from a manifest that may be newer than the last
+        // completed checkpoint.
+        let completed = self.read_marker(client)?;
+        let gen = completed - 1;
         let tags: Vec<String> = (0..self.arrays.len())
             .map(|i| self.checkpoint_tag(i, gen))
             .collect();
@@ -305,6 +352,45 @@ impl ArrayGroup {
             timesteps_taken,
             checkpoints_taken,
         })
+    }
+
+    /// Fetch and validate the generation marker from I/O node 0,
+    /// returning the count of completed checkpoints (always ≥ 1).
+    fn read_marker(&self, client: &mut PandaClient) -> Result<usize, PandaError> {
+        let incomplete = || PandaError::Config {
+            issue: crate::error::ConfigIssue::CheckpointIncomplete {
+                group: self.name.clone(),
+            },
+        };
+        let file = self.marker_file();
+        let len = stat_file(client, &file)?;
+        if len == u64::MAX {
+            // Data files were (maybe partially) written but the marker
+            // never landed: no generation is known-complete.
+            return Err(incomplete());
+        }
+        let server0 = NodeId(client.num_clients());
+        send_msg(
+            client.transport_mut(),
+            server0,
+            &Msg::RawRead {
+                file,
+                offset: 0,
+                len,
+                seq: 0,
+            },
+        )?;
+        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
+        let Msg::RawData { payload, .. } = msg else {
+            unreachable!("matched RAW_DATA tag");
+        };
+        let mut r = Reader::new(&payload);
+        let name = r.str()?;
+        let completed = r.size()?;
+        if name != self.name || completed == 0 {
+            return Err(incomplete());
+        }
+        Ok(completed)
     }
 
     fn check_arity(&self, n: usize) -> Result<(), PandaError> {

@@ -87,6 +87,7 @@ pub mod encode;
 pub mod error;
 pub mod group_ops;
 pub mod plan;
+pub mod pool;
 pub mod protocol;
 pub mod runtime;
 pub mod server;
@@ -96,5 +97,6 @@ pub use client::PandaClient;
 pub use error::{ConfigIssue, PandaError};
 pub use group_ops::{ArrayGroup, GroupData};
 pub use plan::{build_server_plan, client_manifest, ServerPlan};
+pub use pool::{IoPool, PinnedTask};
 pub use protocol::OpKind;
 pub use runtime::{PandaConfig, PandaSystem};

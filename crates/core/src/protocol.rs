@@ -17,7 +17,7 @@
 //! client-directed I/O and two-phase I/O), where compute nodes — not
 //! servers — decide where in each file data lands.
 
-use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_msg::{Bytes, Envelope, MatchSpec, NodeId, Payload, Transport};
 use panda_schema::Region;
 
 use crate::array::ArrayMeta;
@@ -25,6 +25,29 @@ use crate::encode::{Reader, Writer};
 use crate::error::PandaError;
 
 /// Message tags, one per message kind (used for selective receive).
+///
+/// # Tag namespace
+///
+/// The space is split into two planes:
+///
+/// * **1–7, collective plane** — the server-directed protocol. Since
+///   array groups became the unit of scheduling, one [`COLLECTIVE`]
+///   request carries *every* array of a group (its body holds a
+///   `Vec<ArrayOp>`), and the per-piece traffic ([`FETCH`], [`DATA`])
+///   disambiguates arrays by the `array` index plus a request-global
+///   `seq` — batching added **no** new tags, which is what keeps
+///   in-flight collectives from different arrays safely interleavable
+///   on one pairwise-FIFO transport.
+/// * **8–14, raw plane** — positioned-I/O messages used by the
+///   comparison baselines and by out-of-band metadata (schema
+///   manifests, checkpoint markers).
+///
+/// [`DATA`] payloads may additionally travel *framed* (a protocol head
+/// plus an uncopied data body via `Transport::send_vectored`); framing
+/// never changes the logical bytes, so tags stay a complete routing key.
+///
+/// Every tag must be unique — receivers match on `(src, tag)` only.
+/// [`ALL`] enumerates the namespace; a unit test asserts uniqueness.
 pub mod tags {
     /// Collective request broadcast.
     pub const COLLECTIVE: u32 = 1;
@@ -54,6 +77,24 @@ pub mod tags {
     pub const RAW_STAT: u32 = 13;
     /// Reply to [`RAW_STAT`].
     pub const RAW_STAT_REPLY: u32 = 14;
+
+    /// The complete tag namespace, with stable names (reports, tests).
+    pub const ALL: [(u32, &str); 14] = [
+        (COLLECTIVE, "collective"),
+        (FETCH, "fetch"),
+        (DATA, "data"),
+        (SERVER_DONE, "server_done"),
+        (COMPLETE, "complete"),
+        (RELEASE, "release"),
+        (SHUTDOWN, "shutdown"),
+        (RAW_WRITE, "raw_write"),
+        (RAW_READ, "raw_read"),
+        (RAW_DATA, "raw_data"),
+        (RAW_DONE, "raw_done"),
+        (RAW_ACK, "raw_ack"),
+        (RAW_STAT, "raw_stat"),
+        (RAW_STAT_REPLY, "raw_stat_reply"),
+    ];
 }
 
 /// Direction of a collective operation.
@@ -116,8 +157,10 @@ pub enum Msg {
         seq: u64,
         /// The region carried.
         region: Region,
-        /// Packed row-major bytes of the region.
-        payload: Vec<u8>,
+        /// Packed row-major bytes of the region. A [`Bytes`] so a
+        /// framed arrival (or a shared disk buffer on the send side)
+        /// reaches the consumer without a copy.
+        payload: Bytes,
     },
     /// Server → master server: my plan is complete.
     ServerDone,
@@ -334,7 +377,7 @@ impl Msg {
                 array: r.u32()?,
                 seq: r.u64()?,
                 region: r.region()?,
-                payload: r.bytes()?,
+                payload: r.bytes()?.into(),
             },
             tags::SERVER_DONE => Msg::ServerDone,
             tags::COMPLETE => Msg::Complete,
@@ -373,6 +416,37 @@ impl Msg {
         };
         Ok(msg)
     }
+
+    /// Decode a delivered envelope, consuming it.
+    ///
+    /// A framed [`tags::DATA`] arrival (head = the fixed fields + byte
+    /// length, body = the packed region) is decoded without touching
+    /// the body: the `Bytes` moves straight into [`Msg::Data`]. Every
+    /// other payload form falls back to [`Msg::decode`] over the
+    /// contiguous bytes.
+    pub fn decode_envelope(env: Envelope) -> Result<Msg, PandaError> {
+        match env.payload {
+            Payload::Framed { head, body } if env.tag == tags::DATA => {
+                let mut r = Reader::new(&head);
+                let array = r.u32()?;
+                let seq = r.u64()?;
+                let region = r.region()?;
+                let len = r.size()?;
+                if len != body.len() || r.remaining() != 0 {
+                    return Err(PandaError::Decode {
+                        context: "framed data length",
+                    });
+                }
+                Ok(Msg::Data {
+                    array,
+                    seq,
+                    region,
+                    payload: body,
+                })
+            }
+            payload => Msg::decode(env.tag, &payload.into_contiguous()),
+        }
+    }
 }
 
 /// Send a typed message.
@@ -385,24 +459,30 @@ pub fn send_msg<T: Transport + ?Sized>(
     Ok(())
 }
 
-/// Send a [`Msg::Data`] without building the owned message: the payload
-/// is encoded straight from the borrowed slice. This is the hot path of
-/// both transfer directions — a reusable scratch buffer can be packed
-/// and shipped without an extra per-piece allocation.
+/// Send a [`Msg::Data`] without building the owned message or copying
+/// the payload into an envelope buffer: the fixed fields and the byte
+/// length-prefix are encoded into a small head, and the payload rides
+/// behind it through the transport's vectored path. This is the hot
+/// path of both transfer directions; a shared (`Arc`) payload reaches
+/// an in-process receiver as the same allocation.
+///
+/// The logical message is byte-identical to sending an owned
+/// [`Msg::Data`] — framing never changes the wire format.
 pub fn send_data<T: Transport + ?Sized>(
     t: &mut T,
     dst: NodeId,
     array: u32,
     seq: u64,
     region: &Region,
-    payload: &[u8],
+    payload: impl Into<Bytes>,
 ) -> Result<(), PandaError> {
+    let payload = payload.into();
     let mut w = Writer::new();
     w.u32(array);
     w.u64(seq);
     w.region(region);
-    w.bytes(payload);
-    t.send(dst, tags::DATA, w.finish())?;
+    w.size(payload.len());
+    t.send_vectored(dst, tags::DATA, w.finish(), payload)?;
     Ok(())
 }
 
@@ -412,8 +492,27 @@ pub fn recv_msg<T: Transport + ?Sized>(
     spec: MatchSpec,
 ) -> Result<(NodeId, Msg), PandaError> {
     let env = t.recv_matching(spec)?;
-    let msg = Msg::decode(env.tag, &env.payload)?;
-    Ok((env.src, msg))
+    let src = env.src;
+    let msg = Msg::decode_envelope(env)?;
+    Ok((src, msg))
+}
+
+/// Non-blocking [`recv_msg`]: `Ok(None)` when no matching message has
+/// arrived yet. The group-concurrent server drains bursts of `Data`
+/// replies with this so a whole batch can be reorganized in one parallel
+/// pass.
+pub fn try_recv_msg<T: Transport + ?Sized>(
+    t: &mut T,
+    spec: MatchSpec,
+) -> Result<Option<(NodeId, Msg)>, PandaError> {
+    match t.try_recv_matching(spec)? {
+        None => Ok(None),
+        Some(env) => {
+            let src = env.src;
+            let msg = Msg::decode_envelope(env)?;
+            Ok(Some((src, msg)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -471,7 +570,7 @@ mod tests {
             array: 0,
             seq: 7,
             region: Region::new(&[2], &[6]).unwrap(),
-            payload: vec![1, 2, 3, 4],
+            payload: vec![1, 2, 3, 4].into(),
         });
         roundtrip(Msg::ServerDone);
         roundtrip(Msg::Complete);
@@ -502,27 +601,70 @@ mod tests {
     }
 
     #[test]
-    fn tags_are_distinct() {
-        let msgs = [
-            tags::COLLECTIVE,
-            tags::FETCH,
-            tags::DATA,
-            tags::SERVER_DONE,
-            tags::COMPLETE,
-            tags::RELEASE,
-            tags::SHUTDOWN,
-            tags::RAW_WRITE,
-            tags::RAW_READ,
-            tags::RAW_DATA,
-            tags::RAW_DONE,
-            tags::RAW_ACK,
-            tags::RAW_STAT,
-            tags::RAW_STAT_REPLY,
-        ];
-        let mut sorted = msgs.to_vec();
+    fn tag_namespace_is_complete_and_distinct() {
+        // Every tag in the namespace is unique ...
+        let mut sorted: Vec<u32> = tags::ALL.iter().map(|&(t, _)| t).collect();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), msgs.len());
+        assert_eq!(sorted.len(), tags::ALL.len());
+        // ... names are unique too ...
+        let mut names: Vec<&str> = tags::ALL.iter().map(|&(_, n)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), tags::ALL.len());
+        // ... and every Msg variant's tag appears in the namespace.
+        let variants = [
+            Msg::Collective(CollectiveRequest {
+                op: OpKind::Write,
+                arrays: vec![],
+                subchunk_bytes: 1,
+                pipeline_depth: 1,
+            }),
+            Msg::Fetch {
+                array: 0,
+                seq: 0,
+                region: Region::new(&[0], &[1]).unwrap(),
+            },
+            Msg::Data {
+                array: 0,
+                seq: 0,
+                region: Region::new(&[0], &[1]).unwrap(),
+                payload: vec![].into(),
+            },
+            Msg::ServerDone,
+            Msg::Complete,
+            Msg::Release,
+            Msg::Shutdown,
+            Msg::RawWrite {
+                file: String::new(),
+                offset: 0,
+                payload: vec![],
+            },
+            Msg::RawRead {
+                file: String::new(),
+                offset: 0,
+                len: 0,
+                seq: 0,
+            },
+            Msg::RawData {
+                seq: 0,
+                payload: vec![],
+            },
+            Msg::RawDone,
+            Msg::RawAck,
+            Msg::RawStat {
+                file: String::new(),
+                seq: 0,
+            },
+            Msg::RawStatReply { seq: 0, len: 0 },
+        ];
+        assert_eq!(variants.len(), tags::ALL.len());
+        for v in &variants {
+            assert!(
+                tags::ALL.iter().any(|&(t, _)| t == v.tag()),
+                "variant {v:?} has a tag outside the documented namespace"
+            );
+        }
     }
 
     #[test]
@@ -557,7 +699,7 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let region = Region::new(&[1, 0], &[3, 4]).unwrap();
-        send_data(&mut a, NodeId(1), 2, 9, &region, &[5u8; 16]).unwrap();
+        send_data(&mut a, NodeId(1), 2, 9, &region, vec![5u8; 16]).unwrap();
         let (_, got) = recv_msg(&mut b, MatchSpec::tag(tags::DATA)).unwrap();
         assert_eq!(
             got,
@@ -565,8 +707,66 @@ mod tests {
                 array: 2,
                 seq: 9,
                 region,
-                payload: vec![5u8; 16],
+                payload: vec![5u8; 16].into(),
             }
         );
+    }
+
+    #[test]
+    fn framed_data_decodes_without_copying_the_body() {
+        use panda_msg::InProcFabric;
+        use std::sync::Arc;
+        let (mut eps, _) = InProcFabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let region = Region::new(&[0], &[8]).unwrap();
+        let body: Arc<[u8]> = Arc::from(vec![3u8; 8]);
+        send_data(
+            &mut a,
+            NodeId(1),
+            1,
+            4,
+            &region,
+            Bytes::Shared(body.clone()),
+        )
+        .unwrap();
+        let env = b.recv_matching(MatchSpec::tag(tags::DATA)).unwrap();
+        let msg = Msg::decode_envelope(env).unwrap();
+        match msg {
+            Msg::Data {
+                payload: Bytes::Shared(arc),
+                array,
+                seq,
+                region: r,
+            } => {
+                assert!(Arc::ptr_eq(&arc, &body), "payload was copied");
+                assert_eq!((array, seq), (1, 4));
+                assert_eq!(r, region);
+            }
+            other => panic!("expected shared Data payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framed_data_with_bad_length_is_rejected() {
+        use panda_msg::{Envelope, Payload};
+        let region = Region::new(&[0], &[4]).unwrap();
+        let mut w = Writer::new();
+        w.u32(0);
+        w.u64(1);
+        w.region(&region);
+        w.size(99); // lies about the body length
+        let env = Envelope {
+            src: NodeId(0),
+            tag: tags::DATA,
+            payload: Payload::Framed {
+                head: w.finish(),
+                body: vec![1, 2, 3, 4].into(),
+            },
+        };
+        assert!(matches!(
+            Msg::decode_envelope(env),
+            Err(PandaError::Decode { .. })
+        ));
     }
 }

@@ -41,6 +41,11 @@ pub struct PandaConfig {
     /// from the clients while the current one is on its way to or from
     /// disk (double-buffered file I/O).
     pub pipeline_depth: usize,
+    /// Size of each server's I/O worker pool: the threads that run the
+    /// pipelined disk loops and the parallel reorganization
+    /// (`copy_region`/`pack_region_into`) of independent subchunks.
+    /// `1` still pipelines but reorganizes serially.
+    pub io_workers: usize,
     /// Blocking-receive timeout; a deadlocked protocol fails loudly
     /// instead of hanging.
     pub recv_timeout: Duration,
@@ -60,6 +65,7 @@ impl PandaConfig {
             num_servers,
             subchunk_bytes: panda_schema::DEFAULT_SUBCHUNK_BYTES,
             pipeline_depth: 1,
+            io_workers: 2,
             recv_timeout: Duration::from_secs(60),
             recorder: panda_obs::null_recorder(),
         }
@@ -74,6 +80,12 @@ impl PandaConfig {
     /// Override the pipeline depth (`1` disables pipelining).
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Override the per-server I/O worker-pool size.
+    pub fn with_io_workers(mut self, workers: usize) -> Self {
+        self.io_workers = workers;
         self
     }
 
@@ -110,6 +122,11 @@ impl PandaConfig {
         if self.pipeline_depth == 0 {
             return Err(PandaError::Config {
                 issue: ConfigIssue::ZeroPipelineDepth,
+            });
+        }
+        if self.io_workers == 0 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::ZeroIoWorkers,
             });
         }
         Ok(())
@@ -213,6 +230,7 @@ impl PandaSystem {
                 s,
                 config.num_clients,
                 config.num_servers,
+                config.io_workers,
                 Arc::clone(&config.recorder),
             );
             handles.push(
@@ -353,5 +371,12 @@ mod tests {
             |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>
         )
         .is_err());
+        assert!(
+            PandaSystem::try_launch(&PandaConfig::new(1, 1).with_io_workers(0), |_| Arc::new(
+                MemFs::new()
+            )
+                as Arc<dyn FileSystem>)
+            .is_err()
+        );
     }
 }

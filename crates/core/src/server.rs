@@ -10,40 +10,48 @@
 //! additionally relays the request to its peers and reports completion
 //! to the master client.
 //!
-//! # Pipelining
+//! # Pipelining and group concurrency
 //!
 //! At `pipeline_depth == 1` each subchunk is exchanged and written (or
-//! read and scattered) strictly one at a time — the paper's baseline
-//! transfer order, preserved bit for bit. At depth `d ≥ 2` the server
-//! overlaps the two halves of the work:
+//! read and scattered) strictly one at a time, array after array — the
+//! paper's baseline transfer order, preserved bit for bit. At depth
+//! `d ≥ 2` the *request* — every array of the group — becomes the unit
+//! of scheduling: the subchunks of all arrays are flattened array-major
+//! into one stream and flow through a single depth-`d` window, so the
+//! pipeline never drains at an array boundary. Per-array FIFO order is
+//! the flat order restricted to one array, which keeps every file
+//! byte-identical to the unpipelined schedule.
 //!
 //! * **writes** keep up to `d` subchunks' `Fetch` requests in flight
-//!   (disambiguated by the per-array `seq`), assemble replies into a
-//!   recycled buffer pool, and hand each completed subchunk to a
-//!   dedicated disk-writer thread, so subchunk `k` hits the disk while
-//!   `k+1..k+d` are still being gathered from the clients;
-//! * **reads** run a disk-reader thread that prefetches the next
-//!   subchunks into the same kind of recycled pool while the server
-//!   packs and pushes the current one to the clients.
+//!   (disambiguated by a request-global `seq`), assemble reply bursts
+//!   into recycled window buffers — independent subchunks reorganize
+//!   concurrently on the server's [`IoPool`] — and hand each completed
+//!   subchunk to a disk-writer task that owns *all* the group's file
+//!   handles, fsyncing each file as its last subchunk lands;
+//! * **reads** run a prefetcher task that streams every file of the
+//!   group forward through the same kind of recycled pool while this
+//!   thread packs the current subchunk's pieces in parallel and pushes
+//!   them to the clients.
 //!
-//! Either way the file itself is still accessed strictly sequentially by
-//! exactly one thread, and the message set (tags, counts, payloads) is
+//! Either way each file is still accessed strictly sequentially by
+//! exactly one task, and the message set (tags, counts, payloads) is
 //! identical to the unpipelined schedule — only the overlap changes.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use panda_fs::{FileHandle, FileSystem, FsError};
-use panda_msg::{MatchSpec, NodeId, Transport};
+use panda_msg::{Bytes, MatchSpec, NodeId, Transport};
 use panda_obs::{Event, OpDir, Recorder, SubchunkKey};
-use panda_schema::{copy, Region};
+use panda_schema::{copy, Region, SchemaError};
 
 use crate::error::PandaError;
-use crate::plan::{build_server_plan, PlanSubchunk};
+use crate::plan::{build_server_plan, PlanSubchunk, ServerPlan};
+use crate::pool::IoPool;
 use crate::protocol::{
-    recv_msg, send_data, send_msg, tags, ArrayOp, CollectiveRequest, Msg, OpKind,
+    recv_msg, send_data, send_msg, tags, try_recv_msg, ArrayOp, CollectiveRequest, Msg, OpKind,
 };
 
 /// One I/O node.
@@ -64,6 +72,9 @@ pub struct ServerNode {
     raw_done: Vec<bool>,
     /// Number of set flags in [`ServerNode::raw_done`].
     raw_done_count: usize,
+    /// Worker pool shared by the pipelined disk loops and the parallel
+    /// reorganization passes.
+    pool: IoPool,
 }
 
 fn op_dir(op: OpKind) -> OpDir {
@@ -81,6 +92,64 @@ struct InFlight {
     remaining: usize,
 }
 
+/// One subchunk of the flattened (array-major) group schedule.
+struct FlatSub<'p> {
+    /// Array index within the request (the wire's `array` field).
+    array: u32,
+    /// Subchunk index within that array's plan.
+    si: usize,
+    sub: &'p PlanSubchunk,
+    /// Index into the disk task's file-handle table.
+    file: usize,
+    /// The array's element size.
+    elem: usize,
+    /// Read-section trim, if any.
+    section: Option<&'p Region>,
+}
+
+/// Copy one fetched piece into its subchunk's assembly buffer and
+/// record the reorganization. Every write schedule funnels through
+/// here: the unpipelined loop calls it inline (`pooled == false`, a
+/// `Packed` event), the group pipeline from its worker jobs
+/// (`pooled == true`, a `ReorgWorker` event).
+#[allow(clippy::too_many_arguments)]
+fn assemble_piece(
+    recorder: &dyn Recorder,
+    node: u32,
+    key: SubchunkKey,
+    piece: u32,
+    pooled: bool,
+    buf: &mut [u8],
+    sub_region: &Region,
+    region: &Region,
+    payload: &[u8],
+    elem: usize,
+) -> Result<(), SchemaError> {
+    let t_pack = recorder.enabled().then(Instant::now);
+    copy::copy_region(payload, region, buf, sub_region, region, elem)?;
+    if let Some(t) = t_pack {
+        let bytes = payload.len() as u64;
+        let dur = t.elapsed();
+        let event = if pooled {
+            Event::ReorgWorker {
+                key,
+                piece,
+                bytes,
+                dur,
+            }
+        } else {
+            Event::Packed {
+                key,
+                piece,
+                bytes,
+                dur,
+            }
+        };
+        recorder.record(node, &event);
+    }
+    Ok(())
+}
+
 impl ServerNode {
     pub(crate) fn new(
         transport: Box<dyn Transport>,
@@ -88,6 +157,7 @@ impl ServerNode {
         server_idx: usize,
         num_clients: usize,
         num_servers: usize,
+        io_workers: usize,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
         ServerNode {
@@ -100,6 +170,7 @@ impl ServerNode {
             raw_handles: HashMap::new(),
             raw_done: vec![false; num_clients],
             raw_done_count: 0,
+            pool: IoPool::new(io_workers),
         }
     }
 
@@ -192,17 +263,25 @@ impl ServerNode {
             arrays: req.arrays.len() as u32,
             pipeline_depth: depth as u32,
         });
-        for (idx, array_op) in req.arrays.iter().enumerate() {
-            match req.op {
-                OpKind::Write => {
-                    if array_op.section.is_some() {
-                        return Err(PandaError::Protocol {
-                            detail: "section writes are not supported".to_string(),
-                        });
-                    }
-                    self.write_array(idx as u32, array_op, req.subchunk_bytes, depth)?;
+        if matches!(req.op, OpKind::Write) && req.arrays.iter().any(|a| a.section.is_some()) {
+            return Err(PandaError::Protocol {
+                detail: "section writes are not supported".to_string(),
+            });
+        }
+        if depth <= 1 {
+            // Unpipelined baseline: arrays strictly one after another,
+            // every subchunk exchanged and written serially.
+            for (idx, array_op) in req.arrays.iter().enumerate() {
+                match req.op {
+                    OpKind::Write => self.write_array(idx as u32, array_op, req.subchunk_bytes)?,
+                    OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes)?,
                 }
-                OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes, depth)?,
+            }
+        } else {
+            // Group-concurrent: one window over the whole request.
+            match req.op {
+                OpKind::Write => self.write_group(&req.arrays, req.subchunk_bytes, depth)?,
+                OpKind::Read => self.read_group(&req.arrays, req.subchunk_bytes, depth)?,
             }
         }
         if let Some(t) = t_op {
@@ -229,15 +308,13 @@ impl ServerNode {
         Ok(())
     }
 
-    /// Write path: pull pieces from clients subchunk by subchunk,
-    /// assemble in traditional order, append sequentially. `depth` is
-    /// the number of subchunks kept in flight (see the module docs).
+    /// Unpipelined write path: pull pieces from clients subchunk by
+    /// subchunk, assemble in traditional order, append sequentially.
     fn write_array(
         &mut self,
         array_idx: u32,
         op: &ArrayOp,
         subchunk_bytes: usize,
-        depth: usize,
     ) -> Result<(), PandaError> {
         let meta = &op.meta;
         let elem = meta.elem_size();
@@ -254,11 +331,7 @@ impl ServerNode {
         let file = self
             .fs
             .create(&Self::file_name(&op.file_tag, self.server_idx))?;
-        if depth <= 1 {
-            self.write_subchunks_inline(array_idx, elem, &subs, file)
-        } else {
-            self.write_subchunks_pipelined(array_idx, elem, &subs, file, depth)
-        }
+        self.write_subchunks_inline(array_idx, elem, &subs, file)
     }
 
     /// Unpipelined write schedule: one subchunk at a time, the disk
@@ -323,16 +396,18 @@ impl ServerNode {
                         wait: t.elapsed(),
                     });
                 }
-                let t_pack = self.obs_on().then(Instant::now);
-                copy::copy_region(&payload, &region, &mut buf, &sub.region, &region, elem)?;
-                if let Some(t) = t_pack {
-                    self.emit(&Event::Packed {
-                        key,
-                        piece: pi as u32,
-                        bytes: payload.len() as u64,
-                        dur: t.elapsed(),
-                    });
-                }
+                assemble_piece(
+                    self.recorder.as_ref(),
+                    self.my_rank(),
+                    key,
+                    pi as u32,
+                    false,
+                    &mut buf,
+                    &sub.region,
+                    &region,
+                    &payload,
+                    elem,
+                )?;
             }
             let t_disk = self.obs_on().then(Instant::now);
             file.write_at(sub.file_offset, &buf)?;
@@ -350,75 +425,127 @@ impl ServerNode {
         Ok(())
     }
 
-    /// Pipelined write schedule: up to `depth` subchunks' fetches are
-    /// outstanding at once, and completed subchunks are written by a
-    /// dedicated disk thread while later ones are still being gathered.
-    /// Buffers recycle through the writer's pool, so steady state runs
-    /// allocation-free. File contents are byte-identical to the inline
-    /// schedule: subchunks are still written in file order.
-    fn write_subchunks_pipelined(
+    /// Group-concurrent write schedule (depth ≥ 2): the subchunks of
+    /// every array in the request flow array-major through one window,
+    /// so fetches for array `k+1` are already in flight while array
+    /// `k`'s tail is still being assembled and written — the pipeline
+    /// never drains at an array boundary. Up to `depth` subchunks'
+    /// fetches are outstanding at once, reply bursts are reorganized in
+    /// parallel on the worker pool, and completed subchunks are written
+    /// by one pinned disk task that owns all the group's file handles.
+    /// Buffers recycle through the writer's return channel, so steady
+    /// state runs allocation-free. Per-array FIFO order is preserved,
+    /// so every file is byte-identical to the inline schedule.
+    fn write_group(
         &mut self,
-        array_idx: u32,
-        elem: usize,
-        subs: &[&PlanSubchunk],
-        file: Box<dyn FileHandle>,
+        arrays: &[ArrayOp],
+        subchunk_bytes: usize,
         depth: usize,
     ) -> Result<(), PandaError> {
-        // Disk jobs flow to the writer thread; drained buffers flow back
+        let plans: Vec<ServerPlan> = arrays
+            .iter()
+            .map(|op| {
+                build_server_plan(&op.meta, self.server_idx, self.num_servers, subchunk_bytes)
+            })
+            .collect();
+        // Flatten array-major; arrays with no subchunks on this server
+        // still get their (empty) file created and synced right here.
+        let mut writer_files: Vec<(Box<dyn FileHandle>, usize)> = Vec::new();
+        let mut flat: Vec<FlatSub<'_>> = Vec::new();
+        for (idx, (op, plan)) in arrays.iter().zip(&plans).enumerate() {
+            let subs: Vec<&PlanSubchunk> = plan.subchunks().collect();
+            let mut file = self
+                .fs
+                .create(&Self::file_name(&op.file_tag, self.server_idx))?;
+            if subs.is_empty() {
+                file.sync()?;
+                continue;
+            }
+            if self.obs_on() {
+                for (si, sub) in subs.iter().enumerate() {
+                    self.emit(&Event::SubchunkPlanned {
+                        key: SubchunkKey::new(self.server_idx, idx as u32, si),
+                        bytes: sub.bytes as u64,
+                    });
+                }
+            }
+            let fidx = writer_files.len();
+            writer_files.push((file, subs.len()));
+            let elem = op.meta.elem_size();
+            for (si, sub) in subs.into_iter().enumerate() {
+                flat.push(FlatSub {
+                    array: idx as u32,
+                    si,
+                    sub,
+                    file: fidx,
+                    elem,
+                    section: None,
+                });
+            }
+        }
+        if flat.is_empty() {
+            return Ok(());
+        }
+
+        // Disk jobs flow to the writer task; drained buffers flow back
         // for reuse. The bounded job queue caps buffered-but-unwritten
         // subchunks at `depth`.
-        let (job_tx, job_rx) = mpsc::sync_channel::<(SubchunkKey, u64, Vec<u8>)>(depth);
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, SubchunkKey, u64, Vec<u8>)>(depth);
         let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
         let recorder = Arc::clone(&self.recorder);
         let node = self.my_rank();
-        let writer = std::thread::Builder::new()
-            .name(format!("panda-writer-{}", self.server_idx))
-            .spawn(move || -> Result<(), FsError> {
-                let mut file = file;
-                while let Ok((key, offset, buf)) = job_rx.recv() {
-                    let t_disk = recorder.enabled().then(Instant::now);
-                    file.write_at(offset, &buf)?;
-                    if let Some(t) = t_disk {
-                        recorder.record(
-                            node,
-                            &Event::DiskWriteDone {
-                                key,
-                                offset,
-                                bytes: buf.len() as u64,
-                                dur: t.elapsed(),
-                            },
-                        );
-                    }
-                    // The assembler may already be past its last send.
-                    let _ = pool_tx.send(buf);
+        let writer = self.pool.spawn_pinned(move || -> Result<(), FsError> {
+            let mut files = writer_files;
+            while let Ok((fidx, key, offset, buf)) = job_rx.recv() {
+                let t_disk = recorder.enabled().then(Instant::now);
+                let (file, remaining) = &mut files[fidx];
+                file.write_at(offset, &buf)?;
+                if let Some(t) = t_disk {
+                    recorder.record(
+                        node,
+                        &Event::DiskWriteDone {
+                            key,
+                            offset,
+                            bytes: buf.len() as u64,
+                            dur: t.elapsed(),
+                        },
+                    );
                 }
-                // The paper flushes to disk with fsync after each write
-                // op; channel disconnect marks the last subchunk.
-                file.sync()
-            })
-            .expect("spawn disk-writer thread");
+                // The assembler may already be past its last send.
+                let _ = pool_tx.send(buf);
+                *remaining -= 1;
+                // The paper flushes with fsync after each write op; sync
+                // as soon as an array's last subchunk lands, overlapped
+                // with the next array's exchange.
+                if *remaining == 0 {
+                    file.sync()?;
+                }
+            }
+            Ok(())
+        });
 
         let run = (|| -> Result<(), PandaError> {
             let mut seq = 0u64;
-            // seq → (subchunk index, piece index) for every in-flight
-            // fetch; the global seq disambiguates replies across the
-            // whole window.
+            // seq → (flat index, piece index) for every in-flight fetch;
+            // the request-global seq disambiguates replies across arrays
+            // sharing the window.
             let mut seq_map: HashMap<u64, (usize, usize)> = HashMap::new();
             let mut window: VecDeque<InFlight> = VecDeque::with_capacity(depth);
             let mut front = 0usize; // oldest subchunk still in the window
             let mut next = 0usize; // next subchunk to issue fetches for
             loop {
-                // Hand completed head subchunks to the disk thread: it
+                // Hand completed head subchunks to the disk task: it
                 // writes subchunk k while replies for k+1.. scatter here.
                 while window.front().is_some_and(|s| s.remaining == 0) {
                     let done = window.pop_front().expect("checked front");
-                    let key = SubchunkKey::new(self.server_idx, array_idx, front);
+                    let f = &flat[front];
+                    let key = SubchunkKey::new(self.server_idx, f.array, f.si);
                     self.emit(&Event::DiskWriteQueued {
                         key,
                         bytes: done.buf.len() as u64,
                     });
                     if job_tx
-                        .send((key, subs[front].file_offset, done.buf))
+                        .send((f.file, key, f.sub.file_offset, done.buf))
                         .is_err()
                     {
                         // Writer bailed; its join below has the cause.
@@ -428,27 +555,27 @@ impl ServerNode {
                     }
                     front += 1;
                 }
-                if front == subs.len() {
+                if front == flat.len() {
                     return Ok(());
                 }
                 // Keep up to `depth` subchunks' fetches outstanding.
-                while next < subs.len() && next - front < depth {
-                    let sub = subs[next];
+                while next < flat.len() && next - front < depth {
+                    let f = &flat[next];
                     let mut buf = pool_rx.try_recv().unwrap_or_default();
                     buf.clear();
-                    buf.resize(sub.bytes, 0);
-                    for (pi, piece) in sub.pieces.iter().enumerate() {
+                    buf.resize(f.sub.bytes, 0);
+                    for (pi, piece) in f.sub.pieces.iter().enumerate() {
                         send_msg(
                             &mut *self.transport,
                             NodeId(piece.client),
                             &Msg::Fetch {
-                                array: array_idx,
+                                array: f.array,
                                 seq,
                                 region: piece.region.clone(),
                             },
                         )?;
                         self.emit(&Event::FetchSent {
-                            key: SubchunkKey::new(self.server_idx, array_idx, next),
+                            key: SubchunkKey::new(self.server_idx, f.array, f.si),
                             piece: pi as u32,
                             client: piece.client as u32,
                         });
@@ -457,54 +584,95 @@ impl ServerNode {
                     }
                     window.push_back(InFlight {
                         buf,
-                        remaining: sub.pieces.len(),
+                        remaining: f.sub.pieces.len(),
                     });
                     next += 1;
                 }
-                // Scatter one reply into its window slot.
+                // Block for one reply, then sweep everything that has
+                // already arrived: a burst of replies becomes one
+                // parallel reorganization pass instead of d serial
+                // copies.
                 let t_wait = self.obs_on().then(Instant::now);
-                let (_src, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
-                let Msg::Data {
-                    seq: rseq,
-                    region,
-                    payload,
-                    ..
-                } = msg
-                else {
-                    unreachable!("matched DATA tag");
-                };
-                let (si, pi) = seq_map.remove(&rseq).ok_or_else(|| PandaError::Protocol {
-                    detail: format!("unexpected data seq {rseq}"),
-                })?;
-                let sub = subs[si];
-                debug_assert_eq!(region, sub.pieces[pi].region);
-                let key = SubchunkKey::new(self.server_idx, array_idx, si);
-                if let Some(t) = t_wait {
-                    self.emit(&Event::FetchReplied {
-                        key,
-                        bytes: payload.len() as u64,
-                        wait: t.elapsed(),
-                    });
+                let first = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?.1;
+                let mut batch = vec![first];
+                while let Some((_, more)) =
+                    try_recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?
+                {
+                    batch.push(more);
                 }
-                let t_pack = self.obs_on().then(Instant::now);
-                let slot = &mut window[si - front];
-                copy::copy_region(&payload, &region, &mut slot.buf, &sub.region, &region, elem)?;
-                slot.remaining -= 1;
-                if let Some(t) = t_pack {
-                    self.emit(&Event::Packed {
-                        key,
-                        piece: pi as u32,
-                        bytes: payload.len() as u64,
-                        dur: t.elapsed(),
-                    });
+                // Route each reply to its window slot.
+                let mut per_slot: Vec<Vec<(usize, Region, Bytes)>> = vec![Vec::new(); window.len()];
+                for (bi, msg) in batch.into_iter().enumerate() {
+                    let Msg::Data {
+                        seq: rseq,
+                        region,
+                        payload,
+                        ..
+                    } = msg
+                    else {
+                        unreachable!("matched DATA tag");
+                    };
+                    let (si, pi) = seq_map.remove(&rseq).ok_or_else(|| PandaError::Protocol {
+                        detail: format!("unexpected data seq {rseq}"),
+                    })?;
+                    let f = &flat[si];
+                    debug_assert_eq!(region, f.sub.pieces[pi].region);
+                    if let Some(t) = t_wait {
+                        self.emit(&Event::FetchReplied {
+                            key: SubchunkKey::new(self.server_idx, f.array, f.si),
+                            bytes: payload.len() as u64,
+                            // Only the blocking receive actually waited.
+                            wait: if bi == 0 { t.elapsed() } else { Duration::ZERO },
+                        });
+                    }
+                    per_slot[si - front].push((pi, region, payload));
+                }
+                // Copy the batch, window slots in parallel: each job
+                // owns one slot's buffer (disjoint via `iter_mut`);
+                // pieces within a slot stay serial.
+                let recorder = &self.recorder;
+                let error: Mutex<Option<SchemaError>> = Mutex::new(None);
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+                for (off, (slot, items)) in window.iter_mut().zip(per_slot).enumerate() {
+                    if items.is_empty() {
+                        continue;
+                    }
+                    let f = &flat[front + off];
+                    slot.remaining -= items.len();
+                    let buf = &mut slot.buf;
+                    let key = SubchunkKey::new(self.server_idx, f.array, f.si);
+                    let error = &error;
+                    jobs.push(Box::new(move || {
+                        for (pi, region, payload) in &items {
+                            if let Err(e) = assemble_piece(
+                                recorder.as_ref(),
+                                node,
+                                key,
+                                *pi as u32,
+                                true,
+                                buf,
+                                &f.sub.region,
+                                region,
+                                payload,
+                                f.elem,
+                            ) {
+                                error.lock().unwrap().get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }));
+                }
+                self.pool.run_scoped(jobs);
+                if let Some(e) = error.into_inner().unwrap() {
+                    return Err(e.into());
                 }
             }
         })();
 
-        // Closing the job queue lets the writer drain, fsync, and exit.
+        // Closing the job queue lets the writer drain and exit.
         drop(job_tx);
         let disk = writer.join().map_err(|_| PandaError::Protocol {
-            detail: "disk writer thread panicked".to_string(),
+            detail: "disk writer task panicked".to_string(),
         })?;
         match (run, disk) {
             (Ok(()), disk) => Ok(disk?),
@@ -515,15 +683,13 @@ impl ServerNode {
         }
     }
 
-    /// Read path: stream the file forward, scattering each subchunk's
-    /// pieces to the owning clients. At `depth ≥ 2` a disk thread reads
-    /// ahead while the current subchunk is packed and pushed.
+    /// Unpipelined read path: stream the file forward, scattering each
+    /// subchunk's pieces to the owning clients.
     fn read_array(
         &mut self,
         array_idx: u32,
         op: &ArrayOp,
         subchunk_bytes: usize,
-        depth: usize,
     ) -> Result<(), PandaError> {
         let meta = &op.meta;
         let elem = meta.elem_size();
@@ -532,8 +698,7 @@ impl ServerNode {
             return Ok(());
         }
         // Section reads skip non-overlapping subchunks entirely; the
-        // remaining reads still proceed in file order. Selecting up
-        // front keeps the prefetcher and the scatter loop in lockstep.
+        // remaining reads still proceed in file order.
         let selected: Vec<&PlanSubchunk> = plan
             .subchunks()
             .filter(|sub| match &op.section {
@@ -555,18 +720,7 @@ impl ServerNode {
         let file = self
             .fs
             .open(&Self::file_name(&op.file_tag, self.server_idx))?;
-        if depth <= 1 {
-            self.read_subchunks_inline(array_idx, elem, op.section.as_ref(), &selected, file)
-        } else {
-            self.read_subchunks_pipelined(
-                array_idx,
-                elem,
-                op.section.as_ref(),
-                &selected,
-                file,
-                depth,
-            )
-        }
+        self.read_subchunks_inline(array_idx, elem, op.section.as_ref(), &selected, file)
     }
 
     /// Unpipelined read schedule: read a subchunk, scatter it, repeat.
@@ -581,7 +735,6 @@ impl ServerNode {
     ) -> Result<(), PandaError> {
         let mut seq = 0u64;
         let mut buf = Vec::new();
-        let mut scratch = Vec::new();
         for (si, sub) in subs.iter().enumerate() {
             let key = SubchunkKey::new(self.server_idx, array_idx, si);
             buf.clear();
@@ -596,80 +749,123 @@ impl ServerNode {
                     dur: t.elapsed(),
                 });
             }
-            self.scatter_subchunk(key, sub, section, &buf, &mut scratch, &mut seq, elem)?;
+            self.scatter_subchunk(key, sub, section, &buf, &mut seq, elem)?;
         }
         Ok(())
     }
 
-    /// Pipelined read schedule: a disk thread prefetches up to `depth`
-    /// subchunks ahead through a bounded queue while this thread packs
-    /// and pushes the current one. Buffers recycle through the pool;
-    /// the message stream is identical to the inline schedule.
-    fn read_subchunks_pipelined(
+    /// Group-concurrent read schedule (depth ≥ 2): one pinned prefetch
+    /// task streams every array's file in turn — array-major, each file
+    /// strictly sequential — keeping up to `depth` subchunks buffered
+    /// through a bounded queue while this thread packs (in parallel on
+    /// the worker pool) and pushes the current one. Prefetch for array
+    /// `k+1` starts while array `k`'s tail is still being scattered, so
+    /// the disk never idles at an array boundary. The per-array message
+    /// stream is identical to the inline schedule.
+    fn read_group(
         &mut self,
-        array_idx: u32,
-        elem: usize,
-        section: Option<&Region>,
-        subs: &[&PlanSubchunk],
-        file: Box<dyn FileHandle>,
+        arrays: &[ArrayOp],
+        subchunk_bytes: usize,
         depth: usize,
     ) -> Result<(), PandaError> {
-        let jobs: Vec<(SubchunkKey, u64, usize)> = subs
+        let plans: Vec<ServerPlan> = arrays
             .iter()
-            .enumerate()
-            .map(|(si, s)| {
-                (
-                    SubchunkKey::new(self.server_idx, array_idx, si),
-                    s.file_offset,
-                    s.bytes,
-                )
+            .map(|op| {
+                build_server_plan(&op.meta, self.server_idx, self.num_servers, subchunk_bytes)
             })
             .collect();
+        let mut reader_files: Vec<Box<dyn FileHandle>> = Vec::new();
+        let mut jobs_desc: Vec<(usize, SubchunkKey, u64, usize)> = Vec::new();
+        let mut flat: Vec<FlatSub<'_>> = Vec::new();
+        for (idx, (op, plan)) in arrays.iter().zip(&plans).enumerate() {
+            if plan.total_bytes == 0 {
+                continue;
+            }
+            // Section reads skip non-overlapping subchunks entirely; the
+            // remaining reads still proceed in file order. Selecting up
+            // front keeps the prefetcher and the scatter loop in
+            // lockstep.
+            let selected: Vec<&PlanSubchunk> = plan
+                .subchunks()
+                .filter(|sub| match &op.section {
+                    None => true,
+                    Some(section) => sub.region.overlaps(section),
+                })
+                .collect();
+            if selected.is_empty() {
+                continue;
+            }
+            if self.obs_on() {
+                for (si, sub) in selected.iter().enumerate() {
+                    self.emit(&Event::SubchunkPlanned {
+                        key: SubchunkKey::new(self.server_idx, idx as u32, si),
+                        bytes: sub.bytes as u64,
+                    });
+                }
+            }
+            let fidx = reader_files.len();
+            reader_files.push(
+                self.fs
+                    .open(&Self::file_name(&op.file_tag, self.server_idx))?,
+            );
+            let elem = op.meta.elem_size();
+            for (si, sub) in selected.into_iter().enumerate() {
+                let key = SubchunkKey::new(self.server_idx, idx as u32, si);
+                jobs_desc.push((fidx, key, sub.file_offset, sub.bytes));
+                flat.push(FlatSub {
+                    array: idx as u32,
+                    si,
+                    sub,
+                    file: fidx,
+                    elem,
+                    section: op.section.as_ref(),
+                });
+            }
+        }
+        if flat.is_empty() {
+            return Ok(());
+        }
         // Queue capacity depth-1 plus the buffer being scattered keeps
         // `depth` subchunks in memory (depth 2 = classic double buffer).
         let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth - 1);
         let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
         let recorder = Arc::clone(&self.recorder);
         let node = self.my_rank();
-        let reader = std::thread::Builder::new()
-            .name(format!("panda-reader-{}", self.server_idx))
-            .spawn(move || -> Result<(), FsError> {
-                let mut file = file;
-                for (key, offset, bytes) in jobs {
-                    let mut buf = pool_rx.try_recv().unwrap_or_default();
-                    buf.clear();
-                    buf.resize(bytes, 0);
-                    let t_disk = recorder.enabled().then(Instant::now);
-                    file.read_at(offset, &mut buf)?;
-                    if let Some(t) = t_disk {
-                        recorder.record(
-                            node,
-                            &Event::DiskReadDone {
-                                key,
-                                offset,
-                                bytes: buf.len() as u64,
-                                dur: t.elapsed(),
-                            },
-                        );
-                    }
-                    if full_tx.send(buf).is_err() {
-                        // Consumer bailed; nothing left to prefetch for.
-                        return Ok(());
-                    }
+        let reader = self.pool.spawn_pinned(move || -> Result<(), FsError> {
+            let mut files = reader_files;
+            for (fidx, key, offset, bytes) in jobs_desc {
+                let mut buf = pool_rx.try_recv().unwrap_or_default();
+                buf.clear();
+                buf.resize(bytes, 0);
+                let t_disk = recorder.enabled().then(Instant::now);
+                files[fidx].read_at(offset, &mut buf)?;
+                if let Some(t) = t_disk {
+                    recorder.record(
+                        node,
+                        &Event::DiskReadDone {
+                            key,
+                            offset,
+                            bytes: buf.len() as u64,
+                            dur: t.elapsed(),
+                        },
+                    );
                 }
-                Ok(())
-            })
-            .expect("spawn disk-reader thread");
+                if full_tx.send(buf).is_err() {
+                    // Consumer bailed; nothing left to prefetch for.
+                    return Ok(());
+                }
+            }
+            Ok(())
+        });
 
         let run = (|| -> Result<(), PandaError> {
             let mut seq = 0u64;
-            let mut scratch = Vec::new();
-            for (si, sub) in subs.iter().enumerate() {
+            for f in &flat {
                 let buf = full_rx.recv().map_err(|_| PandaError::Protocol {
                     detail: "disk reader stopped early".to_string(),
                 })?;
-                let key = SubchunkKey::new(self.server_idx, array_idx, si);
-                self.scatter_subchunk(key, sub, section, &buf, &mut scratch, &mut seq, elem)?;
+                let key = SubchunkKey::new(self.server_idx, f.array, f.si);
+                self.scatter_subchunk_pooled(key, f.sub, f.section, &buf, &mut seq, f.elem)?;
                 // Hand the drained buffer back for the next prefetch.
                 let _ = pool_tx.send(buf);
             }
@@ -679,7 +875,7 @@ impl ServerNode {
         // Unblock a prefetcher still parked on a full queue, then join.
         drop(full_rx);
         let disk = reader.join().map_err(|_| PandaError::Protocol {
-            detail: "disk reader thread panicked".to_string(),
+            detail: "disk reader task panicked".to_string(),
         })?;
         match (run, disk) {
             (Ok(()), disk) => Ok(disk?),
@@ -700,7 +896,6 @@ impl ServerNode {
         sub: &PlanSubchunk,
         section: Option<&Region>,
         buf: &[u8],
-        scratch: &mut Vec<u8>,
         seq: &mut u64,
         elem: usize,
     ) -> Result<(), PandaError> {
@@ -711,12 +906,13 @@ impl ServerNode {
             };
             let Some(target) = target else { continue };
             let t_pack = self.obs_on().then(Instant::now);
-            copy::pack_region_into(scratch, buf, &sub.region, &target, elem)?;
+            let packed = copy::pack_region(buf, &sub.region, &target, elem)?;
+            let bytes = packed.len() as u64;
             if let Some(t) = t_pack {
                 self.emit(&Event::Packed {
                     key,
                     piece: pi as u32,
-                    bytes: scratch.len() as u64,
+                    bytes,
                     dur: t.elapsed(),
                 });
             }
@@ -726,13 +922,102 @@ impl ServerNode {
                 key.array,
                 *seq,
                 &target,
-                scratch,
+                packed,
             )?;
             self.emit(&Event::PushSent {
                 key,
                 piece: pi as u32,
                 client: piece.client as u32,
-                bytes: scratch.len() as u64,
+                bytes,
+            });
+            *seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Group-path variant of [`Self::scatter_subchunk`]: packs all of a
+    /// subchunk's pieces in parallel on the worker pool (large pieces
+    /// additionally split along their outermost dimension inside
+    /// [`IoPool::pack_region_par`]), then sends them in piece order so
+    /// the per-client message stream matches the serial schedule.
+    fn scatter_subchunk_pooled(
+        &mut self,
+        key: SubchunkKey,
+        sub: &PlanSubchunk,
+        section: Option<&Region>,
+        buf: &[u8],
+        seq: &mut u64,
+        elem: usize,
+    ) -> Result<(), PandaError> {
+        let targets: Vec<(usize, Region)> = sub
+            .pieces
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, piece)| {
+                let target = match section {
+                    None => Some(piece.region.clone()),
+                    Some(section) => piece.region.intersect(section),
+                };
+                target.map(|t| (pi, t))
+            })
+            .collect();
+        if targets.is_empty() {
+            return Ok(());
+        }
+        let mut packed: Vec<Vec<u8>> = vec![Vec::new(); targets.len()];
+        {
+            let pool = &self.pool;
+            let recorder = &self.recorder;
+            let node = self.my_rank();
+            let error: Mutex<Option<SchemaError>> = Mutex::new(None);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = packed
+                .iter_mut()
+                .zip(&targets)
+                .map(|(out, (pi, target))| {
+                    let error = &error;
+                    Box::new(move || {
+                        let t_pack = recorder.enabled().then(Instant::now);
+                        match pool.pack_region_par(out, buf, &sub.region, target, elem) {
+                            Ok(()) => {
+                                if let Some(t) = t_pack {
+                                    recorder.record(
+                                        node,
+                                        &Event::ReorgWorker {
+                                            key,
+                                            piece: *pi as u32,
+                                            bytes: out.len() as u64,
+                                            dur: t.elapsed(),
+                                        },
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                error.lock().unwrap().get_or_insert(e);
+                            }
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool.run_scoped(jobs);
+            if let Some(e) = error.into_inner().unwrap() {
+                return Err(e.into());
+            }
+        }
+        for ((pi, target), data) in targets.into_iter().zip(packed) {
+            let bytes = data.len() as u64;
+            send_data(
+                &mut *self.transport,
+                NodeId(sub.pieces[pi].client),
+                key.array,
+                *seq,
+                &target,
+                data,
+            )?;
+            self.emit(&Event::PushSent {
+                key,
+                piece: pi as u32,
+                client: sub.pieces[pi].client as u32,
+                bytes,
             });
             *seq += 1;
         }

@@ -1,0 +1,274 @@
+//! Group-concurrent collectives: a batched multi-array request must
+//! produce byte-identical files to one collective per array, at every
+//! pipeline depth and on both MemFs and LocalFs; the scheduler must
+//! advertise itself through `GroupSubmit`/`ReorgWorker` events; and
+//! `restart` must refuse a group whose generation marker never landed.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::*;
+use panda_core::{ArrayGroup, ArrayMeta, PandaClient, PandaConfig, PandaError, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_obs::{EventKind, Recorder, TimelineRecorder};
+use panda_schema::ElementType;
+
+const CLIENTS: usize = 4;
+const SERVERS: usize = 2;
+
+fn test_arrays() -> Vec<ArrayMeta> {
+    vec![
+        make_array(
+            "temperature",
+            &[16, 16],
+            ElementType::F64,
+            &[2, 2],
+            DiskSchema::Traditional(SERVERS),
+        ),
+        make_array(
+            "pressure",
+            &[16, 16],
+            ElementType::F32,
+            &[2, 2],
+            DiskSchema::Traditional(SERVERS),
+        ),
+        make_array(
+            "density",
+            &[12, 10],
+            ElementType::I32,
+            &[2, 2],
+            DiskSchema::Natural,
+        ),
+        make_array(
+            "energy",
+            &[8, 8, 4],
+            ElementType::F64,
+            &[2, 2, 1],
+            DiskSchema::Traditional(SERVERS),
+        ),
+    ]
+}
+
+/// One batched collective covering every array (the group-concurrent
+/// path at depth ≥ 2).
+fn concurrent_write(clients: &mut [PandaClient], metas: &[ArrayMeta], tags: &[String]) {
+    let datas: Vec<Vec<Vec<u8>>> = (0..clients.len())
+        .map(|r| metas.iter().map(|m| pattern_chunk(m, r)).collect())
+        .collect();
+    std::thread::scope(|s| {
+        for (client, per_array) in clients.iter_mut().zip(&datas) {
+            s.spawn(move || {
+                let ops: Vec<(&ArrayMeta, &str, &[u8])> = metas
+                    .iter()
+                    .zip(tags)
+                    .zip(per_array)
+                    .map(|((m, t), d)| (m, t.as_str(), d.as_slice()))
+                    .collect();
+                client.write(&ops).unwrap();
+            });
+        }
+    });
+}
+
+/// One collective per array, strictly in sequence.
+fn sequential_write(clients: &mut [PandaClient], metas: &[ArrayMeta], tags: &[String]) {
+    for (meta, tag) in metas.iter().zip(tags) {
+        collective_write(clients, meta, tag);
+    }
+}
+
+/// One batched collective read of every array; asserts the pattern.
+fn concurrent_read_check(clients: &mut [PandaClient], metas: &[ArrayMeta], tags: &[String]) {
+    let mut bufs: Vec<Vec<Vec<u8>>> = (0..clients.len())
+        .map(|r| metas.iter().map(|m| vec![0u8; m.client_bytes(r)]).collect())
+        .collect();
+    std::thread::scope(|s| {
+        for (client, per_array) in clients.iter_mut().zip(bufs.iter_mut()) {
+            s.spawn(move || {
+                let mut ops: Vec<(&ArrayMeta, &str, &mut [u8])> = metas
+                    .iter()
+                    .zip(tags)
+                    .zip(per_array.iter_mut())
+                    .map(|((m, t), b)| (m, t.as_str(), b.as_mut_slice()))
+                    .collect();
+                client.read(&mut ops).unwrap();
+            });
+        }
+    });
+    for (r, per_array) in bufs.iter().enumerate() {
+        for (m, buf) in metas.iter().zip(per_array) {
+            assert_eq!(buf, &pattern_chunk(m, r), "client {r} array {}", m.name());
+        }
+    }
+}
+
+fn file_snapshot(mems: &[Arc<MemFs>], tags: &[String]) -> Vec<Vec<u8>> {
+    tags.iter()
+        .flat_map(|t| {
+            mems.iter()
+                .enumerate()
+                .map(move |(i, fs)| fs.contents(&format!("{t}.s{i}")).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_group_write_matches_sequential_memfs() {
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| format!("g/{}", m.name())).collect();
+    // Reference: one collective per array, unpipelined.
+    let mems_seq: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+    let (system, mut clients) = launch_mem_over(&mems_seq, CLIENTS, 256, 1);
+    sequential_write(&mut clients, &metas, &tags);
+    system.shutdown(clients).unwrap();
+    let reference = file_snapshot(&mems_seq, &tags);
+
+    for depth in [2, 3, 5] {
+        let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+        let (system, mut clients) = launch_mem_over(&mems, CLIENTS, 256, depth);
+        concurrent_write(&mut clients, &metas, &tags);
+        assert_eq!(
+            file_snapshot(&mems, &tags),
+            reference,
+            "group-concurrent depth {depth} changed bytes on disk"
+        );
+        // And the batched read path returns the same data.
+        concurrent_read_check(&mut clients, &metas, &tags);
+        // Each server's file is still written strictly sequentially.
+        for fs in &mems {
+            assert_eq!(fs.stats().seeks(), 0, "depth {depth} introduced seeks");
+        }
+        system.shutdown(clients).unwrap();
+    }
+}
+
+#[test]
+fn concurrent_group_write_matches_sequential_localfs() {
+    let root = std::env::temp_dir().join(format!("panda-group-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| m.name().to_string()).collect();
+    let launch = |sub: &str, depth: usize| {
+        let roots: Vec<_> = (0..SERVERS)
+            .map(|s| root.join(sub).join(format!("ionode{s}")))
+            .collect();
+        let config = PandaConfig::new(CLIENTS, SERVERS)
+            .with_subchunk_bytes(256)
+            .with_pipeline_depth(depth);
+        PandaSystem::launch(&config, move |s| {
+            Arc::new(panda_fs::LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
+        })
+    };
+    let read_files = |sub: &str| -> Vec<Vec<u8>> {
+        let root = &root;
+        tags.iter()
+            .flat_map(|t| {
+                (0..SERVERS).map(move |s| {
+                    std::fs::read(root.join(sub).join(format!("ionode{s}/{t}.s{s}"))).unwrap()
+                })
+            })
+            .collect()
+    };
+
+    let (system, mut clients) = launch("seq", 1);
+    sequential_write(&mut clients, &metas, &tags);
+    system.shutdown(clients).unwrap();
+
+    let (system, mut clients) = launch("conc", 4);
+    concurrent_write(&mut clients, &metas, &tags);
+    concurrent_read_check(&mut clients, &metas, &tags);
+    system.shutdown(clients).unwrap();
+
+    assert_eq!(read_files("seq"), read_files("conc"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn group_scheduler_reports_itself() {
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| m.name().to_string()).collect();
+    let rec = Arc::new(TimelineRecorder::with_capacity(1 << 16));
+    let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+    let handles = mems.clone();
+    let config = PandaConfig::new(CLIENTS, SERVERS)
+        .with_subchunk_bytes(256)
+        .with_pipeline_depth(3)
+        .with_io_workers(2)
+        .with_recorder(rec.clone() as Arc<dyn Recorder>);
+    let (system, mut clients) = PandaSystem::launch(&config, move |s| {
+        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
+    });
+    concurrent_write(&mut clients, &metas, &tags);
+    concurrent_read_check(&mut clients, &metas, &tags);
+    let report = system.report();
+    system.shutdown(clients).unwrap();
+
+    let events = rec.timeline().expect("timeline recorder keeps events");
+    // The master client announced both batched submissions with the
+    // full group size.
+    let submits: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::GroupSubmit)
+        .collect();
+    assert_eq!(submits.len(), 2, "one GroupSubmit per collective");
+    // The parallel reorganization pool did real work on both paths.
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::ReorgWorker),
+        "no ReorgWorker events from the worker pool"
+    );
+    // The report aggregates cross-array overlap without breaking the
+    // schema.
+    assert!(report.cross_array_overlap_s >= 0.0);
+    panda_obs::json::validate(&report.to_json()).unwrap();
+}
+
+#[test]
+fn restart_without_generation_marker_is_a_typed_error() {
+    let meta = make_array("f", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
+    // Checkpoint on system A so the group's counter advances...
+    let (system, mut clients, _mems) = launch_mem(CLIENTS, SERVERS, 1 << 20);
+    let manifests: Vec<Vec<u8>> = {
+        let datas: Vec<Vec<u8>> = (0..CLIENTS).map(|r| pattern_chunk(&meta, r)).collect();
+        let mut out = vec![Vec::new(); CLIENTS];
+        std::thread::scope(|s| {
+            for ((client, d), slot) in clients.iter_mut().zip(&datas).zip(out.iter_mut()) {
+                let meta = &meta;
+                s.spawn(move || {
+                    let mut g = ArrayGroup::new("torn");
+                    g.include(meta.clone());
+                    g.checkpoint(client, &[d]).unwrap();
+                    *slot = g.encode_manifest();
+                });
+            }
+        });
+        out
+    };
+    system.shutdown(clients).unwrap();
+
+    // ...then "restart" on a fresh deployment where the checkpoint data
+    // may be gone or torn and the marker certainly never landed: the
+    // group must refuse with the typed error instead of serving junk.
+    let (system, mut clients, _mems) = launch_mem(CLIENTS, SERVERS, 1 << 20);
+    std::thread::scope(|s| {
+        for (client, manifest) in clients.iter_mut().zip(&manifests) {
+            let meta = &meta;
+            s.spawn(move || {
+                let g = ArrayGroup::decode_manifest(manifest).unwrap();
+                assert_eq!(g.checkpoints_taken(), 1);
+                let mut buf = vec![0u8; meta.client_bytes(client.rank())];
+                let err = g.restart(client, &mut [buf.as_mut_slice()]).unwrap_err();
+                assert!(
+                    matches!(
+                        &err,
+                        PandaError::Config {
+                            issue: panda_core::ConfigIssue::CheckpointIncomplete { group }
+                        } if group == "torn"
+                    ),
+                    "wrong error: {err}"
+                );
+            });
+        }
+    });
+    system.shutdown(clients).unwrap();
+}

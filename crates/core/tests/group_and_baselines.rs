@@ -87,10 +87,12 @@ fn figure2_timestep_checkpoint_restart() {
     });
 
     // Each timestep produced its own files on each I/O node; the
-    // checkpoint its own; 3 arrays x (3 timesteps + 1 checkpoint).
-    for fs in &mems {
-        assert_eq!(fs.list().len(), 3 * 4);
+    // checkpoint its own; 3 arrays x (3 timesteps + 1 checkpoint). The
+    // checkpoint's generation marker lands on I/O node 0 only.
+    for (i, fs) in mems.iter().enumerate() {
+        assert_eq!(fs.list().len(), 3 * 4 + usize::from(i == 0));
     }
+    assert!(mems[0].contents("Sim2/Sim2.ckpt").is_ok());
     // Traditional order holds per timestep file set.
     assert_eq!(
         concat_server_files(&mems, "Sim2/pressure.ts2"),

@@ -141,7 +141,7 @@ impl Group {
         } else {
             debug_assert!(payload.is_none(), "non-root must not supply a payload");
             let env = t.recv_matching(MatchSpec::from(root, tag))?;
-            Ok(env.payload)
+            Ok(env.payload.into_contiguous())
         }
     }
 
@@ -166,7 +166,7 @@ impl Group {
                     .iter()
                     .position(|&m| m == env.src)
                     .expect("gather from non-member");
-                out[idx] = Some(env.payload);
+                out[idx] = Some(env.payload.into_contiguous());
             }
             Ok(out.into_iter().map(|p| p.expect("all gathered")).collect())
         } else {

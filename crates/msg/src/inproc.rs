@@ -15,7 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use panda_obs::{Event, Recorder};
 
-use crate::envelope::{Envelope, NodeId};
+use crate::envelope::{Bytes, Envelope, NodeId, Payload};
 use crate::error::MsgError;
 use crate::obs::MsgObs;
 use crate::stats::FabricStats;
@@ -104,18 +104,8 @@ impl InProcEndpoint {
             wait,
         });
     }
-}
 
-impl Transport for InProcEndpoint {
-    fn node(&self) -> NodeId {
-        self.node
-    }
-
-    fn num_nodes(&self) -> usize {
-        self.peers.len()
-    }
-
-    fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), MsgError> {
+    fn send_payload(&mut self, dst: NodeId, tag: u32, payload: Payload) -> Result<(), MsgError> {
         let tx = self.peers.get(dst.index()).ok_or(MsgError::InvalidNode {
             node: dst,
             num_nodes: self.peers.len(),
@@ -134,6 +124,33 @@ impl Transport for InProcEndpoint {
             dur: Duration::ZERO,
         });
         Ok(())
+    }
+}
+
+impl Transport for InProcEndpoint {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), MsgError> {
+        self.send_payload(dst, tag, Payload::Inline(payload))
+    }
+
+    /// Zero-copy handoff: head and body cross the channel as the two
+    /// buffers they already are — in particular an `Arc<[u8]>` body is
+    /// shared with the receiver, never duplicated.
+    fn send_vectored(
+        &mut self,
+        dst: NodeId,
+        tag: u32,
+        head: Vec<u8>,
+        body: Bytes,
+    ) -> Result<(), MsgError> {
+        self.send_payload(dst, tag, Payload::Framed { head, body })
     }
 
     fn recv_matching(&mut self, spec: MatchSpec) -> Result<Envelope, MsgError> {
@@ -329,6 +346,31 @@ mod tests {
         // The fabric's own counters saw the same traffic.
         let (msgs, bytes) = rec.counting().tag_counts(4);
         assert_eq!((msgs, bytes), (1, 32));
+    }
+
+    #[test]
+    fn vectored_send_is_zero_copy_and_byte_identical() {
+        let (mut eps, _) = InProcFabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let body: Arc<[u8]> = Arc::from(vec![9u8; 64]);
+        a.send_vectored(NodeId(1), 3, vec![1, 2, 3], Bytes::Shared(body.clone()))
+            .unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.len(), 3 + 64);
+        // The logical bytes are head ++ body ...
+        let mut want = vec![1u8, 2, 3];
+        want.extend_from_slice(&[9u8; 64]);
+        assert_eq!(env.payload, want);
+        // ... and the body is the *same allocation* the sender holds.
+        match env.payload {
+            Payload::Framed {
+                body: Bytes::Shared(arc),
+                ..
+            } => assert!(Arc::ptr_eq(&arc, &body), "body was copied"),
+            other => panic!("expected a shared framed payload, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod stats;
 pub mod tcp;
 pub mod transport;
 
-pub use envelope::{Envelope, NodeId};
+pub use envelope::{Bytes, Envelope, NodeId, Payload};
 pub use error::MsgError;
 pub use group::Group;
 pub use inproc::{InProcEndpoint, InProcFabric};

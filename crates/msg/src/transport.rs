@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use panda_obs::Recorder;
 
-use crate::envelope::{Envelope, NodeId};
+use crate::envelope::{Bytes, Envelope, NodeId};
 use crate::error::MsgError;
 
 /// A receive-side match specification, mirroring MPI's
@@ -64,6 +64,32 @@ pub trait Transport: Send {
     /// Send `payload` to `dst` with the given tag.
     fn send(&mut self, dst: NodeId, tag: u32, payload: Vec<u8>) -> Result<(), MsgError>;
 
+    /// Send the logical message `head ++ body` without requiring the
+    /// caller to concatenate the two buffers first.
+    ///
+    /// This is the zero-copy path for bulk data: the (small) protocol
+    /// head and the (large) data body travel as one message, but a
+    /// transport may move them separately — the in-process fabric hands
+    /// both buffers across its channel untouched, and the TCP fabric
+    /// writes them to the socket back-to-back writev-style. The wire
+    /// format and receive side are unchanged: a receiver sees one
+    /// envelope whose payload equals the concatenation.
+    ///
+    /// The default implementation concatenates and falls back to
+    /// [`Transport::send`], so transports without a vectored path remain
+    /// valid.
+    fn send_vectored(
+        &mut self,
+        dst: NodeId,
+        tag: u32,
+        head: Vec<u8>,
+        body: Bytes,
+    ) -> Result<(), MsgError> {
+        let mut buf = head;
+        buf.extend_from_slice(&body);
+        self.send(dst, tag, buf)
+    }
+
     /// Block until a message matching `spec` arrives and return it.
     fn recv_matching(&mut self, spec: MatchSpec) -> Result<Envelope, MsgError>;
 
@@ -98,7 +124,7 @@ mod tests {
         let env = Envelope {
             src: NodeId(3),
             tag: 7,
-            payload: vec![],
+            payload: vec![].into(),
         };
         assert!(MatchSpec::any().matches(&env));
         assert!(MatchSpec::tag(7).matches(&env));

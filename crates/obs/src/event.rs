@@ -237,10 +237,33 @@ pub enum Event<'a> {
         /// Time actually slept.
         dur: Duration,
     },
+    /// A master client submitted a whole array group as one batched
+    /// collective request (the group — not the array — is the unit of
+    /// scheduling).
+    GroupSubmit {
+        /// Write or read.
+        op: OpDir,
+        /// Number of arrays batched into the request.
+        arrays: u32,
+        /// Requested pipeline depth.
+        pipeline_depth: u32,
+    },
+    /// A reorganization copy ran on a worker-pool thread (as opposed to
+    /// inline on the node's main thread).
+    ReorgWorker {
+        /// Which subchunk.
+        key: SubchunkKey,
+        /// Piece index within the subchunk.
+        piece: u32,
+        /// Bytes moved.
+        bytes: u64,
+        /// Copy time.
+        dur: Duration,
+    },
 }
 
 /// Number of event kinds (array dimension for per-kind counters).
-pub const KIND_COUNT: usize = 18;
+pub const KIND_COUNT: usize = 20;
 
 /// Fieldless mirror of [`Event`], used to index per-kind counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -281,6 +304,10 @@ pub enum EventKind {
     FsSync,
     /// See [`Event::ThrottleSleep`].
     ThrottleSleep,
+    /// See [`Event::GroupSubmit`].
+    GroupSubmit,
+    /// See [`Event::ReorgWorker`].
+    ReorgWorker,
 }
 
 impl EventKind {
@@ -304,6 +331,8 @@ impl EventKind {
         EventKind::FsWrite,
         EventKind::FsSync,
         EventKind::ThrottleSleep,
+        EventKind::GroupSubmit,
+        EventKind::ReorgWorker,
     ];
 
     /// Counter index of this kind.
@@ -332,6 +361,8 @@ impl EventKind {
             EventKind::FsWrite => "fs_write",
             EventKind::FsSync => "fs_sync",
             EventKind::ThrottleSleep => "throttle_sleep",
+            EventKind::GroupSubmit => "group_submit",
+            EventKind::ReorgWorker => "reorg_worker",
         }
     }
 
@@ -342,9 +373,10 @@ impl EventKind {
         match self {
             EventKind::FetchReplied => Some(Phase::Exchange),
             EventKind::DiskWriteDone | EventKind::DiskReadDone => Some(Phase::Disk),
-            EventKind::Packed | EventKind::ClientPacked | EventKind::ClientUnpacked => {
-                Some(Phase::Reorg)
-            }
+            EventKind::Packed
+            | EventKind::ClientPacked
+            | EventKind::ClientUnpacked
+            | EventKind::ReorgWorker => Some(Phase::Reorg),
             EventKind::ThrottleSleep => Some(Phase::Throttle),
             EventKind::MsgReceived => Some(Phase::RecvWait),
             _ => None,
@@ -413,6 +445,8 @@ impl Event<'_> {
             Event::FsWrite { .. } => EventKind::FsWrite,
             Event::FsSync { .. } => EventKind::FsSync,
             Event::ThrottleSleep { .. } => EventKind::ThrottleSleep,
+            Event::GroupSubmit { .. } => EventKind::GroupSubmit,
+            Event::ReorgWorker { .. } => EventKind::ReorgWorker,
         }
     }
 
@@ -426,7 +460,8 @@ impl Event<'_> {
             | Event::DiskWriteQueued { key, .. }
             | Event::DiskWriteDone { key, .. }
             | Event::DiskReadDone { key, .. }
-            | Event::PushSent { key, .. } => Some(*key),
+            | Event::PushSent { key, .. }
+            | Event::ReorgWorker { key, .. } => Some(*key),
             _ => None,
         }
     }
@@ -447,7 +482,8 @@ impl Event<'_> {
             | Event::MsgReceived { bytes, .. }
             | Event::FsRead { bytes, .. }
             | Event::FsWrite { bytes, .. }
-            | Event::ThrottleSleep { bytes, .. } => *bytes,
+            | Event::ThrottleSleep { bytes, .. }
+            | Event::ReorgWorker { bytes, .. } => *bytes,
             _ => 0,
         }
     }
@@ -466,7 +502,8 @@ impl Event<'_> {
             | Event::FsRead { dur, .. }
             | Event::FsWrite { dur, .. }
             | Event::FsSync { dur, .. }
-            | Event::ThrottleSleep { dur, .. } => Some(*dur),
+            | Event::ThrottleSleep { dur, .. }
+            | Event::ReorgWorker { dur, .. } => Some(*dur),
             _ => None,
         }
     }

@@ -80,6 +80,12 @@ pub struct RunReport {
     pub per_node: Vec<NodePhases>,
     /// Phase durations per subchunk, sorted by key (timeline runs only).
     pub per_subchunk: Vec<SubchunkPhases>,
+    /// Seconds during which a node was doing measured subchunk work
+    /// (exchange / disk / reorg) for two *different* arrays at once,
+    /// summed over nodes (timeline runs only). Nonzero only when group
+    /// scheduling actually interleaves arrays; a strict
+    /// array-at-a-time run reports 0.
+    pub cross_array_overlap_s: f64,
     /// Aggregate counters, if the recorder keeps them.
     pub counters: Option<CountersSnapshot>,
     /// Events dropped by the recorder (ring overflow).
@@ -101,7 +107,7 @@ impl RunReport {
                 phases.add(phase, snap.phase_secs(phase));
             }
         }
-        let (wall_s, per_node, per_subchunk) = match &timeline {
+        let (wall_s, per_node, per_subchunk, cross_array_overlap_s) = match &timeline {
             Some(events) if !events.is_empty() => {
                 if counters.is_none() {
                     // No aggregate counters: derive totals from the
@@ -116,15 +122,17 @@ impl RunReport {
                     wall_span(events),
                     per_node_phases(events),
                     per_subchunk_phases(events),
+                    cross_array_overlap(events),
                 )
             }
-            _ => (0.0, Vec::new(), Vec::new()),
+            _ => (0.0, Vec::new(), Vec::new(), 0.0),
         };
         RunReport {
             wall_s,
             phases,
             per_node,
             per_subchunk,
+            cross_array_overlap_s,
             counters,
             dropped_events: recorder.dropped(),
         }
@@ -137,6 +145,8 @@ impl RunReport {
         json::push_str(&mut out, REPORT_SCHEMA);
         out.push_str(",\"wall_s\":");
         json::push_f64(&mut out, self.wall_s);
+        out.push_str(",\"cross_array_overlap_s\":");
+        json::push_f64(&mut out, self.cross_array_overlap_s);
         out.push_str(",\"dropped_events\":");
         out.push_str(&self.dropped_events.to_string());
         out.push_str(",\"phases\":");
@@ -243,6 +253,56 @@ fn per_node_phases(events: &[TimelineEvent]) -> Vec<NodePhases> {
     map.into_iter()
         .map(|(node, phases)| NodePhases { node, phases })
         .collect()
+}
+
+/// Seconds a node spent inside keyed, duration-carrying events of two
+/// different arrays simultaneously, summed over nodes. Each (node,
+/// array)'s busy intervals are merged into a disjoint union first, so a
+/// node overlapping itself within one array contributes nothing.
+fn cross_array_overlap(events: &[TimelineEvent]) -> f64 {
+    let mut busy: BTreeMap<(u32, u32), Vec<(u64, u64)>> = BTreeMap::new();
+    for e in events {
+        let Some(key) = e.key else { continue };
+        if e.dur_nanos == 0 {
+            continue;
+        }
+        busy.entry((e.node, key.array))
+            .or_default()
+            .push((e.start_nanos(), e.ts_nanos));
+    }
+    // Merge each (node, array) interval set into a disjoint union.
+    let mut merged: BTreeMap<u32, Vec<Vec<(u64, u64)>>> = BTreeMap::new();
+    for ((node, _array), mut spans) in busy {
+        spans.sort_unstable();
+        let mut union: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match union.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => union.push((s, e)),
+            }
+        }
+        merged.entry(node).or_default().push(union);
+    }
+    let mut overlap_nanos = 0u64;
+    for arrays in merged.values() {
+        for (i, a) in arrays.iter().enumerate() {
+            for b in &arrays[i + 1..] {
+                // Two-pointer sweep over two sorted disjoint unions.
+                let (mut x, mut y) = (0usize, 0usize);
+                while x < a.len() && y < b.len() {
+                    let lo = a[x].0.max(b[y].0);
+                    let hi = a[x].1.min(b[y].1);
+                    overlap_nanos += hi.saturating_sub(lo);
+                    if a[x].1 <= b[y].1 {
+                        x += 1;
+                    } else {
+                        y += 1;
+                    }
+                }
+            }
+        }
+    }
+    overlap_nanos as f64 / 1e9
 }
 
 fn per_subchunk_phases(events: &[TimelineEvent]) -> Vec<SubchunkPhases> {
@@ -352,6 +412,43 @@ mod tests {
         assert!(doc.contains("\"exchange_s\""));
         assert!(doc.contains("\"per_subchunk\""));
         assert!(doc.contains("\"kind\":\"disk_write_done\""));
+    }
+
+    #[test]
+    fn cross_array_overlap_requires_two_arrays() {
+        // One array only → busy intervals belong to a single (node,
+        // array) union → no overlap, however much they self-overlap.
+        let rec = TimelineRecorder::new();
+        drive(&rec);
+        let report = RunReport::from_recorder(&rec);
+        assert_eq!(report.cross_array_overlap_s, 0.0);
+
+        // Two back-to-back recordings for different arrays on one node:
+        // their measured spans (stamped [now-dur, now]) overlap.
+        let rec = TimelineRecorder::new();
+        rec.record(
+            2,
+            &Event::DiskWriteDone {
+                key: SubchunkKey::new(0, 0, 0),
+                offset: 0,
+                bytes: 64,
+                dur: Duration::from_millis(50),
+            },
+        );
+        rec.record(
+            2,
+            &Event::FetchReplied {
+                key: SubchunkKey::new(0, 1, 0),
+                bytes: 64,
+                wait: Duration::from_millis(50),
+            },
+        );
+        let report = RunReport::from_recorder(&rec);
+        assert!(
+            report.cross_array_overlap_s > 0.0,
+            "overlapping spans of different arrays must register"
+        );
+        assert!(report.to_json().contains("\"cross_array_overlap_s\""));
     }
 
     #[test]

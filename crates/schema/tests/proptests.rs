@@ -181,6 +181,50 @@ proptest! {
         }
     }
 
+    /// `pack_region_into` → `unpack_region` is the identity for every
+    /// element size, and the reused output buffer carries no residue
+    /// from its previous (larger, differently-sized) contents.
+    #[test]
+    fn pack_into_unpack_roundtrip_any_elem(
+        dims in small_shape(),
+        elem in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        seed in 0u64..10_000,
+    ) {
+        let shape = Shape::new(&dims).unwrap();
+        let chunk = Region::of_shape(&shape);
+        // Sub-region derived from seed.
+        let lo: Vec<usize> = dims.iter().enumerate()
+            .map(|(d, &n)| ((seed as usize) + d * 5) % n)
+            .collect();
+        let hi: Vec<usize> = dims.iter().zip(&lo)
+            .map(|(&n, &l)| (l + 1 + (seed as usize / 3) % n).min(n))
+            .collect();
+        let sub = Region::new(&lo, &hi).unwrap();
+
+        let src: Vec<u8> = (0..chunk.num_bytes(elem))
+            .map(|i| (i % 249) as u8 + 1)
+            .collect();
+        // A dirty, oversized scratch buffer: the into-variant must
+        // clear and exactly size it.
+        let mut packed = vec![0xAA; chunk.num_bytes(elem) + 7];
+        copy::pack_region_into(&mut packed, &src, &chunk, &sub, elem).unwrap();
+        prop_assert_eq!(packed.len(), sub.num_bytes(elem));
+        prop_assert_eq!(&packed, &pack_region(&src, &chunk, &sub, elem).unwrap());
+
+        let mut dst = vec![0u8; chunk.num_bytes(elem)];
+        unpack_region(&mut dst, &chunk, &sub, &packed, elem).unwrap();
+        for idx in shape.iter_indices() {
+            let off = copy::offset_in_region(&chunk, &idx, elem);
+            for b in 0..elem {
+                if sub.contains_index(&idx) {
+                    prop_assert_eq!(dst[off + b], src[off + b]);
+                } else {
+                    prop_assert_eq!(dst[off + b], 0);
+                }
+            }
+        }
+    }
+
     /// Copying a portion between two differently-shaped enclosing regions
     /// preserves values at every global index of the portion.
     #[test]

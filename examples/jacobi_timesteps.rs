@@ -168,6 +168,7 @@ fn exchange_halos(grid: &mut LocalGrid, rank: usize, fabric: &mut panda_msg::InP
             .unwrap();
         let vals: Vec<f64> = env
             .payload
+            .contiguous()
             .chunks_exact(8)
             .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
             .collect();
