@@ -11,6 +11,7 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 # Observability smoke: a real (quick) run under a TimelineRecorder must
 # produce a parseable per-phase JSON report. The binary itself

@@ -23,10 +23,16 @@
 pub mod naive;
 pub mod two_phase;
 
-use panda_schema::Region;
+use std::collections::HashMap;
+
+use panda_msg::{Bytes, MatchSpec};
+use panda_schema::{copy, Region};
 
 use crate::array::ArrayMeta;
+use crate::client::PandaClient;
+use crate::error::PandaError;
 use crate::plan::assigned_chunks;
+use crate::protocol::{recv_msg, tags, Msg};
 
 /// Where one disk chunk lives: which server's file, at which offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +74,88 @@ pub fn chunk_placements(array: &ArrayMeta, num_servers: usize) -> Vec<ChunkPlace
     }
     out.sort_by_key(|p| p.chunk_idx);
     out
+}
+
+/// Whole-chunk staging buffers on a proxy compute node, keyed by
+/// disk-chunk index — the piece bookkeeping shared by both directions
+/// of the two-phase strategy (assembly on writes, scattering on reads).
+pub(crate) struct ChunkStage {
+    chunks: HashMap<usize, (Region, Vec<u8>)>,
+}
+
+impl ChunkStage {
+    /// Allocate a zeroed whole-chunk buffer per placement.
+    pub(crate) fn new<'a>(
+        placements: impl Iterator<Item = &'a ChunkPlacement>,
+        elem: usize,
+    ) -> Self {
+        ChunkStage {
+            chunks: placements
+                .map(|p| {
+                    (
+                        p.chunk_idx,
+                        (p.region.clone(), vec![0u8; p.region.num_bytes(elem)]),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// A staged chunk's global region and buffer.
+    pub(crate) fn chunk(&self, chunk_idx: usize) -> (&Region, &[u8]) {
+        let (region, buf) = &self.chunks[&chunk_idx];
+        (region, buf)
+    }
+
+    /// Route one delivered piece into its chunk buffer, rejecting
+    /// pieces for chunks this node does not proxy.
+    pub(crate) fn unpack_piece(
+        &mut self,
+        chunk_idx: usize,
+        region: &Region,
+        payload: &[u8],
+        elem: usize,
+    ) -> Result<(), PandaError> {
+        let (chunk_region, buf) =
+            self.chunks
+                .get_mut(&chunk_idx)
+                .ok_or_else(|| PandaError::Protocol {
+                    detail: format!("piece for chunk {chunk_idx} not proxied here"),
+                })?;
+        copy::unpack_region(buf, chunk_region, region, payload, elem)?;
+        Ok(())
+    }
+
+    /// Splice raw bytes into a staged chunk at a byte offset (read
+    /// direction; the caller has already validated the source).
+    pub(crate) fn fill_at(&mut self, chunk_idx: usize, off: usize, payload: &[u8]) {
+        let (_, buf) = self.chunks.get_mut(&chunk_idx).expect("tracked chunk");
+        buf[off..off + payload.len()].copy_from_slice(payload);
+    }
+}
+
+/// Drain exactly `count` `Data` pieces from the fabric, handing each to
+/// `sink` as `(seq, region, payload)` — the one piece-collection loop
+/// behind the baselines' exchange phases.
+pub(crate) fn collect_pieces(
+    client: &mut PandaClient,
+    count: usize,
+    mut sink: impl FnMut(u64, Region, Bytes) -> Result<(), PandaError>,
+) -> Result<(), PandaError> {
+    for _ in 0..count {
+        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::DATA))?;
+        let Msg::Data {
+            seq,
+            region,
+            payload,
+            ..
+        } = msg
+        else {
+            unreachable!("matched DATA tag");
+        };
+        sink(seq, region, payload)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

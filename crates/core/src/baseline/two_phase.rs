@@ -16,11 +16,11 @@
 use std::collections::HashMap;
 
 use panda_msg::{MatchSpec, NodeId};
-use panda_schema::{copy, Region};
+use panda_schema::copy;
 
 use crate::array::ArrayMeta;
 use crate::baseline::naive::raw_barrier;
-use crate::baseline::{chunk_placements, ChunkPlacement};
+use crate::baseline::{chunk_placements, collect_pieces, ChunkPlacement, ChunkStage};
 use crate::client::PandaClient;
 use crate::error::PandaError;
 use crate::protocol::{recv_msg, send_msg, tags, Msg};
@@ -92,44 +92,16 @@ pub fn two_phase_write(
 
     // Phase 1b: assemble the chunks I proxy.
     let mine = proxied_chunks(array, &placements, rank, num_clients);
-    let mut buffers: HashMap<usize, Vec<u8>> = mine
-        .iter()
-        .map(|(p, _)| (p.chunk_idx, vec![0u8; p.region.num_bytes(elem)]))
-        .collect();
-    let mut remaining: HashMap<usize, usize> =
-        mine.iter().map(|(p, n)| (p.chunk_idx, *n)).collect();
-    let regions: HashMap<usize, Region> = mine
-        .iter()
-        .map(|(p, _)| (p.chunk_idx, p.region.clone()))
-        .collect();
-    let mut outstanding: usize = remaining.values().sum();
-    while outstanding > 0 {
-        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::DATA))?;
-        let Msg::Data {
-            seq,
-            region,
-            payload,
-            ..
-        } = msg
-        else {
-            unreachable!("matched DATA tag");
-        };
-        let chunk_idx = seq as usize;
-        let buf = buffers
-            .get_mut(&chunk_idx)
-            .ok_or_else(|| PandaError::Protocol {
-                detail: format!("piece for chunk {chunk_idx} not proxied here"),
-            })?;
-        copy::unpack_region(buf, &regions[&chunk_idx], &region, &payload, elem)?;
-        let left = remaining.get_mut(&chunk_idx).expect("tracked chunk");
-        *left -= 1;
-        outstanding -= 1;
-    }
+    let mut stage = ChunkStage::new(mine.iter().map(|(p, _)| *p), elem);
+    let outstanding: usize = mine.iter().map(|(_, n)| n).sum();
+    collect_pieces(client, outstanding, |seq, region, payload| {
+        stage.unpack_piece(seq as usize, &region, &payload, elem)
+    })?;
 
     // Phase 2: ship each assembled chunk to its I/O node in large
     // consecutive pieces.
     for (p, _) in &mine {
-        let buf = &buffers[&p.chunk_idx];
+        let (_, buf) = stage.chunk(p.chunk_idx);
         let file = ServerNode::file_name(file_tag, p.server);
         let mut off = 0usize;
         while off < buf.len() {
@@ -199,14 +171,7 @@ pub fn two_phase_read(
             off += len;
         }
     }
-    let mut buffers: HashMap<usize, Vec<u8>> = mine
-        .iter()
-        .map(|(p, _)| (p.chunk_idx, vec![0u8; p.region.num_bytes(elem)]))
-        .collect();
-    let regions: HashMap<usize, Region> = mine
-        .iter()
-        .map(|(p, _)| (p.chunk_idx, p.region.clone()))
-        .collect();
+    let mut stage = ChunkStage::new(mine.iter().map(|(p, _)| *p), elem);
     while !reads.is_empty() {
         let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
         let Msg::RawData { seq, payload } = msg else {
@@ -220,19 +185,18 @@ pub fn two_phase_read(
                 detail: "short raw read".to_string(),
             });
         }
-        buffers.get_mut(&chunk_idx).expect("tracked chunk")[off..off + len]
-            .copy_from_slice(&payload);
+        stage.fill_at(chunk_idx, off, &payload);
     }
 
     // Phase 2: proxies scatter pieces to the owning compute nodes.
     for (p, _) in &mine {
-        let buf = &buffers[&p.chunk_idx];
+        let (chunk_region, buf) = stage.chunk(p.chunk_idx);
         for owner in mem_grid.chunks_intersecting(&p.region) {
             let owner_region = mem_grid.chunk_region(owner);
             let isect = owner_region
                 .intersect(&p.region)
                 .expect("intersecting chunk");
-            let payload = copy::pack_region(buf, &regions[&p.chunk_idx], &isect, elem)?;
+            let payload = copy::pack_region(buf, chunk_region, &isect, elem)?;
             send_msg(
                 client.transport_mut(),
                 NodeId(owner),
@@ -247,22 +211,15 @@ pub fn two_phase_read(
     }
 
     // Collect my pieces: one per disk chunk overlapping my region.
-    let mut expected_pieces = if my_region.is_empty() {
+    let expected_pieces = if my_region.is_empty() {
         0
     } else {
         array.disk_grid().chunks_intersecting(&my_region).len()
     };
-    while expected_pieces > 0 {
-        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::DATA))?;
-        let Msg::Data {
-            region, payload, ..
-        } = msg
-        else {
-            unreachable!("matched DATA tag");
-        };
+    collect_pieces(client, expected_pieces, |_seq, region, payload| {
         copy::unpack_region(data, &my_region, &region, &payload, elem)?;
-        expected_pieces -= 1;
-    }
+        Ok(())
+    })?;
     raw_barrier(client)
 }
 

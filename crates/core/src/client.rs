@@ -20,6 +20,26 @@ use crate::error::PandaError;
 
 use crate::protocol::{recv_msg, send_data, send_msg, ArrayOp, CollectiveRequest, Msg, OpKind};
 
+/// One array's side of the exchange, as the serve loop sees it: the
+/// variant is the collective's direction.
+enum XferBuf<'a> {
+    /// Write direction: the client's chunk, packed on demand for each
+    /// `Fetch`.
+    Src(&'a [u8]),
+    /// Read direction: the client's receive buffer, scattered into for
+    /// each `Data`.
+    Dst(&'a mut [u8]),
+}
+
+/// Per-array state for [`PandaClient::serve_collective`].
+struct XferArray<'a> {
+    meta: &'a ArrayMeta,
+    /// The memory region the buffer covers (my chunk, or its
+    /// intersection with the requested section).
+    region: Region,
+    buf: XferBuf<'a>,
+}
+
 /// A compute node's handle to Panda. One per client thread.
 pub struct PandaClient {
     transport: Box<dyn Transport>,
@@ -144,49 +164,17 @@ impl PandaClient {
         let t_op = self.obs_on().then(Instant::now);
         self.start_collective(OpKind::Write, &heads, None)?;
 
-        // My memory regions, one per array.
-        let regions: Vec<Region> = arrays
+        let mut xfer: Vec<XferArray<'_>> = arrays
             .iter()
-            .map(|(m, _, _)| m.client_region(self.rank))
+            .map(|&(meta, _, data)| XferArray {
+                meta,
+                region: meta.client_region(self.rank),
+                buf: XferBuf::Src(data),
+            })
             .collect();
-
-        // With pipelining the servers keep several requests outstanding
-        // per client, so this loop is the client's hot path. Each reply
-        // is packed into a fresh exactly-sized buffer that then *moves*
-        // into the envelope via the vectored send path: one allocation
-        // and one copy per piece, where the old scratch-buffer scheme
-        // paid a pack copy plus an envelope-assembly copy.
-        let mut released = false;
-        let mut complete = false;
-        while !(released || complete) {
-            let (src, msg) = recv_msg(self.transport_mut(), MatchSpec::any())?;
-            match msg {
-                Msg::Fetch { array, seq, region } => {
-                    let idx = array as usize;
-                    let (meta, _, data) = arrays.get(idx).ok_or_else(|| PandaError::Protocol {
-                        detail: format!("fetch for unknown array index {idx}"),
-                    })?;
-                    let t_pack = self.obs_on().then(Instant::now);
-                    let packed = copy::pack_region(data, &regions[idx], &region, meta.elem_size())?;
-                    if let Some(t) = t_pack {
-                        self.emit(&Event::ClientPacked {
-                            array,
-                            seq,
-                            bytes: packed.len() as u64,
-                            dur: t.elapsed(),
-                        });
-                    }
-                    send_data(self.transport_mut(), src, array, seq, &region, packed)?;
-                }
-                Msg::Complete => complete = true,
-                Msg::Release => released = true,
-                other => {
-                    return Err(PandaError::Protocol {
-                        detail: format!("unexpected {:?} during write", other.tag()),
-                    })
-                }
-            }
-        }
+        // A write expects no inbound pieces; the loop runs on control
+        // flow alone.
+        let complete = self.serve_collective(&mut xfer, 0)?;
         if let Some(t) = t_op {
             self.emit(&Event::CollectiveDone {
                 op: OpDir::Write,
@@ -285,12 +273,71 @@ impl PandaClient {
         let t_op = self.obs_on().then(Instant::now);
         self.start_collective(OpKind::Read, &heads, Some(sections))?;
 
+        let mut xfer: Vec<XferArray<'_>> = arrays
+            .iter_mut()
+            .zip(&regions)
+            .map(|(a, region)| XferArray {
+                meta: a.0,
+                region: region.clone(),
+                buf: XferBuf::Dst(a.2),
+            })
+            .collect();
+        let complete = self.serve_collective(&mut xfer, expected)?;
+        if let Some(t) = t_op {
+            self.emit(&Event::CollectiveDone {
+                op: OpDir::Read,
+                dur: t.elapsed(),
+            });
+        }
+        self.finish_collective(complete)
+    }
+
+    /// The one client-side exchange loop: serve the servers until
+    /// released, for either direction. Fetches pack from `Src` buffers
+    /// and reply with `Data`; deliveries scatter into `Dst` buffers —
+    /// the buffer variant *is* the direction, so a fetch during a read
+    /// (or a delivery during a write) is a typed protocol error.
+    /// `expected` is how many pieces must land here (0 for writes);
+    /// with pipelining the servers keep several requests outstanding
+    /// per client, so this loop is the client's hot path: each packed
+    /// reply *moves* into the envelope via the vectored send path — one
+    /// allocation and one copy per piece.
+    ///
+    /// Returns whether `Complete` (rather than `Release`) ended the
+    /// loop, for [`PandaClient::finish_collective`].
+    fn serve_collective(
+        &mut self,
+        arrays: &mut [XferArray<'_>],
+        expected: usize,
+    ) -> Result<bool, PandaError> {
         let mut received = 0usize;
         let mut released = false;
         let mut complete = false;
         while received < expected || !(released || complete) {
-            let (_src, msg) = recv_msg(self.transport_mut(), MatchSpec::any())?;
+            let (src, msg) = recv_msg(self.transport_mut(), MatchSpec::any())?;
             match msg {
+                Msg::Fetch { array, seq, region } => {
+                    let idx = array as usize;
+                    let x = arrays.get(idx).ok_or_else(|| PandaError::Protocol {
+                        detail: format!("fetch for unknown array index {idx}"),
+                    })?;
+                    let XferBuf::Src(data) = &x.buf else {
+                        return Err(PandaError::Protocol {
+                            detail: "fetch during a read collective".to_string(),
+                        });
+                    };
+                    let t_pack = self.obs_on().then(Instant::now);
+                    let packed = copy::pack_region(data, &x.region, &region, x.meta.elem_size())?;
+                    if let Some(t) = t_pack {
+                        self.emit(&Event::ClientPacked {
+                            array,
+                            seq,
+                            bytes: packed.len() as u64,
+                            dur: t.elapsed(),
+                        });
+                    }
+                    send_data(self.transport_mut(), src, array, seq, &region, packed)?;
+                }
                 Msg::Data {
                     array,
                     seq,
@@ -298,13 +345,17 @@ impl PandaClient {
                     payload,
                 } => {
                     let idx = array as usize;
-                    let (meta, _, data) =
-                        arrays.get_mut(idx).ok_or_else(|| PandaError::Protocol {
-                            detail: format!("data for unknown array index {idx}"),
-                        })?;
-                    let elem = meta.elem_size();
+                    let x = arrays.get_mut(idx).ok_or_else(|| PandaError::Protocol {
+                        detail: format!("data for unknown array index {idx}"),
+                    })?;
+                    let elem = x.meta.elem_size();
+                    let XferBuf::Dst(data) = &mut x.buf else {
+                        return Err(PandaError::Protocol {
+                            detail: "data reply during a write collective".to_string(),
+                        });
+                    };
                     let t_unpack = self.obs_on().then(Instant::now);
-                    copy::unpack_region(data, &regions[idx], &region, &payload, elem)?;
+                    copy::unpack_region(data, &x.region, &region, &payload, elem)?;
                     if let Some(t) = t_unpack {
                         self.emit(&Event::ClientUnpacked {
                             array,
@@ -324,18 +375,12 @@ impl PandaClient {
                 Msg::Release => released = true,
                 other => {
                     return Err(PandaError::Protocol {
-                        detail: format!("unexpected {:?} during read", other.tag()),
+                        detail: format!("unexpected {:?} during a collective", other.tag()),
                     })
                 }
             }
         }
-        if let Some(t) = t_op {
-            self.emit(&Event::CollectiveDone {
-                op: OpDir::Read,
-                dur: t.elapsed(),
-            });
-        }
-        self.finish_collective(complete)
+        Ok(complete)
     }
 
     /// Send the high-level collective request (master client only).

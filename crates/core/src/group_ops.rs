@@ -101,6 +101,40 @@ impl ArrayGroup {
             .collect()
     }
 
+    /// File tags of every array at timestep `t`, in group order.
+    fn timestep_tags(&self, t: usize) -> Vec<String> {
+        (0..self.arrays.len())
+            .map(|i| self.timestep_tag(i, t))
+            .collect()
+    }
+
+    /// File tags of every array in checkpoint generation `generation`,
+    /// in group order.
+    fn checkpoint_tags(&self, generation: usize) -> Vec<String> {
+        (0..self.arrays.len())
+            .map(|i| self.checkpoint_tag(i, generation))
+            .collect()
+    }
+
+    /// Collective read of every array from the given file tags — the
+    /// shared tail of [`ArrayGroup::restart`] and
+    /// [`ArrayGroup::read_timestep`].
+    fn read_with_tags(
+        &self,
+        client: &mut PandaClient,
+        tags: &[String],
+        datas: &mut [&mut [u8]],
+    ) -> Result<(), PandaError> {
+        let mut slices: Vec<(&ArrayMeta, &str, &mut [u8])> = self
+            .arrays
+            .iter()
+            .zip(tags.iter())
+            .zip(datas.iter_mut())
+            .map(|((meta, tag), data)| (meta, tag.as_str(), &mut **data))
+            .collect();
+        client.read(&mut slices)
+    }
+
     /// Collective: output all arrays for the current timestep and
     /// advance the timestep counter. `datas[i]` is this node's chunk of
     /// `arrays()[i]`.
@@ -110,10 +144,7 @@ impl ArrayGroup {
         datas: &[&[u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
-        let t = self.timesteps_taken;
-        let tags: Vec<String> = (0..self.arrays.len())
-            .map(|i| self.timestep_tag(i, t))
-            .collect();
+        let tags = self.timestep_tags(self.timesteps_taken);
         client.write(&self.op_slices(&tags, datas))?;
         self.timesteps_taken += 1;
         Ok(())
@@ -142,10 +173,7 @@ impl ArrayGroup {
         datas: &[&[u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
-        let gen = self.checkpoints_taken;
-        let tags: Vec<String> = (0..self.arrays.len())
-            .map(|i| self.checkpoint_tag(i, gen))
-            .collect();
+        let tags = self.checkpoint_tags(self.checkpoints_taken);
         client.write(&self.op_slices(&tags, datas))?;
         // The collective has completed (files written and synced) —
         // commit the generation. Every client writes the identical
@@ -204,18 +232,8 @@ impl ArrayGroup {
         // comes from a manifest that may be newer than the last
         // completed checkpoint.
         let completed = self.read_marker(client)?;
-        let gen = completed - 1;
-        let tags: Vec<String> = (0..self.arrays.len())
-            .map(|i| self.checkpoint_tag(i, gen))
-            .collect();
-        let mut slices: Vec<(&ArrayMeta, &str, &mut [u8])> = self
-            .arrays
-            .iter()
-            .zip(tags.iter())
-            .zip(datas.iter_mut())
-            .map(|((meta, tag), data)| (meta, tag.as_str(), &mut **data))
-            .collect();
-        client.read(&mut slices)
+        let tags = self.checkpoint_tags(completed - 1);
+        self.read_with_tags(client, &tags, datas)
     }
 
     /// Collective: read back the arrays written at timestep `t` (e.g.
@@ -227,17 +245,8 @@ impl ArrayGroup {
         datas: &mut [&mut [u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
-        let tags: Vec<String> = (0..self.arrays.len())
-            .map(|i| self.timestep_tag(i, t))
-            .collect();
-        let mut slices: Vec<(&ArrayMeta, &str, &mut [u8])> = self
-            .arrays
-            .iter()
-            .zip(tags.iter())
-            .zip(datas.iter_mut())
-            .map(|((meta, tag), data)| (meta, tag.as_str(), &mut **data))
-            .collect();
-        client.read(&mut slices)
+        let tags = self.timestep_tags(t);
+        self.read_with_tags(client, &tags, datas)
     }
 
     /// Collective: read a rectangular section of one array of timestep
@@ -294,24 +303,8 @@ impl ArrayGroup {
     /// Reconstruct a group from its manifest on I/O node 0.
     pub fn load(client: &mut PandaClient, group_name: &str) -> Result<ArrayGroup, PandaError> {
         let file = format!("{group_name}/{group_name}.schema");
-        let len = stat_file(client, &file)?;
-        if len == u64::MAX {
+        let Some(payload) = fetch_file(client, &file)? else {
             return Err(PandaError::Fs(panda_fs::FsError::NotFound { path: file }));
-        }
-        let server0 = NodeId(client.num_clients());
-        send_msg(
-            client.transport_mut(),
-            server0,
-            &Msg::RawRead {
-                file,
-                offset: 0,
-                len,
-                seq: 0,
-            },
-        )?;
-        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
-        let Msg::RawData { payload, .. } = msg else {
-            unreachable!("matched RAW_DATA tag");
         };
         Self::decode_manifest(&payload)
     }
@@ -362,27 +355,10 @@ impl ArrayGroup {
                 group: self.name.clone(),
             },
         };
-        let file = self.marker_file();
-        let len = stat_file(client, &file)?;
-        if len == u64::MAX {
+        let Some(payload) = fetch_file(client, &self.marker_file())? else {
             // Data files were (maybe partially) written but the marker
             // never landed: no generation is known-complete.
             return Err(incomplete());
-        }
-        let server0 = NodeId(client.num_clients());
-        send_msg(
-            client.transport_mut(),
-            server0,
-            &Msg::RawRead {
-                file,
-                offset: 0,
-                len,
-                seq: 0,
-            },
-        )?;
-        let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
-        let Msg::RawData { payload, .. } = msg else {
-            unreachable!("matched RAW_DATA tag");
         };
         let mut r = Reader::new(&payload);
         let name = r.str()?;
@@ -405,6 +381,32 @@ impl ArrayGroup {
         }
         Ok(())
     }
+}
+
+/// Fetch a whole control file (manifest or marker) from I/O node 0 over
+/// the raw plane: stat, then read its full length. `None` means the
+/// file does not exist.
+fn fetch_file(client: &mut PandaClient, file: &str) -> Result<Option<Vec<u8>>, PandaError> {
+    let len = stat_file(client, file)?;
+    if len == u64::MAX {
+        return Ok(None);
+    }
+    let server0 = NodeId(client.num_clients());
+    send_msg(
+        client.transport_mut(),
+        server0,
+        &Msg::RawRead {
+            file: file.to_string(),
+            offset: 0,
+            len,
+            seq: 0,
+        },
+    )?;
+    let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
+    let Msg::RawData { payload, .. } = msg else {
+        unreachable!("matched RAW_DATA tag");
+    };
+    Ok(Some(payload))
 }
 
 /// Query a file's length on I/O node 0; `u64::MAX` means "not found".

@@ -22,12 +22,17 @@
 //! * [`group_ops`] — the paper's application-facing API (Figure 2):
 //!   [`ArrayGroup`] with `timestep` / `checkpoint` / `restart`;
 //! * [`plan`] — the server-directed planner: round-robin chunk
-//!   assignment, 1 MB subchunk schedules, client intersection lists.
-//!   Shared verbatim with the performance model in `panda-model`;
+//!   assignment, 1 MB subchunk schedules, client intersection lists,
+//!   and the [`CollectiveSchedule`] lowering that flattens a whole
+//!   request (one array or many) into the step stream the server's
+//!   staged engine executes. Shared verbatim with the performance model
+//!   in `panda-model`;
 //! * [`protocol`] + [`encode`] — the typed client/server message set and
 //!   its wire encoding;
 //! * [`client`], [`server`], [`runtime`] — the threaded runtime over
-//!   `panda-msg` transports and `panda-fs` file systems;
+//!   `panda-msg` transports and `panda-fs` file systems; every
+//!   collective, at every pipeline depth and in both directions, runs
+//!   through the server's one schedule engine (see [`server`]);
 //! * [`baseline`] — comparison strategies from the paper's related-work
 //!   discussion: naive client-directed I/O (traditional caching) and
 //!   two-phase I/O \[Bordawekar93\].
@@ -96,7 +101,9 @@ pub use array::ArrayMeta;
 pub use client::PandaClient;
 pub use error::{ConfigIssue, PandaError};
 pub use group_ops::{ArrayGroup, GroupData};
-pub use plan::{build_server_plan, client_manifest, ServerPlan};
+pub use plan::{
+    build_server_plan, client_manifest, CollectiveSchedule, ScheduleFile, ScheduleStep, ServerPlan,
+};
 pub use pool::{IoPool, PinnedTask};
 pub use protocol::OpKind;
 pub use runtime::{PandaConfig, PandaSystem};

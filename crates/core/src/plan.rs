@@ -23,6 +23,7 @@
 use panda_schema::{split_into_subchunks, Region};
 
 use crate::array::ArrayMeta;
+use crate::protocol::{ArrayOp, OpKind};
 
 /// One client's share of a subchunk: the intersection of the subchunk
 /// with that client's memory chunk.
@@ -187,6 +188,134 @@ pub fn build_server_plan(
         num_servers,
         chunks,
         total_bytes: file_offset,
+    }
+}
+
+/// One subchunk step of a lowered [`CollectiveSchedule`].
+///
+/// A step is the unit the collective executor's window operates on: the
+/// exchange stage fetches (write) or pushes (read) the step's pieces,
+/// the reorganization stage copies them, and the pinned disk stage
+/// writes or reads `sub.bytes` at `sub.file_offset` of file
+/// [`ScheduleStep::file`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleStep {
+    /// Array index within the collective request (the wire's `array`
+    /// field and the [`panda_obs::SubchunkKey::array`] component).
+    pub array: u32,
+    /// Subchunk index within the array's selected subchunks (the
+    /// [`panda_obs::SubchunkKey::subchunk`] component).
+    pub subchunk: usize,
+    /// Index into [`CollectiveSchedule::files`].
+    pub file: usize,
+    /// The array's element size in bytes.
+    pub elem: usize,
+    /// The planned subchunk: region, file offset, size, client pieces.
+    pub sub: PlanSubchunk,
+    /// Read-section trim: pieces are intersected with this region
+    /// before being pushed. Always `None` on the write direction.
+    pub section: Option<Region>,
+}
+
+/// One per-array file of a [`CollectiveSchedule`], in first-use order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleFile {
+    /// The request's file tag (the server derives its per-server file
+    /// name from it).
+    pub tag: String,
+    /// Number of steps targeting this file — the disk stage fsyncs a
+    /// written file as soon as its last step lands.
+    pub steps: usize,
+}
+
+/// A server's lowered schedule for one whole collective request.
+///
+/// [`build_server_plan`] output for one or many arrays is flattened
+/// array-major into a single stream of [`ScheduleStep`]s; a single
+/// array is simply a group of one. The executor runs the stream through
+/// one depth-`d` window regardless of direction or array count, which
+/// is what keeps every file byte-identical across depths: per-file FIFO
+/// order is the flat order restricted to one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveSchedule {
+    /// The flat step stream, array-major, file-sequential per array.
+    pub steps: Vec<ScheduleStep>,
+    /// Files referenced by the steps, in first-use order.
+    pub files: Vec<ScheduleFile>,
+    /// Write direction only: file tags of arrays with no data on this
+    /// server, which still get an empty file created and synced.
+    pub empty_files: Vec<String>,
+}
+
+impl CollectiveSchedule {
+    /// Lower one collective request into this server's schedule.
+    ///
+    /// For writes every array contributes a file (empty plans land in
+    /// [`CollectiveSchedule::empty_files`]); for reads arrays without
+    /// selected subchunks are skipped entirely, and a step's subchunks
+    /// are filtered to those overlapping the array's section up front
+    /// so the prefetcher and the scatter loop stay in lockstep.
+    pub fn build(
+        arrays: &[ArrayOp],
+        op: OpKind,
+        server: usize,
+        num_servers: usize,
+        subchunk_bytes: usize,
+    ) -> Self {
+        let mut schedule = CollectiveSchedule {
+            steps: Vec::new(),
+            files: Vec::new(),
+            empty_files: Vec::new(),
+        };
+        for (idx, array_op) in arrays.iter().enumerate() {
+            let plan = build_server_plan(&array_op.meta, server, num_servers, subchunk_bytes);
+            let section = match op {
+                // Section writes are rejected at the protocol layer.
+                OpKind::Write => None,
+                OpKind::Read => array_op.section.clone(),
+            };
+            let selected: Vec<&PlanSubchunk> = plan
+                .subchunks()
+                .filter(|sub| match &section {
+                    None => true,
+                    Some(section) => sub.region.overlaps(section),
+                })
+                .collect();
+            if selected.is_empty() {
+                if matches!(op, OpKind::Write) {
+                    schedule.empty_files.push(array_op.file_tag.clone());
+                }
+                continue;
+            }
+            let file = schedule.files.len();
+            schedule.files.push(ScheduleFile {
+                tag: array_op.file_tag.clone(),
+                steps: selected.len(),
+            });
+            let elem = array_op.meta.elem_size();
+            for (si, sub) in selected.into_iter().enumerate() {
+                schedule.steps.push(ScheduleStep {
+                    array: idx as u32,
+                    subchunk: si,
+                    file,
+                    elem,
+                    sub: sub.clone(),
+                    section: section.clone(),
+                });
+            }
+        }
+        schedule
+    }
+
+    /// True when no step moves any data (files in
+    /// [`CollectiveSchedule::empty_files`] may still need creating).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total bytes the disk stage moves for this schedule.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.sub.bytes as u64).sum()
     }
 }
 
@@ -442,6 +571,135 @@ mod tests {
                 assert_eq!(m.bytes, bytes[c], "client {c}");
             }
         }
+    }
+
+    #[test]
+    fn schedule_lowering_is_array_major_and_file_sequential() {
+        let arrays = vec![
+            ArrayOp {
+                meta: traditional_array(&[16, 16], &[2, 2], 2),
+                file_tag: "a".to_string(),
+                section: None,
+            },
+            ArrayOp {
+                meta: natural_array(&[8, 8], &[2, 2]),
+                file_tag: "b".to_string(),
+                section: None,
+            },
+        ];
+        for server in 0..2 {
+            let sched = CollectiveSchedule::build(&arrays, OpKind::Write, server, 2, 128);
+            assert!(!sched.is_empty());
+            assert_eq!(sched.files.len(), 2);
+            // Array-major: array indices never decrease along the stream.
+            let mut last_array = 0;
+            for step in &sched.steps {
+                assert!(step.array >= last_array, "steps must be array-major");
+                last_array = step.array;
+            }
+            // Per-file FIFO: each file's offsets are strictly sequential,
+            // and the per-file step counts match the file table.
+            for (fidx, file) in sched.files.iter().enumerate() {
+                let steps: Vec<&ScheduleStep> =
+                    sched.steps.iter().filter(|s| s.file == fidx).collect();
+                assert_eq!(steps.len(), file.steps);
+                let mut expected = 0u64;
+                for step in steps {
+                    assert_eq!(step.sub.file_offset, expected);
+                    expected += step.sub.bytes as u64;
+                }
+            }
+            // The schedule moves exactly what the per-array plans move.
+            let planned: u64 = arrays
+                .iter()
+                .map(|op| build_server_plan(&op.meta, server, 2, 128).total_bytes)
+                .sum();
+            assert_eq!(sched.total_bytes(), planned);
+        }
+    }
+
+    #[test]
+    fn schedule_of_one_array_is_a_group_of_one() {
+        // Lowering a single array must equal that array's slice of a
+        // multi-array schedule (modulo the array/file indices).
+        let a = ArrayOp {
+            meta: traditional_array(&[16, 16], &[2, 2], 2),
+            file_tag: "a".to_string(),
+            section: None,
+        };
+        let b = ArrayOp {
+            meta: natural_array(&[8, 8], &[2, 2]),
+            file_tag: "b".to_string(),
+            section: None,
+        };
+        let solo = CollectiveSchedule::build(std::slice::from_ref(&b), OpKind::Write, 0, 2, 128);
+        let pair = CollectiveSchedule::build(&[a, b], OpKind::Write, 0, 2, 128);
+        let tail: Vec<&ScheduleStep> = pair.steps.iter().filter(|s| s.array == 1).collect();
+        assert_eq!(solo.steps.len(), tail.len());
+        for (s, t) in solo.steps.iter().zip(tail) {
+            assert_eq!(s.sub, t.sub);
+            assert_eq!(s.subchunk, t.subchunk);
+            assert_eq!(s.elem, t.elem);
+        }
+    }
+
+    #[test]
+    fn schedule_read_sections_filter_subchunks() {
+        let meta = traditional_array(&[16, 16], &[2, 2], 2);
+        let section = Region::new(&[0, 0], &[4, 16]).unwrap();
+        let op = ArrayOp {
+            meta,
+            file_tag: "a".to_string(),
+            section: Some(section.clone()),
+        };
+        let full = CollectiveSchedule::build(
+            &[ArrayOp {
+                section: None,
+                ..op.clone()
+            }],
+            OpKind::Read,
+            0,
+            2,
+            128,
+        );
+        let trimmed = CollectiveSchedule::build(&[op], OpKind::Read, 0, 2, 128);
+        assert!(trimmed.steps.len() < full.steps.len());
+        for step in &trimmed.steps {
+            assert!(step.sub.region.overlaps(&section));
+            assert_eq!(step.section.as_ref(), Some(&section));
+        }
+        // Server 1 owns only the bottom slab, disjoint from the section:
+        // it contributes no file at all.
+        let other = CollectiveSchedule::build(
+            &[ArrayOp {
+                meta: traditional_array(&[16, 16], &[2, 2], 2),
+                file_tag: "a".to_string(),
+                section: Some(section),
+            }],
+            OpKind::Read,
+            1,
+            2,
+            128,
+        );
+        assert!(other.is_empty());
+        assert!(other.files.is_empty());
+        assert!(other.empty_files.is_empty(), "reads never create files");
+    }
+
+    #[test]
+    fn schedule_write_records_empty_files() {
+        // 2 chunks over 3 servers: server 2 gets nothing but must still
+        // create its (empty) file on the write direction.
+        let op = ArrayOp {
+            meta: traditional_array(&[16, 16], &[2, 2], 2),
+            file_tag: "a".to_string(),
+            section: None,
+        };
+        let sched = CollectiveSchedule::build(std::slice::from_ref(&op), OpKind::Write, 2, 3, 128);
+        assert!(sched.is_empty());
+        assert_eq!(sched.empty_files, vec!["a".to_string()]);
+        let read = CollectiveSchedule::build(&[op], OpKind::Read, 2, 3, 128);
+        assert!(read.empty_files.is_empty());
     }
 
     #[test]

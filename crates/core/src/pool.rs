@@ -188,6 +188,33 @@ impl IoPool {
         }
     }
 
+    /// [`IoPool::run_scoped`] for fallible jobs: runs every job to
+    /// completion (the barrier still holds) and returns the first error
+    /// any of them reported. The collective executor's reorganization
+    /// stages all funnel their copy bursts through here.
+    pub fn run_scoped_result<'scope, E: Send + 'scope>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> Result<(), E> + Send + 'scope>>,
+    ) -> Result<(), E> {
+        let error: Mutex<Option<E>> = Mutex::new(None);
+        let wrapped: Vec<Box<dyn FnOnce() + Send + '_>> = jobs
+            .into_iter()
+            .map(|job| {
+                let error = &error;
+                Box::new(move || {
+                    if let Err(e) = job() {
+                        error.lock().unwrap().get_or_insert(e);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run_scoped(wrapped);
+        match error.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// [`copy::pack_region_into`] with the copy split over the pool:
     /// `sub` is cut into bands along its outermost dimension and each
     /// band packs into its own disjoint slice of `out`. Splitting along
@@ -212,8 +239,8 @@ impl IoPool {
         out.clear();
         out.resize(total, 0);
         let row_bytes = total / rows;
-        let error: Mutex<Option<SchemaError>> = Mutex::new(None);
-        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bands);
+        let mut jobs: Vec<Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>> =
+            Vec::with_capacity(bands);
         let mut rest: &mut [u8] = out;
         let lo0 = sub.lo()[0];
         for b in 0..bands {
@@ -228,18 +255,11 @@ impl IoPool {
             lo[0] = begin;
             hi[0] = end;
             let band = Region::new(&lo, &hi).expect("band of a valid region is valid");
-            let error = &error;
             jobs.push(Box::new(move || {
-                if let Err(e) = copy::copy_region(src, src_region, slab, &band, &band, elem_size) {
-                    error.lock().unwrap().get_or_insert(e);
-                }
+                copy::copy_region(src, src_region, slab, &band, &band, elem_size).map(|_| ())
             }));
         }
-        self.run_scoped(jobs);
-        match error.into_inner().unwrap() {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.run_scoped_result(jobs)
     }
 }
 
@@ -387,6 +407,33 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(finished.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn run_scoped_result_reports_the_first_error_after_all_jobs() {
+        let pool = IoPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> Result<(), i32> + Send + '_>> = (0..6)
+            .map(|i| {
+                let finished = &finished;
+                Box::new(move || {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                    if i == 3 {
+                        Err(3)
+                    } else {
+                        Ok(())
+                    }
+                }) as Box<dyn FnOnce() -> Result<(), i32> + Send + '_>
+            })
+            .collect();
+        assert_eq!(pool.run_scoped_result(jobs), Err(3));
+        // The barrier holds for fallible jobs too: an error does not
+        // cancel the rest of the burst.
+        assert_eq!(finished.load(Ordering::SeqCst), 6);
+        let ok: Vec<Box<dyn FnOnce() -> Result<(), i32> + Send + '_>> = (0..2)
+            .map(|_| Box::new(|| Ok(())) as Box<dyn FnOnce() -> Result<(), i32> + Send + '_>)
+            .collect();
+        assert_eq!(pool.run_scoped_result(ok), Ok(()));
     }
 
     #[test]

@@ -1,45 +1,38 @@
 //! The Panda server: the I/O-node side of a collective operation.
 //!
 //! Each server runs [`ServerNode::run`] in its own thread. On receiving
-//! a collective request it builds its plan (round-robin chunks →
-//! subchunks → client pieces) and *drives* the transfer so that its own
-//! file access is strictly sequential: for writes it pulls pieces from
-//! clients, assembles each subchunk in traditional order, and appends it
-//! to the file; for reads it streams the file forward and scatters each
-//! subchunk to the owning clients. The master server (index 0)
-//! additionally relays the request to its peers and reports completion
-//! to the master client.
+//! a collective request it lowers its per-array plans (round-robin
+//! chunks → subchunks → client pieces) into one [`CollectiveSchedule`]
+//! and hands the flat step stream to a single staged engine,
+//! `execute_schedule` — the only code path that moves collective data,
+//! for every direction, pipeline depth, and array count:
 //!
-//! # Pipelining and group concurrency
+//! * the **exchange stage** (this thread) talks to the clients: on the
+//!   write direction it keeps up to `depth` steps' `Fetch` requests in
+//!   flight (disambiguated by a request-global `seq`) and receives the
+//!   replies in bursts; on the read direction it pushes packed pieces
+//!   to their owners in step order;
+//! * the **reorganization stage** runs the copies on the server's
+//!   [`IoPool`]: reply bursts assemble into their window slots in
+//!   parallel, and read-side packs split across the workers;
+//! * the **pinned disk stage** is one task owning every file handle of
+//!   the request, consuming completed subchunk buffers (write) or
+//!   prefetching them (read) strictly in schedule order, fsyncing each
+//!   written file as its last step lands.
 //!
-//! At `pipeline_depth == 1` each subchunk is exchanged and written (or
-//! read and scattered) strictly one at a time, array after array — the
-//! paper's baseline transfer order, preserved bit for bit. At depth
-//! `d ≥ 2` the *request* — every array of the group — becomes the unit
-//! of scheduling: the subchunks of all arrays are flattened array-major
-//! into one stream and flow through a single depth-`d` window, so the
-//! pipeline never drains at an array boundary. Per-array FIFO order is
-//! the flat order restricted to one array, which keeps every file
-//! byte-identical to the unpipelined schedule.
-//!
-//! * **writes** keep up to `d` subchunks' `Fetch` requests in flight
-//!   (disambiguated by a request-global `seq`), assemble reply bursts
-//!   into recycled window buffers — independent subchunks reorganize
-//!   concurrently on the server's [`IoPool`] — and hand each completed
-//!   subchunk to a disk-writer task that owns *all* the group's file
-//!   handles, fsyncing each file as its last subchunk lands;
-//! * **reads** run a prefetcher task that streams every file of the
-//!   group forward through the same kind of recycled pool while this
-//!   thread packs the current subchunk's pieces in parallel and pushes
-//!   them to the clients.
-//!
-//! Either way each file is still accessed strictly sequentially by
-//! exactly one task, and the message set (tags, counts, payloads) is
-//! identical to the unpipelined schedule — only the overlap changes.
+//! The engine's per-file FIFO guarantee is what makes files
+//! byte-identical at every depth: the disk stage processes steps in
+//! flat schedule order, per-file offsets are sequential by
+//! construction, and exactly one task touches the files — so depth 1 is
+//! simply a window of one, and a single array is a group of one.
+//! Buffers recycle through the stage-boundary channels, so steady state
+//! runs allocation-free. The master server (index 0) additionally
+//! relays the request to its peers and reports completion to the master
+//! client.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use panda_fs::{FileHandle, FileSystem, FsError};
@@ -48,10 +41,10 @@ use panda_obs::{Event, OpDir, Recorder, SubchunkKey};
 use panda_schema::{copy, Region, SchemaError};
 
 use crate::error::PandaError;
-use crate::plan::{build_server_plan, PlanSubchunk, ServerPlan};
+use crate::plan::{CollectiveSchedule, ScheduleStep};
 use crate::pool::IoPool;
 use crate::protocol::{
-    recv_msg, send_data, send_msg, tags, try_recv_msg, ArrayOp, CollectiveRequest, Msg, OpKind,
+    recv_burst, recv_msg, send_data, send_msg, tags, CollectiveRequest, Msg, OpKind,
 };
 
 /// One I/O node.
@@ -72,7 +65,7 @@ pub struct ServerNode {
     raw_done: Vec<bool>,
     /// Number of set flags in [`ServerNode::raw_done`].
     raw_done_count: usize,
-    /// Worker pool shared by the pipelined disk loops and the parallel
+    /// Worker pool shared by the pinned disk stage and the parallel
     /// reorganization passes.
     pool: IoPool,
 }
@@ -86,39 +79,162 @@ fn op_dir(op: OpKind) -> OpDir {
 
 /// A subchunk being assembled inside the write window.
 struct InFlight {
-    /// Assembly buffer (recycled through the writer's pool).
+    /// Assembly buffer (recycled through the disk stage's free channel).
     buf: Vec<u8>,
     /// Pieces still missing.
     remaining: usize,
 }
 
-/// One subchunk of the flattened (array-major) group schedule.
-struct FlatSub<'p> {
-    /// Array index within the request (the wire's `array` field).
-    array: u32,
-    /// Subchunk index within that array's plan.
-    si: usize,
-    sub: &'p PlanSubchunk,
-    /// Index into the disk task's file-handle table.
+/// The pinned disk stage's view of one schedule step.
+struct DiskJob {
+    /// Index into the stage's file-handle table.
     file: usize,
-    /// The array's element size.
-    elem: usize,
-    /// Read-section trim, if any.
-    section: Option<&'p Region>,
+    /// The step's subchunk key, for event attribution.
+    key: SubchunkKey,
+    /// Absolute byte offset in the file.
+    offset: u64,
+    /// Subchunk size in bytes.
+    bytes: usize,
+}
+
+/// The disk stage's connection to the exchange/reorg stages. The
+/// variant is the direction: a write collective *pulls* full buffers
+/// out of the window, a read collective *pushes* prefetched ones into
+/// it. Either way full buffers flow one way through a bounded channel
+/// (the pipeline window) and drained buffers recycle back unbounded.
+enum DiskLink {
+    /// Write direction: consume completed subchunks, return them
+    /// drained.
+    Pull {
+        /// Completed subchunk buffers, in schedule order.
+        full: mpsc::Receiver<Vec<u8>>,
+        /// Drained buffers going back for reuse.
+        free: mpsc::Sender<Vec<u8>>,
+    },
+    /// Read direction: prefetch subchunks from recycled buffers.
+    Push {
+        /// Prefetched subchunk buffers, in schedule order.
+        full: mpsc::SyncSender<Vec<u8>>,
+        /// Drained buffers coming back for reuse.
+        free: mpsc::Receiver<Vec<u8>>,
+        /// Total buffers allowed in circulation (= pipeline depth,
+        /// counting the one the exchange stage is scattering). One
+        /// buffer means no read-ahead: the strictly serialized
+        /// schedule.
+        buffers: usize,
+    },
+}
+
+/// The engine's pinned disk stage: the single task that touches this
+/// server's files during a collective. It processes `jobs` strictly in
+/// schedule order — per-file offsets are sequential by construction, so
+/// every file access is sequential and per-file FIFO holds at any
+/// depth. Returns `Ok` early if the other side of the link hung up;
+/// the main thread's join logic surfaces whichever error caused that.
+fn run_disk_stage(
+    mut files: Vec<(Box<dyn FileHandle>, usize)>,
+    jobs: Vec<DiskJob>,
+    recorder: Arc<dyn Recorder>,
+    node: u32,
+    link: DiskLink,
+) -> Result<(), FsError> {
+    match link {
+        DiskLink::Pull { full, free } => {
+            for job in jobs {
+                let Ok(buf) = full.recv() else {
+                    // The exchange stage bailed; nothing more will come.
+                    return Ok(());
+                };
+                let t_disk = recorder.enabled().then(Instant::now);
+                let (file, remaining) = &mut files[job.file];
+                file.write_at(job.offset, &buf)?;
+                if let Some(t) = t_disk {
+                    recorder.record(
+                        node,
+                        &Event::DiskWriteDone {
+                            key: job.key,
+                            offset: job.offset,
+                            bytes: buf.len() as u64,
+                            dur: t.elapsed(),
+                        },
+                    );
+                }
+                // The exchange stage may already be past its last fetch.
+                let _ = free.send(buf);
+                *remaining -= 1;
+                // The paper flushes with fsync after each write op; sync
+                // as soon as an array's last subchunk lands, overlapped
+                // with the next array's exchange.
+                if *remaining == 0 {
+                    file.sync()?;
+                }
+            }
+        }
+        DiskLink::Push {
+            full,
+            free,
+            buffers,
+        } => {
+            let mut circulating = 0usize;
+            for job in jobs {
+                let mut buf = match free.try_recv() {
+                    Ok(b) => b,
+                    Err(_) if circulating < buffers => {
+                        circulating += 1;
+                        Vec::new()
+                    }
+                    // The whole pipeline window is downstream: the next
+                    // read must wait until the exchange stage drains a
+                    // buffer. At depth 1 this serializes read → push.
+                    Err(_) => match free.recv() {
+                        Ok(b) => b,
+                        // Consumer bailed; nothing left to prefetch for.
+                        Err(_) => return Ok(()),
+                    },
+                };
+                buf.clear();
+                buf.resize(job.bytes, 0);
+                let t_disk = recorder.enabled().then(Instant::now);
+                files[job.file].0.read_at(job.offset, &mut buf)?;
+                if recorder.enabled() {
+                    if let Some(t) = t_disk {
+                        recorder.record(
+                            node,
+                            &Event::DiskReadDone {
+                                key: job.key,
+                                offset: job.offset,
+                                bytes: buf.len() as u64,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
+                    recorder.record(
+                        node,
+                        &Event::DiskReadQueued {
+                            key: job.key,
+                            bytes: buf.len() as u64,
+                        },
+                    );
+                }
+                if full.send(buf).is_err() {
+                    // Consumer bailed; nothing left to prefetch for.
+                    return Ok(());
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Copy one fetched piece into its subchunk's assembly buffer and
-/// record the reorganization. Every write schedule funnels through
-/// here: the unpipelined loop calls it inline (`pooled == false`, a
-/// `Packed` event), the group pipeline from its worker jobs
-/// (`pooled == true`, a `ReorgWorker` event).
+/// record the reorganization. Every write step funnels through here
+/// from the engine's pooled assembly jobs.
 #[allow(clippy::too_many_arguments)]
 fn assemble_piece(
     recorder: &dyn Recorder,
     node: u32,
     key: SubchunkKey,
     piece: u32,
-    pooled: bool,
     buf: &mut [u8],
     sub_region: &Region,
     region: &Region,
@@ -128,24 +244,15 @@ fn assemble_piece(
     let t_pack = recorder.enabled().then(Instant::now);
     copy::copy_region(payload, region, buf, sub_region, region, elem)?;
     if let Some(t) = t_pack {
-        let bytes = payload.len() as u64;
-        let dur = t.elapsed();
-        let event = if pooled {
-            Event::ReorgWorker {
+        recorder.record(
+            node,
+            &Event::ReorgWorker {
                 key,
                 piece,
-                bytes,
-                dur,
-            }
-        } else {
-            Event::Packed {
-                key,
-                piece,
-                bytes,
-                dur,
-            }
-        };
-        recorder.record(node, &event);
+                bytes: payload.len() as u64,
+                dur: t.elapsed(),
+            },
+        );
     }
     Ok(())
 }
@@ -203,6 +310,11 @@ impl ServerNode {
         NodeId(0)
     }
 
+    /// A step's subchunk key under this server.
+    fn key_of(&self, step: &ScheduleStep) -> SubchunkKey {
+        SubchunkKey::new(self.server_idx, step.array, step.subchunk)
+    }
+
     /// The server's per-array file name for an operation.
     pub fn file_name(file_tag: &str, server_idx: usize) -> String {
         format!("{file_tag}.s{server_idx}")
@@ -245,7 +357,9 @@ impl ServerNode {
         }
     }
 
-    /// Execute one collective operation end to end.
+    /// Execute one collective operation end to end: lower the request
+    /// into a [`CollectiveSchedule`], run it through the staged engine,
+    /// then take part in the completion chain.
     fn handle_collective(&mut self, req: CollectiveRequest) -> Result<(), PandaError> {
         // The master server relays the schemas to the other servers; the
         // servers never talk to each other during the transfer itself.
@@ -268,22 +382,14 @@ impl ServerNode {
                 detail: "section writes are not supported".to_string(),
             });
         }
-        if depth <= 1 {
-            // Unpipelined baseline: arrays strictly one after another,
-            // every subchunk exchanged and written serially.
-            for (idx, array_op) in req.arrays.iter().enumerate() {
-                match req.op {
-                    OpKind::Write => self.write_array(idx as u32, array_op, req.subchunk_bytes)?,
-                    OpKind::Read => self.read_array(idx as u32, array_op, req.subchunk_bytes)?,
-                }
-            }
-        } else {
-            // Group-concurrent: one window over the whole request.
-            match req.op {
-                OpKind::Write => self.write_group(&req.arrays, req.subchunk_bytes, depth)?,
-                OpKind::Read => self.read_group(&req.arrays, req.subchunk_bytes, depth)?,
-            }
-        }
+        let schedule = CollectiveSchedule::build(
+            &req.arrays,
+            req.op,
+            self.server_idx,
+            self.num_servers,
+            req.subchunk_bytes,
+        );
+        self.execute_schedule(&schedule, op_dir(req.op), depth)?;
         if let Some(t) = t_op {
             self.emit(&Event::CollectiveDone {
                 op: op_dir(req.op),
@@ -308,72 +414,216 @@ impl ServerNode {
         Ok(())
     }
 
-    /// Unpipelined write path: pull pieces from clients subchunk by
-    /// subchunk, assemble in traditional order, append sequentially.
-    fn write_array(
+    /// The staged schedule engine — the one execution path behind every
+    /// collective. `dir` selects the exchange stage's sense
+    /// (pull-from-clients for writes, push-to-clients for reads) and
+    /// the disk stage's [`DiskLink`] wiring; everything else — the
+    /// depth-`d` window, the pooled reorganization, the per-file FIFO
+    /// disk order, the buffer recycling — is shared.
+    fn execute_schedule(
         &mut self,
-        array_idx: u32,
-        op: &ArrayOp,
-        subchunk_bytes: usize,
+        sched: &CollectiveSchedule,
+        dir: OpDir,
+        depth: usize,
     ) -> Result<(), PandaError> {
-        let meta = &op.meta;
-        let elem = meta.elem_size();
-        let plan = build_server_plan(meta, self.server_idx, self.num_servers, subchunk_bytes);
-        let subs: Vec<&PlanSubchunk> = plan.subchunks().collect();
         if self.obs_on() {
-            for (si, sub) in subs.iter().enumerate() {
+            for step in &sched.steps {
                 self.emit(&Event::SubchunkPlanned {
-                    key: SubchunkKey::new(self.server_idx, array_idx, si),
-                    bytes: sub.bytes as u64,
+                    key: self.key_of(step),
+                    bytes: step.sub.bytes as u64,
                 });
             }
         }
-        let file = self
-            .fs
-            .create(&Self::file_name(&op.file_tag, self.server_idx))?;
-        self.write_subchunks_inline(array_idx, elem, &subs, file)
+        // Arrays with no data on this server still get their (empty)
+        // file created and synced on the write direction.
+        for tag in &sched.empty_files {
+            let mut file = self.fs.create(&Self::file_name(tag, self.server_idx))?;
+            file.sync()?;
+        }
+        if sched.is_empty() {
+            return Ok(());
+        }
+        // The disk stage owns every file handle of the request for the
+        // whole collective; `steps` counts down to each file's fsync.
+        let mut files: Vec<(Box<dyn FileHandle>, usize)> = Vec::with_capacity(sched.files.len());
+        for f in &sched.files {
+            let name = Self::file_name(&f.tag, self.server_idx);
+            let handle = match dir {
+                OpDir::Write => self.fs.create(&name)?,
+                OpDir::Read => self.fs.open(&name)?,
+            };
+            files.push((handle, f.steps));
+        }
+        let jobs: Vec<DiskJob> = sched
+            .steps
+            .iter()
+            .map(|step| DiskJob {
+                file: step.file,
+                key: self.key_of(step),
+                offset: step.sub.file_offset,
+                bytes: step.sub.bytes,
+            })
+            .collect();
+        let recorder = Arc::clone(&self.recorder);
+        let node = self.my_rank();
+
+        match dir {
+            OpDir::Write => {
+                // The bounded full queue caps buffered-but-unwritten
+                // subchunks; at depth 1 the exchange loop additionally
+                // waits for each buffer to recycle, which serializes
+                // the schedule strictly.
+                let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth);
+                let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
+                let link = DiskLink::Pull {
+                    full: full_rx,
+                    free: free_tx,
+                };
+                let disk = self
+                    .pool
+                    .spawn_pinned(move || run_disk_stage(files, jobs, recorder, node, link));
+                let run = self.pull_from_clients(sched, depth, &full_tx, &free_rx);
+                // Closing the full queue lets the disk stage drain and
+                // exit.
+                drop(full_tx);
+                Self::join_disk(run, disk)
+            }
+            OpDir::Read => {
+                // `depth` buffers circulate, counting the one being
+                // scattered (depth 1 = no read-ahead, depth 2 = classic
+                // double buffer); the queue bound keeps the prefetcher
+                // from running further ahead than the window.
+                let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth - 1);
+                let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
+                let link = DiskLink::Push {
+                    full: full_tx,
+                    free: free_rx,
+                    buffers: depth,
+                };
+                let disk = self
+                    .pool
+                    .spawn_pinned(move || run_disk_stage(files, jobs, recorder, node, link));
+                let run = self.push_to_clients(sched, &full_rx, &free_tx);
+                // Unblock a prefetcher still parked on a full queue,
+                // then join.
+                drop(full_rx);
+                Self::join_disk(run, disk)
+            }
+        }
     }
 
-    /// Unpipelined write schedule: one subchunk at a time, the disk
-    /// write strictly after the last piece arrives. One assembly buffer
-    /// is recycled across all subchunks.
-    fn write_subchunks_inline(
-        &mut self,
-        array_idx: u32,
-        elem: usize,
-        subs: &[&PlanSubchunk],
-        mut file: Box<dyn FileHandle>,
+    /// Join the disk stage and combine its verdict with the exchange
+    /// stage's: a dead disk stage also breaks the exchange loop, so the
+    /// disk error is the root cause when both failed.
+    fn join_disk(
+        run: Result<(), PandaError>,
+        disk: crate::pool::PinnedTask<Result<(), FsError>>,
     ) -> Result<(), PandaError> {
+        let disk = disk.join().map_err(|_| PandaError::Protocol {
+            detail: "disk stage task panicked".to_string(),
+        })?;
+        match (run, disk) {
+            (Ok(()), disk) => Ok(disk?),
+            (Err(_), Err(disk)) => Err(disk.into()),
+            (Err(run), Ok(())) => Err(run),
+        }
+    }
+
+    /// Write-direction exchange + reorganization stages: keep up to
+    /// `depth` steps' fetches outstanding, receive replies in bursts,
+    /// assemble each burst into its window slots in parallel on the
+    /// pool, and hand completed head subchunks to the disk stage in
+    /// schedule order.
+    fn pull_from_clients(
+        &mut self,
+        sched: &CollectiveSchedule,
+        depth: usize,
+        full_tx: &mpsc::SyncSender<Vec<u8>>,
+        free_rx: &mpsc::Receiver<Vec<u8>>,
+    ) -> Result<(), PandaError> {
+        let steps = &sched.steps;
         let mut seq = 0u64;
-        let mut buf = Vec::new();
-        let mut outstanding: HashMap<u64, usize> = HashMap::new();
-        for (si, sub) in subs.iter().enumerate() {
-            let key = SubchunkKey::new(self.server_idx, array_idx, si);
-            buf.clear();
-            buf.resize(sub.bytes, 0);
-            // Ask every owning client for its piece...
-            for (pi, piece) in sub.pieces.iter().enumerate() {
-                send_msg(
-                    &mut *self.transport,
-                    NodeId(piece.client),
-                    &Msg::Fetch {
-                        array: array_idx,
-                        seq,
-                        region: piece.region.clone(),
-                    },
-                )?;
-                self.emit(&Event::FetchSent {
-                    key,
-                    piece: pi as u32,
-                    client: piece.client as u32,
+        // seq → (step index, piece index) for every in-flight fetch; the
+        // request-global seq disambiguates replies across arrays sharing
+        // the window.
+        let mut seq_map: HashMap<u64, (usize, usize)> = HashMap::new();
+        let mut window: VecDeque<InFlight> = VecDeque::with_capacity(depth);
+        let mut front = 0usize; // oldest step still in the window
+        let mut next = 0usize; // next step to issue fetches for
+        let mut circulating = 0usize; // buffers alive across both stages
+        loop {
+            // Hand completed head subchunks to the disk stage: it writes
+            // step k while replies for k+1.. assemble here.
+            while window.front().is_some_and(|s| s.remaining == 0) {
+                let done = window.pop_front().expect("checked front");
+                self.emit(&Event::DiskWriteQueued {
+                    key: self.key_of(&steps[front]),
+                    bytes: done.buf.len() as u64,
                 });
-                outstanding.insert(seq, pi);
-                seq += 1;
+                if full_tx.send(done.buf).is_err() {
+                    // Disk stage bailed; its join has the cause.
+                    return Err(PandaError::Protocol {
+                        detail: "disk stage stopped early".to_string(),
+                    });
+                }
+                front += 1;
             }
-            // ... and scatter the replies into the subchunk buffer.
-            while !outstanding.is_empty() {
-                let t_wait = self.obs_on().then(Instant::now);
-                let (_src, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
+            if front == steps.len() {
+                return Ok(());
+            }
+            // Keep up to `depth` steps' fetches outstanding.
+            while next < steps.len() && next - front < depth {
+                let step = &steps[next];
+                let mut buf = if circulating < depth {
+                    circulating += 1;
+                    Vec::new()
+                } else if depth == 1 {
+                    // Depth 1 is the strictly serialized oracle: wait
+                    // for the disk write to land before the next fetch
+                    // goes out.
+                    free_rx.recv().map_err(|_| PandaError::Protocol {
+                        detail: "disk stage stopped early".to_string(),
+                    })?
+                } else {
+                    // Deeper windows reuse drained buffers
+                    // opportunistically and keep fetching while the
+                    // disk stage works; the bounded full queue is the
+                    // backpressure.
+                    free_rx.try_recv().unwrap_or_default()
+                };
+                buf.clear();
+                buf.resize(step.sub.bytes, 0);
+                for (pi, piece) in step.sub.pieces.iter().enumerate() {
+                    send_msg(
+                        &mut *self.transport,
+                        NodeId(piece.client),
+                        &Msg::Fetch {
+                            array: step.array,
+                            seq,
+                            region: piece.region.clone(),
+                        },
+                    )?;
+                    self.emit(&Event::FetchSent {
+                        key: self.key_of(step),
+                        piece: pi as u32,
+                        client: piece.client as u32,
+                    });
+                    seq_map.insert(seq, (next, pi));
+                    seq += 1;
+                }
+                window.push_back(InFlight {
+                    buf,
+                    remaining: step.sub.pieces.len(),
+                });
+                next += 1;
+            }
+            // One reply burst becomes one parallel reorganization pass
+            // instead of d serial copies.
+            let t_wait = self.obs_on().then(Instant::now);
+            let batch = recv_burst(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
+            // Route each reply to its window slot.
+            let mut per_slot: Vec<Vec<(usize, Region, Bytes)>> = vec![Vec::new(); window.len()];
+            for (bi, msg) in batch.into_iter().enumerate() {
                 let Msg::Data {
                     seq: rseq,
                     region,
@@ -383,578 +633,98 @@ impl ServerNode {
                 else {
                     unreachable!("matched DATA tag");
                 };
-                let pi = outstanding
-                    .remove(&rseq)
-                    .ok_or_else(|| PandaError::Protocol {
-                        detail: format!("unexpected data seq {rseq}"),
-                    })?;
-                debug_assert_eq!(region, sub.pieces[pi].region);
+                let (si, pi) = seq_map.remove(&rseq).ok_or_else(|| PandaError::Protocol {
+                    detail: format!("unexpected data seq {rseq}"),
+                })?;
+                let step = &steps[si];
+                debug_assert_eq!(region, step.sub.pieces[pi].region);
                 if let Some(t) = t_wait {
                     self.emit(&Event::FetchReplied {
-                        key,
+                        key: self.key_of(step),
                         bytes: payload.len() as u64,
-                        wait: t.elapsed(),
+                        // Only the blocking receive actually waited.
+                        wait: if bi == 0 { t.elapsed() } else { Duration::ZERO },
                     });
                 }
-                assemble_piece(
-                    self.recorder.as_ref(),
-                    self.my_rank(),
-                    key,
-                    pi as u32,
-                    false,
-                    &mut buf,
-                    &sub.region,
-                    &region,
-                    &payload,
-                    elem,
-                )?;
+                per_slot[si - front].push((pi, region, payload));
             }
-            let t_disk = self.obs_on().then(Instant::now);
-            file.write_at(sub.file_offset, &buf)?;
-            if let Some(t) = t_disk {
-                self.emit(&Event::DiskWriteDone {
-                    key,
-                    offset: sub.file_offset,
-                    bytes: buf.len() as u64,
-                    dur: t.elapsed(),
-                });
-            }
-        }
-        // The paper flushes to disk with fsync after each write op.
-        file.sync()?;
-        Ok(())
-    }
-
-    /// Group-concurrent write schedule (depth ≥ 2): the subchunks of
-    /// every array in the request flow array-major through one window,
-    /// so fetches for array `k+1` are already in flight while array
-    /// `k`'s tail is still being assembled and written — the pipeline
-    /// never drains at an array boundary. Up to `depth` subchunks'
-    /// fetches are outstanding at once, reply bursts are reorganized in
-    /// parallel on the worker pool, and completed subchunks are written
-    /// by one pinned disk task that owns all the group's file handles.
-    /// Buffers recycle through the writer's return channel, so steady
-    /// state runs allocation-free. Per-array FIFO order is preserved,
-    /// so every file is byte-identical to the inline schedule.
-    fn write_group(
-        &mut self,
-        arrays: &[ArrayOp],
-        subchunk_bytes: usize,
-        depth: usize,
-    ) -> Result<(), PandaError> {
-        let plans: Vec<ServerPlan> = arrays
-            .iter()
-            .map(|op| {
-                build_server_plan(&op.meta, self.server_idx, self.num_servers, subchunk_bytes)
-            })
-            .collect();
-        // Flatten array-major; arrays with no subchunks on this server
-        // still get their (empty) file created and synced right here.
-        let mut writer_files: Vec<(Box<dyn FileHandle>, usize)> = Vec::new();
-        let mut flat: Vec<FlatSub<'_>> = Vec::new();
-        for (idx, (op, plan)) in arrays.iter().zip(&plans).enumerate() {
-            let subs: Vec<&PlanSubchunk> = plan.subchunks().collect();
-            let mut file = self
-                .fs
-                .create(&Self::file_name(&op.file_tag, self.server_idx))?;
-            if subs.is_empty() {
-                file.sync()?;
-                continue;
-            }
-            if self.obs_on() {
-                for (si, sub) in subs.iter().enumerate() {
-                    self.emit(&Event::SubchunkPlanned {
-                        key: SubchunkKey::new(self.server_idx, idx as u32, si),
-                        bytes: sub.bytes as u64,
-                    });
+            // Assemble the batch, window slots in parallel: each job
+            // owns one slot's buffer (disjoint via `iter_mut`); pieces
+            // within a slot stay serial.
+            let recorder = &self.recorder;
+            let node = self.my_rank();
+            let mut jobs: Vec<Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>> =
+                Vec::new();
+            for (off, (slot, items)) in window.iter_mut().zip(per_slot).enumerate() {
+                if items.is_empty() {
+                    continue;
                 }
-            }
-            let fidx = writer_files.len();
-            writer_files.push((file, subs.len()));
-            let elem = op.meta.elem_size();
-            for (si, sub) in subs.into_iter().enumerate() {
-                flat.push(FlatSub {
-                    array: idx as u32,
-                    si,
-                    sub,
-                    file: fidx,
-                    elem,
-                    section: None,
-                });
-            }
-        }
-        if flat.is_empty() {
-            return Ok(());
-        }
-
-        // Disk jobs flow to the writer task; drained buffers flow back
-        // for reuse. The bounded job queue caps buffered-but-unwritten
-        // subchunks at `depth`.
-        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, SubchunkKey, u64, Vec<u8>)>(depth);
-        let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
-        let recorder = Arc::clone(&self.recorder);
-        let node = self.my_rank();
-        let writer = self.pool.spawn_pinned(move || -> Result<(), FsError> {
-            let mut files = writer_files;
-            while let Ok((fidx, key, offset, buf)) = job_rx.recv() {
-                let t_disk = recorder.enabled().then(Instant::now);
-                let (file, remaining) = &mut files[fidx];
-                file.write_at(offset, &buf)?;
-                if let Some(t) = t_disk {
-                    recorder.record(
-                        node,
-                        &Event::DiskWriteDone {
+                let step = &steps[front + off];
+                slot.remaining -= items.len();
+                let buf = &mut slot.buf;
+                let key = SubchunkKey::new(self.server_idx, step.array, step.subchunk);
+                jobs.push(Box::new(move || {
+                    for (pi, region, payload) in &items {
+                        assemble_piece(
+                            recorder.as_ref(),
+                            node,
                             key,
-                            offset,
-                            bytes: buf.len() as u64,
-                            dur: t.elapsed(),
-                        },
-                    );
-                }
-                // The assembler may already be past its last send.
-                let _ = pool_tx.send(buf);
-                *remaining -= 1;
-                // The paper flushes with fsync after each write op; sync
-                // as soon as an array's last subchunk lands, overlapped
-                // with the next array's exchange.
-                if *remaining == 0 {
-                    file.sync()?;
-                }
-            }
-            Ok(())
-        });
-
-        let run = (|| -> Result<(), PandaError> {
-            let mut seq = 0u64;
-            // seq → (flat index, piece index) for every in-flight fetch;
-            // the request-global seq disambiguates replies across arrays
-            // sharing the window.
-            let mut seq_map: HashMap<u64, (usize, usize)> = HashMap::new();
-            let mut window: VecDeque<InFlight> = VecDeque::with_capacity(depth);
-            let mut front = 0usize; // oldest subchunk still in the window
-            let mut next = 0usize; // next subchunk to issue fetches for
-            loop {
-                // Hand completed head subchunks to the disk task: it
-                // writes subchunk k while replies for k+1.. scatter here.
-                while window.front().is_some_and(|s| s.remaining == 0) {
-                    let done = window.pop_front().expect("checked front");
-                    let f = &flat[front];
-                    let key = SubchunkKey::new(self.server_idx, f.array, f.si);
-                    self.emit(&Event::DiskWriteQueued {
-                        key,
-                        bytes: done.buf.len() as u64,
-                    });
-                    if job_tx
-                        .send((f.file, key, f.sub.file_offset, done.buf))
-                        .is_err()
-                    {
-                        // Writer bailed; its join below has the cause.
-                        return Err(PandaError::Protocol {
-                            detail: "disk writer stopped early".to_string(),
-                        });
-                    }
-                    front += 1;
-                }
-                if front == flat.len() {
-                    return Ok(());
-                }
-                // Keep up to `depth` subchunks' fetches outstanding.
-                while next < flat.len() && next - front < depth {
-                    let f = &flat[next];
-                    let mut buf = pool_rx.try_recv().unwrap_or_default();
-                    buf.clear();
-                    buf.resize(f.sub.bytes, 0);
-                    for (pi, piece) in f.sub.pieces.iter().enumerate() {
-                        send_msg(
-                            &mut *self.transport,
-                            NodeId(piece.client),
-                            &Msg::Fetch {
-                                array: f.array,
-                                seq,
-                                region: piece.region.clone(),
-                            },
+                            *pi as u32,
+                            buf,
+                            &step.sub.region,
+                            region,
+                            payload,
+                            step.elem,
                         )?;
-                        self.emit(&Event::FetchSent {
-                            key: SubchunkKey::new(self.server_idx, f.array, f.si),
-                            piece: pi as u32,
-                            client: piece.client as u32,
-                        });
-                        seq_map.insert(seq, (next, pi));
-                        seq += 1;
                     }
-                    window.push_back(InFlight {
-                        buf,
-                        remaining: f.sub.pieces.len(),
-                    });
-                    next += 1;
-                }
-                // Block for one reply, then sweep everything that has
-                // already arrived: a burst of replies becomes one
-                // parallel reorganization pass instead of d serial
-                // copies.
-                let t_wait = self.obs_on().then(Instant::now);
-                let first = recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?.1;
-                let mut batch = vec![first];
-                while let Some((_, more)) =
-                    try_recv_msg(&mut *self.transport, MatchSpec::tag(tags::DATA))?
-                {
-                    batch.push(more);
-                }
-                // Route each reply to its window slot.
-                let mut per_slot: Vec<Vec<(usize, Region, Bytes)>> = vec![Vec::new(); window.len()];
-                for (bi, msg) in batch.into_iter().enumerate() {
-                    let Msg::Data {
-                        seq: rseq,
-                        region,
-                        payload,
-                        ..
-                    } = msg
-                    else {
-                        unreachable!("matched DATA tag");
-                    };
-                    let (si, pi) = seq_map.remove(&rseq).ok_or_else(|| PandaError::Protocol {
-                        detail: format!("unexpected data seq {rseq}"),
-                    })?;
-                    let f = &flat[si];
-                    debug_assert_eq!(region, f.sub.pieces[pi].region);
-                    if let Some(t) = t_wait {
-                        self.emit(&Event::FetchReplied {
-                            key: SubchunkKey::new(self.server_idx, f.array, f.si),
-                            bytes: payload.len() as u64,
-                            // Only the blocking receive actually waited.
-                            wait: if bi == 0 { t.elapsed() } else { Duration::ZERO },
-                        });
-                    }
-                    per_slot[si - front].push((pi, region, payload));
-                }
-                // Copy the batch, window slots in parallel: each job
-                // owns one slot's buffer (disjoint via `iter_mut`);
-                // pieces within a slot stay serial.
-                let recorder = &self.recorder;
-                let error: Mutex<Option<SchemaError>> = Mutex::new(None);
-                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-                for (off, (slot, items)) in window.iter_mut().zip(per_slot).enumerate() {
-                    if items.is_empty() {
-                        continue;
-                    }
-                    let f = &flat[front + off];
-                    slot.remaining -= items.len();
-                    let buf = &mut slot.buf;
-                    let key = SubchunkKey::new(self.server_idx, f.array, f.si);
-                    let error = &error;
-                    jobs.push(Box::new(move || {
-                        for (pi, region, payload) in &items {
-                            if let Err(e) = assemble_piece(
-                                recorder.as_ref(),
-                                node,
-                                key,
-                                *pi as u32,
-                                true,
-                                buf,
-                                &f.sub.region,
-                                region,
-                                payload,
-                                f.elem,
-                            ) {
-                                error.lock().unwrap().get_or_insert(e);
-                                return;
-                            }
-                        }
-                    }));
-                }
-                self.pool.run_scoped(jobs);
-                if let Some(e) = error.into_inner().unwrap() {
-                    return Err(e.into());
-                }
+                    Ok(())
+                }));
             }
-        })();
-
-        // Closing the job queue lets the writer drain and exit.
-        drop(job_tx);
-        let disk = writer.join().map_err(|_| PandaError::Protocol {
-            detail: "disk writer task panicked".to_string(),
-        })?;
-        match (run, disk) {
-            (Ok(()), disk) => Ok(disk?),
-            // A dead writer also breaks the assembly loop; the disk
-            // error is the root cause.
-            (Err(_), Err(disk)) => Err(disk.into()),
-            (Err(run), Ok(())) => Err(run),
+            self.pool.run_scoped_result(jobs)?;
         }
     }
 
-    /// Unpipelined read path: stream the file forward, scattering each
-    /// subchunk's pieces to the owning clients.
-    fn read_array(
+    /// Read-direction exchange stage: for each step, in schedule order,
+    /// take the next prefetched buffer from the disk stage, pack and
+    /// push its pieces, and recycle the buffer.
+    fn push_to_clients(
         &mut self,
-        array_idx: u32,
-        op: &ArrayOp,
-        subchunk_bytes: usize,
-    ) -> Result<(), PandaError> {
-        let meta = &op.meta;
-        let elem = meta.elem_size();
-        let plan = build_server_plan(meta, self.server_idx, self.num_servers, subchunk_bytes);
-        if plan.total_bytes == 0 {
-            return Ok(());
-        }
-        // Section reads skip non-overlapping subchunks entirely; the
-        // remaining reads still proceed in file order.
-        let selected: Vec<&PlanSubchunk> = plan
-            .subchunks()
-            .filter(|sub| match &op.section {
-                None => true,
-                Some(section) => sub.region.overlaps(section),
-            })
-            .collect();
-        if selected.is_empty() {
-            return Ok(());
-        }
-        if self.obs_on() {
-            for (si, sub) in selected.iter().enumerate() {
-                self.emit(&Event::SubchunkPlanned {
-                    key: SubchunkKey::new(self.server_idx, array_idx, si),
-                    bytes: sub.bytes as u64,
-                });
-            }
-        }
-        let file = self
-            .fs
-            .open(&Self::file_name(&op.file_tag, self.server_idx))?;
-        self.read_subchunks_inline(array_idx, elem, op.section.as_ref(), &selected, file)
-    }
-
-    /// Unpipelined read schedule: read a subchunk, scatter it, repeat.
-    /// The read buffer and the pack scratch are both recycled.
-    fn read_subchunks_inline(
-        &mut self,
-        array_idx: u32,
-        elem: usize,
-        section: Option<&Region>,
-        subs: &[&PlanSubchunk],
-        mut file: Box<dyn FileHandle>,
+        sched: &CollectiveSchedule,
+        full_rx: &mpsc::Receiver<Vec<u8>>,
+        free_tx: &mpsc::Sender<Vec<u8>>,
     ) -> Result<(), PandaError> {
         let mut seq = 0u64;
-        let mut buf = Vec::new();
-        for (si, sub) in subs.iter().enumerate() {
-            let key = SubchunkKey::new(self.server_idx, array_idx, si);
-            buf.clear();
-            buf.resize(sub.bytes, 0);
-            let t_disk = self.obs_on().then(Instant::now);
-            file.read_at(sub.file_offset, &mut buf)?;
-            if let Some(t) = t_disk {
-                self.emit(&Event::DiskReadDone {
-                    key,
-                    offset: sub.file_offset,
-                    bytes: buf.len() as u64,
-                    dur: t.elapsed(),
-                });
-            }
-            self.scatter_subchunk(key, sub, section, &buf, &mut seq, elem)?;
+        for step in &sched.steps {
+            let buf = full_rx.recv().map_err(|_| PandaError::Protocol {
+                detail: "disk stage stopped early".to_string(),
+            })?;
+            self.scatter_step(step, &buf, &mut seq)?;
+            // Hand the drained buffer back for the next prefetch.
+            let _ = free_tx.send(buf);
         }
         Ok(())
     }
 
-    /// Group-concurrent read schedule (depth ≥ 2): one pinned prefetch
-    /// task streams every array's file in turn — array-major, each file
-    /// strictly sequential — keeping up to `depth` subchunks buffered
-    /// through a bounded queue while this thread packs (in parallel on
-    /// the worker pool) and pushes the current one. Prefetch for array
-    /// `k+1` starts while array `k`'s tail is still being scattered, so
-    /// the disk never idles at an array boundary. The per-array message
-    /// stream is identical to the inline schedule.
-    fn read_group(
+    /// Reorganize and push one read step: pack all of its pieces in
+    /// parallel on the worker pool (large pieces additionally split
+    /// along their outermost dimension inside
+    /// [`IoPool::pack_region_par`]), trimming each to the requested
+    /// section, then send them in piece order so the per-client message
+    /// stream matches the serial schedule.
+    fn scatter_step(
         &mut self,
-        arrays: &[ArrayOp],
-        subchunk_bytes: usize,
-        depth: usize,
-    ) -> Result<(), PandaError> {
-        let plans: Vec<ServerPlan> = arrays
-            .iter()
-            .map(|op| {
-                build_server_plan(&op.meta, self.server_idx, self.num_servers, subchunk_bytes)
-            })
-            .collect();
-        let mut reader_files: Vec<Box<dyn FileHandle>> = Vec::new();
-        let mut jobs_desc: Vec<(usize, SubchunkKey, u64, usize)> = Vec::new();
-        let mut flat: Vec<FlatSub<'_>> = Vec::new();
-        for (idx, (op, plan)) in arrays.iter().zip(&plans).enumerate() {
-            if plan.total_bytes == 0 {
-                continue;
-            }
-            // Section reads skip non-overlapping subchunks entirely; the
-            // remaining reads still proceed in file order. Selecting up
-            // front keeps the prefetcher and the scatter loop in
-            // lockstep.
-            let selected: Vec<&PlanSubchunk> = plan
-                .subchunks()
-                .filter(|sub| match &op.section {
-                    None => true,
-                    Some(section) => sub.region.overlaps(section),
-                })
-                .collect();
-            if selected.is_empty() {
-                continue;
-            }
-            if self.obs_on() {
-                for (si, sub) in selected.iter().enumerate() {
-                    self.emit(&Event::SubchunkPlanned {
-                        key: SubchunkKey::new(self.server_idx, idx as u32, si),
-                        bytes: sub.bytes as u64,
-                    });
-                }
-            }
-            let fidx = reader_files.len();
-            reader_files.push(
-                self.fs
-                    .open(&Self::file_name(&op.file_tag, self.server_idx))?,
-            );
-            let elem = op.meta.elem_size();
-            for (si, sub) in selected.into_iter().enumerate() {
-                let key = SubchunkKey::new(self.server_idx, idx as u32, si);
-                jobs_desc.push((fidx, key, sub.file_offset, sub.bytes));
-                flat.push(FlatSub {
-                    array: idx as u32,
-                    si,
-                    sub,
-                    file: fidx,
-                    elem,
-                    section: op.section.as_ref(),
-                });
-            }
-        }
-        if flat.is_empty() {
-            return Ok(());
-        }
-        // Queue capacity depth-1 plus the buffer being scattered keeps
-        // `depth` subchunks in memory (depth 2 = classic double buffer).
-        let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth - 1);
-        let (pool_tx, pool_rx) = mpsc::channel::<Vec<u8>>();
-        let recorder = Arc::clone(&self.recorder);
-        let node = self.my_rank();
-        let reader = self.pool.spawn_pinned(move || -> Result<(), FsError> {
-            let mut files = reader_files;
-            for (fidx, key, offset, bytes) in jobs_desc {
-                let mut buf = pool_rx.try_recv().unwrap_or_default();
-                buf.clear();
-                buf.resize(bytes, 0);
-                let t_disk = recorder.enabled().then(Instant::now);
-                files[fidx].read_at(offset, &mut buf)?;
-                if let Some(t) = t_disk {
-                    recorder.record(
-                        node,
-                        &Event::DiskReadDone {
-                            key,
-                            offset,
-                            bytes: buf.len() as u64,
-                            dur: t.elapsed(),
-                        },
-                    );
-                }
-                if full_tx.send(buf).is_err() {
-                    // Consumer bailed; nothing left to prefetch for.
-                    return Ok(());
-                }
-            }
-            Ok(())
-        });
-
-        let run = (|| -> Result<(), PandaError> {
-            let mut seq = 0u64;
-            for f in &flat {
-                let buf = full_rx.recv().map_err(|_| PandaError::Protocol {
-                    detail: "disk reader stopped early".to_string(),
-                })?;
-                let key = SubchunkKey::new(self.server_idx, f.array, f.si);
-                self.scatter_subchunk_pooled(key, f.sub, f.section, &buf, &mut seq, f.elem)?;
-                // Hand the drained buffer back for the next prefetch.
-                let _ = pool_tx.send(buf);
-            }
-            Ok(())
-        })();
-
-        // Unblock a prefetcher still parked on a full queue, then join.
-        drop(full_rx);
-        let disk = reader.join().map_err(|_| PandaError::Protocol {
-            detail: "disk reader task panicked".to_string(),
-        })?;
-        match (run, disk) {
-            (Ok(()), disk) => Ok(disk?),
-            // A dead reader also breaks the scatter loop; the disk error
-            // is the root cause.
-            (Err(_), Err(disk)) => Err(disk.into()),
-            (Err(run), Ok(())) => Err(run),
-        }
-    }
-
-    /// Pack and push one subchunk's pieces to their owning clients,
-    /// trimming each piece to the requested section. `key.array` names
-    /// the array index on the wire.
-    #[allow(clippy::too_many_arguments)]
-    fn scatter_subchunk(
-        &mut self,
-        key: SubchunkKey,
-        sub: &PlanSubchunk,
-        section: Option<&Region>,
+        step: &ScheduleStep,
         buf: &[u8],
         seq: &mut u64,
-        elem: usize,
     ) -> Result<(), PandaError> {
-        for (pi, piece) in sub.pieces.iter().enumerate() {
-            let target = match section {
-                None => Some(piece.region.clone()),
-                Some(section) => piece.region.intersect(section),
-            };
-            let Some(target) = target else { continue };
-            let t_pack = self.obs_on().then(Instant::now);
-            let packed = copy::pack_region(buf, &sub.region, &target, elem)?;
-            let bytes = packed.len() as u64;
-            if let Some(t) = t_pack {
-                self.emit(&Event::Packed {
-                    key,
-                    piece: pi as u32,
-                    bytes,
-                    dur: t.elapsed(),
-                });
-            }
-            send_data(
-                &mut *self.transport,
-                NodeId(piece.client),
-                key.array,
-                *seq,
-                &target,
-                packed,
-            )?;
-            self.emit(&Event::PushSent {
-                key,
-                piece: pi as u32,
-                client: piece.client as u32,
-                bytes,
-            });
-            *seq += 1;
-        }
-        Ok(())
-    }
-
-    /// Group-path variant of [`Self::scatter_subchunk`]: packs all of a
-    /// subchunk's pieces in parallel on the worker pool (large pieces
-    /// additionally split along their outermost dimension inside
-    /// [`IoPool::pack_region_par`]), then sends them in piece order so
-    /// the per-client message stream matches the serial schedule.
-    fn scatter_subchunk_pooled(
-        &mut self,
-        key: SubchunkKey,
-        sub: &PlanSubchunk,
-        section: Option<&Region>,
-        buf: &[u8],
-        seq: &mut u64,
-        elem: usize,
-    ) -> Result<(), PandaError> {
-        let targets: Vec<(usize, Region)> = sub
+        let key = self.key_of(step);
+        let targets: Vec<(usize, Region)> = step
+            .sub
             .pieces
             .iter()
             .enumerate()
             .filter_map(|(pi, piece)| {
-                let target = match section {
+                let target = match &step.section {
                     None => Some(piece.region.clone()),
                     Some(section) => piece.region.intersect(section),
                 };
@@ -969,45 +739,36 @@ impl ServerNode {
             let pool = &self.pool;
             let recorder = &self.recorder;
             let node = self.my_rank();
-            let error: Mutex<Option<SchemaError>> = Mutex::new(None);
-            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = packed
+            let jobs: Vec<Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>> = packed
                 .iter_mut()
                 .zip(&targets)
                 .map(|(out, (pi, target))| {
-                    let error = &error;
                     Box::new(move || {
                         let t_pack = recorder.enabled().then(Instant::now);
-                        match pool.pack_region_par(out, buf, &sub.region, target, elem) {
-                            Ok(()) => {
-                                if let Some(t) = t_pack {
-                                    recorder.record(
-                                        node,
-                                        &Event::ReorgWorker {
-                                            key,
-                                            piece: *pi as u32,
-                                            bytes: out.len() as u64,
-                                            dur: t.elapsed(),
-                                        },
-                                    );
-                                }
-                            }
-                            Err(e) => {
-                                error.lock().unwrap().get_or_insert(e);
-                            }
+                        pool.pack_region_par(out, buf, &step.sub.region, target, step.elem)?;
+                        if let Some(t) = t_pack {
+                            recorder.record(
+                                node,
+                                &Event::ReorgWorker {
+                                    key,
+                                    piece: *pi as u32,
+                                    bytes: out.len() as u64,
+                                    dur: t.elapsed(),
+                                },
+                            );
                         }
-                    }) as Box<dyn FnOnce() + Send + '_>
+                        Ok(())
+                    })
+                        as Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>
                 })
                 .collect();
-            self.pool.run_scoped(jobs);
-            if let Some(e) = error.into_inner().unwrap() {
-                return Err(e.into());
-            }
+            self.pool.run_scoped_result(jobs)?;
         }
         for ((pi, target), data) in targets.into_iter().zip(packed) {
             let bytes = data.len() as u64;
             send_data(
                 &mut *self.transport,
-                NodeId(sub.pieces[pi].client),
+                NodeId(step.sub.pieces[pi].client),
                 key.array,
                 *seq,
                 &target,
@@ -1016,7 +777,7 @@ impl ServerNode {
             self.emit(&Event::PushSent {
                 key,
                 piece: pi as u32,
-                client: sub.pieces[pi].client as u32,
+                client: step.sub.pieces[pi].client as u32,
                 bytes,
             });
             *seq += 1;

@@ -184,6 +184,100 @@ fn concurrent_group_write_matches_sequential_localfs() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// FNV-1a 64 over a byte slice (inline — the workspace takes no
+/// checksum dependency).
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Seed-compat goldens: per-file `(length, fnv1a64)` of every
+/// [`test_arrays`] file, captured from the pre-refactor engine at
+/// depth 1 (subchunk 256, 4 clients, 2 servers, `pattern_chunk` data)
+/// before the unified executor replaced the per-path code. Any depth of
+/// the unified engine must still produce exactly these bytes.
+const SEED_GOLDEN: [(&str, [(usize, u64); SERVERS]); 4] = [
+    (
+        "temperature",
+        [(1024, 0x0ae8dfa13e06f399), (1024, 0x2e698ae34a3081f1)],
+    ),
+    (
+        "pressure",
+        [(512, 0x95b7634de4a87ea0), (512, 0x42c3c20b3a9e49c4)],
+    ),
+    (
+        "density",
+        [(240, 0xa4dc6dabe9147792), (240, 0x6397d331ef4aec63)],
+    ),
+    (
+        "energy",
+        [(1024, 0x0ae8dfa13e06f399), (1024, 0x2e698ae34a3081f1)],
+    ),
+];
+
+fn assert_seed_golden(depth: usize, read: impl Fn(&str, usize) -> Vec<u8>) {
+    for (name, per_server) in SEED_GOLDEN {
+        for (s, (len, sum)) in per_server.iter().enumerate() {
+            let bytes = read(name, s);
+            assert_eq!(
+                bytes.len(),
+                *len,
+                "depth {depth}: {name}.s{s} length diverged from the seed"
+            );
+            assert_eq!(
+                fnv1a64(&bytes),
+                *sum,
+                "depth {depth}: {name}.s{s} bytes diverged from the seed"
+            );
+        }
+    }
+}
+
+#[test]
+fn unified_engine_matches_seed_golden_checksums_memfs() {
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| m.name().to_string()).collect();
+    for depth in [1, 2, 4] {
+        let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+        let (system, mut clients) = launch_mem_over(&mems, CLIENTS, 256, depth);
+        concurrent_write(&mut clients, &metas, &tags);
+        system.shutdown(clients).unwrap();
+        assert_seed_golden(depth, |name, s| {
+            mems[s].contents(&format!("{name}.s{s}")).unwrap()
+        });
+    }
+}
+
+#[test]
+fn unified_engine_matches_seed_golden_checksums_localfs() {
+    let root = std::env::temp_dir().join(format!("panda-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| m.name().to_string()).collect();
+    for depth in [1, 4] {
+        let roots: Vec<_> = (0..SERVERS)
+            .map(|s| root.join(format!("d{depth}/ionode{s}")))
+            .collect();
+        let launch_roots = roots.clone();
+        let config = PandaConfig::new(CLIENTS, SERVERS)
+            .with_subchunk_bytes(256)
+            .with_pipeline_depth(depth);
+        let (system, mut clients) = PandaSystem::launch(&config, move |s| {
+            Arc::new(panda_fs::LocalFs::new(&launch_roots[s]).unwrap()) as Arc<dyn FileSystem>
+        });
+        concurrent_write(&mut clients, &metas, &tags);
+        system.shutdown(clients).unwrap();
+        assert_seed_golden(depth, |name, s| {
+            std::fs::read(roots[s].join(format!("{name}.s{s}"))).unwrap()
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn group_scheduler_reports_itself() {
     let metas = test_arrays();

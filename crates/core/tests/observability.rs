@@ -119,6 +119,59 @@ fn timeline_round_trip_memfs_inproc() {
     panda_obs::json::validate(&rec.to_chrome_trace()).unwrap();
 }
 
+/// Regression: a *single-array* read at depth ≥ 2 must run through the
+/// engine's pinned disk stage like any group — the old per-array read
+/// path streamed the file inline and never prefetched, so no
+/// `DiskReadQueued` events appeared for one-array reads.
+#[test]
+fn single_array_read_at_depth_3_prefetches() {
+    let meta = make_array(
+        "solo",
+        &[16, 16],
+        ElementType::F64,
+        &[2, 2],
+        DiskSchema::Traditional(SERVERS),
+    );
+    let rec = Arc::new(TimelineRecorder::with_capacity(4096));
+    let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+    let (system, mut clients) = launch_recorded(&mems, 3, rec.clone());
+    collective_write(&mut clients, &meta, "solo");
+    let bufs = collective_read(&mut clients, &meta, "solo");
+    assert_pattern(&meta, &bufs);
+    system.shutdown(clients).unwrap();
+
+    let events = rec.timeline().expect("timeline recorder keeps events");
+    let queued: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::DiskReadQueued)
+        .collect();
+    assert!(
+        !queued.is_empty(),
+        "one-array read at depth 3 bypassed the prefetcher"
+    );
+    // Every prefetched subchunk was read off disk first, under the same
+    // key and on the owning server's rank.
+    for q in &queued {
+        let key = q.key.expect("prefetches carry a subchunk key");
+        assert_eq!(key.server as usize + CLIENTS, q.node as usize);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::DiskReadDone && e.key == Some(key)));
+    }
+    // The whole file went through the prefetcher: one queue event per
+    // planned read subchunk, several per server at a 256-byte subchunk.
+    assert_eq!(
+        queued.len(),
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::DiskReadDone)
+            .count()
+    );
+    assert!(queued.len() >= 2 * SERVERS);
+    // And the read direction reorganized on the pool.
+    assert!(events.iter().any(|e| e.kind == EventKind::ReorgWorker));
+}
+
 #[test]
 fn null_recorder_runs_write_identical_files_to_recorded_runs() {
     let meta = make_array(

@@ -1,12 +1,14 @@
 //! Property tests: write-then-read through the full threaded runtime is
-//! the identity for arbitrary valid schema pairs, and traditional-order
-//! files always concatenate to the row-major array.
+//! the identity for arbitrary valid schema pairs, traditional-order
+//! files always concatenate to the row-major array, and the planner's
+//! pieces tile every array cell exactly once across all servers.
 
 mod common;
 
 use common::*;
+use panda_core::{build_server_plan, ArrayMeta};
 use panda_fs::FileSystem as _;
-use panda_schema::{Dist, ElementType};
+use panda_schema::{DataSchema, Dist, ElementType, Mesh, SchemaError, Shape};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -109,5 +111,98 @@ proptest! {
             prop_assert_eq!(m.stats().seeks(), 0);
         }
         system.shutdown(clients).unwrap();
+    }
+}
+
+/// (dims, memory mesh, per-dim disk directive, servers, subchunk).
+type PlanCase = (Vec<usize>, Vec<usize>, Vec<(Dist, usize)>, usize, usize);
+
+/// Like [`scenario`] but for pure planning (no threads): disk dists may
+/// also be `CYCLIC(b)`, which the schema layer must reject up front.
+fn plan_scenario() -> impl Strategy<Value = PlanCase> {
+    let rank = 1usize..=3;
+    rank.prop_flat_map(|r| {
+        (
+            prop::collection::vec(2usize..=9, r..=r),
+            prop::collection::vec(1usize..=3, r..=r),
+            prop::collection::vec(
+                prop_oneof![
+                    (1usize..=4).prop_map(|p| (Dist::Block, p)),
+                    Just((Dist::Star, 1usize)),
+                    (1usize..=3, 1usize..=3).prop_map(|(b, p)| (Dist::Cyclic(b), p)),
+                ],
+                r..=r,
+            ),
+            1usize..=4,
+            prop_oneof![Just(8usize), Just(64), Just(4096)],
+        )
+    })
+}
+
+proptest! {
+    // Pure planner arithmetic — no threads, so many more cases.
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// The paper's correctness core: across *all* servers' plans, the
+    /// client pieces of every subchunk tile the array — each cell
+    /// covered exactly once, for any BLOCK/`*` schema, server count,
+    /// and subchunk size. CYCLIC schemas never reach the planner: the
+    /// schema constructor rejects them with a typed error.
+    #[test]
+    fn plans_cover_every_cell_exactly_once(case in plan_scenario()) {
+        let (dims, mem_mesh, disk, servers, subchunk) = case;
+        let shape = Shape::new(&dims).unwrap();
+        let elem = ElementType::U8;
+        let disk_dists: Vec<Dist> = disk.iter().map(|&(d, _)| d).collect();
+        let disk_mesh: Vec<usize> = disk
+            .iter()
+            .filter(|&&(d, _)| d.is_distributed())
+            .map(|&(_, p)| p)
+            .collect();
+        let built = DataSchema::new(
+            shape.clone(),
+            elem,
+            &disk_dists,
+            Mesh::new(&disk_mesh).unwrap(),
+        );
+        if let Some(dim) = disk_dists.iter().position(|d| matches!(d, Dist::Cyclic(_))) {
+            prop_assert_eq!(
+                built.unwrap_err(),
+                SchemaError::UnsupportedDistribution { dim }
+            );
+        } else {
+            let mem = DataSchema::block_all(
+                shape.clone(),
+                elem,
+                Mesh::new(&mem_mesh).unwrap(),
+            )
+            .unwrap();
+            let meta = ArrayMeta::new("prop", mem, built.unwrap()).unwrap();
+            let mut counts = vec![0u32; shape.num_elements()];
+            for s in 0..servers {
+                let plan = build_server_plan(&meta, s, servers, subchunk);
+                for sub in plan.subchunks() {
+                    for p in &sub.pieces {
+                        let pshape = p.region.shape().unwrap();
+                        for local in pshape.iter_indices() {
+                            let global: Vec<usize> = local
+                                .iter()
+                                .zip(p.region.lo())
+                                .map(|(&l, &o)| l + o)
+                                .collect();
+                            counts[shape.linearize(&global)] += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                counts.iter().all(|&c| c == 1),
+                "some cell covered != once across {} servers",
+                servers
+            );
+        }
     }
 }

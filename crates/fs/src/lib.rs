@@ -33,9 +33,8 @@
 //! [`panda_obs::Recorder`] API: `FsRead` / `FsWrite` / `FsSync` events
 //! carrying offset, size, sequentiality, and (when a recorder is
 //! attached) per-call device time. Attach one with the `with_recorder`
-//! constructors or [`FileSystem::set_recorder`]; [`IoStats`] is now a
-//! thin adapter over the same event stream, and the old `trace` module
-//! is a deprecated shim over it.
+//! constructors or [`FileSystem::set_recorder`]; [`IoStats`] is a thin
+//! adapter over the same event stream.
 
 #![warn(missing_docs)]
 
@@ -47,7 +46,6 @@ pub mod null;
 mod obs;
 pub mod stats;
 pub mod throttle;
-pub mod trace;
 pub mod traits;
 
 pub use aix::AixModel;
@@ -57,6 +55,4 @@ pub use mem::MemFs;
 pub use null::NullFs;
 pub use stats::IoStats;
 pub use throttle::ThrottledFs;
-#[allow(deprecated)]
-pub use trace::{TraceEntry, TraceKind, TraceLog};
 pub use traits::{FileHandle, FileSystem};

@@ -11,8 +11,6 @@ use panda_obs::{Event, Recorder};
 use crate::error::FsError;
 use crate::obs::FsObs;
 use crate::stats::{IoStats, SeqTracker};
-#[allow(deprecated)]
-use crate::trace::TraceLog;
 use crate::traits::{FileHandle, FileSystem};
 
 type FileData = Arc<Mutex<Vec<u8>>>;
@@ -39,30 +37,6 @@ impl MemFs {
             files: Mutex::new(BTreeMap::new()),
             obs: Arc::new(FsObs::with_recorder(recorder, node)),
         }
-    }
-
-    /// As [`MemFs::new`], additionally recording the first
-    /// `trace_capacity` accesses for inspection via [`MemFs::trace`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "attach a panda_obs::TimelineRecorder via MemFs::with_recorder instead"
-    )]
-    #[allow(deprecated)]
-    pub fn with_trace(trace_capacity: usize) -> Self {
-        MemFs {
-            files: Mutex::new(BTreeMap::new()),
-            obs: Arc::new(FsObs::with_trace(Arc::new(TraceLog::new(trace_capacity)))),
-        }
-    }
-
-    /// The access trace, if tracing was enabled.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the timeline from the recorder attached via MemFs::with_recorder instead"
-    )]
-    #[allow(deprecated)]
-    pub fn trace(&self) -> Option<&Arc<TraceLog>> {
-        self.obs.trace()
     }
 
     /// Read a whole file's contents (test convenience).
@@ -223,21 +197,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn trace_records_accesses() {
-        use crate::trace::TraceKind;
-        let fs = MemFs::with_trace(8);
+    fn recorder_classifies_sequentiality() {
+        let rec = Arc::new(panda_obs::TimelineRecorder::new());
+        let fs = MemFs::with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>, 0);
         let mut h = fs.create("t").unwrap();
         h.write_at(0, &[0; 4]).unwrap();
         h.write_at(8, &[0; 4]).unwrap(); // seek
         h.sync().unwrap();
-        let trace = fs.trace().unwrap().entries();
-        assert_eq!(trace.len(), 3);
-        assert_eq!(trace[0].kind, TraceKind::Write);
-        assert!(trace[0].sequential);
-        assert!(!trace[1].sequential);
-        assert_eq!(trace[2].kind, TraceKind::Sync);
-        assert!(MemFs::new().trace().is_none());
+        let tl = rec.timeline().unwrap();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].kind, panda_obs::EventKind::FsWrite);
+        assert_eq!(tl[0].sequential, Some(true));
+        assert_eq!(tl[1].sequential, Some(false));
+        assert_eq!(tl[2].kind, panda_obs::EventKind::FsSync);
     }
 
     #[test]

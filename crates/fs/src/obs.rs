@@ -6,9 +6,7 @@
 //! 1. a private [`CountingRecorder`] that backs the [`IoStats`]
 //!    accessors (so the long-standing counter API keeps working),
 //! 2. the externally attached [`Recorder`] (null by default; installed
-//!    via `with_recorder` builders or [`crate::FileSystem::set_recorder`]),
-//! 3. the deprecated [`TraceLog`], when one was requested, so legacy
-//!    trace consumers see identical entries for one more release.
+//!    via `with_recorder` builders or [`crate::FileSystem::set_recorder`]).
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -18,8 +16,6 @@ use parking_lot::RwLock;
 use panda_obs::{CountingRecorder, Event, Recorder};
 
 use crate::stats::IoStats;
-#[allow(deprecated)]
-use crate::trace::{TraceEntry, TraceKind, TraceLog};
 
 /// Shared observability state of one backend instance.
 #[derive(Debug)]
@@ -33,30 +29,16 @@ pub(crate) struct FsObs {
     stats: Arc<IoStats>,
     /// Externally attached recorder (null unless installed).
     external: RwLock<Arc<dyn Recorder>>,
-    /// Legacy bounded trace, kept during the deprecation window.
-    #[allow(deprecated)]
-    trace: Option<Arc<TraceLog>>,
 }
 
 impl FsObs {
-    /// State with no external recorder and no legacy trace.
+    /// State with no external recorder.
     pub(crate) fn new() -> Self {
-        Self::build(panda_obs::null_recorder(), 0, None)
+        Self::with_recorder(panda_obs::null_recorder(), 0)
     }
 
     /// State reporting to `recorder` as `node`.
     pub(crate) fn with_recorder(recorder: Arc<dyn Recorder>, node: u32) -> Self {
-        Self::build(recorder, node, None)
-    }
-
-    /// State with a legacy trace attached (deprecation window only).
-    #[allow(deprecated)]
-    pub(crate) fn with_trace(trace: Arc<TraceLog>) -> Self {
-        Self::build(panda_obs::null_recorder(), 0, Some(trace))
-    }
-
-    #[allow(deprecated)]
-    fn build(recorder: Arc<dyn Recorder>, node: u32, trace: Option<Arc<TraceLog>>) -> Self {
         let counting = Arc::new(CountingRecorder::new());
         let stats = Arc::new(IoStats::over(Arc::clone(&counting)));
         FsObs {
@@ -64,19 +46,12 @@ impl FsObs {
             counting,
             stats,
             external: RwLock::new(recorder),
-            trace,
         }
     }
 
     /// The [`IoStats`] adapter for `FileSystem::stats()`.
     pub(crate) fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
-    }
-
-    /// The legacy trace, if one was attached.
-    #[allow(deprecated)]
-    pub(crate) fn trace(&self) -> Option<&Arc<TraceLog>> {
-        self.trace.as_ref()
     }
 
     /// Swap in an external recorder and reporting rank.
@@ -92,55 +67,13 @@ impl FsObs {
         self.external.read().enabled()
     }
 
-    /// Fan one event out to counters, external recorder, and trace.
+    /// Fan one event out to the counters and the external recorder.
     pub(crate) fn emit(&self, event: &Event<'_>) {
         let node = self.node.load(Ordering::Relaxed);
         self.counting.record(node, event);
-        {
-            let external = self.external.read();
-            if external.enabled() {
-                external.record(node, event);
-            }
-        }
-        #[allow(deprecated)]
-        if let Some(trace) = &self.trace {
-            let entry = match event {
-                Event::FsRead {
-                    file,
-                    offset,
-                    bytes,
-                    sequential,
-                    ..
-                } => TraceEntry {
-                    kind: TraceKind::Read,
-                    file: (*file).to_string(),
-                    offset: *offset,
-                    len: *bytes as usize,
-                    sequential: *sequential,
-                },
-                Event::FsWrite {
-                    file,
-                    offset,
-                    bytes,
-                    sequential,
-                    ..
-                } => TraceEntry {
-                    kind: TraceKind::Write,
-                    file: (*file).to_string(),
-                    offset: *offset,
-                    len: *bytes as usize,
-                    sequential: *sequential,
-                },
-                Event::FsSync { file, .. } => TraceEntry {
-                    kind: TraceKind::Sync,
-                    file: (*file).to_string(),
-                    offset: 0,
-                    len: 0,
-                    sequential: true,
-                },
-                _ => return,
-            };
-            trace.record(entry);
+        let external = self.external.read();
+        if external.enabled() {
+            external.record(node, event);
         }
     }
 }

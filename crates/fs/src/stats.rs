@@ -11,8 +11,9 @@
 //!
 //! Since the unified observability layer landed, [`IoStats`] is a thin
 //! read adapter over a [`panda_obs::CountingRecorder`]: backends report
-//! [`panda_obs::Event::FsRead`] / [`Event::FsWrite`] /
-//! [`Event::FsSync`] events and this type merely projects the familiar
+//! [`panda_obs::Event::FsRead`] / [`panda_obs::Event::FsWrite`] /
+//! [`panda_obs::Event::FsSync`] events and this type merely projects the
+//! familiar
 //! counter names out of them. The accessor API is unchanged.
 
 use std::sync::Arc;

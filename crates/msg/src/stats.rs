@@ -7,7 +7,8 @@
 //!
 //! Since the unified observability layer landed, [`FabricStats`] is a
 //! thin read adapter over a [`panda_obs::CountingRecorder`]: transports
-//! report [`panda_obs::Event::MsgSent`] / [`Event::MsgReceived`] events
+//! report [`panda_obs::Event::MsgSent`] / [`panda_obs::Event::MsgReceived`]
+//! events
 //! and this type merely projects the familiar counter names out of
 //! them. The accessor API is unchanged.
 

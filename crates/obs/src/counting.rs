@@ -64,8 +64,8 @@ impl LatencyHistogram {
 /// A [`Recorder`] that keeps per-kind atomic counters (count, bytes,
 /// summed duration), per-kind latency histograms, per-tag message
 /// counts, and the file-system sequentiality tally. This is the backing
-/// store behind the deprecated `panda_fs::IoStats` and
-/// `panda_msg::FabricStats` shims.
+/// store behind the `panda_fs::IoStats` and `panda_msg::FabricStats`
+/// aggregate views.
 #[derive(Debug)]
 pub struct CountingRecorder {
     count: [AtomicU64; KIND_COUNT],
@@ -397,7 +397,7 @@ mod tests {
         );
         rec.record(
             0,
-            &Event::Packed {
+            &Event::ReorgWorker {
                 key,
                 piece: 0,
                 bytes: 1,

@@ -88,21 +88,18 @@ pub enum Event<'a> {
         /// Time blocked in the receive.
         wait: Duration,
     },
-    /// A server packed (or scattered) one piece — the *reorganization*
-    /// phase.
-    Packed {
+    /// Write direction: a completed subchunk was queued for the
+    /// engine's pinned disk stage.
+    DiskWriteQueued {
         /// Which subchunk.
         key: SubchunkKey,
-        /// Piece index within the subchunk.
-        piece: u32,
-        /// Bytes moved.
+        /// Subchunk size.
         bytes: u64,
-        /// Copy time.
-        dur: Duration,
     },
-    /// Pipelined write: a completed subchunk was queued for the disk
-    /// writer thread.
-    DiskWriteQueued {
+    /// Read direction: the engine's pinned disk stage prefetched a
+    /// subchunk and queued it for reorganization — the mirror of
+    /// [`Event::DiskWriteQueued`].
+    DiskReadQueued {
         /// Which subchunk.
         key: SubchunkKey,
         /// Subchunk size.
@@ -237,9 +234,9 @@ pub enum Event<'a> {
         /// Time actually slept.
         dur: Duration,
     },
-    /// A master client submitted a whole array group as one batched
-    /// collective request (the group — not the array — is the unit of
-    /// scheduling).
+    /// A master client submitted a collective request: one schedule
+    /// covering the whole array group (a single array is a group of
+    /// one — the request, not the array, is the unit of scheduling).
     GroupSubmit {
         /// Write or read.
         op: OpDir,
@@ -248,8 +245,9 @@ pub enum Event<'a> {
         /// Requested pipeline depth.
         pipeline_depth: u32,
     },
-    /// A reorganization copy ran on a worker-pool thread (as opposed to
-    /// inline on the node's main thread).
+    /// The schedule engine's reorganization stage moved one piece of a
+    /// subchunk (assembly on the write direction, packing on the read
+    /// direction) — jobs are issued to the server's worker pool.
     ReorgWorker {
         /// Which subchunk.
         key: SubchunkKey,
@@ -276,12 +274,12 @@ pub enum EventKind {
     FetchSent,
     /// See [`Event::FetchReplied`].
     FetchReplied,
-    /// See [`Event::Packed`].
-    Packed,
     /// See [`Event::DiskWriteQueued`].
     DiskWriteQueued,
     /// See [`Event::DiskWriteDone`].
     DiskWriteDone,
+    /// See [`Event::DiskReadQueued`].
+    DiskReadQueued,
     /// See [`Event::DiskReadDone`].
     DiskReadDone,
     /// See [`Event::PushSent`].
@@ -317,9 +315,9 @@ impl EventKind {
         EventKind::SubchunkPlanned,
         EventKind::FetchSent,
         EventKind::FetchReplied,
-        EventKind::Packed,
         EventKind::DiskWriteQueued,
         EventKind::DiskWriteDone,
+        EventKind::DiskReadQueued,
         EventKind::DiskReadDone,
         EventKind::PushSent,
         EventKind::CollectiveDone,
@@ -347,9 +345,9 @@ impl EventKind {
             EventKind::SubchunkPlanned => "subchunk_planned",
             EventKind::FetchSent => "fetch_sent",
             EventKind::FetchReplied => "fetch_replied",
-            EventKind::Packed => "packed",
             EventKind::DiskWriteQueued => "disk_write_queued",
             EventKind::DiskWriteDone => "disk_write_done",
+            EventKind::DiskReadQueued => "disk_read_queued",
             EventKind::DiskReadDone => "disk_read_done",
             EventKind::PushSent => "push_sent",
             EventKind::CollectiveDone => "collective_done",
@@ -373,10 +371,9 @@ impl EventKind {
         match self {
             EventKind::FetchReplied => Some(Phase::Exchange),
             EventKind::DiskWriteDone | EventKind::DiskReadDone => Some(Phase::Disk),
-            EventKind::Packed
-            | EventKind::ClientPacked
-            | EventKind::ClientUnpacked
-            | EventKind::ReorgWorker => Some(Phase::Reorg),
+            EventKind::ClientPacked | EventKind::ClientUnpacked | EventKind::ReorgWorker => {
+                Some(Phase::Reorg)
+            }
             EventKind::ThrottleSleep => Some(Phase::Throttle),
             EventKind::MsgReceived => Some(Phase::RecvWait),
             _ => None,
@@ -431,9 +428,9 @@ impl Event<'_> {
             Event::SubchunkPlanned { .. } => EventKind::SubchunkPlanned,
             Event::FetchSent { .. } => EventKind::FetchSent,
             Event::FetchReplied { .. } => EventKind::FetchReplied,
-            Event::Packed { .. } => EventKind::Packed,
             Event::DiskWriteQueued { .. } => EventKind::DiskWriteQueued,
             Event::DiskWriteDone { .. } => EventKind::DiskWriteDone,
+            Event::DiskReadQueued { .. } => EventKind::DiskReadQueued,
             Event::DiskReadDone { .. } => EventKind::DiskReadDone,
             Event::PushSent { .. } => EventKind::PushSent,
             Event::CollectiveDone { .. } => EventKind::CollectiveDone,
@@ -456,9 +453,9 @@ impl Event<'_> {
             Event::SubchunkPlanned { key, .. }
             | Event::FetchSent { key, .. }
             | Event::FetchReplied { key, .. }
-            | Event::Packed { key, .. }
             | Event::DiskWriteQueued { key, .. }
             | Event::DiskWriteDone { key, .. }
+            | Event::DiskReadQueued { key, .. }
             | Event::DiskReadDone { key, .. }
             | Event::PushSent { key, .. }
             | Event::ReorgWorker { key, .. } => Some(*key),
@@ -471,9 +468,9 @@ impl Event<'_> {
         match self {
             Event::SubchunkPlanned { bytes, .. }
             | Event::FetchReplied { bytes, .. }
-            | Event::Packed { bytes, .. }
             | Event::DiskWriteQueued { bytes, .. }
             | Event::DiskWriteDone { bytes, .. }
+            | Event::DiskReadQueued { bytes, .. }
             | Event::DiskReadDone { bytes, .. }
             | Event::PushSent { bytes, .. }
             | Event::ClientPacked { bytes, .. }
@@ -492,8 +489,7 @@ impl Event<'_> {
     pub fn dur(&self) -> Option<Duration> {
         match self {
             Event::FetchReplied { wait, .. } | Event::MsgReceived { wait, .. } => Some(*wait),
-            Event::Packed { dur, .. }
-            | Event::DiskWriteDone { dur, .. }
+            Event::DiskWriteDone { dur, .. }
             | Event::DiskReadDone { dur, .. }
             | Event::CollectiveDone { dur, .. }
             | Event::ClientPacked { dur, .. }

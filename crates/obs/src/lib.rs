@@ -16,9 +16,8 @@
 //!   * [`NullRecorder`] — does nothing; `enabled()` returns `false` so
 //!     call sites skip clock reads entirely (zero cost when disabled);
 //!   * [`CountingRecorder`] — lock-free per-kind atomic counters plus
-//!     log₂ latency histograms; the backing store for the
-//!     `panda_fs::IoStats` / `panda_msg::FabricStats` compatibility
-//!     adapters;
+//!     log₂ latency histograms; the backing store behind the
+//!     `panda_fs::IoStats` / `panda_msg::FabricStats` aggregate views;
 //!   * [`TimelineRecorder`] — a bounded per-event ring buffer that
 //!     exports a Chrome `trace_event` JSON trace and feeds the
 //!     per-subchunk phase decomposition.

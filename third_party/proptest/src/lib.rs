@@ -1,10 +1,10 @@
 //! Offline stand-in for the `proptest` crate.
 //!
-//! Implements the subset this workspace uses: the [`Strategy`] trait
+//! Implements the subset this workspace uses: the [`Strategy`](strategy::Strategy) trait
 //! with `prop_map`/`prop_flat_map`, integer-range / tuple / `Vec` /
-//! [`Just`] strategies, `prop::collection::vec`, `any::<T>()`, the
+//! [`Just`](strategy::Just) strategies, `prop::collection::vec`, `any::<T>()`, the
 //! `proptest!`, `prop_oneof!`, and `prop_assert*!` macros, and
-//! [`ProptestConfig`]. Cases are generated from a fixed deterministic
+//! [`ProptestConfig`](test_runner::ProptestConfig). Cases are generated from a fixed deterministic
 //! seed (SplitMix64), so failures reproduce across runs; there is no
 //! shrinking — `prop_assert*` panics like `assert*` with the failing
 //! values in the message.
