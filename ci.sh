@@ -35,4 +35,14 @@ if command -v python3 >/dev/null; then
 fi
 rm -f "$group_out"
 
+# Disk-backend smoke: a quick LocalFs-vs-SubmitFs sweep across sync
+# policies must complete (the binary asserts every cell lands
+# byte-identical files and validates its JSON output).
+disk_out=$(mktemp /tmp/panda_disk_ci.XXXXXX.json)
+cargo run --release -q -p panda-bench --bin disk -- --quick --out "$disk_out"
+if command -v python3 >/dev/null; then
+  python3 -c "import json,sys; [json.loads(l) for l in open(sys.argv[1]) if l.strip()]" "$disk_out"
+fi
+rm -f "$disk_out"
+
 echo "ci: all green"

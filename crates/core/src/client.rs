@@ -11,6 +11,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use panda_fs::SyncPolicy;
 use panda_msg::{MatchSpec, NodeId, Transport};
 use panda_obs::{Event, OpDir, Recorder};
 use panda_schema::{copy, Region};
@@ -48,11 +49,13 @@ pub struct PandaClient {
     num_servers: usize,
     subchunk_bytes: usize,
     pipeline_depth: usize,
+    sync_policy: SyncPolicy,
     /// Session recorder; events are tagged with this client's rank.
     recorder: Arc<dyn Recorder>,
 }
 
 impl PandaClient {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         transport: Box<dyn Transport>,
         rank: usize,
@@ -60,6 +63,7 @@ impl PandaClient {
         num_servers: usize,
         subchunk_bytes: usize,
         pipeline_depth: usize,
+        sync_policy: SyncPolicy,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
         PandaClient {
@@ -69,6 +73,7 @@ impl PandaClient {
             num_servers,
             subchunk_bytes,
             pipeline_depth,
+            sync_policy,
             recorder,
         }
     }
@@ -109,6 +114,12 @@ impl PandaClient {
     /// collectives (1 = unpipelined).
     pub fn pipeline_depth(&self) -> usize {
         self.pipeline_depth
+    }
+
+    /// The disk-stage sync policy requested for this session's
+    /// collectives.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
     }
 
     /// True iff this is the master client (rank 0), which exchanges the
@@ -417,6 +428,7 @@ impl PandaClient {
                 .collect(),
             subchunk_bytes: self.subchunk_bytes,
             pipeline_depth: self.pipeline_depth,
+            sync_policy: self.sync_policy,
         };
         let dst = self.master_server();
         send_msg(self.transport_mut(), dst, &Msg::Collective(req))

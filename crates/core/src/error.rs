@@ -98,6 +98,16 @@ pub enum ConfigIssue {
         /// Buffers supplied by the caller.
         buffers: usize,
     },
+    /// The submission-queue completion-thread count is zero (the
+    /// `SubmitFs` backend needs at least one completion thread).
+    ZeroCompletionThreads,
+    /// `SyncPolicy::PerWrite` demands an fsync between consecutive
+    /// subchunk writes, which serializes the disk stage; combining it
+    /// with a pipeline depth above 1 contradicts itself.
+    SyncPolicyConflict {
+        /// The configured pipeline depth.
+        pipeline_depth: usize,
+    },
 }
 
 impl fmt::Display for ConfigIssue {
@@ -133,6 +143,14 @@ impl fmt::Display for ConfigIssue {
             } => write!(
                 f,
                 "group '{group}' has {arrays} arrays but {buffers} buffers were supplied"
+            ),
+            ConfigIssue::ZeroCompletionThreads => {
+                write!(f, "disk completion thread count must be at least 1")
+            }
+            ConfigIssue::SyncPolicyConflict { pipeline_depth } => write!(
+                f,
+                "per-write fsync serializes the disk stage and cannot be combined with \
+                 pipeline depth {pipeline_depth} (use depth 1 or a coarser sync policy)"
             ),
         }
     }

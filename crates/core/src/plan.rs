@@ -20,6 +20,7 @@
 //! and the performance model (`panda-model`), which is what makes the
 //! simulated experiments faithful to the implementation.
 
+use panda_fs::SyncPolicy;
 use panda_schema::{split_into_subchunks, Region};
 
 use crate::array::ArrayMeta;
@@ -224,8 +225,13 @@ pub struct ScheduleFile {
     /// name from it).
     pub tag: String,
     /// Number of steps targeting this file — the disk stage fsyncs a
-    /// written file as soon as its last step lands.
+    /// written file as soon as its last step lands (under the per-file
+    /// sync policy).
     pub steps: usize,
+    /// Final file length: the largest `file_offset + bytes` over the
+    /// file's steps. Known before the first byte moves, so the disk
+    /// stage preallocates the whole extent up front on writes.
+    pub bytes: u64,
 }
 
 /// A server's lowered schedule for one whole collective request.
@@ -245,6 +251,8 @@ pub struct CollectiveSchedule {
     /// Write direction only: file tags of arrays with no data on this
     /// server, which still get an empty file created and synced.
     pub empty_files: Vec<String>,
+    /// When the disk stage flushes written data (from the request).
+    pub sync_policy: SyncPolicy,
 }
 
 impl CollectiveSchedule {
@@ -261,11 +269,13 @@ impl CollectiveSchedule {
         server: usize,
         num_servers: usize,
         subchunk_bytes: usize,
+        sync_policy: SyncPolicy,
     ) -> Self {
         let mut schedule = CollectiveSchedule {
             steps: Vec::new(),
             files: Vec::new(),
             empty_files: Vec::new(),
+            sync_policy,
         };
         for (idx, array_op) in arrays.iter().enumerate() {
             let plan = build_server_plan(&array_op.meta, server, num_servers, subchunk_bytes);
@@ -291,6 +301,11 @@ impl CollectiveSchedule {
             schedule.files.push(ScheduleFile {
                 tag: array_op.file_tag.clone(),
                 steps: selected.len(),
+                bytes: selected
+                    .iter()
+                    .map(|sub| sub.file_offset + sub.bytes as u64)
+                    .max()
+                    .unwrap_or(0),
             });
             let elem = array_op.meta.elem_size();
             for (si, sub) in selected.into_iter().enumerate() {
@@ -588,7 +603,14 @@ mod tests {
             },
         ];
         for server in 0..2 {
-            let sched = CollectiveSchedule::build(&arrays, OpKind::Write, server, 2, 128);
+            let sched = CollectiveSchedule::build(
+                &arrays,
+                OpKind::Write,
+                server,
+                2,
+                128,
+                SyncPolicy::PerFile,
+            );
             assert!(!sched.is_empty());
             assert_eq!(sched.files.len(), 2);
             // Array-major: array indices never decrease along the stream.
@@ -632,8 +654,16 @@ mod tests {
             file_tag: "b".to_string(),
             section: None,
         };
-        let solo = CollectiveSchedule::build(std::slice::from_ref(&b), OpKind::Write, 0, 2, 128);
-        let pair = CollectiveSchedule::build(&[a, b], OpKind::Write, 0, 2, 128);
+        let solo = CollectiveSchedule::build(
+            std::slice::from_ref(&b),
+            OpKind::Write,
+            0,
+            2,
+            128,
+            SyncPolicy::PerFile,
+        );
+        let pair =
+            CollectiveSchedule::build(&[a, b], OpKind::Write, 0, 2, 128, SyncPolicy::PerFile);
         let tail: Vec<&ScheduleStep> = pair.steps.iter().filter(|s| s.array == 1).collect();
         assert_eq!(solo.steps.len(), tail.len());
         for (s, t) in solo.steps.iter().zip(tail) {
@@ -661,8 +691,10 @@ mod tests {
             0,
             2,
             128,
+            SyncPolicy::PerFile,
         );
-        let trimmed = CollectiveSchedule::build(&[op], OpKind::Read, 0, 2, 128);
+        let trimmed =
+            CollectiveSchedule::build(&[op], OpKind::Read, 0, 2, 128, SyncPolicy::PerFile);
         assert!(trimmed.steps.len() < full.steps.len());
         for step in &trimmed.steps {
             assert!(step.sub.region.overlaps(&section));
@@ -680,6 +712,7 @@ mod tests {
             1,
             2,
             128,
+            SyncPolicy::PerFile,
         );
         assert!(other.is_empty());
         assert!(other.files.is_empty());
@@ -695,10 +728,17 @@ mod tests {
             file_tag: "a".to_string(),
             section: None,
         };
-        let sched = CollectiveSchedule::build(std::slice::from_ref(&op), OpKind::Write, 2, 3, 128);
+        let sched = CollectiveSchedule::build(
+            std::slice::from_ref(&op),
+            OpKind::Write,
+            2,
+            3,
+            128,
+            SyncPolicy::PerFile,
+        );
         assert!(sched.is_empty());
         assert_eq!(sched.empty_files, vec!["a".to_string()]);
-        let read = CollectiveSchedule::build(&[op], OpKind::Read, 2, 3, 128);
+        let read = CollectiveSchedule::build(&[op], OpKind::Read, 2, 3, 128, SyncPolicy::PerFile);
         assert!(read.empty_files.is_empty());
     }
 

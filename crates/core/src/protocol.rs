@@ -17,6 +17,7 @@
 //! client-directed I/O and two-phase I/O), where compute nodes — not
 //! servers — decide where in each file data lands.
 
+use panda_fs::SyncPolicy;
 use panda_msg::{Bytes, Envelope, MatchSpec, NodeId, Payload, Transport};
 use panda_schema::Region;
 
@@ -132,6 +133,8 @@ pub struct CollectiveRequest {
     /// unpipelined transfer order; ≥ 2 overlaps client exchange with
     /// disk I/O).
     pub pipeline_depth: usize,
+    /// When the disk stage flushes written data to stable storage.
+    pub sync_policy: SyncPolicy,
 }
 
 /// A protocol message.
@@ -253,6 +256,11 @@ impl Msg {
                 });
                 w.size(req.subchunk_bytes);
                 w.size(req.pipeline_depth);
+                w.u8(match req.sync_policy {
+                    SyncPolicy::PerWrite => 0,
+                    SyncPolicy::PerFile => 1,
+                    SyncPolicy::PerCollective => 2,
+                });
                 w.size(req.arrays.len());
                 for a in &req.arrays {
                     w.array_meta(&a.meta);
@@ -336,6 +344,16 @@ impl Msg {
                 };
                 let subchunk_bytes = r.size()?;
                 let pipeline_depth = r.size()?;
+                let sync_policy = match r.u8()? {
+                    0 => SyncPolicy::PerWrite,
+                    1 => SyncPolicy::PerFile,
+                    2 => SyncPolicy::PerCollective,
+                    _ => {
+                        return Err(PandaError::Decode {
+                            context: "sync policy",
+                        })
+                    }
+                };
                 let n = r.size()?;
                 if n > 4096 {
                     return Err(PandaError::Decode {
@@ -366,6 +384,7 @@ impl Msg {
                     arrays,
                     subchunk_bytes,
                     pipeline_depth,
+                    sync_policy,
                 })
             }
             tags::FETCH => Msg::Fetch {
@@ -570,12 +589,14 @@ mod tests {
             ],
             subchunk_bytes: 1 << 20,
             pipeline_depth: 1,
+            sync_policy: SyncPolicy::PerWrite,
         }));
         roundtrip(Msg::Collective(CollectiveRequest {
             op: OpKind::Read,
             arrays: vec![],
             subchunk_bytes: 4096,
             pipeline_depth: 4,
+            sync_policy: SyncPolicy::PerCollective,
         }));
         roundtrip(Msg::Fetch {
             array: 3,
@@ -635,6 +656,7 @@ mod tests {
                 arrays: vec![],
                 subchunk_bytes: 1,
                 pipeline_depth: 1,
+                sync_policy: SyncPolicy::PerFile,
             }),
             Msg::Fetch {
                 array: 0,

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use panda_fs::FileSystem;
+use panda_fs::{FileSystem, SyncPolicy};
 use panda_msg::{FabricStats, InProcFabric};
 use panda_obs::{Recorder, RunReport};
 
@@ -46,6 +46,16 @@ pub struct PandaConfig {
     /// (`copy_region`/`pack_region_into`) of independent subchunks.
     /// `1` still pipelines but reorganizes serially.
     pub io_workers: usize,
+    /// When the disk stage flushes written data to stable storage:
+    /// after every write (the paper's semantics), once per file as its
+    /// last subchunk lands (the default, the engine's historical
+    /// behavior), or once per collective in a coalesced end-of-stage
+    /// barrier. Travels with each request, so every server honors it.
+    pub sync_policy: SyncPolicy,
+    /// Completion threads for submission-queue backends (`SubmitFs`):
+    /// the knob file-system factories hand to
+    /// [`panda_fs::SubmitFs::new`]. Unused by synchronous backends.
+    pub disk_completion_threads: usize,
     /// Blocking-receive timeout; a deadlocked protocol fails loudly
     /// instead of hanging.
     pub recv_timeout: Duration,
@@ -66,6 +76,8 @@ impl PandaConfig {
             subchunk_bytes: panda_schema::DEFAULT_SUBCHUNK_BYTES,
             pipeline_depth: 1,
             io_workers: 2,
+            sync_policy: SyncPolicy::default(),
+            disk_completion_threads: 2,
             recv_timeout: Duration::from_secs(60),
             recorder: panda_obs::null_recorder(),
         }
@@ -86,6 +98,19 @@ impl PandaConfig {
     /// Override the per-server I/O worker-pool size.
     pub fn with_io_workers(mut self, workers: usize) -> Self {
         self.io_workers = workers;
+        self
+    }
+
+    /// Override the disk-stage sync policy.
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Override the completion-thread count for submission-queue
+    /// backends.
+    pub fn with_disk_completion_threads(mut self, threads: usize) -> Self {
+        self.disk_completion_threads = threads;
         self
     }
 
@@ -127,6 +152,18 @@ impl PandaConfig {
         if self.io_workers == 0 {
             return Err(PandaError::Config {
                 issue: ConfigIssue::ZeroIoWorkers,
+            });
+        }
+        if self.disk_completion_threads == 0 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::ZeroCompletionThreads,
+            });
+        }
+        if self.sync_policy == SyncPolicy::PerWrite && self.pipeline_depth > 1 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::SyncPolicyConflict {
+                    pipeline_depth: self.pipeline_depth,
+                },
             });
         }
         Ok(())
@@ -256,6 +293,7 @@ impl PandaSystem {
                     config.num_servers,
                     config.subchunk_bytes,
                     config.pipeline_depth,
+                    config.sync_policy,
                     Arc::clone(&config.recorder),
                 )
             })
@@ -378,5 +416,39 @@ mod tests {
                 as Arc<dyn FileSystem>)
             .is_err()
         );
+        let err = PandaSystem::try_launch(
+            &PandaConfig::new(1, 1).with_disk_completion_threads(0),
+            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: crate::ConfigIssue::ZeroCompletionThreads
+            }
+        ));
+        // Per-write fsync serializes the disk stage; pipelining it is a
+        // contradiction and must be rejected loudly.
+        let err = PandaSystem::try_launch(
+            &PandaConfig::new(1, 1)
+                .with_sync_policy(SyncPolicy::PerWrite)
+                .with_pipeline_depth(2),
+            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: crate::ConfigIssue::SyncPolicyConflict { pipeline_depth: 2 }
+            }
+        ));
+        // Per-write at depth 1 is the paper's own configuration: valid.
+        let (system, clients) = PandaSystem::launch(
+            &PandaConfig::new(1, 1).with_sync_policy(SyncPolicy::PerWrite),
+            |_| Arc::new(MemFs::new()),
+        );
+        system.shutdown(clients).unwrap();
     }
 }

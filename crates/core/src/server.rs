@@ -17,8 +17,12 @@
 //!   parallel, and read-side packs split across the workers;
 //! * the **pinned disk stage** is one task owning every file handle of
 //!   the request, consuming completed subchunk buffers (write) or
-//!   prefetching them (read) strictly in schedule order, fsyncing each
-//!   written file as its last step lands.
+//!   prefetching them (read) strictly in schedule order. Writes go
+//!   through [`FileHandle::submit_write`], so on a submission-queue
+//!   backend the stage issues up to `depth - 1` writes ahead of their
+//!   completions and recycles buffers as they land; fsync placement is
+//!   the request's [`SyncPolicy`] (per write, per file as its last step
+//!   lands, or one coalesced end-of-stage barrier).
 //!
 //! The engine's per-file FIFO guarantee is what makes files
 //! byte-identical at every depth: the disk stage processes steps in
@@ -35,7 +39,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use panda_fs::{FileHandle, FileSystem, FsError};
+use panda_fs::{FileHandle, FileSystem, FsError, SyncPolicy};
 use panda_msg::{Bytes, MatchSpec, NodeId, Transport};
 use panda_obs::{Event, OpDir, Recorder, SubchunkKey};
 use panda_schema::{copy, Region, SchemaError};
@@ -97,6 +101,17 @@ struct DiskJob {
     bytes: usize,
 }
 
+/// The pinned disk stage's per-file state.
+struct DiskFile {
+    handle: Box<dyn FileHandle>,
+    /// Steps left until this file's last write is issued — the
+    /// per-file sync policy's fsync countdown.
+    remaining: usize,
+    /// Writes submitted to the backend but not yet recycled. Zero for
+    /// synchronous backends, whose `submit_write` completes inline.
+    in_flight: usize,
+}
+
 /// The disk stage's connection to the exchange/reorg stages. The
 /// variant is the direction: a write collective *pulls* full buffers
 /// out of the window, a read collective *pushes* prefetched ones into
@@ -110,6 +125,11 @@ enum DiskLink {
         full: mpsc::Receiver<Vec<u8>>,
         /// Drained buffers going back for reuse.
         free: mpsc::Sender<Vec<u8>>,
+        /// Completion window: submitted-but-uncompleted writes allowed
+        /// before the stage blocks on a completion (`depth - 1`, so
+        /// depth 1 completes each write before the next fetch goes
+        /// out — the strictly serialized schedule).
+        window: usize,
     },
     /// Read direction: prefetch subchunks from recycled buffers.
     Push {
@@ -132,41 +152,154 @@ enum DiskLink {
 /// depth. Returns `Ok` early if the other side of the link hung up;
 /// the main thread's join logic surfaces whichever error caused that.
 fn run_disk_stage(
-    mut files: Vec<(Box<dyn FileHandle>, usize)>,
+    mut files: Vec<DiskFile>,
     jobs: Vec<DiskJob>,
+    sync_policy: SyncPolicy,
     recorder: Arc<dyn Recorder>,
     node: u32,
     link: DiskLink,
 ) -> Result<(), FsError> {
     match link {
-        DiskLink::Pull { full, free } => {
+        DiskLink::Pull { full, free, window } => {
+            // Completed-buffer recycling: drain a file's finished
+            // submissions back into the free channel and update the
+            // in-flight accounting.
+            let drain = |f: &mut DiskFile, total: &mut usize, block: bool| -> Result<(), FsError> {
+                for buf in f.handle.drain_completions(block)? {
+                    f.in_flight -= 1;
+                    *total -= 1;
+                    let _ = free.send(buf);
+                }
+                Ok(())
+            };
+            let mut total_in_flight = 0usize;
             for job in jobs {
                 let Ok(buf) = full.recv() else {
                     // The exchange stage bailed; nothing more will come.
                     return Ok(());
                 };
+                let bytes = buf.len() as u64;
                 let t_disk = recorder.enabled().then(Instant::now);
-                let (file, remaining) = &mut files[job.file];
-                file.write_at(job.offset, &buf)?;
-                if let Some(t) = t_disk {
+                if matches!(sync_policy, SyncPolicy::PerWrite) {
+                    // The paper's semantics: fsync after every write
+                    // operation. Strictly synchronous by definition.
+                    let f = &mut files[job.file];
+                    f.handle.write_at(job.offset, &buf)?;
+                    if let Some(t) = t_disk {
+                        recorder.record(
+                            node,
+                            &Event::DiskWriteDone {
+                                key: job.key,
+                                offset: job.offset,
+                                bytes,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
+                    let t_sync = recorder.enabled().then(Instant::now);
+                    f.handle.sync()?;
+                    if let Some(t) = t_sync {
+                        recorder.record(
+                            node,
+                            &Event::DiskSyncDone {
+                                files: 1,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
+                    let _ = free.send(buf);
+                } else {
+                    // Submission path: hand the buffer to the backend
+                    // and move on. Synchronous backends complete inline
+                    // and return the buffer; a submission-queue backend
+                    // keeps it until a completion thread lands the
+                    // write, so the stage runs ahead of the device by
+                    // up to `window` writes.
+                    let f = &mut files[job.file];
+                    match f.handle.submit_write(job.offset, buf)? {
+                        Some(buf) => {
+                            if let Some(t) = t_disk {
+                                recorder.record(
+                                    node,
+                                    &Event::DiskWriteDone {
+                                        key: job.key,
+                                        offset: job.offset,
+                                        bytes,
+                                        dur: t.elapsed(),
+                                    },
+                                );
+                            }
+                            let _ = free.send(buf);
+                        }
+                        None => {
+                            f.in_flight += 1;
+                            total_in_flight += 1;
+                            if let Some(t) = t_disk {
+                                // Time spent issuing, not completing:
+                                // the device time surfaces later as
+                                // `FsWrite`/`FsComplete` events.
+                                recorder.record(
+                                    node,
+                                    &Event::DiskWriteDone {
+                                        key: job.key,
+                                        offset: job.offset,
+                                        bytes,
+                                        dur: t.elapsed(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    drain(&mut files[job.file], &mut total_in_flight, false)?;
+                    while total_in_flight > window {
+                        // Steps are file-sequential, so the oldest
+                        // submission belongs to the first file still in
+                        // flight; block on its next completion.
+                        let idx = files
+                            .iter()
+                            .position(|f| f.in_flight > 0)
+                            .expect("in-flight count implies an in-flight file");
+                        drain(&mut files[idx], &mut total_in_flight, true)?;
+                    }
+                }
+                let f = &mut files[job.file];
+                f.remaining -= 1;
+                // Under the per-file policy, sync as soon as an array's
+                // last subchunk is issued, overlapped with the next
+                // array's exchange. `sync` is a completion barrier, so
+                // the drain below returns every outstanding buffer.
+                if f.remaining == 0 && matches!(sync_policy, SyncPolicy::PerFile) {
+                    let t_sync = recorder.enabled().then(Instant::now);
+                    f.handle.sync()?;
+                    if let Some(t) = t_sync {
+                        recorder.record(
+                            node,
+                            &Event::DiskSyncDone {
+                                files: 1,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
+                    drain(&mut files[job.file], &mut total_in_flight, false)?;
+                }
+            }
+            if matches!(sync_policy, SyncPolicy::PerCollective) {
+                // One coalesced barrier for the whole disk stage: every
+                // fsync happens after every write has been issued, so
+                // no flush ever sits between two writes.
+                let t_sync = recorder.enabled().then(Instant::now);
+                for f in files.iter_mut() {
+                    f.handle.sync()?;
+                    drain(f, &mut total_in_flight, false)?;
+                }
+                if let Some(t) = t_sync {
                     recorder.record(
                         node,
-                        &Event::DiskWriteDone {
-                            key: job.key,
-                            offset: job.offset,
-                            bytes: buf.len() as u64,
+                        &Event::DiskSyncDone {
+                            files: files.len() as u32,
                             dur: t.elapsed(),
                         },
                     );
-                }
-                // The exchange stage may already be past its last fetch.
-                let _ = free.send(buf);
-                *remaining -= 1;
-                // The paper flushes with fsync after each write op; sync
-                // as soon as an array's last subchunk lands, overlapped
-                // with the next array's exchange.
-                if *remaining == 0 {
-                    file.sync()?;
                 }
             }
         }
@@ -195,7 +328,7 @@ fn run_disk_stage(
                 buf.clear();
                 buf.resize(job.bytes, 0);
                 let t_disk = recorder.enabled().then(Instant::now);
-                files[job.file].0.read_at(job.offset, &mut buf)?;
+                files[job.file].handle.read_at(job.offset, &mut buf)?;
                 if recorder.enabled() {
                     if let Some(t) = t_disk {
                         recorder.record(
@@ -388,6 +521,7 @@ impl ServerNode {
             self.server_idx,
             self.num_servers,
             req.subchunk_bytes,
+            req.sync_policy,
         );
         self.execute_schedule(&schedule, op_dir(req.op), depth)?;
         if let Some(t) = t_op {
@@ -444,15 +578,26 @@ impl ServerNode {
             return Ok(());
         }
         // The disk stage owns every file handle of the request for the
-        // whole collective; `steps` counts down to each file's fsync.
-        let mut files: Vec<(Box<dyn FileHandle>, usize)> = Vec::with_capacity(sched.files.len());
+        // whole collective; `remaining` counts down to each file's
+        // fsync. The planner knows every file's final length before the
+        // first byte moves, so written files get their whole extent
+        // preallocated up front.
+        let mut files: Vec<DiskFile> = Vec::with_capacity(sched.files.len());
         for f in &sched.files {
             let name = Self::file_name(&f.tag, self.server_idx);
             let handle = match dir {
-                OpDir::Write => self.fs.create(&name)?,
+                OpDir::Write => {
+                    let mut h = self.fs.create(&name)?;
+                    h.preallocate(f.bytes)?;
+                    h
+                }
                 OpDir::Read => self.fs.open(&name)?,
             };
-            files.push((handle, f.steps));
+            files.push(DiskFile {
+                handle,
+                remaining: f.steps,
+                in_flight: 0,
+            });
         }
         let jobs: Vec<DiskJob> = sched
             .steps
@@ -466,22 +611,26 @@ impl ServerNode {
             .collect();
         let recorder = Arc::clone(&self.recorder);
         let node = self.my_rank();
+        let sync_policy = sched.sync_policy;
 
         match dir {
             OpDir::Write => {
                 // The bounded full queue caps buffered-but-unwritten
                 // subchunks; at depth 1 the exchange loop additionally
                 // waits for each buffer to recycle, which serializes
-                // the schedule strictly.
+                // the schedule strictly (hence a completion window of
+                // zero: each submitted write is drained before the
+                // buffer can recycle).
                 let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth);
                 let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
                 let link = DiskLink::Pull {
                     full: full_rx,
                     free: free_tx,
+                    window: depth - 1,
                 };
-                let disk = self
-                    .pool
-                    .spawn_pinned(move || run_disk_stage(files, jobs, recorder, node, link));
+                let disk = self.pool.spawn_pinned(move || {
+                    run_disk_stage(files, jobs, sync_policy, recorder, node, link)
+                });
                 let run = self.pull_from_clients(sched, depth, &full_tx, &free_rx);
                 // Closing the full queue lets the disk stage drain and
                 // exit.
@@ -500,9 +649,9 @@ impl ServerNode {
                     free: free_rx,
                     buffers: depth,
                 };
-                let disk = self
-                    .pool
-                    .spawn_pinned(move || run_disk_stage(files, jobs, recorder, node, link));
+                let disk = self.pool.spawn_pinned(move || {
+                    run_disk_stage(files, jobs, sync_policy, recorder, node, link)
+                });
                 let run = self.push_to_clients(sched, &full_rx, &free_tx);
                 // Unblock a prefetcher still parked on a full queue,
                 // then join.

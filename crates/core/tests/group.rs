@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use common::*;
 use panda_core::{ArrayGroup, ArrayMeta, PandaClient, PandaConfig, PandaError, PandaSystem};
-use panda_fs::{FileSystem, MemFs};
+use panda_fs::{FileSystem, MemFs, SubmitFs, SyncPolicy};
 use panda_obs::{EventKind, Recorder, TimelineRecorder};
 use panda_schema::ElementType;
 
@@ -276,6 +276,80 @@ fn unified_engine_matches_seed_golden_checksums_localfs() {
         });
     }
     let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unified_engine_matches_seed_golden_checksums_submitfs() {
+    let root = std::env::temp_dir().join(format!("panda-golden-submit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| m.name().to_string()).collect();
+    // Each depth pairs with a different sync policy and completion
+    // thread count; the asynchronous disk stage must still land the
+    // exact seed bytes, and the read path must see them afterwards.
+    for (depth, threads, policy) in [
+        (1, 1, SyncPolicy::PerWrite),
+        (2, 2, SyncPolicy::PerFile),
+        (4, 3, SyncPolicy::PerCollective),
+    ] {
+        let roots: Vec<_> = (0..SERVERS)
+            .map(|s| root.join(format!("d{depth}/ionode{s}")))
+            .collect();
+        let launch_roots = roots.clone();
+        let config = PandaConfig::new(CLIENTS, SERVERS)
+            .with_subchunk_bytes(256)
+            .with_pipeline_depth(depth)
+            .with_sync_policy(policy)
+            .with_disk_completion_threads(threads);
+        let (system, mut clients) = PandaSystem::launch(&config, move |s| {
+            Arc::new(SubmitFs::new(&launch_roots[s], threads).unwrap()) as Arc<dyn FileSystem>
+        });
+        concurrent_write(&mut clients, &metas, &tags);
+        concurrent_read_check(&mut clients, &metas, &tags);
+        system.shutdown(clients).unwrap();
+        assert_seed_golden(depth, |name, s| {
+            std::fs::read(roots[s].join(format!("{name}.s{s}"))).unwrap()
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sync_policy_controls_barrier_count() {
+    let metas = test_arrays();
+    let tags: Vec<String> = metas.iter().map(|m| m.name().to_string()).collect();
+    let files_per_server = metas.len();
+    let count_syncs = |policy: SyncPolicy, depth: usize| -> usize {
+        let rec = Arc::new(TimelineRecorder::with_capacity(1 << 16));
+        let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+        let handles = mems.clone();
+        let config = PandaConfig::new(CLIENTS, SERVERS)
+            .with_subchunk_bytes(256)
+            .with_pipeline_depth(depth)
+            .with_sync_policy(policy)
+            .with_recorder(rec.clone() as Arc<dyn Recorder>);
+        let (system, mut clients) = PandaSystem::launch(&config, move |s| {
+            Arc::clone(&handles[s]) as Arc<dyn FileSystem>
+        });
+        concurrent_write(&mut clients, &metas, &tags);
+        system.shutdown(clients).unwrap();
+        let events = rec.timeline().expect("timeline recorder keeps events");
+        events
+            .iter()
+            .filter(|e| e.kind == EventKind::DiskSyncDone)
+            .count()
+    };
+
+    // One barrier per server covers the whole collective.
+    assert_eq!(count_syncs(SyncPolicy::PerCollective, 4), SERVERS);
+    // One barrier per file.
+    assert_eq!(
+        count_syncs(SyncPolicy::PerFile, 4),
+        SERVERS * files_per_server
+    );
+    // Paper semantics: every write syncs, which is strictly more
+    // barriers than one per file (each file spans several subchunks).
+    assert!(count_syncs(SyncPolicy::PerWrite, 1) > SERVERS * files_per_server);
 }
 
 #[test]

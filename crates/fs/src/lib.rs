@@ -10,6 +10,11 @@
 //! * [`MemFs`] — in-memory backend for deterministic tests;
 //! * [`LocalFs`] — real files under a root directory (the examples use
 //!   it; integration tests verify on-disk traditional order);
+//! * [`SubmitFs`] — real files behind an io_uring-style submission
+//!   queue: writes are queued and completed by a pool of completion
+//!   threads, so the disk stage can run ahead of the device; paired
+//!   with [`SyncPolicy`] for per-write / per-file / per-collective
+//!   fsync semantics;
 //! * [`NullFs`] — the paper's "infinitely fast disk": the same trick the
 //!   authors used of commenting out the file-system calls, packaged as a
 //!   backend that discards writes and fabricates reads;
@@ -45,6 +50,7 @@ pub mod mem;
 pub mod null;
 mod obs;
 pub mod stats;
+pub mod submit;
 pub mod throttle;
 pub mod traits;
 
@@ -54,5 +60,6 @@ pub use local::LocalFs;
 pub use mem::MemFs;
 pub use null::NullFs;
 pub use stats::IoStats;
+pub use submit::SubmitFs;
 pub use throttle::ThrottledFs;
-pub use traits::{FileHandle, FileSystem};
+pub use traits::{FileHandle, FileSystem, SyncPolicy};

@@ -1,7 +1,7 @@
 //! Real-file backend rooted at a directory.
 
 use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Component, Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -86,6 +86,7 @@ impl FileSystem for LocalFs {
         Ok(Box::new(LocalHandle {
             path: path.to_string(),
             file,
+            len: 0,
             obs: Arc::clone(&self.obs),
             tracker: SeqTracker::default(),
         }))
@@ -99,9 +100,11 @@ impl FileSystem for LocalFs {
             });
         }
         let file = fs::OpenOptions::new().read(true).write(true).open(full)?;
+        let len = file.metadata()?.len();
         Ok(Box::new(LocalHandle {
             path: path.to_string(),
             file,
+            len,
             obs: Arc::clone(&self.obs),
             tracker: SeqTracker::default(),
         }))
@@ -160,6 +163,11 @@ impl FileSystem for LocalFs {
 struct LocalHandle {
     path: String,
     file: fs::File,
+    /// Cached file length: the handle is the only writer while it is
+    /// open (the Panda engine gives each collective's files to exactly
+    /// one disk stage), so tracking `max(end-of-write)` here avoids a
+    /// `metadata` syscall on every access.
+    len: u64,
     obs: Arc<FsObs>,
     tracker: SeqTracker,
 }
@@ -168,13 +176,10 @@ impl FileHandle for LocalHandle {
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, data.len());
         let start = self.obs.timed().then(Instant::now);
-        // Zero-fill any gap so sparse semantics match MemFs everywhere.
-        let len = self.file.metadata()?.len();
-        if offset > len {
-            self.file.set_len(offset)?;
-        }
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(data)?;
+        // Positional write: `pwrite` past EOF zero-fills the gap, so
+        // sparse semantics match MemFs without an explicit `set_len`.
+        self.file.write_all_at(data, offset)?;
+        self.len = self.len.max(offset + data.len() as u64);
         self.obs.emit(&Event::FsWrite {
             file: &self.path,
             offset,
@@ -188,16 +193,14 @@ impl FileHandle for LocalHandle {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
         let sequential = self.tracker.classify(offset, buf.len());
         let start = self.obs.timed().then(Instant::now);
-        let file_len = self.file.metadata()?.len();
-        if offset + buf.len() as u64 > file_len {
+        if offset + buf.len() as u64 > self.len {
             return Err(FsError::ReadPastEnd {
                 offset,
                 len: buf.len(),
-                file_len,
+                file_len: self.len,
             });
         }
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.read_exact(buf)?;
+        self.file.read_exact_at(buf, offset)?;
         self.obs.emit(&Event::FsRead {
             file: &self.path,
             offset,
@@ -209,7 +212,15 @@ impl FileHandle for LocalHandle {
     }
 
     fn len(&self) -> u64 {
-        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+        self.len
+    }
+
+    fn preallocate(&mut self, len: u64) -> Result<(), FsError> {
+        if len > self.len {
+            self.file.set_len(len)?;
+            self.len = len;
+        }
+        Ok(())
     }
 
     fn sync(&mut self) -> Result<(), FsError> {
@@ -243,6 +254,7 @@ mod tests {
         conformance::create_truncates(&fs);
         conformance::sparse_write_zero_fills(&fs);
         conformance::remove_and_list(&fs);
+        conformance::submit_path_roundtrip(&fs);
         conformance::stats_track_sequentiality(&fs);
         let _ = fs::remove_dir_all(fs.root());
     }

@@ -184,6 +184,7 @@ mod tests {
         conformance::create_truncates(&fs);
         conformance::sparse_write_zero_fills(&fs);
         conformance::remove_and_list(&fs);
+        conformance::submit_path_roundtrip(&fs);
         conformance::stats_track_sequentiality(&fs);
     }
 

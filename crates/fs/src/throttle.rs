@@ -200,6 +200,11 @@ impl FileHandle for ThrottledHandle {
         self.inner.len()
     }
 
+    fn preallocate(&mut self, len: u64) -> Result<(), FsError> {
+        // Metadata-only: no data moves, so no simulated device time.
+        self.inner.preallocate(len)
+    }
+
     fn sync(&mut self) -> Result<(), FsError> {
         // Data was already "on the device" when each write returned;
         // charge only the syscall-ish fixed cost.

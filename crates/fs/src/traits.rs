@@ -43,10 +43,48 @@ pub trait FileSystem: Send + Sync {
     }
 }
 
+/// When the collective disk stage flushes written data to stable
+/// storage. The policy is a property of the *request*, not the backend:
+/// the engine applies it to whatever [`FileHandle`]s it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` after every subchunk write — the paper's semantics
+    /// (Panda flushes with fsync after each write operation). Strictly
+    /// serializes the disk stage, so it is only valid unpipelined.
+    PerWrite,
+    /// `fsync` each file once, as its last subchunk lands (the
+    /// engine's historical behavior, and the default): a crash loses at
+    /// most the files still being written, never a synced one.
+    #[default]
+    PerFile,
+    /// One coalesced barrier at the end of the disk stage: every file
+    /// is flushed once, after all writes of the collective have been
+    /// submitted. Fastest (fsyncs never sit between writes), with the
+    /// coarsest crash-consistency unit — the whole collective.
+    PerCollective,
+}
+
+impl SyncPolicy {
+    /// Stable snake_case name, used in bench output and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncPolicy::PerWrite => "per_write",
+            SyncPolicy::PerFile => "per_file",
+            SyncPolicy::PerCollective => "per_collective",
+        }
+    }
+}
+
 /// An open file.
 ///
 /// All accesses are positioned (`pread`/`pwrite` style); the backend
 /// classifies each as sequential or seeking for [`IoStats`].
+///
+/// The submission-queue methods ([`FileHandle::submit_write`],
+/// [`FileHandle::drain_completions`], [`FileHandle::preallocate`]) have
+/// synchronous defaults, so plain backends (MemFs, LocalFs, AixFs) get
+/// correct behavior for free while `SubmitFs` overrides them with a
+/// truly asynchronous path.
 pub trait FileHandle: Send {
     /// Write `data` at `offset`, extending the file if needed.
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError>;
@@ -63,8 +101,45 @@ pub trait FileHandle: Send {
     }
 
     /// Flush data to stable storage (the paper fsyncs after each write
-    /// collective).
+    /// collective). Backends with a submission queue first wait for
+    /// every submitted write to complete.
     fn sync(&mut self) -> Result<(), FsError>;
+
+    /// Queue `data` for writing at `offset` without waiting for the
+    /// device, taking ownership of the buffer.
+    ///
+    /// Returns `Ok(Some(buf))` when the write completed synchronously
+    /// (the buffer comes straight back for reuse) and `Ok(None)` when
+    /// it was queued — the buffer then resurfaces through
+    /// [`FileHandle::drain_completions`]. The default implementation is
+    /// the synchronous path: it delegates to [`FileHandle::write_at`]
+    /// and returns the buffer immediately.
+    fn submit_write(&mut self, offset: u64, data: Vec<u8>) -> Result<Option<Vec<u8>>, FsError> {
+        self.write_at(offset, &data)?;
+        Ok(Some(data))
+    }
+
+    /// Collect the buffers of submitted writes that have completed.
+    ///
+    /// With `block` set, waits until at least one pending write
+    /// completes (a no-op when nothing is pending). A write error that
+    /// happened asynchronously is surfaced here (and by
+    /// [`FileHandle::sync`]), once. The default implementation returns
+    /// an empty list: the default [`FileHandle::submit_write`] never
+    /// queues anything.
+    fn drain_completions(&mut self, block: bool) -> Result<Vec<Vec<u8>>, FsError> {
+        let _ = block;
+        Ok(Vec::new())
+    }
+
+    /// Hint that the file will grow to `len` bytes, so the backend can
+    /// preallocate the extent up front (`fallocate` style) instead of
+    /// growing the file write by write. Never shrinks the file. The
+    /// default is a no-op.
+    fn preallocate(&mut self, len: u64) -> Result<(), FsError> {
+        let _ = len;
+        Ok(())
+    }
 }
 
 /// Exhaustive conformance checks shared by the backend test suites.
@@ -138,6 +213,35 @@ pub(crate) mod conformance {
             fs.remove("z1.dat").unwrap_err(),
             FsError::NotFound { .. }
         ));
+    }
+
+    pub(crate) fn submit_path_roundtrip(fs: &dyn FileSystem) {
+        let mut h = fs.create("q.dat").unwrap();
+        h.preallocate(12).unwrap();
+        let mut returned = 0usize;
+        for (i, chunk) in [b"abcd".to_vec(), b"efgh".to_vec(), b"ijkl".to_vec()]
+            .into_iter()
+            .enumerate()
+        {
+            if let Some(buf) = h.submit_write(i as u64 * 4, chunk).unwrap() {
+                assert_eq!(buf.len(), 4);
+                returned += 1;
+            }
+        }
+        // sync barriers every queued write; after it the completed
+        // buffers are all drainable (sync path returns none by then).
+        h.sync().unwrap();
+        for buf in h.drain_completions(false).unwrap() {
+            assert_eq!(buf.len(), 4);
+            returned += 1;
+        }
+        assert_eq!(returned, 3, "every submitted buffer must come back");
+        assert_eq!(h.len(), 12);
+        let mut all = vec![0u8; 12];
+        h.read_at(0, &mut all).unwrap();
+        assert_eq!(&all, b"abcdefghijkl");
+        // A blocking drain with nothing pending must not block.
+        assert!(h.drain_completions(true).unwrap().is_empty());
     }
 
     pub(crate) fn stats_track_sequentiality(fs: &dyn FileSystem) {

@@ -258,10 +258,45 @@ pub enum Event<'a> {
         /// Copy time.
         dur: Duration,
     },
+    /// A write was queued on a submission-queue backend (`SubmitFs`):
+    /// ownership of the buffer moved to the backend; the matching
+    /// [`Event::FsWrite`] (and [`Event::FsComplete`]) fire when a
+    /// completion thread lands it.
+    FsSubmit {
+        /// File name within the backend.
+        file: &'a str,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes queued.
+        bytes: u64,
+    },
+    /// A submitted write completed on a completion thread. `queued` is
+    /// the submit→completion latency — the depth of the device queue in
+    /// time, the submission-side mirror of [`Event::FsWrite`]'s device
+    /// time.
+    FsComplete {
+        /// File name within the backend.
+        file: &'a str,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes written.
+        bytes: u64,
+        /// Time from submission to completion.
+        queued: Duration,
+    },
+    /// The collective disk stage retired a sync barrier: `files` files
+    /// were flushed under the request's `SyncPolicy` (1 for per-write
+    /// and per-file barriers, the whole schedule for per-collective).
+    DiskSyncDone {
+        /// Files covered by this barrier.
+        files: u32,
+        /// Wall time of the barrier (completion drain + fsync).
+        dur: Duration,
+    },
 }
 
 /// Number of event kinds (array dimension for per-kind counters).
-pub const KIND_COUNT: usize = 20;
+pub const KIND_COUNT: usize = 23;
 
 /// Fieldless mirror of [`Event`], used to index per-kind counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -306,6 +341,12 @@ pub enum EventKind {
     GroupSubmit,
     /// See [`Event::ReorgWorker`].
     ReorgWorker,
+    /// See [`Event::FsSubmit`].
+    FsSubmit,
+    /// See [`Event::FsComplete`].
+    FsComplete,
+    /// See [`Event::DiskSyncDone`].
+    DiskSyncDone,
 }
 
 impl EventKind {
@@ -331,6 +372,9 @@ impl EventKind {
         EventKind::ThrottleSleep,
         EventKind::GroupSubmit,
         EventKind::ReorgWorker,
+        EventKind::FsSubmit,
+        EventKind::FsComplete,
+        EventKind::DiskSyncDone,
     ];
 
     /// Counter index of this kind.
@@ -361,6 +405,9 @@ impl EventKind {
             EventKind::ThrottleSleep => "throttle_sleep",
             EventKind::GroupSubmit => "group_submit",
             EventKind::ReorgWorker => "reorg_worker",
+            EventKind::FsSubmit => "fs_submit",
+            EventKind::FsComplete => "fs_complete",
+            EventKind::DiskSyncDone => "disk_sync_done",
         }
     }
 
@@ -444,6 +491,9 @@ impl Event<'_> {
             Event::ThrottleSleep { .. } => EventKind::ThrottleSleep,
             Event::GroupSubmit { .. } => EventKind::GroupSubmit,
             Event::ReorgWorker { .. } => EventKind::ReorgWorker,
+            Event::FsSubmit { .. } => EventKind::FsSubmit,
+            Event::FsComplete { .. } => EventKind::FsComplete,
+            Event::DiskSyncDone { .. } => EventKind::DiskSyncDone,
         }
     }
 
@@ -480,7 +530,9 @@ impl Event<'_> {
             | Event::FsRead { bytes, .. }
             | Event::FsWrite { bytes, .. }
             | Event::ThrottleSleep { bytes, .. }
-            | Event::ReorgWorker { bytes, .. } => *bytes,
+            | Event::ReorgWorker { bytes, .. }
+            | Event::FsSubmit { bytes, .. }
+            | Event::FsComplete { bytes, .. } => *bytes,
             _ => 0,
         }
     }
@@ -499,7 +551,9 @@ impl Event<'_> {
             | Event::FsWrite { dur, .. }
             | Event::FsSync { dur, .. }
             | Event::ThrottleSleep { dur, .. }
-            | Event::ReorgWorker { dur, .. } => Some(*dur),
+            | Event::ReorgWorker { dur, .. }
+            | Event::DiskSyncDone { dur, .. } => Some(*dur),
+            Event::FsComplete { queued, .. } => Some(*queued),
             _ => None,
         }
     }
@@ -538,7 +592,9 @@ impl Event<'_> {
         match self {
             Event::FsRead { file, .. }
             | Event::FsWrite { file, .. }
-            | Event::FsSync { file, .. } => Some(file),
+            | Event::FsSync { file, .. }
+            | Event::FsSubmit { file, .. }
+            | Event::FsComplete { file, .. } => Some(file),
             _ => None,
         }
     }

@@ -42,7 +42,8 @@ fn check_buffer(buf_len: usize, region: &Region, elem_size: usize) -> Result<(),
 /// layouts (so the odometer can advance offsets incrementally instead of
 /// re-deriving them from the multi-index on every run).
 struct RunPlan {
-    /// Dimensions 0..cut are iterated run-by-run.
+    /// Dimensions 0..cut are iterated run-by-run; dims cut..rank are
+    /// fused into each run.
     cut: usize,
     /// Bytes moved per run.
     run_bytes: usize,
@@ -67,32 +68,100 @@ fn byte_strides(region: &Region, elem_size: usize) -> Vec<usize> {
 
 /// Find the maximal contiguous run structure for copying `portion`
 /// between buffers laid out for `src` and `dst`.
+///
+/// Fusion works on strides, not extent equality: trailing dim `d` folds
+/// into the run when stepping it advances both buffers by exactly the
+/// bytes fused so far (`src` and `dst` stride == `run_bytes`), or when
+/// the portion is a singleton along it (nothing to step). The innermost
+/// dim always fuses — both strides are `elem_size` there — so even a
+/// partial row moves as one `copy_from_slice` instead of
+/// element-by-element, and a full-extent chain keeps folding into whole
+/// slabs.
 fn plan_runs(src: &Region, dst: &Region, portion: &Region, elem_size: usize) -> RunPlan {
     let rank = portion.rank();
-    // `cut` = smallest c such that for all d >= c the portion spans the
-    // full extent of both layouts; dims c..rank are then contiguous in
-    // both buffers.
+    let src_strides = byte_strides(src, elem_size);
+    let dst_strides = byte_strides(dst, elem_size);
     let mut cut = rank;
+    let mut run_bytes = elem_size;
     while cut > 0 {
         let d = cut - 1;
-        if portion.extent(d) == src.extent(d) && portion.extent(d) == dst.extent(d) {
+        if portion.extent(d) == 1 || (src_strides[d] == run_bytes && dst_strides[d] == run_bytes) {
+            run_bytes *= portion.extent(d);
             cut -= 1;
         } else {
             break;
         }
     }
-    // The run additionally spans a contiguous segment of dim cut-1.
-    let (outer, seg) = if cut == 0 {
-        (0, 1) // whole portion is one run
-    } else {
-        (cut - 1, portion.extent(cut - 1))
-    };
-    let tail: usize = (cut..rank).map(|d| portion.extent(d)).product();
     RunPlan {
-        cut: outer,
-        run_bytes: seg * tail * elem_size,
-        src_strides: byte_strides(src, elem_size),
-        dst_strides: byte_strides(dst, elem_size),
+        cut,
+        run_bytes,
+        src_strides,
+        dst_strides,
+    }
+}
+
+/// One iterated dimension of a strided copy, after singleton dims are
+/// compacted away.
+struct IterDim {
+    /// Portion extent along this dim.
+    n: usize,
+    /// Source byte stride.
+    ss: usize,
+    /// Destination byte stride.
+    ds: usize,
+}
+
+/// Copy `n` runs of `N` bytes, striding `ss`/`ds` — the monomorphized
+/// inner loop for element-sized runs. The array round-trip tells the
+/// compiler the copy length is a constant, so each line is a couple of
+/// register moves instead of a `memcpy` call.
+#[inline]
+fn copy_runs_fixed<const N: usize>(
+    dst: &mut [u8],
+    src: &[u8],
+    mut doff: usize,
+    mut so: usize,
+    n: usize,
+    ss: usize,
+    ds: usize,
+) {
+    for _ in 0..n {
+        let line: [u8; N] = src[so..so + N].try_into().expect("run within source");
+        dst[doff..doff + N].copy_from_slice(&line);
+        so += ss;
+        doff += ds;
+    }
+}
+
+/// Copy `n` runs of `run` bytes each from `src` at `so` to `dst` at
+/// `doff`, advancing the offsets by `ss`/`ds` per run. Runs of the
+/// common element sizes dispatch to a constant-size loop.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn copy_runs(
+    dst: &mut [u8],
+    src: &[u8],
+    doff: usize,
+    so: usize,
+    run: usize,
+    n: usize,
+    ss: usize,
+    ds: usize,
+) {
+    match run {
+        1 => copy_runs_fixed::<1>(dst, src, doff, so, n, ss, ds),
+        2 => copy_runs_fixed::<2>(dst, src, doff, so, n, ss, ds),
+        4 => copy_runs_fixed::<4>(dst, src, doff, so, n, ss, ds),
+        8 => copy_runs_fixed::<8>(dst, src, doff, so, n, ss, ds),
+        16 => copy_runs_fixed::<16>(dst, src, doff, so, n, ss, ds),
+        _ => {
+            let (mut so, mut doff) = (so, doff);
+            for _ in 0..n {
+                dst[doff..doff + run].copy_from_slice(&src[so..so + run]);
+                so += ss;
+                doff += ds;
+            }
+        }
     }
 }
 
@@ -131,34 +200,51 @@ pub fn copy_region(
     }
 
     let plan = plan_runs(src_region, dst_region, portion, elem_size);
-    let mut moved = 0usize;
-    // Odometer over dims 0..plan.cut of the portion. The byte offsets
-    // mirror every index mutation (add one stride on increment, rewind a
-    // whole extent on reset) so each run costs O(1) offset work instead
-    // of an O(rank) re-linearization.
-    let mut idx = portion.lo().to_vec();
-    let mut so = offset_in_region(src_region, &idx, elem_size);
-    let mut doff = offset_in_region(dst_region, &idx, elem_size);
+    let moved = portion.num_bytes(elem_size);
+    // Compact the iterated dims: singleton dims contribute nothing to
+    // the odometer, so dropping them here keeps the loop nest as shallow
+    // as the portion's true shape.
+    let iter: Vec<IterDim> = (0..plan.cut)
+        .filter(|&d| portion.extent(d) > 1)
+        .map(|d| IterDim {
+            n: portion.extent(d),
+            ss: plan.src_strides[d],
+            ds: plan.dst_strides[d],
+        })
+        .collect();
+    let mut so = offset_in_region(src_region, portion.lo(), elem_size);
+    let mut doff = offset_in_region(dst_region, portion.lo(), elem_size);
+    let run = plan.run_bytes;
+
+    // The innermost iterated dim drives a tight batched loop; the rest
+    // form an odometer whose byte offsets mirror every index mutation
+    // (add one stride on increment, rewind a whole extent on reset) so
+    // each batch costs O(1) offset work instead of an O(rank)
+    // re-linearization.
+    let Some((inner, outer)) = iter.split_last() else {
+        // Everything fused: the whole portion is one contiguous run.
+        copy_runs(dst, src, doff, so, run, 1, 0, 0);
+        return Ok(moved);
+    };
+    let mut ctr = vec![0usize; outer.len()];
     loop {
-        dst[doff..doff + plan.run_bytes].copy_from_slice(&src[so..so + plan.run_bytes]);
-        moved += plan.run_bytes;
-        // Advance the odometer.
-        let mut d = plan.cut;
+        copy_runs(dst, src, doff, so, run, inner.n, inner.ss, inner.ds);
+        // Advance the outer odometer.
+        let mut d = outer.len();
         loop {
             if d == 0 {
-                debug_assert_eq!(moved, portion.num_bytes(elem_size));
                 return Ok(moved);
             }
             d -= 1;
-            idx[d] += 1;
-            so += plan.src_strides[d];
-            doff += plan.dst_strides[d];
-            if idx[d] < portion.hi()[d] {
+            ctr[d] += 1;
+            so += outer[d].ss;
+            doff += outer[d].ds;
+            if ctr[d] < outer[d].n {
                 break;
             }
-            idx[d] = portion.lo()[d];
-            so -= plan.src_strides[d] * portion.extent(d);
-            doff -= plan.dst_strides[d] * portion.extent(d);
+            ctr[d] = 0;
+            so -= outer[d].ss * outer[d].n;
+            doff -= outer[d].ds * outer[d].n;
         }
     }
 }
