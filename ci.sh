@@ -45,4 +45,14 @@ if command -v python3 >/dev/null; then
 fi
 rm -f "$disk_out"
 
+# Tenancy smoke: a quick sequential-vs-interleaved multi-session sweep
+# must complete (the binary asserts byte-identical files between the
+# two scheduling modes per tenant count and validates its JSON output).
+tenancy_out=$(mktemp /tmp/panda_tenancy_ci.XXXXXX.json)
+cargo run --release -q -p panda-bench --bin tenancy -- --quick --out "$tenancy_out"
+if command -v python3 >/dev/null; then
+  python3 -c "import json,sys; [json.loads(l) for l in open(sys.argv[1]) if l.strip()]" "$tenancy_out"
+fi
+rm -f "$tenancy_out"
+
 echo "ci: all green"

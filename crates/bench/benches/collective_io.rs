@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
@@ -27,8 +27,10 @@ fn bench_roundtrip(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{dim}x{dim}_f64")),
             |b| {
                 let config = PandaConfig::new(4, 2).with_subchunk_bytes(1 << 18);
-                let (system, mut clients) =
-                    PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+                let (system, mut clients) = PandaSystem::builder()
+                    .config(config.clone())
+                    .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+                    .unwrap();
                 let datas: Vec<Vec<u8>> = (0..4)
                     .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
                     .collect();
@@ -37,10 +39,20 @@ fn bench_roundtrip(c: &mut Criterion) {
                         for (client, data) in clients.iter_mut().zip(&datas) {
                             let meta = &meta;
                             s.spawn(move || {
-                                client.write(&[(meta, "bench", data.as_slice())]).unwrap();
+                                client
+                                    .write_set(&WriteSet::new().array(
+                                        meta,
+                                        "bench",
+                                        data.as_slice(),
+                                    ))
+                                    .unwrap();
                                 let mut buf = vec![0u8; data.len()];
                                 client
-                                    .read(&mut [(meta, "bench", buf.as_mut_slice())])
+                                    .read_set(&mut ReadSet::new().array(
+                                        meta,
+                                        "bench",
+                                        buf.as_mut_slice(),
+                                    ))
                                     .unwrap();
                             });
                         }
@@ -59,8 +71,10 @@ fn bench_section_read(c: &mut Criterion) {
     group.sample_size(20);
     let meta = natural(512);
     let config = PandaConfig::new(4, 2).with_subchunk_bytes(1 << 18);
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     // Stage the array once.
     let datas: Vec<Vec<u8>> = (0..4)
         .map(|r| vec![r as u8 + 1; meta.client_bytes(r)])
@@ -68,7 +82,11 @@ fn bench_section_read(c: &mut Criterion) {
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(&datas) {
             let meta = &meta;
-            s.spawn(move || client.write(&[(meta, "bench", data.as_slice())]).unwrap());
+            s.spawn(move || {
+                client
+                    .write_set(&WriteSet::new().array(meta, "bench", data.as_slice()))
+                    .unwrap()
+            });
         }
     });
     // Thin slab (1/32 of the array) vs the full array.
@@ -88,7 +106,12 @@ fn bench_section_read(c: &mut Criterion) {
                         s.spawn(move || {
                             let mut buf = vec![0u8; client.section_bytes(meta, section)];
                             client
-                                .read_section(meta, "bench", section, &mut buf)
+                                .read_set(&mut ReadSet::new().section(
+                                    meta,
+                                    "bench",
+                                    section.clone(),
+                                    &mut buf,
+                                ))
                                 .unwrap();
                         });
                     }

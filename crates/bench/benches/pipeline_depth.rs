@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use panda_core::{ArrayMeta, PandaClient, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaClient, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, LocalFs, MemFs, ThrottledFs};
 use panda_msg::{FabricStats, TcpFabric, Transport};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
@@ -53,10 +53,10 @@ fn launch_tcp_local(root: &std::path::Path, depth: usize) -> (PandaSystem, Vec<P
         .map(|e| Box::new(e) as Box<dyn Transport>)
         .collect();
     let roots: Vec<_> = (0..2).map(|s| root.join(format!("ionode{s}"))).collect();
-    PandaSystem::launch_over(
-        &config(depth),
-        transports,
-        |s| {
+    PandaSystem::builder()
+        .config(config(depth).clone())
+        .transports(transports, Arc::new(FabricStats::new()))
+        .launch(|s| {
             let disk = Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>;
             Arc::new(ThrottledFs::new(
                 disk,
@@ -64,22 +64,25 @@ fn launch_tcp_local(root: &std::path::Path, depth: usize) -> (PandaSystem, Vec<P
                 DISK_WRITE_MB_S,
                 DISK_OP_OVERHEAD,
             )) as Arc<dyn FileSystem>
-        },
-        Arc::new(FabricStats::new()),
-    )
-    .expect("launch over tcp")
+        })
+        .unwrap()
 }
 
 fn launch_inproc_mem(depth: usize) -> (PandaSystem, Vec<PandaClient>) {
-    PandaSystem::launch(&config(depth), |_| {
-        Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-    })
+    PandaSystem::builder()
+        .config(config(depth).clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap()
 }
 
 fn collective_write(clients: &mut [PandaClient], meta: &ArrayMeta, datas: &[Vec<u8>]) {
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(datas) {
-            s.spawn(move || client.write(&[(meta, "bench", data.as_slice())]).unwrap());
+            s.spawn(move || {
+                client
+                    .write_set(&WriteSet::new().array(meta, "bench", data.as_slice()))
+                    .unwrap()
+            });
         }
     });
 }
@@ -91,7 +94,7 @@ fn collective_read(clients: &mut [PandaClient], meta: &ArrayMeta) {
             s.spawn(move || {
                 let mut buf = vec![0u8; meta.client_bytes(client.rank())];
                 client
-                    .read(&mut [(meta, "bench", buf.as_mut_slice())])
+                    .read_set(&mut ReadSet::new().array(meta, "bench", buf.as_mut_slice()))
                     .unwrap();
             });
         }

@@ -121,12 +121,15 @@ fn run_cell(rows: usize, steps: usize, cell: &Cell, root: &Path) -> Measurement 
         .with_pipeline_depth(cell.depth)
         .with_sync_policy(cell.sync)
         .with_disk_completion_threads(THREADS);
-    let (system, mut clients) = PandaSystem::launch(&config, move |s| match backend {
-        Backend::LocalFs => Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>,
-        Backend::SubmitFs => {
-            Arc::new(SubmitFs::new(&roots[s], THREADS).unwrap()) as Arc<dyn FileSystem>
-        }
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(move |s| match backend {
+            Backend::LocalFs => Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>,
+            Backend::SubmitFs => {
+                Arc::new(SubmitFs::new(&roots[s], THREADS).unwrap()) as Arc<dyn FileSystem>
+            }
+        })
+        .unwrap();
 
     let start = Instant::now();
     std::thread::scope(|s| {

@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use panda_core::{ArrayGroup, ArrayMeta, GroupData, PandaConfig, PandaSystem};
+use panda_core::{ArrayGroup, ArrayMeta, GroupData, PandaConfig, PandaSystem, WriteSet};
 use panda_fs::{FileSystem, LocalFs, ThrottledFs};
 use panda_obs::{json, Phase, RunReport, TimelineRecorder};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
@@ -107,14 +107,17 @@ fn run_mode(rows: usize, depth: usize, concurrent: bool, root: &Path) -> ModeRun
         .with_subchunk_bytes(16 * 1024)
         .with_pipeline_depth(depth)
         .with_recorder(rec.clone());
-    let (system, mut clients) = PandaSystem::launch(&config, move |s| {
-        Arc::new(ThrottledFs::new(
-            Arc::new(LocalFs::new(&roots[s]).unwrap()),
-            DISK_MB_S,
-            DISK_MB_S,
-            std::time::Duration::from_micros(OP_OVERHEAD_US),
-        )) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(move |s| {
+            Arc::new(ThrottledFs::new(
+                Arc::new(LocalFs::new(&roots[s]).unwrap()),
+                DISK_MB_S,
+                DISK_MB_S,
+                std::time::Duration::from_micros(OP_OVERHEAD_US),
+            )) as Arc<dyn FileSystem>
+        })
+        .unwrap();
 
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -135,7 +138,7 @@ fn run_mode(rows: usize, depth: usize, concurrent: bool, root: &Path) -> ModeRun
                     for (i, meta) in arrays.iter().enumerate() {
                         let tag = g.timestep_tag(i, 0);
                         client
-                            .write(&[(meta, tag.as_str(), data.buffer(i))])
+                            .write_set(&WriteSet::new().array(meta, tag.as_str(), data.buffer(i)))
                             .unwrap();
                     }
                 }

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs, ThrottledFs};
 use panda_obs::{json, Phase, RunReport, TimelineRecorder};
 use panda_schema::copy::offset_in_region;
@@ -100,20 +100,27 @@ fn run_depth(meta: &ArrayMeta, depth: usize) -> DepthRun {
         .with_subchunk_bytes(4096)
         .with_pipeline_depth(depth)
         .with_recorder(rec.clone());
-    let (system, mut clients) = PandaSystem::launch(&config, |_| {
-        Arc::new(ThrottledFs::new(
-            Arc::new(MemFs::new()),
-            DISK_MB_S,
-            DISK_MB_S,
-            std::time::Duration::from_micros(50),
-        )) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| {
+            Arc::new(ThrottledFs::new(
+                Arc::new(MemFs::new()),
+                DISK_MB_S,
+                DISK_MB_S,
+                std::time::Duration::from_micros(50),
+            )) as Arc<dyn FileSystem>
+        })
+        .unwrap();
 
     let datas: Vec<Vec<u8>> = (0..CLIENTS).map(|r| pattern_chunk(meta, r)).collect();
     let start = Instant::now();
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(&datas) {
-            s.spawn(move || client.write(&[(meta, "phases", data.as_slice())]).unwrap());
+            s.spawn(move || {
+                client
+                    .write_set(&WriteSet::new().array(meta, "phases", data.as_slice()))
+                    .unwrap()
+            });
         }
     });
     let mut bufs: Vec<Vec<u8>> = (0..CLIENTS)
@@ -123,7 +130,7 @@ fn run_depth(meta: &ArrayMeta, depth: usize) -> DepthRun {
         for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
             s.spawn(move || {
                 client
-                    .read(&mut [(meta, "phases", buf.as_mut_slice())])
+                    .read_set(&mut ReadSet::new().array(meta, "phases", buf.as_mut_slice()))
                     .unwrap()
             });
         }

@@ -1,0 +1,256 @@
+//! Multi-tenant request scheduling: N sessions submitting collective
+//! writes to the same two I/O nodes, sequential (`max_concurrent = 1`,
+//! every request queues behind the one live slot) vs. interleaved (the
+//! request scheduler pumps up to 8 requests through the shared worker
+//! pool and disk stage). Reports per-request latency percentiles and
+//! aggregate throughput per cell; asserts the interleaved run's files
+//! are byte-identical to the sequential run's for the same tenant
+//! count before any number is reported.
+//!
+//! The disk is a throttled MemFs (the pipeline-depth profile's device
+//! model) so the cells measure scheduling, not allocator noise: with a
+//! real device cost, interleaving overlaps one tenant's fetch phase
+//! with another's disk phase.
+//!
+//! Usage: `tenancy [--quick] [--out <path>]`. Writes one JSON object
+//! per (mode, tenants) line to `<path>` (default
+//! `results/BENCH_tenancy.json`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem, Session, WriteSet};
+use panda_fs::{FileSystem, MemFs, ThrottledFs};
+use panda_obs::json;
+use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+const SERVERS: usize = 2;
+/// Live-request slots in interleaved mode.
+const INTERLEAVED_SLOTS: usize = 8;
+const DISK_READ_MB_S: f64 = 200.0;
+const DISK_WRITE_MB_S: f64 = 150.0;
+const DISK_OP_OVERHEAD: Duration = Duration::from_micros(20);
+
+struct Opts {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        out: "results/BENCH_tenancy.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => match args.next() {
+                Some(path) => opts.out = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option {other}; supported: --quick --out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Each tenant's array: single-node memory mesh (the session-mode
+/// requirement), traditional order across the I/O nodes.
+fn tenant_meta(rank: usize, rows: usize) -> ArrayMeta {
+    let shape = Shape::new(&[rows, rows]).unwrap();
+    let memory =
+        DataSchema::block_all(shape.clone(), ElementType::U8, Mesh::new(&[1, 1]).unwrap()).unwrap();
+    let disk = DataSchema::traditional_order(shape, ElementType::U8, SERVERS).unwrap();
+    ArrayMeta::new(format!("t{rank}"), memory, disk).unwrap()
+}
+
+fn tenant_bytes(rank: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((rank.wrapping_mul(131).wrapping_add(i.wrapping_mul(7))) % 251) as u8 + 1)
+        .collect()
+}
+
+struct Measurement {
+    wall_s: f64,
+    bytes: usize,
+    /// Per-request submit-to-complete latencies, sorted ascending.
+    latencies_s: Vec<f64>,
+}
+
+/// Run `tenants` sessions, each submitting `requests` collective
+/// writes, with `max_concurrent` live-request slots on the servers.
+/// Returns the measurement and the final bytes of every file.
+fn run_cell(
+    tenants: usize,
+    requests: usize,
+    rows: usize,
+    max_concurrent: usize,
+) -> (Measurement, Vec<(String, Vec<u8>)>) {
+    let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
+    let handles = mems.clone();
+    let mut service = PandaSystem::builder()
+        .config(
+            PandaConfig::new(tenants, SERVERS)
+                .with_subchunk_bytes(16 * 1024)
+                .with_max_concurrent_collectives(max_concurrent)
+                .with_max_queued_collectives(tenants)
+                .with_recv_timeout(Duration::from_secs(60)),
+        )
+        .serve(move |s| {
+            Arc::new(ThrottledFs::new(
+                Arc::clone(&handles[s]) as Arc<dyn FileSystem>,
+                DISK_READ_MB_S,
+                DISK_WRITE_MB_S,
+                DISK_OP_OVERHEAD,
+            )) as Arc<dyn FileSystem>
+        })
+        .expect("launch tenancy service");
+
+    let sessions: Vec<Session> = (0..tenants)
+        .map(|_| service.open().expect("session slot"))
+        .collect();
+
+    let start = Instant::now();
+    let (sessions, mut latencies_s) = std::thread::scope(|s| {
+        let joins: Vec<_> = sessions
+            .into_iter()
+            .map(|mut sess| {
+                s.spawn(move || {
+                    let rank = sess.rank();
+                    let meta = tenant_meta(rank, rows);
+                    let data = tenant_bytes(rank, rows * rows);
+                    let tag = format!("t{rank}");
+                    let mut lats = Vec::with_capacity(requests);
+                    for _ in 0..requests {
+                        let t0 = Instant::now();
+                        sess.write_set(&WriteSet::new().array(&meta, tag.as_str(), &data))
+                            .expect("tenant write");
+                        lats.push(t0.elapsed().as_secs_f64());
+                    }
+                    (sess, lats)
+                })
+            })
+            .collect();
+        let mut sessions = Vec::new();
+        let mut lats = Vec::new();
+        for j in joins {
+            let (sess, l) = j.join().unwrap();
+            sessions.push(sess);
+            lats.extend(l);
+        }
+        (sessions, lats)
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    service.shutdown(sessions).expect("shutdown");
+
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    for (s, fs) in mems.iter().enumerate() {
+        for name in fs.list() {
+            files.push((format!("ionode{s}/{name}"), fs.contents(&name).unwrap()));
+        }
+    }
+    files.sort();
+    latencies_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        Measurement {
+            wall_s,
+            bytes: tenants * requests * rows * rows,
+            latencies_s,
+        },
+        files,
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn json_line(mode: &str, tenants: usize, requests: usize, m: &Measurement) -> String {
+    let mb_s = m.bytes as f64 / (1024.0 * 1024.0) / m.wall_s;
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"id\":");
+    json::push_str(&mut out, &format!("tenancy/{mode}/n{tenants}"));
+    out.push_str(",\"mode\":");
+    json::push_str(&mut out, mode);
+    out.push_str(",\"tenants\":");
+    out.push_str(&tenants.to_string());
+    out.push_str(",\"requests_per_tenant\":");
+    out.push_str(&requests.to_string());
+    out.push_str(",\"bytes\":");
+    out.push_str(&m.bytes.to_string());
+    out.push_str(",\"wall_s\":");
+    json::push_f64(&mut out, m.wall_s);
+    out.push_str(",\"mb_s\":");
+    json::push_f64(&mut out, mb_s);
+    out.push_str(",\"p50_ms\":");
+    json::push_f64(&mut out, percentile(&m.latencies_s, 0.50) * 1e3);
+    out.push_str(",\"p99_ms\":");
+    json::push_f64(&mut out, percentile(&m.latencies_s, 0.99) * 1e3);
+    out.push('}');
+    json::validate(&out).expect("tenancy bench emitted invalid JSON");
+    out
+}
+
+fn main() {
+    let opts = parse_args();
+    let tenant_counts: &[usize] = if opts.quick {
+        &[4, 8]
+    } else {
+        &[8, 16, 32, 64]
+    };
+    let (requests, rows) = if opts.quick { (2, 32) } else { (4, 64) };
+
+    println!(
+        "request scheduler, {SERVERS} I/O nodes, throttled MemFs disk \
+         ({DISK_WRITE_MB_S:.0} MB/s write, {:.0} us/op), \
+         {requests} requests per tenant of {} B each:",
+        DISK_OP_OVERHEAD.as_micros(),
+        rows * rows
+    );
+    println!(
+        "{:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "tenants", "wall (s)", "MB/s", "p50 (ms)", "p99 (ms)"
+    );
+
+    let mut doc = String::new();
+    for &tenants in tenant_counts {
+        let (seq, seq_files) = run_cell(tenants, requests, rows, 1);
+        let (conc, conc_files) = run_cell(tenants, requests, rows, INTERLEAVED_SLOTS);
+        assert_eq!(
+            seq_files, conc_files,
+            "interleaving changed bytes on disk at {tenants} tenants"
+        );
+        for (mode, m) in [("sequential", &seq), ("interleaved", &conc)] {
+            println!(
+                "{:>12} {:>8} {:>10.4} {:>10.1} {:>10.2} {:>10.2}",
+                mode,
+                tenants,
+                m.wall_s,
+                m.bytes as f64 / (1024.0 * 1024.0) / m.wall_s,
+                percentile(&m.latencies_s, 0.50) * 1e3,
+                percentile(&m.latencies_s, 0.99) * 1e3,
+            );
+            doc.push_str(&json_line(mode, tenants, requests, m));
+            doc.push('\n');
+        }
+    }
+
+    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&opts.out, &doc).expect("write tenancy report");
+    println!("wrote {}", opts.out);
+}

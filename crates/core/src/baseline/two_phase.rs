@@ -80,6 +80,7 @@ pub fn two_phase_write(
                     client.transport_mut(),
                     NodeId(proxy_of(p.chunk_idx, num_clients)),
                     &Msg::Data {
+                        request: 0,
                         array: 0,
                         seq: p.chunk_idx as u64,
                         region: isect,
@@ -201,6 +202,7 @@ pub fn two_phase_read(
                 client.transport_mut(),
                 NodeId(owner),
                 &Msg::Data {
+                    request: 0,
                     array: 0,
                     seq: p.chunk_idx as u64,
                     region: isect,

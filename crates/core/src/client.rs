@@ -1,12 +1,23 @@
 //! The Panda client: the compute-node side of a collective operation.
 //!
 //! Under server-directed I/O the client is almost passive (paper §2):
-//! the master client sends one short high-level request describing the
-//! schemas, then every client simply *serves* the servers — packing
-//! requested regions on writes, scattering delivered regions on reads —
-//! until released. "Note the clients and servers play a different role
-//! than in traditional client/server architectures where the clients
-//! make requests of the server."
+//! the submitter sends one short high-level request describing the
+//! schemas, then every participating client simply *serves* the servers
+//! — packing requested regions on writes, scattering delivered regions
+//! on reads — until released. "Note the clients and servers play a
+//! different role than in traditional client/server architectures where
+//! the clients make requests of the server."
+//!
+//! A collective is submitted in one of two modes. **Fleet** mode is the
+//! paper's SPMD model: every compute node calls the same operation, the
+//! master client (rank 0) submits one request naming all of them as
+//! participants, and the master releases the others when the servers
+//! report completion. **Session** mode is the multi-tenant service
+//! model: one client is the sole participant of its own request, many
+//! such requests run concurrently on the shared servers, and each
+//! message carries its request id so the flows never blend. The request
+//! id is minted here as `(rank + 1) << 32 | counter` — unique across
+//! submitters without coordination.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -18,8 +29,23 @@ use panda_schema::{copy, Region};
 
 use crate::array::ArrayMeta;
 use crate::error::PandaError;
+use crate::request::{ReadSet, WriteSet};
 
 use crate::protocol::{recv_msg, send_data, send_msg, ArrayOp, CollectiveRequest, Msg, OpKind};
+
+/// How a collective request enters the system.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SubmitMode {
+    /// The paper's SPMD model: all compute nodes participate, rank 0
+    /// submits.
+    Fleet,
+    /// Service model: this client alone participates, at the given
+    /// scheduling priority.
+    Session {
+        /// Scheduling priority (higher pumps first on the servers).
+        priority: u8,
+    },
+}
 
 /// One array's side of the exchange, as the serve loop sees it: the
 /// variant is the collective's direction.
@@ -50,6 +76,10 @@ pub struct PandaClient {
     subchunk_bytes: usize,
     pipeline_depth: usize,
     sync_policy: SyncPolicy,
+    /// Requests minted by this client so far (the low half of the id).
+    req_counter: u64,
+    /// The id of the last request this client submitted.
+    last_request: Option<u64>,
     /// Session recorder; events are tagged with this client's rank.
     recorder: Arc<dyn Recorder>,
 }
@@ -74,6 +104,8 @@ impl PandaClient {
             subchunk_bytes,
             pipeline_depth,
             sync_policy,
+            req_counter: 0,
+            last_request: None,
             recorder,
         }
     }
@@ -122,10 +154,19 @@ impl PandaClient {
         self.sync_policy
     }
 
-    /// True iff this is the master client (rank 0), which exchanges the
-    /// control messages with the master server.
+    /// True iff this is the master client (rank 0), which submits the
+    /// fleet's requests and exchanges the control messages with the
+    /// master server.
     pub fn is_master(&self) -> bool {
         self.rank == 0
+    }
+
+    /// The id of the most recent request this client submitted, for
+    /// correlating with request-scoped observability
+    /// ([`panda_obs::RunReport::for_request`]). `None` until this
+    /// client has submitted one (fleet non-masters never do).
+    pub fn last_request_id(&self) -> Option<u64> {
+        self.last_request
     }
 
     fn master_server(&self) -> NodeId {
@@ -144,13 +185,30 @@ impl PandaClient {
         &mut *self.transport
     }
 
+    /// Mint a request id: unique across clients without coordination.
+    fn fresh_request_id(&mut self) -> u64 {
+        self.req_counter += 1;
+        ((self.rank as u64 + 1) << 32) | self.req_counter
+    }
+
+    /// The mesh-local chunk index this submission packs/scatters with:
+    /// the fabric rank in fleet mode, chunk 0 in session mode (a
+    /// session's arrays live on a 1-node memory mesh).
+    fn mesh_rank(&self, mode: SubmitMode) -> usize {
+        match mode {
+            SubmitMode::Fleet => self.rank,
+            SubmitMode::Session { .. } => 0,
+        }
+    }
+
     fn check_buffers(
         &self,
         arrays: &[(&ArrayMeta, &str)],
         lens: &[usize],
+        mesh: usize,
     ) -> Result<(), PandaError> {
         for ((meta, _), &len) in arrays.iter().zip(lens) {
-            let expected = meta.client_bytes(self.rank);
+            let expected = meta.client_bytes(mesh);
             if len != expected {
                 return Err(PandaError::BadClientBuffer {
                     array: meta.name().to_string(),
@@ -162,55 +220,156 @@ impl PandaClient {
         Ok(())
     }
 
-    /// Collective write: every client calls this with its chunk of each
-    /// array. `arrays` items are `(metadata, file_tag, chunk_data)`;
-    /// the file tag names the operation's files
-    /// (`"<file_tag>.s<server>"` on each I/O node).
-    ///
-    /// Blocks until the whole collective completes on every node.
-    pub fn write(&mut self, arrays: &[(&ArrayMeta, &str, &[u8])]) -> Result<(), PandaError> {
-        let heads: Vec<(&ArrayMeta, &str)> = arrays.iter().map(|&(m, t, _)| (m, t)).collect();
-        let lens: Vec<usize> = arrays.iter().map(|&(_, _, d)| d.len()).collect();
-        self.check_buffers(&heads, &lens)?;
-        let t_op = self.obs_on().then(Instant::now);
-        self.start_collective(OpKind::Write, &heads, None)?;
+    /// Collective write of a prepared [`WriteSet`]: every compute node
+    /// calls this with its chunk of each array. Blocks until the whole
+    /// collective completes on every node.
+    pub fn write_set(&mut self, set: &WriteSet<'_>) -> Result<(), PandaError> {
+        self.write_set_mode(set, SubmitMode::Fleet)
+    }
 
-        let mut xfer: Vec<XferArray<'_>> = arrays
+    pub(crate) fn write_set_mode(
+        &mut self,
+        set: &WriteSet<'_>,
+        mode: SubmitMode,
+    ) -> Result<(), PandaError> {
+        let mesh = self.mesh_rank(mode);
+        let heads: Vec<(&ArrayMeta, &str)> =
+            set.items.iter().map(|i| (i.meta, i.tag.as_str())).collect();
+        let lens: Vec<usize> = set.items.iter().map(|i| i.data.len()).collect();
+        self.check_buffers(&heads, &lens, mesh)?;
+        let t_op = self.obs_on().then(Instant::now);
+        let want = self.start_collective(OpKind::Write, &heads, None, mode)?;
+
+        let mut xfer: Vec<XferArray<'_>> = set
+            .items
             .iter()
-            .map(|&(meta, _, data)| XferArray {
-                meta,
-                region: meta.client_region(self.rank),
-                buf: XferBuf::Src(data),
+            .map(|i| XferArray {
+                meta: i.meta,
+                region: i.meta.client_region(mesh),
+                buf: XferBuf::Src(i.data),
             })
             .collect();
         // A write expects no inbound pieces; the loop runs on control
         // flow alone.
-        let complete = self.serve_collective(&mut xfer, 0)?;
+        let (complete, request) = self.serve_collective(&mut xfer, 0, want)?;
         if let Some(t) = t_op {
             self.emit(&Event::CollectiveDone {
+                request,
                 op: OpDir::Write,
                 dur: t.elapsed(),
             });
         }
-        self.finish_collective(complete)
+        self.finish_collective(complete, mode)
     }
 
-    /// Collective read: the mirror of [`PandaClient::write`]; each
-    /// client's buffer is filled with its memory chunk.
+    /// Collective read of a prepared [`ReadSet`]: the mirror of
+    /// [`PandaClient::write_set`]; each buffer is filled with this
+    /// node's chunk (or its intersection with the entry's section).
+    pub fn read_set(&mut self, set: &mut ReadSet<'_>) -> Result<(), PandaError> {
+        self.read_set_mode(set, SubmitMode::Fleet)
+    }
+
+    pub(crate) fn read_set_mode(
+        &mut self,
+        set: &mut ReadSet<'_>,
+        mode: SubmitMode,
+    ) -> Result<(), PandaError> {
+        let mesh = self.mesh_rank(mode);
+        let heads: Vec<(&ArrayMeta, &str)> =
+            set.items.iter().map(|i| (i.meta, i.tag.as_str())).collect();
+
+        // Receive targets: my chunk, or its intersection with the
+        // section. Disjoint sections leave an empty target.
+        let regions: Vec<Region> = set
+            .items
+            .iter()
+            .map(|i| {
+                let mine = i.meta.client_region(mesh);
+                match &i.section {
+                    None => mine,
+                    Some(s) => mine
+                        .intersect(s)
+                        .unwrap_or_else(|| Region::empty(mine.rank())),
+                }
+            })
+            .collect();
+        for (i, region) in set.items.iter().zip(&regions) {
+            let expected = region.num_bytes(i.meta.elem_size());
+            if i.data.len() != expected {
+                return Err(PandaError::BadClientBuffer {
+                    array: i.meta.name().to_string(),
+                    expected,
+                    actual: i.data.len(),
+                });
+            }
+        }
+
+        // How many pieces will land here, per the shared planner.
+        let expected: usize = set
+            .items
+            .iter()
+            .map(|i| {
+                crate::plan::client_manifest_section(
+                    i.meta,
+                    mesh,
+                    self.num_servers,
+                    self.subchunk_bytes,
+                    i.section.as_ref(),
+                )
+                .pieces
+            })
+            .sum();
+
+        let sections: Vec<Option<Region>> = set.items.iter().map(|i| i.section.clone()).collect();
+        let t_op = self.obs_on().then(Instant::now);
+        let want = self.start_collective(OpKind::Read, &heads, Some(&sections), mode)?;
+
+        let mut xfer: Vec<XferArray<'_>> = set
+            .items
+            .iter_mut()
+            .zip(&regions)
+            .map(|(i, region)| XferArray {
+                meta: i.meta,
+                region: region.clone(),
+                buf: XferBuf::Dst(i.data),
+            })
+            .collect();
+        let (complete, request) = self.serve_collective(&mut xfer, expected, want)?;
+        if let Some(t) = t_op {
+            self.emit(&Event::CollectiveDone {
+                request,
+                op: OpDir::Read,
+                dur: t.elapsed(),
+            });
+        }
+        self.finish_collective(complete, mode)
+    }
+
+    /// Collective write from positional tuples.
+    #[deprecated(since = "0.7.0", note = "build a `WriteSet` and call `write_set`")]
+    pub fn write(&mut self, arrays: &[(&ArrayMeta, &str, &[u8])]) -> Result<(), PandaError> {
+        let mut set = WriteSet::new();
+        for &(meta, tag, data) in arrays {
+            set = set.array(meta, tag, data);
+        }
+        self.write_set(&set)
+    }
+
+    /// Collective read into positional tuples.
+    #[deprecated(since = "0.7.0", note = "build a `ReadSet` and call `read_set`")]
     pub fn read(&mut self, arrays: &mut [(&ArrayMeta, &str, &mut [u8])]) -> Result<(), PandaError> {
-        let n = arrays.len();
-        self.read_impl(arrays, &vec![None; n])
+        let mut set = ReadSet::new();
+        for (meta, tag, data) in arrays.iter_mut() {
+            set = set.array(meta, *tag, data);
+        }
+        self.read_set(&mut set)
     }
 
-    /// Collective **section** read: fill each client's buffer with its
-    /// part of an arbitrary rectangular section of the array — the
-    /// strided-subarray access pattern the paper's workload studies
-    /// observe ("physical periodicity in strided access to
-    /// multidimensional arrays", §4). Each buffer must be sized for
-    /// `client_region ∩ section` (see
-    /// [`PandaClient::section_bytes`]); clients whose chunk misses the
-    /// section still participate with an empty buffer. The servers read
-    /// only the subchunks overlapping the section, in file order.
+    /// Collective section read of one array.
+    #[deprecated(
+        since = "0.7.0",
+        note = "build a `ReadSet` with `.section(...)` and call `read_set`"
+    )]
     pub fn read_section(
         &mut self,
         meta: &ArrayMeta,
@@ -218,8 +377,8 @@ impl PandaClient {
         section: &Region,
         data: &mut [u8],
     ) -> Result<(), PandaError> {
-        let mut arrays = [(meta, file_tag, data)];
-        self.read_impl(&mut arrays, &[Some(section.clone())])
+        let mut set = ReadSet::new().section(meta, file_tag, section.clone(), data);
+        self.read_set(&mut set)
     }
 
     /// Buffer size this client must supply for a section read: the
@@ -231,76 +390,20 @@ impl PandaClient {
             .unwrap_or(0)
     }
 
-    fn read_impl(
-        &mut self,
-        arrays: &mut [(&ArrayMeta, &str, &mut [u8])],
-        sections: &[Option<Region>],
-    ) -> Result<(), PandaError> {
-        let heads: Vec<(&ArrayMeta, &str)> = arrays.iter().map(|a| (a.0, a.1)).collect();
-
-        // Receive targets: my chunk, or its intersection with the
-        // section. Disjoint sections leave an empty target.
-        let regions: Vec<Region> = arrays
-            .iter()
-            .zip(sections)
-            .map(|(a, sec)| {
-                let mine = a.0.client_region(self.rank);
-                match sec {
-                    None => mine,
-                    Some(s) => mine
-                        .intersect(s)
-                        .unwrap_or_else(|| Region::empty(mine.rank())),
-                }
-            })
-            .collect();
-        for ((a, region), sec) in arrays.iter().zip(&regions).zip(sections) {
-            let expected = region.num_bytes(a.0.elem_size());
-            if a.2.len() != expected {
-                return Err(PandaError::BadClientBuffer {
-                    array: a.0.name().to_string(),
-                    expected,
-                    actual: a.2.len(),
-                });
+    /// Pin down which request a message belongs to: the first one seen
+    /// binds the loop (fleet non-masters learn the id this way);
+    /// anything different afterwards is a protocol error.
+    fn check_request(seen: &mut Option<u64>, request: u64) -> Result<(), PandaError> {
+        match seen {
+            Some(id) if *id != request => Err(PandaError::Protocol {
+                detail: format!("message for request {request} while serving request {id}"),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                *seen = Some(request);
+                Ok(())
             }
-            let _ = sec;
         }
-
-        // How many pieces will land here, per the shared planner.
-        let expected: usize = heads
-            .iter()
-            .zip(sections)
-            .map(|((m, _), sec)| {
-                crate::plan::client_manifest_section(
-                    m,
-                    self.rank,
-                    self.num_servers,
-                    self.subchunk_bytes,
-                    sec.as_ref(),
-                )
-                .pieces
-            })
-            .sum();
-
-        let t_op = self.obs_on().then(Instant::now);
-        self.start_collective(OpKind::Read, &heads, Some(sections))?;
-
-        let mut xfer: Vec<XferArray<'_>> = arrays
-            .iter_mut()
-            .zip(&regions)
-            .map(|(a, region)| XferArray {
-                meta: a.0,
-                region: region.clone(),
-                buf: XferBuf::Dst(a.2),
-            })
-            .collect();
-        let complete = self.serve_collective(&mut xfer, expected)?;
-        if let Some(t) = t_op {
-            self.emit(&Event::CollectiveDone {
-                op: OpDir::Read,
-                dur: t.elapsed(),
-            });
-        }
-        self.finish_collective(complete)
     }
 
     /// The one client-side exchange loop: serve the servers until
@@ -312,22 +415,38 @@ impl PandaClient {
     /// with pipelining the servers keep several requests outstanding
     /// per client, so this loop is the client's hot path: each packed
     /// reply *moves* into the envelope via the vectored send path — one
-    /// allocation and one copy per piece.
+    /// allocation and one copy per piece. Every reply echoes the
+    /// fetch's request id, which is how the multi-tenant servers route
+    /// it back to the right run.
+    ///
+    /// `want` is the submitted request's id when this client is the
+    /// submitter (it must match every message, and a `Reject` for it
+    /// surfaces as [`PandaError::Admission`]); `None` for fleet
+    /// non-masters, which learn the id from the first message.
     ///
     /// Returns whether `Complete` (rather than `Release`) ended the
-    /// loop, for [`PandaClient::finish_collective`].
+    /// loop, plus the request id served (0 if no message ever carried
+    /// one — an empty write on a non-master).
     fn serve_collective(
         &mut self,
         arrays: &mut [XferArray<'_>],
         expected: usize,
-    ) -> Result<bool, PandaError> {
+        want: Option<u64>,
+    ) -> Result<(bool, u64), PandaError> {
+        let mut seen = want;
         let mut received = 0usize;
         let mut released = false;
         let mut complete = false;
         while received < expected || !(released || complete) {
             let (src, msg) = recv_msg(self.transport_mut(), MatchSpec::any())?;
             match msg {
-                Msg::Fetch { array, seq, region } => {
+                Msg::Fetch {
+                    request,
+                    array,
+                    seq,
+                    region,
+                } => {
+                    Self::check_request(&mut seen, request)?;
                     let idx = array as usize;
                     let x = arrays.get(idx).ok_or_else(|| PandaError::Protocol {
                         detail: format!("fetch for unknown array index {idx}"),
@@ -341,20 +460,31 @@ impl PandaClient {
                     let packed = copy::pack_region(data, &x.region, &region, x.meta.elem_size())?;
                     if let Some(t) = t_pack {
                         self.emit(&Event::ClientPacked {
+                            request,
                             array,
                             seq,
                             bytes: packed.len() as u64,
                             dur: t.elapsed(),
                         });
                     }
-                    send_data(self.transport_mut(), src, array, seq, &region, packed)?;
+                    send_data(
+                        self.transport_mut(),
+                        src,
+                        request,
+                        array,
+                        seq,
+                        &region,
+                        packed,
+                    )?;
                 }
                 Msg::Data {
+                    request,
                     array,
                     seq,
                     region,
                     payload,
                 } => {
+                    Self::check_request(&mut seen, request)?;
                     let idx = array as usize;
                     let x = arrays.get_mut(idx).ok_or_else(|| PandaError::Protocol {
                         detail: format!("data for unknown array index {idx}"),
@@ -369,6 +499,7 @@ impl PandaClient {
                     copy::unpack_region(data, &x.region, &region, &payload, elem)?;
                     if let Some(t) = t_unpack {
                         self.emit(&Event::ClientUnpacked {
+                            request,
                             array,
                             seq,
                             bytes: payload.len() as u64,
@@ -382,8 +513,20 @@ impl PandaClient {
                         });
                     }
                 }
-                Msg::Complete => complete = true,
-                Msg::Release => released = true,
+                Msg::Complete { request } => {
+                    Self::check_request(&mut seen, request)?;
+                    complete = true;
+                }
+                Msg::Release { request } => {
+                    Self::check_request(&mut seen, request)?;
+                    released = true;
+                }
+                Msg::Reject { request, reason } => {
+                    Self::check_request(&mut seen, request)?;
+                    // Typed flow control, not a protocol failure: the
+                    // node is at capacity and the caller may retry.
+                    return Err(PandaError::Admission { issue: reason });
+                }
                 other => {
                     return Err(PandaError::Protocol {
                         detail: format!("unexpected {:?} during a collective", other.tag()),
@@ -391,19 +534,28 @@ impl PandaClient {
                 }
             }
         }
-        Ok(complete)
+        Ok((complete, seen.unwrap_or(0)))
     }
 
-    /// Send the high-level collective request (master client only).
+    /// Submit the high-level collective request, if this client is the
+    /// submitter for `mode`. Returns the minted request id when it is.
     fn start_collective(
         &mut self,
         op: OpKind,
         arrays: &[(&ArrayMeta, &str)],
         sections: Option<&[Option<Region>]>,
-    ) -> Result<(), PandaError> {
-        if !self.is_master() {
-            return Ok(());
-        }
+        mode: SubmitMode,
+    ) -> Result<Option<u64>, PandaError> {
+        let (participants, priority): (Vec<u32>, u8) = match mode {
+            SubmitMode::Fleet => {
+                if !self.is_master() {
+                    return Ok(None);
+                }
+                ((0..self.num_clients as u32).collect(), 0)
+            }
+            SubmitMode::Session { priority } => (vec![self.rank as u32], priority),
+        };
+        let request = self.fresh_request_id();
         // The group — not the array — is the unit of scheduling: one
         // request stream carries every array, and the servers interleave
         // their subchunks through one pipeline window.
@@ -416,6 +568,9 @@ impl PandaClient {
             pipeline_depth: self.pipeline_depth as u32,
         });
         let req = CollectiveRequest {
+            request,
+            participants,
+            priority,
             op,
             arrays: arrays
                 .iter()
@@ -431,27 +586,49 @@ impl PandaClient {
             sync_policy: self.sync_policy,
         };
         let dst = self.master_server();
-        send_msg(self.transport_mut(), dst, &Msg::Collective(req))
+        send_msg(self.transport_mut(), dst, &Msg::Collective(req))?;
+        self.last_request = Some(request);
+        Ok(Some(request))
     }
 
-    /// On completion the master client (which saw `Complete`) releases
-    /// the other clients (which then see `Release`).
-    fn finish_collective(&mut self, saw_complete: bool) -> Result<(), PandaError> {
-        if self.is_master() {
-            if !saw_complete {
-                return Err(PandaError::Protocol {
-                    detail: "master client released without Complete".to_string(),
-                });
+    /// On completion the fleet's master client (which saw `Complete`)
+    /// releases the other clients (which then see `Release`). A session
+    /// is its own sole participant: there is no one to release.
+    fn finish_collective(
+        &mut self,
+        saw_complete: bool,
+        mode: SubmitMode,
+    ) -> Result<(), PandaError> {
+        let request = self.last_request.unwrap_or(0);
+        match mode {
+            SubmitMode::Session { .. } => {
+                if !saw_complete {
+                    return Err(PandaError::Protocol {
+                        detail: "session collective ended without Complete".to_string(),
+                    });
+                }
+                Ok(())
             }
-            for c in 1..self.num_clients {
-                send_msg(self.transport_mut(), NodeId(c), &Msg::Release)?;
+            SubmitMode::Fleet if self.is_master() => {
+                if !saw_complete {
+                    return Err(PandaError::Protocol {
+                        detail: "master client released without Complete".to_string(),
+                    });
+                }
+                for c in 1..self.num_clients {
+                    send_msg(self.transport_mut(), NodeId(c), &Msg::Release { request })?;
+                }
+                Ok(())
             }
-        } else if saw_complete {
-            return Err(PandaError::Protocol {
-                detail: "non-master client received Complete".to_string(),
-            });
+            SubmitMode::Fleet => {
+                if saw_complete {
+                    return Err(PandaError::Protocol {
+                        detail: "non-master client received Complete".to_string(),
+                    });
+                }
+                Ok(())
+            }
         }
-        Ok(())
     }
 
     /// Ask all servers to shut down (used by

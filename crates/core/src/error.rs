@@ -48,6 +48,51 @@ pub enum PandaError {
         /// What exactly was wrong.
         issue: ConfigIssue,
     },
+    /// A server refused to admit a collective request because the node
+    /// is at capacity. This is a *flow-control* outcome, not a failure
+    /// of the request itself: the submitter may retry later, shed load,
+    /// or route elsewhere. The typed [`AdmissionIssue`] distinguishes a
+    /// full wait queue from a node configured to never queue.
+    Admission {
+        /// Why the request was turned away.
+        issue: AdmissionIssue,
+    },
+}
+
+/// The precise reason a [`PandaError::Admission`] rejection was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionIssue {
+    /// Every concurrent-collective slot is busy and the server is
+    /// configured with no wait queue (`max_queued_collectives == 0`).
+    Saturated {
+        /// Collectives currently live on the server.
+        live: usize,
+        /// The configured `max_concurrent_collectives`.
+        max: usize,
+    },
+    /// Every concurrent-collective slot is busy *and* the wait queue is
+    /// full.
+    QueueFull {
+        /// Requests already waiting.
+        queued: usize,
+        /// The configured `max_queued_collectives`.
+        max: usize,
+    },
+}
+
+impl fmt::Display for AdmissionIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionIssue::Saturated { live, max } => write!(
+                f,
+                "server saturated: {live} live collectives of {max} allowed and no wait queue"
+            ),
+            AdmissionIssue::QueueFull { queued, max } => write!(
+                f,
+                "admission queue full: {queued} requests already waiting of {max} allowed"
+            ),
+        }
+    }
 }
 
 /// The precise reason a [`PandaError::Config`] was raised.
@@ -108,6 +153,19 @@ pub enum ConfigIssue {
         /// The configured pipeline depth.
         pipeline_depth: usize,
     },
+    /// The concurrent-collective cap is zero (a server must be able to
+    /// run at least one collective; use `max_queued_collectives: 0` to
+    /// disable queueing instead).
+    ZeroConcurrentCollectives,
+    /// A session submitted an array whose memory schema spans more than
+    /// one compute node. Session collectives are single-submitter: the
+    /// session's own buffers must cover the whole array.
+    SessionMesh {
+        /// The array name.
+        array: String,
+        /// Compute nodes the array's memory schema is distributed over.
+        clients: usize,
+    },
 }
 
 impl fmt::Display for ConfigIssue {
@@ -152,6 +210,14 @@ impl fmt::Display for ConfigIssue {
                 "per-write fsync serializes the disk stage and cannot be combined with \
                  pipeline depth {pipeline_depth} (use depth 1 or a coarser sync policy)"
             ),
+            ConfigIssue::ZeroConcurrentCollectives => {
+                write!(f, "max concurrent collectives must be at least 1")
+            }
+            ConfigIssue::SessionMesh { array, clients } => write!(
+                f,
+                "session collectives are single-submitter but array '{array}' is \
+                 distributed over {clients} compute nodes"
+            ),
         }
     }
 }
@@ -176,6 +242,7 @@ impl fmt::Display for PandaError {
             PandaError::Decode { context } => write!(f, "failed to decode {context}"),
             PandaError::Protocol { detail } => write!(f, "protocol error: {detail}"),
             PandaError::Config { issue } => write!(f, "configuration error: {issue}"),
+            PandaError::Admission { issue } => write!(f, "admission rejected: {issue}"),
         }
     }
 }
@@ -251,5 +318,27 @@ mod tests {
             },
         };
         assert!(e.to_string().contains("2 arrays"));
+    }
+
+    #[test]
+    fn admission_issue_is_typed_and_displayed() {
+        let e = PandaError::Admission {
+            issue: AdmissionIssue::Saturated { live: 4, max: 4 },
+        };
+        assert!(e.to_string().contains("admission rejected"));
+        assert!(e.to_string().contains("4 live collectives"));
+        match e {
+            PandaError::Admission {
+                issue: AdmissionIssue::Saturated { live, max },
+            } => assert_eq!((live, max), (4, 4)),
+            other => panic!("wrong issue: {other}"),
+        }
+        let e = PandaError::Admission {
+            issue: AdmissionIssue::QueueFull {
+                queued: 16,
+                max: 16,
+            },
+        };
+        assert!(e.to_string().contains("queue full"));
     }
 }

@@ -7,13 +7,47 @@
 //! and `restart()` to resume from the last checkpoint. This module
 //! reproduces that API on top of [`PandaClient`].
 
-use panda_msg::{MatchSpec, NodeId};
+use panda_msg::{MatchSpec, NodeId, Transport};
 
 use crate::array::ArrayMeta;
 use crate::client::PandaClient;
 use crate::encode::{Reader, Writer};
 use crate::error::PandaError;
 use crate::protocol::{recv_msg, send_msg, tags, Msg};
+use crate::request::{ReadSet, WriteSet};
+
+/// Anything a group operation can submit collectives through: the
+/// one-shot fleet path ([`PandaClient`]) or a multi-tenant service
+/// session ([`crate::Session`]). The group operations are generic over
+/// this trait, so the same `timestep`/`checkpoint`/`restart` loop runs
+/// unchanged in either deployment.
+pub trait CollectiveHandle {
+    /// Perform a collective write of the prepared set.
+    fn collective_write(&mut self, set: &WriteSet<'_>) -> Result<(), PandaError>;
+
+    /// Perform a collective read into the prepared set.
+    fn collective_read(&mut self, set: &mut ReadSet<'_>) -> Result<(), PandaError>;
+
+    /// The raw control plane: the handle's transport and the NodeId of
+    /// I/O node 0 (where group manifests and markers live).
+    #[doc(hidden)]
+    fn control(&mut self) -> (&mut dyn Transport, NodeId);
+}
+
+impl CollectiveHandle for PandaClient {
+    fn collective_write(&mut self, set: &WriteSet<'_>) -> Result<(), PandaError> {
+        self.write_set(set)
+    }
+
+    fn collective_read(&mut self, set: &mut ReadSet<'_>) -> Result<(), PandaError> {
+        self.read_set(set)
+    }
+
+    fn control(&mut self) -> (&mut dyn Transport, NodeId) {
+        let server0 = NodeId(self.num_clients());
+        (self.transport_mut(), server0)
+    }
+}
 
 /// A named group of arrays written and read together.
 ///
@@ -88,17 +122,13 @@ impl ArrayGroup {
         format!("{}/{}.ckpt-{}", self.name, self.arrays[idx].name(), g)
     }
 
-    fn op_slices<'a>(
-        &'a self,
-        tags: &'a [String],
-        datas: &'a [&'a [u8]],
-    ) -> Vec<(&'a ArrayMeta, &'a str, &'a [u8])> {
-        self.arrays
-            .iter()
-            .zip(tags.iter())
-            .zip(datas.iter())
-            .map(|((meta, tag), &data)| (meta, tag.as_str(), data))
-            .collect()
+    /// Lower the group's buffers into one [`WriteSet`], in group order.
+    fn write_set<'a>(&'a self, tags: &'a [String], datas: &[&'a [u8]]) -> WriteSet<'a> {
+        let mut set = WriteSet::new();
+        for ((meta, tag), &data) in self.arrays.iter().zip(tags).zip(datas) {
+            set = set.array(meta, tag.clone(), data);
+        }
+        set
     }
 
     /// File tags of every array at timestep `t`, in group order.
@@ -119,33 +149,30 @@ impl ArrayGroup {
     /// Collective read of every array from the given file tags — the
     /// shared tail of [`ArrayGroup::restart`] and
     /// [`ArrayGroup::read_timestep`].
-    fn read_with_tags(
+    fn read_with_tags<H: CollectiveHandle + ?Sized>(
         &self,
-        client: &mut PandaClient,
+        handle: &mut H,
         tags: &[String],
         datas: &mut [&mut [u8]],
     ) -> Result<(), PandaError> {
-        let mut slices: Vec<(&ArrayMeta, &str, &mut [u8])> = self
-            .arrays
-            .iter()
-            .zip(tags.iter())
-            .zip(datas.iter_mut())
-            .map(|((meta, tag), data)| (meta, tag.as_str(), &mut **data))
-            .collect();
-        client.read(&mut slices)
+        let mut set = ReadSet::new();
+        for ((meta, tag), data) in self.arrays.iter().zip(tags).zip(datas.iter_mut()) {
+            set = set.array(meta, tag.clone(), data);
+        }
+        handle.collective_read(&mut set)
     }
 
     /// Collective: output all arrays for the current timestep and
     /// advance the timestep counter. `datas[i]` is this node's chunk of
     /// `arrays()[i]`.
-    pub fn timestep(
+    pub fn timestep<H: CollectiveHandle + ?Sized>(
         &mut self,
-        client: &mut PandaClient,
+        handle: &mut H,
         datas: &[&[u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
         let tags = self.timestep_tags(self.timesteps_taken);
-        client.write(&self.op_slices(&tags, datas))?;
+        handle.collective_write(&self.write_set(&tags, datas))?;
         self.timesteps_taken += 1;
         Ok(())
     }
@@ -167,14 +194,14 @@ impl ArrayGroup {
     /// clients commit the generation marker. A crash
     /// mid-checkpoint therefore loses nothing: [`ArrayGroup::restart`]
     /// trusts the marker, which still names the previous generation.
-    pub fn checkpoint(
+    pub fn checkpoint<H: CollectiveHandle + ?Sized>(
         &mut self,
-        client: &mut PandaClient,
+        handle: &mut H,
         datas: &[&[u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
         let tags = self.checkpoint_tags(self.checkpoints_taken);
-        client.write(&self.op_slices(&tags, datas))?;
+        handle.collective_write(&self.write_set(&tags, datas))?;
         // The collective has completed (files written and synced) —
         // commit the generation. Every client writes the identical
         // marker: the writes are idempotent, and going through each
@@ -191,9 +218,9 @@ impl ArrayGroup {
         w.size(self.checkpoints_taken);
         w.size(self.timesteps_taken);
         w.size(self.arrays.len());
-        let server0 = NodeId(client.num_clients());
+        let (transport, server0) = handle.control();
         send_msg(
-            client.transport_mut(),
+            transport,
             server0,
             &Msg::RawWrite {
                 file: self.marker_file(),
@@ -214,9 +241,9 @@ impl ArrayGroup {
     /// *completed* generation — i.e. a previous run crashed before
     /// finishing its first checkpoint, so neither `ckpt-a` nor `ckpt-b`
     /// can be trusted.
-    pub fn restart(
+    pub fn restart<H: CollectiveHandle + ?Sized>(
         &self,
-        client: &mut PandaClient,
+        handle: &mut H,
         datas: &mut [&mut [u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
@@ -231,38 +258,39 @@ impl ArrayGroup {
         // which generation actually completed: after a crash the counter
         // comes from a manifest that may be newer than the last
         // completed checkpoint.
-        let completed = self.read_marker(client)?;
+        let completed = self.read_marker(handle)?;
         let tags = self.checkpoint_tags(completed - 1);
-        self.read_with_tags(client, &tags, datas)
+        self.read_with_tags(handle, &tags, datas)
     }
 
     /// Collective: read back the arrays written at timestep `t` (e.g.
     /// for post-processing or visualization).
-    pub fn read_timestep(
+    pub fn read_timestep<H: CollectiveHandle + ?Sized>(
         &self,
-        client: &mut PandaClient,
+        handle: &mut H,
         t: usize,
         datas: &mut [&mut [u8]],
     ) -> Result<(), PandaError> {
         self.check_arity(datas.len())?;
         let tags = self.timestep_tags(t);
-        self.read_with_tags(client, &tags, datas)
+        self.read_with_tags(handle, &tags, datas)
     }
 
     /// Collective: read a rectangular section of one array of timestep
     /// `t` — the visualization/post-processing access pattern ("give me
     /// plane 40 of the temperature field at step 7"). The buffer must
     /// be sized per [`PandaClient::section_bytes`].
-    pub fn read_timestep_section(
+    pub fn read_timestep_section<H: CollectiveHandle + ?Sized>(
         &self,
-        client: &mut PandaClient,
+        handle: &mut H,
         t: usize,
         array_idx: usize,
         section: &panda_schema::Region,
         data: &mut [u8],
     ) -> Result<(), PandaError> {
         let tag = self.timestep_tag(array_idx, t);
-        client.read_section(&self.arrays[array_idx], &tag, section, data)
+        let mut set = ReadSet::new().section(&self.arrays[array_idx], tag, section.clone(), data);
+        handle.collective_read(&mut set)
     }
 
     /// Name of the group's schema manifest file on the first I/O node
@@ -276,11 +304,14 @@ impl ArrayGroup {
     /// fresh process can [`ArrayGroup::load`] it and restart without
     /// re-declaring anything. Any single client may call this; it is
     /// idempotent.
-    pub fn save_schema(&self, client: &mut PandaClient) -> Result<(), PandaError> {
-        let server0 = NodeId(client.num_clients());
+    pub fn save_schema<H: CollectiveHandle + ?Sized>(
+        &self,
+        handle: &mut H,
+    ) -> Result<(), PandaError> {
         let file = self.manifest_file();
+        let (transport, server0) = handle.control();
         send_msg(
-            client.transport_mut(),
+            transport,
             server0,
             &Msg::RawWrite {
                 file: file.clone(),
@@ -291,7 +322,7 @@ impl ArrayGroup {
         // The follow-up stat doubles as an acknowledgement: the server
         // processes our messages in order, so a reply means the write
         // has been applied.
-        let len = stat_file(client, &file)?;
+        let len = stat_file(handle, &file)?;
         if len == u64::MAX {
             return Err(PandaError::Protocol {
                 detail: "manifest write was not applied".to_string(),
@@ -301,9 +332,12 @@ impl ArrayGroup {
     }
 
     /// Reconstruct a group from its manifest on I/O node 0.
-    pub fn load(client: &mut PandaClient, group_name: &str) -> Result<ArrayGroup, PandaError> {
+    pub fn load<H: CollectiveHandle + ?Sized>(
+        handle: &mut H,
+        group_name: &str,
+    ) -> Result<ArrayGroup, PandaError> {
         let file = format!("{group_name}/{group_name}.schema");
-        let Some(payload) = fetch_file(client, &file)? else {
+        let Some(payload) = fetch_file(handle, &file)? else {
             return Err(PandaError::Fs(panda_fs::FsError::NotFound { path: file }));
         };
         Self::decode_manifest(&payload)
@@ -349,13 +383,16 @@ impl ArrayGroup {
 
     /// Fetch and validate the generation marker from I/O node 0,
     /// returning the count of completed checkpoints (always ≥ 1).
-    fn read_marker(&self, client: &mut PandaClient) -> Result<usize, PandaError> {
+    fn read_marker<H: CollectiveHandle + ?Sized>(
+        &self,
+        handle: &mut H,
+    ) -> Result<usize, PandaError> {
         let incomplete = || PandaError::Config {
             issue: crate::error::ConfigIssue::CheckpointIncomplete {
                 group: self.name.clone(),
             },
         };
-        let Some(payload) = fetch_file(client, &self.marker_file())? else {
+        let Some(payload) = fetch_file(handle, &self.marker_file())? else {
             // Data files were (maybe partially) written but the marker
             // never landed: no generation is known-complete.
             return Err(incomplete());
@@ -386,14 +423,17 @@ impl ArrayGroup {
 /// Fetch a whole control file (manifest or marker) from I/O node 0 over
 /// the raw plane: stat, then read its full length. `None` means the
 /// file does not exist.
-fn fetch_file(client: &mut PandaClient, file: &str) -> Result<Option<Vec<u8>>, PandaError> {
-    let len = stat_file(client, file)?;
+fn fetch_file<H: CollectiveHandle + ?Sized>(
+    handle: &mut H,
+    file: &str,
+) -> Result<Option<Vec<u8>>, PandaError> {
+    let len = stat_file(handle, file)?;
     if len == u64::MAX {
         return Ok(None);
     }
-    let server0 = NodeId(client.num_clients());
+    let (transport, server0) = handle.control();
     send_msg(
-        client.transport_mut(),
+        transport,
         server0,
         &Msg::RawRead {
             file: file.to_string(),
@@ -402,7 +442,7 @@ fn fetch_file(client: &mut PandaClient, file: &str) -> Result<Option<Vec<u8>>, P
             seq: 0,
         },
     )?;
-    let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_DATA))?;
+    let (_, msg) = recv_msg(transport, MatchSpec::tag(tags::RAW_DATA))?;
     let Msg::RawData { payload, .. } = msg else {
         unreachable!("matched RAW_DATA tag");
     };
@@ -410,17 +450,17 @@ fn fetch_file(client: &mut PandaClient, file: &str) -> Result<Option<Vec<u8>>, P
 }
 
 /// Query a file's length on I/O node 0; `u64::MAX` means "not found".
-fn stat_file(client: &mut PandaClient, file: &str) -> Result<u64, PandaError> {
-    let server0 = NodeId(client.num_clients());
+fn stat_file<H: CollectiveHandle + ?Sized>(handle: &mut H, file: &str) -> Result<u64, PandaError> {
+    let (transport, server0) = handle.control();
     send_msg(
-        client.transport_mut(),
+        transport,
         server0,
         &Msg::RawStat {
             file: file.to_string(),
             seq: 0,
         },
     )?;
-    let (_, msg) = recv_msg(client.transport_mut(), MatchSpec::tag(tags::RAW_STAT_REPLY))?;
+    let (_, msg) = recv_msg(transport, MatchSpec::tag(tags::RAW_STAT_REPLY))?;
     let Msg::RawStatReply { len, .. } = msg else {
         unreachable!("matched RAW_STAT_REPLY tag");
     };

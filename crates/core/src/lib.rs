@@ -53,7 +53,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+//! use panda_core::{ArrayMeta, PandaConfig, PandaSystem, WriteSet};
 //! use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 //! use panda_fs::MemFs;
 //!
@@ -65,8 +65,10 @@
 //! let disk = DataSchema::traditional_order(shape, ElementType::F64, 2).unwrap();
 //! let meta = ArrayMeta::new("temperature", memory, disk).unwrap();
 //!
-//! let config = PandaConfig::new(4, 2);
-//! let (system, clients) = PandaSystem::launch(&config, |_| Arc::new(MemFs::new()));
+//! let (system, clients) = PandaSystem::builder()
+//!     .config(PandaConfig::new(4, 2))
+//!     .launch(|_| Arc::new(MemFs::new()))
+//!     .unwrap();
 //!
 //! // Each client runs in its own thread in a real application; here we
 //! // drive them from one thread via the collective helper.
@@ -77,11 +79,18 @@
 //! std::thread::scope(|s| {
 //!     for (client, data) in handles.iter_mut().zip(&datas) {
 //!         let meta = &meta;
-//!         s.spawn(move || client.write(&[(meta, "temperature", data)]).unwrap());
+//!         s.spawn(move || {
+//!             let set = WriteSet::new().array(meta, "temperature", data);
+//!             client.write_set(&set).unwrap()
+//!         });
 //!     }
 //! });
 //! system.shutdown(handles).unwrap();
 //! ```
+//!
+//! For the multi-tenant service mode — many independent sessions
+//! submitting collectives that interleave on the same I/O nodes — see
+//! the [`session`] module.
 
 #![warn(missing_docs)]
 
@@ -94,16 +103,20 @@ pub mod group_ops;
 pub mod plan;
 pub mod pool;
 pub mod protocol;
+pub mod request;
 pub mod runtime;
 pub mod server;
+pub mod session;
 
 pub use array::ArrayMeta;
 pub use client::PandaClient;
-pub use error::{ConfigIssue, PandaError};
-pub use group_ops::{ArrayGroup, GroupData};
+pub use error::{AdmissionIssue, ConfigIssue, PandaError};
+pub use group_ops::{ArrayGroup, CollectiveHandle, GroupData};
 pub use plan::{
     build_server_plan, client_manifest, CollectiveSchedule, ScheduleFile, ScheduleStep, ServerPlan,
 };
 pub use pool::{IoPool, PinnedTask};
 pub use protocol::OpKind;
-pub use runtime::{PandaConfig, PandaSystem};
+pub use request::{ReadSet, WriteSet};
+pub use runtime::{PandaConfig, PandaSystem, PandaSystemBuilder};
+pub use session::{PandaService, Session};

@@ -23,7 +23,7 @@ use panda_schema::Region;
 
 use crate::array::ArrayMeta;
 use crate::encode::{Reader, Writer};
-use crate::error::PandaError;
+use crate::error::{AdmissionIssue, PandaError};
 
 /// Message tags, one per message kind (used for selective receive).
 ///
@@ -78,9 +78,11 @@ pub mod tags {
     pub const RAW_STAT: u32 = 13;
     /// Reply to [`RAW_STAT`].
     pub const RAW_STAT_REPLY: u32 = 14;
+    /// Master server → submitter: collective request refused admission.
+    pub const REJECT: u32 = 15;
 
     /// The complete tag namespace, with stable names (reports, tests).
-    pub const ALL: [(u32, &str); 14] = [
+    pub const ALL: [(u32, &str); 15] = [
         (COLLECTIVE, "collective"),
         (FETCH, "fetch"),
         (DATA, "data"),
@@ -95,6 +97,7 @@ pub mod tags {
         (RAW_ACK, "raw_ack"),
         (RAW_STAT, "raw_stat"),
         (RAW_STAT_REPLY, "raw_stat_reply"),
+        (REJECT, "reject"),
     ];
 }
 
@@ -123,6 +126,20 @@ pub struct ArrayOp {
 /// The single high-level request that starts a collective operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectiveRequest {
+    /// Submitter-unique request id. Every per-request message (`Fetch`,
+    /// `Data`, `ServerDone`, `Complete`, `Release`, `Reject`) echoes it,
+    /// which is what lets concurrent collectives demultiplex on shared
+    /// pairwise-FIFO transports.
+    pub request: u64,
+    /// Fabric ranks of the compute nodes holding the data, in mesh
+    /// order: a plan piece's `client` index selects
+    /// `participants[piece.client]`. A fleet-wide collective lists
+    /// `0..num_clients`; a session collective lists just the
+    /// submitter's own rank.
+    pub participants: Vec<u32>,
+    /// Scheduling priority on the servers (higher runs first; equal
+    /// priorities round-robin).
+    pub priority: u8,
     /// Write or read.
     pub op: OpKind,
     /// The arrays, in execution order.
@@ -144,9 +161,14 @@ pub enum Msg {
     Collective(CollectiveRequest),
     /// Server → client: send me this region of array `array`.
     Fetch {
+        /// The collective request this fetch serves; the client echoes
+        /// it in the matching [`Msg::Data`] so servers running several
+        /// collectives can route the reply.
+        request: u64,
         /// Index of the array within the collective request.
         array: u32,
-        /// Request id, echoed back in the matching [`Msg::Data`].
+        /// Fetch sequence number, echoed back in the matching
+        /// [`Msg::Data`] (unique within one request on one server).
         seq: u64,
         /// Requested global-array region.
         region: Region,
@@ -154,9 +176,13 @@ pub enum Msg {
     /// Region payload, client → server (write) or server → client
     /// (read). The payload is the region packed in row-major order.
     Data {
+        /// The collective request the payload belongs to (0 on the raw
+        /// two-phase exchange plane, which has no request ids).
+        request: u64,
         /// Index of the array within the collective request.
         array: u32,
-        /// Request id (write path) or chunk id (two-phase exchange).
+        /// Fetch sequence number (write path) or chunk id (two-phase
+        /// exchange).
         seq: u64,
         /// The region carried.
         region: Region,
@@ -165,12 +191,30 @@ pub enum Msg {
         /// reaches the consumer without a copy.
         payload: Bytes,
     },
-    /// Server → master server: my plan is complete.
-    ServerDone,
-    /// Master server → master client: the collective is complete.
-    Complete,
+    /// Server → master server: my share of one collective is complete.
+    ServerDone {
+        /// Which collective.
+        request: u64,
+    },
+    /// Master server → submitter: the collective is complete.
+    Complete {
+        /// Which collective.
+        request: u64,
+    },
     /// Master client → other clients: resume computation.
-    Release,
+    Release {
+        /// Which collective.
+        request: u64,
+    },
+    /// Master server → submitter: the collective was refused admission
+    /// (the node is at capacity). Surfaced to the caller as
+    /// [`PandaError::Admission`].
+    Reject {
+        /// Which collective.
+        request: u64,
+        /// Why it was turned away.
+        reason: AdmissionIssue,
+    },
     /// Terminate a server thread.
     Shutdown,
     /// Baselines: write `payload` at `offset` of `file`.
@@ -231,9 +275,10 @@ impl Msg {
             Msg::Collective(_) => tags::COLLECTIVE,
             Msg::Fetch { .. } => tags::FETCH,
             Msg::Data { .. } => tags::DATA,
-            Msg::ServerDone => tags::SERVER_DONE,
-            Msg::Complete => tags::COMPLETE,
-            Msg::Release => tags::RELEASE,
+            Msg::ServerDone { .. } => tags::SERVER_DONE,
+            Msg::Complete { .. } => tags::COMPLETE,
+            Msg::Release { .. } => tags::RELEASE,
+            Msg::Reject { .. } => tags::REJECT,
             Msg::Shutdown => tags::SHUTDOWN,
             Msg::RawWrite { .. } => tags::RAW_WRITE,
             Msg::RawRead { .. } => tags::RAW_READ,
@@ -250,6 +295,12 @@ impl Msg {
         let mut w = Writer::new();
         match self {
             Msg::Collective(req) => {
+                w.u64(req.request);
+                w.u8(req.priority);
+                w.size(req.participants.len());
+                for &p in &req.participants {
+                    w.u32(p);
+                }
                 w.u8(match req.op {
                     OpKind::Write => 0,
                     OpKind::Read => 1,
@@ -274,28 +325,49 @@ impl Msg {
                     }
                 }
             }
-            Msg::Fetch { array, seq, region } => {
+            Msg::Fetch {
+                request,
+                array,
+                seq,
+                region,
+            } => {
+                w.u64(*request);
                 w.u32(*array);
                 w.u64(*seq);
                 w.region(region);
             }
             Msg::Data {
+                request,
                 array,
                 seq,
                 region,
                 payload,
             } => {
+                w.u64(*request);
                 w.u32(*array);
                 w.u64(*seq);
                 w.region(region);
                 w.bytes(payload);
             }
-            Msg::ServerDone
-            | Msg::Complete
-            | Msg::Release
-            | Msg::Shutdown
-            | Msg::RawDone
-            | Msg::RawAck => {}
+            Msg::ServerDone { request } | Msg::Complete { request } | Msg::Release { request } => {
+                w.u64(*request);
+            }
+            Msg::Reject { request, reason } => {
+                w.u64(*request);
+                match reason {
+                    AdmissionIssue::Saturated { live, max } => {
+                        w.u8(0);
+                        w.size(*live);
+                        w.size(*max);
+                    }
+                    AdmissionIssue::QueueFull { queued, max } => {
+                        w.u8(1);
+                        w.size(*queued);
+                        w.size(*max);
+                    }
+                }
+            }
+            Msg::Shutdown | Msg::RawDone | Msg::RawAck => {}
             Msg::RawWrite {
                 file,
                 offset,
@@ -337,6 +409,18 @@ impl Msg {
         let mut r = Reader::new(payload);
         let msg = match tag {
             tags::COLLECTIVE => {
+                let request = r.u64()?;
+                let priority = r.u8()?;
+                let np = r.size()?;
+                if np > 4096 {
+                    return Err(PandaError::Decode {
+                        context: "participant count",
+                    });
+                }
+                let mut participants = Vec::with_capacity(np);
+                for _ in 0..np {
+                    participants.push(r.u32()?);
+                }
                 let op = match r.u8()? {
                     0 => OpKind::Write,
                     1 => OpKind::Read,
@@ -380,6 +464,9 @@ impl Msg {
                     });
                 }
                 Msg::Collective(CollectiveRequest {
+                    request,
+                    participants,
+                    priority,
                     op,
                     arrays,
                     subchunk_bytes,
@@ -388,19 +475,40 @@ impl Msg {
                 })
             }
             tags::FETCH => Msg::Fetch {
+                request: r.u64()?,
                 array: r.u32()?,
                 seq: r.u64()?,
                 region: r.region()?,
             },
             tags::DATA => Msg::Data {
+                request: r.u64()?,
                 array: r.u32()?,
                 seq: r.u64()?,
                 region: r.region()?,
                 payload: r.bytes()?.into(),
             },
-            tags::SERVER_DONE => Msg::ServerDone,
-            tags::COMPLETE => Msg::Complete,
-            tags::RELEASE => Msg::Release,
+            tags::SERVER_DONE => Msg::ServerDone { request: r.u64()? },
+            tags::COMPLETE => Msg::Complete { request: r.u64()? },
+            tags::RELEASE => Msg::Release { request: r.u64()? },
+            tags::REJECT => {
+                let request = r.u64()?;
+                let reason = match r.u8()? {
+                    0 => AdmissionIssue::Saturated {
+                        live: r.size()?,
+                        max: r.size()?,
+                    },
+                    1 => AdmissionIssue::QueueFull {
+                        queued: r.size()?,
+                        max: r.size()?,
+                    },
+                    _ => {
+                        return Err(PandaError::Decode {
+                            context: "admission reason",
+                        })
+                    }
+                };
+                Msg::Reject { request, reason }
+            }
             tags::SHUTDOWN => Msg::Shutdown,
             tags::RAW_WRITE => Msg::RawWrite {
                 file: r.str()?,
@@ -447,6 +555,7 @@ impl Msg {
         match env.payload {
             Payload::Framed { head, body } if env.tag == tags::DATA => {
                 let mut r = Reader::new(&head);
+                let request = r.u64()?;
                 let array = r.u32()?;
                 let seq = r.u64()?;
                 let region = r.region()?;
@@ -457,6 +566,7 @@ impl Msg {
                     });
                 }
                 Ok(Msg::Data {
+                    request,
                     array,
                     seq,
                     region,
@@ -490,6 +600,7 @@ pub fn send_msg<T: Transport + ?Sized>(
 pub fn send_data<T: Transport + ?Sized>(
     t: &mut T,
     dst: NodeId,
+    request: u64,
     array: u32,
     seq: u64,
     region: &Region,
@@ -497,6 +608,7 @@ pub fn send_data<T: Transport + ?Sized>(
 ) -> Result<(), PandaError> {
     let payload = payload.into();
     let mut w = Writer::new();
+    w.u64(request);
     w.u32(array);
     w.u64(seq);
     w.region(region);
@@ -574,6 +686,9 @@ mod tests {
     #[test]
     fn all_variants_roundtrip() {
         roundtrip(Msg::Collective(CollectiveRequest {
+            request: (1 << 32) | 7,
+            participants: vec![0, 1, 2, 3],
+            priority: 3,
             op: OpKind::Write,
             arrays: vec![
                 ArrayOp {
@@ -592,6 +707,9 @@ mod tests {
             sync_policy: SyncPolicy::PerWrite,
         }));
         roundtrip(Msg::Collective(CollectiveRequest {
+            request: 0,
+            participants: vec![],
+            priority: 0,
             op: OpKind::Read,
             arrays: vec![],
             subchunk_bytes: 4096,
@@ -599,19 +717,32 @@ mod tests {
             sync_policy: SyncPolicy::PerCollective,
         }));
         roundtrip(Msg::Fetch {
+            request: 42,
             array: 3,
             seq: 99,
             region: Region::new(&[0, 1], &[4, 5]).unwrap(),
         });
         roundtrip(Msg::Data {
+            request: 42,
             array: 0,
             seq: 7,
             region: Region::new(&[2], &[6]).unwrap(),
             payload: vec![1, 2, 3, 4].into(),
         });
-        roundtrip(Msg::ServerDone);
-        roundtrip(Msg::Complete);
-        roundtrip(Msg::Release);
+        roundtrip(Msg::ServerDone { request: 42 });
+        roundtrip(Msg::Complete { request: 42 });
+        roundtrip(Msg::Release { request: 42 });
+        roundtrip(Msg::Reject {
+            request: 42,
+            reason: AdmissionIssue::Saturated { live: 4, max: 4 },
+        });
+        roundtrip(Msg::Reject {
+            request: 43,
+            reason: AdmissionIssue::QueueFull {
+                queued: 16,
+                max: 16,
+            },
+        });
         roundtrip(Msg::Shutdown);
         roundtrip(Msg::RawWrite {
             file: "a.s0".into(),
@@ -652,6 +783,9 @@ mod tests {
         // ... and every Msg variant's tag appears in the namespace.
         let variants = [
             Msg::Collective(CollectiveRequest {
+                request: 0,
+                participants: vec![],
+                priority: 0,
                 op: OpKind::Write,
                 arrays: vec![],
                 subchunk_bytes: 1,
@@ -659,19 +793,25 @@ mod tests {
                 sync_policy: SyncPolicy::PerFile,
             }),
             Msg::Fetch {
+                request: 0,
                 array: 0,
                 seq: 0,
                 region: Region::new(&[0], &[1]).unwrap(),
             },
             Msg::Data {
+                request: 0,
                 array: 0,
                 seq: 0,
                 region: Region::new(&[0], &[1]).unwrap(),
                 payload: vec![].into(),
             },
-            Msg::ServerDone,
-            Msg::Complete,
-            Msg::Release,
+            Msg::ServerDone { request: 0 },
+            Msg::Complete { request: 0 },
+            Msg::Release { request: 0 },
+            Msg::Reject {
+                request: 0,
+                reason: AdmissionIssue::Saturated { live: 0, max: 0 },
+            },
             Msg::Shutdown,
             Msg::RawWrite {
                 file: String::new(),
@@ -720,6 +860,7 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let msg = Msg::Fetch {
+            request: 6,
             array: 1,
             seq: 2,
             region: Region::new(&[0], &[3]).unwrap(),
@@ -738,17 +879,17 @@ mod tests {
         let mut a = eps.pop().unwrap();
         let region = Region::new(&[0], &[2]).unwrap();
         for seq in 0..3u64 {
-            send_data(&mut a, NodeId(1), 0, seq, &region, vec![seq as u8; 4]).unwrap();
+            send_data(&mut a, NodeId(1), 1, 0, seq, &region, vec![seq as u8; 4]).unwrap();
         }
         // Interleave a non-matching message: the burst must skip it.
-        send_msg(&mut a, NodeId(1), &Msg::ServerDone).unwrap();
+        send_msg(&mut a, NodeId(1), &Msg::ServerDone { request: 1 }).unwrap();
         let batch = recv_burst(&mut b, MatchSpec::tag(tags::DATA)).unwrap();
         assert_eq!(batch.len(), 3);
         for (seq, msg) in batch.into_iter().enumerate() {
             assert!(matches!(msg, Msg::Data { seq: s, .. } if s == seq as u64));
         }
         let (_, done) = recv_msg(&mut b, MatchSpec::tag(tags::SERVER_DONE)).unwrap();
-        assert_eq!(done, Msg::ServerDone);
+        assert_eq!(done, Msg::ServerDone { request: 1 });
     }
 
     #[test]
@@ -758,11 +899,12 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let region = Region::new(&[1, 0], &[3, 4]).unwrap();
-        send_data(&mut a, NodeId(1), 2, 9, &region, vec![5u8; 16]).unwrap();
+        send_data(&mut a, NodeId(1), 8, 2, 9, &region, vec![5u8; 16]).unwrap();
         let (_, got) = recv_msg(&mut b, MatchSpec::tag(tags::DATA)).unwrap();
         assert_eq!(
             got,
             Msg::Data {
+                request: 8,
                 array: 2,
                 seq: 9,
                 region,
@@ -783,6 +925,7 @@ mod tests {
         send_data(
             &mut a,
             NodeId(1),
+            12,
             1,
             4,
             &region,
@@ -794,12 +937,13 @@ mod tests {
         match msg {
             Msg::Data {
                 payload: Bytes::Shared(arc),
+                request,
                 array,
                 seq,
                 region: r,
             } => {
                 assert!(Arc::ptr_eq(&arc, &body), "payload was copied");
-                assert_eq!((array, seq), (1, 4));
+                assert_eq!((request, array, seq), (12, 1, 4));
                 assert_eq!(r, region);
             }
             other => panic!("expected shared Data payload, got {other:?}"),
@@ -811,6 +955,7 @@ mod tests {
         use panda_msg::{Envelope, Payload};
         let region = Region::new(&[0], &[4]).unwrap();
         let mut w = Writer::new();
+        w.u64(0); // request id
         w.u32(0);
         w.u64(1);
         w.region(&region);

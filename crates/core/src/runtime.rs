@@ -4,18 +4,26 @@
 //! handed to the application, one per compute node. Ranks follow the
 //! paper's architecture diagram (Figure 1): clients occupy ranks
 //! `0..num_clients` on the fabric, servers `num_clients..num_clients+S`.
+//!
+//! [`PandaSystem::builder`] is the one entry point: set the
+//! configuration, optionally substitute transports (e.g. TCP endpoints
+//! for "a network of ordinary workstations"), then either
+//! [`launch`](PandaSystemBuilder::launch) the SPMD fleet or
+//! [`serve`](PandaSystemBuilder::serve) a multi-tenant
+//! [`PandaService`] front door.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use panda_fs::{FileSystem, SyncPolicy};
-use panda_msg::{FabricStats, InProcFabric};
+use panda_msg::{FabricStats, InProcFabric, Transport};
 use panda_obs::{Recorder, RunReport};
 
 use crate::client::PandaClient;
 use crate::error::{ConfigIssue, PandaError};
 use crate::server::ServerNode;
+use crate::session::PandaService;
 
 /// Deployment parameters.
 ///
@@ -56,6 +64,19 @@ pub struct PandaConfig {
     /// the knob file-system factories hand to
     /// [`panda_fs::SubmitFs::new`]. Unused by synchronous backends.
     pub disk_completion_threads: usize,
+    /// How many collective requests each server runs concurrently
+    /// (multi-tenant service mode). `1` serializes requests the way the
+    /// original single-tenant engine did; higher values interleave that
+    /// many requests' exchange/reorganization/disk steps over the
+    /// shared worker pool and disk stage.
+    pub max_concurrent_collectives: usize,
+    /// How many admitted-but-waiting requests a server queues beyond
+    /// the live ones before refusing single-submitter (session)
+    /// requests with a typed [`PandaError::Admission`] rejection. `0`
+    /// disables queueing: a session request past the live cap is
+    /// rejected immediately. Fleet requests are never rejected — they
+    /// always queue.
+    pub max_queued_collectives: usize,
     /// Blocking-receive timeout; a deadlocked protocol fails loudly
     /// instead of hanging.
     pub recv_timeout: Duration,
@@ -78,6 +99,8 @@ impl PandaConfig {
             io_workers: 2,
             sync_policy: SyncPolicy::default(),
             disk_completion_threads: 2,
+            max_concurrent_collectives: 4,
+            max_queued_collectives: 16,
             recv_timeout: Duration::from_secs(60),
             recorder: panda_obs::null_recorder(),
         }
@@ -111,6 +134,20 @@ impl PandaConfig {
     /// backends.
     pub fn with_disk_completion_threads(mut self, threads: usize) -> Self {
         self.disk_completion_threads = threads;
+        self
+    }
+
+    /// Override the concurrent-collective cap (`1` = serialized, the
+    /// original single-tenant behavior).
+    pub fn with_max_concurrent_collectives(mut self, max: usize) -> Self {
+        self.max_concurrent_collectives = max;
+        self
+    }
+
+    /// Override the admission wait-queue depth (`0` = reject session
+    /// requests immediately once all slots are live).
+    pub fn with_max_queued_collectives(mut self, max: usize) -> Self {
+        self.max_queued_collectives = max;
         self
     }
 
@@ -159,6 +196,11 @@ impl PandaConfig {
                 issue: ConfigIssue::ZeroCompletionThreads,
             });
         }
+        if self.max_concurrent_collectives == 0 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::ZeroConcurrentCollectives,
+            });
+        }
         if self.sync_policy == SyncPolicy::PerWrite && self.pipeline_depth > 1 {
             return Err(PandaError::Config {
                 issue: ConfigIssue::SyncPolicyConflict {
@@ -183,54 +225,86 @@ pub struct PandaSystem {
     num_servers: usize,
 }
 
-impl PandaSystem {
-    /// Launch the deployment: spawns one thread per I/O node and returns
-    /// one [`PandaClient`] per compute node (index == client rank).
-    ///
-    /// `fs_factory` supplies each server's file system (the paper's
-    /// "each processor has its own AIX file system"); it is called with
-    /// the server index.
-    ///
-    /// # Panics
-    /// Panics if the configuration is invalid; use
-    /// [`PandaSystem::try_launch`] for a fallible variant.
-    pub fn launch(
-        config: &PandaConfig,
-        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
-    ) -> (Self, Vec<PandaClient>) {
-        Self::try_launch(config, fs_factory).expect("invalid Panda configuration")
+/// Caller-supplied fabric: one transport per node, plus the shared
+/// statistics handle the transports report into.
+type FabricEndpoints = (Vec<Box<dyn Transport>>, Arc<FabricStats>);
+
+/// Configures and launches a deployment: the one entry point for both
+/// the one-shot SPMD fleet and the multi-tenant service.
+///
+/// ```
+/// use std::sync::Arc;
+/// use panda_core::{PandaConfig, PandaSystem};
+/// use panda_fs::MemFs;
+///
+/// let (system, clients) = PandaSystem::builder()
+///     .config(PandaConfig::new(2, 1))
+///     .launch(|_| Arc::new(MemFs::new()))
+///     .unwrap();
+/// system.shutdown(clients).unwrap();
+/// ```
+pub struct PandaSystemBuilder {
+    config: PandaConfig,
+    endpoints: Option<FabricEndpoints>,
+}
+
+impl PandaSystemBuilder {
+    /// Use this deployment configuration (defaults to
+    /// `PandaConfig::new(1, 1)`).
+    pub fn config(mut self, config: PandaConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Fallible [`PandaSystem::launch`].
-    pub fn try_launch(
-        config: &PandaConfig,
-        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
-    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
-        config.validate()?;
-        let total = config.num_clients + config.num_servers;
-        let (endpoints, fabric_stats) = InProcFabric::with_timeout(total, config.recv_timeout);
-        let transports: Vec<Box<dyn panda_msg::Transport>> = endpoints
-            .into_iter()
-            .map(|ep| Box::new(ep) as Box<dyn panda_msg::Transport>)
-            .collect();
-        Self::launch_over(config, transports, fs_factory, fabric_stats)
+    /// Attach an observability recorder — shorthand for setting it on
+    /// the config ([`PandaConfig::with_recorder`]).
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.config.recorder = recorder;
+        self
     }
 
     /// Launch over caller-supplied transports — one per node, ordered
     /// clients first (`0..num_clients`) then servers. This is how Panda
     /// runs on "a network of ordinary workstations without changing any
     /// code" (paper §5): hand in `panda_msg::TcpFabric` endpoints (or
-    /// any other [`panda_msg::Transport`]) instead of the in-process
-    /// fabric. `fabric_stats` is the shared counter handle when the
-    /// transport family has one; pass a fresh handle otherwise.
-    pub fn launch_over(
-        config: &PandaConfig,
-        mut endpoints: Vec<Box<dyn panda_msg::Transport>>,
-        mut fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    /// any other [`panda_msg::Transport`]) instead of the default
+    /// in-process fabric. `fabric_stats` is the shared counter handle
+    /// when the transport family has one; pass a fresh handle
+    /// otherwise.
+    pub fn transports(
+        mut self,
+        endpoints: Vec<Box<dyn Transport>>,
         fabric_stats: Arc<FabricStats>,
-    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
+    ) -> Self {
+        self.endpoints = Some((endpoints, fabric_stats));
+        self
+    }
+
+    /// Launch the deployment: spawns one thread per I/O node and
+    /// returns one [`PandaClient`] per compute node (index == client
+    /// rank).
+    ///
+    /// `fs_factory` supplies each server's file system (the paper's
+    /// "each processor has its own AIX file system"); it is called with
+    /// the server index.
+    pub fn launch(
+        self,
+        mut fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    ) -> Result<(PandaSystem, Vec<PandaClient>), PandaError> {
+        let config = self.config;
         config.validate()?;
         let total = config.num_clients + config.num_servers;
+        let (mut endpoints, fabric_stats) = match self.endpoints {
+            Some((endpoints, stats)) => (endpoints, stats),
+            None => {
+                let (eps, stats) = InProcFabric::with_timeout(total, config.recv_timeout);
+                let endpoints: Vec<Box<dyn Transport>> = eps
+                    .into_iter()
+                    .map(|ep| Box::new(ep) as Box<dyn Transport>)
+                    .collect();
+                (endpoints, stats)
+            }
+        };
         if endpoints.len() != total {
             return Err(PandaError::Config {
                 issue: ConfigIssue::TransportCount {
@@ -268,6 +342,8 @@ impl PandaSystem {
                 config.num_clients,
                 config.num_servers,
                 config.io_workers,
+                config.max_concurrent_collectives,
+                config.max_queued_collectives,
                 Arc::clone(&config.recorder),
             );
             handles.push(
@@ -310,6 +386,75 @@ impl PandaSystem {
             },
             clients,
         ))
+    }
+
+    /// Launch as a multi-tenant service: the configured `num_clients`
+    /// endpoints become session slots on the returned
+    /// [`PandaService`] instead of fleet clients. Open sessions with
+    /// [`PandaService::open`]; each submits collectives independently
+    /// and the servers interleave up to
+    /// [`PandaConfig::max_concurrent_collectives`] of them.
+    pub fn serve(
+        self,
+        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    ) -> Result<PandaService, PandaError> {
+        let (system, clients) = self.launch(fs_factory)?;
+        Ok(PandaService::new(system, clients))
+    }
+}
+
+impl PandaSystem {
+    /// Start configuring a deployment. See [`PandaSystemBuilder`].
+    pub fn builder() -> PandaSystemBuilder {
+        PandaSystemBuilder {
+            config: PandaConfig::new(1, 1),
+            endpoints: None,
+        }
+    }
+
+    /// Launch with the in-process fabric, panicking on an invalid
+    /// configuration.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `PandaSystem::builder().config(..).launch(..)`"
+    )]
+    pub fn launch(
+        config: &PandaConfig,
+        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    ) -> (Self, Vec<PandaClient>) {
+        Self::builder()
+            .config(config.clone())
+            .launch(fs_factory)
+            .expect("invalid Panda configuration")
+    }
+
+    /// Fallible launch with the in-process fabric.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `PandaSystem::builder().config(..).launch(..)`"
+    )]
+    pub fn try_launch(
+        config: &PandaConfig,
+        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
+        Self::builder().config(config.clone()).launch(fs_factory)
+    }
+
+    /// Launch over caller-supplied transports.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use `PandaSystem::builder().config(..).transports(..).launch(..)`"
+    )]
+    pub fn launch_over(
+        config: &PandaConfig,
+        endpoints: Vec<Box<dyn Transport>>,
+        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
+        fabric_stats: Arc<FabricStats>,
+    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
+        Self::builder()
+            .config(config.clone())
+            .transports(endpoints, fabric_stats)
+            .launch(fs_factory)
     }
 
     /// The deployment's observability recorder (the one passed via
@@ -359,10 +504,15 @@ mod tests {
     use super::*;
     use panda_fs::MemFs;
 
+    fn try_launch(config: PandaConfig) -> Result<(PandaSystem, Vec<PandaClient>), PandaError> {
+        PandaSystem::builder()
+            .config(config)
+            .launch(|_| Arc::new(MemFs::new()))
+    }
+
     #[test]
     fn launch_and_shutdown() {
-        let config = PandaConfig::new(2, 2);
-        let (system, clients) = PandaSystem::launch(&config, |_| Arc::new(MemFs::new()));
+        let (system, clients) = try_launch(PandaConfig::new(2, 2)).unwrap();
         assert_eq!(clients.len(), 2);
         assert_eq!(system.num_clients(), 2);
         assert_eq!(system.num_servers(), 2);
@@ -371,70 +521,67 @@ mod tests {
     }
 
     #[test]
-    fn launch_over_checks_endpoint_count() {
+    fn builder_checks_endpoint_count() {
         use panda_msg::{InProcFabric, Transport};
         let (eps, stats) = InProcFabric::new(2); // need 3 for 2 clients + 1 server
         let transports: Vec<Box<dyn Transport>> = eps
             .into_iter()
             .map(|e| Box::new(e) as Box<dyn Transport>)
             .collect();
-        let err = PandaSystem::launch_over(
-            &PandaConfig::new(2, 1),
-            transports,
-            |_| Arc::new(MemFs::new()) as Arc<dyn panda_fs::FileSystem>,
-            stats,
-        )
-        .map(|_| ())
-        .unwrap_err();
+        let err = PandaSystem::builder()
+            .config(PandaConfig::new(2, 1))
+            .transports(transports, stats)
+            .launch(|_| Arc::new(MemFs::new()) as Arc<dyn panda_fs::FileSystem>)
+            .map(|_| ())
+            .unwrap_err();
         assert!(matches!(err, crate::PandaError::Config { .. }));
     }
 
     #[test]
+    fn deprecated_launchers_still_work() {
+        #[allow(deprecated)]
+        let (system, clients) =
+            PandaSystem::launch(&PandaConfig::new(1, 1), |_| Arc::new(MemFs::new()));
+        system.shutdown(clients).unwrap();
+        #[allow(deprecated)]
+        let result = PandaSystem::try_launch(&PandaConfig::new(0, 1), |_| {
+            Arc::new(MemFs::new()) as Arc<dyn FileSystem>
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
-        assert!(PandaSystem::try_launch(&PandaConfig::new(0, 1), |_| {
-            Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-        })
-        .is_err());
-        assert!(PandaSystem::try_launch(&PandaConfig::new(1, 0), |_| {
-            Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-        })
-        .is_err());
-        assert!(PandaSystem::try_launch(
-            &PandaConfig::new(1, 1).with_subchunk_bytes(0),
-            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-        )
-        .is_err());
-        assert!(PandaSystem::try_launch(
-            &PandaConfig::new(1, 1).with_pipeline_depth(0),
-            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-        )
-        .is_err());
-        assert!(
-            PandaSystem::try_launch(&PandaConfig::new(1, 1).with_io_workers(0), |_| Arc::new(
-                MemFs::new()
-            )
-                as Arc<dyn FileSystem>)
-            .is_err()
-        );
-        let err = PandaSystem::try_launch(
-            &PandaConfig::new(1, 1).with_disk_completion_threads(0),
-            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>,
-        )
-        .map(|_| ())
-        .unwrap_err();
+        assert!(try_launch(PandaConfig::new(0, 1)).is_err());
+        assert!(try_launch(PandaConfig::new(1, 0)).is_err());
+        assert!(try_launch(PandaConfig::new(1, 1).with_subchunk_bytes(0)).is_err());
+        assert!(try_launch(PandaConfig::new(1, 1).with_pipeline_depth(0)).is_err());
+        assert!(try_launch(PandaConfig::new(1, 1).with_io_workers(0)).is_err());
+        let err = try_launch(PandaConfig::new(1, 1).with_disk_completion_threads(0))
+            .map(|_| ())
+            .unwrap_err();
         assert!(matches!(
             err,
             PandaError::Config {
                 issue: crate::ConfigIssue::ZeroCompletionThreads
             }
         ));
+        // A server must be able to run at least one collective.
+        let err = try_launch(PandaConfig::new(1, 1).with_max_concurrent_collectives(0))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: crate::ConfigIssue::ZeroConcurrentCollectives
+            }
+        ));
         // Per-write fsync serializes the disk stage; pipelining it is a
         // contradiction and must be rejected loudly.
-        let err = PandaSystem::try_launch(
-            &PandaConfig::new(1, 1)
+        let err = try_launch(
+            PandaConfig::new(1, 1)
                 .with_sync_policy(SyncPolicy::PerWrite)
                 .with_pipeline_depth(2),
-            |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>,
         )
         .map(|_| ())
         .unwrap_err();
@@ -445,10 +592,8 @@ mod tests {
             }
         ));
         // Per-write at depth 1 is the paper's own configuration: valid.
-        let (system, clients) = PandaSystem::launch(
-            &PandaConfig::new(1, 1).with_sync_policy(SyncPolicy::PerWrite),
-            |_| Arc::new(MemFs::new()),
-        );
+        let (system, clients) =
+            try_launch(PandaConfig::new(1, 1).with_sync_policy(SyncPolicy::PerWrite)).unwrap();
         system.shutdown(clients).unwrap();
     }
 }

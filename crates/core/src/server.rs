@@ -1,40 +1,48 @@
-//! The Panda server: the I/O-node side of a collective operation.
+//! The Panda server: the I/O-node side of collective operations.
 //!
-//! Each server runs [`ServerNode::run`] in its own thread. On receiving
-//! a collective request it lowers its per-array plans (round-robin
-//! chunks → subchunks → client pieces) into one [`CollectiveSchedule`]
-//! and hands the flat step stream to a single staged engine,
-//! `execute_schedule` — the only code path that moves collective data,
-//! for every direction, pipeline depth, and array count:
+//! Each server runs [`ServerNode::run`] in its own thread. Since the
+//! multi-tenant service mode landed, that loop is a *request scheduler*
+//! rather than a one-collective-at-a-time handler: up to
+//! `max_concurrent_collectives` admitted requests are live at once,
+//! each lowered into its own [`CollectiveSchedule`] and advanced as a
+//! `RequestRun` state machine. One pass of the loop
 //!
-//! * the **exchange stage** (this thread) talks to the clients: on the
-//!   write direction it keeps up to `depth` steps' `Fetch` requests in
-//!   flight (disambiguated by a request-global `seq`) and receives the
-//!   replies in bursts; on the read direction it pushes packed pieces
-//!   to their owners in step order;
-//! * the **reorganization stage** runs the copies on the server's
-//!   [`IoPool`]: reply bursts assemble into their window slots in
-//!   parallel, and read-side packs split across the workers;
-//! * the **pinned disk stage** is one task owning every file handle of
-//!   the request, consuming completed subchunk buffers (write) or
-//!   prefetching them (read) strictly in schedule order. Writes go
-//!   through [`FileHandle::submit_write`], so on a submission-queue
-//!   backend the stage issues up to `depth - 1` writes ahead of their
-//!   completions and recycles buffers as they land; fsync placement is
-//!   the request's [`SyncPolicy`] (per write, per file as its last step
-//!   lands, or one coalesced end-of-stage barrier).
+//! 1. **pumps** every live run (priority order, round-robin within a
+//!    priority): issuing fetches, assembling reply bursts on the
+//!    [`IoPool`], queueing completed subchunks to the disk task,
+//!    scattering prefetched read buffers;
+//! 2. **drains the transport** without blocking, routing `Data` replies
+//!    to their run by the request id they echo, admitting new
+//!    collectives, and serving the baseline raw plane;
+//! 3. **drains disk completions** (recycled write buffers, filled read
+//!    buffers, close acknowledgements) from the shared disk task;
+//! 4. blocks only when nothing progressed — on the disk channel when
+//!    disk work is outstanding, on the transport otherwise.
 //!
-//! The engine's per-file FIFO guarantee is what makes files
-//! byte-identical at every depth: the disk stage processes steps in
-//! flat schedule order, per-file offsets are sequential by
-//! construction, and exactly one task touches the files — so depth 1 is
-//! simply a window of one, and a single array is a group of one.
-//! Buffers recycle through the stage-boundary channels, so steady state
-//! runs allocation-free. The master server (index 0) additionally
-//! relays the request to its peers and reports completion to the master
-//! client.
+//! The **pinned disk task** is spawned once per server and serves every
+//! request: it keeps a per-request file table and processes
+//! `DiskCmd`s strictly in arrival order, which interleaves requests
+//! at subchunk granularity while preserving each request's per-file
+//! FIFO — so every file is still written/read in exactly the serial
+//! schedule's order and files stay byte-identical at any depth and any
+//! concurrency. Write submission uses the `depth - 1` completion
+//! window per request, and fsync placement honours each request's own
+//! [`SyncPolicy`] (per write, per file as its last step lands, or one
+//! coalesced barrier at the request's close) — per-request fsync
+//! accounting, not fleet-global.
+//!
+//! **Admission** happens at the master server: a request beyond the
+//! live cap waits in a bounded queue, and a single-participant
+//! (session) request is refused with a typed [`Msg::Reject`] when the
+//! queue is full — surfaced to the submitter as
+//! [`PandaError::Admission`]. Multi-participant requests are *never*
+//! rejected: their non-submitting participants are already blocked in
+//! the collective with no abort path, so a rejection would strand
+//! them; such requests always queue. Peers admit unconditionally —
+//! the master already made the decision when it relayed.
 
 use std::collections::{HashMap, VecDeque};
+use std::mem;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,12 +52,16 @@ use panda_msg::{Bytes, MatchSpec, NodeId, Transport};
 use panda_obs::{Event, OpDir, Recorder, SubchunkKey};
 use panda_schema::{copy, Region, SchemaError};
 
-use crate::error::PandaError;
+use crate::error::{AdmissionIssue, PandaError};
 use crate::plan::{CollectiveSchedule, ScheduleStep};
 use crate::pool::IoPool;
 use crate::protocol::{
-    recv_burst, recv_msg, send_data, send_msg, tags, CollectiveRequest, Msg, OpKind,
+    recv_msg, send_data, send_msg, try_recv_msg, CollectiveRequest, Msg, OpKind,
 };
+
+/// How long the scheduler parks on the disk channel before re-polling
+/// the transport, when disk work is outstanding but nothing else moved.
+const DISK_PARK: Duration = Duration::from_micros(200);
 
 /// One I/O node.
 pub struct ServerNode {
@@ -59,6 +71,10 @@ pub struct ServerNode {
     server_idx: usize,
     num_clients: usize,
     num_servers: usize,
+    /// Live-collective cap (admission control, master only).
+    max_concurrent: usize,
+    /// Wait-queue cap beyond the live collectives (master only).
+    max_queued: usize,
     /// Session recorder; events are tagged with this server's fabric
     /// rank. Durations are measured only while it is enabled.
     recorder: Arc<dyn Recorder>,
@@ -69,7 +85,7 @@ pub struct ServerNode {
     raw_done: Vec<bool>,
     /// Number of set flags in [`ServerNode::raw_done`].
     raw_done_count: usize,
-    /// Worker pool shared by the pinned disk stage and the parallel
+    /// Worker pool shared by the pinned disk task and the parallel
     /// reorganization passes.
     pool: IoPool,
 }
@@ -81,27 +97,187 @@ fn op_dir(op: OpKind) -> OpDir {
     }
 }
 
-/// A subchunk being assembled inside the write window.
+/// A subchunk being assembled inside a write run's window.
 struct InFlight {
-    /// Assembly buffer (recycled through the disk stage's free channel).
+    /// Assembly buffer (recycled through the disk task).
     buf: Vec<u8>,
     /// Pieces still missing.
     remaining: usize,
 }
 
-/// The pinned disk stage's view of one schedule step.
-struct DiskJob {
-    /// Index into the stage's file-handle table.
-    file: usize,
-    /// The step's subchunk key, for event attribution.
-    key: SubchunkKey,
-    /// Absolute byte offset in the file.
-    offset: u64,
-    /// Subchunk size in bytes.
-    bytes: usize,
+/// A fetched piece that arrived but has not been assembled yet.
+struct PendingPiece {
+    /// Step index within the run's schedule.
+    step: usize,
+    /// Piece index within the step's subchunk.
+    piece: usize,
+    /// The piece's global-array region.
+    region: Region,
+    /// The packed payload.
+    payload: Bytes,
 }
 
-/// The pinned disk stage's per-file state.
+/// One live collective on this server: the per-request state that used
+/// to be the whole server's state. Everything here is scoped to a
+/// single request id, which is what lets N of these interleave on the
+/// shared transport, worker pool, and disk task.
+struct RequestRun {
+    request: u64,
+    priority: u8,
+    /// Fabric ranks of the participating compute nodes, indexed by a
+    /// plan piece's mesh-local `client`.
+    participants: Vec<u32>,
+    dir: OpDir,
+    depth: usize,
+    sched: CollectiveSchedule,
+    /// Start instant, for the `CollectiveDone` duration.
+    t_op: Option<Instant>,
+    /// Per-request fetch/push sequence counter (unique within the run;
+    /// replies are routed by request id first, then seq).
+    seq: u64,
+    /// seq → (step index, piece index) for in-flight fetches.
+    seq_map: HashMap<u64, (usize, usize)>,
+    /// Write direction: subchunks being assembled, oldest first.
+    window: VecDeque<InFlight>,
+    /// Oldest step still in the window.
+    front: usize,
+    /// Next step to issue fetches for.
+    next: usize,
+    /// Buffers alive across the exchange and disk stages.
+    circulating: usize,
+    /// Drained buffers ready for reuse.
+    free_bufs: Vec<Vec<u8>>,
+    /// Write commands sent to the disk task whose buffer has not been
+    /// recycled yet — the per-request disk queue bound.
+    disk_queued: usize,
+    /// Replies awaiting this pump's parallel assembly pass.
+    pending: Vec<PendingPiece>,
+    /// Read direction: steps whose disk read has been issued.
+    reads_issued: usize,
+    /// Read direction: next step to scatter to clients.
+    next_scatter: usize,
+    /// Read direction: prefetched buffers, in schedule order.
+    ready_bufs: VecDeque<Vec<u8>>,
+    /// Whether `DiskCmd::Close` has been sent.
+    close_sent: bool,
+}
+
+impl RequestRun {
+    /// Placeholder swapped into the live table while a run is pumped.
+    fn hollow() -> Self {
+        RequestRun {
+            request: 0,
+            priority: 0,
+            participants: Vec::new(),
+            dir: OpDir::Write,
+            depth: 1,
+            sched: CollectiveSchedule {
+                steps: Vec::new(),
+                files: Vec::new(),
+                empty_files: Vec::new(),
+                sync_policy: SyncPolicy::PerCollective,
+            },
+            t_op: None,
+            seq: 0,
+            seq_map: HashMap::new(),
+            window: VecDeque::new(),
+            front: 0,
+            next: 0,
+            circulating: 0,
+            free_bufs: Vec::new(),
+            disk_queued: 0,
+            pending: Vec::new(),
+            reads_issued: 0,
+            next_scatter: 0,
+            ready_bufs: VecDeque::new(),
+            close_sent: false,
+        }
+    }
+}
+
+/// Scheduler state local to one [`ServerNode::run`] call.
+struct SchedState {
+    /// Live runs (unordered; pump order is derived per pass).
+    live: Vec<RequestRun>,
+    /// Admitted-but-waiting requests (master only).
+    queue: VecDeque<CollectiveRequest>,
+    /// Master only: per-request completion count and submitter rank.
+    done: HashMap<u64, DoneTrack>,
+    /// Round-robin cursor over equal-priority live runs.
+    rr: usize,
+    /// Set by `Msg::Shutdown`; the loop exits once drained.
+    draining: bool,
+    /// Disk commands awaiting a completion (`Free`/`Full`/`Closed`).
+    disk_pending: usize,
+}
+
+struct DoneTrack {
+    /// Servers (including this one) that finished the request.
+    count: usize,
+    /// Fabric rank the `Complete` goes to.
+    submitter: u32,
+}
+
+/// A file to open at the start of a request's disk work.
+struct OpenSpec {
+    name: String,
+    /// Steps targeting the file (per-file fsync countdown).
+    steps: usize,
+    /// Final length, for write-side preallocation.
+    bytes: u64,
+}
+
+/// One unit of work for the shared pinned disk task. Commands of one
+/// request arrive in schedule order; commands of different requests
+/// interleave freely — the task's arrival-order processing preserves
+/// per-request (and hence per-file) FIFO either way.
+enum DiskCmd {
+    /// Begin a request: create/open its files (preallocating written
+    /// ones), create-and-sync its empty files, set its sync policy and
+    /// completion window.
+    Open {
+        request: u64,
+        write: bool,
+        sync_policy: SyncPolicy,
+        /// Submitted-but-uncompleted writes allowed per request before
+        /// the task blocks on a completion (`depth - 1`).
+        window: usize,
+        files: Vec<OpenSpec>,
+        empty_files: Vec<String>,
+    },
+    /// Write one completed subchunk (write direction).
+    Write {
+        request: u64,
+        file: usize,
+        key: SubchunkKey,
+        offset: u64,
+        buf: Vec<u8>,
+    },
+    /// Prefetch one subchunk into `buf` (read direction).
+    Read {
+        request: u64,
+        file: usize,
+        key: SubchunkKey,
+        offset: u64,
+        bytes: usize,
+        buf: Vec<u8>,
+    },
+    /// End a request: drain its in-flight writes, run its
+    /// per-collective sync barrier, drop its file table.
+    Close { request: u64 },
+}
+
+/// A completion from the disk task back to the scheduler.
+enum DiskOut {
+    /// A write buffer finished its disk trip and can be reused.
+    Free { request: u64, buf: Vec<u8> },
+    /// A read buffer was filled and is ready to scatter.
+    Full { request: u64, buf: Vec<u8> },
+    /// The request's disk work is fully retired (synced per policy).
+    Closed { request: u64 },
+}
+
+/// The disk task's per-file state.
 struct DiskFile {
     handle: Box<dyn FileHandle>,
     /// Steps left until this file's last write is issued — the
@@ -112,85 +288,107 @@ struct DiskFile {
     in_flight: usize,
 }
 
-/// The disk stage's connection to the exchange/reorg stages. The
-/// variant is the direction: a write collective *pulls* full buffers
-/// out of the window, a read collective *pushes* prefetched ones into
-/// it. Either way full buffers flow one way through a bounded channel
-/// (the pipeline window) and drained buffers recycle back unbounded.
-enum DiskLink {
-    /// Write direction: consume completed subchunks, return them
-    /// drained.
-    Pull {
-        /// Completed subchunk buffers, in schedule order.
-        full: mpsc::Receiver<Vec<u8>>,
-        /// Drained buffers going back for reuse.
-        free: mpsc::Sender<Vec<u8>>,
-        /// Completion window: submitted-but-uncompleted writes allowed
-        /// before the stage blocks on a completion (`depth - 1`, so
-        /// depth 1 completes each write before the next fetch goes
-        /// out — the strictly serialized schedule).
-        window: usize,
-    },
-    /// Read direction: prefetch subchunks from recycled buffers.
-    Push {
-        /// Prefetched subchunk buffers, in schedule order.
-        full: mpsc::SyncSender<Vec<u8>>,
-        /// Drained buffers coming back for reuse.
-        free: mpsc::Receiver<Vec<u8>>,
-        /// Total buffers allowed in circulation (= pipeline depth,
-        /// counting the one the exchange stage is scattering). One
-        /// buffer means no read-ahead: the strictly serialized
-        /// schedule.
-        buffers: usize,
-    },
+/// The disk task's per-request state.
+struct DiskRun {
+    files: Vec<DiskFile>,
+    sync_policy: SyncPolicy,
+    window: usize,
+    total_in_flight: usize,
 }
 
-/// The engine's pinned disk stage: the single task that touches this
-/// server's files during a collective. It processes `jobs` strictly in
-/// schedule order — per-file offsets are sequential by construction, so
-/// every file access is sequential and per-file FIFO holds at any
-/// depth. Returns `Ok` early if the other side of the link hung up;
-/// the main thread's join logic surfaces whichever error caused that.
-fn run_disk_stage(
-    mut files: Vec<DiskFile>,
-    jobs: Vec<DiskJob>,
-    sync_policy: SyncPolicy,
+/// Drain one file's finished submissions back to the scheduler.
+fn drain_file(
+    f: &mut DiskFile,
+    total: &mut usize,
+    block: bool,
+    request: u64,
+    out: &mpsc::Sender<DiskOut>,
+) -> Result<(), FsError> {
+    for buf in f.handle.drain_completions(block)? {
+        f.in_flight -= 1;
+        *total -= 1;
+        let _ = out.send(DiskOut::Free { request, buf });
+    }
+    Ok(())
+}
+
+/// The engine's pinned disk task: the single task that touches this
+/// server's files, for every request it ever serves. Runs until the
+/// command channel closes. An `FsError` is fatal for the server (as it
+/// always was): the task exits and the scheduler surfaces the error
+/// through the join.
+fn run_disk_task(
     recorder: Arc<dyn Recorder>,
     node: u32,
-    link: DiskLink,
+    fs: Arc<dyn FileSystem>,
+    cmds: mpsc::Receiver<DiskCmd>,
+    out: mpsc::Sender<DiskOut>,
 ) -> Result<(), FsError> {
-    match link {
-        DiskLink::Pull { full, free, window } => {
-            // Completed-buffer recycling: drain a file's finished
-            // submissions back into the free channel and update the
-            // in-flight accounting.
-            let drain = |f: &mut DiskFile, total: &mut usize, block: bool| -> Result<(), FsError> {
-                for buf in f.handle.drain_completions(block)? {
-                    f.in_flight -= 1;
-                    *total -= 1;
-                    let _ = free.send(buf);
+    let mut runs: HashMap<u64, DiskRun> = HashMap::new();
+    for cmd in cmds.iter() {
+        match cmd {
+            DiskCmd::Open {
+                request,
+                write,
+                sync_policy,
+                window,
+                files,
+                empty_files,
+            } => {
+                // Arrays with no data on this server still get their
+                // (empty) file created and synced.
+                for name in &empty_files {
+                    let mut file = fs.create(name)?;
+                    file.sync()?;
                 }
-                Ok(())
-            };
-            let mut total_in_flight = 0usize;
-            for job in jobs {
-                let Ok(buf) = full.recv() else {
-                    // The exchange stage bailed; nothing more will come.
-                    return Ok(());
+                let mut table = Vec::with_capacity(files.len());
+                for spec in files {
+                    let handle = if write {
+                        let mut h = fs.create(&spec.name)?;
+                        h.preallocate(spec.bytes)?;
+                        h
+                    } else {
+                        fs.open(&spec.name)?
+                    };
+                    table.push(DiskFile {
+                        handle,
+                        remaining: spec.steps,
+                        in_flight: 0,
+                    });
+                }
+                runs.insert(
+                    request,
+                    DiskRun {
+                        files: table,
+                        sync_policy,
+                        window,
+                        total_in_flight: 0,
+                    },
+                );
+            }
+            DiskCmd::Write {
+                request,
+                file,
+                key,
+                offset,
+                buf,
+            } => {
+                let Some(run) = runs.get_mut(&request) else {
+                    continue; // request already closed (cannot happen)
                 };
                 let bytes = buf.len() as u64;
                 let t_disk = recorder.enabled().then(Instant::now);
-                if matches!(sync_policy, SyncPolicy::PerWrite) {
+                if matches!(run.sync_policy, SyncPolicy::PerWrite) {
                     // The paper's semantics: fsync after every write
                     // operation. Strictly synchronous by definition.
-                    let f = &mut files[job.file];
-                    f.handle.write_at(job.offset, &buf)?;
+                    let f = &mut run.files[file];
+                    f.handle.write_at(offset, &buf)?;
                     if let Some(t) = t_disk {
                         recorder.record(
                             node,
                             &Event::DiskWriteDone {
-                                key: job.key,
-                                offset: job.offset,
+                                key,
+                                offset,
                                 bytes,
                                 dur: t.elapsed(),
                             },
@@ -207,33 +405,33 @@ fn run_disk_stage(
                             },
                         );
                     }
-                    let _ = free.send(buf);
+                    let _ = out.send(DiskOut::Free { request, buf });
                 } else {
                     // Submission path: hand the buffer to the backend
                     // and move on. Synchronous backends complete inline
                     // and return the buffer; a submission-queue backend
                     // keeps it until a completion thread lands the
-                    // write, so the stage runs ahead of the device by
-                    // up to `window` writes.
-                    let f = &mut files[job.file];
-                    match f.handle.submit_write(job.offset, buf)? {
+                    // write, so the task runs ahead of the device by up
+                    // to this *request's* window.
+                    let f = &mut run.files[file];
+                    match f.handle.submit_write(offset, buf)? {
                         Some(buf) => {
                             if let Some(t) = t_disk {
                                 recorder.record(
                                     node,
                                     &Event::DiskWriteDone {
-                                        key: job.key,
-                                        offset: job.offset,
+                                        key,
+                                        offset,
                                         bytes,
                                         dur: t.elapsed(),
                                     },
                                 );
                             }
-                            let _ = free.send(buf);
+                            let _ = out.send(DiskOut::Free { request, buf });
                         }
                         None => {
                             f.in_flight += 1;
-                            total_in_flight += 1;
+                            run.total_in_flight += 1;
                             if let Some(t) = t_disk {
                                 // Time spent issuing, not completing:
                                 // the device time surfaces later as
@@ -241,8 +439,8 @@ fn run_disk_stage(
                                 recorder.record(
                                     node,
                                     &Event::DiskWriteDone {
-                                        key: job.key,
-                                        offset: job.offset,
+                                        key,
+                                        offset,
                                         bytes,
                                         dur: t.elapsed(),
                                     },
@@ -250,25 +448,38 @@ fn run_disk_stage(
                             }
                         }
                     }
-                    drain(&mut files[job.file], &mut total_in_flight, false)?;
-                    while total_in_flight > window {
-                        // Steps are file-sequential, so the oldest
-                        // submission belongs to the first file still in
-                        // flight; block on its next completion.
-                        let idx = files
+                    drain_file(
+                        &mut run.files[file],
+                        &mut run.total_in_flight,
+                        false,
+                        request,
+                        &out,
+                    )?;
+                    while run.total_in_flight > run.window {
+                        // Steps are file-sequential per request, so the
+                        // oldest submission belongs to the first file
+                        // still in flight; block on its completion.
+                        let idx = run
+                            .files
                             .iter()
                             .position(|f| f.in_flight > 0)
                             .expect("in-flight count implies an in-flight file");
-                        drain(&mut files[idx], &mut total_in_flight, true)?;
+                        drain_file(
+                            &mut run.files[idx],
+                            &mut run.total_in_flight,
+                            true,
+                            request,
+                            &out,
+                        )?;
                     }
                 }
-                let f = &mut files[job.file];
+                let f = &mut run.files[file];
                 f.remaining -= 1;
                 // Under the per-file policy, sync as soon as an array's
-                // last subchunk is issued, overlapped with the next
-                // array's exchange. `sync` is a completion barrier, so
-                // the drain below returns every outstanding buffer.
-                if f.remaining == 0 && matches!(sync_policy, SyncPolicy::PerFile) {
+                // last subchunk is issued, overlapped with the rest of
+                // the schedule. `sync` is a completion barrier, so the
+                // drain below returns every outstanding buffer.
+                if f.remaining == 0 && matches!(run.sync_policy, SyncPolicy::PerFile) {
                     let t_sync = recorder.enabled().then(Instant::now);
                     f.handle.sync()?;
                     if let Some(t) = t_sync {
@@ -280,62 +491,37 @@ fn run_disk_stage(
                             },
                         );
                     }
-                    drain(&mut files[job.file], &mut total_in_flight, false)?;
+                    drain_file(
+                        &mut run.files[file],
+                        &mut run.total_in_flight,
+                        false,
+                        request,
+                        &out,
+                    )?;
                 }
             }
-            if matches!(sync_policy, SyncPolicy::PerCollective) {
-                // One coalesced barrier for the whole disk stage: every
-                // fsync happens after every write has been issued, so
-                // no flush ever sits between two writes.
-                let t_sync = recorder.enabled().then(Instant::now);
-                for f in files.iter_mut() {
-                    f.handle.sync()?;
-                    drain(f, &mut total_in_flight, false)?;
-                }
-                if let Some(t) = t_sync {
-                    recorder.record(
-                        node,
-                        &Event::DiskSyncDone {
-                            files: files.len() as u32,
-                            dur: t.elapsed(),
-                        },
-                    );
-                }
-            }
-        }
-        DiskLink::Push {
-            full,
-            free,
-            buffers,
-        } => {
-            let mut circulating = 0usize;
-            for job in jobs {
-                let mut buf = match free.try_recv() {
-                    Ok(b) => b,
-                    Err(_) if circulating < buffers => {
-                        circulating += 1;
-                        Vec::new()
-                    }
-                    // The whole pipeline window is downstream: the next
-                    // read must wait until the exchange stage drains a
-                    // buffer. At depth 1 this serializes read → push.
-                    Err(_) => match free.recv() {
-                        Ok(b) => b,
-                        // Consumer bailed; nothing left to prefetch for.
-                        Err(_) => return Ok(()),
-                    },
+            DiskCmd::Read {
+                request,
+                file,
+                key,
+                offset,
+                bytes,
+                mut buf,
+            } => {
+                let Some(run) = runs.get_mut(&request) else {
+                    continue;
                 };
                 buf.clear();
-                buf.resize(job.bytes, 0);
+                buf.resize(bytes, 0);
                 let t_disk = recorder.enabled().then(Instant::now);
-                files[job.file].handle.read_at(job.offset, &mut buf)?;
+                run.files[file].handle.read_at(offset, &mut buf)?;
                 if recorder.enabled() {
                     if let Some(t) = t_disk {
                         recorder.record(
                             node,
                             &Event::DiskReadDone {
-                                key: job.key,
-                                offset: job.offset,
+                                key,
+                                offset,
                                 bytes: buf.len() as u64,
                                 dur: t.elapsed(),
                             },
@@ -344,15 +530,55 @@ fn run_disk_stage(
                     recorder.record(
                         node,
                         &Event::DiskReadQueued {
-                            key: job.key,
+                            key,
                             bytes: buf.len() as u64,
                         },
                     );
                 }
-                if full.send(buf).is_err() {
-                    // Consumer bailed; nothing left to prefetch for.
+                if out.send(DiskOut::Full { request, buf }).is_err() {
+                    // Scheduler bailed; nothing left to prefetch for.
                     return Ok(());
                 }
+            }
+            DiskCmd::Close { request } => {
+                let Some(mut run) = runs.remove(&request) else {
+                    continue;
+                };
+                if matches!(run.sync_policy, SyncPolicy::PerCollective) {
+                    // One coalesced barrier for the whole request:
+                    // every fsync happens after every write has been
+                    // issued, so no flush ever sits between two writes.
+                    let t_sync = recorder.enabled().then(Instant::now);
+                    let n = run.files.len() as u32;
+                    for f in run.files.iter_mut() {
+                        f.handle.sync()?;
+                        drain_file(f, &mut run.total_in_flight, false, request, &out)?;
+                    }
+                    if let Some(t) = t_sync {
+                        recorder.record(
+                            node,
+                            &Event::DiskSyncDone {
+                                files: n,
+                                dur: t.elapsed(),
+                            },
+                        );
+                    }
+                } else {
+                    // Per-file/per-write syncs already landed; collect
+                    // any straggler completions before retiring.
+                    for i in 0..run.files.len() {
+                        while run.files[i].in_flight > 0 {
+                            drain_file(
+                                &mut run.files[i],
+                                &mut run.total_in_flight,
+                                true,
+                                request,
+                                &out,
+                            )?;
+                        }
+                    }
+                }
+                let _ = out.send(DiskOut::Closed { request });
             }
         }
     }
@@ -391,6 +617,7 @@ fn assemble_piece(
 }
 
 impl ServerNode {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         transport: Box<dyn Transport>,
         fs: Arc<dyn FileSystem>,
@@ -398,6 +625,8 @@ impl ServerNode {
         num_clients: usize,
         num_servers: usize,
         io_workers: usize,
+        max_concurrent: usize,
+        max_queued: usize,
         recorder: Arc<dyn Recorder>,
     ) -> Self {
         ServerNode {
@@ -406,6 +635,8 @@ impl ServerNode {
             server_idx,
             num_clients,
             num_servers,
+            max_concurrent: max_concurrent.max(1),
+            max_queued,
             recorder,
             raw_handles: HashMap::new(),
             raw_done: vec![false; num_clients],
@@ -439,13 +670,9 @@ impl ServerNode {
         NodeId(self.num_clients)
     }
 
-    fn master_client(&self) -> NodeId {
-        NodeId(0)
-    }
-
-    /// A step's subchunk key under this server.
-    fn key_of(&self, step: &ScheduleStep) -> SubchunkKey {
-        SubchunkKey::new(self.server_idx, step.array, step.subchunk)
+    /// A step's subchunk key under this server, scoped to its request.
+    fn key_of(&self, request: u64, step: &ScheduleStep) -> SubchunkKey {
+        SubchunkKey::scoped(request, self.server_idx, step.array, step.subchunk)
     }
 
     /// The server's per-array file name for an operation.
@@ -453,223 +680,32 @@ impl ServerNode {
         format!("{file_tag}.s{server_idx}")
     }
 
-    /// Main loop: serve collective requests and baseline raw operations
-    /// until shutdown.
+    /// Main loop: schedule collective requests and serve baseline raw
+    /// operations until shutdown. Spawns the pinned disk task, runs the
+    /// scheduler, then joins the task — a disk error is the root cause
+    /// when both sides failed.
     pub fn run(mut self) -> Result<(), PandaError> {
-        loop {
-            let (src, msg) = recv_msg(&mut *self.transport, MatchSpec::any())?;
-            match msg {
-                Msg::Shutdown => return Ok(()),
-                Msg::Collective(req) => self.handle_collective(req)?,
-                Msg::RawWrite {
-                    file,
-                    offset,
-                    payload,
-                } => self.raw_write(&file, offset, &payload)?,
-                Msg::RawRead {
-                    file,
-                    offset,
-                    len,
-                    seq,
-                } => self.raw_read(src, &file, offset, len as usize, seq)?,
-                Msg::RawDone => self.raw_done(src)?,
-                Msg::RawStat { file, seq } => {
-                    let len = if self.fs.exists(&file) {
-                        self.fs.open(&file)?.len()
-                    } else {
-                        u64::MAX
-                    };
-                    send_msg(&mut *self.transport, src, &Msg::RawStatReply { seq, len })?;
-                }
-                other => {
-                    return Err(PandaError::Protocol {
-                        detail: format!("server got unexpected tag {}", other.tag()),
-                    })
-                }
-            }
-        }
-    }
-
-    /// Execute one collective operation end to end: lower the request
-    /// into a [`CollectiveSchedule`], run it through the staged engine,
-    /// then take part in the completion chain.
-    fn handle_collective(&mut self, req: CollectiveRequest) -> Result<(), PandaError> {
-        // The master server relays the schemas to the other servers; the
-        // servers never talk to each other during the transfer itself.
-        if self.is_master() {
-            for s in 1..self.num_servers {
-                let dst = NodeId(self.num_clients + s);
-                send_msg(&mut *self.transport, dst, &Msg::Collective(req.clone()))?;
-            }
-        }
-
-        let depth = req.pipeline_depth.max(1);
-        let t_op = self.obs_on().then(Instant::now);
-        self.emit(&Event::RequestIssued {
-            op: op_dir(req.op),
-            arrays: req.arrays.len() as u32,
-            pipeline_depth: depth as u32,
-        });
-        if matches!(req.op, OpKind::Write) && req.arrays.iter().any(|a| a.section.is_some()) {
-            return Err(PandaError::Protocol {
-                detail: "section writes are not supported".to_string(),
-            });
-        }
-        let schedule = CollectiveSchedule::build(
-            &req.arrays,
-            req.op,
-            self.server_idx,
-            self.num_servers,
-            req.subchunk_bytes,
-            req.sync_policy,
-        );
-        self.execute_schedule(&schedule, op_dir(req.op), depth)?;
-        if let Some(t) = t_op {
-            self.emit(&Event::CollectiveDone {
-                op: op_dir(req.op),
-                dur: t.elapsed(),
-            });
-        }
-
-        // Completion: workers report to the master server; the master
-        // server tells the master client once everyone (incl. itself)
-        // is done.
-        if self.is_master() {
-            for _ in 1..self.num_servers {
-                let (_, msg) = recv_msg(&mut *self.transport, MatchSpec::tag(tags::SERVER_DONE))?;
-                debug_assert_eq!(msg, Msg::ServerDone);
-            }
-            let dst = self.master_client();
-            send_msg(&mut *self.transport, dst, &Msg::Complete)?;
-        } else {
-            let dst = self.master_server();
-            send_msg(&mut *self.transport, dst, &Msg::ServerDone)?;
-        }
-        Ok(())
-    }
-
-    /// The staged schedule engine — the one execution path behind every
-    /// collective. `dir` selects the exchange stage's sense
-    /// (pull-from-clients for writes, push-to-clients for reads) and
-    /// the disk stage's [`DiskLink`] wiring; everything else — the
-    /// depth-`d` window, the pooled reorganization, the per-file FIFO
-    /// disk order, the buffer recycling — is shared.
-    fn execute_schedule(
-        &mut self,
-        sched: &CollectiveSchedule,
-        dir: OpDir,
-        depth: usize,
-    ) -> Result<(), PandaError> {
-        if self.obs_on() {
-            for step in &sched.steps {
-                self.emit(&Event::SubchunkPlanned {
-                    key: self.key_of(step),
-                    bytes: step.sub.bytes as u64,
-                });
-            }
-        }
-        // Arrays with no data on this server still get their (empty)
-        // file created and synced on the write direction.
-        for tag in &sched.empty_files {
-            let mut file = self.fs.create(&Self::file_name(tag, self.server_idx))?;
-            file.sync()?;
-        }
-        if sched.is_empty() {
-            return Ok(());
-        }
-        // The disk stage owns every file handle of the request for the
-        // whole collective; `remaining` counts down to each file's
-        // fsync. The planner knows every file's final length before the
-        // first byte moves, so written files get their whole extent
-        // preallocated up front.
-        let mut files: Vec<DiskFile> = Vec::with_capacity(sched.files.len());
-        for f in &sched.files {
-            let name = Self::file_name(&f.tag, self.server_idx);
-            let handle = match dir {
-                OpDir::Write => {
-                    let mut h = self.fs.create(&name)?;
-                    h.preallocate(f.bytes)?;
-                    h
-                }
-                OpDir::Read => self.fs.open(&name)?,
-            };
-            files.push(DiskFile {
-                handle,
-                remaining: f.steps,
-                in_flight: 0,
-            });
-        }
-        let jobs: Vec<DiskJob> = sched
-            .steps
-            .iter()
-            .map(|step| DiskJob {
-                file: step.file,
-                key: self.key_of(step),
-                offset: step.sub.file_offset,
-                bytes: step.sub.bytes,
-            })
-            .collect();
+        let (cmd_tx, cmd_rx) = mpsc::channel::<DiskCmd>();
+        let (out_tx, out_rx) = mpsc::channel::<DiskOut>();
         let recorder = Arc::clone(&self.recorder);
         let node = self.my_rank();
-        let sync_policy = sched.sync_policy;
-
-        match dir {
-            OpDir::Write => {
-                // The bounded full queue caps buffered-but-unwritten
-                // subchunks; at depth 1 the exchange loop additionally
-                // waits for each buffer to recycle, which serializes
-                // the schedule strictly (hence a completion window of
-                // zero: each submitted write is drained before the
-                // buffer can recycle).
-                let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth);
-                let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
-                let link = DiskLink::Pull {
-                    full: full_rx,
-                    free: free_tx,
-                    window: depth - 1,
-                };
-                let disk = self.pool.spawn_pinned(move || {
-                    run_disk_stage(files, jobs, sync_policy, recorder, node, link)
-                });
-                let run = self.pull_from_clients(sched, depth, &full_tx, &free_rx);
-                // Closing the full queue lets the disk stage drain and
-                // exit.
-                drop(full_tx);
-                Self::join_disk(run, disk)
-            }
-            OpDir::Read => {
-                // `depth` buffers circulate, counting the one being
-                // scattered (depth 1 = no read-ahead, depth 2 = classic
-                // double buffer); the queue bound keeps the prefetcher
-                // from running further ahead than the window.
-                let (full_tx, full_rx) = mpsc::sync_channel::<Vec<u8>>(depth - 1);
-                let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
-                let link = DiskLink::Push {
-                    full: full_tx,
-                    free: free_rx,
-                    buffers: depth,
-                };
-                let disk = self.pool.spawn_pinned(move || {
-                    run_disk_stage(files, jobs, sync_policy, recorder, node, link)
-                });
-                let run = self.push_to_clients(sched, &full_rx, &free_tx);
-                // Unblock a prefetcher still parked on a full queue,
-                // then join.
-                drop(full_rx);
-                Self::join_disk(run, disk)
-            }
-        }
-    }
-
-    /// Join the disk stage and combine its verdict with the exchange
-    /// stage's: a dead disk stage also breaks the exchange loop, so the
-    /// disk error is the root cause when both failed.
-    fn join_disk(
-        run: Result<(), PandaError>,
-        disk: crate::pool::PinnedTask<Result<(), FsError>>,
-    ) -> Result<(), PandaError> {
+        let fs = Arc::clone(&self.fs);
+        let disk = self
+            .pool
+            .spawn_pinned(move || run_disk_task(recorder, node, fs, cmd_rx, out_tx));
+        let mut st = SchedState {
+            live: Vec::new(),
+            queue: VecDeque::new(),
+            done: HashMap::new(),
+            rr: 0,
+            draining: false,
+            disk_pending: 0,
+        };
+        let run = self.serve(&mut st, &cmd_tx, &out_rx);
+        // Closing the command channel lets the disk task drain and exit.
+        drop(cmd_tx);
         let disk = disk.join().map_err(|_| PandaError::Protocol {
-            detail: "disk stage task panicked".to_string(),
+            detail: "disk task panicked".to_string(),
         })?;
         match (run, disk) {
             (Ok(()), disk) => Ok(disk?),
@@ -678,180 +714,334 @@ impl ServerNode {
         }
     }
 
-    /// Write-direction exchange + reorganization stages: keep up to
-    /// `depth` steps' fetches outstanding, receive replies in bursts,
-    /// assemble each burst into its window slots in parallel on the
-    /// pool, and hand completed head subchunks to the disk stage in
-    /// schedule order.
-    fn pull_from_clients(
+    /// The scheduler loop (see the module docs for its four phases).
+    fn serve(
         &mut self,
-        sched: &CollectiveSchedule,
-        depth: usize,
-        full_tx: &mpsc::SyncSender<Vec<u8>>,
-        free_rx: &mpsc::Receiver<Vec<u8>>,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        out_rx: &mpsc::Receiver<DiskOut>,
     ) -> Result<(), PandaError> {
-        let steps = &sched.steps;
-        let mut seq = 0u64;
-        // seq → (step index, piece index) for every in-flight fetch; the
-        // request-global seq disambiguates replies across arrays sharing
-        // the window.
-        let mut seq_map: HashMap<u64, (usize, usize)> = HashMap::new();
-        let mut window: VecDeque<InFlight> = VecDeque::with_capacity(depth);
-        let mut front = 0usize; // oldest step still in the window
-        let mut next = 0usize; // next step to issue fetches for
-        let mut circulating = 0usize; // buffers alive across both stages
         loop {
-            // Hand completed head subchunks to the disk stage: it writes
-            // step k while replies for k+1.. assemble here.
-            while window.front().is_some_and(|s| s.remaining == 0) {
-                let done = window.pop_front().expect("checked front");
-                self.emit(&Event::DiskWriteQueued {
-                    key: self.key_of(&steps[front]),
-                    bytes: done.buf.len() as u64,
-                });
-                if full_tx.send(done.buf).is_err() {
-                    // Disk stage bailed; its join has the cause.
-                    return Err(PandaError::Protocol {
-                        detail: "disk stage stopped early".to_string(),
-                    });
-                }
-                front += 1;
+            let mut progress = self.pump_all(st, cmd_tx)?;
+            while let Some((src, msg)) = try_recv_msg(&mut *self.transport, MatchSpec::any())? {
+                self.dispatch(st, cmd_tx, src, msg, Duration::ZERO)?;
+                progress = true;
             }
-            if front == steps.len() {
+            while let Ok(done) = out_rx.try_recv() {
+                self.disk_done(st, cmd_tx, done)?;
+                progress = true;
+            }
+            if st.draining && st.live.is_empty() && st.queue.is_empty() {
                 return Ok(());
             }
+            if progress {
+                continue;
+            }
+            if st.disk_pending > 0 {
+                // Disk work outstanding: progress may come from either
+                // side, so park briefly on the disk channel and re-poll
+                // the transport.
+                match out_rx.recv_timeout(DISK_PARK) {
+                    Ok(done) => self.disk_done(st, cmd_tx, done)?,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(PandaError::Protocol {
+                            detail: "disk task stopped early".to_string(),
+                        })
+                    }
+                }
+            } else {
+                // Everything outstanding is message-shaped: block on
+                // the transport (whose own receive timeout still bounds
+                // a dead peer). The measured wait is attributed to the
+                // first fetched piece it delivers.
+                let t_wait = self.obs_on().then(Instant::now);
+                let (src, msg) = recv_msg(&mut *self.transport, MatchSpec::any())?;
+                let wait = t_wait.map_or(Duration::ZERO, |t| t.elapsed());
+                self.dispatch(st, cmd_tx, src, msg, wait)?;
+            }
+        }
+    }
+
+    /// Pump every live run once: highest priority first, equal
+    /// priorities in rotating round-robin order so no request starves.
+    fn pump_all(
+        &mut self,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+    ) -> Result<bool, PandaError> {
+        if st.live.is_empty() {
+            return Ok(false);
+        }
+        let n = st.live.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.rotate_left(st.rr % n);
+        // Stable sort: the rotated round-robin order survives within
+        // each priority class.
+        order.sort_by(|&a, &b| st.live[b].priority.cmp(&st.live[a].priority));
+        st.rr = st.rr.wrapping_add(1);
+        let mut progress = false;
+        for idx in order {
+            let mut run = mem::replace(&mut st.live[idx], RequestRun::hollow());
+            let moved = self.pump_run(&mut st.disk_pending, cmd_tx, &mut run);
+            st.live[idx] = run;
+            progress |= moved?;
+        }
+        Ok(progress)
+    }
+
+    fn pump_run(
+        &mut self,
+        disk_pending: &mut usize,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        run: &mut RequestRun,
+    ) -> Result<bool, PandaError> {
+        match run.dir {
+            OpDir::Write => self.pump_write(disk_pending, cmd_tx, run),
+            OpDir::Read => self.pump_read(disk_pending, cmd_tx, run),
+        }
+    }
+
+    /// Advance one write-direction run as far as it will go without
+    /// blocking: assemble arrived replies in parallel, queue completed
+    /// head subchunks to the disk task, and keep up to `depth` steps'
+    /// fetches outstanding.
+    fn pump_write(
+        &mut self,
+        disk_pending: &mut usize,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        run: &mut RequestRun,
+    ) -> Result<bool, PandaError> {
+        let mut progress = false;
+        loop {
+            let mut moved = false;
+            // Assemble the arrived batch, window slots in parallel:
+            // each job owns one slot's buffer (disjoint via
+            // `iter_mut`); pieces within a slot stay serial.
+            if !run.pending.is_empty() {
+                moved = true;
+                let front = run.front;
+                let mut per_slot: Vec<Vec<PendingPiece>> =
+                    (0..run.window.len()).map(|_| Vec::new()).collect();
+                for p in run.pending.drain(..) {
+                    per_slot[p.step - front].push(p);
+                }
+                let steps = &run.sched.steps;
+                let recorder = &self.recorder;
+                let node = self.my_rank();
+                let request = run.request;
+                let server_idx = self.server_idx;
+                let mut jobs: Vec<Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>> =
+                    Vec::new();
+                for (off, (slot, items)) in run.window.iter_mut().zip(per_slot).enumerate() {
+                    if items.is_empty() {
+                        continue;
+                    }
+                    let step = &steps[front + off];
+                    slot.remaining -= items.len();
+                    let buf = &mut slot.buf;
+                    let key = SubchunkKey::scoped(request, server_idx, step.array, step.subchunk);
+                    jobs.push(Box::new(move || {
+                        for p in &items {
+                            assemble_piece(
+                                recorder.as_ref(),
+                                node,
+                                key,
+                                p.piece as u32,
+                                buf,
+                                &step.sub.region,
+                                &p.region,
+                                &p.payload,
+                                step.elem,
+                            )?;
+                        }
+                        Ok(())
+                    }));
+                }
+                self.pool.run_scoped_result(jobs)?;
+            }
+            // Queue completed head subchunks to the disk task: it
+            // writes step k while replies for k+1.. assemble here. The
+            // per-request bound keeps one run from monopolizing the
+            // shared task.
+            while run.window.front().is_some_and(|s| s.remaining == 0)
+                && run.disk_queued < run.depth
+            {
+                let done = run.window.pop_front().expect("checked front");
+                let step = &run.sched.steps[run.front];
+                self.emit(&Event::DiskWriteQueued {
+                    key: self.key_of(run.request, step),
+                    bytes: done.buf.len() as u64,
+                });
+                Self::disk_send(
+                    cmd_tx,
+                    DiskCmd::Write {
+                        request: run.request,
+                        file: step.file,
+                        key: self.key_of(run.request, step),
+                        offset: step.sub.file_offset,
+                        buf: done.buf,
+                    },
+                )?;
+                *disk_pending += 1;
+                run.disk_queued += 1;
+                run.front += 1;
+                moved = true;
+            }
+            if run.front == run.sched.steps.len() && !run.close_sent {
+                Self::disk_send(
+                    cmd_tx,
+                    DiskCmd::Close {
+                        request: run.request,
+                    },
+                )?;
+                *disk_pending += 1;
+                run.close_sent = true;
+                moved = true;
+            }
             // Keep up to `depth` steps' fetches outstanding.
-            while next < steps.len() && next - front < depth {
-                let step = &steps[next];
-                let mut buf = if circulating < depth {
-                    circulating += 1;
+            while run.next < run.sched.steps.len() && run.next - run.front < run.depth {
+                let mut buf = if let Some(b) = run.free_bufs.pop() {
+                    b
+                } else if run.circulating < run.depth {
+                    run.circulating += 1;
                     Vec::new()
-                } else if depth == 1 {
-                    // Depth 1 is the strictly serialized oracle: wait
-                    // for the disk write to land before the next fetch
-                    // goes out.
-                    free_rx.recv().map_err(|_| PandaError::Protocol {
-                        detail: "disk stage stopped early".to_string(),
-                    })?
+                } else if run.depth == 1 {
+                    // Depth 1 is the strictly serialized oracle: the
+                    // next fetch waits for the disk write to land (the
+                    // buffer comes back as a `Free`).
+                    break;
                 } else {
-                    // Deeper windows reuse drained buffers
-                    // opportunistically and keep fetching while the
-                    // disk stage works; the bounded full queue is the
+                    // Deeper windows keep fetching while the disk task
+                    // works; the per-request disk queue bound is the
                     // backpressure.
-                    free_rx.try_recv().unwrap_or_default()
+                    Vec::new()
                 };
+                let step = &run.sched.steps[run.next];
                 buf.clear();
                 buf.resize(step.sub.bytes, 0);
                 for (pi, piece) in step.sub.pieces.iter().enumerate() {
+                    let dst = *run.participants.get(piece.client).ok_or_else(|| {
+                        PandaError::Protocol {
+                            detail: format!(
+                                "plan piece for client {} outside the {} participants",
+                                piece.client,
+                                run.participants.len()
+                            ),
+                        }
+                    })?;
                     send_msg(
                         &mut *self.transport,
-                        NodeId(piece.client),
+                        NodeId(dst as usize),
                         &Msg::Fetch {
+                            request: run.request,
                             array: step.array,
-                            seq,
+                            seq: run.seq,
                             region: piece.region.clone(),
                         },
                     )?;
                     self.emit(&Event::FetchSent {
-                        key: self.key_of(step),
+                        key: self.key_of(run.request, step),
                         piece: pi as u32,
-                        client: piece.client as u32,
+                        client: dst,
                     });
-                    seq_map.insert(seq, (next, pi));
-                    seq += 1;
+                    run.seq_map.insert(run.seq, (run.next, pi));
+                    run.seq += 1;
                 }
-                window.push_back(InFlight {
+                run.window.push_back(InFlight {
                     buf,
                     remaining: step.sub.pieces.len(),
                 });
-                next += 1;
+                run.next += 1;
+                moved = true;
             }
-            // One reply burst becomes one parallel reorganization pass
-            // instead of d serial copies.
-            let t_wait = self.obs_on().then(Instant::now);
-            let batch = recv_burst(&mut *self.transport, MatchSpec::tag(tags::DATA))?;
-            // Route each reply to its window slot.
-            let mut per_slot: Vec<Vec<(usize, Region, Bytes)>> = vec![Vec::new(); window.len()];
-            for (bi, msg) in batch.into_iter().enumerate() {
-                let Msg::Data {
-                    seq: rseq,
-                    region,
-                    payload,
-                    ..
-                } = msg
-                else {
-                    unreachable!("matched DATA tag");
-                };
-                let (si, pi) = seq_map.remove(&rseq).ok_or_else(|| PandaError::Protocol {
-                    detail: format!("unexpected data seq {rseq}"),
-                })?;
-                let step = &steps[si];
-                debug_assert_eq!(region, step.sub.pieces[pi].region);
-                if let Some(t) = t_wait {
-                    self.emit(&Event::FetchReplied {
-                        key: self.key_of(step),
-                        bytes: payload.len() as u64,
-                        // Only the blocking receive actually waited.
-                        wait: if bi == 0 { t.elapsed() } else { Duration::ZERO },
-                    });
-                }
-                per_slot[si - front].push((pi, region, payload));
+            if !moved {
+                return Ok(progress);
             }
-            // Assemble the batch, window slots in parallel: each job
-            // owns one slot's buffer (disjoint via `iter_mut`); pieces
-            // within a slot stay serial.
-            let recorder = &self.recorder;
-            let node = self.my_rank();
-            let mut jobs: Vec<Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>> =
-                Vec::new();
-            for (off, (slot, items)) in window.iter_mut().zip(per_slot).enumerate() {
-                if items.is_empty() {
-                    continue;
-                }
-                let step = &steps[front + off];
-                slot.remaining -= items.len();
-                let buf = &mut slot.buf;
-                let key = SubchunkKey::new(self.server_idx, step.array, step.subchunk);
-                jobs.push(Box::new(move || {
-                    for (pi, region, payload) in &items {
-                        assemble_piece(
-                            recorder.as_ref(),
-                            node,
-                            key,
-                            *pi as u32,
-                            buf,
-                            &step.sub.region,
-                            region,
-                            payload,
-                            step.elem,
-                        )?;
-                    }
-                    Ok(())
-                }));
-            }
-            self.pool.run_scoped_result(jobs)?;
+            progress = true;
         }
     }
 
-    /// Read-direction exchange stage: for each step, in schedule order,
-    /// take the next prefetched buffer from the disk stage, pack and
-    /// push its pieces, and recycle the buffer.
-    fn push_to_clients(
+    /// Advance one read-direction run: scatter prefetched buffers in
+    /// schedule order and keep up to `depth` disk reads ahead of the
+    /// scatter point.
+    fn pump_read(
         &mut self,
-        sched: &CollectiveSchedule,
-        full_rx: &mpsc::Receiver<Vec<u8>>,
-        free_tx: &mpsc::Sender<Vec<u8>>,
-    ) -> Result<(), PandaError> {
-        let mut seq = 0u64;
-        for step in &sched.steps {
-            let buf = full_rx.recv().map_err(|_| PandaError::Protocol {
-                detail: "disk stage stopped early".to_string(),
-            })?;
-            self.scatter_step(step, &buf, &mut seq)?;
-            // Hand the drained buffer back for the next prefetch.
-            let _ = free_tx.send(buf);
+        disk_pending: &mut usize,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        run: &mut RequestRun,
+    ) -> Result<bool, PandaError> {
+        let mut progress = false;
+        loop {
+            let mut moved = false;
+            // Prefetched buffers arrive in schedule order (the disk
+            // task is per-request FIFO), so the front one always
+            // belongs to the next scatter step.
+            while let Some(buf) = run.ready_bufs.pop_front() {
+                let step = &run.sched.steps[run.next_scatter];
+                let node = self.my_rank();
+                Self::scatter_step(
+                    &mut *self.transport,
+                    &self.pool,
+                    &self.recorder,
+                    node,
+                    self.server_idx,
+                    run.request,
+                    &run.participants,
+                    step,
+                    &buf,
+                    &mut run.seq,
+                )?;
+                run.next_scatter += 1;
+                run.free_bufs.push(buf);
+                moved = true;
+            }
+            // Keep up to `depth` buffers circulating (counting ready
+            // ones not yet scattered): depth 1 = no read-ahead, the
+            // strictly serialized schedule.
+            while run.reads_issued < run.sched.steps.len()
+                && run.reads_issued - run.next_scatter < run.depth
+            {
+                let buf = if let Some(b) = run.free_bufs.pop() {
+                    b
+                } else if run.circulating < run.depth {
+                    run.circulating += 1;
+                    Vec::new()
+                } else {
+                    break;
+                };
+                let step = &run.sched.steps[run.reads_issued];
+                Self::disk_send(
+                    cmd_tx,
+                    DiskCmd::Read {
+                        request: run.request,
+                        file: step.file,
+                        key: self.key_of(run.request, step),
+                        offset: step.sub.file_offset,
+                        bytes: step.sub.bytes,
+                        buf,
+                    },
+                )?;
+                *disk_pending += 1;
+                run.reads_issued += 1;
+                moved = true;
+            }
+            if run.next_scatter == run.sched.steps.len() && !run.close_sent {
+                Self::disk_send(
+                    cmd_tx,
+                    DiskCmd::Close {
+                        request: run.request,
+                    },
+                )?;
+                *disk_pending += 1;
+                run.close_sent = true;
+                moved = true;
+            }
+            if !moved {
+                return Ok(progress);
+            }
+            progress = true;
         }
-        Ok(())
     }
 
     /// Reorganize and push one read step: pack all of its pieces in
@@ -860,13 +1050,20 @@ impl ServerNode {
     /// [`IoPool::pack_region_par`]), trimming each to the requested
     /// section, then send them in piece order so the per-client message
     /// stream matches the serial schedule.
+    #[allow(clippy::too_many_arguments)]
     fn scatter_step(
-        &mut self,
+        transport: &mut dyn Transport,
+        pool: &IoPool,
+        recorder: &Arc<dyn Recorder>,
+        node: u32,
+        server_idx: usize,
+        request: u64,
+        participants: &[u32],
         step: &ScheduleStep,
         buf: &[u8],
         seq: &mut u64,
     ) -> Result<(), PandaError> {
-        let key = self.key_of(step);
+        let key = SubchunkKey::scoped(request, server_idx, step.array, step.subchunk);
         let targets: Vec<(usize, Region)> = step
             .sub
             .pieces
@@ -885,9 +1082,6 @@ impl ServerNode {
         }
         let mut packed: Vec<Vec<u8>> = vec![Vec::new(); targets.len()];
         {
-            let pool = &self.pool;
-            let recorder = &self.recorder;
-            let node = self.my_rank();
             let jobs: Vec<Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>> = packed
                 .iter_mut()
                 .zip(&targets)
@@ -911,25 +1105,385 @@ impl ServerNode {
                         as Box<dyn FnOnce() -> Result<(), SchemaError> + Send + '_>
                 })
                 .collect();
-            self.pool.run_scoped_result(jobs)?;
+            pool.run_scoped_result(jobs)?;
         }
         for ((pi, target), data) in targets.into_iter().zip(packed) {
+            let piece_client = step.sub.pieces[pi].client;
+            let dst = *participants
+                .get(piece_client)
+                .ok_or_else(|| PandaError::Protocol {
+                    detail: format!(
+                        "plan piece for client {piece_client} outside the {} participants",
+                        participants.len()
+                    ),
+                })?;
             let bytes = data.len() as u64;
             send_data(
-                &mut *self.transport,
-                NodeId(step.sub.pieces[pi].client),
+                transport,
+                NodeId(dst as usize),
+                request,
                 key.array,
                 *seq,
                 &target,
                 data,
             )?;
-            self.emit(&Event::PushSent {
-                key,
-                piece: pi as u32,
-                client: step.sub.pieces[pi].client as u32,
-                bytes,
-            });
+            if recorder.enabled() {
+                recorder.record(
+                    node,
+                    &Event::PushSent {
+                        key,
+                        piece: pi as u32,
+                        client: dst,
+                        bytes,
+                    },
+                );
+            }
             *seq += 1;
+        }
+        Ok(())
+    }
+
+    /// Send one disk command; a closed channel means the disk task
+    /// already died — the join in [`ServerNode::run`] has the cause.
+    fn disk_send(cmd_tx: &mpsc::Sender<DiskCmd>, cmd: DiskCmd) -> Result<(), PandaError> {
+        cmd_tx.send(cmd).map_err(|_| PandaError::Protocol {
+            detail: "disk task stopped early".to_string(),
+        })
+    }
+
+    /// Route one transport message. `wait` is the time the scheduler
+    /// spent blocked for it (zero when it was drained non-blocking).
+    fn dispatch(
+        &mut self,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        src: NodeId,
+        msg: Msg,
+        wait: Duration,
+    ) -> Result<(), PandaError> {
+        match msg {
+            Msg::Shutdown => {
+                st.draining = true;
+                Ok(())
+            }
+            Msg::Collective(req) => self.admit(st, cmd_tx, req),
+            Msg::Data {
+                request,
+                seq,
+                region,
+                payload,
+                ..
+            } => self.route_data(st, request, seq, region, payload, wait),
+            Msg::ServerDone { request } => {
+                if !self.is_master() {
+                    return Err(PandaError::Protocol {
+                        detail: "ServerDone at a non-master server".to_string(),
+                    });
+                }
+                self.note_done(st, request)
+            }
+            Msg::RawWrite {
+                file,
+                offset,
+                payload,
+            } => self.raw_write(&file, offset, &payload),
+            Msg::RawRead {
+                file,
+                offset,
+                len,
+                seq,
+            } => self.raw_read(src, &file, offset, len as usize, seq),
+            Msg::RawDone => self.raw_done(src),
+            Msg::RawStat { file, seq } => {
+                let len = if self.fs.exists(&file) {
+                    self.fs.open(&file)?.len()
+                } else {
+                    u64::MAX
+                };
+                send_msg(&mut *self.transport, src, &Msg::RawStatReply { seq, len })?;
+                Ok(())
+            }
+            other => Err(PandaError::Protocol {
+                detail: format!("server got unexpected tag {}", other.tag()),
+            }),
+        }
+    }
+
+    /// Admission control. The master decides; peers start whatever the
+    /// master relayed. A multi-participant request is never rejected —
+    /// its non-submitting participants are already blocked inside the
+    /// collective with no abort path, so it queues however full the
+    /// queue is. Single-participant (session) requests get the typed
+    /// rejection instead of unbounded queueing.
+    fn admit(
+        &mut self,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        req: CollectiveRequest,
+    ) -> Result<(), PandaError> {
+        if !self.is_master() {
+            return self.start_run(st, cmd_tx, req);
+        }
+        if st.live.len() < self.max_concurrent {
+            self.relay(&req)?;
+            return self.start_run(st, cmd_tx, req);
+        }
+        if req.participants.len() > 1 || st.queue.len() < self.max_queued {
+            st.queue.push_back(req);
+            return Ok(());
+        }
+        let reason = if self.max_queued == 0 {
+            AdmissionIssue::Saturated {
+                live: st.live.len(),
+                max: self.max_concurrent,
+            }
+        } else {
+            AdmissionIssue::QueueFull {
+                queued: st.queue.len(),
+                max: self.max_queued,
+            }
+        };
+        let submitter = NodeId(req.participants.first().map_or(0, |&r| r as usize));
+        send_msg(
+            &mut *self.transport,
+            submitter,
+            &Msg::Reject {
+                request: req.request,
+                reason,
+            },
+        )
+    }
+
+    /// Relay an admitted request to the peer servers (master only).
+    fn relay(&mut self, req: &CollectiveRequest) -> Result<(), PandaError> {
+        for s in 1..self.num_servers {
+            let dst = NodeId(self.num_clients + s);
+            send_msg(&mut *self.transport, dst, &Msg::Collective(req.clone()))?;
+        }
+        Ok(())
+    }
+
+    /// Lower an admitted request into a live [`RequestRun`]: build its
+    /// schedule, open its files on the disk task, and enter it into the
+    /// scheduler.
+    fn start_run(
+        &mut self,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        req: CollectiveRequest,
+    ) -> Result<(), PandaError> {
+        let depth = req.pipeline_depth.max(1);
+        let t_op = self.obs_on().then(Instant::now);
+        self.emit(&Event::RequestIssued {
+            request: req.request,
+            op: op_dir(req.op),
+            arrays: req.arrays.len() as u32,
+            pipeline_depth: depth as u32,
+        });
+        if matches!(req.op, OpKind::Write) && req.arrays.iter().any(|a| a.section.is_some()) {
+            return Err(PandaError::Protocol {
+                detail: "section writes are not supported".to_string(),
+            });
+        }
+        let sched = CollectiveSchedule::build(
+            &req.arrays,
+            req.op,
+            self.server_idx,
+            self.num_servers,
+            req.subchunk_bytes,
+            req.sync_policy,
+        );
+        if self.obs_on() {
+            for step in &sched.steps {
+                self.emit(&Event::SubchunkPlanned {
+                    key: self.key_of(req.request, step),
+                    bytes: step.sub.bytes as u64,
+                });
+            }
+        }
+        if self.is_master() {
+            st.done.insert(
+                req.request,
+                DoneTrack {
+                    count: 0,
+                    submitter: req.participants.first().copied().unwrap_or(0),
+                },
+            );
+        }
+        Self::disk_send(
+            cmd_tx,
+            DiskCmd::Open {
+                request: req.request,
+                write: matches!(req.op, OpKind::Write),
+                sync_policy: sched.sync_policy,
+                window: depth - 1,
+                files: sched
+                    .files
+                    .iter()
+                    .map(|f| OpenSpec {
+                        name: Self::file_name(&f.tag, self.server_idx),
+                        steps: f.steps,
+                        bytes: f.bytes,
+                    })
+                    .collect(),
+                empty_files: sched
+                    .empty_files
+                    .iter()
+                    .map(|t| Self::file_name(t, self.server_idx))
+                    .collect(),
+            },
+        )?;
+        let mut run = RequestRun {
+            request: req.request,
+            priority: req.priority,
+            participants: req.participants,
+            dir: op_dir(req.op),
+            depth,
+            sched,
+            t_op,
+            ..RequestRun::hollow()
+        };
+        if run.sched.is_empty() {
+            // Nothing to transfer: retire the request's (empty) disk
+            // state straight away.
+            Self::disk_send(
+                cmd_tx,
+                DiskCmd::Close {
+                    request: run.request,
+                },
+            )?;
+            st.disk_pending += 1;
+            run.close_sent = true;
+        }
+        st.live.push(run);
+        Ok(())
+    }
+
+    /// Route an arriving `Data` reply to its run and step; assembly
+    /// happens on the next pump in one parallel pass per burst.
+    fn route_data(
+        &mut self,
+        st: &mut SchedState,
+        request: u64,
+        seq: u64,
+        region: Region,
+        payload: Bytes,
+        wait: Duration,
+    ) -> Result<(), PandaError> {
+        let Some(run) = st.live.iter_mut().find(|r| r.request == request) else {
+            return Err(PandaError::Protocol {
+                detail: format!("data for unknown request {request}"),
+            });
+        };
+        let (si, pi) = run
+            .seq_map
+            .remove(&seq)
+            .ok_or_else(|| PandaError::Protocol {
+                detail: format!("unexpected data seq {seq} for request {request}"),
+            })?;
+        let step = &run.sched.steps[si];
+        debug_assert_eq!(region, step.sub.pieces[pi].region);
+        if self.recorder.enabled() {
+            self.recorder.record(
+                self.my_rank(),
+                &Event::FetchReplied {
+                    key: SubchunkKey::scoped(request, self.server_idx, step.array, step.subchunk),
+                    bytes: payload.len() as u64,
+                    // Only the blocking receive actually waited.
+                    wait,
+                },
+            );
+        }
+        run.pending.push(PendingPiece {
+            step: si,
+            piece: pi,
+            region,
+            payload,
+        });
+        Ok(())
+    }
+
+    /// Process one disk completion.
+    fn disk_done(
+        &mut self,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        done: DiskOut,
+    ) -> Result<(), PandaError> {
+        st.disk_pending -= 1;
+        match done {
+            DiskOut::Free { request, buf } => {
+                if let Some(run) = st.live.iter_mut().find(|r| r.request == request) {
+                    run.disk_queued -= 1;
+                    run.free_bufs.push(buf);
+                }
+                Ok(())
+            }
+            DiskOut::Full { request, buf } => {
+                if let Some(run) = st.live.iter_mut().find(|r| r.request == request) {
+                    run.ready_bufs.push_back(buf);
+                }
+                Ok(())
+            }
+            DiskOut::Closed { request } => self.finish_run(st, cmd_tx, request),
+        }
+    }
+
+    /// A run's disk state is retired: the collective is complete on
+    /// this server. Take part in the completion chain, then (master)
+    /// pull the next queued request into the freed slot.
+    fn finish_run(
+        &mut self,
+        st: &mut SchedState,
+        cmd_tx: &mpsc::Sender<DiskCmd>,
+        request: u64,
+    ) -> Result<(), PandaError> {
+        let idx = st
+            .live
+            .iter()
+            .position(|r| r.request == request)
+            .ok_or_else(|| PandaError::Protocol {
+                detail: format!("disk close for unknown request {request}"),
+            })?;
+        let run = st.live.swap_remove(idx);
+        if let Some(t) = run.t_op {
+            self.emit(&Event::CollectiveDone {
+                request,
+                op: run.dir,
+                dur: t.elapsed(),
+            });
+        }
+        if self.is_master() {
+            self.note_done(st, request)?;
+            // A live slot freed up: admit from the wait queue.
+            while st.live.len() < self.max_concurrent {
+                let Some(req) = st.queue.pop_front() else {
+                    break;
+                };
+                self.relay(&req)?;
+                self.start_run(st, cmd_tx, req)?;
+            }
+        } else {
+            let dst = self.master_server();
+            send_msg(&mut *self.transport, dst, &Msg::ServerDone { request })?;
+        }
+        Ok(())
+    }
+
+    /// Master bookkeeping: one more server finished `request`. Once all
+    /// have (including this one), tell the submitter.
+    fn note_done(&mut self, st: &mut SchedState, request: u64) -> Result<(), PandaError> {
+        let track = st
+            .done
+            .get_mut(&request)
+            .ok_or_else(|| PandaError::Protocol {
+                detail: format!("completion for unknown request {request}"),
+            })?;
+        track.count += 1;
+        if track.count == self.num_servers {
+            let submitter = NodeId(track.submitter as usize);
+            st.done.remove(&request);
+            send_msg(&mut *self.transport, submitter, &Msg::Complete { request })?;
         }
         Ok(())
     }

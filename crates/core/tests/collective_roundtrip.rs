@@ -5,6 +5,7 @@ use panda_fs::FileSystem as _;
 mod common;
 
 use common::*;
+use panda_core::{ReadSet, WriteSet};
 use panda_schema::{Dist, ElementType};
 
 #[test]
@@ -163,7 +164,11 @@ fn multiple_arrays_in_one_collective() {
             let (a, b) = (&a, &b);
             s.spawn(move || {
                 client
-                    .write(&[(a, "a", da.as_slice()), (b, "b", db.as_slice())])
+                    .write_set(&WriteSet::new().array(a, "a", da.as_slice()).array(
+                        b,
+                        "b",
+                        db.as_slice(),
+                    ))
                     .unwrap();
             });
         }
@@ -181,7 +186,11 @@ fn multiple_arrays_in_one_collective() {
             let (a, b) = (&a, &b);
             s.spawn(move || {
                 client
-                    .read(&mut [(a, "a", ba.as_mut_slice()), (b, "b", bb.as_mut_slice())])
+                    .read_set(&mut ReadSet::new().array(a, "a", ba.as_mut_slice()).array(
+                        b,
+                        "b",
+                        bb.as_mut_slice(),
+                    ))
                     .unwrap();
             });
         }
@@ -234,7 +243,7 @@ fn wrong_buffer_size_is_rejected() {
     let (system, mut clients, _mems) = launch_mem(4, 1, 1 << 20);
     let bad = vec![0u8; 3];
     let err = clients[1]
-        .write(&[(&meta, "t", bad.as_slice())])
+        .write_set(&WriteSet::new().array(&meta, "t", bad.as_slice()))
         .unwrap_err();
     assert!(matches!(
         err,
@@ -260,9 +269,10 @@ fn local_fs_end_to_end() {
     );
     let roots: Vec<_> = (0..2).map(|s| root.join(format!("ionode{s}"))).collect();
     let config = PandaConfig::new(4, 2).with_subchunk_bytes(256);
-    let (system, mut clients) = PandaSystem::launch(&config, |s| {
-        Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|s| Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>)
+        .unwrap();
     collective_write(&mut clients, &meta, "t");
     // Concatenate the real files on disk: must be the row-major array.
     let mut cat = Vec::new();

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use panda_core::{ArrayMeta, PandaClient, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaClient, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_schema::copy::offset_in_region;
 use panda_schema::{DataSchema, Dist, ElementType, Mesh, Shape};
@@ -96,9 +96,10 @@ pub fn launch_mem(
     let config = PandaConfig::new(num_clients, num_servers)
         .with_subchunk_bytes(subchunk)
         .with_recv_timeout(std::time::Duration::from_secs(20));
-    let (system, clients) = PandaSystem::launch(&config, move |s| {
-        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-    });
+    let (system, clients) = PandaSystem::builder()
+        .config(config)
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap();
     (system, clients, mems)
 }
 
@@ -115,9 +116,10 @@ pub fn launch_mem_over(
         .with_subchunk_bytes(subchunk)
         .with_pipeline_depth(depth)
         .with_recv_timeout(std::time::Duration::from_secs(20));
-    PandaSystem::launch(&config, move |s| {
-        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-    })
+    PandaSystem::builder()
+        .config(config)
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap()
 }
 
 /// Concatenate each server's file `"<tag>.s<i>"` across servers in
@@ -139,7 +141,8 @@ pub fn collective_write(clients: &mut [PandaClient], meta: &ArrayMeta, tag: &str
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(&datas) {
             s.spawn(move || {
-                client.write(&[(meta, tag, data.as_slice())]).unwrap();
+                let set = WriteSet::new().array(meta, tag, data.as_slice());
+                client.write_set(&set).unwrap();
             });
         }
     });
@@ -154,7 +157,8 @@ pub fn collective_read(clients: &mut [PandaClient], meta: &ArrayMeta, tag: &str)
     std::thread::scope(|s| {
         for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
             s.spawn(move || {
-                client.read(&mut [(meta, tag, buf.as_mut_slice())]).unwrap();
+                let mut set = ReadSet::new().array(meta, tag, buf.as_mut_slice());
+                client.read_set(&mut set).unwrap();
             });
         }
     });

@@ -1,0 +1,42 @@
+//! The 0.6-era positional APIs (`write`/`read`/`read_section` tuple
+//! slices) are deprecated shims over `WriteSet`/`ReadSet`; they must
+//! keep working verbatim for one release.
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_fs::{FileSystem, MemFs};
+use panda_schema::{DataSchema, ElementType, Mesh, Region, Shape};
+
+#[test]
+fn tuple_slice_shims_still_round_trip() {
+    let shape = Shape::new(&[8, 8]).unwrap();
+    let mem = DataSchema::block_all(shape, ElementType::U8, Mesh::new(&[1, 1]).unwrap()).unwrap();
+    let meta = ArrayMeta::natural("t", mem).unwrap();
+    let data: Vec<u8> = (0..64u8).map(|i| i + 1).collect();
+
+    let config = PandaConfig::new(1, 1).with_recv_timeout(std::time::Duration::from_secs(10));
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config)
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
+    let client = &mut clients[0];
+
+    client.write(&[(&meta, "t", data.as_slice())]).unwrap();
+
+    let mut back = vec![0u8; 64];
+    client
+        .read(&mut [(&meta, "t", back.as_mut_slice())])
+        .unwrap();
+    assert_eq!(back, data);
+
+    let section = Region::new(&[0, 0], &[2, 8]).unwrap();
+    let mut sect = vec![0u8; client.section_bytes(&meta, &section)];
+    client
+        .read_section(&meta, "t", &section, &mut sect)
+        .unwrap();
+    assert_eq!(sect, data[..16]);
+
+    system.shutdown(clients).unwrap();
+}

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use common::*;
-use panda_core::{PandaConfig, PandaError, PandaSystem};
+use panda_core::{PandaConfig, PandaError, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_schema::ElementType;
 
@@ -20,8 +20,10 @@ fn missing_client_times_out_instead_of_hanging() {
     let config = PandaConfig::new(4, 2)
         .with_recv_timeout(Duration::from_millis(300))
         .with_subchunk_bytes(1 << 20);
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
 
     let mut results: Vec<Result<(), PandaError>> = Vec::new();
@@ -33,7 +35,9 @@ fn missing_client_times_out_instead_of_hanging() {
             .filter(|(rank, _)| *rank != 3) // client 3 "crashed"
             .map(|(_, (client, data))| {
                 let meta = &meta;
-                s.spawn(move || client.write(&[(meta, "t", data.as_slice())]))
+                s.spawn(move || {
+                    client.write_set(&WriteSet::new().array(meta, "t", data.as_slice()))
+                })
             })
             .collect();
         for h in handles {
@@ -54,8 +58,10 @@ fn missing_client_times_out_instead_of_hanging() {
 #[test]
 fn garbage_message_to_server_is_a_decode_error() {
     let config = PandaConfig::new(1, 1).with_recv_timeout(Duration::from_millis(300));
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     // Hand-craft a corrupt COLLECTIVE message.
     clients[0]
         .transport_mut_for_tests()
@@ -72,15 +78,17 @@ fn garbage_message_to_server_is_a_decode_error() {
 #[test]
 fn unexpected_tag_is_a_protocol_error() {
     let config = PandaConfig::new(1, 1).with_recv_timeout(Duration::from_millis(300));
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     // Servers never expect a RELEASE message.
     clients[0]
         .transport_mut_for_tests()
         .send(
             panda_msg::NodeId(1),
             panda_core::protocol::tags::RELEASE,
-            panda_core::protocol::Msg::Release.encode(),
+            panda_core::protocol::Msg::Release { request: 0 }.encode(),
         )
         .unwrap();
     let err = system.shutdown(clients).map(|_| ()).unwrap_err();
@@ -91,8 +99,10 @@ fn unexpected_tag_is_a_protocol_error() {
 fn read_of_missing_files_surfaces_fs_error() {
     let meta = make_array("t", &[8, 8], ElementType::F64, &[2, 2], DiskSchema::Natural);
     let config = PandaConfig::new(4, 2).with_recv_timeout(Duration::from_millis(500));
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     // Read something that was never written: the servers hit NotFound
     // and abort; clients time out waiting for data.
     let mut results: Vec<Result<(), PandaError>> = Vec::new();
@@ -103,7 +113,11 @@ fn read_of_missing_files_surfaces_fs_error() {
                 let meta = &meta;
                 s.spawn(move || {
                     let mut buf = vec![0u8; meta.client_bytes(client.rank())];
-                    client.read(&mut [(meta, "never_written", buf.as_mut_slice())])
+                    client.read_set(&mut ReadSet::new().array(
+                        meta,
+                        "never_written",
+                        buf.as_mut_slice(),
+                    ))
                 })
             })
             .collect();

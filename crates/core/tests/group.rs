@@ -9,7 +9,9 @@ mod common;
 use std::sync::Arc;
 
 use common::*;
-use panda_core::{ArrayGroup, ArrayMeta, PandaClient, PandaConfig, PandaError, PandaSystem};
+use panda_core::{
+    ArrayGroup, ArrayMeta, PandaClient, PandaConfig, PandaError, PandaSystem, ReadSet, WriteSet,
+};
 use panda_fs::{FileSystem, MemFs, SubmitFs, SyncPolicy};
 use panda_obs::{EventKind, Recorder, TimelineRecorder};
 use panda_schema::ElementType;
@@ -59,13 +61,11 @@ fn concurrent_write(clients: &mut [PandaClient], metas: &[ArrayMeta], tags: &[St
     std::thread::scope(|s| {
         for (client, per_array) in clients.iter_mut().zip(&datas) {
             s.spawn(move || {
-                let ops: Vec<(&ArrayMeta, &str, &[u8])> = metas
-                    .iter()
-                    .zip(tags)
-                    .zip(per_array)
-                    .map(|((m, t), d)| (m, t.as_str(), d.as_slice()))
-                    .collect();
-                client.write(&ops).unwrap();
+                let mut set = WriteSet::new();
+                for ((m, t), d) in metas.iter().zip(tags).zip(per_array) {
+                    set = set.array(m, t.as_str(), d.as_slice());
+                }
+                client.write_set(&set).unwrap();
             });
         }
     });
@@ -86,13 +86,11 @@ fn concurrent_read_check(clients: &mut [PandaClient], metas: &[ArrayMeta], tags:
     std::thread::scope(|s| {
         for (client, per_array) in clients.iter_mut().zip(bufs.iter_mut()) {
             s.spawn(move || {
-                let mut ops: Vec<(&ArrayMeta, &str, &mut [u8])> = metas
-                    .iter()
-                    .zip(tags)
-                    .zip(per_array.iter_mut())
-                    .map(|((m, t), b)| (m, t.as_str(), b.as_mut_slice()))
-                    .collect();
-                client.read(&mut ops).unwrap();
+                let mut set = ReadSet::new();
+                for ((m, t), b) in metas.iter().zip(tags).zip(per_array.iter_mut()) {
+                    set = set.array(m, t.as_str(), b.as_mut_slice());
+                }
+                client.read_set(&mut set).unwrap();
             });
         }
     });
@@ -156,9 +154,12 @@ fn concurrent_group_write_matches_sequential_localfs() {
         let config = PandaConfig::new(CLIENTS, SERVERS)
             .with_subchunk_bytes(256)
             .with_pipeline_depth(depth);
-        PandaSystem::launch(&config, move |s| {
-            Arc::new(panda_fs::LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
-        })
+        PandaSystem::builder()
+            .config(config.clone())
+            .launch(move |s| {
+                Arc::new(panda_fs::LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
+            })
+            .unwrap()
     };
     let read_files = |sub: &str| -> Vec<Vec<u8>> {
         let root = &root;
@@ -266,9 +267,12 @@ fn unified_engine_matches_seed_golden_checksums_localfs() {
         let config = PandaConfig::new(CLIENTS, SERVERS)
             .with_subchunk_bytes(256)
             .with_pipeline_depth(depth);
-        let (system, mut clients) = PandaSystem::launch(&config, move |s| {
-            Arc::new(panda_fs::LocalFs::new(&launch_roots[s]).unwrap()) as Arc<dyn FileSystem>
-        });
+        let (system, mut clients) = PandaSystem::builder()
+            .config(config.clone())
+            .launch(move |s| {
+                Arc::new(panda_fs::LocalFs::new(&launch_roots[s]).unwrap()) as Arc<dyn FileSystem>
+            })
+            .unwrap();
         concurrent_write(&mut clients, &metas, &tags);
         system.shutdown(clients).unwrap();
         assert_seed_golden(depth, |name, s| {
@@ -301,9 +305,12 @@ fn unified_engine_matches_seed_golden_checksums_submitfs() {
             .with_pipeline_depth(depth)
             .with_sync_policy(policy)
             .with_disk_completion_threads(threads);
-        let (system, mut clients) = PandaSystem::launch(&config, move |s| {
-            Arc::new(SubmitFs::new(&launch_roots[s], threads).unwrap()) as Arc<dyn FileSystem>
-        });
+        let (system, mut clients) = PandaSystem::builder()
+            .config(config.clone())
+            .launch(move |s| {
+                Arc::new(SubmitFs::new(&launch_roots[s], threads).unwrap()) as Arc<dyn FileSystem>
+            })
+            .unwrap();
         concurrent_write(&mut clients, &metas, &tags);
         concurrent_read_check(&mut clients, &metas, &tags);
         system.shutdown(clients).unwrap();
@@ -328,9 +335,10 @@ fn sync_policy_controls_barrier_count() {
             .with_pipeline_depth(depth)
             .with_sync_policy(policy)
             .with_recorder(rec.clone() as Arc<dyn Recorder>);
-        let (system, mut clients) = PandaSystem::launch(&config, move |s| {
-            Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-        });
+        let (system, mut clients) = PandaSystem::builder()
+            .config(config.clone())
+            .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+            .unwrap();
         concurrent_write(&mut clients, &metas, &tags);
         system.shutdown(clients).unwrap();
         let events = rec.timeline().expect("timeline recorder keeps events");
@@ -364,9 +372,10 @@ fn group_scheduler_reports_itself() {
         .with_pipeline_depth(3)
         .with_io_workers(2)
         .with_recorder(rec.clone() as Arc<dyn Recorder>);
-    let (system, mut clients) = PandaSystem::launch(&config, move |s| {
-        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap();
     concurrent_write(&mut clients, &metas, &tags);
     concurrent_read_check(&mut clients, &metas, &tags);
     let report = system.report();

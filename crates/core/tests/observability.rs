@@ -29,9 +29,10 @@ fn launch_recorded(
         .with_pipeline_depth(depth)
         .with_recv_timeout(std::time::Duration::from_secs(20))
         .with_recorder(recorder);
-    PandaSystem::launch(&config, move |s| {
-        Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-    })
+    PandaSystem::builder()
+        .config(config.clone())
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap()
 }
 
 #[test]

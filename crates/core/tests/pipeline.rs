@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use common::*;
-use panda_core::{ArrayMeta, PandaConfig, PandaError, PandaSystem};
+use panda_core::{ArrayMeta, PandaConfig, PandaError, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_schema::{Dist, ElementType, Region};
 
@@ -120,9 +120,10 @@ fn depths_interoperate_on_the_same_files_localfs() {
         let config = PandaConfig::new(4, 2)
             .with_subchunk_bytes(256)
             .with_pipeline_depth(depth);
-        PandaSystem::launch(&config, |s| {
-            Arc::new(panda_fs::LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
-        })
+        PandaSystem::builder()
+            .config(config.clone())
+            .launch(|s| Arc::new(panda_fs::LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>)
+            .unwrap()
     };
 
     let (system, mut clients) = launch(3);
@@ -186,7 +187,12 @@ fn run_section_read(
         for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
             s.spawn(move || {
                 client
-                    .read_section(meta, tag, section, buf.as_mut_slice())
+                    .read_set(&mut ReadSet::new().section(
+                        meta,
+                        tag,
+                        section.clone(),
+                        buf.as_mut_slice(),
+                    ))
                     .unwrap();
             });
         }
@@ -205,8 +211,10 @@ fn pipelined_write_with_dead_client_is_a_typed_error_not_a_hang() {
         .with_recv_timeout(Duration::from_millis(300))
         .with_subchunk_bytes(64)
         .with_pipeline_depth(3);
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     let datas: Vec<Vec<u8>> = (0..4).map(|r| pattern_chunk(&meta, r)).collect();
 
     let mut results: Vec<Result<(), PandaError>> = Vec::new();
@@ -218,7 +226,9 @@ fn pipelined_write_with_dead_client_is_a_typed_error_not_a_hang() {
             .filter(|(rank, _)| *rank != 3) // client 3 "crashed"
             .map(|(_, (client, data))| {
                 let meta = &meta;
-                s.spawn(move || client.write(&[(meta, "t", data.as_slice())]))
+                s.spawn(move || {
+                    client.write_set(&WriteSet::new().array(meta, "t", data.as_slice()))
+                })
             })
             .collect();
         for h in handles {
@@ -261,7 +271,11 @@ fn multi_array_pipelined_roundtrip() {
             let (a, b) = (&a, &b);
             s.spawn(move || {
                 client
-                    .write(&[(a, "a", ad.as_slice()), (b, "b", bd.as_slice())])
+                    .write_set(&WriteSet::new().array(a, "a", ad.as_slice()).array(
+                        b,
+                        "b",
+                        bd.as_slice(),
+                    ))
                     .unwrap();
             });
         }
@@ -277,7 +291,11 @@ fn multi_array_pipelined_roundtrip() {
             let (a, b) = (&a, &b);
             s.spawn(move || {
                 client
-                    .read(&mut [(a, "a", ab.as_mut_slice()), (b, "b", bb.as_mut_slice())])
+                    .read_set(&mut ReadSet::new().array(a, "a", ab.as_mut_slice()).array(
+                        b,
+                        "b",
+                        bb.as_mut_slice(),
+                    ))
                     .unwrap();
             });
         }

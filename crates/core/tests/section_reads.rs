@@ -5,7 +5,7 @@
 mod common;
 
 use common::*;
-use panda_core::PandaClient;
+use panda_core::{PandaClient, ReadSet};
 use panda_fs::FileSystem as _;
 use panda_schema::copy::offset_in_region;
 use panda_schema::{ElementType, Region};
@@ -48,7 +48,12 @@ fn run_section_read(
         for (client, buf) in clients.iter_mut().zip(bufs.iter_mut()) {
             s.spawn(move || {
                 client
-                    .read_section(meta, tag, section, buf.as_mut_slice())
+                    .read_set(&mut ReadSet::new().section(
+                        meta,
+                        tag,
+                        section.clone(),
+                        buf.as_mut_slice(),
+                    ))
                     .unwrap();
             });
         }
@@ -147,7 +152,7 @@ fn wrong_section_buffer_size_rejected() {
     let section = Region::new(&[0, 0], &[2, 2]).unwrap();
     let mut bad = vec![0u8; 3];
     let err = clients[1]
-        .read_section(&meta, "t", &section, &mut bad)
+        .read_set(&mut ReadSet::new().section(&meta, "t", section.clone(), &mut bad))
         .unwrap_err();
     assert!(matches!(
         err,

@@ -4,7 +4,7 @@
 mod common;
 
 use common::*;
-use panda_core::{build_server_plan, client_manifest};
+use panda_core::{build_server_plan, client_manifest, WriteSet};
 use panda_schema::ElementType;
 
 #[test]
@@ -65,7 +65,11 @@ fn mixed_overrides_in_one_group() {
             let (coarse, fine) = (&coarse, &fine);
             s.spawn(move || {
                 client
-                    .write(&[(coarse, "c", dc.as_slice()), (fine, "f", df.as_slice())])
+                    .write_set(&WriteSet::new().array(coarse, "c", dc.as_slice()).array(
+                        fine,
+                        "f",
+                        df.as_slice(),
+                    ))
                     .unwrap();
             });
         }

@@ -30,13 +30,11 @@ fn launch_tcp(
     let config = PandaConfig::new(num_clients, num_servers)
         .with_subchunk_bytes(subchunk)
         .with_recv_timeout(Duration::from_secs(20));
-    let (system, clients) = PandaSystem::launch_over(
-        &config,
-        transports,
-        move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>,
-        Arc::new(FabricStats::new()),
-    )
-    .expect("launch over tcp");
+    let (system, clients) = PandaSystem::builder()
+        .config(config)
+        .transports(transports, Arc::new(FabricStats::new()))
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .expect("launch over tcp");
     (system, clients, mems)
 }
 

@@ -1,0 +1,469 @@
+//! Multi-tenant service mode: concurrent session requests interleaving
+//! on shared I/O nodes must honor admission control (typed rejection
+//! when saturated, queue drain otherwise), never starve a tenant, and
+//! produce byte-identical files whether requests run one at a time or
+//! interleaved. Request-scoped observability must attribute each
+//! event to the request that caused it.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use panda_core::{
+    AdmissionIssue, ArrayMeta, PandaConfig, PandaError, PandaService, PandaSystem, ReadSet,
+    Session, WriteSet,
+};
+use panda_fs::{FileHandle, FileSystem, FsError, IoStats, MemFs};
+use panda_obs::{Recorder, TimelineRecorder};
+use panda_schema::{DataSchema, ElementType, Mesh, Shape};
+
+/// A single-node-mesh array (the session-mode requirement): this
+/// session's buffer covers the whole array.
+fn solo_meta(name: &str, dims: &[usize]) -> ArrayMeta {
+    let shape = Shape::new(dims).unwrap();
+    let mesh = Mesh::new(&vec![1; dims.len()]).unwrap();
+    let mem = DataSchema::block_all(shape, ElementType::U8, mesh).unwrap();
+    ArrayMeta::natural(name, mem).unwrap()
+}
+
+/// Deterministic per-tenant payload, never zero.
+fn tenant_bytes(seed: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((seed.wrapping_mul(131).wrapping_add(i.wrapping_mul(7))) % 251) as u8 + 1)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// A gate that blocks the disk stage's writes until released, so a test
+// can hold one request live on the server deterministically.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct GateState {
+    open: bool,
+    reached: bool,
+}
+
+#[derive(Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// Called from the disk thread: note that a write arrived, then
+    /// block until the gate opens.
+    fn pass(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.reached = true;
+        self.cv.notify_all();
+        while !st.open {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Block the test thread until some write has reached the gate.
+    fn wait_reached(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.reached {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.open = true;
+        self.cv.notify_all();
+    }
+}
+
+/// MemFs whose write path blocks on a [`Gate`].
+struct GateFs {
+    inner: Arc<MemFs>,
+    gate: Arc<Gate>,
+}
+
+struct GateHandle {
+    inner: Box<dyn FileHandle>,
+    gate: Arc<Gate>,
+}
+
+impl FileHandle for GateHandle {
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        self.gate.pass();
+        self.inner.write_at(offset, data)
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), FsError> {
+        self.inner.read_at(offset, buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sync(&mut self) -> Result<(), FsError> {
+        self.inner.sync()
+    }
+}
+
+impl FileSystem for GateFs {
+    fn create(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        Ok(Box::new(GateHandle {
+            inner: self.inner.create(path)?,
+            gate: Arc::clone(&self.gate),
+        }))
+    }
+
+    fn open(&self, path: &str) -> Result<Box<dyn FileHandle>, FsError> {
+        Ok(Box::new(GateHandle {
+            inner: self.inner.open(path)?,
+            gate: Arc::clone(&self.gate),
+        }))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn remove(&self, path: &str) -> Result<(), FsError> {
+        self.inner.remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        self.inner.stats()
+    }
+}
+
+fn serve_gated(
+    sessions: usize,
+    max_concurrent: usize,
+    max_queued: usize,
+) -> (PandaService, Arc<MemFs>, Arc<Gate>) {
+    let mem = Arc::new(MemFs::new());
+    let gate = Arc::new(Gate::default());
+    let (fs, g) = (Arc::clone(&mem), Arc::clone(&gate));
+    let service = PandaSystem::builder()
+        .config(
+            PandaConfig::new(sessions, 1)
+                .with_max_concurrent_collectives(max_concurrent)
+                .with_max_queued_collectives(max_queued)
+                .with_recv_timeout(Duration::from_secs(20)),
+        )
+        .serve(move |_| {
+            Arc::new(GateFs {
+                inner: Arc::clone(&fs),
+                gate: Arc::clone(&g),
+            }) as Arc<dyn FileSystem>
+        })
+        .unwrap();
+    (service, mem, gate)
+}
+
+#[test]
+fn saturated_service_rejects_with_typed_error() {
+    let (mut service, mem, gate) = serve_gated(2, 1, 0);
+    let a = service.open().unwrap();
+    let mut b = service.open().unwrap();
+    assert!(service.open().is_none(), "only two slots configured");
+
+    let meta = solo_meta("t", &[8, 8]);
+    let data_a = tenant_bytes(1, 64);
+    let data_b = tenant_bytes(2, 64);
+
+    let (a, req_a) = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let mut a = a;
+            let req = a
+                .write_set(&WriteSet::new().array(&meta, "a", &data_a))
+                .unwrap();
+            (a, req)
+        });
+        // A's request is live on the server (its first disk write is
+        // parked at the gate). A second submission must be rejected
+        // *typed*, not blocked: max_concurrent 1, queue 0.
+        gate.wait_reached();
+        let err = b
+            .write_set(&WriteSet::new().array(&meta, "b", &data_b))
+            .unwrap_err();
+        match err {
+            PandaError::Admission {
+                issue: AdmissionIssue::Saturated { live, max },
+            } => {
+                assert_eq!((live, max), (1, 1));
+            }
+            other => panic!("expected Saturated admission error, got {other}"),
+        }
+        gate.open();
+        h.join().unwrap()
+    });
+
+    // The slot is free again: the rejected tenant retries and succeeds.
+    let req_b = b
+        .write_set(&WriteSet::new().array(&meta, "b", &data_b))
+        .unwrap();
+    assert_ne!(req_a, req_b);
+    assert_eq!(mem.contents("a.s0").unwrap(), data_a);
+    assert_eq!(mem.contents("b.s0").unwrap(), data_b);
+    service.shutdown(vec![a, b]).unwrap();
+}
+
+#[test]
+fn queued_request_drains_when_slot_frees() {
+    let (mut service, mem, gate) = serve_gated(2, 1, 8);
+    let a = service.open().unwrap();
+    let b = service.open().unwrap();
+
+    let meta = solo_meta("t", &[8, 8]);
+    let data_a = tenant_bytes(3, 64);
+    let data_b = tenant_bytes(4, 64);
+
+    let (a, b, req_a, req_b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| {
+            let mut a = a;
+            let req = a
+                .write_set(&WriteSet::new().array(&meta, "a", &data_a))
+                .unwrap();
+            (a, req)
+        });
+        gate.wait_reached();
+        // B is admitted into the queue (not rejected) and blocks until
+        // A's slot frees.
+        let hb = s.spawn(|| {
+            let mut b = b;
+            let req = b
+                .write_set(&WriteSet::new().array(&meta, "b", &data_b))
+                .unwrap();
+            (b, req)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        gate.open();
+        let (a, req_a) = ha.join().unwrap();
+        let (b, req_b) = hb.join().unwrap();
+        (a, b, req_a, req_b)
+    });
+
+    assert_ne!(req_a, req_b);
+    assert_eq!(mem.contents("a.s0").unwrap(), data_a);
+    assert_eq!(mem.contents("b.s0").unwrap(), data_b);
+    service.shutdown(vec![a, b]).unwrap();
+}
+
+/// Eight tenants submitting at once, more than the concurrency limit:
+/// every request completes (queued ones drain, nobody starves), every
+/// request id is distinct, and every tenant reads its own bytes back.
+#[test]
+fn eight_concurrent_sessions_none_starve() {
+    const TENANTS: usize = 8;
+    let mems: Vec<Arc<MemFs>> = (0..2).map(|_| Arc::new(MemFs::new())).collect();
+    let handles = mems.clone();
+    let mut service = PandaSystem::builder()
+        .config(
+            PandaConfig::new(TENANTS, 2)
+                .with_max_concurrent_collectives(3)
+                .with_max_queued_collectives(TENANTS)
+                .with_recv_timeout(Duration::from_secs(30)),
+        )
+        .serve(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap();
+
+    let sessions: Vec<Session> = (0..TENANTS).map(|_| service.open().unwrap()).collect();
+    let metas: Vec<ArrayMeta> = (0..TENANTS)
+        .map(|i| solo_meta(&format!("t{i}"), &[16, 16]))
+        .collect();
+
+    let (sessions, ids) = std::thread::scope(|s| {
+        let joins: Vec<_> = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut sess)| {
+                let meta = &metas[i];
+                s.spawn(move || {
+                    let data = tenant_bytes(i, 256);
+                    let tag = format!("t{i}");
+                    let req = sess
+                        .write_set(&WriteSet::new().array(meta, tag.as_str(), &data))
+                        .unwrap();
+                    let mut back = vec![0u8; 256];
+                    sess.read_set(&mut ReadSet::new().array(meta, tag.as_str(), &mut back))
+                        .unwrap();
+                    assert_eq!(back, data, "tenant {i} read back wrong bytes");
+                    (sess, req)
+                })
+            })
+            .collect();
+        let mut sessions = Vec::new();
+        let mut ids = Vec::new();
+        for j in joins {
+            let (sess, req) = j.join().unwrap();
+            sessions.push(sess);
+            ids.push(req);
+        }
+        (sessions, ids)
+    });
+
+    let mut unique = ids.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(
+        unique.len(),
+        TENANTS,
+        "request ids must be distinct: {ids:?}"
+    );
+    service.shutdown(sessions).unwrap();
+}
+
+const TENANTS: usize = 4;
+
+/// Run `TENANTS` session writes over the given backends.
+fn run_tenant_writes(max_concurrent: usize, fs_for: impl Fn(usize) -> Arc<dyn FileSystem> + Send) {
+    let mut service = PandaSystem::builder()
+        .config(
+            PandaConfig::new(TENANTS, 2)
+                .with_max_concurrent_collectives(max_concurrent)
+                .with_max_queued_collectives(TENANTS)
+                .with_subchunk_bytes(64)
+                .with_recv_timeout(Duration::from_secs(30)),
+        )
+        .serve(fs_for)
+        .unwrap();
+    let sessions: Vec<Session> = (0..TENANTS).map(|_| service.open().unwrap()).collect();
+    let metas: Vec<ArrayMeta> = (0..TENANTS)
+        .map(|i| solo_meta(&format!("t{i}"), &[16, 16]))
+        .collect();
+    let sessions = std::thread::scope(|s| {
+        let joins: Vec<_> = sessions
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut sess)| {
+                let meta = &metas[i];
+                s.spawn(move || {
+                    let data = tenant_bytes(i.wrapping_mul(17), 256);
+                    let tag = format!("t{i}");
+                    sess.write_set(&WriteSet::new().array(meta, tag.as_str(), &data))
+                        .unwrap();
+                    sess
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    service.shutdown(sessions).unwrap();
+}
+
+/// Every file's bytes across the given MemFs backends, sorted by name.
+fn memfs_snapshot(mems: &[Arc<MemFs>]) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+    for (s, fs) in mems.iter().enumerate() {
+        for name in fs.list() {
+            files.push((format!("s{s}/{name}"), fs.contents(&name).unwrap()));
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn interleaved_requests_write_identical_bytes_memfs() {
+    let run = |conc: usize| {
+        let mems: Vec<Arc<MemFs>> = (0..2).map(|_| Arc::new(MemFs::new())).collect();
+        let handles = mems.clone();
+        run_tenant_writes(conc, move |s| {
+            Arc::clone(&handles[s]) as Arc<dyn FileSystem>
+        });
+        memfs_snapshot(&mems)
+    };
+    let sequential = run(1);
+    let interleaved = run(4);
+    assert!(!sequential.is_empty());
+    assert_eq!(
+        sequential, interleaved,
+        "interleaving requests changed bytes on disk"
+    );
+}
+
+#[test]
+fn interleaved_requests_write_identical_bytes_localfs() {
+    let root = std::env::temp_dir().join(format!("panda-tenancy-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let run = |sub: &str, conc: usize| {
+        let sub_root = root.join(sub);
+        let fs_root = sub_root.clone();
+        run_tenant_writes(conc, move |s| {
+            Arc::new(panda_fs::LocalFs::new(fs_root.join(format!("ionode{s}"))).unwrap())
+                as Arc<dyn FileSystem>
+        });
+        let mut files: Vec<(String, Vec<u8>)> = Vec::new();
+        for s in 0..2 {
+            let dir = sub_root.join(format!("ionode{s}"));
+            for entry in std::fs::read_dir(&dir).unwrap() {
+                let entry = entry.unwrap();
+                let name = entry.file_name().into_string().unwrap();
+                files.push((format!("s{s}/{name}"), std::fs::read(entry.path()).unwrap()));
+            }
+        }
+        files.sort();
+        files
+    };
+    let sequential = run("seq", 1);
+    let interleaved = run("conc", 4);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, interleaved);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The observability bugfix: phase decomposition and event keys are
+/// scoped by request id, so one tenant's report never absorbs
+/// another's concurrent work.
+#[test]
+fn run_report_scopes_phases_by_request() {
+    let rec = Arc::new(TimelineRecorder::with_capacity(8192));
+    let mut service = PandaSystem::builder()
+        .config(
+            PandaConfig::new(2, 1)
+                .with_max_concurrent_collectives(2)
+                .with_recv_timeout(Duration::from_secs(20))
+                .with_recorder(rec.clone() as Arc<dyn Recorder>),
+        )
+        .serve(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
+    let mut a = service.open().unwrap();
+    let mut b = service.open().unwrap();
+
+    let meta_a = solo_meta("a", &[8, 8]);
+    let meta_b = solo_meta("b", &[16, 16]);
+    let data_a = tenant_bytes(9, 64);
+    let data_b = tenant_bytes(11, 256);
+    let req_a = a
+        .write_set(&WriteSet::new().array(&meta_a, "a", &data_a))
+        .unwrap();
+    let req_b = b
+        .write_set(&WriteSet::new().array(&meta_b, "b", &data_b))
+        .unwrap();
+    assert_ne!(req_a, req_b);
+    assert_eq!(a.last_request_id(), Some(req_a));
+
+    let report_a = panda_obs::RunReport::for_request(rec.as_ref(), req_a);
+    let report_b = panda_obs::RunReport::for_request(rec.as_ref(), req_b);
+    assert!(
+        !report_a.per_subchunk.is_empty() && !report_b.per_subchunk.is_empty(),
+        "both requests must have recorded subchunk work"
+    );
+    for sc in &report_a.per_subchunk {
+        assert_eq!(sc.key.request, req_a, "foreign subchunk in a's report");
+    }
+    for sc in &report_b.per_subchunk {
+        assert_eq!(sc.key.request, req_b, "foreign subchunk in b's report");
+    }
+    // A request id that never ran reports nothing.
+    let empty = panda_obs::RunReport::for_request(rec.as_ref(), 0xdead_beef);
+    assert!(empty.per_subchunk.is_empty());
+
+    service.shutdown(vec![a, b]).unwrap();
+}

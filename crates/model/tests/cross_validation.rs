@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use panda_core::protocol::tags;
-use panda_core::{ArrayMeta, OpKind, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, OpKind, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_model::{simulate, CollectiveSpec, Sp2Machine};
 use panda_schema::{DataSchema, Dist, ElementType, Mesh, Shape};
@@ -85,15 +85,21 @@ fn run_real(
     let config = PandaConfig::new(meta.num_clients(), servers)
         .with_subchunk_bytes(subchunk)
         .with_pipeline_depth(depth);
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     let datas: Vec<Vec<u8>> = (0..meta.num_clients())
         .map(|r| vec![1u8; meta.client_bytes(r)])
         .collect();
     // Write first (also the file source for the read case).
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(&datas) {
-            s.spawn(move || client.write(&[(meta, "x", data.as_slice())]).unwrap());
+            s.spawn(move || {
+                client
+                    .write_set(&WriteSet::new().array(meta, "x", data.as_slice()))
+                    .unwrap()
+            });
         }
     });
     let fetch_w = system.fabric_stats.tag_counts(tags::FETCH);
@@ -108,7 +114,9 @@ fn run_real(
         for (client, data) in clients.iter_mut().zip(&datas) {
             let mut buf = vec![0u8; data.len()];
             s.spawn(move || {
-                client.read(&mut [(meta, "x", buf.as_mut_slice())]).unwrap();
+                client
+                    .read_set(&mut ReadSet::new().array(meta, "x", buf.as_mut_slice()))
+                    .unwrap();
             });
         }
     });
@@ -172,15 +180,21 @@ fn section_read_message_counts_match_exactly() {
         // Real runtime.
         let config = PandaConfig::new(case.meta.num_clients(), case.servers)
             .with_subchunk_bytes(case.subchunk);
-        let (system, mut clients) =
-            PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+        let (system, mut clients) = PandaSystem::builder()
+            .config(config.clone())
+            .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+            .unwrap();
         let datas: Vec<Vec<u8>> = (0..case.meta.num_clients())
             .map(|r| vec![1u8; case.meta.client_bytes(r)])
             .collect();
         std::thread::scope(|s| {
             for (client, data) in clients.iter_mut().zip(&datas) {
                 let meta = &case.meta;
-                s.spawn(move || client.write(&[(meta, "x", data.as_slice())]).unwrap());
+                s.spawn(move || {
+                    client
+                        .write_set(&WriteSet::new().array(meta, "x", data.as_slice()))
+                        .unwrap()
+                });
             }
         });
         let data_before = system.fabric_stats.tag_counts(tags::DATA);
@@ -189,7 +203,9 @@ fn section_read_message_counts_match_exactly() {
                 let (meta, section) = (&case.meta, &section);
                 s.spawn(move || {
                     let mut buf = vec![0u8; client.section_bytes(meta, section)];
-                    client.read_section(meta, "x", section, &mut buf).unwrap();
+                    client
+                        .read_set(&mut ReadSet::new().section(meta, "x", section.clone(), &mut buf))
+                        .unwrap();
                 });
             }
         });

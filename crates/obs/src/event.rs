@@ -6,6 +6,10 @@ use std::time::Duration;
 /// paper's transfer schedule (and our pipeline window) operates on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubchunkKey {
+    /// Request id of the collective the subchunk belongs to (0 when the
+    /// run predates request scoping or scoping is not needed). Ordered
+    /// first so sorted reports group concurrent requests apart.
+    pub request: u64,
     /// Server index (0-based among the I/O nodes).
     pub server: u32,
     /// Array index within the collective request.
@@ -15,9 +19,15 @@ pub struct SubchunkKey {
 }
 
 impl SubchunkKey {
-    /// Construct a key.
+    /// Construct an unscoped key (request id 0).
     pub fn new(server: usize, array: u32, subchunk: usize) -> Self {
+        Self::scoped(0, server, array, subchunk)
+    }
+
+    /// Construct a key scoped to one collective request.
+    pub fn scoped(request: u64, server: usize, array: u32, subchunk: usize) -> Self {
         SubchunkKey {
+            request,
             server: server as u32,
             array,
             subchunk: subchunk as u32,
@@ -54,6 +64,8 @@ impl OpDir {
 pub enum Event<'a> {
     /// A server accepted a collective request (master relays included).
     RequestIssued {
+        /// Request id of the collective (0 when unscoped).
+        request: u64,
         /// Write or read.
         op: OpDir,
         /// Number of arrays in the request.
@@ -140,6 +152,8 @@ pub enum Event<'a> {
     },
     /// A node finished its share of a collective operation.
     CollectiveDone {
+        /// Request id of the collective (0 when unscoped).
+        request: u64,
         /// Write or read.
         op: OpDir,
         /// Wall time of the node's participation.
@@ -147,6 +161,8 @@ pub enum Event<'a> {
     },
     /// A client packed a requested region for a `Fetch` reply.
     ClientPacked {
+        /// Request id of the collective (0 when unscoped).
+        request: u64,
         /// Array index within the collective request.
         array: u32,
         /// The fetch sequence number being answered.
@@ -158,6 +174,8 @@ pub enum Event<'a> {
     },
     /// A client unpacked a delivered region into its buffer.
     ClientUnpacked {
+        /// Request id of the collective (0 when unscoped).
+        request: u64,
         /// Array index within the collective request.
         array: u32,
         /// The piece's sequence number.
@@ -558,6 +576,21 @@ impl Event<'_> {
         }
     }
 
+    /// The collective request this event belongs to, when it is scoped
+    /// to one: keyed events carry the request in their key; the
+    /// request-lifecycle and client copy events carry it directly. A
+    /// recorded id of 0 means "unscoped" and is reported as `None`.
+    pub fn request(&self) -> Option<u64> {
+        let id = match self {
+            Event::RequestIssued { request, .. }
+            | Event::CollectiveDone { request, .. }
+            | Event::ClientPacked { request, .. }
+            | Event::ClientUnpacked { request, .. } => *request,
+            _ => self.key().map(|k| k.request).unwrap_or(0),
+        };
+        (id != 0).then_some(id)
+    }
+
     /// Sequential-or-seek classification for file-system accesses.
     pub fn sequential(&self) -> Option<bool> {
         match self {
@@ -637,6 +670,15 @@ mod tests {
         assert_eq!(e.bytes(), 64);
         assert_eq!(e.dur(), Some(Duration::from_millis(3)));
         assert_eq!(e.kind().phase(), Some(Phase::Exchange));
+        assert_eq!(e.request(), None, "request id 0 reads as unscoped");
+
+        let scoped = SubchunkKey::scoped(9, 1, 0, 7);
+        let e = Event::DiskWriteQueued {
+            key: scoped,
+            bytes: 64,
+        };
+        assert_eq!(e.request(), Some(9));
+        assert!(scoped > key, "request orders first in sorted reports");
 
         let e = Event::FsWrite {
             file: "a.s0",

@@ -80,6 +80,7 @@ mod tests {
         rec.record(
             0,
             &Event::RequestIssued {
+                request: 0,
                 op: crate::OpDir::Write,
                 arrays: 1,
                 pipeline_depth: 1,

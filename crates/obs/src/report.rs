@@ -138,6 +138,47 @@ impl RunReport {
         }
     }
 
+    /// Aggregate only the events of one collective request. Concurrent
+    /// collectives interleave on shared nodes; this filters the
+    /// timeline by request id before decomposing, so one request's
+    /// report never absorbs another's exchange/disk/reorg time.
+    /// Requires a timeline-keeping recorder — aggregate counters are
+    /// not request-scoped, so `counters` is always `None` here and
+    /// phase totals come from the filtered timeline.
+    pub fn for_request(recorder: &dyn Recorder, request: u64) -> RunReport {
+        let events: Vec<TimelineEvent> = recorder
+            .timeline()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|e| e.request == Some(request))
+            .collect();
+        let mut phases = PhaseTotals::default();
+        for e in &events {
+            if let Some(phase) = e.kind.phase() {
+                phases.add(phase, e.dur_nanos as f64 / 1e9);
+            }
+        }
+        let (wall_s, per_node, per_subchunk, cross_array_overlap_s) = if events.is_empty() {
+            (0.0, Vec::new(), Vec::new(), 0.0)
+        } else {
+            (
+                wall_span(&events),
+                per_node_phases(&events),
+                per_subchunk_phases(&events),
+                cross_array_overlap(&events),
+            )
+        };
+        RunReport {
+            wall_s,
+            phases,
+            per_node,
+            per_subchunk,
+            cross_array_overlap_s,
+            counters: None,
+            dropped_events: recorder.dropped(),
+        }
+    }
+
     /// Serialize as one JSON object (schema [`REPORT_SCHEMA`]).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -167,7 +208,9 @@ impl RunReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("{\"server\":");
+            out.push_str("{\"request\":");
+            out.push_str(&s.key.request.to_string());
+            out.push_str(",\"server\":");
             out.push_str(&s.key.server.to_string());
             out.push_str(",\"array\":");
             out.push_str(&s.key.array.to_string());
@@ -449,6 +492,47 @@ mod tests {
             "overlapping spans of different arrays must register"
         );
         assert!(report.to_json().contains("\"cross_array_overlap_s\""));
+    }
+
+    #[test]
+    fn per_request_reports_do_not_blend() {
+        // Two concurrent requests on one node: each scoped report sees
+        // only its own disk time; the global report sees both.
+        let rec = TimelineRecorder::new();
+        rec.record(
+            2,
+            &Event::DiskWriteDone {
+                key: SubchunkKey::scoped(11, 0, 0, 0),
+                offset: 0,
+                bytes: 256,
+                dur: Duration::from_millis(6),
+            },
+        );
+        rec.record(
+            2,
+            &Event::DiskWriteDone {
+                key: SubchunkKey::scoped(12, 0, 0, 0),
+                offset: 0,
+                bytes: 512,
+                dur: Duration::from_millis(2),
+            },
+        );
+        let global = RunReport::from_recorder(&rec);
+        assert!((global.phases.get(Phase::Disk) - 0.008).abs() < 1e-9);
+
+        let r11 = RunReport::for_request(&rec, 11);
+        assert!((r11.phases.get(Phase::Disk) - 0.006).abs() < 1e-9);
+        assert_eq!(r11.per_subchunk.len(), 1);
+        assert_eq!(r11.per_subchunk[0].key.request, 11);
+        assert_eq!(r11.per_subchunk[0].bytes, 256);
+        assert!(r11.to_json().contains("\"request\":11"));
+
+        let r12 = RunReport::for_request(&rec, 12);
+        assert!((r12.phases.get(Phase::Disk) - 0.002).abs() < 1e-9);
+
+        let empty = RunReport::for_request(&rec, 99);
+        assert_eq!(empty.per_subchunk.len(), 0);
+        assert_eq!(empty.wall_s, 0.0);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct TimelineEvent {
     pub node: u32,
     /// Event kind.
     pub kind: EventKind,
+    /// Collective request id, for request-scoped events.
+    pub request: Option<u64>,
     /// Subchunk key, for keyed events.
     pub key: Option<SubchunkKey>,
     /// Bytes the event accounts for.
@@ -140,11 +142,23 @@ impl TimelineRecorder {
                 out.push_str(&v);
             };
             if let Some(key) = e.key {
+                // Unscoped keys keep the pre-tenancy `s…a…c…` shape so
+                // existing trace consumers are unaffected.
+                let prefix = match key.request {
+                    0 => String::new(),
+                    r => format!("r{r}"),
+                };
                 arg(
                     &mut out,
                     "key",
-                    format!("\"s{}a{}c{}\"", key.server, key.array, key.subchunk),
+                    format!(
+                        "\"{}s{}a{}c{}\"",
+                        prefix, key.server, key.array, key.subchunk
+                    ),
                 );
+            }
+            if let Some(request) = e.request {
+                arg(&mut out, "request", request.to_string());
             }
             if e.bytes > 0 {
                 arg(&mut out, "bytes", e.bytes.to_string());
@@ -178,6 +192,7 @@ impl Recorder for TimelineRecorder {
             ts_nanos,
             node,
             kind: event.kind(),
+            request: event.request(),
             key: event.key(),
             bytes: event.bytes(),
             dur_nanos: event.dur().unwrap_or(Duration::ZERO).as_nanos() as u64,
@@ -217,6 +232,7 @@ mod tests {
         rec.record(
             4,
             &Event::RequestIssued {
+                request: 0,
                 op: OpDir::Write,
                 arrays: 1,
                 pipeline_depth: 2,
@@ -283,5 +299,23 @@ mod tests {
         assert!(trace.contains("\"ph\":\"i\""), "has instant events");
         assert!(trace.contains("\"name\":\"fetch_replied\""));
         assert!(trace.contains("\"key\":\"s0a0c3\""));
+    }
+
+    #[test]
+    fn request_scoped_keys_are_prefixed_in_traces() {
+        let rec = TimelineRecorder::new();
+        rec.record(
+            4,
+            &Event::DiskWriteQueued {
+                key: SubchunkKey::scoped(7, 0, 1, 2),
+                bytes: 64,
+            },
+        );
+        let tl = rec.timeline().unwrap();
+        assert_eq!(tl[0].request, Some(7));
+        let trace = rec.to_chrome_trace();
+        json::validate(&trace).expect("trace parses");
+        assert!(trace.contains("\"key\":\"r7s0a1c2\""));
+        assert!(trace.contains("\"request\":7"));
     }
 }

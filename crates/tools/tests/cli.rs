@@ -26,9 +26,10 @@ fn produce_dataset(root: &Path, servers: usize) -> Vec<PathBuf> {
         DataSchema::traditional_order(shape, ElementType::F64, servers).unwrap(),
     )
     .unwrap();
-    let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(4, servers), |s| {
-        Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(PandaConfig::new(4, servers).clone())
+        .launch(|s| Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>)
+        .unwrap();
     std::thread::scope(|s| {
         for client in clients.iter_mut() {
             let meta = &meta;

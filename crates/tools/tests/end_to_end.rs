@@ -49,10 +49,14 @@ fn write_then_inspect_offline() {
 
     let (temperature, pressure) = arrays();
     // Produce the dataset.
-    let (system, mut clients) = PandaSystem::launch(
-        &PandaConfig::new(4, SERVERS).with_subchunk_bytes(128),
-        |s| Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>,
-    );
+    let (system, mut clients) = PandaSystem::builder()
+        .config(
+            PandaConfig::new(4, SERVERS)
+                .with_subchunk_bytes(128)
+                .clone(),
+        )
+        .launch(|s| Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>)
+        .unwrap();
     std::thread::scope(|s| {
         for client in clients.iter_mut() {
             let (temperature, pressure) = (&temperature, &pressure);

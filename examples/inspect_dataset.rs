@@ -44,9 +44,10 @@ fn main() {
         .collect();
 
     // --- produce a dataset -------------------------------------------------
-    let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(4, SERVERS), |s| {
-        Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(PandaConfig::new(4, SERVERS).clone())
+        .launch(|s| Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>)
+        .unwrap();
     std::thread::scope(|s| {
         for client in clients.iter_mut() {
             s.spawn(move || {
@@ -110,8 +111,10 @@ fn main() {
     // --- show the access pattern via a recorded in-memory run --------------
     let rec = Arc::new(TimelineRecorder::new());
     let config = PandaConfig::new(4, SERVERS).with_recorder(rec.clone());
-    let (system, mut clients) =
-        PandaSystem::launch(&config, |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>);
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     std::thread::scope(|s| {
         for client in clients.iter_mut() {
             s.spawn(move || {

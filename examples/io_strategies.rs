@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use panda_core::baseline::naive::naive_write;
 use panda_core::baseline::two_phase::two_phase_write;
-use panda_core::{ArrayMeta, OpKind, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, OpKind, PandaConfig, PandaSystem, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_model::baseline_model::{model_naive, model_two_phase};
 use panda_model::{simulate, CollectiveSpec, Sp2Machine};
@@ -35,10 +35,10 @@ fn meta() -> ArrayMeta {
 fn launch(meta: &ArrayMeta) -> (PandaSystem, Vec<panda_core::PandaClient>, Vec<Arc<MemFs>>) {
     let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
     let handles = mems.clone();
-    let (system, clients) =
-        PandaSystem::launch(&PandaConfig::new(meta.num_clients(), SERVERS), move |s| {
-            Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-        });
+    let (system, clients) = PandaSystem::builder()
+        .config(PandaConfig::new(meta.num_clients(), SERVERS).clone())
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap();
     (system, clients, mems)
 }
 
@@ -74,7 +74,11 @@ fn main() {
     std::thread::scope(|s| {
         for (client, data) in clients.iter_mut().zip(&datas) {
             let meta = &meta;
-            s.spawn(move || client.write(&[(meta, "field", data.as_slice())]).unwrap());
+            s.spawn(move || {
+                client
+                    .write_set(&WriteSet::new().array(meta, "field", data.as_slice()))
+                    .unwrap()
+            });
         }
     });
     let sd = simulate(

@@ -188,9 +188,10 @@ fn main() {
     let (temperature, residual) = arrays();
     let num_clients = temperature.num_clients();
 
-    let (system, mut clients) = PandaSystem::launch(&PandaConfig::new(num_clients, 3), |_| {
-        Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(PandaConfig::new(num_clients, 3).clone())
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     // A second fabric for the application's own halo exchange.
     let (halo_eps, _) = panda_msg::InProcFabric::new(num_clients);
 

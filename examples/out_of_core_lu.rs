@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_msg::{Group, InProcFabric};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
@@ -109,10 +109,14 @@ fn factor_block(b: &mut [f64]) {
 
 fn main() {
     let meta = panel_meta();
-    let (system, mut clients) = PandaSystem::launch(
-        &PandaConfig::new(CLIENTS, SERVERS).with_subchunk_bytes(8 << 10),
-        |_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>,
-    );
+    let (system, mut clients) = PandaSystem::builder()
+        .config(
+            PandaConfig::new(CLIENTS, SERVERS)
+                .with_subchunk_bytes(8 << 10)
+                .clone(),
+        )
+        .launch(|_| Arc::new(MemFs::new()) as Arc<dyn FileSystem>)
+        .unwrap();
     let (bcast_eps, _) = InProcFabric::new(CLIENTS);
     let group = Group::range(0, CLIENTS);
 
@@ -131,7 +135,11 @@ fn main() {
                 for j in 0..PANELS {
                     let p = initial_panel(rank, j);
                     client
-                        .write(&[(meta, &format!("lu/panel{j}"), p.as_slice())])
+                        .write_set(&WriteSet::new().array(
+                            meta,
+                            format!("lu/panel{j}"),
+                            p.as_slice(),
+                        ))
                         .unwrap();
                 }
 
@@ -140,7 +148,11 @@ fn main() {
                 for k in 0..PANELS {
                     let mut buf = vec![0u8; meta.client_bytes(rank)];
                     client
-                        .read(&mut [(meta, &format!("lu/panel{k}"), buf.as_mut_slice())])
+                        .read_set(&mut ReadSet::new().array(
+                            meta,
+                            format!("lu/panel{k}"),
+                            buf.as_mut_slice(),
+                        ))
                         .unwrap();
                     let mut pk = to_f64(&buf);
 
@@ -172,14 +184,22 @@ fn main() {
                         }
                     }
                     client
-                        .write(&[(meta, &format!("lu/panel{k}"), to_bytes(&pk).as_slice())])
+                        .write_set(&WriteSet::new().array(
+                            meta,
+                            format!("lu/panel{k}"),
+                            to_bytes(&pk).as_slice(),
+                        ))
                         .unwrap();
 
                     // Trailing update, one panel at a time.
                     for j in k + 1..PANELS {
                         let mut jbuf = vec![0u8; meta.client_bytes(rank)];
                         client
-                            .read(&mut [(meta, &format!("lu/panel{j}"), jbuf.as_mut_slice())])
+                            .read_set(&mut ReadSet::new().array(
+                                meta,
+                                format!("lu/panel{j}"),
+                                jbuf.as_mut_slice(),
+                            ))
                             .unwrap();
                         let mut pj = to_f64(&jbuf);
 
@@ -221,7 +241,11 @@ fn main() {
                             }
                         }
                         client
-                            .write(&[(meta, &format!("lu/panel{j}"), to_bytes(&pj).as_slice())])
+                            .write_set(&WriteSet::new().array(
+                                meta,
+                                format!("lu/panel{j}"),
+                                to_bytes(&pj).as_slice(),
+                            ))
                             .unwrap();
                     }
                 }
@@ -233,7 +257,11 @@ fn main() {
                 for j in 0..PANELS {
                     let mut buf = vec![0u8; meta.client_bytes(rank)];
                     client
-                        .read(&mut [(meta, &format!("lu/panel{j}"), buf.as_mut_slice())])
+                        .read_set(&mut ReadSet::new().array(
+                            meta,
+                            format!("lu/panel{j}"),
+                            buf.as_mut_slice(),
+                        ))
                         .unwrap();
                     let p = to_f64(&buf);
                     for r in 0..W {

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, LocalFs};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
@@ -33,9 +33,10 @@ fn main() {
     //    file system (as on the SP2, where every I/O node ran AIX).
     let roots: Vec<_> = (0..2).map(|s| root.join(format!("ionode{s}"))).collect();
     let config = PandaConfig::new(4, 2);
-    let (system, mut clients) = PandaSystem::launch(&config, |s| {
-        Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>
-    });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(config.clone())
+        .launch(|s| Arc::new(LocalFs::new(&roots[s]).unwrap()) as Arc<dyn FileSystem>)
+        .unwrap();
 
     // 3. Each compute node fills its chunk and joins the collective
     //    write; then everyone reads it back.
@@ -51,11 +52,13 @@ fn main() {
                     data.extend_from_slice(&(rank as f64 * 1e6 + i as f64).to_le_bytes());
                 }
 
-                client.write(&[(meta, "temperature", &data[..])]).unwrap();
+                client
+                    .write_set(&WriteSet::new().array(meta, "temperature", &data[..]))
+                    .unwrap();
 
                 let mut back = vec![0u8; data.len()];
                 client
-                    .read(&mut [(meta, "temperature", &mut back[..])])
+                    .read_set(&mut ReadSet::new().array(meta, "temperature", &mut back[..]))
                     .unwrap();
                 assert_eq!(back, data, "roundtrip must be exact");
                 println!("client {rank}: wrote and re-read {} bytes OK", data.len());

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use panda_core::{ArrayMeta, PandaConfig, PandaSystem};
+use panda_core::{ArrayMeta, PandaConfig, PandaSystem, WriteSet};
 use panda_fs::{FileSystem, MemFs};
 use panda_schema::copy::offset_in_region;
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
@@ -49,15 +49,17 @@ fn fill_chunk(meta: &ArrayMeta, rank: usize) -> Vec<u8> {
 fn run_write(meta: &ArrayMeta, label: &str) -> (Vec<Arc<MemFs>>, u64, u64) {
     let mems: Vec<Arc<MemFs>> = (0..SERVERS).map(|_| Arc::new(MemFs::new())).collect();
     let handles = mems.clone();
-    let (system, mut clients) =
-        PandaSystem::launch(&PandaConfig::new(meta.num_clients(), SERVERS), move |s| {
-            Arc::clone(&handles[s]) as Arc<dyn FileSystem>
-        });
+    let (system, mut clients) = PandaSystem::builder()
+        .config(PandaConfig::new(meta.num_clients(), SERVERS).clone())
+        .launch(move |s| Arc::clone(&handles[s]) as Arc<dyn FileSystem>)
+        .unwrap();
     std::thread::scope(|scope| {
         for client in clients.iter_mut() {
             scope.spawn(move || {
                 let data = fill_chunk(meta, client.rank());
-                client.write(&[(meta, "density", &data[..])]).unwrap();
+                client
+                    .write_set(&WriteSet::new().array(meta, "density", &data[..]))
+                    .unwrap();
             });
         }
     });
