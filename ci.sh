@@ -55,4 +55,29 @@ if command -v python3 >/dev/null; then
 fi
 rm -f "$tenancy_out"
 
+# Tuner smoke: calibrate on each backend profile and race the tuned
+# operating point against fixed depths. The gate: on MemFs the tuned
+# cell must not be more than 5% slower than the best fixed-depth cell
+# — the auto-tuner is allowed to tie, never to clearly lose.
+tuner_out=$(mktemp /tmp/panda_tuner_ci.XXXXXX.json)
+cargo run --release -q -p panda-bench --bin tuner -- --quick --out "$tuner_out"
+if command -v python3 >/dev/null; then
+  python3 - "$tuner_out" <<'PY'
+import json, sys
+cells = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+memfs = [c for c in cells if c["profile"] == "memfs"]
+assert memfs, "tuner bench emitted no memfs cells"
+tuned = [c for c in memfs if c["mode"] == "tuned"]
+fixed = [c for c in memfs if c["mode"].startswith("fixed/")]
+assert len(tuned) == 1 and fixed, "memfs profile missing tuned or fixed cells"
+best_fixed = min(c["measured_wall_s"] for c in fixed)
+wall = tuned[0]["measured_wall_s"]
+assert wall <= 1.05 * best_fixed, (
+    f"tuned cell {wall:.6f}s is >5% slower than best fixed {best_fixed:.6f}s"
+)
+print(f"tuner gate: tuned {wall:.6f}s vs best fixed {best_fixed:.6f}s ok")
+PY
+fi
+rm -f "$tuner_out"
+
 echo "ci: all green"

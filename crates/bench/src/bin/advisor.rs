@@ -4,64 +4,12 @@
 //!
 //! Uses the paper's flagship configuration: a 512 MB `512x512x512` f32
 //! array distributed `BLOCK,BLOCK,BLOCK` over 32 compute nodes
-//! (4x4x2), with 8 I/O nodes.
+//! (4x4x2), with 8 I/O nodes. The report itself is rendered by
+//! `panda_model::advisor::flagship_report`, which a golden test pins to
+//! the committed `results/advisor.txt`.
 
-use panda_model::advisor::{advise, Workload};
-use panda_model::Sp2Machine;
-use panda_schema::{DataSchema, ElementType, Mesh, Shape};
-
-fn show(title: &str, workload: &Workload, memory: &DataSchema, servers: usize) {
-    let machine = Sp2Machine::nas_sp2();
-    println!("workload: {title}");
-    println!(
-        "  ({} collective writes, {} collective reads, {} sequential consumer scans)",
-        workload.writes, workload.reads, workload.consumer_scans
-    );
-    println!(
-        "{:<38} {:>10} {:>10} {:>12} {:>12}",
-        "disk schema", "write (s)", "read (s)", "consumer (s)", "total (s)"
-    );
-    for p in advise(&machine, "array", memory, servers, workload) {
-        println!(
-            "{:<38} {:>10.1} {:>10.1} {:>12.1} {:>12.0}",
-            p.label, p.write_s, p.read_s, p.consumer_s, p.total_s
-        );
-    }
-    println!();
-}
+use panda_model::advisor::flagship_report;
 
 fn main() {
-    let shape = Shape::new(&[512, 512, 512]).unwrap();
-    let memory =
-        DataSchema::block_all(shape, ElementType::F32, Mesh::new(&[4, 4, 2]).unwrap()).unwrap();
-    println!("memory schema: {}", memory.describe());
-    println!("i/o nodes:     8");
-    println!();
-    show(
-        "write-heavy production run",
-        &Workload::write_heavy(),
-        &memory,
-        8,
-    );
-    show(
-        "visualization pipeline",
-        &Workload::consumer_heavy(),
-        &memory,
-        8,
-    );
-    show(
-        "balanced",
-        &Workload {
-            writes: 20.0,
-            reads: 5.0,
-            consumer_scans: 2.0,
-        },
-        &memory,
-        8,
-    );
-    println!("expected shape: natural chunking wins whenever the data stays on the");
-    println!("parallel machine; a traditional-order schema wins as soon as sequential");
-    println!("consumers scan the dataset, because chunked layouts make a row-major");
-    println!("scan seek at every chunk boundary (paper §2: declare the disk schema");
-    println!("\"when users know how the data will be accessed in the future\").");
+    print!("{}", flagship_report());
 }

@@ -17,45 +17,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use panda_bench::report::{write_lines, BenchOpts, JsonLine};
 use panda_core::{ArrayGroup, ArrayMeta, GroupData, PandaConfig, PandaSystem};
 use panda_fs::{FileSystem, LocalFs, SubmitFs, SyncPolicy};
-use panda_obs::json;
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
 const CLIENTS: usize = 4;
 const SERVERS: usize = 2;
 /// Completion threads per SubmitFs instance (recorded in the JSON).
 const THREADS: usize = 2;
-
-struct Opts {
-    quick: bool,
-    out: String,
-}
-
-fn parse_args() -> Opts {
-    let mut opts = Opts {
-        quick: false,
-        out: "results/BENCH_disk.json".to_string(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--out" => match args.next() {
-                Some(path) => opts.out = path,
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown option {other}; supported: --quick --out <path>");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
 
 /// The same 4-array simulation group as the group bench.
 fn group(rows: usize) -> ArrayGroup {
@@ -176,38 +146,24 @@ fn snapshot(root: &Path) -> Vec<(String, Vec<u8>)> {
 
 fn json_line(cell: &Cell, m: &Measurement) -> String {
     let mb_s = m.bytes as f64 / (1024.0 * 1024.0) / m.wall_s;
-    let mut out = String::with_capacity(256);
-    out.push_str("{\"id\":");
-    json::push_str(
-        &mut out,
-        &format!(
-            "disk/{}/{}/depth{}",
-            cell.backend.name(),
-            cell.sync.name(),
-            cell.depth
-        ),
-    );
-    out.push_str(",\"backend\":");
-    json::push_str(&mut out, cell.backend.name());
-    out.push_str(",\"sync\":");
-    json::push_str(&mut out, cell.sync.name());
-    out.push_str(",\"depth\":");
-    out.push_str(&cell.depth.to_string());
-    out.push_str(",\"threads\":");
-    out.push_str(&THREADS.to_string());
-    out.push_str(",\"bytes\":");
-    out.push_str(&m.bytes.to_string());
-    out.push_str(",\"wall_s\":");
-    json::push_f64(&mut out, m.wall_s);
-    out.push_str(",\"mb_s\":");
-    json::push_f64(&mut out, mb_s);
-    out.push('}');
-    json::validate(&out).expect("disk bench emitted invalid JSON");
-    out
+    JsonLine::new(&format!(
+        "disk/{}/{}/depth{}",
+        cell.backend.name(),
+        cell.sync.name(),
+        cell.depth
+    ))
+    .str("backend", cell.backend.name())
+    .str("sync", cell.sync.name())
+    .usize("depth", cell.depth)
+    .usize("threads", THREADS)
+    .usize("bytes", m.bytes)
+    .f64("wall_s", m.wall_s)
+    .f64("mb_s", mb_s)
+    .finish()
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = BenchOpts::parse("results/BENCH_disk.json", false);
     let (rows, steps) = if opts.quick { (64, 2) } else { (512, 8) };
     let cells: Vec<Cell> = {
         let mut cells = Vec::new();
@@ -284,16 +240,9 @@ fn main() {
         );
     }
 
-    let mut doc = String::new();
-    for (i, m) in &results {
-        doc.push_str(&json_line(&cells[*i], m));
-        doc.push('\n');
-    }
-    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&opts.out, &doc).expect("write disk report");
-    println!("wrote {}", opts.out);
+    let lines: Vec<String> = results
+        .iter()
+        .map(|(i, m)| json_line(&cells[*i], m))
+        .collect();
+    write_lines(&opts.out, &lines);
 }

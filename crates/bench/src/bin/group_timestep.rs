@@ -17,9 +17,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
+use panda_bench::report::{write_lines, BenchOpts, JsonLine};
 use panda_core::{ArrayGroup, ArrayMeta, GroupData, PandaConfig, PandaSystem, WriteSet};
 use panda_fs::{FileSystem, LocalFs, ThrottledFs};
-use panda_obs::{json, Phase, RunReport, TimelineRecorder};
+use panda_obs::{Phase, RunReport, TimelineRecorder};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
 const CLIENTS: usize = 4;
@@ -29,39 +30,6 @@ const SERVERS: usize = 2;
 /// a CI smoke run.
 const DISK_MB_S: f64 = 300.0;
 const OP_OVERHEAD_US: u64 = 100;
-
-struct Opts {
-    quick: bool,
-    csv: bool,
-    out: String,
-}
-
-fn parse_args() -> Opts {
-    let mut opts = Opts {
-        quick: false,
-        csv: false,
-        out: "results/BENCH_group.json".to_string(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--csv" => opts.csv = true,
-            "--out" => match args.next() {
-                Some(path) => opts.out = path,
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown option {other}; supported: --quick --csv --out <path>");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
 
 /// The paper's Figure 2 cast: a 4-array simulation group.
 fn group(rows: usize) -> ArrayGroup {
@@ -180,24 +148,17 @@ struct DepthResult {
 }
 
 fn json_line(rows: usize, mode: &str, depth: usize, run: &ModeRun) -> String {
-    let mut out = String::with_capacity(2048);
-    out.push_str("{\"id\":");
-    json::push_str(&mut out, &format!("group_timestep/{mode}/depth{depth}"));
-    out.push_str(",\"arrays\":4,\"array_bytes\":");
-    out.push_str(&(rows * rows * 8).to_string());
-    out.push_str(",\"measured_wall_s\":");
-    json::push_f64(&mut out, run.wall_s);
-    out.push_str(",\"cross_array_overlap_s\":");
-    json::push_f64(&mut out, run.report.cross_array_overlap_s);
-    out.push_str(",\"report\":");
-    out.push_str(&run.report.to_json());
-    out.push('}');
-    json::validate(&out).expect("group bench emitted invalid JSON");
-    out
+    JsonLine::new(&format!("group_timestep/{mode}/depth{depth}"))
+        .usize("arrays", 4)
+        .usize("array_bytes", rows * rows * 8)
+        .f64("measured_wall_s", run.wall_s)
+        .f64("cross_array_overlap_s", run.report.cross_array_overlap_s)
+        .raw("report", &run.report.to_json())
+        .finish()
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = BenchOpts::parse("results/BENCH_group.json", true);
     let rows = if opts.quick { 64 } else { 256 };
     let depths: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4] };
     let scratch = std::env::temp_dir().join(format!("panda-group-bench-{}", std::process::id()));
@@ -263,18 +224,10 @@ fn main() {
         );
     }
 
-    let mut doc = String::new();
+    let mut lines = Vec::new();
     for r in &results {
-        doc.push_str(&json_line(rows, "sequential", r.depth, &r.seq));
-        doc.push('\n');
-        doc.push_str(&json_line(rows, "concurrent", r.depth, &r.conc));
-        doc.push('\n');
+        lines.push(json_line(rows, "sequential", r.depth, &r.seq));
+        lines.push(json_line(rows, "concurrent", r.depth, &r.conc));
     }
-    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&opts.out, &doc).expect("write group report");
-    println!("wrote {}", opts.out);
+    write_lines(&opts.out, &lines);
 }

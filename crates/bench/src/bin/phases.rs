@@ -12,9 +12,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use panda_bench::report::{write_lines, BenchOpts, JsonLine};
 use panda_core::{ArrayMeta, PandaConfig, PandaSystem, ReadSet, WriteSet};
 use panda_fs::{FileSystem, MemFs, ThrottledFs};
-use panda_obs::{json, Phase, RunReport, TimelineRecorder};
+use panda_obs::{Phase, RunReport, TimelineRecorder};
 use panda_schema::copy::offset_in_region;
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
@@ -23,39 +24,6 @@ const SERVERS: usize = 2;
 /// Throttled disk bandwidth (MB/s). Slow enough that disk time is the
 /// dominant, clearly measurable phase; fast enough for a CI smoke run.
 const DISK_MB_S: f64 = 600.0;
-
-struct Opts {
-    quick: bool,
-    csv: bool,
-    out: String,
-}
-
-fn parse_args() -> Opts {
-    let mut opts = Opts {
-        quick: false,
-        csv: false,
-        out: "results/BENCH_phases.json".to_string(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--csv" => opts.csv = true,
-            "--out" => match args.next() {
-                Some(path) => opts.out = path,
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown option {other}; supported: --quick --csv --out <path>");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
 
 fn make_array(rows: usize) -> ArrayMeta {
     let shape = Shape::new(&[rows, rows]).unwrap();
@@ -151,22 +119,15 @@ fn run_depth(meta: &ArrayMeta, depth: usize) -> DepthRun {
 }
 
 fn json_line(meta: &ArrayMeta, run: &DepthRun) -> String {
-    let mut out = String::with_capacity(2048);
-    out.push_str("{\"id\":");
-    json::push_str(&mut out, &format!("phases/write_read/depth{}", run.depth));
-    out.push_str(",\"array_bytes\":");
-    out.push_str(&meta.total_bytes().to_string());
-    out.push_str(",\"measured_wall_s\":");
-    json::push_f64(&mut out, run.wall_s);
-    out.push_str(",\"report\":");
-    out.push_str(&run.report.to_json());
-    out.push('}');
-    json::validate(&out).expect("phases bench emitted invalid JSON");
-    out
+    JsonLine::new(&format!("phases/write_read/depth{}", run.depth))
+        .usize("array_bytes", meta.total_bytes())
+        .f64("measured_wall_s", run.wall_s)
+        .raw("report", &run.report.to_json())
+        .finish()
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = BenchOpts::parse("results/BENCH_phases.json", true);
     let meta = make_array(if opts.quick { 64 } else { 256 });
     let depths: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4, 8] };
 
@@ -218,12 +179,6 @@ fn main() {
         );
     }
 
-    let doc: String = runs.iter().map(|r| json_line(&meta, r) + "\n").collect();
-    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&opts.out, &doc).expect("write phase report");
-    println!("wrote {}", opts.out);
+    let lines: Vec<String> = runs.iter().map(|r| json_line(&meta, r)).collect();
+    write_lines(&opts.out, &lines);
 }

@@ -19,9 +19,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use panda_bench::report::{write_lines, BenchOpts, JsonLine};
 use panda_core::{ArrayMeta, PandaConfig, PandaSystem, Session, WriteSet};
 use panda_fs::{FileSystem, MemFs, ThrottledFs};
-use panda_obs::json;
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
 const SERVERS: usize = 2;
@@ -30,36 +30,6 @@ const INTERLEAVED_SLOTS: usize = 8;
 const DISK_READ_MB_S: f64 = 200.0;
 const DISK_WRITE_MB_S: f64 = 150.0;
 const DISK_OP_OVERHEAD: Duration = Duration::from_micros(20);
-
-struct Opts {
-    quick: bool,
-    out: String,
-}
-
-fn parse_args() -> Opts {
-    let mut opts = Opts {
-        quick: false,
-        out: "results/BENCH_tenancy.json".to_string(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--out" => match args.next() {
-                Some(path) => opts.out = path,
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!("unknown option {other}; supported: --quick --out <path>");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
 
 /// Each tenant's array: single-node memory mesh (the session-mode
 /// requirement), traditional order across the I/O nodes.
@@ -178,32 +148,20 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 fn json_line(mode: &str, tenants: usize, requests: usize, m: &Measurement) -> String {
     let mb_s = m.bytes as f64 / (1024.0 * 1024.0) / m.wall_s;
-    let mut out = String::with_capacity(256);
-    out.push_str("{\"id\":");
-    json::push_str(&mut out, &format!("tenancy/{mode}/n{tenants}"));
-    out.push_str(",\"mode\":");
-    json::push_str(&mut out, mode);
-    out.push_str(",\"tenants\":");
-    out.push_str(&tenants.to_string());
-    out.push_str(",\"requests_per_tenant\":");
-    out.push_str(&requests.to_string());
-    out.push_str(",\"bytes\":");
-    out.push_str(&m.bytes.to_string());
-    out.push_str(",\"wall_s\":");
-    json::push_f64(&mut out, m.wall_s);
-    out.push_str(",\"mb_s\":");
-    json::push_f64(&mut out, mb_s);
-    out.push_str(",\"p50_ms\":");
-    json::push_f64(&mut out, percentile(&m.latencies_s, 0.50) * 1e3);
-    out.push_str(",\"p99_ms\":");
-    json::push_f64(&mut out, percentile(&m.latencies_s, 0.99) * 1e3);
-    out.push('}');
-    json::validate(&out).expect("tenancy bench emitted invalid JSON");
-    out
+    JsonLine::new(&format!("tenancy/{mode}/n{tenants}"))
+        .str("mode", mode)
+        .usize("tenants", tenants)
+        .usize("requests_per_tenant", requests)
+        .usize("bytes", m.bytes)
+        .f64("wall_s", m.wall_s)
+        .f64("mb_s", mb_s)
+        .f64("p50_ms", percentile(&m.latencies_s, 0.50) * 1e3)
+        .f64("p99_ms", percentile(&m.latencies_s, 0.99) * 1e3)
+        .finish()
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = BenchOpts::parse("results/BENCH_tenancy.json", false);
     let tenant_counts: &[usize] = if opts.quick {
         &[4, 8]
     } else {
@@ -223,7 +181,7 @@ fn main() {
         "mode", "tenants", "wall (s)", "MB/s", "p50 (ms)", "p99 (ms)"
     );
 
-    let mut doc = String::new();
+    let mut lines = Vec::new();
     for &tenants in tenant_counts {
         let (seq, seq_files) = run_cell(tenants, requests, rows, 1);
         let (conc, conc_files) = run_cell(tenants, requests, rows, INTERLEAVED_SLOTS);
@@ -241,16 +199,9 @@ fn main() {
                 percentile(&m.latencies_s, 0.50) * 1e3,
                 percentile(&m.latencies_s, 0.99) * 1e3,
             );
-            doc.push_str(&json_line(mode, tenants, requests, m));
-            doc.push('\n');
+            lines.push(json_line(mode, tenants, requests, m));
         }
     }
 
-    if let Some(dir) = std::path::Path::new(&opts.out).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("create output directory");
-        }
-    }
-    std::fs::write(&opts.out, &doc).expect("write tenancy report");
-    println!("wrote {}", opts.out);
+    write_lines(&opts.out, &lines);
 }

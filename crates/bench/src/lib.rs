@@ -18,6 +18,8 @@
 use panda_model::experiment::{FigPoint, FigureSpec, PAPER_SIZES_MB};
 use panda_model::Sp2Machine;
 
+pub mod report;
+
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone, Default)]
 pub struct HarnessOpts {

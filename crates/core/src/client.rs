@@ -30,6 +30,7 @@ use panda_schema::{copy, Region};
 use crate::array::ArrayMeta;
 use crate::error::PandaError;
 use crate::request::{ReadSet, WriteSet};
+use crate::tuned::TunedConfig;
 
 use crate::protocol::{recv_msg, send_data, send_msg, ArrayOp, CollectiveRequest, Msg, OpKind};
 
@@ -169,6 +170,13 @@ impl PandaClient {
         self.last_request
     }
 
+    /// The deployment's observability recorder (every node shares one).
+    /// Calibration passes scope it per request via
+    /// [`panda_obs::RunReport::for_request`].
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
     fn master_server(&self) -> NodeId {
         NodeId(self.num_clients)
     }
@@ -238,7 +246,7 @@ impl PandaClient {
         let lens: Vec<usize> = set.items.iter().map(|i| i.data.len()).collect();
         self.check_buffers(&heads, &lens, mesh)?;
         let t_op = self.obs_on().then(Instant::now);
-        let want = self.start_collective(OpKind::Write, &heads, None, mode)?;
+        let want = self.start_collective(OpKind::Write, &heads, None, mode, set.tuning.as_ref())?;
 
         let mut xfer: Vec<XferArray<'_>> = set
             .items
@@ -304,7 +312,10 @@ impl PandaClient {
             }
         }
 
-        // How many pieces will land here, per the shared planner.
+        // How many pieces will land here, per the shared planner. The
+        // planner must see the same subchunk cap the servers will use,
+        // so a per-request override applies here too.
+        let subchunk = set.tuning.map_or(self.subchunk_bytes, |t| t.subchunk_bytes);
         let expected: usize = set
             .items
             .iter()
@@ -313,7 +324,7 @@ impl PandaClient {
                     i.meta,
                     mesh,
                     self.num_servers,
-                    self.subchunk_bytes,
+                    subchunk,
                     i.section.as_ref(),
                 )
                 .pieces
@@ -322,7 +333,13 @@ impl PandaClient {
 
         let sections: Vec<Option<Region>> = set.items.iter().map(|i| i.section.clone()).collect();
         let t_op = self.obs_on().then(Instant::now);
-        let want = self.start_collective(OpKind::Read, &heads, Some(&sections), mode)?;
+        let want = self.start_collective(
+            OpKind::Read,
+            &heads,
+            Some(&sections),
+            mode,
+            set.tuning.as_ref(),
+        )?;
 
         let mut xfer: Vec<XferArray<'_>> = set
             .items
@@ -539,13 +556,25 @@ impl PandaClient {
 
     /// Submit the high-level collective request, if this client is the
     /// submitter for `mode`. Returns the minted request id when it is.
+    ///
+    /// A per-request `tuning` override replaces the session's subchunk
+    /// cap and pipeline depth on the wire. It is validated here, at
+    /// submit time, with the same typed checks [`crate::PandaConfig`]
+    /// applies at launch — the servers never see values the launch path
+    /// would have rejected.
     fn start_collective(
         &mut self,
         op: OpKind,
         arrays: &[(&ArrayMeta, &str)],
         sections: Option<&[Option<Region>]>,
         mode: SubmitMode,
+        tuning: Option<&TunedConfig>,
     ) -> Result<Option<u64>, PandaError> {
+        if let Some(t) = tuning {
+            t.validate(self.sync_policy)?;
+        }
+        let subchunk_bytes = tuning.map_or(self.subchunk_bytes, |t| t.subchunk_bytes);
+        let pipeline_depth = tuning.map_or(self.pipeline_depth, |t| t.pipeline_depth);
         let (participants, priority): (Vec<u32>, u8) = match mode {
             SubmitMode::Fleet => {
                 if !self.is_master() {
@@ -565,7 +594,7 @@ impl PandaClient {
                 OpKind::Read => OpDir::Read,
             },
             arrays: arrays.len() as u32,
-            pipeline_depth: self.pipeline_depth as u32,
+            pipeline_depth: pipeline_depth as u32,
         });
         let req = CollectiveRequest {
             request,
@@ -581,8 +610,8 @@ impl PandaClient {
                     section: sections.and_then(|s| s[i].clone()),
                 })
                 .collect(),
-            subchunk_bytes: self.subchunk_bytes,
-            pipeline_depth: self.pipeline_depth,
+            subchunk_bytes,
+            pipeline_depth,
             sync_policy: self.sync_policy,
         };
         let dst = self.master_server();

@@ -166,6 +166,11 @@ pub enum ConfigIssue {
         /// Compute nodes the array's memory schema is distributed over.
         clients: usize,
     },
+    /// Calibration needs the per-subchunk phase decomposition, which
+    /// only a timeline-keeping recorder provides. Launch with
+    /// `PandaConfig::with_recorder(Arc::new(TimelineRecorder::new()))`
+    /// (or any recorder whose `timeline()` is `Some`).
+    CalibrationNeedsTimeline,
 }
 
 impl fmt::Display for ConfigIssue {
@@ -217,6 +222,12 @@ impl fmt::Display for ConfigIssue {
                 f,
                 "session collectives are single-submitter but array '{array}' is \
                  distributed over {clients} compute nodes"
+            ),
+            ConfigIssue::CalibrationNeedsTimeline => write!(
+                f,
+                "calibration requires a timeline-keeping recorder (launch with \
+                 PandaConfig::with_recorder(TimelineRecorder) so per-subchunk \
+                 phase durations are available)"
             ),
         }
     }

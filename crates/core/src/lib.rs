@@ -107,6 +107,7 @@ pub mod request;
 pub mod runtime;
 pub mod server;
 pub mod session;
+pub mod tuned;
 
 pub use array::ArrayMeta;
 pub use client::PandaClient;
@@ -120,3 +121,4 @@ pub use protocol::OpKind;
 pub use request::{ReadSet, WriteSet};
 pub use runtime::{PandaConfig, PandaSystem, PandaSystemBuilder};
 pub use session::{PandaService, Session};
+pub use tuned::TunedConfig;

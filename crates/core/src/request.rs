@@ -13,6 +13,7 @@
 use panda_schema::Region;
 
 use crate::array::ArrayMeta;
+use crate::tuned::TunedConfig;
 
 /// One array in a [`WriteSet`].
 pub(crate) struct WriteItem<'a> {
@@ -39,12 +40,16 @@ pub(crate) struct WriteItem<'a> {
 #[derive(Default)]
 pub struct WriteSet<'a> {
     pub(crate) items: Vec<WriteItem<'a>>,
+    pub(crate) tuning: Option<TunedConfig>,
 }
 
 impl<'a> WriteSet<'a> {
     /// An empty set.
     pub fn new() -> Self {
-        WriteSet { items: Vec::new() }
+        WriteSet {
+            items: Vec::new(),
+            tuning: None,
+        }
     }
 
     /// Add one array: its metadata, file tag, and this node's chunk.
@@ -59,6 +64,18 @@ impl<'a> WriteSet<'a> {
             tag: file_tag.into(),
             data,
         });
+        self
+    }
+
+    /// Run this collective at `tuned`'s operating point: its
+    /// `subchunk_bytes` and `pipeline_depth` override the session's
+    /// values for this one request (they ride the request's existing
+    /// wire fields). The point is validated at submit time with the
+    /// same typed checks as [`crate::PandaConfig`]
+    /// ([`TunedConfig::validate`]); `io_workers` is launch-scoped and
+    /// participates only in that validation.
+    pub fn tuned(mut self, tuned: &TunedConfig) -> Self {
+        self.tuning = Some(*tuned);
         self
     }
 
@@ -92,12 +109,23 @@ pub(crate) struct ReadItem<'a> {
 #[derive(Default)]
 pub struct ReadSet<'a> {
     pub(crate) items: Vec<ReadItem<'a>>,
+    pub(crate) tuning: Option<TunedConfig>,
 }
 
 impl<'a> ReadSet<'a> {
     /// An empty set.
     pub fn new() -> Self {
-        ReadSet { items: Vec::new() }
+        ReadSet {
+            items: Vec::new(),
+            tuning: None,
+        }
+    }
+
+    /// Run this collective at `tuned`'s operating point — the mirror of
+    /// [`WriteSet::tuned`].
+    pub fn tuned(mut self, tuned: &TunedConfig) -> Self {
+        self.tuning = Some(*tuned);
+        self
     }
 
     /// Add one whole-array read into `data`.
@@ -181,5 +209,19 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert!(set.items[0].section.is_none());
         assert_eq!(set.items[1].section, Some(region));
+    }
+
+    #[test]
+    fn tuned_attaches_the_operating_point() {
+        let m = meta();
+        let data = vec![1u8; 16];
+        let tuned = TunedConfig::new(4096, 2, 2);
+        let set = WriteSet::new().array(&m, "a", &data).tuned(&tuned);
+        assert_eq!(set.tuning, Some(tuned));
+        assert!(WriteSet::new().tuning.is_none());
+
+        let mut buf = vec![0u8; 16];
+        let set = ReadSet::new().array(&m, "a", &mut buf).tuned(&tuned);
+        assert_eq!(set.tuning, Some(tuned));
     }
 }

@@ -223,6 +223,7 @@ pub struct PandaSystem {
     recorder: Arc<dyn Recorder>,
     num_clients: usize,
     num_servers: usize,
+    io_workers: usize,
 }
 
 /// Caller-supplied fabric: one transport per node, plus the shared
@@ -383,6 +384,7 @@ impl PandaSystemBuilder {
                 recorder: Arc::clone(&config.recorder),
                 num_clients: config.num_clients,
                 num_servers: config.num_servers,
+                io_workers: config.io_workers,
             },
             clients,
         ))
@@ -480,6 +482,13 @@ impl PandaSystem {
     /// Number of I/O nodes.
     pub fn num_servers(&self) -> usize {
         self.num_servers
+    }
+
+    /// Reorganization worker threads per I/O node (the launched
+    /// [`PandaConfig::io_workers`]). Launch-scoped: a tuner can pick a
+    /// different value only for the *next* deployment, not per request.
+    pub fn io_workers(&self) -> usize {
+        self.io_workers
     }
 
     /// Shut the deployment down: the master client tells every server to

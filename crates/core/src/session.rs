@@ -83,6 +83,14 @@ impl PandaService {
         self.idle.len()
     }
 
+    /// Return a session's slot to the pool; a later [`PandaService::open`]
+    /// can reuse it. This is how short-lived tenants — for example a
+    /// calibration probe — borrow an endpoint without holding it for
+    /// the service's lifetime.
+    pub fn close(&mut self, session: Session) {
+        self.idle.push(session.client);
+    }
+
     /// The underlying deployment, for inspection (file systems, fabric
     /// statistics, observability reports).
     pub fn system(&self) -> &PandaSystem {
@@ -123,11 +131,28 @@ impl Session {
         self.priority = priority;
     }
 
+    /// Number of I/O nodes in the deployment this session talks to.
+    pub fn num_servers(&self) -> usize {
+        self.client.num_servers()
+    }
+
+    /// The deployment's flush policy (relevant to tuning: `PerWrite`
+    /// rules out pipeline depths above 1).
+    pub fn sync_policy(&self) -> panda_fs::SyncPolicy {
+        self.client.sync_policy()
+    }
+
     /// The id of this session's most recent request, for correlating
     /// with request-scoped observability
     /// ([`panda_obs::RunReport::for_request`]).
     pub fn last_request_id(&self) -> Option<u64> {
         self.client.last_request_id()
+    }
+
+    /// The deployment's observability recorder (shared by every node);
+    /// see [`crate::PandaClient::recorder`].
+    pub fn recorder(&self) -> &std::sync::Arc<dyn panda_obs::Recorder> {
+        self.client.recorder()
     }
 
     /// Buffer size required for a section read (whole-array mesh, so

@@ -1,0 +1,157 @@
+//! Tuned operating points: the knobs the auto-tuner picks.
+//!
+//! A [`TunedConfig`] bundles the three performance knobs the paper's §5
+//! cost-model future work would choose for the application — subchunk
+//! size, pipeline depth, and I/O worker-pool size — together with the
+//! model's predicted wall time for the chosen point. It is produced by
+//! the calibration pass in `panda_model::tuner` and consumed two ways:
+//!
+//! * **offline** — [`TunedConfig::apply`] folds the knobs into a
+//!   [`PandaConfig`] before launch;
+//! * **online** — [`WriteSet::tuned`](crate::WriteSet::tuned) /
+//!   [`ReadSet::tuned`](crate::ReadSet::tuned) attach the knobs to one
+//!   request, riding the wire's per-request `subchunk_bytes` /
+//!   `pipeline_depth` fields, so different tenants of one
+//!   [`PandaService`](crate::PandaService) run at different operating
+//!   points without relaunching. `io_workers` is launch-scoped (the
+//!   worker pool is shared by all requests), so the online path applies
+//!   only the first two; the field still participates in validation.
+//!
+//! Either way the values go through the same typed checks as
+//! [`PandaConfig`] itself — a tuned request is
+//! validated at submit time ([`TunedConfig::validate`]) instead of
+//! being trusted on the wire.
+
+use panda_fs::SyncPolicy;
+
+use crate::error::{ConfigIssue, PandaError};
+use crate::runtime::PandaConfig;
+
+/// One tuned operating point: the knobs plus the model's prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunedConfig {
+    /// Subchunk subdivision cap in bytes.
+    pub subchunk_bytes: usize,
+    /// Server pipeline depth (1 = unpipelined).
+    pub pipeline_depth: usize,
+    /// Per-server I/O worker-pool size. Launch-scoped: per-request
+    /// submission validates it but cannot resize a running pool.
+    pub io_workers: usize,
+    /// The model's predicted wall time for this point, seconds (0 when
+    /// hand-built rather than produced by a calibration pass).
+    pub predicted_s: f64,
+}
+
+impl TunedConfig {
+    /// A hand-built operating point (no prediction attached).
+    pub fn new(subchunk_bytes: usize, pipeline_depth: usize, io_workers: usize) -> Self {
+        TunedConfig {
+            subchunk_bytes,
+            pipeline_depth,
+            io_workers,
+            predicted_s: 0.0,
+        }
+    }
+
+    /// Check this point against the same invariants
+    /// [`PandaConfig`] enforces at launch, under the
+    /// submitting session's `sync_policy`: nonzero subchunk cap, depth,
+    /// and worker count, and no per-write fsync combined with depth > 1.
+    /// Returns the same typed [`ConfigIssue`]s.
+    pub fn validate(&self, sync_policy: SyncPolicy) -> Result<(), PandaError> {
+        if self.subchunk_bytes == 0 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::ZeroSubchunkBytes,
+            });
+        }
+        if self.pipeline_depth == 0 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::ZeroPipelineDepth,
+            });
+        }
+        if self.io_workers == 0 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::ZeroIoWorkers,
+            });
+        }
+        if sync_policy == SyncPolicy::PerWrite && self.pipeline_depth > 1 {
+            return Err(PandaError::Config {
+                issue: ConfigIssue::SyncPolicyConflict {
+                    pipeline_depth: self.pipeline_depth,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Fold this point into a launch configuration (the offline path):
+    /// sets `subchunk_bytes`, `pipeline_depth`, and `io_workers`.
+    pub fn apply(&self, config: PandaConfig) -> PandaConfig {
+        config
+            .with_subchunk_bytes(self.subchunk_bytes)
+            .with_pipeline_depth(self.pipeline_depth)
+            .with_io_workers(self.io_workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_mirrors_launch_checks() {
+        let ok = TunedConfig::new(1 << 15, 2, 2);
+        ok.validate(SyncPolicy::PerFile).unwrap();
+
+        let err = TunedConfig::new(0, 2, 2)
+            .validate(SyncPolicy::PerFile)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: ConfigIssue::ZeroSubchunkBytes
+            }
+        ));
+        let err = TunedConfig::new(1, 0, 2)
+            .validate(SyncPolicy::PerFile)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: ConfigIssue::ZeroPipelineDepth
+            }
+        ));
+        let err = TunedConfig::new(1, 1, 0)
+            .validate(SyncPolicy::PerFile)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: ConfigIssue::ZeroIoWorkers
+            }
+        ));
+        // Per-write fsync pipelined is the same contradiction it is at
+        // launch; depth 1 under per-write stays valid.
+        let err = TunedConfig::new(1, 4, 1)
+            .validate(SyncPolicy::PerWrite)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PandaError::Config {
+                issue: ConfigIssue::SyncPolicyConflict { pipeline_depth: 4 }
+            }
+        ));
+        TunedConfig::new(1, 1, 1)
+            .validate(SyncPolicy::PerWrite)
+            .unwrap();
+    }
+
+    #[test]
+    fn apply_folds_into_config() {
+        let tuned = TunedConfig::new(4096, 4, 3);
+        let config = tuned.apply(PandaConfig::new(2, 1));
+        assert_eq!(config.subchunk_bytes, 4096);
+        assert_eq!(config.pipeline_depth, 4);
+        assert_eq!(config.io_workers, 3);
+    }
+}

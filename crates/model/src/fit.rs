@@ -1,0 +1,279 @@
+//! Fitting the analytical cost model from measured run reports.
+//!
+//! The measurement side lives in `panda-obs`: a probe collective's
+//! [`CalibrationSummary`] carries per-phase least-squares moments over
+//! (subchunk bytes → phase seconds) samples. This module turns two such
+//! probes — same array, two subchunk sizes — into a [`DirectionCosts`]:
+//! one affine cost line `t = per_op + per_byte · bytes` per phase
+//! (exchange, disk, reorganization), plus a two-term *residual* model
+//! for everything the phase events do not see (control messages, read
+//! pushes, client-side copies): a fixed startup term and a per-step
+//! term, solved exactly from the two probes' unexplained wall time.
+//!
+//! The fitted lines are the same shape as the hand-calibrated
+//! [`Sp2Machine`](crate::Sp2Machine) constants; the point of the fit is
+//! that they come from *this* deployment's measured behavior rather
+//! than the paper's Table 1.
+
+use panda_obs::{CalibrationSummary, PhaseStats};
+
+/// Affine per-subchunk cost: `per_op_s + per_byte_s · bytes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostLine {
+    /// Fixed seconds per subchunk operation.
+    pub per_op_s: f64,
+    /// Seconds per byte moved.
+    pub per_byte_s: f64,
+}
+
+impl CostLine {
+    /// Cost of one subchunk of `bytes`.
+    pub fn eval(&self, bytes: u64) -> f64 {
+        self.per_op_s + self.per_byte_s * bytes as f64
+    }
+
+    /// Fit from pooled phase moments. Falls back to a pure rate when
+    /// the samples cannot identify a slope, and never returns negative
+    /// constants: a negative intercept becomes a pure rate, a negative
+    /// slope a pure per-op cost (small-sample noise, not physics).
+    pub fn from_stats(stats: &PhaseStats) -> CostLine {
+        match stats.fit_line() {
+            Some((per_op, per_byte)) if per_op >= 0.0 && per_byte >= 0.0 => CostLine {
+                per_op_s: per_op,
+                per_byte_s: per_byte,
+            },
+            Some((_, per_byte)) if per_byte < 0.0 => CostLine {
+                per_op_s: if stats.samples == 0 {
+                    0.0
+                } else {
+                    stats.secs / stats.samples as f64
+                },
+                per_byte_s: 0.0,
+            },
+            _ => CostLine {
+                per_op_s: 0.0,
+                per_byte_s: stats.mean_secs_per_byte(),
+            },
+        }
+    }
+}
+
+/// One probe collective's measurement, as seen by the fit: the phase
+/// moments, the client-observed end-to-end wall time, and the subchunk
+/// step count of the *busiest* server under the probe's schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeObservation {
+    /// Per-phase moments from the request-scoped run report.
+    pub summary: CalibrationSummary,
+    /// End-to-end seconds measured around the submit call.
+    pub wall_s: f64,
+    /// Steps on the busiest server (walked from the real schedule).
+    pub steps: usize,
+}
+
+/// The fitted cost model for one direction (write or read).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DirectionCosts {
+    /// Exchange phase (server blocked on client data).
+    pub exchange: CostLine,
+    /// Disk phase (positioned read/write per subchunk).
+    pub disk: CostLine,
+    /// Reorganization (pack/scatter CPU seconds per subchunk, summed
+    /// over workers — divide by the worker count for elapsed time).
+    pub reorg: CostLine,
+    /// Unmeasured per-step overhead on the critical server (control
+    /// round trips, read pushes, client copies), seconds.
+    pub step_overhead_s: f64,
+    /// Fixed per-collective overhead, seconds.
+    pub startup_s: f64,
+    /// Fraction of the bottleneck stage that survives pipelining,
+    /// measured by the deep-pipeline probe (1.0 = the stage is a fully
+    /// serial resource, the depth-1 fit's assumption; < 1 when the
+    /// measured stage durations hide latency a deep window overlaps,
+    /// as on fast backends where per-subchunk scheduling stalls
+    /// dominate the exchange phase).
+    pub overlap: f64,
+}
+
+impl DirectionCosts {
+    /// Fit one direction from probe runs.
+    ///
+    /// Phase lines come from the pooled moments of all probes (two
+    /// subchunk sizes condition the slope). The residual — wall time
+    /// minus the critical server's measured phase time — is split into
+    /// `startup_s + step_overhead_s · steps` using the first and last
+    /// probe (exact for two, endpoints otherwise); both terms are
+    /// clamped nonnegative, degrading gracefully to a pure startup or a
+    /// pure per-step cost when the data says so.
+    ///
+    /// `num_servers` converts pooled phase totals into a critical-server
+    /// share (probe layouts are balanced round-robin, so servers carry
+    /// equal loads); `io_workers` is the worker count the probes ran
+    /// with, which parallelized their reorganization time.
+    pub fn fit(probes: &[ProbeObservation], num_servers: usize, io_workers: usize) -> Self {
+        let mut pooled = CalibrationSummary::default();
+        for p in probes {
+            pooled.merge(&p.summary);
+        }
+        let mut costs = DirectionCosts {
+            exchange: CostLine::from_stats(&pooled.exchange),
+            disk: CostLine::from_stats(&pooled.disk),
+            reorg: CostLine::from_stats(&pooled.reorg),
+            step_overhead_s: 0.0,
+            startup_s: 0.0,
+            overlap: 1.0,
+        };
+        let servers = num_servers.max(1) as f64;
+        let workers = io_workers.max(1) as f64;
+        let residual = |p: &ProbeObservation| {
+            let measured =
+                (p.summary.exchange.secs + p.summary.disk.secs + p.summary.reorg.secs / workers)
+                    / servers;
+            (p.wall_s - measured).max(0.0)
+        };
+        match probes {
+            [] => {}
+            [only] => {
+                costs.startup_s = residual(only);
+            }
+            [first, .., last] => {
+                let (r1, s1) = (residual(first), first.steps as f64);
+                let (r2, s2) = (residual(last), last.steps as f64);
+                if (s1 - s2).abs() < 0.5 {
+                    costs.startup_s = 0.5 * (r1 + r2);
+                } else {
+                    let per_step = (r1 - r2) / (s1 - s2);
+                    let startup = r1 - per_step * s1;
+                    if per_step < 0.0 {
+                        costs.startup_s = 0.5 * (r1 + r2);
+                    } else if startup < 0.0 {
+                        let mean_steps = 0.5 * (s1 + s2);
+                        costs.step_overhead_s = if mean_steps > 0.0 {
+                            0.5 * (r1 + r2) / mean_steps
+                        } else {
+                            0.0
+                        };
+                    } else {
+                        costs.step_overhead_s = per_step;
+                        costs.startup_s = startup;
+                    }
+                }
+            }
+        }
+        costs
+    }
+}
+
+/// The full fitted model: one [`DirectionCosts`] per direction, plus
+/// the deployment shape the probes ran on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FittedCosts {
+    /// Write-direction costs.
+    pub write: DirectionCosts,
+    /// Read-direction costs.
+    pub read: DirectionCosts,
+    /// I/O nodes in the probed deployment.
+    pub num_servers: usize,
+    /// Reorganization workers per I/O node at probe time.
+    pub probe_io_workers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(samples: &[(u64, f64)]) -> PhaseStats {
+        let mut s = PhaseStats::default();
+        for &(x, y) in samples {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn cost_line_clamps_noise_to_physical_constants() {
+        // Clean affine data passes through.
+        let line = CostLine::from_stats(&stats(&[(1024, 1e-3 + 1024e-9), (4096, 1e-3 + 4096e-9)]));
+        assert!((line.per_op_s - 1e-3).abs() < 1e-9);
+        assert!((line.per_byte_s - 1e-9).abs() < 1e-13);
+        assert!((line.eval(2048) - (1e-3 + 2048e-9)).abs() < 1e-9);
+
+        // Negative slope (larger subchunks measured *cheaper*): pure
+        // per-op cost, never a negative rate.
+        let line = CostLine::from_stats(&stats(&[(1024, 4e-3), (4096, 2e-3)]));
+        assert_eq!(line.per_byte_s, 0.0);
+        assert!((line.per_op_s - 3e-3).abs() < 1e-9);
+
+        // Negative intercept (superlinear growth): pure rate.
+        let line = CostLine::from_stats(&stats(&[(1024, 1e-6), (4096, 2e-3)]));
+        assert_eq!(line.per_op_s, 0.0);
+        assert!(line.per_byte_s > 0.0);
+
+        // One size only: rate fallback.
+        let line = CostLine::from_stats(&stats(&[(4096, 2e-3), (4096, 2e-3)]));
+        assert_eq!(line.per_op_s, 0.0);
+        assert!((line.per_byte_s - 2e-3 / 4096.0).abs() < 1e-12);
+    }
+
+    fn probe(subchunk: u64, steps: usize, wall_s: f64) -> ProbeObservation {
+        // Synthetic probe on 1 server, 1 worker: each step spends
+        // 1 µs/KiB in disk, nothing else measured.
+        let mut summary = CalibrationSummary::default();
+        for _ in 0..steps {
+            summary.disk.push(subchunk, subchunk as f64 * 1e-9);
+        }
+        summary.subchunks = steps as u64;
+        ProbeObservation {
+            summary,
+            wall_s,
+            steps,
+        }
+    }
+
+    #[test]
+    fn residual_splits_into_startup_and_per_step() {
+        // wall = measured + 0.010 + 0.001 * steps, exactly.
+        let measured = |steps: usize, sub: u64| steps as f64 * sub as f64 * 1e-9;
+        let probes = [
+            probe(65536, 32, measured(32, 65536) + 0.010 + 0.001 * 32.0),
+            probe(262144, 8, measured(8, 262144) + 0.010 + 0.001 * 8.0),
+        ];
+        let costs = DirectionCosts::fit(&probes, 1, 1);
+        assert!((costs.startup_s - 0.010).abs() < 1e-9, "{costs:?}");
+        assert!((costs.step_overhead_s - 0.001).abs() < 1e-9, "{costs:?}");
+        // Disk rate recovered from the pooled samples.
+        assert!((costs.disk.per_byte_s - 1e-9).abs() < 1e-12);
+        // Prediction closes the loop on the probes themselves.
+        let predict = |steps: usize, sub: u64| {
+            costs.startup_s
+                + costs.step_overhead_s * steps as f64
+                + (0..steps).map(|_| costs.disk.eval(sub)).sum::<f64>()
+        };
+        assert!((predict(32, 65536) - probes[0].wall_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_residuals_stay_nonnegative() {
+        // Wall below measured phases (noise): zero residual terms.
+        let costs = DirectionCosts::fit(&[probe(65536, 32, 0.0), probe(262144, 8, 0.0)], 1, 1);
+        assert_eq!(costs.startup_s, 0.0);
+        assert_eq!(costs.step_overhead_s, 0.0);
+
+        // Residual shrinking with steps: constant startup, no negative
+        // per-step cost.
+        let m32 = 32.0 * 65536.0 * 1e-9;
+        let m8 = 8.0 * 262144.0 * 1e-9;
+        let costs = DirectionCosts::fit(
+            &[probe(65536, 32, m32 + 0.005), probe(262144, 8, m8 + 0.009)],
+            1,
+            1,
+        );
+        assert!(costs.step_overhead_s >= 0.0);
+        assert!((costs.startup_s - 0.007).abs() < 1e-9);
+
+        // Single probe: the whole residual is startup.
+        let costs = DirectionCosts::fit(&[probe(65536, 4, m8 + 1.0)], 1, 1);
+        assert!(costs.startup_s > 0.9);
+        assert_eq!(costs.step_overhead_s, 0.0);
+    }
+}

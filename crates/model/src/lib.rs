@@ -35,9 +35,14 @@ pub mod actors;
 pub mod advisor;
 pub mod baseline_model;
 pub mod experiment;
+pub mod fit;
 pub mod machine;
 pub mod report;
+pub mod tuner;
 
 pub use actors::{simulate, simulate_concurrent, CollectiveSpec, ConcurrentOutcome};
+pub use fit::{CostLine, DirectionCosts, FittedCosts, ProbeObservation};
 pub use machine::{NetworkModel, Sp2Machine};
+pub use panda_core::TunedConfig;
 pub use report::SimReport;
+pub use tuner::{calibrate_fleet, Calibrate, Calibration, Candidate, TunerOptions};

@@ -1,0 +1,20 @@
+//! Golden test: the committed `results/advisor.txt` is byte-identical
+//! to what the advisor renders today. The artifact and the `advisor`
+//! bench bin share one rendering function, so when the DES or the
+//! machine constants change, this test fails until the artifact is
+//! regenerated (`cargo run --release -p panda-bench --bin advisor >
+//! results/advisor.txt`).
+
+use panda_model::advisor::flagship_report;
+
+#[test]
+fn committed_advisor_report_matches_the_des() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/advisor.txt");
+    let committed = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let current = flagship_report();
+    assert!(
+        committed == current,
+        "results/advisor.txt is stale; regenerate with \
+         `cargo run --release -p panda-bench --bin advisor > results/advisor.txt`"
+    );
+}

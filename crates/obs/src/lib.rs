@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod counting;
 pub mod event;
 pub mod json;
@@ -39,6 +40,7 @@ pub mod recorder;
 pub mod report;
 pub mod timeline;
 
+pub use calibrate::{CalibrationSummary, PhaseStats, CALIBRATION_SCHEMA};
 pub use counting::{CountersSnapshot, CountingRecorder, KindStats, TagStats};
 pub use event::{Event, EventKind, OpDir, Phase, SubchunkKey, KIND_COUNT};
 pub use recorder::{null_recorder, NullRecorder, Recorder};

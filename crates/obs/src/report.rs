@@ -179,6 +179,26 @@ impl RunReport {
         }
     }
 
+    /// Total exchange-phase seconds (servers blocked on client data).
+    pub fn exchange_s(&self) -> f64 {
+        self.phases.get(Phase::Exchange)
+    }
+
+    /// Total disk-phase seconds (positioned reads and writes).
+    pub fn disk_s(&self) -> f64 {
+        self.phases.get(Phase::Disk)
+    }
+
+    /// Total reorganization seconds (pack/scatter CPU time).
+    pub fn reorg_s(&self) -> f64 {
+        self.phases.get(Phase::Reorg)
+    }
+
+    /// Total throttle seconds (admission/flow-control stalls).
+    pub fn throttle_s(&self) -> f64 {
+        self.phases.get(Phase::Throttle)
+    }
+
     /// Serialize as one JSON object (schema [`REPORT_SCHEMA`]).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -533,6 +553,81 @@ mod tests {
         let empty = RunReport::for_request(&rec, 99);
         assert_eq!(empty.per_subchunk.len(), 0);
         assert_eq!(empty.wall_s, 0.0);
+    }
+
+    #[test]
+    fn unknown_request_yields_empty_report_on_any_recorder() {
+        // Timeline recorder with traffic: scoping to an id that never
+        // ran is an empty report, not a panic, and still serializes.
+        let rec = TimelineRecorder::new();
+        drive(&rec);
+        let report = RunReport::for_request(&rec, 424242);
+        assert_eq!(report.wall_s, 0.0);
+        assert!(report.per_subchunk.is_empty());
+        assert!(report.per_node.is_empty());
+        assert!(report.counters.is_none());
+        for phase in Phase::ALL {
+            assert_eq!(report.phases.get(phase), 0.0);
+        }
+        json::validate(&report.to_json()).unwrap();
+
+        // Recorders with no timeline at all (NullRecorder) degrade the
+        // same way — `timeline()` is None, not an error.
+        let null = null_recorder();
+        let report = RunReport::for_request(null.as_ref(), 1);
+        assert_eq!(report.wall_s, 0.0);
+        assert!(report.per_subchunk.is_empty());
+    }
+
+    #[test]
+    fn mid_run_scope_only_counts_completed_subchunks() {
+        // Phase durations are stamped when a subchunk's stage
+        // completes, so a report taken mid-run contains exactly the
+        // completed subchunks — an in-flight one contributes nothing
+        // until its events land.
+        let rec = TimelineRecorder::new();
+        rec.record(
+            2,
+            &Event::DiskWriteDone {
+                key: SubchunkKey::scoped(7, 0, 0, 0),
+                offset: 0,
+                bytes: 256,
+                dur: Duration::from_millis(3),
+            },
+        );
+        let mid = RunReport::for_request(&rec, 7);
+        assert_eq!(mid.per_subchunk.len(), 1);
+        assert_eq!(mid.per_subchunk[0].key.subchunk, 0);
+        assert!((mid.disk_s() - 0.003).abs() < 1e-9);
+
+        // Subchunk 1 finishes after the snapshot: the old report is
+        // unchanged, a fresh scope sees both.
+        rec.record(
+            2,
+            &Event::DiskWriteDone {
+                key: SubchunkKey::scoped(7, 0, 0, 1),
+                offset: 256,
+                bytes: 256,
+                dur: Duration::from_millis(5),
+            },
+        );
+        assert_eq!(mid.per_subchunk.len(), 1);
+        let done = RunReport::for_request(&rec, 7);
+        assert_eq!(done.per_subchunk.len(), 2);
+        assert!((done.disk_s() - 0.008).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_accessors_mirror_totals() {
+        let rec = TimelineRecorder::new();
+        drive(&rec);
+        let report = RunReport::from_recorder(&rec);
+        assert_eq!(report.exchange_s(), report.phases.get(Phase::Exchange));
+        assert_eq!(report.disk_s(), report.phases.get(Phase::Disk));
+        assert_eq!(report.reorg_s(), report.phases.get(Phase::Reorg));
+        assert_eq!(report.throttle_s(), report.phases.get(Phase::Throttle));
+        assert!((report.exchange_s() - 0.004).abs() < 1e-9);
+        assert!((report.disk_s() - 0.008).abs() < 1e-9);
     }
 
     #[test]
