@@ -80,4 +80,48 @@ PY
 fi
 rm -f "$tuner_out"
 
+# Telemetry-plane smoke: the obs bench runs the MemFs pipeline under
+# NullRecorder vs MetricsHub (and friends), throttles a live service
+# mid-run, and scrapes /metrics + /healthz from it over TCP. The
+# binary itself asserts the drift detector stays quiet on-model and
+# fires after the throttle flip; python gates the numbers: hub
+# overhead <= 3%, triggered retune recovers >= 80% of a fresh manual
+# calibration, and every scraped Prometheus line parses.
+obsplane_out=$(mktemp /tmp/panda_obs_ci.XXXXXX.json)
+cargo run --release -q -p panda-bench --bin obs -- --quick --out "$obsplane_out"
+if command -v python3 >/dev/null; then
+  python3 - "$obsplane_out" <<'PY'
+import json, re, sys
+rows = {c["id"]: c for l in open(sys.argv[1]) if l.strip() for c in [json.loads(l)]}
+hub = rows["obs/overhead/hub"]
+assert hub["overhead_pct"] <= 3.0, (
+    f"MetricsHub overhead {hub['overhead_pct']:.2f}% exceeds the 3% budget"
+)
+assert rows["obs/drift/baseline"]["drifted"] == 0, "detector fired on-model"
+thr = rows["obs/drift/throttled"]
+assert thr["drifted"] == 1, "drift detector failed to fire on the throttled backend"
+ret = rows["obs/drift/retuned"]
+assert ret["recovery_vs_manual"] >= 0.8, (
+    f"triggered retune recovered only {ret['recovery_vs_manual']:.2f} of manual"
+)
+scrape = rows["obs/scrape"]
+line_re = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [-+0-9.eE]+)$"
+)
+lines = [l for l in scrape["metrics_text"].splitlines() if l.strip()]
+bad = [l for l in lines if not line_re.match(l)]
+assert not bad, f"unparseable Prometheus lines: {bad[:3]}"
+for family in ("panda_events_total", "panda_health_status", "panda_live_requests"):
+    assert any(l.startswith(family) for l in lines), f"missing family {family}"
+assert scrape["healthz"]["status"] == "ok", scrape["healthz"]
+print(
+    f"obs gate: hub overhead {hub['overhead_pct']:.2f}%, drift score "
+    f"{thr['drift_score']:.2f}, recovery {ret['recovery_vs_manual']:.2f}, "
+    f"{len(lines)} metric lines ok"
+)
+PY
+fi
+rm -f "$obsplane_out"
+
 echo "ci: all green"

@@ -259,7 +259,13 @@ impl PandaClient {
             .collect();
         // A write expects no inbound pieces; the loop runs on control
         // flow alone.
-        let (complete, request) = self.serve_collective(&mut xfer, 0, want)?;
+        let (complete, request) = match self.serve_collective(&mut xfer, 0, want) {
+            Ok(done) => done,
+            Err(e) => {
+                self.emit_request_error(want.unwrap_or(0), &e);
+                return Err(e);
+            }
+        };
         if let Some(t) = t_op {
             self.emit(&Event::CollectiveDone {
                 request,
@@ -351,7 +357,13 @@ impl PandaClient {
                 buf: XferBuf::Dst(i.data),
             })
             .collect();
-        let (complete, request) = self.serve_collective(&mut xfer, expected, want)?;
+        let (complete, request) = match self.serve_collective(&mut xfer, expected, want) {
+            Ok(done) => done,
+            Err(e) => {
+                self.emit_request_error(want.unwrap_or(0), &e);
+                return Err(e);
+            }
+        };
         if let Some(t) = t_op {
             self.emit(&Event::CollectiveDone {
                 request,
@@ -362,40 +374,18 @@ impl PandaClient {
         self.finish_collective(complete, mode)
     }
 
-    /// Collective write from positional tuples.
-    #[deprecated(since = "0.7.0", note = "build a `WriteSet` and call `write_set`")]
-    pub fn write(&mut self, arrays: &[(&ArrayMeta, &str, &[u8])]) -> Result<(), PandaError> {
-        let mut set = WriteSet::new();
-        for &(meta, tag, data) in arrays {
-            set = set.array(meta, tag, data);
+    /// Surface a failed collective to the telemetry plane (the flight
+    /// recorder treats it as an incident trigger). Admission rejections
+    /// are typed flow control with their own server-side event, so only
+    /// genuine failures — protocol, transport, file system — report.
+    fn emit_request_error(&self, request: u64, err: &PandaError) {
+        if self.obs_on() && !matches!(err, PandaError::Admission { .. }) {
+            let detail = err.to_string();
+            self.emit(&Event::RequestError {
+                request,
+                detail: &detail,
+            });
         }
-        self.write_set(&set)
-    }
-
-    /// Collective read into positional tuples.
-    #[deprecated(since = "0.7.0", note = "build a `ReadSet` and call `read_set`")]
-    pub fn read(&mut self, arrays: &mut [(&ArrayMeta, &str, &mut [u8])]) -> Result<(), PandaError> {
-        let mut set = ReadSet::new();
-        for (meta, tag, data) in arrays.iter_mut() {
-            set = set.array(meta, *tag, data);
-        }
-        self.read_set(&mut set)
-    }
-
-    /// Collective section read of one array.
-    #[deprecated(
-        since = "0.7.0",
-        note = "build a `ReadSet` with `.section(...)` and call `read_set`"
-    )]
-    pub fn read_section(
-        &mut self,
-        meta: &ArrayMeta,
-        file_tag: &str,
-        section: &Region,
-        data: &mut [u8],
-    ) -> Result<(), PandaError> {
-        let mut set = ReadSet::new().section(meta, file_tag, section.clone(), data);
-        self.read_set(&mut set)
     }
 
     /// Buffer size this client must supply for a section read: the

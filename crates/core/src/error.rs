@@ -110,7 +110,8 @@ pub enum ConfigIssue {
     ZeroSubchunkBytes,
     /// The pipeline depth is zero (depth 1 means "unpipelined").
     ZeroPipelineDepth,
-    /// `launch_over` was handed the wrong number of transports.
+    /// The builder's `transports` launch was handed the wrong number of
+    /// transports.
     TransportCount {
         /// Required count (`num_clients + num_servers`).
         expected: usize,

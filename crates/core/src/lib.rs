@@ -100,11 +100,13 @@ pub mod client;
 pub mod encode;
 pub mod error;
 pub mod group_ops;
+pub mod health;
 pub mod plan;
 pub mod pool;
 pub mod protocol;
 pub mod request;
 pub mod runtime;
+pub mod scrape;
 pub mod server;
 pub mod session;
 pub mod tuned;
@@ -113,6 +115,7 @@ pub use array::ArrayMeta;
 pub use client::PandaClient;
 pub use error::{AdmissionIssue, ConfigIssue, PandaError};
 pub use group_ops::{ArrayGroup, CollectiveHandle, GroupData};
+pub use health::{HealthSnapshot, HealthStatus, ServerHealth, ServiceHealth};
 pub use plan::{
     build_server_plan, client_manifest, CollectiveSchedule, ScheduleFile, ScheduleStep, ServerPlan,
 };
@@ -120,5 +123,6 @@ pub use pool::{IoPool, PinnedTask};
 pub use protocol::OpKind;
 pub use request::{ReadSet, WriteSet};
 pub use runtime::{PandaConfig, PandaSystem, PandaSystemBuilder};
+pub use scrape::MetricsServer;
 pub use session::{PandaService, Session};
 pub use tuned::TunedConfig;

@@ -22,13 +22,15 @@ use panda_obs::{Recorder, RunReport};
 
 use crate::client::PandaClient;
 use crate::error::{ConfigIssue, PandaError};
+use crate::health::ServiceHealth;
 use crate::server::ServerNode;
 use crate::session::PandaService;
 
 /// Deployment parameters.
 ///
 /// Built with [`PandaConfig::new`] plus the `with_*` methods. Invariants
-/// (checked by [`PandaSystem::try_launch`], which returns a typed
+/// (checked at [`PandaSystemBuilder::launch`] /
+/// [`PandaSystemBuilder::serve`], which return a typed
 /// [`PandaError::Config`] rather than panicking):
 ///
 /// * `num_clients >= 1` and `num_servers >= 1`;
@@ -85,6 +87,12 @@ pub struct PandaConfig {
     /// [`panda_obs::NullRecorder`], which keeps the hot path free of
     /// clock reads and event construction.
     pub recorder: Arc<dyn Recorder>,
+    /// Opt-in automatic recalibration: when set, a drift score at or
+    /// above this threshold (see `panda_model::DriftDetector`) licenses
+    /// the drift loop to re-run calibration through the `Calibrate`
+    /// trait. `None` (the default) means drift is reported but never
+    /// acted on automatically.
+    pub auto_retune_threshold: Option<f64>,
 }
 
 impl PandaConfig {
@@ -103,6 +111,7 @@ impl PandaConfig {
             max_queued_collectives: 16,
             recv_timeout: Duration::from_secs(60),
             recorder: panda_obs::null_recorder(),
+            auto_retune_threshold: None,
         }
     }
 
@@ -167,6 +176,14 @@ impl PandaConfig {
         self
     }
 
+    /// Opt in to automatic recalibration when the live phase costs
+    /// drift at least `threshold` (relative deviation; e.g. `0.5` fires
+    /// when a phase's observed cost is 50% off the calibrated line).
+    pub fn with_auto_retune(mut self, threshold: f64) -> Self {
+        self.auto_retune_threshold = Some(threshold);
+        self
+    }
+
     fn validate(&self) -> Result<(), PandaError> {
         if self.num_clients == 0 || self.num_servers == 0 {
             return Err(PandaError::Config {
@@ -221,9 +238,11 @@ pub struct PandaSystem {
     /// Fabric-wide message statistics.
     pub fabric_stats: Arc<FabricStats>,
     recorder: Arc<dyn Recorder>,
+    health: Arc<ServiceHealth>,
     num_clients: usize,
     num_servers: usize,
     io_workers: usize,
+    auto_retune_threshold: Option<f64>,
 }
 
 /// Caller-supplied fabric: one transport per node, plus the shared
@@ -324,6 +343,11 @@ impl PandaSystemBuilder {
         }
 
         // Servers take the high ranks.
+        let health = Arc::new(ServiceHealth::new(
+            config.num_servers,
+            config.max_concurrent_collectives,
+            config.max_queued_collectives,
+        ));
         let mut filesystems = Vec::with_capacity(config.num_servers);
         let mut handles = Vec::with_capacity(config.num_servers);
         for s in (0..config.num_servers).rev() {
@@ -346,6 +370,7 @@ impl PandaSystemBuilder {
                 config.max_concurrent_collectives,
                 config.max_queued_collectives,
                 Arc::clone(&config.recorder),
+                Arc::clone(&health),
             );
             handles.push(
                 std::thread::Builder::new()
@@ -382,9 +407,11 @@ impl PandaSystemBuilder {
                 filesystems,
                 fabric_stats,
                 recorder: Arc::clone(&config.recorder),
+                health,
                 num_clients: config.num_clients,
                 num_servers: config.num_servers,
                 io_workers: config.io_workers,
+                auto_retune_threshold: config.auto_retune_threshold,
             },
             clients,
         ))
@@ -414,55 +441,22 @@ impl PandaSystem {
         }
     }
 
-    /// Launch with the in-process fabric, panicking on an invalid
-    /// configuration.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `PandaSystem::builder().config(..).launch(..)`"
-    )]
-    pub fn launch(
-        config: &PandaConfig,
-        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
-    ) -> (Self, Vec<PandaClient>) {
-        Self::builder()
-            .config(config.clone())
-            .launch(fs_factory)
-            .expect("invalid Panda configuration")
-    }
-
-    /// Fallible launch with the in-process fabric.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `PandaSystem::builder().config(..).launch(..)`"
-    )]
-    pub fn try_launch(
-        config: &PandaConfig,
-        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
-    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
-        Self::builder().config(config.clone()).launch(fs_factory)
-    }
-
-    /// Launch over caller-supplied transports.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use `PandaSystem::builder().config(..).transports(..).launch(..)`"
-    )]
-    pub fn launch_over(
-        config: &PandaConfig,
-        endpoints: Vec<Box<dyn Transport>>,
-        fs_factory: impl FnMut(usize) -> Arc<dyn FileSystem>,
-        fabric_stats: Arc<FabricStats>,
-    ) -> Result<(Self, Vec<PandaClient>), PandaError> {
-        Self::builder()
-            .config(config.clone())
-            .transports(endpoints, fabric_stats)
-            .launch(fs_factory)
-    }
-
     /// The deployment's observability recorder (the one passed via
     /// [`PandaConfig::with_recorder`], or the default null recorder).
     pub fn recorder(&self) -> &Arc<dyn Recorder> {
         &self.recorder
+    }
+
+    /// The live admission/health gauges every server publishes into;
+    /// [`crate::HealthSnapshot`] derives the `/healthz` status from it.
+    pub fn health(&self) -> &Arc<ServiceHealth> {
+        &self.health
+    }
+
+    /// The configured drift threshold for automatic recalibration
+    /// ([`PandaConfig::with_auto_retune`]), if opted in.
+    pub fn auto_retune_threshold(&self) -> Option<f64> {
+        self.auto_retune_threshold
     }
 
     /// Aggregate the deployment's recorder into one machine-readable
@@ -544,19 +538,6 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, crate::PandaError::Config { .. }));
-    }
-
-    #[test]
-    fn deprecated_launchers_still_work() {
-        #[allow(deprecated)]
-        let (system, clients) =
-            PandaSystem::launch(&PandaConfig::new(1, 1), |_| Arc::new(MemFs::new()));
-        system.shutdown(clients).unwrap();
-        #[allow(deprecated)]
-        let result = PandaSystem::try_launch(&PandaConfig::new(0, 1), |_| {
-            Arc::new(MemFs::new()) as Arc<dyn FileSystem>
-        });
-        assert!(result.is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@ use panda_obs::{Event, OpDir, Recorder, SubchunkKey};
 use panda_schema::{copy, Region, SchemaError};
 
 use crate::error::{AdmissionIssue, PandaError};
+use crate::health::ServiceHealth;
 use crate::plan::{CollectiveSchedule, ScheduleStep};
 use crate::pool::IoPool;
 use crate::protocol::{
@@ -78,6 +79,9 @@ pub struct ServerNode {
     /// Session recorder; events are tagged with this server's fabric
     /// rank. Durations are measured only while it is enabled.
     recorder: Arc<dyn Recorder>,
+    /// Shared health gauges: this server publishes its queue depth,
+    /// live-request count, and disk backlog after every scheduler pass.
+    health: Arc<ServiceHealth>,
     /// Open handles for baseline raw operations, keyed by file name.
     raw_handles: HashMap<String, Box<dyn FileHandle>>,
     /// Per-client flag: has this client sent `RawDone` for the current
@@ -628,6 +632,7 @@ impl ServerNode {
         max_concurrent: usize,
         max_queued: usize,
         recorder: Arc<dyn Recorder>,
+        health: Arc<ServiceHealth>,
     ) -> Self {
         ServerNode {
             transport,
@@ -638,6 +643,7 @@ impl ServerNode {
             max_concurrent: max_concurrent.max(1),
             max_queued,
             recorder,
+            health,
             raw_handles: HashMap::new(),
             raw_done: vec![false; num_clients],
             raw_done_count: 0,
@@ -668,6 +674,17 @@ impl ServerNode {
 
     fn master_server(&self) -> NodeId {
         NodeId(self.num_clients)
+    }
+
+    /// Publish this server's scheduler gauges (three relaxed stores —
+    /// cheap enough to run on every serve-loop pass).
+    fn publish_health(&self, st: &SchedState) {
+        self.health.publish(
+            self.server_idx,
+            st.queue.len(),
+            st.live.len(),
+            st.disk_pending,
+        );
     }
 
     /// A step's subchunk key under this server, scoped to its request.
@@ -731,6 +748,7 @@ impl ServerNode {
                 self.disk_done(st, cmd_tx, done)?;
                 progress = true;
             }
+            self.publish_health(st);
             if st.draining && st.live.is_empty() && st.queue.is_empty() {
                 return Ok(());
             }
@@ -1230,6 +1248,7 @@ impl ServerNode {
         }
         if req.participants.len() > 1 || st.queue.len() < self.max_queued {
             st.queue.push_back(req);
+            self.publish_health(st);
             return Ok(());
         }
         let reason = if self.max_queued == 0 {
@@ -1243,6 +1262,12 @@ impl ServerNode {
                 max: self.max_queued,
             }
         };
+        self.emit(&Event::AdmissionReject {
+            request: req.request,
+            queued: st.queue.len() as u32,
+            live: st.live.len() as u32,
+        });
+        self.health.note_reject(self.server_idx);
         let submitter = NodeId(req.participants.first().map_or(0, |&r| r as usize));
         send_msg(
             &mut *self.transport,

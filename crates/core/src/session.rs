@@ -44,6 +44,7 @@ use crate::error::{ConfigIssue, PandaError};
 use crate::group_ops::CollectiveHandle;
 use crate::request::{ReadSet, WriteSet};
 use crate::runtime::PandaSystem;
+use crate::scrape::MetricsServer;
 
 use panda_msg::{NodeId, Transport};
 
@@ -95,6 +96,27 @@ impl PandaService {
     /// statistics, observability reports).
     pub fn system(&self) -> &PandaSystem {
         &self.system
+    }
+
+    /// Start the scrape surface on `addr` (`0.0.0.0:0` or
+    /// `127.0.0.1:0` binds an OS-assigned port — read it back with
+    /// [`MetricsServer::addr`]). `GET /metrics` answers with Prometheus
+    /// text exposition from the deployment recorder (attach a
+    /// [`panda_obs::MetricsHub`], directly or inside a
+    /// [`panda_obs::FanoutRecorder`], for the full family set) plus the
+    /// live health gauges; `GET /healthz` answers with the
+    /// [`crate::HealthSnapshot`] JSON — HTTP `503` once an admission
+    /// queue is at its cap. The listener runs on its own thread until
+    /// the returned handle is stopped or dropped.
+    pub fn serve_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::start(
+            addr,
+            std::sync::Arc::clone(self.system.recorder()),
+            std::sync::Arc::clone(self.system.health()),
+        )
     }
 
     /// Shut the service down. Hand back every session still open; the

@@ -13,7 +13,7 @@ use panda_core::{
     Session, WriteSet,
 };
 use panda_fs::{FileHandle, FileSystem, FsError, IoStats, MemFs};
-use panda_obs::{Recorder, TimelineRecorder};
+use panda_obs::{FlightRecorder, Recorder, TimelineRecorder};
 use panda_schema::{DataSchema, ElementType, Mesh, Shape};
 
 /// A single-node-mesh array (the session-mode requirement): this
@@ -138,21 +138,24 @@ impl FileSystem for GateFs {
     }
 }
 
-fn serve_gated(
+fn serve_gated_rec(
     sessions: usize,
     max_concurrent: usize,
     max_queued: usize,
+    recorder: Option<Arc<dyn Recorder>>,
 ) -> (PandaService, Arc<MemFs>, Arc<Gate>) {
     let mem = Arc::new(MemFs::new());
     let gate = Arc::new(Gate::default());
     let (fs, g) = (Arc::clone(&mem), Arc::clone(&gate));
+    let mut config = PandaConfig::new(sessions, 1)
+        .with_max_concurrent_collectives(max_concurrent)
+        .with_max_queued_collectives(max_queued)
+        .with_recv_timeout(Duration::from_secs(20));
+    if let Some(rec) = recorder {
+        config = config.with_recorder(rec);
+    }
     let service = PandaSystem::builder()
-        .config(
-            PandaConfig::new(sessions, 1)
-                .with_max_concurrent_collectives(max_concurrent)
-                .with_max_queued_collectives(max_queued)
-                .with_recv_timeout(Duration::from_secs(20)),
-        )
+        .config(config)
         .serve(move |_| {
             Arc::new(GateFs {
                 inner: Arc::clone(&fs),
@@ -161,6 +164,14 @@ fn serve_gated(
         })
         .unwrap();
     (service, mem, gate)
+}
+
+fn serve_gated(
+    sessions: usize,
+    max_concurrent: usize,
+    max_queued: usize,
+) -> (PandaService, Arc<MemFs>, Arc<Gate>) {
+    serve_gated_rec(sessions, max_concurrent, max_queued, None)
 }
 
 #[test]
@@ -416,6 +427,169 @@ fn interleaved_requests_write_identical_bytes_localfs() {
     assert!(!sequential.is_empty());
     assert_eq!(sequential, interleaved);
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One HTTP GET against the scrape listener; returns (head, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect scrape listener");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// Poll `/healthz` until it reports `want` (the gauges are published by
+/// the server thread, so transitions are asynchronous).
+fn wait_health_status(addr: std::net::SocketAddr, want: &str) -> (String, String) {
+    let needle = format!("\"status\":\"{want}\"");
+    for _ in 0..1000 {
+        let (head, body) = http_get(addr, "/healthz");
+        if body.contains(&needle) {
+            return (head, body);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("healthz never reached status {want:?}");
+}
+
+/// The scrape surface tracks admission state live: `/healthz` is `ok`
+/// while nothing waits, `degraded` while a queue is non-empty, and
+/// `unhealthy` (HTTP 503) once a queue hits its cap — the point where
+/// the next session request is refused with `QueueFull`.
+#[test]
+fn healthz_degrades_with_queue_and_goes_unhealthy_at_cap() {
+    let (mut service, _mem, gate) = serve_gated(4, 1, 2);
+    let scrape = service.serve_metrics("127.0.0.1:0").unwrap();
+    let addr = scrape.addr();
+
+    let (head, body) = http_get(addr, "/healthz");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "idle service is ok: {head}"
+    );
+    assert!(body.contains("\"status\":\"ok\""));
+    panda_obs::json::validate(&body).expect("healthz body is valid JSON");
+
+    let a = service.open().unwrap();
+    let b = service.open().unwrap();
+    let c = service.open().unwrap();
+    let mut d = service.open().unwrap();
+    let meta = solo_meta("t", &[8, 8]);
+    let data = tenant_bytes(5, 64);
+
+    let (a, b, c) = std::thread::scope(|s| {
+        let ha = s.spawn(|| {
+            let mut a = a;
+            a.write_set(&WriteSet::new().array(&meta, "a", &data))
+                .unwrap();
+            a
+        });
+        // A is live (parked at the gate), nothing queued: still ok.
+        gate.wait_reached();
+        let (head, _) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+
+        // B waits in the queue: degraded, but still HTTP 200.
+        let hb = s.spawn(|| {
+            let mut b = b;
+            b.write_set(&WriteSet::new().array(&meta, "b", &data))
+                .unwrap();
+            b
+        });
+        let (head, _) = wait_health_status(addr, "degraded");
+        assert!(head.starts_with("HTTP/1.1 200"), "degraded is 200: {head}");
+
+        // C fills the queue to its cap: unhealthy, HTTP 503.
+        let hc = s.spawn(|| {
+            let mut c = c;
+            c.write_set(&WriteSet::new().array(&meta, "c", &data))
+                .unwrap();
+            c
+        });
+        let (head, _) = wait_health_status(addr, "unhealthy");
+        assert!(head.starts_with("HTTP/1.1 503"), "unhealthy is 503: {head}");
+
+        // And the next session request is indeed refused.
+        let err = d
+            .write_set(&WriteSet::new().array(&meta, "d", &data))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PandaError::Admission {
+                    issue: AdmissionIssue::QueueFull { queued: 2, max: 2 }
+                }
+            ),
+            "expected QueueFull, got {err}"
+        );
+
+        gate.open();
+        (ha.join().unwrap(), hb.join().unwrap(), hc.join().unwrap())
+    });
+
+    // Everything drained: back to ok, and the rejection is on the
+    // metrics surface.
+    wait_health_status(addr, "ok");
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"));
+    assert!(body.contains("panda_admission_rejects_total 1"), "{body}");
+    assert!(body.contains("panda_health_status 0"));
+
+    scrape.stop();
+    service.shutdown(vec![a, b, c, d]).unwrap();
+}
+
+/// The flight recorder round-trips an injected admission rejection:
+/// the server-side `AdmissionReject` event triggers an automatic dump,
+/// and the dump loads back as a valid Chrome trace containing both the
+/// trigger and the history before it.
+#[test]
+fn flight_recorder_dumps_admission_reject_as_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("panda-flight-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let flight = Arc::new(FlightRecorder::new(&dir));
+    let (mut service, _mem, gate) =
+        serve_gated_rec(2, 1, 0, Some(Arc::clone(&flight) as Arc<dyn Recorder>));
+    let a = service.open().unwrap();
+    let mut b = service.open().unwrap();
+    let meta = solo_meta("t", &[8, 8]);
+    let data = tenant_bytes(6, 64);
+
+    let a = std::thread::scope(|s| {
+        let ha = s.spawn(|| {
+            let mut a = a;
+            a.write_set(&WriteSet::new().array(&meta, "a", &data))
+                .unwrap();
+            a
+        });
+        gate.wait_reached();
+        assert!(flight.last_dump().is_none(), "no incident yet, no dump");
+        let err = b
+            .write_set(&WriteSet::new().array(&meta, "b", &data))
+            .unwrap_err();
+        assert!(matches!(err, PandaError::Admission { .. }));
+        gate.open();
+        ha.join().unwrap()
+    });
+
+    // The dump was written by the server thread *before* it sent the
+    // rejection, so it exists by the time the submitter saw the error.
+    let path = flight.last_dump().expect("rejection produced a dump");
+    let doc = std::fs::read_to_string(&path).unwrap();
+    panda_obs::json::validate(&doc).expect("dump is a valid Chrome trace");
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.contains("admission_reject"), "trigger event retained");
+    assert!(
+        doc.contains("request_issued"),
+        "pre-incident history retained"
+    );
+
+    service.shutdown(vec![a, b]).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The observability bugfix: phase decomposition and event keys are

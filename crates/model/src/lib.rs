@@ -34,6 +34,7 @@
 pub mod actors;
 pub mod advisor;
 pub mod baseline_model;
+pub mod drift;
 pub mod experiment;
 pub mod fit;
 pub mod machine;
@@ -41,6 +42,7 @@ pub mod report;
 pub mod tuner;
 
 pub use actors::{simulate, simulate_concurrent, CollectiveSpec, ConcurrentOutcome};
+pub use drift::{service_drift_pass, DriftDetector, DriftPass, DriftReport, PhaseDrift};
 pub use fit::{CostLine, DirectionCosts, FittedCosts, ProbeObservation};
 pub use machine::{NetworkModel, Sp2Machine};
 pub use panda_core::TunedConfig;

@@ -39,6 +39,23 @@ pub struct PhaseStats {
 }
 
 impl PhaseStats {
+    /// Rebuild stats from externally accumulated moments — the bridge
+    /// from the live `MetricsHub` (which keeps per-phase moments as
+    /// atomics) back into the calibration fit. `Σx` is taken as the
+    /// total bytes and `Σy` as the total seconds, matching what
+    /// [`PhaseStats::push`] would have accumulated sample by sample.
+    pub fn from_moments(samples: u64, bytes: u64, secs: f64, sum_xx: f64, sum_xy: f64) -> Self {
+        PhaseStats {
+            samples,
+            bytes,
+            secs,
+            sum_x: bytes as f64,
+            sum_y: secs,
+            sum_xx,
+            sum_xy,
+        }
+    }
+
     /// Add one subchunk sample.
     pub fn push(&mut self, bytes: u64, secs: f64) {
         self.samples += 1;

@@ -21,44 +21,54 @@ pub(crate) struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
-    fn bucket_of(nanos: u64) -> usize {
+    pub(crate) fn bucket_of(nanos: u64) -> usize {
         ((64 - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
     }
 
-    fn record(&self, dur: Duration) {
-        let idx = Self::bucket_of(dur.as_nanos() as u64);
+    pub(crate) fn record(&self, dur: Duration) {
+        self.record_nanos(dur.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_nanos(&self, nanos: u64) {
+        let idx = Self::bucket_of(nanos);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Upper-bound estimate of quantile `q` in seconds (0 with no data).
-    fn quantile(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let target = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                // Upper bound of bucket i: 2^i ns (bucket 0 = 0 ns).
-                let nanos = if i == 0 { 0u64 } else { 1u64 << i.min(62) };
-                return nanos as f64 / 1e9;
-            }
-        }
-        unreachable!("cumulative count reaches total");
+    pub(crate) fn quantile(&self, q: f64) -> f64 {
+        quantile_of(&self.bucket_counts(), q)
     }
+
+    /// The raw bucket occupancy, for merging histograms across shards.
+    pub(crate) fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Quantile `q` (in seconds) of a log₂ bucket-count array laid out like
+/// [`LatencyHistogram`] (0 with no data).
+pub(crate) fn quantile_of(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            // Upper bound of bucket i: 2^i ns (bucket 0 = 0 ns).
+            let nanos = if i == 0 { 0u64 } else { 1u64 << i.min(62) };
+            return nanos as f64 / 1e9;
+        }
+    }
+    unreachable!("cumulative count reaches total");
 }
 
 /// A [`Recorder`] that keeps per-kind atomic counters (count, bytes,
@@ -76,6 +86,13 @@ pub struct CountingRecorder {
     fs_seeks: AtomicU64,
     /// Per-tag (messages, bytes) sent counts.
     by_tag: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Seqlock-style write epoch: `record` bumps `writes_begun` on
+    /// entry and `writes_done` on exit, so `snapshot` can retry until it
+    /// reads a window with no writer in flight. Without this a snapshot
+    /// taken mid-collective could see a `CollectiveDone` increment from
+    /// a record call whose `RequestIssued` it missed.
+    writes_begun: AtomicU64,
+    writes_done: AtomicU64,
 }
 
 impl Default for CountingRecorder {
@@ -95,6 +112,8 @@ impl CountingRecorder {
             fs_sequential: AtomicU64::new(0),
             fs_seeks: AtomicU64::new(0),
             by_tag: Mutex::new(BTreeMap::new()),
+            writes_begun: AtomicU64::new(0),
+            writes_done: AtomicU64::new(0),
         }
     }
 
@@ -147,7 +166,37 @@ impl CountingRecorder {
     }
 
     /// Snapshot every counter for reporting.
+    ///
+    /// The read is epoch-consistent: it retries until it observes a
+    /// window during which no [`Recorder::record`] call was in flight,
+    /// so cross-kind invariants hold (a snapshot can never report more
+    /// `CollectiveDone` than `RequestIssued` events). Under sustained
+    /// write pressure it falls back to a best-effort read after a
+    /// bounded number of attempts.
     pub fn snapshot(&self) -> CountersSnapshot {
+        const ATTEMPTS: usize = 4096;
+        for attempt in 0..ATTEMPTS {
+            let begun = self.writes_begun.load(Ordering::Acquire);
+            let done = self.writes_done.load(Ordering::Acquire);
+            if begun != done {
+                // A writer is mid-record; give it room to finish.
+                if attempt % 64 == 63 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                continue;
+            }
+            let snap = self.read_counters();
+            if self.writes_begun.load(Ordering::Acquire) == begun {
+                return snap;
+            }
+        }
+        self.read_counters()
+    }
+
+    /// One unsynchronised pass over every counter.
+    fn read_counters(&self) -> CountersSnapshot {
         let kinds = EventKind::ALL
             .iter()
             .map(|&kind| KindStats {
@@ -170,6 +219,7 @@ impl CountingRecorder {
 
 impl Recorder for CountingRecorder {
     fn record(&self, _node: u32, event: &Event<'_>) {
+        self.writes_begun.fetch_add(1, Ordering::AcqRel);
         let idx = event.kind().index();
         self.count[idx].fetch_add(1, Ordering::Relaxed);
         let bytes = event.bytes();
@@ -195,6 +245,7 @@ impl Recorder for CountingRecorder {
             entry.0 += 1;
             entry.1 += bytes;
         }
+        self.writes_done.fetch_add(1, Ordering::Release);
     }
 
     fn counters(&self) -> Option<CountersSnapshot> {
@@ -412,6 +463,57 @@ mod tests {
             snap.phase_secs(Phase::Exchange),
             rec.phase_secs(Phase::Exchange)
         );
+    }
+
+    #[test]
+    fn snapshots_never_tear_across_kinds() {
+        // Writers issue RequestIssued strictly before the matching
+        // CollectiveDone; an epoch-consistent snapshot must never see
+        // the done count ahead of the issued count.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let rec = Arc::new(CountingRecorder::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for w in 0..3u64 {
+                let rec = Arc::clone(&rec);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut request = (w + 1) << 32;
+                    while !stop.load(Ordering::Relaxed) {
+                        request += 1;
+                        rec.record(
+                            0,
+                            &Event::RequestIssued {
+                                request,
+                                op: crate::event::OpDir::Write,
+                                arrays: 1,
+                                pipeline_depth: 1,
+                            },
+                        );
+                        rec.record(
+                            0,
+                            &Event::CollectiveDone {
+                                request,
+                                op: crate::event::OpDir::Write,
+                                dur: Duration::from_nanos(1),
+                            },
+                        );
+                    }
+                });
+            }
+            for _ in 0..500 {
+                let snap = rec.snapshot();
+                let issued = snap.kind(EventKind::RequestIssued).count;
+                let done = snap.kind(EventKind::CollectiveDone).count;
+                assert!(
+                    done <= issued,
+                    "torn snapshot: {done} CollectiveDone vs {issued} RequestIssued"
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

@@ -311,10 +311,30 @@ pub enum Event<'a> {
         /// Wall time of the barrier (completion drain + fsync).
         dur: Duration,
     },
+    /// The master server refused to admit a collective request
+    /// (surfaced to the submitter as `PandaError::Admission`). The
+    /// flight recorder treats this as an incident trigger.
+    AdmissionReject {
+        /// The rejected request's id.
+        request: u64,
+        /// Requests waiting in the admission queue at rejection time.
+        queued: u32,
+        /// Collectives live on the server at rejection time.
+        live: u32,
+    },
+    /// A collective failed on the submitting client with a
+    /// non-admission error (protocol, transport, file system). The
+    /// flight recorder treats this as an incident trigger.
+    RequestError {
+        /// The failed request's id (0 when unknown).
+        request: u64,
+        /// Short human-readable failure description.
+        detail: &'a str,
+    },
 }
 
 /// Number of event kinds (array dimension for per-kind counters).
-pub const KIND_COUNT: usize = 23;
+pub const KIND_COUNT: usize = 25;
 
 /// Fieldless mirror of [`Event`], used to index per-kind counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -365,6 +385,10 @@ pub enum EventKind {
     FsComplete,
     /// See [`Event::DiskSyncDone`].
     DiskSyncDone,
+    /// See [`Event::AdmissionReject`].
+    AdmissionReject,
+    /// See [`Event::RequestError`].
+    RequestError,
 }
 
 impl EventKind {
@@ -393,6 +417,8 @@ impl EventKind {
         EventKind::FsSubmit,
         EventKind::FsComplete,
         EventKind::DiskSyncDone,
+        EventKind::AdmissionReject,
+        EventKind::RequestError,
     ];
 
     /// Counter index of this kind.
@@ -426,6 +452,8 @@ impl EventKind {
             EventKind::FsSubmit => "fs_submit",
             EventKind::FsComplete => "fs_complete",
             EventKind::DiskSyncDone => "disk_sync_done",
+            EventKind::AdmissionReject => "admission_reject",
+            EventKind::RequestError => "request_error",
         }
     }
 
@@ -464,6 +492,22 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Index into [`Phase::ALL`]-ordered per-phase arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Bare label (no `_s` suffix) for metric label values.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Exchange => "exchange",
+            Phase::Disk => "disk",
+            Phase::Reorg => "reorg",
+            Phase::Throttle => "throttle",
+            Phase::RecvWait => "recv_wait",
+        }
+    }
+
     /// Stable snake_case name, used as the JSON key in reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -512,6 +556,8 @@ impl Event<'_> {
             Event::FsSubmit { .. } => EventKind::FsSubmit,
             Event::FsComplete { .. } => EventKind::FsComplete,
             Event::DiskSyncDone { .. } => EventKind::DiskSyncDone,
+            Event::AdmissionReject { .. } => EventKind::AdmissionReject,
+            Event::RequestError { .. } => EventKind::RequestError,
         }
     }
 
@@ -585,7 +631,9 @@ impl Event<'_> {
             Event::RequestIssued { request, .. }
             | Event::CollectiveDone { request, .. }
             | Event::ClientPacked { request, .. }
-            | Event::ClientUnpacked { request, .. } => *request,
+            | Event::ClientUnpacked { request, .. }
+            | Event::AdmissionReject { request, .. }
+            | Event::RequestError { request, .. } => *request,
             _ => self.key().map(|k| k.request).unwrap_or(0),
         };
         (id != 0).then_some(id)
@@ -628,6 +676,7 @@ impl Event<'_> {
             | Event::FsSync { file, .. }
             | Event::FsSubmit { file, .. }
             | Event::FsComplete { file, .. } => Some(file),
+            Event::RequestError { detail, .. } => Some(detail),
             _ => None,
         }
     }

@@ -1,0 +1,926 @@
+//! The live metrics plane: a lock-free sharded registry fed by the
+//! [`Recorder`] event stream.
+//!
+//! A [`MetricsHub`] is the "always-on" counterpart of the post-hoc
+//! [`crate::RunReport`]: instead of walking a retained timeline after a
+//! run, it folds every event into per-kind counters, per-phase
+//! least-squares moments + log₂ latency histograms, and per-tenant
+//! request ledgers *as the events happen*, all with relaxed atomics so
+//! the collective hot path pays a handful of uncontended adds. A
+//! [`MetricsHub::snapshot`] merges the shards into a typed
+//! [`MetricsSnapshot`] with p50/p95/p99 derivation, which renders to
+//! Prometheus text exposition ([`MetricsSnapshot::to_prometheus`]) for
+//! the `/metrics` scrape surface and bridges back into calibration form
+//! ([`MetricsSnapshot::phase_stats`]) for the drift detector in
+//! `panda-model`.
+//!
+//! Tenancy: request ids are minted as `((rank + 1) << 32) | counter`,
+//! so the submitting client rank — the session owner — is recoverable
+//! as `(request >> 32) - 1`. The hub keys its per-tenant slots on that
+//! rank. Slots are claimed lock-free by linear probing; when a shard's
+//! table is full further tenants are tallied in an overflow counter
+//! rather than blocking the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::calibrate::PhaseStats;
+use crate::counting::{quantile_of, LatencyHistogram, HIST_BUCKETS};
+use crate::event::{Event, EventKind, Phase, KIND_COUNT};
+use crate::recorder::Recorder;
+
+/// Shards in a [`MetricsHub`] (power of two; events land on
+/// `node % SHARDS`, so clients and servers spread across them).
+const SHARDS: usize = 16;
+
+/// Tenant slots per shard. A shard that sees more distinct tenants than
+/// this tallies the excess in [`MetricsSnapshot::tenant_overflow`].
+const TENANT_SLOTS: usize = 32;
+
+/// Empty-slot sentinel for tenant claim words.
+const NO_TENANT: u64 = u64::MAX;
+
+const PHASES: usize = Phase::ALL.len();
+
+/// Add `v` to an `f64` stored as bits in an [`AtomicU64`] (CAS loop —
+/// lock-free, no ordering guarantees beyond atomicity, which is all the
+/// statistics need).
+fn f64_fetch_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Per-phase accumulation: counters plus the least-squares moments
+/// (`Σx²`, `Σxy` with x = event bytes, y = event seconds) needed to
+/// refit a `per_op + per_byte · bytes` cost line from live traffic.
+#[derive(Debug)]
+struct PhaseCell {
+    ops: AtomicU64,
+    bytes: AtomicU64,
+    nanos: AtomicU64,
+    sum_xx_bits: AtomicU64,
+    sum_xy_bits: AtomicU64,
+    hist: LatencyHistogram,
+}
+
+impl PhaseCell {
+    fn new() -> Self {
+        PhaseCell {
+            ops: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+            sum_xx_bits: AtomicU64::new(0f64.to_bits()),
+            sum_xy_bits: AtomicU64::new(0f64.to_bits()),
+            hist: LatencyHistogram::new(),
+        }
+    }
+}
+
+/// One tenant's ledger within a shard. The slot is claimed by CAS on
+/// `tenant` (from [`NO_TENANT`]); counters are plain relaxed adds.
+#[derive(Debug)]
+struct TenantCell {
+    tenant: AtomicU64,
+    requests: AtomicU64,
+    done: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    phase_ops: [AtomicU64; PHASES],
+    phase_bytes: [AtomicU64; PHASES],
+    phase_nanos: [AtomicU64; PHASES],
+    done_hist: LatencyHistogram,
+}
+
+impl TenantCell {
+    fn new() -> Self {
+        TenantCell {
+            tenant: AtomicU64::new(NO_TENANT),
+            requests: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            phase_ops: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_bytes: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            done_hist: LatencyHistogram::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    count: [AtomicU64; KIND_COUNT],
+    bytes: [AtomicU64; KIND_COUNT],
+    nanos: [AtomicU64; KIND_COUNT],
+    phases: [PhaseCell; PHASES],
+    tenants: [TenantCell; TENANT_SLOTS],
+    tenant_overflow: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            count: std::array::from_fn(|_| AtomicU64::new(0)),
+            bytes: std::array::from_fn(|_| AtomicU64::new(0)),
+            nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            phases: std::array::from_fn(|_| PhaseCell::new()),
+            tenants: std::array::from_fn(|_| TenantCell::new()),
+            tenant_overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// Find or claim the slot for `tenant` (lock-free linear probe).
+    fn tenant_cell(&self, tenant: u64) -> Option<&TenantCell> {
+        let start = tenant as usize % TENANT_SLOTS;
+        for i in 0..TENANT_SLOTS {
+            let cell = &self.tenants[(start + i) % TENANT_SLOTS];
+            let cur = cell.tenant.load(Ordering::Acquire);
+            if cur == tenant {
+                return Some(cell);
+            }
+            if cur == NO_TENANT {
+                match cell.tenant.compare_exchange(
+                    NO_TENANT,
+                    tenant,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Some(cell),
+                    Err(actual) if actual == tenant => return Some(cell),
+                    Err(_) => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The session rank a request id belongs to, per the service's minting
+/// scheme (`((rank + 1) << 32) | counter`). `None` for unscoped ids.
+pub fn tenant_of(request: u64) -> Option<u64> {
+    let owner = request >> 32;
+    (owner != 0).then(|| owner - 1)
+}
+
+/// A lock-free sharded live-metrics registry; see the module docs.
+#[derive(Debug)]
+pub struct MetricsHub {
+    epoch: Instant,
+    shards: Box<[Shard]>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsHub {
+    /// A fresh hub with zeroed counters.
+    pub fn new() -> Self {
+        MetricsHub {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Merge every shard into one consistent-enough view. Counters are
+    /// read with relaxed loads — unlike `CountingRecorder::snapshot`
+    /// this does not retry for epoch consistency, because the scrape
+    /// surface tolerates (and Prometheus expects) monotone counters
+    /// read racily.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut kinds = Vec::with_capacity(KIND_COUNT);
+        for kind in EventKind::ALL {
+            let i = kind.index();
+            let mut count = 0u64;
+            let mut bytes = 0u64;
+            let mut nanos = 0u64;
+            for s in self.shards.iter() {
+                count += s.count[i].load(Ordering::Relaxed);
+                bytes += s.bytes[i].load(Ordering::Relaxed);
+                nanos += s.nanos[i].load(Ordering::Relaxed);
+            }
+            kinds.push(KindCounter {
+                kind,
+                count,
+                bytes,
+                secs: nanos as f64 / 1e9,
+            });
+        }
+
+        let mut phases = Vec::with_capacity(PHASES);
+        for phase in Phase::ALL {
+            let p = phase.index();
+            let mut ops = 0u64;
+            let mut bytes = 0u64;
+            let mut nanos = 0u64;
+            let mut sum_xx = 0f64;
+            let mut sum_xy = 0f64;
+            let mut buckets = vec![0u64; HIST_BUCKETS];
+            for s in self.shards.iter() {
+                let cell = &s.phases[p];
+                ops += cell.ops.load(Ordering::Relaxed);
+                bytes += cell.bytes.load(Ordering::Relaxed);
+                nanos += cell.nanos.load(Ordering::Relaxed);
+                sum_xx += f64::from_bits(cell.sum_xx_bits.load(Ordering::Relaxed));
+                sum_xy += f64::from_bits(cell.sum_xy_bits.load(Ordering::Relaxed));
+                for (acc, c) in buckets.iter_mut().zip(cell.hist.bucket_counts()) {
+                    *acc += c;
+                }
+            }
+            phases.push(PhaseMetrics {
+                phase,
+                ops,
+                bytes,
+                secs: nanos as f64 / 1e9,
+                sum_xx,
+                sum_xy,
+                p50_s: quantile_of(&buckets, 0.50),
+                p95_s: quantile_of(&buckets, 0.95),
+                p99_s: quantile_of(&buckets, 0.99),
+                buckets,
+            });
+        }
+
+        let mut by_tenant: BTreeMap<u64, TenantMetrics> = BTreeMap::new();
+        let mut tenant_overflow = 0u64;
+        for s in self.shards.iter() {
+            tenant_overflow += s.tenant_overflow.load(Ordering::Relaxed);
+            for cell in &s.tenants {
+                let tenant = cell.tenant.load(Ordering::Acquire);
+                if tenant == NO_TENANT {
+                    continue;
+                }
+                let t = by_tenant.entry(tenant).or_insert_with(|| TenantMetrics {
+                    tenant,
+                    requests: 0,
+                    done: 0,
+                    rejected: 0,
+                    errors: 0,
+                    phase_ops: [0; PHASES],
+                    phase_bytes: [0; PHASES],
+                    phase_secs: [0.0; PHASES],
+                    p50_s: 0.0,
+                    p95_s: 0.0,
+                    p99_s: 0.0,
+                    done_buckets: vec![0; HIST_BUCKETS],
+                });
+                t.requests += cell.requests.load(Ordering::Relaxed);
+                t.done += cell.done.load(Ordering::Relaxed);
+                t.rejected += cell.rejected.load(Ordering::Relaxed);
+                t.errors += cell.errors.load(Ordering::Relaxed);
+                for p in 0..PHASES {
+                    t.phase_ops[p] += cell.phase_ops[p].load(Ordering::Relaxed);
+                    t.phase_bytes[p] += cell.phase_bytes[p].load(Ordering::Relaxed);
+                    t.phase_secs[p] += cell.phase_nanos[p].load(Ordering::Relaxed) as f64 / 1e9;
+                }
+                for (acc, c) in t
+                    .done_buckets
+                    .iter_mut()
+                    .zip(cell.done_hist.bucket_counts())
+                {
+                    *acc += c;
+                }
+            }
+        }
+        let tenants: Vec<TenantMetrics> = by_tenant
+            .into_values()
+            .map(|mut t| {
+                t.p50_s = quantile_of(&t.done_buckets, 0.50);
+                t.p95_s = quantile_of(&t.done_buckets, 0.95);
+                t.p99_s = quantile_of(&t.done_buckets, 0.99);
+                t
+            })
+            .collect();
+
+        MetricsSnapshot {
+            uptime_s: self.epoch.elapsed().as_secs_f64(),
+            kinds,
+            phases,
+            tenants,
+            tenant_overflow,
+        }
+    }
+}
+
+impl Recorder for MetricsHub {
+    fn record(&self, node: u32, event: &Event<'_>) {
+        let shard = &self.shards[node as usize % SHARDS];
+        let idx = event.kind().index();
+        shard.count[idx].fetch_add(1, Ordering::Relaxed);
+        let bytes = event.bytes();
+        if bytes > 0 {
+            shard.bytes[idx].fetch_add(bytes, Ordering::Relaxed);
+        }
+        let dur = event.dur();
+        let nanos = dur.map_or(0, |d| d.as_nanos() as u64);
+        if nanos > 0 {
+            shard.nanos[idx].fetch_add(nanos, Ordering::Relaxed);
+        }
+
+        let phase = event.kind().phase();
+        if let Some(phase) = phase {
+            let cell = &shard.phases[phase.index()];
+            cell.ops.fetch_add(1, Ordering::Relaxed);
+            if bytes > 0 {
+                cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
+            cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+            cell.hist.record_nanos(nanos);
+            let x = bytes as f64;
+            let y = nanos as f64 / 1e9;
+            f64_fetch_add(&cell.sum_xx_bits, x * x);
+            f64_fetch_add(&cell.sum_xy_bits, x * y);
+        }
+
+        if let Some(tenant) = event.request().and_then(tenant_of) {
+            match shard.tenant_cell(tenant) {
+                Some(cell) => {
+                    match event.kind() {
+                        EventKind::RequestIssued => {
+                            cell.requests.fetch_add(1, Ordering::Relaxed);
+                        }
+                        EventKind::CollectiveDone => {
+                            cell.done.fetch_add(1, Ordering::Relaxed);
+                            cell.done_hist.record_nanos(nanos);
+                        }
+                        EventKind::AdmissionReject => {
+                            cell.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        EventKind::RequestError => {
+                            cell.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    if let Some(phase) = phase {
+                        let p = phase.index();
+                        cell.phase_ops[p].fetch_add(1, Ordering::Relaxed);
+                        if bytes > 0 {
+                            cell.phase_bytes[p].fetch_add(bytes, Ordering::Relaxed);
+                        }
+                        cell.phase_nanos[p].fetch_add(nanos, Ordering::Relaxed);
+                    }
+                }
+                None => {
+                    shard.tenant_overflow.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        Some(self.snapshot())
+    }
+}
+
+/// One kind's merged counters in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindCounter {
+    /// The event kind.
+    pub kind: EventKind,
+    /// Events recorded.
+    pub count: u64,
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Duration carried, seconds.
+    pub secs: f64,
+}
+
+/// One phase's merged counters, moments, and latency quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetrics {
+    /// The phase.
+    pub phase: Phase,
+    /// Duration-carrying events folded into this phase.
+    pub ops: u64,
+    /// Bytes those events carried.
+    pub bytes: u64,
+    /// Seconds those events carried.
+    pub secs: f64,
+    /// `Σx²` over events (x = bytes).
+    pub sum_xx: f64,
+    /// `Σxy` over events (x = bytes, y = seconds).
+    pub sum_xy: f64,
+    /// Median per-event latency (log₂-bucket upper bound), seconds.
+    pub p50_s: f64,
+    /// 95th-percentile per-event latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile per-event latency, seconds.
+    pub p99_s: f64,
+    /// Raw log₂ histogram occupancy (for window deltas).
+    pub buckets: Vec<u64>,
+}
+
+/// One tenant's merged ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Session owner rank (the submitting client).
+    pub tenant: u64,
+    /// Collectives issued on servers for this tenant.
+    pub requests: u64,
+    /// Collective completions (all participating nodes).
+    pub done: u64,
+    /// Admission rejections.
+    pub rejected: u64,
+    /// Non-admission failures.
+    pub errors: u64,
+    /// Per-phase event counts, [`Phase::ALL`] order.
+    pub phase_ops: [u64; PHASES],
+    /// Per-phase bytes, [`Phase::ALL`] order.
+    pub phase_bytes: [u64; PHASES],
+    /// Per-phase seconds, [`Phase::ALL`] order.
+    pub phase_secs: [f64; PHASES],
+    /// Median collective-completion latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile collective-completion latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile collective-completion latency, seconds.
+    pub p99_s: f64,
+    /// Raw completion-latency histogram (for window deltas).
+    pub done_buckets: Vec<u64>,
+}
+
+/// A merged, typed view of a [`MetricsHub`] at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Seconds since the hub was created.
+    pub uptime_s: f64,
+    /// Per-kind counters, [`EventKind::ALL`] order.
+    pub kinds: Vec<KindCounter>,
+    /// Per-phase metrics, [`Phase::ALL`] order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Per-tenant ledgers, sorted by tenant rank.
+    pub tenants: Vec<TenantMetrics>,
+    /// Events whose tenant could not get a slot (table full).
+    pub tenant_overflow: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counters for one kind.
+    pub fn kind(&self, kind: EventKind) -> &KindCounter {
+        &self.kinds[kind.index()]
+    }
+
+    /// Metrics for one phase.
+    pub fn phase(&self, phase: Phase) -> &PhaseMetrics {
+        &self.phases[phase.index()]
+    }
+
+    /// This phase's moments as calibration-form [`PhaseStats`], ready
+    /// for `CostLine::from_stats` in the drift loop.
+    pub fn phase_stats(&self, phase: Phase) -> PhaseStats {
+        let p = self.phase(phase);
+        PhaseStats::from_moments(p.ops, p.bytes, p.secs, p.sum_xx, p.sum_xy)
+    }
+
+    /// The ledger for one tenant, if it has been seen.
+    pub fn tenant(&self, tenant: u64) -> Option<&TenantMetrics> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+
+    /// Counters accumulated since `baseline` (an earlier snapshot of
+    /// the same hub): the window view the drift detector scores, so a
+    /// backend change mid-run is not averaged away by pre-change
+    /// history. Saturating per field; quantiles are recomputed from the
+    /// bucket deltas.
+    pub fn since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| {
+                let b = baseline.kind(k.kind);
+                KindCounter {
+                    kind: k.kind,
+                    count: k.count.saturating_sub(b.count),
+                    bytes: k.bytes.saturating_sub(b.bytes),
+                    secs: (k.secs - b.secs).max(0.0),
+                }
+            })
+            .collect();
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                let b = baseline.phase(p.phase);
+                let buckets: Vec<u64> = p
+                    .buckets
+                    .iter()
+                    .zip(&b.buckets)
+                    .map(|(c, bc)| c.saturating_sub(*bc))
+                    .collect();
+                PhaseMetrics {
+                    phase: p.phase,
+                    ops: p.ops.saturating_sub(b.ops),
+                    bytes: p.bytes.saturating_sub(b.bytes),
+                    secs: (p.secs - b.secs).max(0.0),
+                    sum_xx: (p.sum_xx - b.sum_xx).max(0.0),
+                    sum_xy: (p.sum_xy - b.sum_xy).max(0.0),
+                    p50_s: quantile_of(&buckets, 0.50),
+                    p95_s: quantile_of(&buckets, 0.95),
+                    p99_s: quantile_of(&buckets, 0.99),
+                    buckets,
+                }
+            })
+            .collect();
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let empty_buckets = vec![0u64; t.done_buckets.len()];
+                let (br, bd, brej, berr, bops, bbytes, bsecs, bbuckets) =
+                    match baseline.tenant(t.tenant) {
+                        Some(b) => (
+                            b.requests,
+                            b.done,
+                            b.rejected,
+                            b.errors,
+                            b.phase_ops,
+                            b.phase_bytes,
+                            b.phase_secs,
+                            b.done_buckets.clone(),
+                        ),
+                        None => (
+                            0,
+                            0,
+                            0,
+                            0,
+                            [0; PHASES],
+                            [0; PHASES],
+                            [0.0; PHASES],
+                            empty_buckets,
+                        ),
+                    };
+                let done_buckets: Vec<u64> = t
+                    .done_buckets
+                    .iter()
+                    .zip(&bbuckets)
+                    .map(|(c, bc)| c.saturating_sub(*bc))
+                    .collect();
+                TenantMetrics {
+                    tenant: t.tenant,
+                    requests: t.requests.saturating_sub(br),
+                    done: t.done.saturating_sub(bd),
+                    rejected: t.rejected.saturating_sub(brej),
+                    errors: t.errors.saturating_sub(berr),
+                    phase_ops: std::array::from_fn(|p| t.phase_ops[p].saturating_sub(bops[p])),
+                    phase_bytes: std::array::from_fn(|p| {
+                        t.phase_bytes[p].saturating_sub(bbytes[p])
+                    }),
+                    phase_secs: std::array::from_fn(|p| (t.phase_secs[p] - bsecs[p]).max(0.0)),
+                    p50_s: quantile_of(&done_buckets, 0.50),
+                    p95_s: quantile_of(&done_buckets, 0.95),
+                    p99_s: quantile_of(&done_buckets, 0.99),
+                    done_buckets,
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            uptime_s: (self.uptime_s - baseline.uptime_s).max(0.0),
+            kinds,
+            phases,
+            tenants,
+            tenant_overflow: self
+                .tenant_overflow
+                .saturating_sub(baseline.tenant_overflow),
+        }
+    }
+
+    /// Render as Prometheus text exposition (version 0.0.4): `# HELP` /
+    /// `# TYPE` headers, `panda_*` families, `kind`/`phase`/`tenant`
+    /// label dimensions.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        out.push_str("# HELP panda_uptime_seconds Seconds since the metrics hub was created.\n");
+        out.push_str("# TYPE panda_uptime_seconds gauge\n");
+        let _ = writeln!(out, "panda_uptime_seconds {}", fmt_f64(self.uptime_s));
+
+        out.push_str("# HELP panda_events_total Instrumentation events recorded, by kind.\n");
+        out.push_str("# TYPE panda_events_total counter\n");
+        for k in &self.kinds {
+            if k.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "panda_events_total{{kind=\"{}\"}} {}",
+                    k.kind.name(),
+                    k.count
+                );
+            }
+        }
+        out.push_str("# HELP panda_event_bytes_total Bytes carried by events, by kind.\n");
+        out.push_str("# TYPE panda_event_bytes_total counter\n");
+        for k in &self.kinds {
+            if k.bytes > 0 {
+                let _ = writeln!(
+                    out,
+                    "panda_event_bytes_total{{kind=\"{}\"}} {}",
+                    k.kind.name(),
+                    k.bytes
+                );
+            }
+        }
+
+        out.push_str("# HELP panda_phase_seconds_total Time folded into each paper-style phase.\n");
+        out.push_str("# TYPE panda_phase_seconds_total counter\n");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "panda_phase_seconds_total{{phase=\"{}\"}} {}",
+                p.phase.label(),
+                fmt_f64(p.secs)
+            );
+        }
+        out.push_str("# HELP panda_phase_ops_total Duration-carrying events per phase.\n");
+        out.push_str("# TYPE panda_phase_ops_total counter\n");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "panda_phase_ops_total{{phase=\"{}\"}} {}",
+                p.phase.label(),
+                p.ops
+            );
+        }
+        out.push_str("# HELP panda_phase_bytes_total Bytes moved per phase.\n");
+        out.push_str("# TYPE panda_phase_bytes_total counter\n");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "panda_phase_bytes_total{{phase=\"{}\"}} {}",
+                p.phase.label(),
+                p.bytes
+            );
+        }
+        out.push_str(
+            "# HELP panda_phase_latency_seconds Per-event phase latency (log2-bucket upper bounds).\n",
+        );
+        out.push_str("# TYPE panda_phase_latency_seconds summary\n");
+        for p in &self.phases {
+            for (q, v) in [("0.5", p.p50_s), ("0.95", p.p95_s), ("0.99", p.p99_s)] {
+                let _ = writeln!(
+                    out,
+                    "panda_phase_latency_seconds{{phase=\"{}\",quantile=\"{}\"}} {}",
+                    p.phase.label(),
+                    q,
+                    fmt_f64(v)
+                );
+            }
+        }
+
+        out.push_str("# HELP panda_tenant_requests_total Collectives admitted, by tenant.\n");
+        out.push_str("# TYPE panda_tenant_requests_total counter\n");
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "panda_tenant_requests_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.requests
+            );
+        }
+        out.push_str(
+            "# HELP panda_tenant_done_total Collective completions (all nodes), by tenant.\n",
+        );
+        out.push_str("# TYPE panda_tenant_done_total counter\n");
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "panda_tenant_done_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.done
+            );
+        }
+        out.push_str("# HELP panda_tenant_rejected_total Admission rejections, by tenant.\n");
+        out.push_str("# TYPE panda_tenant_rejected_total counter\n");
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "panda_tenant_rejected_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.rejected
+            );
+        }
+        out.push_str("# HELP panda_tenant_errors_total Non-admission failures, by tenant.\n");
+        out.push_str("# TYPE panda_tenant_errors_total counter\n");
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "panda_tenant_errors_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.errors
+            );
+        }
+        out.push_str(
+            "# HELP panda_tenant_request_seconds Collective completion latency, by tenant.\n",
+        );
+        out.push_str("# TYPE panda_tenant_request_seconds summary\n");
+        for t in &self.tenants {
+            for (q, v) in [("0.5", t.p50_s), ("0.95", t.p95_s), ("0.99", t.p99_s)] {
+                let _ = writeln!(
+                    out,
+                    "panda_tenant_request_seconds{{tenant=\"{}\",quantile=\"{}\"}} {}",
+                    t.tenant,
+                    q,
+                    fmt_f64(v)
+                );
+            }
+        }
+
+        out.push_str(
+            "# HELP panda_tenant_overflow_total Tenant-scoped events dropped from per-tenant tables.\n",
+        );
+        out.push_str("# TYPE panda_tenant_overflow_total counter\n");
+        let _ = writeln!(out, "panda_tenant_overflow_total {}", self.tenant_overflow);
+        out
+    }
+}
+
+/// Finite decimal rendering (Prometheus forbids `NaN`-ish surprises in
+/// practice; non-finite values render as 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{OpDir, SubchunkKey};
+    use std::time::Duration;
+
+    fn feed_request(hub: &MetricsHub, node: u32, request: u64, subchunks: u32) {
+        hub.record(
+            node,
+            &Event::RequestIssued {
+                request,
+                op: OpDir::Write,
+                arrays: 1,
+                pipeline_depth: 2,
+            },
+        );
+        for c in 0..subchunks {
+            hub.record(
+                node,
+                &Event::DiskWriteDone {
+                    key: SubchunkKey::scoped(request, 0, 0, c as usize),
+                    offset: u64::from(c) * 4096,
+                    bytes: 4096,
+                    dur: Duration::from_micros(500),
+                },
+            );
+        }
+        hub.record(
+            node,
+            &Event::CollectiveDone {
+                request,
+                op: OpDir::Write,
+                dur: Duration::from_millis(3),
+            },
+        );
+    }
+
+    #[test]
+    fn tenant_of_inverts_the_minting_scheme() {
+        assert_eq!(tenant_of((1 << 32) | 7), Some(0));
+        assert_eq!(tenant_of((5 << 32) | 1), Some(4));
+        assert_eq!(tenant_of(0), None);
+        assert_eq!(tenant_of(41), None, "unscoped low ids have no tenant");
+    }
+
+    #[test]
+    fn aggregates_kinds_phases_and_tenants() {
+        let hub = MetricsHub::new();
+        feed_request(&hub, 4, (1 << 32) | 1, 3); // tenant 0 on node 4
+        feed_request(&hub, 5, (2 << 32) | 1, 2); // tenant 1 on node 5
+        let snap = hub.snapshot();
+        assert_eq!(snap.kind(EventKind::RequestIssued).count, 2);
+        assert_eq!(snap.kind(EventKind::DiskWriteDone).count, 5);
+        assert_eq!(snap.kind(EventKind::DiskWriteDone).bytes, 5 * 4096);
+        let disk = snap.phase(Phase::Disk);
+        assert_eq!(disk.ops, 5);
+        assert_eq!(disk.bytes, 5 * 4096);
+        assert!((disk.secs - 5.0 * 500e-6).abs() < 1e-9);
+        assert!(disk.p50_s >= 500e-6 && disk.p99_s >= disk.p50_s);
+        assert_eq!(snap.tenants.len(), 2);
+        let t0 = snap.tenant(0).unwrap();
+        assert_eq!(t0.requests, 1);
+        assert_eq!(t0.done, 1);
+        assert_eq!(t0.phase_ops[Phase::Disk.index()], 3);
+        assert_eq!(t0.phase_bytes[Phase::Disk.index()], 3 * 4096);
+        assert!(t0.p99_s >= 3e-3, "completion tail covers the 3 ms done");
+        assert_eq!(snap.tenant(1).unwrap().phase_ops[Phase::Disk.index()], 2);
+        assert_eq!(snap.tenant_overflow, 0);
+    }
+
+    #[test]
+    fn moments_round_trip_into_a_cost_line_fit() {
+        let hub = MetricsHub::new();
+        // Disk events at two sizes with a known line: t = 1e-4 + 1e-8·x.
+        for (i, &bytes) in [1024u64, 1024, 8192, 8192].iter().enumerate() {
+            let secs = 1e-4 + 1e-8 * bytes as f64;
+            hub.record(
+                6,
+                &Event::DiskWriteDone {
+                    key: SubchunkKey::scoped(1 << 32, 0, 0, i),
+                    offset: 0,
+                    bytes,
+                    dur: Duration::from_secs_f64(secs),
+                },
+            );
+        }
+        let stats = hub.snapshot().phase_stats(Phase::Disk);
+        let (per_op, per_byte) = stats.fit_line().expect("two sizes identify the line");
+        assert!((per_op - 1e-4).abs() < 2e-6, "per_op {per_op}");
+        assert!((per_byte - 1e-8).abs() < 2e-10, "per_byte {per_byte}");
+    }
+
+    #[test]
+    fn since_isolates_the_window() {
+        let hub = MetricsHub::new();
+        feed_request(&hub, 4, (1 << 32) | 1, 4);
+        let base = hub.snapshot();
+        feed_request(&hub, 4, (1 << 32) | 2, 2);
+        let window = hub.snapshot().since(&base);
+        assert_eq!(window.kind(EventKind::RequestIssued).count, 1);
+        assert_eq!(window.phase(Phase::Disk).ops, 2);
+        assert_eq!(window.phase(Phase::Disk).bytes, 2 * 4096);
+        let t0 = window.tenant(0).unwrap();
+        assert_eq!(t0.requests, 1);
+        assert_eq!(t0.done, 1);
+    }
+
+    #[test]
+    fn shards_merge_across_nodes() {
+        let hub = MetricsHub::new();
+        // Same tenant reporting from many ranks (client + servers).
+        for node in 0..40u32 {
+            feed_request(&hub, node, (3 << 32) | (u64::from(node) + 1), 1);
+        }
+        let snap = hub.snapshot();
+        assert_eq!(snap.kind(EventKind::RequestIssued).count, 40);
+        let t = snap.tenant(2).unwrap();
+        assert_eq!(t.requests, 40);
+        assert_eq!(t.done, 40);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let hub = Arc::new(MetricsHub::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let hub = Arc::clone(&hub);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        feed_request(&hub, t as u32, ((t + 1) << 32) | (i + 1), 1);
+                    }
+                });
+            }
+        });
+        let snap = hub.snapshot();
+        assert_eq!(snap.kind(EventKind::RequestIssued).count, 8 * 500);
+        assert_eq!(snap.kind(EventKind::CollectiveDone).count, 8 * 500);
+        assert_eq!(snap.phase(Phase::Disk).ops, 8 * 500);
+        assert_eq!(snap.tenants.len(), 8);
+        for t in 0..8u64 {
+            assert_eq!(snap.tenant(t).unwrap().requests, 500);
+        }
+        assert_eq!(snap.tenant_overflow, 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let hub = MetricsHub::new();
+        feed_request(&hub, 4, (1 << 32) | 1, 2);
+        let text = hub.snapshot().to_prometheus();
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP panda_") || line.starts_with("# TYPE panda_"),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            // name{labels} value | name value
+            let (head, value) = line.rsplit_once(' ').expect("metric line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in: {line}");
+            let name = head.split('{').next().unwrap();
+            assert!(name.starts_with("panda_"), "bad family name in: {line}");
+            if let Some(rest) = head.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(rest.starts_with('{') && rest.ends_with('}'), "{line}");
+                }
+            }
+        }
+        assert!(text.contains("panda_events_total{kind=\"request_issued\"} 1"));
+        assert!(text.contains("panda_phase_seconds_total{phase=\"disk\"}"));
+        assert!(text.contains("panda_tenant_requests_total{tenant=\"0\"} 1"));
+        assert!(text.contains("panda_tenant_request_seconds{tenant=\"0\",quantile=\"0.99\"}"));
+    }
+}

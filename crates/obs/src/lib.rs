@@ -26,6 +26,18 @@
 //!   throttle), per-node phase sums, per-kind counters, and — with a
 //!   timeline — per-subchunk phase durations.
 //!
+//! The *live* telemetry plane builds on the same event stream:
+//!
+//! * [`MetricsHub`] — lock-free sharded counters, per-phase cost-line
+//!   moments, log₂ latency histograms, and per-tenant ledgers,
+//!   snapshotted on demand into a [`MetricsSnapshot`] with p50/p95/p99
+//!   derivation and Prometheus text exposition;
+//! * [`FlightRecorder`] — an always-on bounded ring that dumps a Chrome
+//!   trace automatically on admission rejections, request errors, or
+//!   SLO-breaching collectives;
+//! * [`FanoutRecorder`] — forwards one event stream to several sinks
+//!   (e.g. a timeline for calibration plus a hub for scraping).
+//!
 //! The crate has no dependency on the rest of the workspace; `panda-msg`,
 //! `panda-fs`, and `panda-core` all depend on it and report through the
 //! same trait.
@@ -35,6 +47,8 @@
 pub mod calibrate;
 pub mod counting;
 pub mod event;
+pub mod flight;
+pub mod hub;
 pub mod json;
 pub mod recorder;
 pub mod report;
@@ -43,6 +57,8 @@ pub mod timeline;
 pub use calibrate::{CalibrationSummary, PhaseStats, CALIBRATION_SCHEMA};
 pub use counting::{CountersSnapshot, CountingRecorder, KindStats, TagStats};
 pub use event::{Event, EventKind, OpDir, Phase, SubchunkKey, KIND_COUNT};
-pub use recorder::{null_recorder, NullRecorder, Recorder};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY, DEFAULT_MAX_DUMPS};
+pub use hub::{tenant_of, KindCounter, MetricsHub, MetricsSnapshot, PhaseMetrics, TenantMetrics};
+pub use recorder::{null_recorder, FanoutRecorder, NullRecorder, Recorder};
 pub use report::{NodePhases, PhaseTotals, RunReport, SubchunkPhases, REPORT_SCHEMA};
-pub use timeline::{TimelineEvent, TimelineRecorder, DEFAULT_TIMELINE_CAPACITY};
+pub use timeline::{chrome_trace, TimelineEvent, TimelineRecorder, DEFAULT_TIMELINE_CAPACITY};

@@ -5,6 +5,7 @@ use std::sync::{Arc, OnceLock};
 
 use crate::counting::CountersSnapshot;
 use crate::event::Event;
+use crate::hub::MetricsSnapshot;
 use crate::timeline::TimelineEvent;
 
 /// A sink for instrumentation events.
@@ -46,6 +47,57 @@ pub trait Recorder: fmt::Debug + Send + Sync {
     /// recorders that never drop.
     fn dropped(&self) -> u64 {
         0
+    }
+
+    /// A live metrics snapshot, if this recorder is (or forwards to) a
+    /// [`crate::MetricsHub`]. Lets scrape surfaces reach the hub through
+    /// an `Arc<dyn Recorder>` without downcasting.
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        None
+    }
+}
+
+/// A recorder that forwards every event to several children — e.g. a
+/// [`crate::TimelineRecorder`] (for calibration, which needs per-subchunk
+/// rows) alongside a [`crate::MetricsHub`] (for the live scrape surface)
+/// and a [`crate::FlightRecorder`] (for incident dumps).
+#[derive(Debug)]
+pub struct FanoutRecorder {
+    children: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Forward to `children`, in order.
+    pub fn new(children: Vec<Arc<dyn Recorder>>) -> Self {
+        FanoutRecorder { children }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn enabled(&self) -> bool {
+        self.children.iter().any(|c| c.enabled())
+    }
+
+    fn record(&self, node: u32, event: &Event<'_>) {
+        for c in &self.children {
+            c.record(node, event);
+        }
+    }
+
+    fn counters(&self) -> Option<CountersSnapshot> {
+        self.children.iter().find_map(|c| c.counters())
+    }
+
+    fn timeline(&self) -> Option<Vec<TimelineEvent>> {
+        self.children.iter().find_map(|c| c.timeline())
+    }
+
+    fn dropped(&self) -> u64 {
+        self.children.iter().map(|c| c.dropped()).sum()
+    }
+
+    fn metrics(&self) -> Option<MetricsSnapshot> {
+        self.children.iter().find_map(|c| c.metrics())
     }
 }
 

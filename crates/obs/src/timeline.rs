@@ -48,6 +48,103 @@ impl TimelineEvent {
     pub fn start_nanos(&self) -> u64 {
         self.ts_nanos.saturating_sub(self.dur_nanos)
     }
+
+    /// Flatten a borrowed [`Event`] into an owned record, stamping its
+    /// end time as `elapsed` nanoseconds since the caller's epoch. This
+    /// is the one place event fields are projected into storage form —
+    /// shared by [`TimelineRecorder`] and the flight recorder.
+    pub fn from_event(ts_nanos: u64, node: u32, event: &Event<'_>) -> Self {
+        TimelineEvent {
+            ts_nanos,
+            node,
+            kind: event.kind(),
+            request: event.request(),
+            key: event.key(),
+            bytes: event.bytes(),
+            dur_nanos: event.dur().unwrap_or(Duration::ZERO).as_nanos() as u64,
+            peer: event.peer(),
+            tag: event.tag(),
+            sequential: event.sequential(),
+            label: event.label().map(str::to_owned),
+        }
+    }
+}
+
+/// Serialize `events` as a Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`), loadable in `about:tracing` or Perfetto.
+/// Duration-carrying events become complete (`"X"`) events; the rest
+/// become instants (`"i"`). `tid` is the node rank.
+pub fn chrome_trace(events: &[TimelineEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::push_str(&mut out, e.kind.name());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&e.node.to_string());
+        if e.dur_nanos > 0 {
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            json::push_f64(&mut out, e.start_nanos() as f64 / 1e3);
+            out.push_str(",\"dur\":");
+            json::push_f64(&mut out, e.dur_nanos as f64 / 1e3);
+        } else {
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+            json::push_f64(&mut out, e.ts_nanos as f64 / 1e3);
+        }
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        let mut arg = |out: &mut String, k: &str, v: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::push_str(out, k);
+            out.push(':');
+            out.push_str(&v);
+        };
+        if let Some(key) = e.key {
+            // Unscoped keys keep the pre-tenancy `s…a…c…` shape so
+            // existing trace consumers are unaffected.
+            let prefix = match key.request {
+                0 => String::new(),
+                r => format!("r{r}"),
+            };
+            arg(
+                &mut out,
+                "key",
+                format!(
+                    "\"{}s{}a{}c{}\"",
+                    prefix, key.server, key.array, key.subchunk
+                ),
+            );
+        }
+        if let Some(request) = e.request {
+            arg(&mut out, "request", request.to_string());
+        }
+        if e.bytes > 0 {
+            arg(&mut out, "bytes", e.bytes.to_string());
+        }
+        if let Some(peer) = e.peer {
+            arg(&mut out, "peer", peer.to_string());
+        }
+        if let Some(tag) = e.tag {
+            arg(&mut out, "tag", tag.to_string());
+        }
+        if let Some(seq) = e.sequential {
+            arg(&mut out, "sequential", seq.to_string());
+        }
+        if let Some(label) = &e.label {
+            let mut s = String::new();
+            json::push_str(&mut s, label);
+            arg(&mut out, "file", s);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// A [`Recorder`] that keeps every event in a bounded ring buffer (oldest
@@ -106,81 +203,10 @@ impl TimelineRecorder {
     }
 
     /// Serialize the retained events as a Chrome `trace_event` JSON
-    /// document (`{"traceEvents": [...]}`), loadable in `about:tracing`
-    /// or Perfetto. Duration-carrying events become complete (`"X"`)
-    /// events; the rest become instants (`"i"`). `tid` is the node rank.
+    /// document via [`chrome_trace`].
     pub fn to_chrome_trace(&self) -> String {
-        let events = self.ring.lock().clone();
-        let mut out = String::with_capacity(events.len() * 96 + 64);
-        out.push_str("{\"traceEvents\":[");
-        for (i, e) in events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("{\"name\":");
-            json::push_str(&mut out, e.kind.name());
-            out.push_str(",\"pid\":1,\"tid\":");
-            out.push_str(&e.node.to_string());
-            if e.dur_nanos > 0 {
-                out.push_str(",\"ph\":\"X\",\"ts\":");
-                json::push_f64(&mut out, e.start_nanos() as f64 / 1e3);
-                out.push_str(",\"dur\":");
-                json::push_f64(&mut out, e.dur_nanos as f64 / 1e3);
-            } else {
-                out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
-                json::push_f64(&mut out, e.ts_nanos as f64 / 1e3);
-            }
-            out.push_str(",\"args\":{");
-            let mut first = true;
-            let mut arg = |out: &mut String, k: &str, v: String| {
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                json::push_str(out, k);
-                out.push(':');
-                out.push_str(&v);
-            };
-            if let Some(key) = e.key {
-                // Unscoped keys keep the pre-tenancy `s…a…c…` shape so
-                // existing trace consumers are unaffected.
-                let prefix = match key.request {
-                    0 => String::new(),
-                    r => format!("r{r}"),
-                };
-                arg(
-                    &mut out,
-                    "key",
-                    format!(
-                        "\"{}s{}a{}c{}\"",
-                        prefix, key.server, key.array, key.subchunk
-                    ),
-                );
-            }
-            if let Some(request) = e.request {
-                arg(&mut out, "request", request.to_string());
-            }
-            if e.bytes > 0 {
-                arg(&mut out, "bytes", e.bytes.to_string());
-            }
-            if let Some(peer) = e.peer {
-                arg(&mut out, "peer", peer.to_string());
-            }
-            if let Some(tag) = e.tag {
-                arg(&mut out, "tag", tag.to_string());
-            }
-            if let Some(seq) = e.sequential {
-                arg(&mut out, "sequential", seq.to_string());
-            }
-            if let Some(label) = &e.label {
-                let mut s = String::new();
-                json::push_str(&mut s, label);
-                arg(&mut out, "file", s);
-            }
-            out.push_str("}}");
-        }
-        out.push_str("]}");
-        out
+        let events: Vec<TimelineEvent> = self.ring.lock().iter().cloned().collect();
+        chrome_trace(&events)
     }
 }
 
@@ -188,19 +214,7 @@ impl Recorder for TimelineRecorder {
     fn record(&self, node: u32, event: &Event<'_>) {
         self.counters.record(node, event);
         let ts_nanos = self.epoch.elapsed().as_nanos() as u64;
-        let flat = TimelineEvent {
-            ts_nanos,
-            node,
-            kind: event.kind(),
-            request: event.request(),
-            key: event.key(),
-            bytes: event.bytes(),
-            dur_nanos: event.dur().unwrap_or(Duration::ZERO).as_nanos() as u64,
-            peer: event.peer(),
-            tag: event.tag(),
-            sequential: event.sequential(),
-            label: event.label().map(str::to_owned),
-        };
+        let flat = TimelineEvent::from_event(ts_nanos, node, event);
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
@@ -299,6 +313,116 @@ mod tests {
         assert!(trace.contains("\"ph\":\"i\""), "has instant events");
         assert!(trace.contains("\"name\":\"fetch_replied\""));
         assert!(trace.contains("\"key\":\"s0a0c3\""));
+    }
+
+    #[test]
+    fn wraparound_keeps_per_request_filtering_consistent() {
+        // Two tenants' request ids interleave through a ring much
+        // smaller than the event stream. After heavy overwriting the
+        // retained window must still be per-request consistent: every
+        // request's retained events stay in timestamp order, carry that
+        // request's id only, and the retained suffix is contiguous (the
+        // ring drops oldest-first, never from the middle).
+        let req_a = (1u64 << 32) | 1; // tenant 0
+        let req_b = (2u64 << 32) | 1; // tenant 1
+        let rec = TimelineRecorder::with_capacity(8);
+        let total = 50u64;
+        for i in 0..total {
+            let (request, tenant_server) = if i % 2 == 0 { (req_a, 0) } else { (req_b, 1) };
+            rec.record(
+                4,
+                &Event::DiskWriteQueued {
+                    // Subchunk index is the tenant's own sequence number.
+                    key: SubchunkKey::scoped(request, tenant_server, 0, (i / 2) as usize),
+                    bytes: 64,
+                },
+            );
+        }
+        assert_eq!(rec.len(), 8);
+        assert_eq!(rec.dropped(), total - 8);
+        let tl = rec.timeline().unwrap();
+        assert!(tl.windows(2).all(|w| w[0].ts_nanos <= w[1].ts_nanos));
+        for (request, server) in [(req_a, 0u32), (req_b, 1u32)] {
+            let mine: Vec<_> = tl.iter().filter(|e| e.request == Some(request)).collect();
+            assert_eq!(mine.len(), 4, "each tenant keeps half the window");
+            assert!(mine.iter().all(|e| e.key.unwrap().server == server));
+            // Contiguous suffix of that tenant's stream: consecutive
+            // subchunk indices, ending at the tenant's last event.
+            let idx: Vec<u32> = mine.iter().map(|e| e.key.unwrap().subchunk).collect();
+            assert!(idx.windows(2).all(|w| w[1] == w[0] + 1));
+            let last_for_tenant = (total - 1 - u64::from(request == req_a)) / 2;
+            assert_eq!(u64::from(*idx.last().unwrap()), last_for_tenant);
+        }
+    }
+
+    #[test]
+    fn wraparound_trace_exports_only_retained_events() {
+        let req_a = (1u64 << 32) | 9;
+        let req_b = (2u64 << 32) | 9;
+        let rec = TimelineRecorder::with_capacity(4);
+        for i in 0..20usize {
+            let request = if i % 2 == 0 { req_a } else { req_b };
+            rec.record(
+                5,
+                &Event::DiskWriteQueued {
+                    key: SubchunkKey::scoped(request, 0, 0, i),
+                    bytes: 1,
+                },
+            );
+        }
+        let trace = rec.to_chrome_trace();
+        json::validate(&trace).expect("trace parses after wraparound");
+        // Retained: subchunks 16..20, alternating tenants.
+        for kept in 16..20 {
+            assert!(
+                trace.contains(&format!("c{kept}\"")),
+                "subchunk {kept} kept"
+            );
+        }
+        assert!(!trace.contains("c15\""), "evicted events do not export");
+        assert!(trace.contains(&format!("\"request\":{req_a}")));
+        assert!(trace.contains(&format!("\"request\":{req_b}")));
+        // Counters still saw the full stream even though the ring wrapped.
+        assert_eq!(rec.counting().count(EventKind::DiskWriteQueued), 20);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_ring() {
+        use std::sync::Arc;
+        let rec = Arc::new(TimelineRecorder::with_capacity(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    let request = (t + 1) << 32;
+                    for i in 0..200usize {
+                        rec.record(
+                            t as u32,
+                            &Event::DiskWriteQueued {
+                                key: SubchunkKey::scoped(request, 0, 0, i),
+                                bytes: 8,
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.len(), 64);
+        assert_eq!(rec.dropped(), 4 * 200 - 64);
+        let tl = rec.timeline().unwrap();
+        // Global timestamp order is not guaranteed across writers (the
+        // stamp is taken before the ring lock), but each writer's own
+        // stream must stay in submission order in the window.
+        for t in 0..4u64 {
+            let request = (t + 1) << 32;
+            let idx: Vec<u32> = tl
+                .iter()
+                .filter(|e| e.request == Some(request))
+                .map(|e| e.key.unwrap().subchunk)
+                .collect();
+            assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        }
+        json::validate(&rec.to_chrome_trace()).expect("trace parses");
     }
 
     #[test]
